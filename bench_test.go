@@ -1,0 +1,312 @@
+// Benchmarks regenerating the paper's evaluation (one per figure; see
+// DESIGN.md §3 for the experiment index and EXPERIMENTS.md for the
+// recorded outcomes). Figures sweep a parameter; each benchmark pins
+// the paper's highlighted operating point and measures a single query
+// evaluation, so relative times across benchmarks carry the figure's
+// message (e.g. Fig8Basic vs Fig8Enhanced).
+//
+// The full sweep data is produced by cmd/ildq-bench.
+package repro_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// benchWorld lazily builds paper-scale datasets (62K points, 53K
+// uncertain objects) once for all benchmarks.
+type benchWorld struct {
+	once    sync.Once
+	engine  *repro.Engine // uniform-pdf objects
+	gauss   *repro.Engine // gaussian-pdf objects
+	points  []repro.PointObject
+	issuers []*repro.Object // uniform issuers, u=250
+	gissuer []*repro.Object // gaussian issuers, u=250
+	err     error
+}
+
+var world benchWorld
+
+func (w *benchWorld) init(b *testing.B) {
+	b.Helper()
+	w.once.Do(func() {
+		pts := repro.GeneratePoints(repro.CaliforniaConfig())
+		w.points = repro.BuildPointObjects(pts)
+		rects := repro.GenerateRects(repro.LongBeachConfig())
+
+		uniObjs, err := repro.BuildUncertainObjects(rects, repro.PDFUniform, nil)
+		if err != nil {
+			w.err = err
+			return
+		}
+		w.engine, err = repro.NewEngine(w.points, uniObjs, repro.EngineOptions{})
+		if err != nil {
+			w.err = err
+			return
+		}
+		gaussObjs, err := repro.BuildUncertainObjects(rects, repro.PDFGaussian, nil)
+		if err != nil {
+			w.err = err
+			return
+		}
+		w.gauss, err = repro.NewEngine(w.points, gaussObjs, repro.EngineOptions{})
+		if err != nil {
+			w.err = err
+			return
+		}
+
+		rng := rand.New(rand.NewSource(31))
+		for i := 0; i < 64; i++ {
+			c := repro.Pt(rng.Float64()*repro.DataExtent, rng.Float64()*repro.DataExtent)
+			up, err := repro.NewUniformPDF(repro.RectCentered(c, 250, 250))
+			if err != nil {
+				w.err = err
+				return
+			}
+			iss, err := repro.NewIssuer(up)
+			if err != nil {
+				w.err = err
+				return
+			}
+			w.issuers = append(w.issuers, iss)
+			gp, err := repro.NewGaussianPDF(repro.RectCentered(c, 250, 250), 0, 0)
+			if err != nil {
+				w.err = err
+				return
+			}
+			giss, err := repro.NewIssuer(gp)
+			if err != nil {
+				w.err = err
+				return
+			}
+			w.gissuer = append(w.gissuer, giss)
+		}
+	})
+	if w.err != nil {
+		b.Fatal(w.err)
+	}
+}
+
+// runUncertain benchmarks one C-IUQ/IUQ configuration.
+func runUncertain(b *testing.B, engine func() *repro.Engine, issuers func() []*repro.Object, w, qp float64, opts repro.EvalOptions) {
+	world.init(b)
+	e := engine()
+	iss := issuers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := repro.Query{Issuer: iss[i%len(iss)], W: w, H: w, Threshold: qp}
+		if _, err := e.EvaluateUncertain(q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runPoints benchmarks one C-IPQ/IPQ configuration.
+func runPoints(b *testing.B, engine func() *repro.Engine, issuers func() []*repro.Object, w, qp float64, opts repro.EvalOptions) {
+	world.init(b)
+	e := engine()
+	iss := issuers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := repro.Query{Issuer: iss[i%len(iss)], W: w, H: w, Threshold: qp}
+		if _, err := e.EvaluatePoints(q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func uniEngine() *repro.Engine      { return world.engine }
+func gaussEngine() *repro.Engine    { return world.gauss }
+func uniIssuers() []*repro.Object   { return world.issuers }
+func gaussIssuers() []*repro.Object { return world.gissuer }
+
+// --- Figure 8: Basic vs Enhanced (IUQ), u=250, w=500 ---
+
+func BenchmarkFig8BasicIUQ(b *testing.B) {
+	runUncertain(b, uniEngine, uniIssuers, 500, 0, repro.EvalOptions{
+		Method:       repro.MethodBasic,
+		BasicSamples: 400,
+	})
+}
+
+func BenchmarkFig8EnhancedIUQ(b *testing.B) {
+	runUncertain(b, uniEngine, uniIssuers, 500, 0, repro.EvalOptions{})
+}
+
+// --- Figure 9: IPQ, T vs u and w (operating points w=500/1000/1500) ---
+
+func BenchmarkFig9IPQ_W500(b *testing.B) {
+	runPoints(b, uniEngine, uniIssuers, 500, 0, repro.EvalOptions{})
+}
+
+func BenchmarkFig9IPQ_W1000(b *testing.B) {
+	runPoints(b, uniEngine, uniIssuers, 1000, 0, repro.EvalOptions{})
+}
+
+func BenchmarkFig9IPQ_W1500(b *testing.B) {
+	runPoints(b, uniEngine, uniIssuers, 1500, 0, repro.EvalOptions{})
+}
+
+// --- Figure 10: IUQ, T vs u and w ---
+
+func BenchmarkFig10IUQ_W500(b *testing.B) {
+	runUncertain(b, uniEngine, uniIssuers, 500, 0, repro.EvalOptions{})
+}
+
+func BenchmarkFig10IUQ_W1000(b *testing.B) {
+	runUncertain(b, uniEngine, uniIssuers, 1000, 0, repro.EvalOptions{})
+}
+
+func BenchmarkFig10IUQ_W1500(b *testing.B) {
+	runUncertain(b, uniEngine, uniIssuers, 1500, 0, repro.EvalOptions{})
+}
+
+// --- Figure 11: C-IPQ at Qp=0.6, Minkowski vs p-expanded query ---
+
+func BenchmarkFig11CIPQMinkowski(b *testing.B) {
+	runPoints(b, uniEngine, uniIssuers, 500, 0.6, repro.EvalOptions{DisablePExpansion: true})
+}
+
+func BenchmarkFig11CIPQPExpanded(b *testing.B) {
+	runPoints(b, uniEngine, uniIssuers, 500, 0.6, repro.EvalOptions{})
+}
+
+// --- Figure 12: C-IUQ at Qp=0.6, R-tree+Minkowski vs PTI+p-expanded ---
+
+func BenchmarkFig12CIUQMinkowskiRTree(b *testing.B) {
+	runUncertain(b, uniEngine, uniIssuers, 500, 0.6, repro.EvalOptions{
+		DisablePExpansion:   true,
+		DisableIndexPruning: true,
+		Strategies: repro.StrategySet{
+			DisableStrategy1: true,
+			DisableStrategy2: true,
+			DisableStrategy3: true,
+		},
+	})
+}
+
+func BenchmarkFig12CIUQPExpandedPTI(b *testing.B) {
+	runUncertain(b, uniEngine, uniIssuers, 500, 0.6, repro.EvalOptions{})
+}
+
+// --- Figure 13: C-IPQ, Gaussian pdfs, Monte-Carlo refinement ---
+
+func BenchmarkFig13GaussianMinkowski(b *testing.B) {
+	runPoints(b, gaussEngine, gaussIssuers, 500, 0.6, repro.EvalOptions{
+		DisablePExpansion: true,
+		PointMCSamples:    200,
+	})
+}
+
+func BenchmarkFig13GaussianPExpanded(b *testing.B) {
+	runPoints(b, gaussEngine, gaussIssuers, 500, 0.6, repro.EvalOptions{
+		PointMCSamples: 200,
+	})
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// Object-level pruning strategies on vs off (index pruning fixed on).
+func BenchmarkAblationStrategiesAll(b *testing.B) {
+	runUncertain(b, uniEngine, uniIssuers, 500, 0.6, repro.EvalOptions{})
+}
+
+func BenchmarkAblationStrategiesNone(b *testing.B) {
+	runUncertain(b, uniEngine, uniIssuers, 500, 0.6, repro.EvalOptions{
+		Strategies: repro.StrategySet{
+			DisableStrategy1: true,
+			DisableStrategy2: true,
+			DisableStrategy3: true,
+		},
+	})
+}
+
+// Duality closed form vs forced Monte-Carlo refinement (u=250, w=500).
+func BenchmarkAblationDualityClosedForm(b *testing.B) {
+	runUncertain(b, uniEngine, uniIssuers, 500, 0, repro.EvalOptions{})
+}
+
+func BenchmarkAblationDualityMonteCarlo(b *testing.B) {
+	runUncertain(b, uniEngine, uniIssuers, 500, 0, repro.EvalOptions{
+		Object: repro.ObjectEvalConfig{ForceMonteCarlo: true, MCSamples: 256},
+	})
+}
+
+// Gaussian-object quadrature path (uniform issuer, Gaussian objects).
+func BenchmarkAblationGaussianObjects(b *testing.B) {
+	runUncertain(b, gaussEngine, uniIssuers, 500, 0, repro.EvalOptions{})
+}
+
+// Nearest-neighbor extension at paper-default issuer size.
+func BenchmarkNNExtension(b *testing.B) {
+	world.init(b)
+	rng := rand.New(rand.NewSource(32))
+	issPDF, err := repro.NewUniformPDF(repro.RectCentered(repro.Pt(5000, 5000), 250, 250))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.EvaluateNN(world.points, issPDF, 500, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Parallel refinement under forced Monte-Carlo (where it pays off).
+func BenchmarkParallelRefinementSerial(b *testing.B) {
+	runUncertain(b, uniEngine, uniIssuers, 1000, 0, repro.EvalOptions{
+		Object: repro.ObjectEvalConfig{ForceMonteCarlo: true, MCSamples: 512},
+	})
+}
+
+func BenchmarkParallelRefinement8(b *testing.B) {
+	world.init(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := repro.Query{Issuer: world.issuers[i%len(world.issuers)], W: 1000, H: 1000}
+		_, err := world.engine.EvaluateUncertainParallel(q, repro.EvalOptions{
+			Object: repro.ObjectEvalConfig{ForceMonteCarlo: true, MCSamples: 512},
+		}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Split-strategy ablation: insertion throughput under quadratic vs
+// linear node splits (search-quality comparison lives in the rtree
+// tests; this measures the build-side trade-off).
+func BenchmarkAblationInsertQuadraticSplit(b *testing.B) {
+	benchInsertSplit(b, 0)
+}
+
+func BenchmarkAblationInsertLinearSplit(b *testing.B) {
+	benchInsertSplit(b, 1)
+}
+
+func benchInsertSplit(b *testing.B, linear int) {
+	// Dynamic insertion is what exercises node splits (bulk loading
+	// uses STR packing and never splits).
+	pts := repro.GeneratePoints(repro.PointConfig{N: 5000, Clusters: 10, ClusterSigma: 300, Seed: 77})
+	points := repro.BuildPointObjects(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := repro.EngineOptions{}
+		if linear == 1 {
+			opts.PointIndexConfig.Split = repro.SplitLinear
+		}
+		engine, err := repro.NewEngine(nil, nil, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if err := engine.InsertPoint(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

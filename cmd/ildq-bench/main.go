@@ -1,0 +1,134 @@
+// Command ildq-bench regenerates the paper's evaluation figures
+// (Figures 8–13) and the repository's ablation studies, printing each
+// as an aligned text table of response time (and optionally I/O and
+// candidate metrics) per sweep point.
+//
+// Usage:
+//
+//	ildq-bench -exp all                        # every experiment, paper scale
+//	ildq-bench -exp fig11,fig12 -queries 100   # selected figures, fewer queries
+//	ildq-bench -exp fig8 -points 10000 -rects 8000 -io
+//
+// Paper scale (62K points, 53K rectangles, 500 queries per sweep
+// point) takes minutes for the sampling-heavy experiments; the -points,
+// -rects and -queries flags trade precision for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		expFlag      = flag.String("exp", "all", "comma-separated experiment ids, or 'all' (ids: "+strings.Join(bench.AllFigureIDs(), ", ")+")")
+		points       = flag.Int("points", 0, "point-object count (0 = paper's 62000)")
+		rects        = flag.Int("rects", 0, "uncertain-object count (0 = paper's 53000)")
+		queries      = flag.Int("queries", 0, "queries per sweep point (0 = paper's 500)")
+		seed         = flag.Int64("seed", 1, "dataset and workload seed")
+		showIO       = flag.Bool("io", false, "include node-access and candidate columns")
+		basicSamples = flag.Int("basic-samples", 400, "issuer samples for the basic method (fig8)")
+		mcSamples    = flag.Int("mc-samples", 200, "Monte-Carlo samples per refinement (fig13)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, id := range bench.AllFigureIDs() {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, id := range bench.AllFigureIDs() {
+		known[id] = true
+	}
+	for id := range want {
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "ildq-bench: unknown experiment %q (known: %s)\n",
+				id, strings.Join(bench.AllFigureIDs(), ", "))
+			os.Exit(2)
+		}
+	}
+
+	cfg := bench.Config{Points: *points, Rects: *rects, Queries: *queries, Seed: *seed}
+
+	// Environments are shared across experiments with the same pdf
+	// kind and built lazily.
+	var uniEnv, gaussEnv *bench.Env
+	getUni := func() *bench.Env {
+		if uniEnv == nil {
+			uniEnv = mustEnv(cfg)
+		}
+		return uniEnv
+	}
+	getGauss := func() *bench.Env {
+		if gaussEnv == nil {
+			g := cfg
+			g.Kind = dataset.PDFGaussian
+			gaussEnv = mustEnv(g)
+		}
+		return gaussEnv
+	}
+
+	// The sensitivity analysis has its own table shape; handle it
+	// before the figure runners.
+	if want["exp-sensitivity"] {
+		ipq, err := bench.SensitivityIPQ(cfg, nil, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: sensitivity: %v\n", err)
+			os.Exit(1)
+		}
+		ipq.Render(os.Stdout)
+		iuq, err := bench.SensitivityIUQ(cfg, nil, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: sensitivity: %v\n", err)
+			os.Exit(1)
+		}
+		iuq.Render(os.Stdout)
+	}
+
+	runners := []struct {
+		id  string
+		run func() (bench.Figure, error)
+	}{
+		{"fig8", func() (bench.Figure, error) { return bench.Fig8(getUni(), *basicSamples) }},
+		{"fig9", func() (bench.Figure, error) { return bench.Fig9(getUni()) }},
+		{"fig10", func() (bench.Figure, error) { return bench.Fig10(getUni()) }},
+		{"fig11", func() (bench.Figure, error) { return bench.Fig11(getUni()) }},
+		{"fig12", func() (bench.Figure, error) { return bench.Fig12(getUni()) }},
+		{"fig13", func() (bench.Figure, error) { return bench.Fig13(getGauss(), *mcSamples) }},
+		{"ablation-strategies", func() (bench.Figure, error) { return bench.AblationStrategies(getUni()) }},
+		{"ablation-catalog", func() (bench.Figure, error) { return bench.AblationCatalogSize(cfg) }},
+		{"ablation-index", func() (bench.Figure, error) { return bench.AblationGridVsRTree(getUni()) }},
+		{"exp-io", func() (bench.Figure, error) { return bench.IOExperiment(cfg, nil) }},
+	}
+	for _, r := range runners {
+		if !want[r.id] {
+			continue
+		}
+		fig, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fig.Render(os.Stdout, *showIO)
+	}
+}
+
+func mustEnv(cfg bench.Config) *bench.Env {
+	env, err := bench.NewEnv(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ildq-bench: building environment: %v\n", err)
+		os.Exit(1)
+	}
+	return env
+}

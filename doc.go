@@ -1,0 +1,33 @@
+// Package repro is a Go reproduction of "Efficient Evaluation of
+// Imprecise Location-Dependent Queries" (Jinchuan Chen and Reynold
+// Cheng, ICDE 2007): range queries issued from an uncertain location
+// over databases of exact points and uncertain objects, returning
+// probabilistic guarantees.
+//
+// The package is a façade over the internal packages; it exposes
+// everything an application needs:
+//
+//   - building location pdfs (uniform, truncated Gaussian, histogram
+//     grids, mixtures) and uncertain objects with U-catalogs;
+//   - constructing an Engine over point and uncertain-object datasets
+//     (bulk-loaded R-tree and Probability Threshold Index);
+//   - evaluating IPQ, IUQ, C-IPQ and C-IUQ queries with the paper's
+//     query expansion, query-data duality, and threshold pruning;
+//   - the imprecise nearest-neighbor extension;
+//   - synthetic dataset generation matching the paper's experimental
+//     setup.
+//
+// Quick start:
+//
+//	issuerPDF, _ := repro.NewUniformPDF(repro.RectCentered(repro.Pt(5200, 4800), 250, 250))
+//	issuer, _ := repro.NewIssuer(issuerPDF)
+//	engine, _ := repro.NewEngine(points, objects, repro.EngineOptions{})
+//	res, _ := engine.EvaluateUncertain(repro.Query{Issuer: issuer, W: 500, H: 500, Threshold: 0.5},
+//		repro.EvalOptions{})
+//	for _, m := range res.Matches {
+//		fmt.Printf("object %d qualifies with probability %.3f\n", m.ID, m.P)
+//	}
+//
+// See examples/ for runnable programs and DESIGN.md for the map from
+// the paper's sections to packages.
+package repro

@@ -1,0 +1,142 @@
+// Cabfinder: the paper's motivating scenario — "find the available
+// cabs within two miles of my current location" (§1) — as a running
+// simulation.
+//
+// A fleet of cabs reports positions periodically; between reports each
+// cab's true position drifts, so the dispatcher models it as an
+// uncertainty region that grows with the time since the last report
+// (speed x elapsed time), with a uniform pdf (the paper's worst-case
+// assumption). The rider's own position is cloaked to a box for
+// privacy. The dispatcher runs a constrained imprecise range query
+// (C-IUQ) per tick and shows how answers and their probabilities
+// evolve as uncertainty grows.
+//
+// Run with: go run ./examples/cabfinder
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+const (
+	worldSize   = 10000.0
+	fleetSize   = 400
+	rangeHalf   = 1000.0 // "two miles" in space units (half extent)
+	riderCloak  = 150.0  // rider privacy box half extent
+	cabSpeed    = 40.0   // drift per tick (units)
+	reportEvery = 5      // ticks between position reports
+	ticks       = 15
+	threshold   = 0.4 // dispatcher only calls cabs with p >= 0.4
+)
+
+type cab struct {
+	id       repro.ID
+	truePos  repro.Point
+	reported repro.Point
+	age      int // ticks since last report
+	vel      repro.Point
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	fleet := make([]*cab, fleetSize)
+	for i := range fleet {
+		pos := repro.Pt(rng.Float64()*worldSize, rng.Float64()*worldSize)
+		fleet[i] = &cab{
+			id:       repro.ID(i),
+			truePos:  pos,
+			reported: pos,
+			vel:      repro.Pt(rng.NormFloat64(), rng.NormFloat64()),
+		}
+	}
+
+	rider := repro.Pt(5000, 5000)
+	fmt.Printf("rider cloaked to a %.0fx%.0f box around (%.0f, %.0f); range half-extent %.0f; threshold %.2f\n\n",
+		2*riderCloak, 2*riderCloak, rider.X, rider.Y, rangeHalf, threshold)
+
+	for tick := 1; tick <= ticks; tick++ {
+		// Cabs drift; some report fresh positions.
+		for _, c := range fleet {
+			c.truePos = repro.Pt(
+				clamp(c.truePos.X+c.vel.X*cabSpeed*rng.Float64(), 0, worldSize),
+				clamp(c.truePos.Y+c.vel.Y*cabSpeed*rng.Float64(), 0, worldSize),
+			)
+			c.age++
+			if c.age >= reportEvery {
+				c.reported = c.truePos
+				c.age = 0
+			}
+		}
+
+		// Build the uncertain-object database for this snapshot: each
+		// cab's region is its last report inflated by max drift.
+		objs := make([]*repro.Object, len(fleet))
+		for i, c := range fleet {
+			radius := cabSpeed * float64(c.age+1)
+			region := repro.RectCentered(c.reported, radius, radius)
+			p, err := repro.NewUniformPDF(region)
+			if err != nil {
+				log.Fatal(err)
+			}
+			objs[i], err = repro.NewUncertainObject(c.id, p, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		engine, err := repro.NewEngine(nil, objs, repro.EngineOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		issuerPDF, err := repro.NewUniformPDF(repro.RectCentered(rider, riderCloak, riderCloak))
+		if err != nil {
+			log.Fatal(err)
+		}
+		issuer, err := repro.NewIssuer(issuerPDF)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		res, err := engine.EvaluateUncertain(repro.Query{
+			Issuer: issuer, W: rangeHalf, H: rangeHalf, Threshold: threshold,
+		}, repro.EvalOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		sure := 0
+		for _, m := range res.Matches {
+			if m.P > 0.95 {
+				sure++
+			}
+		}
+		fmt.Printf("tick %2d: %2d cabs callable (p>=%.1f), %d of them near-certain | %d candidates, %d refined, %d node reads\n",
+			tick, len(res.Matches), threshold, sure,
+			res.Cost.Candidates, res.Cost.Refined, res.Cost.NodeAccesses)
+		if tick == ticks {
+			fmt.Println("\nfinal dispatch list:")
+			for i, m := range res.Matches {
+				if i >= 8 {
+					fmt.Printf("  ... and %d more\n", len(res.Matches)-i)
+					break
+				}
+				c := fleet[m.ID]
+				fmt.Printf("  cab %-4d p=%.3f (last report %d ticks ago)\n", m.ID, m.P, c.age)
+			}
+		}
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,141 @@
+// Livetracker: a long-running dispatch service built on the engine's
+// dynamic-update API — the moving-object database setting the paper's
+// introduction motivates (vehicles join, leave, and re-report
+// positions while queries keep arriving).
+//
+// The program maintains an engine under churn (ReplaceObject on every
+// position re-report, Insert/Delete as vehicles enter and leave
+// service), answers a batch of concurrent rider queries each epoch
+// with EvaluateUncertainBatch, and tracks the answer-quality metrics
+// (expected count, quality score, entropy) as fleet uncertainty
+// changes.
+//
+// Run with: go run ./examples/livetracker
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+const (
+	worldSize  = 10000.0
+	initFleet  = 600
+	epochs     = 6
+	ridersPerE = 5
+	rangeHalf  = 800.0
+	threshold  = 0.3
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(9))
+
+	// Initial fleet with tight uncertainty (fresh reports).
+	var objs []*repro.Object
+	positions := map[repro.ID]repro.Point{}
+	for i := 0; i < initFleet; i++ {
+		id := repro.ID(i)
+		pos := repro.Pt(rng.Float64()*worldSize, rng.Float64()*worldSize)
+		positions[id] = pos
+		objs = append(objs, mkVehicle(id, pos, 50))
+	}
+	engine, err := repro.NewEngine(nil, objs, repro.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nextID := repro.ID(initFleet)
+
+	for epoch := 1; epoch <= epochs; epoch++ {
+		// Churn: 10% of vehicles leave, new ones join, everyone else
+		// re-reports with epoch-dependent staleness.
+		var ids []repro.ID
+		for id := range positions {
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			switch {
+			case rng.Float64() < 0.10:
+				if _, err := engine.DeleteObject(id); err != nil {
+					log.Fatal(err)
+				}
+				delete(positions, id)
+			default:
+				// Drift and re-report; uncertainty grows with a random
+				// staleness between 30 and 330 units.
+				pos := positions[id]
+				pos = repro.Pt(
+					clamp(pos.X+rng.NormFloat64()*120, 0, worldSize),
+					clamp(pos.Y+rng.NormFloat64()*120, 0, worldSize),
+				)
+				positions[id] = pos
+				if err := engine.ReplaceObject(mkVehicle(id, pos, 30+rng.Float64()*300)); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		for i := 0; i < initFleet/10; i++ {
+			pos := repro.Pt(rng.Float64()*worldSize, rng.Float64()*worldSize)
+			positions[nextID] = pos
+			if err := engine.InsertObject(mkVehicle(nextID, pos, 50)); err != nil {
+				log.Fatal(err)
+			}
+			nextID++
+		}
+
+		// A batch of rider queries, evaluated concurrently.
+		var queries []repro.Query
+		for r := 0; r < ridersPerE; r++ {
+			issPDF, err := repro.NewUniformPDF(repro.RectCentered(
+				repro.Pt(rng.Float64()*worldSize, rng.Float64()*worldSize), 200, 200))
+			if err != nil {
+				log.Fatal(err)
+			}
+			issuer, err := repro.NewIssuer(issPDF)
+			if err != nil {
+				log.Fatal(err)
+			}
+			queries = append(queries, repro.Query{
+				Issuer: issuer, W: rangeHalf, H: rangeHalf, Threshold: threshold,
+			})
+		}
+		results := engine.EvaluateUncertainBatch(queries, repro.EvalOptions{}, 4)
+
+		fmt.Printf("epoch %d | fleet %d vehicles\n", epoch, engine.NumUncertain())
+		for r, br := range results {
+			if br.Err != nil {
+				log.Fatal(br.Err)
+			}
+			m := br.Result.Matches
+			fmt.Printf("  rider %d: %2d callable | E[in range] %.1f | quality %.2f | entropy %.1f bits | %d node reads\n",
+				r+1, len(m), repro.ExpectedCount(m), repro.QualityScore(m),
+				repro.AnswerEntropy(m), br.Result.Cost.NodeAccesses)
+		}
+	}
+}
+
+func mkVehicle(id repro.ID, pos repro.Point, half float64) *repro.Object {
+	region := repro.RectCentered(pos, half, half)
+	// Clamp to the world so regions stay valid near the border.
+	p, err := repro.NewUniformPDF(region)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o, err := repro.NewUncertainObject(id, p, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return o
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

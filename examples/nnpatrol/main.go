@@ -1,0 +1,75 @@
+// NNPatrol: the paper's future-work extension (§7) in action —
+// imprecise location-dependent nearest-neighbor queries.
+//
+// A police dispatcher knows an officer's position only up to a cell
+// sector (an uncertainty region) and must decide which patrol station
+// is "the officer's nearest" — a question that has no single answer
+// under uncertainty. The program computes, for each station, the
+// probability of being the nearest, under both a uniform and a
+// Gaussian model of the officer's position, and shows the effect of a
+// confidence threshold.
+//
+// Run with: go run ./examples/nnpatrol
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	stations := []repro.PointObject{
+		{ID: 1, Loc: repro.Pt(4800, 5200)},
+		{ID: 2, Loc: repro.Pt(5600, 5500)},
+		{ID: 3, Loc: repro.Pt(5100, 4300)},
+		{ID: 4, Loc: repro.Pt(4200, 4700)},
+		{ID: 5, Loc: repro.Pt(6800, 6100)},
+		{ID: 6, Loc: repro.Pt(2500, 8200)}, // far precinct, should be pruned
+	}
+	officerRegion := repro.RectCentered(repro.Pt(5000, 5000), 600, 450)
+	rng := rand.New(rand.NewSource(7))
+
+	fmt.Printf("officer somewhere in %v\n\n", officerRegion)
+
+	uniform, err := repro.NewUniformPDF(officerRegion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gaussian, err := repro.NewGaussianPDF(officerRegion, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		pdf  repro.PDF
+	}{
+		{"uniform position model", uniform},
+		{"gaussian position model (likely near sector center)", gaussian},
+	} {
+		res, err := repro.EvaluateNN(stations, tc.pdf, 60000, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — %d of %d stations survive distance pruning:\n",
+			tc.name, res.Candidates, len(stations))
+		for _, m := range res.Matches {
+			fmt.Printf("  station %d nearest with probability %.3f\n", m.ID, m.P)
+		}
+		fmt.Println()
+	}
+
+	// Dispatch policy: only radio stations that are nearest with
+	// probability at least 0.25.
+	th, err := repro.EvaluateNNThreshold(stations, uniform, 0.25, 60000, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stations to radio (P(nearest) >= 0.25, uniform model):")
+	for _, m := range th.Matches {
+		fmt.Printf("  station %d (p=%.3f)\n", m.ID, m.P)
+	}
+}

@@ -1,0 +1,95 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// A user whose position is only known to lie in a 250x250-unit box
+// asks for everything within a 500-unit range. The database holds both
+// exact points (shops) and uncertain objects (moving vehicles); the
+// engine answers both query flavors with per-object qualification
+// probabilities.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A handful of exact point objects (e.g. shops).
+	shops := []repro.PointObject{
+		{ID: 1, Loc: repro.Pt(5200, 5100)}, // close to the user
+		{ID: 2, Loc: repro.Pt(5650, 4800)}, // near the range edge
+		{ID: 3, Loc: repro.Pt(9000, 9000)}, // far away
+	}
+
+	// Two uncertain objects (e.g. vehicles reporting stale positions):
+	// a rectangle of possible positions plus a pdf.
+	mkObj := func(id repro.ID, cx, cy, half float64) *repro.Object {
+		p, err := repro.NewUniformPDF(repro.RectCentered(repro.Pt(cx, cy), half, half))
+		if err != nil {
+			log.Fatal(err)
+		}
+		o, err := repro.NewUncertainObject(id, p, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return o
+	}
+	vehicles := []*repro.Object{
+		mkObj(101, 5400, 5300, 150), // overlaps the query substantially
+		mkObj(102, 6100, 5800, 200), // partially reachable
+	}
+
+	engine, err := repro.NewEngine(shops, vehicles, repro.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The issuer's imprecise location: a uniform pdf over a box
+	// (e.g. a cloaked GPS fix).
+	issuerPDF, err := repro.NewUniformPDF(repro.RectCentered(repro.Pt(5000, 5000), 250, 250))
+	if err != nil {
+		log.Fatal(err)
+	}
+	issuer, err := repro.NewIssuer(issuerPDF)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := repro.Query{Issuer: issuer, W: 500, H: 500}
+
+	// IPQ: probabilistic range query over the exact points.
+	res, err := engine.EvaluatePoints(query, repro.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("IPQ (point objects):")
+	for _, m := range res.Matches {
+		fmt.Printf("  shop %d is in range with probability %.3f\n", m.ID, m.P)
+	}
+
+	// IUQ: both the issuer and the data are uncertain.
+	resU, err := engine.EvaluateUncertain(query, repro.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("IUQ (uncertain objects):")
+	for _, m := range resU.Matches {
+		fmt.Printf("  vehicle %d is in range with probability %.3f\n", m.ID, m.P)
+	}
+
+	// C-IUQ: keep only confident answers (Qp = 0.5).
+	query.Threshold = 0.5
+	resC, err := engine.EvaluateUncertain(query, repro.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("C-IUQ (threshold 0.5):")
+	for _, m := range resC.Matches {
+		fmt.Printf("  vehicle %d qualifies with probability %.3f\n", m.ID, m.P)
+	}
+	fmt.Printf("cost: %d candidates, %d refined, %d node accesses\n",
+		resC.Cost.Candidates, resC.Cost.Refined, resC.Cost.NodeAccesses)
+}

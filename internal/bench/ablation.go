@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/index/grid"
+	"repro/internal/uncertain"
+)
+
+// AblationStrategies measures C-IUQ cost with each §5.2 pruning
+// strategy disabled in turn (and everything disabled), versus the full
+// stack, across the Qp sweep. It quantifies each strategy's individual
+// contribution — the design-choice ablation DESIGN.md lists.
+func AblationStrategies(env *Env) (Figure, error) {
+	p := DefaultParams()
+	fig := Figure{ID: "ablation-strategies", Title: "C-IUQ pruning strategy ablation", XLabel: "Qp"}
+	variants := []struct {
+		name string
+		opts core.EvalOptions
+	}{
+		{"all strategies", core.EvalOptions{}},
+		{"no strategy 1", core.EvalOptions{Strategies: core.StrategySet{DisableStrategy1: true}}},
+		{"no strategy 2", core.EvalOptions{Strategies: core.StrategySet{DisableStrategy2: true}}},
+		{"no strategy 3", core.EvalOptions{Strategies: core.StrategySet{DisableStrategy3: true}}},
+		{"no index pruning", core.EvalOptions{DisableIndexPruning: true}},
+		{"object strategies only", core.EvalOptions{DisableIndexPruning: true, DisablePExpansion: true}},
+		{"nothing", core.EvalOptions{
+			DisablePExpansion:   true,
+			DisableIndexPruning: true,
+			Strategies:          core.StrategySet{DisableStrategy1: true, DisableStrategy2: true, DisableStrategy3: true},
+		}},
+	}
+	series := make([]Series, len(variants))
+	for i, v := range variants {
+		series[i].Name = v.name
+	}
+	// One issuer set per sweep point, shared across variants, so the
+	// series are comparable point by point.
+	for _, qp := range []float64{0.2, 0.4, 0.6, 0.8} {
+		issuers, err := env.Issuers(env.cfg.Queries, p.U)
+		if err != nil {
+			return Figure{}, err
+		}
+		for i, v := range variants {
+			s, err := env.runPoint(overUncertain, issuers, p.W, p.W, qp, v.opts, qp)
+			if err != nil {
+				return Figure{}, err
+			}
+			series[i].Samples = append(series[i].Samples, s)
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// AblationCatalogSize measures C-IUQ refinement cost as a function of
+// the U-catalog resolution (3, 6, 11 values): more rows mean tighter
+// M-bounds and better pruning, at larger index entries (lower
+// fan-out) — the trade-off §5.2 discusses ("in our experiments, we
+// store six probability values").
+func AblationCatalogSize(cfg Config) (Figure, error) {
+	cfg = cfg.withDefaults()
+	fig := Figure{ID: "ablation-catalog", Title: "C-IUQ vs U-catalog size", XLabel: "Qp"}
+	p := DefaultParams()
+	for _, n := range []int{2, 5, 10} {
+		probs := uncertain.DefaultCatalogProbs(n)[:n] // 0 .. (n-1)/n
+		rcfg := dataset.LongBeachConfig()
+		rcfg.N = cfg.Rects
+		rcfg.Seed = cfg.Seed + 1
+		objs, err := dataset.BuildUncertainObjects(dataset.GenerateRects(rcfg), cfg.Kind, probs)
+		if err != nil {
+			return Figure{}, err
+		}
+		engine, err := core.NewEngine(nil, objs, core.EngineOptions{CatalogProbs: probs})
+		if err != nil {
+			return Figure{}, err
+		}
+		env := &Env{cfg: cfg, Engine: engine, rng: newRng(cfg.Seed + 2)}
+		series := Series{Name: fmt.Sprintf("%d catalog values", n)}
+		for _, qp := range []float64{0.2, 0.4, 0.6, 0.8} {
+			issuers, err := env.Issuers(cfg.Queries, p.U)
+			if err != nil {
+				return Figure{}, err
+			}
+			s, err := env.runPoint(overUncertain, issuers, p.W, p.W, qp, core.EvalOptions{}, qp)
+			if err != nil {
+				return Figure{}, err
+			}
+			series.Samples = append(series.Samples, s)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// AblationGridVsRTree compares the grid file against the R-tree as the
+// IPQ candidate filter (the paper's §4.3 notes either index works with
+// the expanded query). Both paths compute exact probabilities with the
+// duality formula; only the filter differs.
+func AblationGridVsRTree(env *Env) (Figure, error) {
+	p := DefaultParams()
+	fig := Figure{ID: "ablation-index", Title: "IPQ filter index: grid file vs R-tree", XLabel: "u"}
+
+	// Build a grid file over the same points.
+	gf := grid.New(0)
+	pointLoc := make(map[grid.Ref]geom.Point, env.Engine.NumPoints())
+	for i := 0; i < env.Engine.NumPoints(); i++ {
+		po, _ := env.Engine.Point(uncertain.ID(i))
+		if err := gf.Insert(geom.RectAt(po.Loc), grid.Ref(po.ID)); err != nil {
+			return Figure{}, err
+		}
+		pointLoc[grid.Ref(po.ID)] = po.Loc
+	}
+
+	rtSeries := Series{Name: "R-tree"}
+	gfSeries := Series{Name: "Grid file"}
+	for _, u := range []float64{100, 300, 500, 1000} {
+		issuers, err := env.Issuers(env.cfg.Queries, u)
+		if err != nil {
+			return Figure{}, err
+		}
+		s, err := env.runPoint(overPoints, issuers, p.W, p.W, 0, core.EvalOptions{}, u)
+		if err != nil {
+			return Figure{}, err
+		}
+		rtSeries.Samples = append(rtSeries.Samples, s)
+
+		// Grid-file path, measured with the same issuers.
+		var agg Sample
+		agg.X = u
+		for _, iss := range issuers {
+			q := core.Query{Issuer: iss, W: p.W, H: p.W}
+			gf.ResetAccesses()
+			start := nowMS()
+			var cand, match int
+			gf.Search(q.Expanded(), func(e grid.Entry) bool {
+				cand++
+				if prob := core.PointQualification(iss.PDF, pointLoc[e.Ref], q.W, q.H); prob > 0 {
+					match++
+				}
+				return true
+			})
+			agg.TimeMS += nowMS() - start
+			agg.NodeIO += float64(gf.Accesses())
+			agg.Candidates += float64(cand)
+			agg.Refined += float64(cand)
+			agg.Matches += float64(match)
+		}
+		n := float64(len(issuers))
+		agg.TimeMS /= n
+		agg.NodeIO /= n
+		agg.Candidates /= n
+		agg.Refined /= n
+		agg.Matches /= n
+		gfSeries.Samples = append(gfSeries.Samples, agg)
+	}
+	fig.Series = []Series{rtSeries, gfSeries}
+	return fig, nil
+}

@@ -1,0 +1,221 @@
+// Package bench is the experiment harness: it rebuilds every figure of
+// the paper's evaluation (§6, Figures 8–13) plus the ablation studies
+// DESIGN.md calls out, over the synthetic California / Long Beach
+// datasets.
+//
+// Each experiment returns a Figure — named series of (x, metrics)
+// points — that the ildq-bench command renders as aligned text tables.
+// Metrics include wall-clock response time (the paper's T), index node
+// accesses (hardware-independent I/O cost), candidate counts, and
+// refinement counts, so the paper's trends can be verified on any
+// machine.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+)
+
+// Params mirrors the paper's Table 2 defaults.
+type Params struct {
+	U  float64 // size (half side length) of U0; default 250
+	W  float64 // size (half side length) of the range query; default 500
+	Qp float64 // probability threshold; default 0
+}
+
+// DefaultParams returns the Table 2 baseline.
+func DefaultParams() Params { return Params{U: 250, W: 500, Qp: 0} }
+
+// Config sizes an experiment run. The paper uses the full datasets and
+// 500 queries per data point; tests scale these down.
+type Config struct {
+	// Points and Rects are the dataset cardinalities (0 = paper
+	// sizes: 62K / 53K).
+	Points, Rects int
+	// Queries is the number of issuers averaged per data point
+	// (0 = 500, as in the paper).
+	Queries int
+	// Seed drives dataset generation and issuer placement.
+	Seed int64
+	// Kind is the uncertainty pdf for data objects and issuers
+	// (uniform unless the experiment says otherwise).
+	Kind dataset.PDFKind
+}
+
+func (c Config) withDefaults() Config {
+	if c.Points == 0 {
+		c.Points = dataset.CaliforniaSize
+	}
+	if c.Rects == 0 {
+		c.Rects = dataset.LongBeachSize
+	}
+	if c.Queries == 0 {
+		c.Queries = 500
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Sample is one measured data point of a series.
+type Sample struct {
+	X          float64
+	TimeMS     float64 // mean response time per query, milliseconds
+	NodeIO     float64 // mean index node accesses per query
+	Candidates float64 // mean candidates per query
+	Refined    float64 // mean exact evaluations per query
+	Matches    float64 // mean result-set size per query
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Figure is a reproduced table/figure.
+type Figure struct {
+	ID     string // e.g. "fig8"
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// Render writes the figure as aligned text. With io=true the node
+// access and candidate columns are included.
+func (f Figure) Render(w io.Writer, showIO bool) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "-- %s --\n", s.Name)
+		if showIO {
+			fmt.Fprintf(w, "%12s %12s %12s %12s %12s %12s\n",
+				f.XLabel, "time(ms)", "nodeIO", "candidates", "refined", "matches")
+		} else {
+			fmt.Fprintf(w, "%12s %12s\n", f.XLabel, "time(ms)")
+		}
+		for _, p := range s.Samples {
+			if showIO {
+				fmt.Fprintf(w, "%12.3g %12.4f %12.1f %12.1f %12.1f %12.1f\n",
+					p.X, p.TimeMS, p.NodeIO, p.Candidates, p.Refined, p.Matches)
+			} else {
+				fmt.Fprintf(w, "%12.3g %12.4f\n", p.X, p.TimeMS)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// Env is a prepared experiment environment: datasets indexed once,
+// reused across sweep points.
+type Env struct {
+	cfg    Config
+	Engine *core.Engine
+	rng    *rand.Rand
+}
+
+// NewEnv generates datasets per cfg and bulk-loads the engine.
+func NewEnv(cfg Config) (*Env, error) {
+	cfg = cfg.withDefaults()
+
+	pcfg := dataset.CaliforniaConfig()
+	pcfg.N = cfg.Points
+	pcfg.Seed = cfg.Seed
+	points := dataset.BuildPointObjects(dataset.GeneratePoints(pcfg))
+
+	rcfg := dataset.LongBeachConfig()
+	rcfg.N = cfg.Rects
+	rcfg.Seed = cfg.Seed + 1
+	objs, err := dataset.BuildUncertainObjects(dataset.GenerateRects(rcfg), cfg.Kind, uncertain.PaperCatalogProbs())
+	if err != nil {
+		return nil, err
+	}
+
+	engine, err := core.NewEngine(points, objs, core.EngineOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		cfg:    cfg,
+		Engine: engine,
+		rng:    rand.New(rand.NewSource(cfg.Seed + 2)),
+	}, nil
+}
+
+// Issuers draws n query issuers with half extent u, centers uniform in
+// the data space (§6.1), built with the paper's U-catalog. u = 0
+// produces a precise issuer (degenerate region, uniform point mass).
+func (e *Env) Issuers(n int, u float64) ([]*uncertain.Object, error) {
+	out := make([]*uncertain.Object, n)
+	for i := range out {
+		c := geom.Pt(e.rng.Float64()*dataset.Extent, e.rng.Float64()*dataset.Extent)
+		region := geom.RectCentered(c, u, u)
+		var p pdf.PDF
+		var err error
+		if e.cfg.Kind == dataset.PDFGaussian && u > 0 {
+			p, err = pdf.NewTruncGaussian(region, 0, 0)
+		} else {
+			p, err = pdf.NewUniform(region)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[i], err = uncertain.NewObject(uncertain.ID(-1-i), p, uncertain.PaperCatalogProbs())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// queryKind selects which evaluator a run uses.
+type queryKind int
+
+const (
+	overPoints queryKind = iota
+	overUncertain
+)
+
+// runPoint executes one workload (one sweep x-value) and averages the
+// metrics.
+func (e *Env) runPoint(kind queryKind, issuers []*uncertain.Object, w, h, qp float64, opts core.EvalOptions, x float64) (Sample, error) {
+	var agg Sample
+	agg.X = x
+	for _, iss := range issuers {
+		q := core.Query{Issuer: iss, W: w, H: h, Threshold: qp}
+		var (
+			res core.Result
+			err error
+		)
+		start := time.Now()
+		if kind == overPoints {
+			res, err = e.Engine.EvaluatePoints(q, opts)
+		} else {
+			res, err = e.Engine.EvaluateUncertain(q, opts)
+		}
+		elapsed := time.Since(start)
+		if err != nil {
+			return Sample{}, err
+		}
+		agg.TimeMS += float64(elapsed.Nanoseconds()) / 1e6
+		agg.NodeIO += float64(res.Cost.NodeAccesses)
+		agg.Candidates += float64(res.Cost.Candidates)
+		agg.Refined += float64(res.Cost.Refined)
+		agg.Matches += float64(len(res.Matches))
+	}
+	n := float64(len(issuers))
+	agg.TimeMS /= n
+	agg.NodeIO /= n
+	agg.Candidates /= n
+	agg.Refined /= n
+	agg.Matches /= n
+	return agg, nil
+}

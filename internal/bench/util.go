@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+)
+
+// newRng returns a deterministic source for the given seed.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// nowMS returns a monotonic millisecond timestamp for manual timing in
+// ablation paths that bypass the engine.
+func nowMS() float64 {
+	return float64(time.Now().UnixNano()) / 1e6
+}
+
+// AllFigureIDs lists the experiment ids understood by the ildq-bench
+// command, in presentation order.
+func AllFigureIDs() []string {
+	return []string{
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"ablation-strategies", "ablation-catalog", "ablation-index",
+		"exp-io", "exp-sensitivity",
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/index/pti"
+	"repro/internal/index/rtree"
+	"repro/internal/uncertain"
+)
+
+// EngineOptions configures engine construction.
+type EngineOptions struct {
+	// CatalogProbs are the shared U-catalog probability values used by
+	// the PTI; every uncertain object must carry a catalog containing
+	// them. Nil selects the paper's ten values 0, 0.1, ..., 0.9.
+	CatalogProbs []float64
+	// PointNodeStore and UncertainNodeStore supply index storage
+	// (nil = in-memory). Use rtree.NewPagedNodeStore for disk-regime
+	// I/O simulation.
+	PointNodeStore     rtree.NodeStore
+	UncertainNodeStore rtree.NodeStore
+	// PointIndexConfig overrides the point R-tree configuration
+	// (zero = 4 KiB-page defaults).
+	PointIndexConfig rtree.Config
+}
+
+// Engine holds a database of point objects and uncertain objects with
+// their spatial indexes, and evaluates imprecise location-dependent
+// queries against them. Construction bulk-loads both indexes.
+//
+// An Engine's query methods are safe for concurrent use only with
+// distinct EvalOptions.Rng values, no concurrent mutation, and
+// in-memory node stores (paged stores share a buffer pool that is not
+// synchronized). Cost.NodeAccesses is reliable only for serial use —
+// concurrent queries share the underlying atomic counters.
+type Engine struct {
+	points    []uncertain.PointObject
+	pointByID map[uncertain.ID]int
+	pointIdx  *rtree.Tree
+
+	objects map[uncertain.ID]*uncertain.Object
+	uncIdx  *pti.Index
+
+	probs []float64
+}
+
+// NewEngine builds an engine over the given datasets. Point object IDs
+// and uncertain object IDs each must be unique within their class.
+func NewEngine(points []uncertain.PointObject, objects []*uncertain.Object, opts EngineOptions) (*Engine, error) {
+	if opts.CatalogProbs == nil {
+		opts.CatalogProbs = uncertain.PaperCatalogProbs()
+	}
+	if opts.PointNodeStore == nil {
+		opts.PointNodeStore = rtree.NewMemNodeStore()
+	}
+	if opts.UncertainNodeStore == nil {
+		opts.UncertainNodeStore = rtree.NewMemNodeStore()
+	}
+
+	e := &Engine{
+		points:    append([]uncertain.PointObject(nil), points...),
+		pointByID: make(map[uncertain.ID]int, len(points)),
+		objects:   make(map[uncertain.ID]*uncertain.Object, len(objects)),
+		probs:     opts.CatalogProbs,
+	}
+
+	items := make([]rtree.Item, len(e.points))
+	for i, p := range e.points {
+		if _, dup := e.pointByID[p.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate point object id %d", p.ID)
+		}
+		e.pointByID[p.ID] = i
+		items[i] = rtree.Item{Rect: geom.RectAt(p.Loc), Ref: rtree.Ref(i)}
+	}
+	var err error
+	e.pointIdx, err = rtree.BulkLoad(opts.PointNodeStore, opts.PointIndexConfig, items)
+	if err != nil {
+		return nil, fmt.Errorf("core: building point index: %w", err)
+	}
+
+	for _, o := range objects {
+		if _, dup := e.objects[o.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate uncertain object id %d", o.ID)
+		}
+		e.objects[o.ID] = o
+	}
+	e.uncIdx, err = pti.BulkLoad(opts.UncertainNodeStore, opts.CatalogProbs, objects)
+	if err != nil {
+		return nil, fmt.Errorf("core: building PTI: %w", err)
+	}
+	return e, nil
+}
+
+// NumPoints returns the number of point objects.
+func (e *Engine) NumPoints() int { return len(e.points) }
+
+// NumUncertain returns the number of uncertain objects.
+func (e *Engine) NumUncertain() int { return len(e.objects) }
+
+// Point returns the point object with the given id.
+func (e *Engine) Point(id uncertain.ID) (uncertain.PointObject, bool) {
+	i, ok := e.pointByID[id]
+	if !ok {
+		return uncertain.PointObject{}, false
+	}
+	return e.points[i], true
+}
+
+// Object returns the uncertain object with the given id.
+func (e *Engine) Object(id uncertain.ID) (*uncertain.Object, bool) {
+	o, ok := e.objects[id]
+	return o, ok
+}
+
+// PointIndex exposes the point R-tree (for statistics).
+func (e *Engine) PointIndex() *rtree.Tree { return e.pointIdx }
+
+// UncertainIndex exposes the PTI (for statistics).
+func (e *Engine) UncertainIndex() *pti.Index { return e.uncIdx }
+
+// EvalOptions tunes one query evaluation.
+type EvalOptions struct {
+	// Method selects the enhanced (paper) or basic (§3.3) evaluator.
+	Method Method
+	// BasicSamples is the issuer-sample count for MethodBasic
+	// (default 400).
+	BasicSamples int
+	// PointMCSamples > 0 makes the enhanced point evaluator refine
+	// candidates by Monte-Carlo instead of the closed form — the
+	// paper's §6.2 regime for non-uniform pdfs ("at least 200 samples
+	// for evaluating a C-IPQ"). Filtering still uses the Minkowski or
+	// Qp-expanded query.
+	PointMCSamples int
+	// Object tunes uncertain-object refinement (Monte-Carlo forcing,
+	// sample counts, quadrature order).
+	Object ObjectEvalConfig
+	// DisablePExpansion probes the index with the full Minkowski sum
+	// even for constrained queries — the paper's baseline curve in
+	// Figures 11–13.
+	DisablePExpansion bool
+	// DisableIndexPruning turns off PTI node-level bound pruning,
+	// isolating the object-level strategies (ablation).
+	DisableIndexPruning bool
+	// Strategies toggles the object-level C-IUQ pruning strategies.
+	Strategies StrategySet
+	// Rng drives sampling paths; nil uses a fixed seed.
+	Rng *rand.Rand
+}
+
+func (o EvalOptions) withDefaults() EvalOptions {
+	if o.BasicSamples <= 0 {
+		o.BasicSamples = 400
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(2))
+	}
+	if o.Object.Rng == nil {
+		o.Object.Rng = o.Rng
+	}
+	o.Object = o.Object.withDefaults()
+	return o
+}
+
+// EvaluatePoints answers IPQ (Threshold == 0) and C-IPQ (Threshold > 0)
+// queries over the point-object database.
+func (e *Engine) EvaluatePoints(q Query, opts EvalOptions) (Result, error) {
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+	switch opts.Method {
+	case MethodEnhanced:
+		return e.evaluatePointsEnhanced(q, opts)
+	case MethodBasic:
+		return e.evaluatePointsBasic(q, opts)
+	default:
+		return Result{}, fmt.Errorf("%w: %v", ErrUnknownMethod, opts.Method)
+	}
+}
+
+func (e *Engine) evaluatePointsEnhanced(q Query, opts EvalOptions) (Result, error) {
+	start := time.Now()
+	var res Result
+
+	searchReg := q.Expanded()
+	if q.Threshold > 0 && !opts.DisablePExpansion {
+		searchReg, _ = SearchRegion(q)
+	}
+	if searchReg.Empty() {
+		res.Cost.Duration = time.Since(start)
+		return res, nil
+	}
+
+	e.pointIdx.ResetNodeAccesses()
+	err := e.pointIdx.Search(searchReg, func(en rtree.Entry) bool {
+		res.Cost.Candidates++
+		p := e.points[int(en.Ref)]
+		res.Cost.Refined++
+		var prob float64
+		if opts.PointMCSamples > 0 {
+			prob = PointQualificationBasic(q.Issuer.PDF, p.Loc, q.W, q.H, opts.PointMCSamples, opts.Rng)
+		} else {
+			prob = PointQualification(q.Issuer.PDF, p.Loc, q.W, q.H)
+		}
+		if accept(prob, q.Threshold) {
+			res.Matches = append(res.Matches, Match{ID: p.ID, P: prob})
+		} else {
+			res.Cost.BelowThreshold++
+		}
+		return true
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.Cost.NodeAccesses = e.pointIdx.NodeAccesses()
+	sortMatches(res.Matches)
+	res.Cost.Duration = time.Since(start)
+	return res, nil
+}
+
+func (e *Engine) evaluatePointsBasic(q Query, opts EvalOptions) (Result, error) {
+	start := time.Now()
+	var res Result
+
+	// The basic method still needs a candidate set; without the
+	// paper's observations the best available filter is the plain
+	// Minkowski range (its absence would mean scanning the whole
+	// database, making the baseline look arbitrarily bad).
+	searchReg := q.Expanded()
+	e.pointIdx.ResetNodeAccesses()
+	err := e.pointIdx.Search(searchReg, func(en rtree.Entry) bool {
+		res.Cost.Candidates++
+		res.Cost.Refined++
+		p := e.points[int(en.Ref)]
+		prob := PointQualificationBasic(q.Issuer.PDF, p.Loc, q.W, q.H, opts.BasicSamples, opts.Rng)
+		if accept(prob, q.Threshold) {
+			res.Matches = append(res.Matches, Match{ID: p.ID, P: prob})
+		} else {
+			res.Cost.BelowThreshold++
+		}
+		return true
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.Cost.NodeAccesses = e.pointIdx.NodeAccesses()
+	sortMatches(res.Matches)
+	res.Cost.Duration = time.Since(start)
+	return res, nil
+}
+
+// EvaluateUncertain answers IUQ (Threshold == 0) and C-IUQ
+// (Threshold > 0) queries over the uncertain-object database.
+func (e *Engine) EvaluateUncertain(q Query, opts EvalOptions) (Result, error) {
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+	switch opts.Method {
+	case MethodEnhanced:
+		return e.evaluateUncertainEnhanced(q, opts)
+	case MethodBasic:
+		return e.evaluateUncertainBasic(q, opts)
+	default:
+		return Result{}, fmt.Errorf("%w: %v", ErrUnknownMethod, opts.Method)
+	}
+}
+
+func (e *Engine) evaluateUncertainEnhanced(q Query, opts EvalOptions) (Result, error) {
+	start := time.Now()
+	var res Result
+
+	expanded := q.Expanded()
+	searchReg := expanded
+	usePExp := q.Threshold > 0 && !opts.DisablePExpansion
+	if usePExp {
+		searchReg, _ = SearchRegion(q)
+	}
+	if searchReg.Empty() {
+		res.Cost.Duration = time.Since(start)
+		return res, nil
+	}
+
+	e.uncIdx.Tree().ResetNodeAccesses()
+	visit := func(id uncertain.ID) bool {
+		res.Cost.Candidates++
+		obj := e.objects[id]
+		switch PruneUncertain(q, obj, expanded, searchReg, opts.Strategies) {
+		case PrunedEmptyOverlap:
+			// Zero probability; simply not a match.
+			return true
+		case PrunedStrategy1:
+			res.Cost.PrunedStrategy1++
+			return true
+		case PrunedStrategy2:
+			res.Cost.PrunedStrategy2++
+			return true
+		case PrunedStrategy3:
+			res.Cost.PrunedStrategy3++
+			return true
+		}
+		res.Cost.Refined++
+		prob := ObjectQualification(q.Issuer.PDF, obj.PDF, q.W, q.H, opts.Object)
+		if accept(prob, q.Threshold) {
+			res.Matches = append(res.Matches, Match{ID: id, P: prob})
+		} else {
+			res.Cost.BelowThreshold++
+		}
+		return true
+	}
+
+	var err error
+	if q.Threshold > 0 && !opts.DisableIndexPruning {
+		err = e.uncIdx.ThresholdSearch(searchReg, expanded, q.Threshold, visit)
+	} else {
+		err = e.uncIdx.RangeSearch(searchReg, visit)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Cost.NodeAccesses = e.uncIdx.Tree().NodeAccesses()
+	sortMatches(res.Matches)
+	res.Cost.Duration = time.Since(start)
+	return res, nil
+}
+
+func (e *Engine) evaluateUncertainBasic(q Query, opts EvalOptions) (Result, error) {
+	start := time.Now()
+	var res Result
+
+	expanded := q.Expanded()
+	e.uncIdx.Tree().ResetNodeAccesses()
+	err := e.uncIdx.RangeSearch(expanded, func(id uncertain.ID) bool {
+		res.Cost.Candidates++
+		res.Cost.Refined++
+		obj := e.objects[id]
+		prob := ObjectQualificationBasic(q.Issuer.PDF, obj.PDF, q.W, q.H, opts.BasicSamples, opts.Rng)
+		if accept(prob, q.Threshold) {
+			res.Matches = append(res.Matches, Match{ID: id, P: prob})
+		} else {
+			res.Cost.BelowThreshold++
+		}
+		return true
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.Cost.NodeAccesses = e.uncIdx.Tree().NodeAccesses()
+	sortMatches(res.Matches)
+	res.Cost.Duration = time.Since(start)
+	return res, nil
+}
+
+// accept applies the result predicate: non-zero probability for
+// unconstrained queries (Definitions 3–4), >= threshold for
+// constrained ones (Definitions 5–6).
+func accept(p, threshold float64) bool {
+	if threshold > 0 {
+		return p >= threshold
+	}
+	return p > 0
+}
+
+// sortMatches orders matches by descending probability, then id, so
+// results are deterministic and the most likely answers come first.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].P != ms[j].P {
+			return ms[i].P > ms[j].P
+		}
+		return ms[i].ID < ms[j].ID
+	})
+}
+
+// newSeededRand builds a deterministic source for derived workers.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pdf"
+)
+
+// TestNineRegionsEquation6 pins down the paper's §4.2 remark that for
+// a uniform issuer, Equation 6 takes a different algebraic form
+// depending on which of nine regions (the 3x3 partition induced by U0
+// expanded by the query extents) contains the point object. The
+// unified OverlapArea implementation must produce the hand-derived
+// closed form in every region.
+//
+// Setup: U0 = [0,100]^2, w = h = 30, so R(xi,yi) = [xi-30, xi+30] x
+// [yi-30, yi+30] and pi = Area(R ∩ U0) / 10000.
+func TestNineRegionsEquation6(t *testing.T) {
+	u0 := geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(100, 100)}
+	issuer := pdf.MustUniform(u0)
+	const w, h = 30.0, 30.0
+	area := u0.Area()
+
+	cases := []struct {
+		region string
+		s      geom.Point
+		want   float64 // hand-derived Equation 6 value
+	}{
+		// Center: query fully inside U0 -> (2w)(2h)/|U0|.
+		{"center", geom.Pt(50, 50), (2 * w) * (2 * h) / area},
+		// Left edge: x-overlap truncated at U0's left side.
+		{"left", geom.Pt(-10, 50), (w - 10) * (2 * h) / area},
+		// Right edge.
+		{"right", geom.Pt(110, 50), (w - 10) * (2 * h) / area},
+		// Bottom edge.
+		{"bottom", geom.Pt(50, -5), (2 * w) * (h - 5) / area},
+		// Top edge.
+		{"top", geom.Pt(50, 105), (2 * w) * (h - 5) / area},
+		// Four corners: both axes truncated.
+		{"bottom-left", geom.Pt(-10, -5), (w - 10) * (h - 5) / area},
+		{"bottom-right", geom.Pt(110, -5), (w - 10) * (h - 5) / area},
+		{"top-left", geom.Pt(-10, 105), (w - 10) * (h - 5) / area},
+		{"top-right", geom.Pt(110, 105), (w - 10) * (h - 5) / area},
+	}
+	for _, c := range cases {
+		t.Run(c.region, func(t *testing.T) {
+			got := PointQualification(issuer, c.s, w, h)
+			if !approx(got, c.want, 1e-12) {
+				t.Fatalf("region %s: pi = %.12f, want %.12f", c.region, got, c.want)
+			}
+		})
+	}
+
+	// Outside the Minkowski sum in any direction: exactly zero.
+	for i, s := range []geom.Point{
+		geom.Pt(-31, 50), geom.Pt(131, 50), geom.Pt(50, -31), geom.Pt(50, 131),
+		geom.Pt(-31, -31), geom.Pt(131, 131),
+	} {
+		if got := PointQualification(issuer, s, w, h); got != 0 {
+			t.Fatalf("outside case %d (%v): pi = %g, want 0", i, s, got)
+		}
+	}
+}
+
+// TestEquation6ContinuityAcrossRegions sweeps a point object across
+// all nine regions along a diagonal and checks pi is continuous (no
+// jumps at region boundaries), which a piecewise implementation could
+// easily get wrong.
+func TestEquation6ContinuityAcrossRegions(t *testing.T) {
+	u0 := geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(100, 100)}
+	issuer := pdf.MustUniform(u0)
+	const w, h = 30.0, 20.0
+	prev := -1.0
+	prevPt := geom.Point{}
+	for s := -40.0; s <= 140.0; s += 0.25 {
+		p := geom.Pt(s, s)
+		cur := PointQualification(issuer, p, w, h)
+		if prev >= 0 {
+			// Lipschitz bound: moving by dx can change the overlap
+			// area by at most dx*(2h) + dy*(2w).
+			maxDelta := (0.25*2*h + 0.25*2*w) / u0.Area() * 1.01
+			if diff := cur - prev; diff > maxDelta || diff < -maxDelta {
+				t.Fatalf("discontinuity between %v and %v: %g -> %g",
+					prevPt, p, prev, cur)
+			}
+		}
+		prev, prevPt = cur, p
+	}
+}
+
+// TestEquation6SymmetryInAllRegions: reflecting the configuration
+// through the issuer center must preserve pi (the uniform pdf is
+// symmetric), probing all nine regions systematically.
+func TestEquation6SymmetryInAllRegions(t *testing.T) {
+	u0 := geom.RectCentered(geom.Pt(0, 0), 50, 40)
+	issuer := pdf.MustUniform(u0)
+	const w, h = 25.0, 15.0
+	for _, dx := range []float64{-60, -45, 0, 45, 60} {
+		for _, dy := range []float64{-50, -35, 0, 35, 50} {
+			a := PointQualification(issuer, geom.Pt(dx, dy), w, h)
+			b := PointQualification(issuer, geom.Pt(-dx, -dy), w, h)
+			if !approx(a, b, 1e-12) {
+				t.Fatalf("asymmetry at (%g,%g): %g vs %g", dx, dy, a, b)
+			}
+		}
+	}
+}
+
+// ExamplePointQualification demonstrates Equation 6 directly.
+func ExamplePointQualification() {
+	issuer := pdf.MustUniform(geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(100, 100)})
+	// A shop 10 units right of the issuer region, query half-width 30:
+	// the duality rectangle overlaps the right 20% of U0's width.
+	p := PointQualification(issuer, geom.Pt(110, 50), 30, 50)
+	fmt.Printf("%.2f\n", p)
+	// Output: 0.20
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/uncertain"
+)
+
+// EvaluateUncertainParallel is EvaluateUncertain with refinement fanned
+// out over workers goroutines. Index search and pruning run serially
+// (they are index-bound); the surviving candidates — where nearly all
+// CPU time goes for Monte-Carlo or quadrature refinement — are split
+// across a worker pool. workers <= 1 falls back to the serial path.
+//
+// Sampling paths draw from per-worker deterministic sources derived
+// from opts.Rng, so results are reproducible for a fixed worker count
+// (though not identical across different worker counts, as the sample
+// streams differ).
+func (e *Engine) EvaluateUncertainParallel(q Query, opts EvalOptions, workers int) (Result, error) {
+	if workers <= 1 {
+		return e.EvaluateUncertain(q, opts)
+	}
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+
+	start := time.Now()
+	var res Result
+
+	expanded := q.Expanded()
+	searchReg := expanded
+	if q.Threshold > 0 && !opts.DisablePExpansion {
+		searchReg, _ = SearchRegion(q)
+	}
+	if searchReg.Empty() {
+		res.Cost.Duration = time.Since(start)
+		return res, nil
+	}
+
+	// Serial phase: search + pruning, collecting survivors.
+	e.uncIdx.Tree().ResetNodeAccesses()
+	var survivors []*uncertain.Object
+	visit := func(id uncertain.ID) bool {
+		res.Cost.Candidates++
+		obj := e.objects[id]
+		switch PruneUncertain(q, obj, expanded, searchReg, opts.Strategies) {
+		case PrunedEmptyOverlap:
+		case PrunedStrategy1:
+			res.Cost.PrunedStrategy1++
+		case PrunedStrategy2:
+			res.Cost.PrunedStrategy2++
+		case PrunedStrategy3:
+			res.Cost.PrunedStrategy3++
+		default:
+			survivors = append(survivors, obj)
+		}
+		return true
+	}
+	var err error
+	if q.Threshold > 0 && !opts.DisableIndexPruning {
+		err = e.uncIdx.ThresholdSearch(searchReg, expanded, q.Threshold, visit)
+	} else {
+		err = e.uncIdx.RangeSearch(searchReg, visit)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Cost.NodeAccesses = e.uncIdx.Tree().NodeAccesses()
+	res.Cost.Refined = len(survivors)
+
+	// Parallel phase: refine survivors.
+	if workers > len(survivors) && len(survivors) > 0 {
+		workers = len(survivors)
+	}
+	probs := make([]float64, len(survivors))
+	var wg sync.WaitGroup
+	next := make(chan int, len(survivors))
+	for i := range survivors {
+		next <- i
+	}
+	close(next)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		cfg := opts.Object
+		cfg.Rng = rand.New(rand.NewSource(opts.Rng.Int63() + int64(wkr)))
+		go func(cfg ObjectEvalConfig) {
+			defer wg.Done()
+			for i := range next {
+				probs[i] = ObjectQualification(q.Issuer.PDF, survivors[i].PDF, q.W, q.H, cfg)
+			}
+		}(cfg)
+	}
+	wg.Wait()
+
+	for i, obj := range survivors {
+		if accept(probs[i], q.Threshold) {
+			res.Matches = append(res.Matches, Match{ID: obj.ID, P: probs[i]})
+		} else {
+			res.Cost.BelowThreshold++
+		}
+	}
+	sortMatches(res.Matches)
+	res.Cost.Duration = time.Since(start)
+	return res, nil
+}

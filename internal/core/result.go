@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"sync"
+)
+
+// This file provides result-analysis helpers built on qualification
+// probabilities, in the spirit of the service-quality metric the
+// authors define over these probabilities in their companion work
+// (paper §2, reference [6]): applications need to summarize "how good"
+// a probabilistic answer set is, not just enumerate it.
+
+// TopK returns the k most probable matches (the result is already
+// ordered by descending probability). k >= len returns everything.
+func (r Result) TopK(k int) []Match {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(r.Matches) {
+		k = len(r.Matches)
+	}
+	return r.Matches[:k]
+}
+
+// ExpectedCount returns the expected number of objects that truly
+// satisfy the query: the sum of qualification probabilities. For an
+// unconstrained query this estimates the precise-answer cardinality a
+// user would have seen without uncertainty.
+func ExpectedCount(ms []Match) float64 {
+	var sum float64
+	for _, m := range ms {
+		sum += m.P
+	}
+	return sum
+}
+
+// QualityScore returns the mean qualification probability of the
+// answer set — 1.0 means every returned object certainly qualifies
+// (the precise-location ideal), lower values quantify the ambiguity
+// introduced by uncertainty. An empty answer set scores 0.
+func QualityScore(ms []Match) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	return ExpectedCount(ms) / float64(len(ms))
+}
+
+// AnswerEntropy returns the Shannon entropy (in bits) of the answer
+// set viewed as independent Bernoulli memberships — a measure of how
+// much uncertainty the probabilistic answer carries in total. Certain
+// answers (p = 0 or 1) contribute nothing.
+func AnswerEntropy(ms []Match) float64 {
+	var h float64
+	for _, m := range ms {
+		p := m.P
+		if p <= 0 || p >= 1 {
+			continue
+		}
+		h += -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+	}
+	return h
+}
+
+// BatchResult pairs a query index with its result or error.
+type BatchResult struct {
+	Result Result
+	Err    error
+}
+
+// EvaluateUncertainBatch evaluates many queries concurrently, workers
+// at a time (0 or 1 means serial), each with an independent
+// deterministic sampling source derived from opts.Rng. It requires an
+// in-memory engine (see the Engine concurrency note) and returns
+// results in query order.
+func (e *Engine) EvaluateUncertainBatch(queries []Query, opts EvalOptions, workers int) []BatchResult {
+	opts = opts.withDefaults()
+	out := make([]BatchResult, len(queries))
+	if workers <= 1 {
+		for i, q := range queries {
+			r, err := e.EvaluateUncertain(q, opts)
+			out[i] = BatchResult{Result: r, Err: err}
+		}
+		return out
+	}
+	// Pre-derive one seed per query so the assignment of queries to
+	// workers cannot change results.
+	seeds := make([]int64, len(queries))
+	for i := range seeds {
+		seeds[i] = opts.Rng.Int63()
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(queries))
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				o := opts
+				o.Rng = newSeededRand(seeds[i])
+				o.Object.Rng = o.Rng
+				r, err := e.EvaluateUncertain(queries[i], o)
+				out[i] = BatchResult{Result: r, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

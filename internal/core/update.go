@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/index/rtree"
+	"repro/internal/uncertain"
+)
+
+// The engine supports dynamic updates — the moving-object setting the
+// paper targets has vehicles joining, leaving, and re-reporting
+// positions continuously. Updates maintain both indexes; they are not
+// safe to run concurrently with queries.
+
+// InsertPoint adds a point object. Its ID must be new among point
+// objects.
+func (e *Engine) InsertPoint(p uncertain.PointObject) error {
+	if _, dup := e.pointByID[p.ID]; dup {
+		return fmt.Errorf("core: point object %d already exists", p.ID)
+	}
+	idx := len(e.points)
+	e.points = append(e.points, p)
+	e.pointByID[p.ID] = idx
+	if err := e.pointIdx.Insert(geom.RectAt(p.Loc), refOf(idx), nil); err != nil {
+		// Roll back the side tables so the engine stays consistent.
+		e.points = e.points[:idx]
+		delete(e.pointByID, p.ID)
+		return err
+	}
+	return nil
+}
+
+// DeletePoint removes the point object with the given id, reporting
+// whether it existed. The backing slice keeps a tombstone (the slot is
+// never referenced again); long-lived engines with heavy churn should
+// be rebuilt periodically, as with any bulk-loaded index.
+func (e *Engine) DeletePoint(id uncertain.ID) (bool, error) {
+	idx, ok := e.pointByID[id]
+	if !ok {
+		return false, nil
+	}
+	removed, err := e.pointIdx.Delete(geom.RectAt(e.points[idx].Loc), refOf(idx))
+	if err != nil {
+		return false, err
+	}
+	if !removed {
+		return false, fmt.Errorf("core: point %d present in table but missing from index", id)
+	}
+	delete(e.pointByID, id)
+	return true, nil
+}
+
+// MovePoint updates a point object's location (delete + insert).
+func (e *Engine) MovePoint(id uncertain.ID, to geom.Point) error {
+	ok, err := e.DeletePoint(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("core: point %d not found", id)
+	}
+	return e.InsertPoint(uncertain.PointObject{ID: id, Loc: to})
+}
+
+// InsertObject adds an uncertain object. Its ID must be new among
+// uncertain objects and its U-catalog must cover the engine's catalog
+// probability values.
+func (e *Engine) InsertObject(o *uncertain.Object) error {
+	if _, dup := e.objects[o.ID]; dup {
+		return fmt.Errorf("core: uncertain object %d already exists", o.ID)
+	}
+	if err := e.uncIdx.Insert(o); err != nil {
+		return err
+	}
+	e.objects[o.ID] = o
+	return nil
+}
+
+// DeleteObject removes the uncertain object with the given id,
+// reporting whether it existed.
+func (e *Engine) DeleteObject(id uncertain.ID) (bool, error) {
+	o, ok := e.objects[id]
+	if !ok {
+		return false, nil
+	}
+	removed, err := e.uncIdx.Delete(o)
+	if err != nil {
+		return false, err
+	}
+	if !removed {
+		return false, fmt.Errorf("core: object %d present in table but missing from index", id)
+	}
+	delete(e.objects, id)
+	return true, nil
+}
+
+// ReplaceObject atomically swaps the uncertain object with the given
+// id for a new version (same id, new pdf/region) — a position
+// re-report in the moving-object setting.
+func (e *Engine) ReplaceObject(o *uncertain.Object) error {
+	if _, ok := e.objects[o.ID]; ok {
+		if _, err := e.DeleteObject(o.ID); err != nil {
+			return err
+		}
+	}
+	return e.InsertObject(o)
+}
+
+// refOf converts a point-slice index to an index ref.
+func refOf(idx int) rtree.Ref { return rtree.Ref(idx) }

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+)
+
+func TestInsertDeletePoints(t *testing.T) {
+	e := testWorld(t, 200, 0, 31)
+	iss := testIssuer(t, geom.Pt(500, 500), 50)
+	q := Query{Issuer: iss, W: 100, H: 100}
+
+	before, err := e.EvaluatePoints(q, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert a point right at the issuer center: must appear with p=1.
+	newPt := uncertain.PointObject{ID: 9999, Loc: geom.Pt(500, 500)}
+	if err := e.InsertPoint(newPt); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumPoints() != 201 {
+		t.Fatalf("NumPoints = %d", e.NumPoints())
+	}
+	after, err := e.EvaluatePoints(q, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Matches) != len(before.Matches)+1 {
+		t.Fatalf("matches %d -> %d after insert", len(before.Matches), len(after.Matches))
+	}
+	m := matchesToMap(after.Matches)
+	if m[9999] != 1 {
+		t.Fatalf("inserted point probability = %g, want 1", m[9999])
+	}
+
+	// Duplicate id rejected.
+	if err := e.InsertPoint(newPt); err == nil {
+		t.Fatal("duplicate point id accepted")
+	}
+
+	// Delete it again: results return to the original.
+	ok, err := e.DeletePoint(9999)
+	if err != nil || !ok {
+		t.Fatalf("DeletePoint: %t %v", ok, err)
+	}
+	if ok, _ := e.DeletePoint(9999); ok {
+		t.Fatal("double delete succeeded")
+	}
+	final, err := e.EvaluatePoints(q, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Matches) != len(before.Matches) {
+		t.Fatalf("matches %d after delete, want %d", len(final.Matches), len(before.Matches))
+	}
+	if _, ok := e.Point(9999); ok {
+		t.Fatal("deleted point still resolvable")
+	}
+}
+
+func TestMovePoint(t *testing.T) {
+	e := testWorld(t, 50, 0, 32)
+	if err := e.InsertPoint(uncertain.PointObject{ID: 500, Loc: geom.Pt(10, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.MovePoint(500, geom.Pt(900, 900)); err != nil {
+		t.Fatal(err)
+	}
+	iss := testIssuer(t, geom.Pt(900, 900), 20)
+	res, err := e.EvaluatePoints(Query{Issuer: iss, W: 50, H: 50}, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matchesToMap(res.Matches)[500] != 1 {
+		t.Fatal("moved point not found at destination")
+	}
+	if err := e.MovePoint(12345, geom.Pt(0, 0)); err == nil {
+		t.Fatal("moving unknown point succeeded")
+	}
+}
+
+func TestInsertDeleteObjects(t *testing.T) {
+	e := testWorld(t, 0, 150, 33)
+	iss := testIssuer(t, geom.Pt(500, 500), 50)
+	q := Query{Issuer: iss, W: 100, H: 100, Threshold: 0.5}
+
+	before, err := e.EvaluateUncertain(q, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An object right under the issuer: qualifies with p=1.
+	obj, err := uncertain.NewObject(7777,
+		pdf.MustUniform(geom.RectCentered(geom.Pt(500, 500), 10, 10)),
+		uncertain.PaperCatalogProbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InsertObject(obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InsertObject(obj); err == nil {
+		t.Fatal("duplicate object id accepted")
+	}
+	after, err := e.EvaluateUncertain(q, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matchesToMap(after.Matches)[7777] != 1 {
+		t.Fatalf("inserted object p = %g, want 1", matchesToMap(after.Matches)[7777])
+	}
+	if len(after.Matches) != len(before.Matches)+1 {
+		t.Fatalf("matches %d -> %d", len(before.Matches), len(after.Matches))
+	}
+
+	// Objects without full catalogs are rejected by the PTI.
+	bare, err := uncertain.NewObject(8888, pdf.MustUniform(geom.RectCentered(geom.Pt(1, 1), 1, 1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InsertObject(bare); err == nil {
+		t.Fatal("catalog-less object accepted")
+	}
+
+	ok, err := e.DeleteObject(7777)
+	if err != nil || !ok {
+		t.Fatalf("DeleteObject: %t %v", ok, err)
+	}
+	if ok, _ := e.DeleteObject(7777); ok {
+		t.Fatal("double object delete succeeded")
+	}
+	final, err := e.EvaluateUncertain(q, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Matches) != len(before.Matches) {
+		t.Fatal("delete did not restore results")
+	}
+}
+
+func TestReplaceObject(t *testing.T) {
+	e := testWorld(t, 0, 50, 34)
+	// Simulate a position re-report: object 10 moves to the issuer's
+	// neighborhood with a tight region.
+	obj, err := uncertain.NewObject(10,
+		pdf.MustUniform(geom.RectCentered(geom.Pt(500, 500), 5, 5)),
+		uncertain.PaperCatalogProbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReplaceObject(obj); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumUncertain() != 50 {
+		t.Fatalf("NumUncertain = %d after replace", e.NumUncertain())
+	}
+	iss := testIssuer(t, geom.Pt(500, 500), 30)
+	res, err := e.EvaluateUncertain(Query{Issuer: iss, W: 60, H: 60}, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matchesToMap(res.Matches)[10] != 1 {
+		t.Fatal("replaced object not found at new position")
+	}
+	// Replace can also insert a fresh id.
+	fresh, err := uncertain.NewObject(4242,
+		pdf.MustUniform(geom.RectCentered(geom.Pt(100, 100), 5, 5)),
+		uncertain.PaperCatalogProbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReplaceObject(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumUncertain() != 51 {
+		t.Fatalf("NumUncertain = %d after fresh replace", e.NumUncertain())
+	}
+}
+
+func TestChurnKeepsIndexConsistent(t *testing.T) {
+	// Sustained insert/delete churn, then answers must match a linear
+	// scan.
+	e := testWorld(t, 300, 300, 35)
+	rng := rand.New(rand.NewSource(36))
+	nextID := uncertain.ID(10000)
+	live := map[uncertain.ID]bool{}
+	for i := 0; i < 300; i++ {
+		live[uncertain.ID(i)] = true
+	}
+	for op := 0; op < 400; op++ {
+		if rng.Intn(2) == 0 {
+			c := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			obj, err := uncertain.NewObject(nextID,
+				pdf.MustUniform(geom.RectCentered(c, 2+rng.Float64()*20, 2+rng.Float64()*20)),
+				uncertain.PaperCatalogProbs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.InsertObject(obj); err != nil {
+				t.Fatal(err)
+			}
+			live[nextID] = true
+			nextID++
+		} else {
+			// Delete a random live object.
+			for id := range live {
+				ok, err := e.DeleteObject(id)
+				if err != nil || !ok {
+					t.Fatalf("churn delete %d: %t %v", id, ok, err)
+				}
+				delete(live, id)
+				break
+			}
+		}
+	}
+	if err := e.UncertainIndex().Tree().CheckInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+	iss := testIssuer(t, geom.Pt(500, 500), 60)
+	q := Query{Issuer: iss, W: 120, H: 120}
+	res, err := e.EvaluateUncertain(q, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for id := range live {
+		o, ok := e.Object(id)
+		if !ok {
+			t.Fatalf("live object %d missing from table", id)
+		}
+		if ObjectQualification(iss.PDF, o.PDF, q.W, q.H, ObjectEvalConfig{}) > 0 {
+			want++
+		}
+	}
+	if len(res.Matches) != want {
+		t.Fatalf("after churn: %d matches, want %d", len(res.Matches), want)
+	}
+}
+
+func TestEvaluateUncertainParallelMatchesSerial(t *testing.T) {
+	e := testWorld(t, 0, 1500, 37)
+	rng := rand.New(rand.NewSource(38))
+	for trial := 0; trial < 6; trial++ {
+		iss := testIssuer(t, geom.Pt(rng.Float64()*1000, rng.Float64()*1000), 50)
+		q := Query{Issuer: iss, W: 100, H: 100, Threshold: 0.3}
+		serial, err := e.EvaluateUncertain(q, EvalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := e.EvaluateUncertainParallel(q, EvalOptions{}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Closed-form refinement: identical results regardless of
+		// worker count.
+		a, b := matchesToMap(serial.Matches), matchesToMap(par.Matches)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: serial %d vs parallel %d matches", trial, len(a), len(b))
+		}
+		for id, p := range a {
+			if !approx(b[id], p, 1e-12) {
+				t.Fatalf("trial %d: object %d: %g vs %g", trial, id, p, b[id])
+			}
+		}
+		if par.Cost.Refined != serial.Cost.Refined {
+			t.Fatalf("trial %d: refinement counts differ: %d vs %d",
+				trial, par.Cost.Refined, serial.Cost.Refined)
+		}
+	}
+	// workers <= 1 falls back to serial.
+	iss := testIssuer(t, geom.Pt(500, 500), 50)
+	q := Query{Issuer: iss, W: 100, H: 100}
+	if _, err := e.EvaluateUncertainParallel(q, EvalOptions{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Validation still applies.
+	if _, err := e.EvaluateUncertainParallel(Query{}, EvalOptions{}, 4); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+func TestEvaluateUncertainParallelMonteCarlo(t *testing.T) {
+	// MC refinement across workers: probabilities are noisy but must
+	// stay near the closed form.
+	e := testWorld(t, 0, 600, 39)
+	iss := testIssuer(t, geom.Pt(500, 500), 60)
+	q := Query{Issuer: iss, W: 120, H: 120}
+	exact, err := e.EvaluateUncertain(q, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := e.EvaluateUncertainParallel(q, EvalOptions{
+		Object: ObjectEvalConfig{ForceMonteCarlo: true, MCSamples: 20000},
+	}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactMap := matchesToMap(exact.Matches)
+	for _, m := range mc.Matches {
+		if want, ok := exactMap[m.ID]; ok && !approx(m.P, want, 0.03) {
+			t.Fatalf("object %d: parallel MC %g vs exact %g", m.ID, m.P, want)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNotConvex is returned by operations that require a convex input.
+var ErrNotConvex = errors.New("geom: polygon is not convex")
+
+// Polygon is a simple polygon given by its vertices in counterclockwise
+// order. Most operations in this package additionally require
+// convexity; IsConvexCCW checks it.
+//
+// Polygons back the paper's future-work extension ("queries and
+// uncertain regions with non-rectangular shapes", §7) and serve as an
+// independent general implementation against which the rectangle fast
+// paths are property-tested.
+type Polygon []Point
+
+// IsConvexCCW reports whether p is convex with vertices in strictly
+// counterclockwise order (collinear runs are allowed).
+func (p Polygon) IsConvexCCW() bool {
+	n := len(p)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		a, b, c := p[i], p[(i+1)%n], p[(i+2)%n]
+		if b.Sub(a).Cross(c.Sub(b)) < -Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Area returns the signed area of p (positive for counterclockwise
+// orientation) computed with the shoelace formula.
+func (p Polygon) Area() float64 {
+	n := len(p)
+	if n < 3 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		sum += p[i].X*p[j].Y - p[j].X*p[i].Y
+	}
+	return sum / 2
+}
+
+// Bounds returns the bounding rectangle of p. An empty polygon yields
+// an Empty rectangle.
+func (p Polygon) Bounds() Rect {
+	if len(p) == 0 {
+		return Rect{Lo: Point{1, 1}, Hi: Point{-1, -1}}
+	}
+	r := RectAt(p[0])
+	for _, v := range p[1:] {
+		r = r.UnionPoint(v)
+	}
+	return r
+}
+
+// Contains reports whether q lies inside or on the boundary of the
+// convex polygon p.
+func (p Polygon) Contains(q Point) bool {
+	n := len(p)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		a, b := p[i], p[(i+1)%n]
+		if b.Sub(a).Cross(q.Sub(a)) < -Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Translate returns p shifted by v.
+func (p Polygon) Translate(v Vec) Polygon {
+	out := make(Polygon, len(p))
+	for i, q := range p {
+		out[i] = q.Add(v)
+	}
+	return out
+}
+
+// ClipToRect returns the intersection of the convex polygon p with the
+// rectangle r using Sutherland–Hodgman clipping. The result is convex
+// (possibly empty).
+func (p Polygon) ClipToRect(r Rect) Polygon {
+	out := p
+	// Clip successively against the four half-planes of r.
+	out = clipHalfPlane(out, func(q Point) float64 { return q.X - r.Lo.X }) // x >= Lo.X
+	out = clipHalfPlane(out, func(q Point) float64 { return r.Hi.X - q.X }) // x <= Hi.X
+	out = clipHalfPlane(out, func(q Point) float64 { return q.Y - r.Lo.Y }) // y >= Lo.Y
+	out = clipHalfPlane(out, func(q Point) float64 { return r.Hi.Y - q.Y }) // y <= Hi.Y
+	return out
+}
+
+// clipHalfPlane keeps the part of poly where inside(q) >= 0.
+// inside must be an affine function of the point so that edge/plane
+// intersections can be found by linear interpolation.
+func clipHalfPlane(poly Polygon, inside func(Point) float64) Polygon {
+	n := len(poly)
+	if n == 0 {
+		return nil
+	}
+	out := make(Polygon, 0, n+4)
+	for i := 0; i < n; i++ {
+		cur, next := poly[i], poly[(i+1)%n]
+		cIn, nIn := inside(cur), inside(next)
+		if cIn >= 0 {
+			out = append(out, cur)
+		}
+		if (cIn >= 0) != (nIn >= 0) {
+			// The edge crosses the boundary; interpolate.
+			t := cIn / (cIn - nIn)
+			out = append(out, Point{
+				X: cur.X + t*(next.X-cur.X),
+				Y: cur.Y + t*(next.Y-cur.Y),
+			})
+		}
+	}
+	return out
+}
+
+// MinkowskiSumConvex computes p ⊕ q for convex counterclockwise
+// polygons using the classic edge-merge algorithm: the edges of the sum
+// are the edges of both polygons merged by polar angle, so the result
+// has at most len(p)+len(q) vertices and is computed in linear time
+// after locating the bottom-most starting vertices (paper §4.1,
+// footnote 1: "a convex polygon with at most m+e edges, O(m+e) time").
+func MinkowskiSumConvex(p, q Polygon) (Polygon, error) {
+	if !p.IsConvexCCW() || !q.IsConvexCCW() {
+		return nil, ErrNotConvex
+	}
+	p = rotateToLowest(p)
+	q = rotateToLowest(q)
+	np, nq := len(p), len(q)
+	result := make(Polygon, 0, np+nq)
+	i, j := 0, 0
+	for i < np || j < nq {
+		result = append(result, Point{p[i%np].X + q[j%nq].X, p[i%np].Y + q[j%nq].Y})
+		ep := p[(i+1)%np].Sub(p[i%np])
+		eq := q[(j+1)%nq].Sub(q[j%nq])
+		cross := ep.Cross(eq)
+		switch {
+		case i >= np:
+			j++
+		case j >= nq:
+			i++
+		case cross > Eps:
+			i++
+		case cross < -Eps:
+			j++
+		default: // parallel edges: advance both
+			i++
+			j++
+		}
+	}
+	return dedupe(result), nil
+}
+
+// rotateToLowest rotates the vertex slice so that the lexicographically
+// lowest (y, then x) vertex comes first, the canonical start for the
+// Minkowski edge merge.
+func rotateToLowest(p Polygon) Polygon {
+	best := 0
+	for i := 1; i < len(p); i++ {
+		if p[i].Y < p[best].Y || (p[i].Y == p[best].Y && p[i].X < p[best].X) {
+			best = i
+		}
+	}
+	out := make(Polygon, 0, len(p))
+	out = append(out, p[best:]...)
+	out = append(out, p[:best]...)
+	return out
+}
+
+// dedupe removes consecutive (approximately) duplicate vertices.
+func dedupe(p Polygon) Polygon {
+	if len(p) < 2 {
+		return p
+	}
+	out := p[:1]
+	for _, v := range p[1:] {
+		if !v.ApproxEqual(out[len(out)-1]) {
+			out = append(out, v)
+		}
+	}
+	if len(out) > 1 && out[0].ApproxEqual(out[len(out)-1]) {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// ConvexHull returns the convex hull of the given points in
+// counterclockwise order (Andrew's monotone chain). Collinear points on
+// the hull boundary are dropped.
+func ConvexHull(pts []Point) Polygon {
+	n := len(pts)
+	if n < 3 {
+		out := make(Polygon, n)
+		copy(out, pts)
+		return out
+	}
+	sorted := make([]Point, n)
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	hull := make(Polygon, 0, 2*n)
+	// Lower hull.
+	for _, p := range sorted {
+		for len(hull) >= 2 && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= Eps {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		p := sorted[i]
+		for len(hull) >= lower && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(p.Sub(hull[len(hull)-2])) <= Eps {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}
+
+// RegularPolygon returns a counterclockwise regular n-gon centered at c
+// with circumradius rad, the building block for approximating circular
+// uncertainty regions (paper §7 future work).
+func RegularPolygon(c Point, rad float64, n int) Polygon {
+	if n < 3 {
+		n = 3
+	}
+	out := make(Polygon, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		out[i] = Point{c.X + rad*math.Cos(a), c.Y + rad*math.Sin(a)}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (p Polygon) String() string {
+	return fmt.Sprintf("Polygon%v", []Point(p))
+}

@@ -1,0 +1,283 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectFromCorners(t *testing.T) {
+	r := RectFromCorners(Pt(3, -1), Pt(-2, 5))
+	want := Rect{Lo: Pt(-2, -1), Hi: Pt(3, 5)}
+	if !r.ApproxEqual(want) {
+		t.Fatalf("RectFromCorners = %v, want %v", r, want)
+	}
+}
+
+func TestRectCentered(t *testing.T) {
+	r := RectCentered(Pt(10, 20), 3, 4)
+	if r.Width() != 6 || r.Height() != 8 {
+		t.Fatalf("RectCentered extents = %g x %g, want 6 x 8", r.Width(), r.Height())
+	}
+	if c := r.Center(); !c.ApproxEqual(Pt(10, 20)) {
+		t.Fatalf("center = %v, want (10,20)", c)
+	}
+}
+
+func TestRectValidate(t *testing.T) {
+	if err := (Rect{Lo: Pt(0, 0), Hi: Pt(1, 1)}).Validate(); err != nil {
+		t.Fatalf("valid rect rejected: %v", err)
+	}
+	if err := (Rect{Lo: Pt(2, 0), Hi: Pt(1, 1)}).Validate(); err == nil {
+		t.Fatal("invalid rect accepted")
+	}
+	// Degenerate rectangles are valid.
+	if err := RectAt(Pt(5, 5)).Validate(); err != nil {
+		t.Fatalf("degenerate rect rejected: %v", err)
+	}
+}
+
+func TestRectAreaAndMargin(t *testing.T) {
+	r := Rect{Lo: Pt(0, 0), Hi: Pt(4, 3)}
+	if got := r.Area(); got != 12 {
+		t.Fatalf("Area = %g, want 12", got)
+	}
+	if got := r.Margin(); got != 7 {
+		t.Fatalf("Margin = %g, want 7", got)
+	}
+	if got := RectAt(Pt(1, 1)).Area(); got != 0 {
+		t.Fatalf("degenerate Area = %g, want 0", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Lo: Pt(0, 0), Hi: Pt(10, 10)}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(5, 5), true},
+		{Pt(0, 0), true},   // boundary corner
+		{Pt(10, 10), true}, // boundary corner
+		{Pt(10, 5), true},  // boundary edge
+		{Pt(-0.001, 5), false},
+		{Pt(5, 10.001), false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %t, want %t", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersection(t *testing.T) {
+	a := Rect{Lo: Pt(0, 0), Hi: Pt(10, 10)}
+	b := Rect{Lo: Pt(5, 5), Hi: Pt(15, 15)}
+	if !a.Intersects(b) {
+		t.Fatal("a and b should intersect")
+	}
+	got := a.Intersect(b)
+	want := Rect{Lo: Pt(5, 5), Hi: Pt(10, 10)}
+	if !got.ApproxEqual(want) {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if area := a.OverlapArea(b); area != 25 {
+		t.Fatalf("OverlapArea = %g, want 25", area)
+	}
+
+	c := Rect{Lo: Pt(20, 20), Hi: Pt(30, 30)}
+	if a.Intersects(c) {
+		t.Fatal("a and c should be disjoint")
+	}
+	if !a.Intersect(c).Empty() {
+		t.Fatal("disjoint intersection should be Empty")
+	}
+	if area := a.OverlapArea(c); area != 0 {
+		t.Fatalf("disjoint OverlapArea = %g, want 0", area)
+	}
+
+	// Edge contact intersects but with zero area.
+	d := Rect{Lo: Pt(10, 0), Hi: Pt(20, 10)}
+	if !a.Intersects(d) {
+		t.Fatal("edge-touching rects should intersect")
+	}
+	if area := a.OverlapArea(d); area != 0 {
+		t.Fatalf("edge-contact OverlapArea = %g, want 0", area)
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := Rect{Lo: Pt(0, 0), Hi: Pt(1, 1)}
+	b := Rect{Lo: Pt(2, -1), Hi: Pt(3, 0.5)}
+	got := a.Union(b)
+	want := Rect{Lo: Pt(0, -1), Hi: Pt(3, 1)}
+	if !got.ApproxEqual(want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	empty := Rect{Lo: Pt(1, 1), Hi: Pt(0, 0)}
+	if !a.Union(empty).ApproxEqual(a) || !empty.Union(a).ApproxEqual(a) {
+		t.Fatal("union with Empty should be identity")
+	}
+}
+
+func TestRectEnlargement(t *testing.T) {
+	a := Rect{Lo: Pt(0, 0), Hi: Pt(2, 2)}
+	b := Rect{Lo: Pt(3, 0), Hi: Pt(4, 1)}
+	// Union is [0,4]x[0,2] with area 8; a has area 4.
+	if got := a.Enlargement(b); got != 4 {
+		t.Fatalf("Enlargement = %g, want 4", got)
+	}
+	if got := a.Enlargement(Rect{Lo: Pt(0.5, 0.5), Hi: Pt(1, 1)}); got != 0 {
+		t.Fatalf("contained Enlargement = %g, want 0", got)
+	}
+}
+
+func TestMinkowskiSumRect(t *testing.T) {
+	u0 := Rect{Lo: Pt(100, 200), Hi: Pt(150, 260)}
+	// Query half extents w=10, h=5 as in Figure 2: U0 extended by w
+	// left/right and h top/bottom.
+	got := ExpandedQuery(u0, 10, 5)
+	want := Rect{Lo: Pt(90, 195), Hi: Pt(160, 265)}
+	if !got.ApproxEqual(want) {
+		t.Fatalf("ExpandedQuery = %v, want %v", got, want)
+	}
+
+	// General Minkowski sum of two rects agrees with the polygon sum.
+	a := Rect{Lo: Pt(-1, -2), Hi: Pt(3, 4)}
+	b := Rect{Lo: Pt(10, 20), Hi: Pt(11, 22)}
+	sum := a.MinkowskiSum(b)
+	poly, err := MinkowskiSumConvex(a.ToPolygon(), b.ToPolygon())
+	if err != nil {
+		t.Fatalf("MinkowskiSumConvex: %v", err)
+	}
+	if !poly.Bounds().ApproxEqual(sum) {
+		t.Fatalf("polygon Minkowski bounds %v != rect sum %v", poly.Bounds(), sum)
+	}
+	if !ApproxEqual(poly.Area(), sum.Area()) {
+		t.Fatalf("polygon Minkowski area %g != rect sum area %g", poly.Area(), sum.Area())
+	}
+}
+
+func TestRectMinMaxDist(t *testing.T) {
+	r := Rect{Lo: Pt(0, 0), Hi: Pt(2, 2)}
+	if d := r.MinDist(Pt(1, 1)); d != 0 {
+		t.Fatalf("MinDist inside = %g, want 0", d)
+	}
+	if d := r.MinDist(Pt(5, 1)); d != 3 {
+		t.Fatalf("MinDist right = %g, want 3", d)
+	}
+	if d := r.MinDist(Pt(5, 6)); !ApproxEqual(d, 5) {
+		t.Fatalf("MinDist corner = %g, want 5", d)
+	}
+	if d := r.MaxDist(Pt(0, 0)); !ApproxEqual(d, math.Sqrt(8)) {
+		t.Fatalf("MaxDist = %g, want sqrt(8)", d)
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	cases := []struct {
+		a0, a1, b0, b1, want float64
+	}{
+		{0, 10, 5, 15, 5},
+		{0, 10, 10, 20, 0}, // touching
+		{0, 10, 12, 20, 0}, // disjoint
+		{0, 10, 2, 4, 2},   // containment
+		{3, 3, 0, 10, 0},   // degenerate
+	}
+	for _, c := range cases {
+		if got := IntervalOverlap(c.a0, c.a1, c.b0, c.b1); got != c.want {
+			t.Errorf("IntervalOverlap(%g,%g,%g,%g) = %g, want %g",
+				c.a0, c.a1, c.b0, c.b1, got, c.want)
+		}
+	}
+}
+
+// randRect produces a random valid rectangle in roughly [-100, 100]^2.
+func randRect(rng *rand.Rand) Rect {
+	a := Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+	b := Pt(rng.Float64()*200-100, rng.Float64()*200-100)
+	return RectFromCorners(a, b)
+}
+
+func TestPropOverlapAreaSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		return ApproxEqual(a.OverlapArea(b), b.OverlapArea(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropOverlapAreaMatchesIntersectArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		inter := a.Intersect(b)
+		want := 0.0
+		if !inter.Empty() {
+			want = inter.Area()
+		}
+		return ApproxEqual(a.OverlapArea(b), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUnionContainsBoth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMinkowskiRectMatchesPolygon(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		if a.Area() == 0 || b.Area() == 0 {
+			return true // polygon path needs non-degenerate convex input
+		}
+		sum := a.MinkowskiSum(b)
+		poly, err := MinkowskiSumConvex(a.ToPolygon(), b.ToPolygon())
+		if err != nil {
+			return false
+		}
+		return poly.Bounds().ApproxEqual(sum) && math.Abs(poly.Area()-sum.Area()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropExpandShrinkInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		r := randRect(rng)
+		d := rng.Float64() * 10
+		return r.Expand(d, d).Expand(-d, -d).ApproxEqual(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMinDistLEMaxDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func() bool {
+		r := randRect(rng)
+		p := Pt(rng.Float64()*400-200, rng.Float64()*400-200)
+		return r.MinDist(p) <= r.MaxDist(p)+Eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,383 @@
+// Package grid implements a grid file (Nievergelt, Hinterberger &
+// Sevcik 1984), the alternative spatial index the paper cites for its
+// I/O solution (§4.3, reference [16]): linear scales per dimension, a
+// directory of cells that may share buckets, and bucket splitting that
+// refines the scales on demand.
+//
+// Rectangles are placed by their center point; because an entry's
+// rectangle can stick out of its cell by at most the maximum half
+// extent seen so far, range searches enlarge the probe region by those
+// maxima and re-filter, keeping results exact.
+//
+// Buckets model disk pages: every bucket visited during a search
+// counts as one access, mirroring the R-tree's node-access metric. The
+// directory and scales are assumed memory resident, the grid file's
+// classic design premise ("two disk accesses per exact-match query").
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// Ref identifies an indexed object.
+type Ref int64
+
+// Entry is one indexed rectangle.
+type Entry struct {
+	Rect geom.Rect
+	Ref  Ref
+}
+
+// DefaultBucketCapacity is the number of entries fitting a 4 KiB page
+// at 40 bytes per entry (32-byte rectangle + 8-byte ref).
+var DefaultBucketCapacity = (storage.PageSize - 8) / 40
+
+type bucket struct {
+	entries []Entry
+}
+
+// File is a two-dimensional grid file. It is not safe for concurrent
+// mutation.
+type File struct {
+	xs, ys   []float64 // interior scale boundaries, sorted ascending
+	dir      [][]int   // dir[ix][iy] = bucket index; cells may share buckets
+	buckets  []*bucket
+	capacity int
+	size     int
+	maxHalfW float64
+	maxHalfH float64
+	// accesses is atomic so concurrent read-only searches are
+	// race-free.
+	accesses atomic.Int64
+}
+
+// New creates an empty grid file with the given bucket capacity
+// (entries per bucket; <= 0 selects DefaultBucketCapacity).
+func New(capacity int) *File {
+	if capacity <= 0 {
+		capacity = DefaultBucketCapacity
+	}
+	f := &File{capacity: capacity}
+	f.buckets = []*bucket{{}}
+	f.dir = [][]int{{0}} // one cell covering the whole plane
+	return f
+}
+
+// Len returns the number of stored entries.
+func (f *File) Len() int { return f.size }
+
+// BucketCount returns the number of buckets (pages).
+func (f *File) BucketCount() int { return len(f.buckets) }
+
+// DirectorySize returns the directory dimensions (columns, rows).
+func (f *File) DirectorySize() (int, int) {
+	return len(f.dir), len(f.dir[0])
+}
+
+// Accesses returns the cumulative bucket-access count.
+func (f *File) Accesses() int64 { return f.accesses.Load() }
+
+// ResetAccesses zeroes the access counter.
+func (f *File) ResetAccesses() { f.accesses.Store(0) }
+
+// colOf returns the column index of x: cells cover half-open intervals
+// between consecutive boundaries, the leftmost and rightmost extending
+// to infinity.
+func (f *File) colOf(x float64) int {
+	return sort.Search(len(f.xs), func(i int) bool { return f.xs[i] > x })
+}
+
+func (f *File) rowOf(y float64) int {
+	return sort.Search(len(f.ys), func(i int) bool { return f.ys[i] > y })
+}
+
+// Insert adds an entry, splitting buckets and refining scales as
+// needed.
+func (f *File) Insert(r geom.Rect, ref Ref) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	c := r.Center()
+	f.maxHalfW = math.Max(f.maxHalfW, r.Width()/2)
+	f.maxHalfH = math.Max(f.maxHalfH, r.Height()/2)
+	ix, iy := f.colOf(c.X), f.rowOf(c.Y)
+	bi := f.dir[ix][iy]
+	f.buckets[bi].entries = append(f.buckets[bi].entries, Entry{Rect: r, Ref: ref})
+	f.size++
+
+	for attempt := 0; attempt < 64 && len(f.buckets[bi].entries) > f.capacity; attempt++ {
+		if !f.splitBucket(bi) {
+			break // unsplittable (all centers coincide); allow overflow
+		}
+		// After the split the entry's cell may map to a new bucket;
+		// re-locate the heavier of the two and keep splitting if it
+		// still overflows.
+		bi = f.dir[f.colOf(c.X)][f.rowOf(c.Y)]
+	}
+	return nil
+}
+
+// region returns the inclusive cell range [c0,c1]x[r0,r1] mapped to
+// bucket bi by scanning the directory (directories stay small, and
+// splits are rare relative to searches).
+func (f *File) region(bi int) (c0, c1, r0, r1 int, ok bool) {
+	c0, r0 = math.MaxInt32, math.MaxInt32
+	c1, r1 = -1, -1
+	for ix := range f.dir {
+		for iy := range f.dir[ix] {
+			if f.dir[ix][iy] != bi {
+				continue
+			}
+			if ix < c0 {
+				c0 = ix
+			}
+			if ix > c1 {
+				c1 = ix
+			}
+			if iy < r0 {
+				r0 = iy
+			}
+			if iy > r1 {
+				r1 = iy
+			}
+		}
+	}
+	return c0, c1, r0, r1, c1 >= 0
+}
+
+// splitBucket divides bucket bi, refining a scale first if the bucket
+// covers a single cell. It reports whether any entries were separated.
+func (f *File) splitBucket(bi int) bool {
+	c0, c1, r0, r1, ok := f.region(bi)
+	if !ok {
+		return false
+	}
+	if c0 == c1 && r0 == r1 {
+		// Single cell: refine a linear scale through the median of the
+		// entry centers along the more spread-out dimension.
+		if !f.refineCell(bi, c0, r0) {
+			return false
+		}
+		c0, c1, r0, r1, ok = f.region(bi)
+		if !ok || (c0 == c1 && r0 == r1) {
+			return false
+		}
+	}
+	// Split the cell range across its wider dimension at an existing
+	// scale boundary.
+	newBi := len(f.buckets)
+	f.buckets = append(f.buckets, &bucket{})
+	old := f.buckets[bi]
+	var moved []Entry
+	var kept []Entry
+	if c1-c0 >= r1-r0 {
+		mid := (c0 + c1 + 1) / 2 // columns >= mid go to the new bucket
+		boundary := f.xs[mid-1]
+		for ix := mid; ix <= c1; ix++ {
+			for iy := r0; iy <= r1; iy++ {
+				f.dir[ix][iy] = newBi
+			}
+		}
+		for _, e := range old.entries {
+			if e.Rect.Center().X >= boundary {
+				moved = append(moved, e)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+	} else {
+		mid := (r0 + r1 + 1) / 2
+		boundary := f.ys[mid-1]
+		for ix := c0; ix <= c1; ix++ {
+			for iy := mid; iy <= r1; iy++ {
+				f.dir[ix][iy] = newBi
+			}
+		}
+		for _, e := range old.entries {
+			if e.Rect.Center().Y >= boundary {
+				moved = append(moved, e)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+	}
+	old.entries = kept
+	f.buckets[newBi].entries = moved
+	return len(moved) > 0 && len(kept) > 0
+}
+
+// refineCell inserts a new boundary through cell (cx, cy), doubling
+// the directory along the chosen dimension. It reports whether a
+// useful boundary could be placed (false when all centers coincide).
+func (f *File) refineCell(bi, cx, cy int) bool {
+	entries := f.buckets[bi].entries
+	if len(entries) < 2 {
+		return false
+	}
+	var xsC, ysC []float64
+	for _, e := range entries {
+		c := e.Rect.Center()
+		xsC = append(xsC, c.X)
+		ysC = append(ysC, c.Y)
+	}
+	sort.Float64s(xsC)
+	sort.Float64s(ysC)
+	spreadX := xsC[len(xsC)-1] - xsC[0]
+	spreadY := ysC[len(ysC)-1] - ysC[0]
+	if spreadX <= 0 && spreadY <= 0 {
+		return false
+	}
+	if spreadX >= spreadY {
+		m := median(xsC)
+		if m <= xsC[0] || m > xsC[len(xsC)-1] {
+			return false
+		}
+		f.insertXBoundary(cx, m)
+	} else {
+		m := median(ysC)
+		if m <= ysC[0] || m > ysC[len(ysC)-1] {
+			return false
+		}
+		f.insertYBoundary(cy, m)
+	}
+	return true
+}
+
+// median returns a split value separating the sorted slice into two
+// non-empty halves when possible.
+func median(sorted []float64) float64 {
+	return sorted[len(sorted)/2]
+}
+
+// insertXBoundary adds boundary v inside column cx: the column is
+// duplicated so existing buckets keep their coverage.
+func (f *File) insertXBoundary(cx int, v float64) {
+	f.xs = append(f.xs, 0)
+	copy(f.xs[cx+1:], f.xs[cx:])
+	f.xs[cx] = v
+	col := make([]int, len(f.dir[cx]))
+	copy(col, f.dir[cx])
+	f.dir = append(f.dir, nil)
+	copy(f.dir[cx+1:], f.dir[cx:])
+	f.dir[cx] = col
+}
+
+// insertYBoundary adds boundary v inside row cy, duplicating the row.
+func (f *File) insertYBoundary(cy int, v float64) {
+	f.ys = append(f.ys, 0)
+	copy(f.ys[cy+1:], f.ys[cy:])
+	f.ys[cy] = v
+	for ix := range f.dir {
+		row := f.dir[ix]
+		row = append(row, 0)
+		copy(row[cy+1:], row[cy:])
+		f.dir[ix] = row
+	}
+}
+
+// Delete removes one entry matching (r, ref) exactly, reporting
+// whether it was found. Buckets are not merged (grid files classically
+// defer merging; the reproduction never shrinks datasets mid-run).
+func (f *File) Delete(r geom.Rect, ref Ref) bool {
+	c := r.Center()
+	bi := f.dir[f.colOf(c.X)][f.rowOf(c.Y)]
+	b := f.buckets[bi]
+	for i, e := range b.entries {
+		if e.Ref == ref && e.Rect.ApproxEqual(r) {
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			f.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Search visits every entry whose rectangle intersects q. Returning
+// false from visit stops the search.
+func (f *File) Search(q geom.Rect, visit func(e Entry) bool) {
+	// Entries are bucketed by center; a rectangle reaches at most
+	// maxHalf{W,H} beyond its center, so probing cells overlapping the
+	// enlarged query region is exhaustive.
+	probe := q.Expand(f.maxHalfW, f.maxHalfH)
+	c0 := f.colOf(probe.Lo.X)
+	c1 := f.colOf(probe.Hi.X)
+	r0 := f.rowOf(probe.Lo.Y)
+	r1 := f.rowOf(probe.Hi.Y)
+	seen := make(map[int]bool)
+	for ix := c0; ix <= c1; ix++ {
+		for iy := r0; iy <= r1; iy++ {
+			bi := f.dir[ix][iy]
+			if seen[bi] {
+				continue
+			}
+			seen[bi] = true
+			f.accesses.Add(1)
+			for _, e := range f.buckets[bi].entries {
+				if !q.Intersects(e.Rect) {
+					continue
+				}
+				if !visit(e) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// SearchCollect returns the refs of all entries intersecting q.
+func (f *File) SearchCollect(q geom.Rect) []Ref {
+	var out []Ref
+	f.Search(q, func(e Entry) bool {
+		out = append(out, e.Ref)
+		return true
+	})
+	return out
+}
+
+// CheckInvariants verifies directory/scale consistency and entry
+// placement; it is meant for tests.
+func (f *File) CheckInvariants() error {
+	if len(f.dir) != len(f.xs)+1 {
+		return fmt.Errorf("grid: %d columns for %d x-boundaries", len(f.dir), len(f.xs))
+	}
+	for ix := range f.dir {
+		if len(f.dir[ix]) != len(f.ys)+1 {
+			return fmt.Errorf("grid: column %d has %d rows for %d y-boundaries", ix, len(f.dir[ix]), len(f.ys))
+		}
+		for iy, bi := range f.dir[ix] {
+			if bi < 0 || bi >= len(f.buckets) {
+				return fmt.Errorf("grid: cell (%d,%d) points to bucket %d of %d", ix, iy, bi, len(f.buckets))
+			}
+		}
+	}
+	for i := 1; i < len(f.xs); i++ {
+		if f.xs[i] <= f.xs[i-1] {
+			return fmt.Errorf("grid: x-scale not increasing at %d", i)
+		}
+	}
+	for i := 1; i < len(f.ys); i++ {
+		if f.ys[i] <= f.ys[i-1] {
+			return fmt.Errorf("grid: y-scale not increasing at %d", i)
+		}
+	}
+	count := 0
+	for bi, b := range f.buckets {
+		for _, e := range b.entries {
+			c := e.Rect.Center()
+			if f.dir[f.colOf(c.X)][f.rowOf(c.Y)] != bi {
+				return fmt.Errorf("grid: entry %d in bucket %d but its cell maps elsewhere", e.Ref, bi)
+			}
+			count++
+		}
+	}
+	if count != f.size {
+		return fmt.Errorf("grid: %d entries found, Len() = %d", count, f.size)
+	}
+	return nil
+}

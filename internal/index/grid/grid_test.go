@@ -1,0 +1,267 @@
+package grid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+type item struct {
+	rect geom.Rect
+	ref  Ref
+}
+
+func randRects(rng *rand.Rand, n int, world float64) []item {
+	out := make([]item, n)
+	for i := range out {
+		c := geom.Pt(rng.Float64()*world, rng.Float64()*world)
+		out[i] = item{
+			rect: geom.RectCentered(c, rng.Float64()*4, rng.Float64()*4),
+			ref:  Ref(i),
+		}
+	}
+	return out
+}
+
+func sortedRefs(rs []Ref) []Ref {
+	out := append([]Ref(nil), rs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func refsEqual(a, b []Ref) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func bruteRefs(items []item, q geom.Rect) []Ref {
+	var out []Ref
+	for _, it := range items {
+		if q.Intersects(it.rect) {
+			out = append(out, it.ref)
+		}
+	}
+	return sortedRefs(out)
+}
+
+func TestEmptyFile(t *testing.T) {
+	f := New(8)
+	if f.Len() != 0 || f.BucketCount() != 1 {
+		t.Fatalf("Len=%d buckets=%d", f.Len(), f.BucketCount())
+	}
+	got := f.SearchCollect(geom.Rect{Lo: geom.Pt(-1e9, -1e9), Hi: geom.Pt(1e9, 1e9)})
+	if len(got) != 0 {
+		t.Fatalf("empty search = %v", got)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	f := New(0)
+	if f.capacity != DefaultBucketCapacity {
+		t.Fatalf("capacity = %d, want %d", f.capacity, DefaultBucketCapacity)
+	}
+	if DefaultBucketCapacity != 102 {
+		t.Fatalf("DefaultBucketCapacity = %d, want 102 for 4 KiB pages", DefaultBucketCapacity)
+	}
+}
+
+func TestInsertRejectsInvalid(t *testing.T) {
+	f := New(8)
+	if err := f.Insert(geom.Rect{Lo: geom.Pt(1, 1), Hi: geom.Pt(0, 0)}, 1); err == nil {
+		t.Fatal("invalid rect accepted")
+	}
+}
+
+func TestInsertSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	items := randRects(rng, 2000, 1000)
+	f := New(16)
+	for _, it := range items {
+		if err := f.Insert(it.rect, it.ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Len() != 2000 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if f.BucketCount() < 2000/16 {
+		t.Fatalf("only %d buckets; splitting not happening", f.BucketCount())
+	}
+	for i := 0; i < 100; i++ {
+		q := geom.RectCentered(
+			geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			rng.Float64()*60, rng.Float64()*60)
+		got := sortedRefs(f.SearchCollect(q))
+		if want := bruteRefs(items, q); !refsEqual(got, want) {
+			t.Fatalf("query %v: got %d, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestPointsOnly(t *testing.T) {
+	// Degenerate rectangles (points) exercise zero half-extents.
+	rng := rand.New(rand.NewSource(82))
+	f := New(8)
+	var items []item
+	for i := 0; i < 500; i++ {
+		p := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		it := item{rect: geom.RectAt(p), ref: Ref(i)}
+		items = append(items, it)
+		if err := f.Insert(it.rect, it.ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		q := geom.RectCentered(geom.Pt(rng.Float64()*100, rng.Float64()*100), 10, 10)
+		got := sortedRefs(f.SearchCollect(q))
+		if want := bruteRefs(items, q); !refsEqual(got, want) {
+			t.Fatalf("point query %v mismatch", q)
+		}
+	}
+}
+
+func TestDuplicateCentersOverflow(t *testing.T) {
+	// All entries at the same center cannot be separated; the bucket
+	// must be allowed to overflow instead of looping forever.
+	f := New(4)
+	r := geom.RectCentered(geom.Pt(50, 50), 1, 1)
+	for i := 0; i < 50; i++ {
+		if err := f.Insert(r, Ref(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Len() != 50 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	got := f.SearchCollect(geom.RectCentered(geom.Pt(50, 50), 2, 2))
+	if len(got) != 50 {
+		t.Fatalf("search returned %d of 50 co-located entries", len(got))
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	items := randRects(rng, 400, 300)
+	f := New(8)
+	for _, it := range items {
+		if err := f.Insert(it.rect, it.ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed := map[Ref]bool{}
+	for _, i := range rng.Perm(400)[:200] {
+		if !f.Delete(items[i].rect, items[i].ref) {
+			t.Fatalf("delete %d failed", items[i].ref)
+		}
+		removed[items[i].ref] = true
+	}
+	if f.Len() != 200 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if f.Delete(items[0].rect, items[0].ref) == removed[items[0].ref] {
+		// Double delete must fail if already removed; succeed otherwise.
+		t.Fatal("delete idempotency violated")
+	}
+	var live []item
+	for _, it := range items {
+		if !removed[it.ref] {
+			live = append(live, it)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		q := geom.RectCentered(geom.Pt(rng.Float64()*300, rng.Float64()*300), 25, 25)
+		got := sortedRefs(f.SearchCollect(q))
+		if want := bruteRefs(live, q); !refsEqual(got, want) {
+			t.Fatalf("post-delete query %v mismatch", q)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	items := randRects(rng, 3000, 2000)
+	f := New(16)
+	for _, it := range items {
+		if err := f.Insert(it.rect, it.ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.ResetAccesses()
+	f.SearchCollect(geom.RectCentered(geom.Pt(1000, 1000), 20, 20))
+	small := f.Accesses()
+	if small < 1 {
+		t.Fatal("no accesses counted")
+	}
+	f.ResetAccesses()
+	f.SearchCollect(geom.RectCentered(geom.Pt(1000, 1000), 800, 800))
+	if big := f.Accesses(); big <= small {
+		t.Fatalf("large query accesses %d not above small %d", big, small)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	f := New(8)
+	for _, it := range randRects(rng, 300, 100) {
+		if err := f.Insert(it.rect, it.ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var n int
+	f.Search(geom.Rect{Lo: geom.Pt(-10, -10), Hi: geom.Pt(110, 110)}, func(Entry) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestClusteredData(t *testing.T) {
+	// Heavy clustering forces repeated refinement in a small area.
+	rng := rand.New(rand.NewSource(86))
+	f := New(8)
+	var items []item
+	for i := 0; i < 1000; i++ {
+		c := geom.Pt(500+rng.NormFloat64()*5, 500+rng.NormFloat64()*5)
+		it := item{rect: geom.RectCentered(c, 0.5, 0.5), ref: Ref(i)}
+		items = append(items, it)
+		if err := f.Insert(it.rect, it.ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		q := geom.RectCentered(geom.Pt(500+rng.NormFloat64()*5, 500+rng.NormFloat64()*5), 3, 3)
+		got := sortedRefs(f.SearchCollect(q))
+		if want := bruteRefs(items, q); !refsEqual(got, want) {
+			t.Fatalf("clustered query %v mismatch", q)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Item is one object for bulk loading.
+type Item struct {
+	Rect geom.Rect
+	Ref  Ref
+	Aux  []float64
+}
+
+// BulkLoad replaces the tree's contents with the given items using
+// Sort-Tile-Recursive packing (Leutenegger et al. 1997): items are
+// sorted by center x, cut into vertical slabs, each slab sorted by
+// center y and packed into full leaves; the procedure repeats one
+// level up until a single root remains. STR yields near-100% node
+// utilization and is how the experiment datasets are indexed.
+func BulkLoad(store NodeStore, cfg Config, items []Item) (*Tree, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{store: store, cfg: cfg}
+	if len(items) == 0 {
+		root, err := store.Alloc(true)
+		if err != nil {
+			return nil, err
+		}
+		if err := store.Update(root); err != nil {
+			return nil, err
+		}
+		t.root, t.height = root.ID, 1
+		return t, nil
+	}
+	for _, it := range items {
+		if err := it.Rect.Validate(); err != nil {
+			return nil, err
+		}
+		if len(it.Aux) != cfg.AuxLen {
+			return nil, fmt.Errorf("rtree: bulk item aux length %d, want %d", len(it.Aux), cfg.AuxLen)
+		}
+	}
+
+	entries := make([]Entry, len(items))
+	for i, it := range items {
+		entries[i] = Entry{Rect: it.Rect, Ref: it.Ref, Aux: copyAux(it.Aux)}
+	}
+
+	level := 0
+	leaf := true
+	for len(entries) > cfg.MaxEntries {
+		nodes, err := t.packLevel(entries, leaf)
+		if err != nil {
+			return nil, err
+		}
+		entries = nodes
+		leaf = false
+		level++
+	}
+	root, err := store.Alloc(leaf)
+	if err != nil {
+		return nil, err
+	}
+	root.Entries = entries
+	if err := store.Update(root); err != nil {
+		return nil, err
+	}
+	t.root = root.ID
+	t.height = level + 1
+	t.size = len(items)
+	return t, nil
+}
+
+// packLevel tiles entries into nodes of capacity MaxEntries and returns
+// the parent entries describing them.
+func (t *Tree) packLevel(entries []Entry, leaf bool) ([]Entry, error) {
+	m := t.cfg.MaxEntries
+	nLeaves := (len(entries) + m - 1) / m
+	nSlabs := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	slabSize := nSlabs * m
+
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Rect.Center().X < entries[j].Rect.Center().X
+	})
+
+	var parents []Entry
+	for s := 0; s < len(entries); s += slabSize {
+		end := s + slabSize
+		if end > len(entries) {
+			end = len(entries)
+		}
+		slab := entries[s:end]
+		sort.Slice(slab, func(i, j int) bool {
+			return slab[i].Rect.Center().Y < slab[j].Rect.Center().Y
+		})
+		for o := 0; o < len(slab); o += m {
+			oe := o + m
+			if oe > len(slab) {
+				oe = len(slab)
+			}
+			node, err := t.store.Alloc(leaf)
+			if err != nil {
+				return nil, err
+			}
+			node.Entries = append(node.Entries, slab[o:oe]...)
+			if err := t.store.Update(node); err != nil {
+				return nil, err
+			}
+			r, aux := t.entryEnvelope(node)
+			parents = append(parents, Entry{Rect: r, Child: node.ID, Aux: aux})
+		}
+	}
+	if len(parents) == 0 {
+		return nil, errors.New("rtree: packLevel produced no nodes")
+	}
+	return parents, nil
+}

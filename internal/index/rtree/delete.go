@@ -1,0 +1,136 @@
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Delete removes one entry matching (r, ref) exactly. It reports
+// whether an entry was found and removed. Underflowing nodes are
+// dissolved and their entries reinserted (Guttman's CondenseTree).
+func (t *Tree) Delete(r geom.Rect, ref Ref) (bool, error) {
+	path, found, err := t.findLeaf(t.root, r, ref, t.height-1)
+	if err != nil || !found {
+		return false, err
+	}
+	leaf := path[len(path)-1].node
+	for i, e := range leaf.Entries {
+		if e.Ref == ref && e.Rect.ApproxEqual(r) {
+			leaf.Entries = append(leaf.Entries[:i], leaf.Entries[i+1:]...)
+			break
+		}
+	}
+	if err := t.store.Update(leaf); err != nil {
+		return false, err
+	}
+	if err := t.condenseTree(path); err != nil {
+		return false, err
+	}
+	t.size--
+	return true, nil
+}
+
+// findLeaf locates the leaf containing the (r, ref) entry, returning
+// the full root-to-leaf path.
+func (t *Tree) findLeaf(id NodeID, r geom.Rect, ref Ref, level int) ([]pathStep, bool, error) {
+	n, err := t.getNode(id)
+	if err != nil {
+		return nil, false, err
+	}
+	if n.Leaf {
+		for _, e := range n.Entries {
+			if e.Ref == ref && e.Rect.ApproxEqual(r) {
+				return []pathStep{{node: n, entryIdx: -1}}, true, nil
+			}
+		}
+		return nil, false, nil
+	}
+	for i, e := range n.Entries {
+		if !e.Rect.ContainsRect(r) {
+			continue
+		}
+		sub, found, err := t.findLeaf(e.Child, r, ref, level-1)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			sub[0].entryIdx = i
+			return append([]pathStep{{node: n, entryIdx: -1}}, sub...), true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// orphan is a set of entries evicted from a dissolved node, tagged with
+// the level they belong to.
+type orphan struct {
+	entries []Entry
+	level   int
+}
+
+// condenseTree walks the deletion path bottom-up: underflowing
+// non-root nodes are removed (their entries queued for reinsertion)
+// and surviving ancestors get refreshed envelopes. Finally the
+// orphaned entries are reinserted at their original levels and a
+// root with a single child is collapsed.
+func (t *Tree) condenseTree(path []pathStep) error {
+	var orphans []orphan
+	for i := len(path) - 1; i > 0; i-- {
+		n := path[i].node
+		parent := path[i-1].node
+		level := t.height - 1 - i // distance from leaves? path[0] is root at height-1
+		// path index i corresponds to level (height-1-i).
+		if len(n.Entries) < t.cfg.MinEntries {
+			// Dissolve n: remove its parent entry and queue contents.
+			idx := path[i].entryIdx
+			parent.Entries = append(parent.Entries[:idx], parent.Entries[idx+1:]...)
+			// Later path steps recorded entry indexes into nodes, not
+			// this parent, so no fix-up is needed; earlier steps are
+			// ancestors processed after this one.
+			if len(n.Entries) > 0 {
+				orphans = append(orphans, orphan{entries: n.Entries, level: level})
+			}
+			if err := t.store.Free(n.ID); err != nil {
+				return err
+			}
+		} else {
+			// Refresh the parent's envelope for n.
+			r, aux := t.entryEnvelope(n)
+			parent.Entries[path[i].entryIdx].Rect = r
+			parent.Entries[path[i].entryIdx].Aux = aux
+		}
+		if err := t.store.Update(parent); err != nil {
+			return err
+		}
+	}
+
+	// Reinsert orphans at their recorded levels, deepest first so that
+	// the tree height cannot change underneath queued higher-level
+	// entries.
+	for i := len(orphans) - 1; i >= 0; i-- {
+		o := orphans[i]
+		for _, e := range o.entries {
+			if err := t.insertAtLevel(e, o.level); err != nil {
+				return fmt.Errorf("rtree: reinsert at level %d: %w", o.level, err)
+			}
+		}
+	}
+
+	// Collapse a non-leaf root with a single child.
+	for {
+		root, err := t.getNode(t.root)
+		if err != nil {
+			return err
+		}
+		if root.Leaf || len(root.Entries) != 1 {
+			return nil
+		}
+		child := root.Entries[0].Child
+		if err := t.store.Free(root.ID); err != nil {
+			return err
+		}
+		t.root = child
+		t.height--
+	}
+}

@@ -1,0 +1,129 @@
+package rtree
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// FuzzDecodeNode feeds arbitrary page images to the node decoder: it
+// must either return a node or an error, never panic or read out of
+// bounds. Seeds include valid encodings and corrupted headers.
+func FuzzDecodeNode(f *testing.F) {
+	// Seed with a valid leaf page.
+	valid := make([]byte, storage.PageSize)
+	n := &Node{ID: 1, Leaf: true, Entries: []Entry{
+		{Rect: geom.Rect{Lo: geom.Pt(1, 2), Hi: geom.Pt(3, 4)}, Ref: 9, Aux: []float64{0.5}},
+	}}
+	if err := encodeNode(n, valid, 1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid, 1)
+	// Corrupt count header.
+	corrupt := append([]byte(nil), valid...)
+	corrupt[2] = 0xFF
+	corrupt[3] = 0xFF
+	f.Add(corrupt, 1)
+	f.Add(make([]byte, storage.PageSize), 0)
+
+	f.Fuzz(func(t *testing.T, data []byte, auxLen int) {
+		if len(data) != storage.PageSize {
+			return
+		}
+		if auxLen < 0 || auxLen > 64 {
+			return
+		}
+		node, err := decodeNode(7, data, auxLen)
+		if err != nil {
+			return
+		}
+		// A decoded node must re-encode without error into a page.
+		out := make([]byte, storage.PageSize)
+		if err := encodeNode(node, out, auxLen); err != nil {
+			t.Fatalf("round trip of decoded node failed: %v", err)
+		}
+	})
+}
+
+// FuzzNodeRoundTrip checks encode/decode identity for synthesized
+// nodes.
+func FuzzNodeRoundTrip(f *testing.F) {
+	f.Add(int64(1), 3, true, 0)
+	f.Add(int64(2), 10, false, 4)
+	f.Fuzz(func(t *testing.T, seed int64, count int, leaf bool, auxLen int) {
+		if count < 0 || count > 50 || auxLen < 0 || auxLen > 8 {
+			return
+		}
+		entryBytes := 40 + 8*auxLen
+		if nodeHeaderBytes+count*entryBytes > storage.PageSize {
+			return
+		}
+		n := &Node{ID: 3, Leaf: leaf}
+		x := float64(seed % 1000)
+		for i := 0; i < count; i++ {
+			e := Entry{
+				Rect: geom.Rect{
+					Lo: geom.Pt(x+float64(i), x-float64(i)),
+					Hi: geom.Pt(x+float64(i)+1, x-float64(i)+1),
+				},
+			}
+			if leaf {
+				e.Ref = Ref(seed + int64(i))
+			} else {
+				e.Child = NodeID(uint32(seed) + uint32(i))
+			}
+			for j := 0; j < auxLen; j++ {
+				e.Aux = append(e.Aux, float64(j)*x)
+			}
+			n.Entries = append(n.Entries, e)
+		}
+		page := make([]byte, storage.PageSize)
+		if err := encodeNode(n, page, auxLen); err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeNode(3, page, auxLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Leaf != n.Leaf || len(got.Entries) != len(n.Entries) {
+			t.Fatalf("shape mismatch: %+v vs %+v", got, n)
+		}
+		for i := range n.Entries {
+			a, b := n.Entries[i], got.Entries[i]
+			if !a.Rect.ApproxEqual(b.Rect) || a.Ref != b.Ref || a.Child != b.Child {
+				t.Fatalf("entry %d mismatch", i)
+			}
+			for j := range a.Aux {
+				if a.Aux[j] != b.Aux[j] {
+					t.Fatalf("entry %d aux %d mismatch", i, j)
+				}
+			}
+		}
+	})
+}
+
+// TestEncodeNodeOverflow ensures oversized nodes are rejected rather
+// than silently truncated.
+func TestEncodeNodeOverflow(t *testing.T) {
+	n := &Node{ID: 1, Leaf: true}
+	for i := 0; i < 200; i++ { // 200 * 40 bytes > 4096
+		n.Entries = append(n.Entries, Entry{Rect: geom.RectAt(geom.Pt(float64(i), 0)), Ref: Ref(i)})
+	}
+	page := make([]byte, storage.PageSize)
+	if err := encodeNode(n, page, 0); err == nil {
+		t.Fatal("oversized node encoded without error")
+	}
+	// Wrong aux length is rejected too.
+	n2 := &Node{ID: 2, Leaf: true, Entries: []Entry{{Rect: geom.RectAt(geom.Pt(0, 0)), Aux: []float64{1}}}}
+	if err := encodeNode(n2, page, 2); err == nil {
+		t.Fatal("wrong aux length encoded without error")
+	}
+	if !bytes.Equal(page[:4], make([]byte, 4)) {
+		// No guarantee, but document expectation: failed encodes leave
+		// header untouched only if they fail before writing; this just
+		// asserts no panic happened.
+		t.Log("page partially written on failed encode (acceptable)")
+	}
+}

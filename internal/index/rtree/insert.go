@@ -1,0 +1,369 @@
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Insert adds an entry with the given rectangle, reference and
+// (optionally) auxiliary payload. aux must have length Config.AuxLen
+// (nil when AuxLen is 0).
+func (t *Tree) Insert(r geom.Rect, ref Ref, aux []float64) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if len(aux) != t.cfg.AuxLen {
+		return fmt.Errorf("rtree: aux length %d, want %d", len(aux), t.cfg.AuxLen)
+	}
+	e := Entry{Rect: r, Ref: ref, Aux: copyAux(aux)}
+	if err := t.insertAtLevel(e, 0); err != nil {
+		return err
+	}
+	t.size++
+	return nil
+}
+
+// insertAtLevel places e at the given level (0 = leaves). Levels above
+// 0 are used when reinserting orphaned subtrees during deletion.
+func (t *Tree) insertAtLevel(e Entry, level int) error {
+	path, err := t.chooseNode(e.Rect, level)
+	if err != nil {
+		return err
+	}
+	leafStep := path[len(path)-1]
+	n := leafStep.node
+	n.Entries = append(n.Entries, e)
+
+	var splitNew *Node
+	if len(n.Entries) > t.cfg.MaxEntries {
+		splitNew, err = t.splitNode(n)
+		if err != nil {
+			return err
+		}
+	} else if err := t.store.Update(n); err != nil {
+		return err
+	}
+	return t.adjustTree(path, splitNew)
+}
+
+// pathStep records one node on the descent path and the index of the
+// entry taken in its parent (entryIdx is -1 for the root).
+type pathStep struct {
+	node     *Node
+	entryIdx int
+}
+
+// chooseNode descends from the root to the node at targetLevel whose
+// entry needs the least enlargement to include r (ties: smallest
+// area), returning the full descent path.
+func (t *Tree) chooseNode(r geom.Rect, targetLevel int) ([]pathStep, error) {
+	if targetLevel >= t.height {
+		return nil, fmt.Errorf("rtree: level %d exceeds height %d", targetLevel, t.height)
+	}
+	n, err := t.getNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	path := []pathStep{{node: n, entryIdx: -1}}
+	level := t.height - 1
+	for level > targetLevel {
+		best := -1
+		var bestEnl, bestArea float64
+		for i, e := range n.Entries {
+			enl := e.Rect.Enlargement(r)
+			area := e.Rect.Area()
+			if best == -1 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("rtree: interior node %d has no entries", n.ID)
+		}
+		child, err := t.getNode(n.Entries[best].Child)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, pathStep{node: child, entryIdx: best})
+		n = child
+		level--
+	}
+	return path, nil
+}
+
+// adjustTree walks the path bottom-up, refreshing parent envelopes and
+// propagating splits. splitNew is the sibling created by splitting the
+// deepest node on the path, or nil.
+func (t *Tree) adjustTree(path []pathStep, splitNew *Node) error {
+	for i := len(path) - 1; i > 0; i-- {
+		child := path[i]
+		parent := path[i-1].node
+
+		r, aux := t.entryEnvelope(child.node)
+		parent.Entries[child.entryIdx].Rect = r
+		parent.Entries[child.entryIdx].Aux = aux
+
+		if splitNew != nil {
+			r2, aux2 := t.entryEnvelope(splitNew)
+			parent.Entries = append(parent.Entries, Entry{Rect: r2, Child: splitNew.ID, Aux: aux2})
+			splitNew = nil
+		}
+		if len(parent.Entries) > t.cfg.MaxEntries {
+			var err error
+			splitNew, err = t.splitNode(parent)
+			if err != nil {
+				return err
+			}
+		} else if err := t.store.Update(parent); err != nil {
+			return err
+		}
+	}
+	if splitNew != nil {
+		return t.growRoot(path[0].node, splitNew)
+	}
+	return nil
+}
+
+// growRoot installs a new root above old and sibling after a root
+// split.
+func (t *Tree) growRoot(old, sibling *Node) error {
+	root, err := t.store.Alloc(false)
+	if err != nil {
+		return err
+	}
+	r1, a1 := t.entryEnvelope(old)
+	r2, a2 := t.entryEnvelope(sibling)
+	root.Entries = []Entry{
+		{Rect: r1, Child: old.ID, Aux: a1},
+		{Rect: r2, Child: sibling.ID, Aux: a2},
+	}
+	if err := t.store.Update(root); err != nil {
+		return err
+	}
+	t.root = root.ID
+	t.height++
+	return nil
+}
+
+// splitNode splits an overflowing node in place using the configured
+// algorithm and returns the newly allocated sibling. Both nodes are
+// persisted.
+func (t *Tree) splitNode(n *Node) (*Node, error) {
+	if t.cfg.Split == SplitLinear {
+		return t.splitNodeLinear(n)
+	}
+	return t.splitNodeQuadratic(n)
+}
+
+// splitNodeLinear implements Guttman's linear split: seeds by greatest
+// normalized separation, remaining entries assigned in order by least
+// enlargement (ties: smaller area), with min-fill forcing.
+func (t *Tree) splitNodeLinear(n *Node) (*Node, error) {
+	entries := n.Entries
+	seedA, seedB := pickSeedsLinear(entries)
+
+	groupA := []Entry{entries[seedA]}
+	groupB := []Entry{entries[seedB]}
+	rectA := entries[seedA].Rect
+	rectB := entries[seedB].Rect
+	for i, e := range entries {
+		if i == seedA || i == seedB {
+			continue
+		}
+		remaining := len(entries) - i // pessimistic; only used for forcing
+		switch {
+		case len(groupA)+remaining <= t.cfg.MinEntries:
+			groupA = append(groupA, e)
+			rectA = rectA.Union(e.Rect)
+			continue
+		case len(groupB)+remaining <= t.cfg.MinEntries:
+			groupB = append(groupB, e)
+			rectB = rectB.Union(e.Rect)
+			continue
+		}
+		dA, dB := rectA.Enlargement(e.Rect), rectB.Enlargement(e.Rect)
+		toA := dA < dB || (dA == dB && rectA.Area() <= rectB.Area())
+		if toA {
+			groupA = append(groupA, e)
+			rectA = rectA.Union(e.Rect)
+		} else {
+			groupB = append(groupB, e)
+			rectB = rectB.Union(e.Rect)
+		}
+	}
+	// Rebalance if forcing missed min fill (possible with the
+	// pessimistic heuristic above): move entries from the bigger
+	// group.
+	for len(groupA) < t.cfg.MinEntries && len(groupB) > t.cfg.MinEntries {
+		groupA = append(groupA, groupB[len(groupB)-1])
+		groupB = groupB[:len(groupB)-1]
+	}
+	for len(groupB) < t.cfg.MinEntries && len(groupA) > t.cfg.MinEntries {
+		groupB = append(groupB, groupA[len(groupA)-1])
+		groupA = groupA[:len(groupA)-1]
+	}
+	return t.finishSplit(n, groupA, groupB)
+}
+
+// pickSeedsLinear returns the pair with the greatest separation
+// normalized by the spread, considering both axes (Guttman's
+// LinearPickSeeds).
+func pickSeedsLinear(entries []Entry) (int, int) {
+	// Per axis: entry with the highest low side and entry with the
+	// lowest high side; separation normalized by total spread.
+	bestA, bestB := 0, 1
+	bestScore := -1.0
+	for axis := 0; axis < 2; axis++ {
+		lo := func(e Entry) float64 {
+			if axis == 0 {
+				return e.Rect.Lo.X
+			}
+			return e.Rect.Lo.Y
+		}
+		hi := func(e Entry) float64 {
+			if axis == 0 {
+				return e.Rect.Hi.X
+			}
+			return e.Rect.Hi.Y
+		}
+		highestLo, lowestHi := 0, 0
+		minLo, maxHi := lo(entries[0]), hi(entries[0])
+		for i, e := range entries {
+			if lo(e) > lo(entries[highestLo]) {
+				highestLo = i
+			}
+			if hi(e) < hi(entries[lowestHi]) {
+				lowestHi = i
+			}
+			if lo(e) < minLo {
+				minLo = lo(e)
+			}
+			if hi(e) > maxHi {
+				maxHi = hi(e)
+			}
+		}
+		if highestLo == lowestHi {
+			continue
+		}
+		spread := maxHi - minLo
+		if spread <= 0 {
+			continue
+		}
+		score := (lo(entries[highestLo]) - hi(entries[lowestHi])) / spread
+		if score > bestScore {
+			bestScore = score
+			bestA, bestB = lowestHi, highestLo
+		}
+	}
+	if bestA == bestB { // all entries identical: any distinct pair
+		bestA, bestB = 0, 1
+	}
+	return bestA, bestB
+}
+
+// splitNodeQuadratic implements Guttman's quadratic split.
+func (t *Tree) splitNodeQuadratic(n *Node) (*Node, error) {
+	entries := n.Entries
+	seedA, seedB := pickSeeds(entries)
+
+	groupA := []Entry{entries[seedA]}
+	groupB := []Entry{entries[seedB]}
+	rectA := entries[seedA].Rect
+	rectB := entries[seedB].Rect
+
+	rest := make([]Entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, e)
+		}
+	}
+
+	for len(rest) > 0 {
+		// If one group must take all remaining entries to reach the
+		// minimum fill, assign them wholesale.
+		if len(groupA)+len(rest) == t.cfg.MinEntries {
+			for _, e := range rest {
+				groupA = append(groupA, e)
+				rectA = rectA.Union(e.Rect)
+			}
+			break
+		}
+		if len(groupB)+len(rest) == t.cfg.MinEntries {
+			for _, e := range rest {
+				groupB = append(groupB, e)
+				rectB = rectB.Union(e.Rect)
+			}
+			break
+		}
+		// PickNext: the entry with the strongest preference.
+		bestIdx, bestDiff := -1, -1.0
+		var bestDA, bestDB float64
+		for i, e := range rest {
+			dA := rectA.Enlargement(e.Rect)
+			dB := rectB.Enlargement(e.Rect)
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff, bestDA, bestDB = i, diff, dA, dB
+			}
+		}
+		e := rest[bestIdx]
+		rest[bestIdx] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+
+		// Resolve ties by smaller enlargement, then smaller area, then
+		// fewer entries.
+		toA := bestDA < bestDB
+		if bestDA == bestDB {
+			if rectA.Area() != rectB.Area() {
+				toA = rectA.Area() < rectB.Area()
+			} else {
+				toA = len(groupA) <= len(groupB)
+			}
+		}
+		if toA {
+			groupA = append(groupA, e)
+			rectA = rectA.Union(e.Rect)
+		} else {
+			groupB = append(groupB, e)
+			rectB = rectB.Union(e.Rect)
+		}
+	}
+	return t.finishSplit(n, groupA, groupB)
+}
+
+// finishSplit materializes a split: n keeps groupA, a fresh sibling
+// takes groupB, both persisted.
+func (t *Tree) finishSplit(n *Node, groupA, groupB []Entry) (*Node, error) {
+	sibling, err := t.store.Alloc(n.Leaf)
+	if err != nil {
+		return nil, err
+	}
+	n.Entries = groupA
+	sibling.Entries = groupB
+	if err := t.store.Update(n); err != nil {
+		return nil, err
+	}
+	if err := t.store.Update(sibling); err != nil {
+		return nil, err
+	}
+	return sibling, nil
+}
+
+// pickSeeds returns the pair of entries wasting the most area if
+// grouped together (Guttman's quadratic PickSeeds).
+func pickSeeds(entries []Entry) (int, int) {
+	bestA, bestB, bestWaste := 0, 1, -1.0
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			u := entries[i].Rect.Union(entries[j].Rect)
+			waste := u.Area() - entries[i].Rect.Area() - entries[j].Rect.Area()
+			if waste > bestWaste {
+				bestA, bestB, bestWaste = i, j, waste
+			}
+		}
+	}
+	return bestA, bestB
+}

@@ -1,0 +1,230 @@
+// Package rtree implements a dynamic R-tree (Guttman 1984) with
+// quadratic splits, deletion with tree condensation, and STR bulk
+// loading, over pluggable node storage (in-memory or 4 KiB pages
+// through a buffer pool).
+//
+// The tree reproduces the index regime of the paper's experiments
+// (§6.1: R-tree with 4 KiB nodes from the Spatial Index Library).
+// Entries may carry a fixed-length auxiliary float64 payload that the
+// tree aggregates bottom-up with a caller-supplied merge function; the
+// PTI (Probability Threshold Index, §5.3) is built on exactly this
+// hook, storing per-catalog-value bound rectangles in interior nodes.
+//
+// Node accesses (the paper's I/O metric) are counted by the tree and
+// can be sampled around each operation.
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// Ref identifies an object stored in a leaf entry.
+type Ref int64
+
+// NodeID identifies a node within a NodeStore. For paged stores it is
+// the page id.
+type NodeID uint32
+
+// InvalidNode is the null node id.
+const InvalidNode = NodeID(0xFFFFFFFF)
+
+// Entry is one slot of a node: a rectangle plus either a child pointer
+// (interior nodes) or an object reference (leaves), and an optional
+// auxiliary payload of exactly Config.AuxLen float64s.
+type Entry struct {
+	Rect  geom.Rect
+	Child NodeID // interior entries
+	Ref   Ref    // leaf entries
+	Aux   []float64
+}
+
+// Node is an R-tree node. Nodes are value-owned by callers of
+// NodeStore.Get; mutations must be persisted with NodeStore.Update.
+type Node struct {
+	ID      NodeID
+	Leaf    bool
+	Entries []Entry
+}
+
+// bounds returns the union of the node's entry rectangles.
+func (n *Node) bounds() geom.Rect {
+	var r geom.Rect
+	if len(n.Entries) == 0 {
+		return geom.Rect{Lo: geom.Pt(1, 1), Hi: geom.Pt(-1, -1)} // Empty
+	}
+	r = n.Entries[0].Rect
+	for _, e := range n.Entries[1:] {
+		r = r.Union(e.Rect)
+	}
+	return r
+}
+
+// MergeAuxFunc folds entry payload src into dst in place. dst and src
+// have length Config.AuxLen. It must be commutative and associative in
+// the usual envelope sense (e.g. element-wise min/max).
+type MergeAuxFunc func(dst, src []float64)
+
+// SplitAlgorithm selects the node-splitting heuristic.
+type SplitAlgorithm int
+
+const (
+	// SplitQuadratic is Guttman's quadratic split: O(M^2) seed picking
+	// by maximal dead space, entries distributed by strongest
+	// preference. Better grouping, the common default.
+	SplitQuadratic SplitAlgorithm = iota
+	// SplitLinear is Guttman's linear split: seeds with the greatest
+	// normalized separation per axis, remaining entries assigned by
+	// least enlargement in input order. Cheaper splits, looser nodes.
+	SplitLinear
+)
+
+// String implements fmt.Stringer.
+func (s SplitAlgorithm) String() string {
+	switch s {
+	case SplitQuadratic:
+		return "quadratic"
+	case SplitLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("SplitAlgorithm(%d)", int(s))
+	}
+}
+
+// Config fixes the shape of a tree.
+type Config struct {
+	// MaxEntries is the node capacity M. Zero derives the capacity
+	// from the 4 KiB page size and AuxLen (see CapacityForPage).
+	MaxEntries int
+	// MinEntries is the underflow threshold m (2 <= m <= M/2).
+	// Zero means 40% of MaxEntries, the classic choice.
+	MinEntries int
+	// AuxLen is the per-entry auxiliary payload length (0 = none).
+	AuxLen int
+	// MergeAux aggregates child payloads into parent entries. Required
+	// when AuxLen > 0.
+	MergeAux MergeAuxFunc
+	// Split selects the overflow-splitting heuristic (default
+	// quadratic, as in the paper's index library).
+	Split SplitAlgorithm
+}
+
+// entryBytes returns the serialized size of one entry under cfg.
+func (c Config) entryBytes() int { return 32 + 8 + 8*c.AuxLen }
+
+// nodeHeaderBytes is the serialized node header size: flags byte,
+// entry count uint16, and a reserved byte, plus a 4-byte checksum seed.
+const nodeHeaderBytes = 8
+
+// CapacityForPage returns the number of entries of the given aux
+// length that fit a 4 KiB page.
+func CapacityForPage(auxLen int) int {
+	return (storage.PageSize - nodeHeaderBytes) / (32 + 8 + 8*auxLen)
+}
+
+// normalize fills defaults and validates.
+func (c Config) normalize() (Config, error) {
+	if c.AuxLen < 0 {
+		return c, fmt.Errorf("rtree: negative AuxLen %d", c.AuxLen)
+	}
+	if c.AuxLen > 0 && c.MergeAux == nil {
+		return c, errors.New("rtree: AuxLen > 0 requires MergeAux")
+	}
+	if c.MaxEntries == 0 {
+		c.MaxEntries = CapacityForPage(c.AuxLen)
+	}
+	if c.MaxEntries < 4 {
+		return c, fmt.Errorf("rtree: MaxEntries %d too small (need >= 4; is AuxLen too large for a page?)", c.MaxEntries)
+	}
+	if c.MinEntries == 0 {
+		c.MinEntries = c.MaxEntries * 2 / 5
+	}
+	if c.MinEntries < 2 {
+		c.MinEntries = 2
+	}
+	if c.MinEntries > c.MaxEntries/2 {
+		return c, fmt.Errorf("rtree: MinEntries %d exceeds MaxEntries/2 = %d", c.MinEntries, c.MaxEntries/2)
+	}
+	return c, nil
+}
+
+// Tree is a dynamic R-tree. It is not safe for concurrent mutation;
+// concurrent Search calls are safe only against a quiescent tree.
+type Tree struct {
+	store  NodeStore
+	cfg    Config
+	root   NodeID
+	height int // number of levels; leaves are level 0, root is height-1
+	size   int
+	// accesses is atomic so concurrent read-only searches are
+	// race-free; per-operation deltas are only meaningful when
+	// operations run serially.
+	accesses atomic.Int64
+}
+
+// New creates an empty tree over the given node store.
+func New(store NodeStore, cfg Config) (*Tree, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	root, err := store.Alloc(true)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{store: store, cfg: cfg, root: root.ID, height: 1}
+	if err := store.Update(root); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (1 for a leaf-only tree).
+func (t *Tree) Height() int { return t.height }
+
+// Config returns the tree's effective configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// NodeAccesses returns the cumulative count of node reads performed by
+// tree operations — the paper's I/O cost metric.
+func (t *Tree) NodeAccesses() int64 { return t.accesses.Load() }
+
+// ResetNodeAccesses zeroes the access counter.
+func (t *Tree) ResetNodeAccesses() { t.accesses.Store(0) }
+
+// getNode reads a node and counts the access.
+func (t *Tree) getNode(id NodeID) (*Node, error) {
+	t.accesses.Add(1)
+	return t.store.Get(id)
+}
+
+// copyAux clones an aux payload (nil-safe).
+func copyAux(a []float64) []float64 {
+	if a == nil {
+		return nil
+	}
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// entryEnvelope recomputes the parent-entry view of node n: its
+// bounding rectangle and merged aux payload.
+func (t *Tree) entryEnvelope(n *Node) (geom.Rect, []float64) {
+	r := n.bounds()
+	if t.cfg.AuxLen == 0 || len(n.Entries) == 0 {
+		return r, nil
+	}
+	aux := copyAux(n.Entries[0].Aux)
+	for _, e := range n.Entries[1:] {
+		t.cfg.MergeAux(aux, e.Aux)
+	}
+	return r, aux
+}

@@ -1,0 +1,809 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// smallCfg keeps nodes tiny so splits and underflows happen often.
+var smallCfg = Config{MaxEntries: 4, MinEntries: 2}
+
+// newMemTree builds an empty tree over a fresh memory store.
+func newMemTree(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	tr, err := New(NewMemNodeStore(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// randItems produces n random small rectangles with refs 0..n-1.
+func randItems(rng *rand.Rand, n int, world float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		c := geom.Pt(rng.Float64()*world, rng.Float64()*world)
+		items[i] = Item{
+			Rect: geom.RectCentered(c, rng.Float64()*5, rng.Float64()*5),
+			Ref:  Ref(i),
+		}
+	}
+	return items
+}
+
+// bruteForce returns refs of items intersecting q.
+func bruteForce(items []Item, q geom.Rect) []Ref {
+	var out []Ref
+	for _, it := range items {
+		if q.Intersects(it.Rect) {
+			out = append(out, it.Ref)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedRefs(rs []Ref) []Ref {
+	out := append([]Ref(nil), rs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func refsEqual(a, b []Ref) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConfigNormalize(t *testing.T) {
+	// Defaults: capacity from page size.
+	cfg, err := Config{}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxEntries != CapacityForPage(0) {
+		t.Fatalf("default MaxEntries = %d, want %d", cfg.MaxEntries, CapacityForPage(0))
+	}
+	if cfg.MinEntries != cfg.MaxEntries*2/5 {
+		t.Fatalf("default MinEntries = %d", cfg.MinEntries)
+	}
+	// 4 KiB page with no aux: (4096-8)/40 = 102 entries.
+	if got := CapacityForPage(0); got != 102 {
+		t.Fatalf("CapacityForPage(0) = %d, want 102", got)
+	}
+	// Paper-style PTI payload: 10 catalog values x 4 sides = 40 floats.
+	if got := CapacityForPage(40); got != 11 {
+		t.Fatalf("CapacityForPage(40) = %d, want 11", got)
+	}
+	// Errors.
+	if _, err := (Config{AuxLen: 2}).normalize(); err == nil {
+		t.Fatal("AuxLen without MergeAux accepted")
+	}
+	if _, err := (Config{MaxEntries: 3}).normalize(); err == nil {
+		t.Fatal("MaxEntries < 4 accepted")
+	}
+	if _, err := (Config{MaxEntries: 10, MinEntries: 6}).normalize(); err == nil {
+		t.Fatal("MinEntries > M/2 accepted")
+	}
+	if _, err := (Config{AuxLen: -1}).normalize(); err == nil {
+		t.Fatal("negative AuxLen accepted")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := newMemTree(t, smallCfg)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("Len = %d, Height = %d", tr.Len(), tr.Height())
+	}
+	refs, err := tr.SearchCollect(geom.Rect{Lo: geom.Pt(-1e9, -1e9), Hi: geom.Pt(1e9, 1e9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 0 {
+		t.Fatalf("empty tree returned %v", refs)
+	}
+	b, err := tr.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Empty() {
+		t.Fatalf("empty tree bounds = %v", b)
+	}
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	tr := newMemTree(t, smallCfg)
+	rects := []geom.Rect{
+		{Lo: geom.Pt(0, 0), Hi: geom.Pt(1, 1)},
+		{Lo: geom.Pt(5, 5), Hi: geom.Pt(6, 6)},
+		{Lo: geom.Pt(10, 0), Hi: geom.Pt(11, 1)},
+	}
+	for i, r := range rects {
+		if err := tr.Insert(r, Ref(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	refs, err := tr.SearchCollect(geom.Rect{Lo: geom.Pt(4, 4), Hi: geom.Pt(7, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refsEqual(sortedRefs(refs), []Ref{1}) {
+		t.Fatalf("search = %v, want [1]", refs)
+	}
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertRejectsInvalid(t *testing.T) {
+	tr := newMemTree(t, smallCfg)
+	if err := tr.Insert(geom.Rect{Lo: geom.Pt(1, 1), Hi: geom.Pt(0, 0)}, 1, nil); err == nil {
+		t.Fatal("invalid rect accepted")
+	}
+	if err := tr.Insert(geom.RectAt(geom.Pt(0, 0)), 1, []float64{1}); err == nil {
+		t.Fatal("aux on aux-less tree accepted")
+	}
+}
+
+func TestInsertManyMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	items := randItems(rng, 1000, 1000)
+	tr := newMemTree(t, smallCfg)
+	for _, it := range items {
+		if err := tr.Insert(it.Rect, it.Ref, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height = %d; expected deep tree with M=4", tr.Height())
+	}
+	for i := 0; i < 100; i++ {
+		c := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		q := geom.RectCentered(c, rng.Float64()*80, rng.Float64()*80)
+		got, err := tr.SearchCollect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteForce(items, q); !refsEqual(sortedRefs(got), want) {
+			t.Fatalf("query %v: got %d refs, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	tr := newMemTree(t, smallCfg)
+	for _, it := range randItems(rng, 200, 100) {
+		if err := tr.Insert(it.Rect, it.Ref, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	world := geom.Rect{Lo: geom.Pt(-10, -10), Hi: geom.Pt(110, 110)}
+	var seen int
+	err := tr.Search(world, func(e Entry) bool {
+		seen++
+		return seen < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 {
+		t.Fatalf("early stop visited %d entries, want 5", seen)
+	}
+}
+
+func TestDeleteMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	items := randItems(rng, 600, 500)
+	tr := newMemTree(t, smallCfg)
+	for _, it := range items {
+		if err := tr.Insert(it.Rect, it.Ref, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a random half.
+	perm := rng.Perm(len(items))
+	removed := map[Ref]bool{}
+	for _, idx := range perm[:300] {
+		it := items[idx]
+		ok, err := tr.Delete(it.Rect, it.Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("Delete(%v, %d) found nothing", it.Rect, it.Ref)
+		}
+		removed[it.Ref] = true
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("Len after deletes = %d, want 300", tr.Len())
+	}
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	var live []Item
+	for _, it := range items {
+		if !removed[it.Ref] {
+			live = append(live, it)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		c := geom.Pt(rng.Float64()*500, rng.Float64()*500)
+		q := geom.RectCentered(c, rng.Float64()*60, rng.Float64()*60)
+		got, err := tr.SearchCollect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteForce(live, q); !refsEqual(sortedRefs(got), want) {
+			t.Fatalf("after deletes, query %v mismatch", q)
+		}
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	items := randItems(rng, 150, 100)
+	tr := newMemTree(t, smallCfg)
+	for _, it := range items {
+		if err := tr.Insert(it.Rect, it.Ref, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, it := range items {
+		ok, err := tr.Delete(it.Rect, it.Ref)
+		if err != nil || !ok {
+			t.Fatalf("delete %d: ok=%t err=%v", it.Ref, ok, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("height = %d after deleting all, want 1", tr.Height())
+	}
+	ok, err := tr.Delete(items[0].Rect, items[0].Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("delete from empty tree reported success")
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := newMemTree(t, smallCfg)
+	r := geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(1, 1)}
+	if err := tr.Insert(r, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Same rect, wrong ref.
+	if ok, _ := tr.Delete(r, 2); ok {
+		t.Fatal("deleted entry with wrong ref")
+	}
+	// Same ref, wrong rect.
+	if ok, _ := tr.Delete(r.Translate(geom.Vec{X: 5}), 1); ok {
+		t.Fatal("deleted entry with wrong rect")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("entry vanished")
+	}
+}
+
+func TestBulkLoadMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	items := randItems(rng, 5000, 2000)
+	tr, err := BulkLoad(NewMemNodeStore(), Config{MaxEntries: 16, MinEntries: 4}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		c := geom.Pt(rng.Float64()*2000, rng.Float64()*2000)
+		q := geom.RectCentered(c, rng.Float64()*100, rng.Float64()*100)
+		got, err := tr.SearchCollect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteForce(items, q); !refsEqual(sortedRefs(got), want) {
+			t.Fatalf("bulk query %v mismatch", q)
+		}
+	}
+}
+
+func TestBulkLoadEmptyAndSmall(t *testing.T) {
+	tr, err := BulkLoad(NewMemNodeStore(), smallCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty bulk: Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	// Fewer items than one node.
+	items := randItems(rand.New(rand.NewSource(56)), 3, 10)
+	tr, err = BulkLoad(NewMemNodeStore(), smallCfg, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 || tr.Height() != 1 {
+		t.Fatalf("small bulk: Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+}
+
+func TestBulkLoadUtilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	items := randItems(rng, 4000, 2000)
+	tr, err := BulkLoad(NewMemNodeStore(), Config{MaxEntries: 20, MinEntries: 4}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, leaves, err := tr.NodeCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// STR should pack near-full leaves: ceil(4000/20) = 200.
+	if leaves > 205 {
+		t.Fatalf("STR produced %d leaves for 4000/20 items", leaves)
+	}
+}
+
+func TestInsertAfterBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	items := randItems(rng, 500, 300)
+	tr, err := BulkLoad(NewMemNodeStore(), smallCfg, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := randItems(rng, 100, 300)
+	for _, it := range extra {
+		if err := tr.Insert(it.Rect, it.Ref+1000, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 600 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	all := append([]Item{}, items...)
+	for _, it := range extra {
+		all = append(all, Item{Rect: it.Rect, Ref: it.Ref + 1000})
+	}
+	for i := 0; i < 40; i++ {
+		c := geom.Pt(rng.Float64()*300, rng.Float64()*300)
+		q := geom.RectCentered(c, rng.Float64()*50, rng.Float64()*50)
+		got, err := tr.SearchCollect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteForce(all, q); !refsEqual(sortedRefs(got), want) {
+			t.Fatalf("mixed query %v mismatch", q)
+		}
+	}
+}
+
+func TestNodeAccessCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	items := randItems(rng, 2000, 1000)
+	tr, err := BulkLoad(NewMemNodeStore(), Config{MaxEntries: 32, MinEntries: 8}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ResetNodeAccesses()
+	small := geom.RectCentered(geom.Pt(500, 500), 10, 10)
+	if _, err := tr.SearchCollect(small); err != nil {
+		t.Fatal(err)
+	}
+	smallCost := tr.NodeAccesses()
+	if smallCost < 1 {
+		t.Fatal("no node accesses counted")
+	}
+	tr.ResetNodeAccesses()
+	big := geom.RectCentered(geom.Pt(500, 500), 400, 400)
+	if _, err := tr.SearchCollect(big); err != nil {
+		t.Fatal(err)
+	}
+	if bigCost := tr.NodeAccesses(); bigCost <= smallCost {
+		t.Fatalf("larger query cost %d not above smaller %d", bigCost, smallCost)
+	}
+}
+
+func TestAuxMaintenance(t *testing.T) {
+	// Aux = [minStart, maxEnd] envelope maintained under inserts,
+	// splits, and deletes.
+	merge := func(dst, src []float64) {
+		if src[0] < dst[0] {
+			dst[0] = src[0]
+		}
+		if src[1] > dst[1] {
+			dst[1] = src[1]
+		}
+	}
+	cfg := Config{MaxEntries: 4, MinEntries: 2, AuxLen: 2, MergeAux: merge}
+	tr, err := New(NewMemNodeStore(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(60))
+	type rec struct {
+		rect geom.Rect
+		aux  []float64
+		ref  Ref
+	}
+	var recs []rec
+	for i := 0; i < 300; i++ {
+		c := geom.Pt(rng.Float64()*500, rng.Float64()*500)
+		v := rng.Float64() * 100
+		r := rec{
+			rect: geom.RectCentered(c, 2, 2),
+			aux:  []float64{v, v + rng.Float64()*10},
+			ref:  Ref(i),
+		}
+		recs = append(recs, r)
+		if err := tr.Insert(r.rect, r.ref, r.aux); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	// Delete some and re-validate aux envelopes.
+	for _, i := range rng.Perm(300)[:120] {
+		ok, err := tr.Delete(recs[i].rect, recs[i].ref)
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %t %v", i, ok, err)
+		}
+	}
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	// Leaf aux values round-trip unchanged.
+	seen := 0
+	err = tr.Walk(func(n *Node, level int) error {
+		if !n.Leaf {
+			return nil
+		}
+		for _, e := range n.Entries {
+			want := recs[e.Ref].aux
+			if e.Aux[0] != want[0] || e.Aux[1] != want[1] {
+				t.Fatalf("ref %d aux = %v, want %v", e.Ref, e.Aux, want)
+			}
+			seen++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 180 {
+		t.Fatalf("saw %d leaf entries, want 180", seen)
+	}
+}
+
+func TestSearchWithPruner(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	items := randItems(rng, 1000, 1000)
+	tr, err := BulkLoad(NewMemNodeStore(), Config{MaxEntries: 8, MinEntries: 2}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(1000, 1000)}
+	// Pruning everything yields nothing.
+	var n int
+	err = tr.SearchWithPruner(world, func(Entry) bool { return true }, func(Entry) bool {
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("prune-all visited %d entries", n)
+	}
+	// Pruning subtrees left of x=500 leaves only right-side results.
+	got := map[Ref]bool{}
+	err = tr.SearchWithPruner(world,
+		func(e Entry) bool { return e.Rect.Hi.X < 500 },
+		func(e Entry) bool {
+			got[e.Ref] = true
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if it.Rect.Hi.X >= 500 && !got[it.Ref] {
+			t.Fatalf("right-side item %d missing", it.Ref)
+		}
+	}
+}
+
+func TestPagedNodeStoreRoundTrip(t *testing.T) {
+	pool := storage.NewBufferPool(storage.NewMemStore(), 64)
+	store := NewPagedNodeStore(pool, 3)
+	n, err := store.Alloc(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Entries = []Entry{
+		{Rect: geom.Rect{Lo: geom.Pt(1, 2), Hi: geom.Pt(3, 4)}, Ref: 77, Aux: []float64{0.5, -1, 9}},
+		{Rect: geom.Rect{Lo: geom.Pt(-5, -6), Hi: geom.Pt(-1, -2)}, Ref: -3, Aux: []float64{1, 2, 3}},
+	}
+	if err := store.Update(n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get(n.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Leaf || len(got.Entries) != 2 {
+		t.Fatalf("decoded node: leaf=%t entries=%d", got.Leaf, len(got.Entries))
+	}
+	if got.Entries[0].Ref != 77 || got.Entries[1].Ref != -3 {
+		t.Fatalf("refs = %d, %d", got.Entries[0].Ref, got.Entries[1].Ref)
+	}
+	if !got.Entries[0].Rect.ApproxEqual(n.Entries[0].Rect) {
+		t.Fatalf("rect mismatch: %v", got.Entries[0].Rect)
+	}
+	for i, v := range []float64{0.5, -1, 9} {
+		if got.Entries[0].Aux[i] != v {
+			t.Fatalf("aux mismatch: %v", got.Entries[0].Aux)
+		}
+	}
+	// Interior node round trip.
+	in, err := store.Alloc(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Entries = []Entry{{Rect: geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(9, 9)}, Child: n.ID, Aux: []float64{1, 1, 1}}}
+	if err := store.Update(in); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := store.Get(in.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Leaf || got2.Entries[0].Child != n.ID {
+		t.Fatalf("interior round trip: leaf=%t child=%d", got2.Leaf, got2.Entries[0].Child)
+	}
+}
+
+func TestPagedTreeMatchesMemTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	items := randItems(rng, 3000, 1500)
+
+	memTr, err := BulkLoad(NewMemNodeStore(), Config{}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := storage.NewBufferPool(storage.NewMemStore(), 32)
+	pagedTr, err := BulkLoad(NewPagedNodeStore(pool, 0), Config{}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pagedTr.CheckInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		c := geom.Pt(rng.Float64()*1500, rng.Float64()*1500)
+		q := geom.RectCentered(c, rng.Float64()*120, rng.Float64()*120)
+		a, err := memTr.SearchCollect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := pagedTr.SearchCollect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !refsEqual(sortedRefs(a), sortedRefs(b)) {
+			t.Fatalf("paged/mem mismatch on %v", q)
+		}
+	}
+	if pool.Stats().LogicalReads == 0 {
+		t.Fatal("paged tree did no page reads")
+	}
+}
+
+func TestPagedTreeInsertDelete(t *testing.T) {
+	pool := storage.NewBufferPool(storage.NewMemStore(), 16)
+	tr, err := New(NewPagedNodeStore(pool, 0), Config{MaxEntries: 8, MinEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(63))
+	items := randItems(rng, 400, 200)
+	for _, it := range items {
+		if err := tr.Insert(it.Rect, it.Ref, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range rng.Perm(400)[:200] {
+		ok, err := tr.Delete(items[i].Rect, items[i].Ref)
+		if err != nil || !ok {
+			t.Fatalf("paged delete: %t %v", ok, err)
+		}
+	}
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 200 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestTreeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	items := randItems(rng, 2000, 1000)
+	tr, err := BulkLoad(NewMemNodeStore(), Config{MaxEntries: 20, MinEntries: 4}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Entries != 2000 || s.Height != tr.Height() {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Leaves < 100 || s.Leaves > 110 { // ceil(2000/20) = 100 + slack
+		t.Fatalf("leaves = %d", s.Leaves)
+	}
+	// STR packs nodes nearly full.
+	if s.AvgFill < 0.8 {
+		t.Fatalf("avg fill = %g; STR should pack tight", s.AvgFill)
+	}
+	if s.BytesPerEntry != 40 {
+		t.Fatalf("bytes/entry = %d", s.BytesPerEntry)
+	}
+}
+
+func TestLinearSplitCorrectness(t *testing.T) {
+	// The linear split must preserve exactly the same search semantics
+	// as the quadratic one — only tree shape/quality differs.
+	rng := rand.New(rand.NewSource(65))
+	items := randItems(rng, 1500, 800)
+	linCfg := Config{MaxEntries: 6, MinEntries: 2, Split: SplitLinear}
+	tr, err := New(NewMemNodeStore(), linCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if err := tr.Insert(it.Rect, it.Ref, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		q := geom.RectCentered(
+			geom.Pt(rng.Float64()*800, rng.Float64()*800),
+			rng.Float64()*70, rng.Float64()*70)
+		got, err := tr.SearchCollect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteForce(items, q); !refsEqual(sortedRefs(got), want) {
+			t.Fatalf("linear-split query %v mismatch", q)
+		}
+	}
+	// Deletes keep working.
+	for _, i := range rng.Perm(1500)[:600] {
+		ok, err := tr.Delete(items[i].Rect, items[i].Ref)
+		if err != nil || !ok {
+			t.Fatalf("linear-split delete: %t %v", ok, err)
+		}
+	}
+	if err := tr.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitAlgorithmQualityAblation(t *testing.T) {
+	// Quadratic grouping should not be worse than linear on query I/O
+	// for clustered data (the reason it is the default).
+	rng := rand.New(rand.NewSource(66))
+	var items []Item
+	for c := 0; c < 12; c++ {
+		cx, cy := rng.Float64()*1000, rng.Float64()*1000
+		for i := 0; i < 150; i++ {
+			p := geom.Pt(cx+rng.NormFloat64()*15, cy+rng.NormFloat64()*15)
+			items = append(items, Item{Rect: geom.RectCentered(p, 1, 1), Ref: Ref(len(items))})
+		}
+	}
+	build := func(alg SplitAlgorithm) *Tree {
+		tr, err := New(NewMemNodeStore(), Config{MaxEntries: 10, MinEntries: 3, Split: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items {
+			if err := tr.Insert(it.Rect, it.Ref, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr
+	}
+	quad := build(SplitQuadratic)
+	lin := build(SplitLinear)
+	var quadIO, linIO int64
+	for i := 0; i < 80; i++ {
+		q := geom.RectCentered(
+			geom.Pt(rng.Float64()*1000, rng.Float64()*1000), 40, 40)
+		quad.ResetNodeAccesses()
+		if _, err := quad.SearchCollect(q); err != nil {
+			t.Fatal(err)
+		}
+		quadIO += quad.NodeAccesses()
+		lin.ResetNodeAccesses()
+		got, err := lin.SearchCollect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		linIO += lin.NodeAccesses()
+		// Same answers regardless of split strategy.
+		want, err := quad.SearchCollect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !refsEqual(sortedRefs(got), sortedRefs(want)) {
+			t.Fatalf("split strategies disagree on %v", q)
+		}
+	}
+	// Allow some slack: quadratic should be no more than 15% worse.
+	if float64(quadIO) > 1.15*float64(linIO) {
+		t.Fatalf("quadratic I/O %d far above linear %d", quadIO, linIO)
+	}
+	if SplitQuadratic.String() != "quadratic" || SplitLinear.String() != "linear" {
+		t.Fatal("split algorithm names")
+	}
+}
+
+func TestNodeAccessesMatchPoolLogicalReads(t *testing.T) {
+	// Cross-validate the two independent I/O meters: for a paged tree,
+	// one tree-level node access is exactly one buffer-pool logical
+	// read during searches.
+	rng := rand.New(rand.NewSource(67))
+	items := randItems(rng, 2500, 1200)
+	pool := storage.NewBufferPool(storage.NewMemStore(), 32)
+	tr, err := BulkLoad(NewPagedNodeStore(pool, 0), Config{}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		q := geom.RectCentered(
+			geom.Pt(rng.Float64()*1200, rng.Float64()*1200),
+			rng.Float64()*150, rng.Float64()*150)
+		tr.ResetNodeAccesses()
+		before := pool.Stats().LogicalReads
+		if _, err := tr.SearchCollect(q); err != nil {
+			t.Fatal(err)
+		}
+		treeCount := tr.NodeAccesses()
+		poolCount := pool.Stats().LogicalReads - before
+		if treeCount != poolCount {
+			t.Fatalf("query %d: tree counted %d accesses, pool %d logical reads",
+				i, treeCount, poolCount)
+		}
+	}
+}

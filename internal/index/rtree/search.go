@@ -1,0 +1,106 @@
+package rtree
+
+import "repro/internal/geom"
+
+// Visit receives a matching leaf entry; returning false stops the
+// search early.
+type Visit func(e Entry) bool
+
+// NodePruner inspects an interior entry (its rectangle already
+// intersects the query) and returns true if the whole subtree can be
+// skipped. It is the hook PTI uses for index-level probability pruning
+// (§5.3). A nil pruner skips nothing.
+type NodePruner func(e Entry) bool
+
+// Search visits every leaf entry whose rectangle intersects q.
+func (t *Tree) Search(q geom.Rect, visit Visit) error {
+	return t.SearchWithPruner(q, nil, visit)
+}
+
+// SearchWithPruner is Search with an additional subtree pruner applied
+// to interior entries after the rectangle test.
+func (t *Tree) SearchWithPruner(q geom.Rect, prune NodePruner, visit Visit) error {
+	if t.size == 0 {
+		return nil
+	}
+	_, err := t.searchNode(t.root, q, prune, visit)
+	return err
+}
+
+func (t *Tree) searchNode(id NodeID, q geom.Rect, prune NodePruner, visit Visit) (bool, error) {
+	n, err := t.getNode(id)
+	if err != nil {
+		return false, err
+	}
+	if n.Leaf {
+		for _, e := range n.Entries {
+			if !q.Intersects(e.Rect) {
+				continue
+			}
+			if !visit(e) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for _, e := range n.Entries {
+		if !q.Intersects(e.Rect) {
+			continue
+		}
+		if prune != nil && prune(e) {
+			continue
+		}
+		cont, err := t.searchNode(e.Child, q, prune, visit)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// SearchCollect returns the refs of all leaf entries intersecting q, in
+// visit order.
+func (t *Tree) SearchCollect(q geom.Rect) ([]Ref, error) {
+	var out []Ref
+	err := t.Search(q, func(e Entry) bool {
+		out = append(out, e.Ref)
+		return true
+	})
+	return out, err
+}
+
+// Walk visits every node in the tree, top-down, calling fn with the
+// node and its level (root level = Height-1, leaves = 0). It is meant
+// for diagnostics, validation, and statistics.
+func (t *Tree) Walk(fn func(n *Node, level int) error) error {
+	return t.walkNode(t.root, t.height-1, fn)
+}
+
+func (t *Tree) walkNode(id NodeID, level int, fn func(n *Node, level int) error) error {
+	n, err := t.getNode(id)
+	if err != nil {
+		return err
+	}
+	if err := fn(n, level); err != nil {
+		return err
+	}
+	if n.Leaf {
+		return nil
+	}
+	for _, e := range n.Entries {
+		if err := t.walkNode(e.Child, level-1, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bounds returns the bounding rectangle of all data (Empty if the tree
+// is empty).
+func (t *Tree) Bounds() (geom.Rect, error) {
+	n, err := t.getNode(t.root)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	return n.bounds(), nil
+}

@@ -1,0 +1,241 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// NodeStore abstracts node persistence. Get returns a node the caller
+// may mutate; mutations become visible (and durable, for paged stores)
+// only after Update. Implementations are not safe for concurrent use.
+type NodeStore interface {
+	// Alloc creates an empty node of the given kind and returns it.
+	Alloc(leaf bool) (*Node, error)
+	// Get fetches node id.
+	Get(id NodeID) (*Node, error)
+	// Update persists n under n.ID.
+	Update(n *Node) error
+	// Free releases node id for reuse.
+	Free(id NodeID) error
+}
+
+// MemNodeStore keeps nodes on the Go heap. It is the fast path for
+// CPU-bound experiments; node accesses are still counted by the Tree.
+type MemNodeStore struct {
+	nodes map[NodeID]*Node
+	next  NodeID
+	free  []NodeID
+}
+
+// NewMemNodeStore returns an empty in-memory node store.
+func NewMemNodeStore() *MemNodeStore {
+	return &MemNodeStore{nodes: make(map[NodeID]*Node)}
+}
+
+// Alloc implements NodeStore.
+func (s *MemNodeStore) Alloc(leaf bool) (*Node, error) {
+	var id NodeID
+	if n := len(s.free); n > 0 {
+		id = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		id = s.next
+		s.next++
+	}
+	n := &Node{ID: id, Leaf: leaf}
+	s.nodes[id] = n
+	return n, nil
+}
+
+// Get implements NodeStore.
+func (s *MemNodeStore) Get(id NodeID) (*Node, error) {
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("rtree: node %d not found", id)
+	}
+	return n, nil
+}
+
+// Update implements NodeStore. For the memory store the returned nodes
+// alias the stored ones, so Update only needs to re-register the id.
+func (s *MemNodeStore) Update(n *Node) error {
+	s.nodes[n.ID] = n
+	return nil
+}
+
+// Free implements NodeStore.
+func (s *MemNodeStore) Free(id NodeID) error {
+	if _, ok := s.nodes[id]; !ok {
+		return fmt.Errorf("rtree: free of unknown node %d", id)
+	}
+	delete(s.nodes, id)
+	s.free = append(s.free, id)
+	return nil
+}
+
+// NumNodes returns the number of live nodes.
+func (s *MemNodeStore) NumNodes() int { return len(s.nodes) }
+
+// PagedNodeStore serializes each node into one 4 KiB page accessed
+// through a buffer pool, reproducing the paper's disk-resident index.
+// Tree metadata (root id, free list) is kept in memory: the
+// reproduction rebuilds indexes per run, and the I/O cost model only
+// concerns node pages.
+type PagedNodeStore struct {
+	pool   *storage.BufferPool
+	auxLen int
+	free   []NodeID
+}
+
+// NewPagedNodeStore builds a paged store over pool for nodes whose
+// entries carry auxLen auxiliary float64s.
+func NewPagedNodeStore(pool *storage.BufferPool, auxLen int) *PagedNodeStore {
+	return &PagedNodeStore{pool: pool, auxLen: auxLen}
+}
+
+// Pool exposes the underlying buffer pool (for I/O statistics).
+func (s *PagedNodeStore) Pool() *storage.BufferPool { return s.pool }
+
+// Alloc implements NodeStore.
+func (s *PagedNodeStore) Alloc(leaf bool) (*Node, error) {
+	var id NodeID
+	if n := len(s.free); n > 0 {
+		id = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		pid, _, err := s.pool.Allocate()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.pool.Unpin(storage.PageID(pid)); err != nil {
+			return nil, err
+		}
+		id = NodeID(pid)
+	}
+	return &Node{ID: id, Leaf: leaf}, nil
+}
+
+// Get implements NodeStore.
+func (s *PagedNodeStore) Get(id NodeID) (*Node, error) {
+	data, err := s.pool.Pin(storage.PageID(id))
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.Unpin(storage.PageID(id))
+	return decodeNode(id, data, s.auxLen)
+}
+
+// Update implements NodeStore.
+func (s *PagedNodeStore) Update(n *Node) error {
+	data, err := s.pool.Pin(storage.PageID(n.ID))
+	if err != nil {
+		return err
+	}
+	defer s.pool.Unpin(storage.PageID(n.ID))
+	if err := encodeNode(n, data, s.auxLen); err != nil {
+		return err
+	}
+	s.pool.MarkDirty(storage.PageID(n.ID))
+	return nil
+}
+
+// Free implements NodeStore.
+func (s *PagedNodeStore) Free(id NodeID) error {
+	s.free = append(s.free, id)
+	return nil
+}
+
+// Node page layout:
+//
+//	offset 0: flags byte (bit 0 = leaf)
+//	offset 1: reserved byte
+//	offset 2: uint16 entry count
+//	offset 4: uint32 reserved
+//	offset 8: entries, each 32-byte rect + 8-byte ref/child +
+//	          auxLen float64s
+func encodeNode(n *Node, data []byte, auxLen int) error {
+	entryBytes := 32 + 8 + 8*auxLen
+	need := nodeHeaderBytes + len(n.Entries)*entryBytes
+	if need > storage.PageSize {
+		return fmt.Errorf("rtree: node %d with %d entries overflows page (%d > %d)",
+			n.ID, len(n.Entries), need, storage.PageSize)
+	}
+	var flags byte
+	if n.Leaf {
+		flags |= 1
+	}
+	data[0] = flags
+	data[1] = 0
+	binary.LittleEndian.PutUint16(data[2:], uint16(len(n.Entries)))
+	binary.LittleEndian.PutUint32(data[4:], 0)
+	off := nodeHeaderBytes
+	for _, e := range n.Entries {
+		putFloat(data[off:], e.Rect.Lo.X)
+		putFloat(data[off+8:], e.Rect.Lo.Y)
+		putFloat(data[off+16:], e.Rect.Hi.X)
+		putFloat(data[off+24:], e.Rect.Hi.Y)
+		if n.Leaf {
+			binary.LittleEndian.PutUint64(data[off+32:], uint64(e.Ref))
+		} else {
+			binary.LittleEndian.PutUint64(data[off+32:], uint64(e.Child))
+		}
+		off += 40
+		if auxLen > 0 {
+			if len(e.Aux) != auxLen {
+				return fmt.Errorf("rtree: entry aux length %d, want %d", len(e.Aux), auxLen)
+			}
+			for _, v := range e.Aux {
+				putFloat(data[off:], v)
+				off += 8
+			}
+		}
+	}
+	return nil
+}
+
+func decodeNode(id NodeID, data []byte, auxLen int) (*Node, error) {
+	n := &Node{ID: id, Leaf: data[0]&1 != 0}
+	count := int(binary.LittleEndian.Uint16(data[2:]))
+	entryBytes := 32 + 8 + 8*auxLen
+	if nodeHeaderBytes+count*entryBytes > storage.PageSize {
+		return nil, fmt.Errorf("rtree: corrupt node %d: count %d overflows page", id, count)
+	}
+	n.Entries = make([]Entry, count)
+	off := nodeHeaderBytes
+	for i := 0; i < count; i++ {
+		e := Entry{
+			Rect: geom.Rect{
+				Lo: geom.Pt(getFloat(data[off:]), getFloat(data[off+8:])),
+				Hi: geom.Pt(getFloat(data[off+16:]), getFloat(data[off+24:])),
+			},
+		}
+		raw := binary.LittleEndian.Uint64(data[off+32:])
+		if n.Leaf {
+			e.Ref = Ref(raw)
+		} else {
+			e.Child = NodeID(raw)
+		}
+		off += 40
+		if auxLen > 0 {
+			e.Aux = make([]float64, auxLen)
+			for j := range e.Aux {
+				e.Aux[j] = getFloat(data[off:])
+				off += 8
+			}
+		}
+		n.Entries[i] = e
+	}
+	return n, nil
+}
+
+func putFloat(b []byte, v float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+}
+
+func getFloat(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

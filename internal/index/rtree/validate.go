@@ -1,0 +1,122 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckInvariants verifies the structural invariants of the tree and
+// returns a descriptive error on the first violation. It is intended
+// for tests and post-bulk-load sanity checks:
+//
+//   - every interior entry's rectangle equals the union of its child's
+//     entry rectangles (tight envelopes);
+//   - when AuxLen > 0, every interior entry's aux payload equals the
+//     merge of its child's entry payloads;
+//   - all leaves sit at the same depth;
+//   - all nodes respect MaxEntries, and — when requireMinFill is true —
+//     non-root nodes respect MinEntries (dynamically built trees
+//     guarantee it; STR bulk loading may leave one under-filled tail
+//     node per level, so pass false for bulk-loaded trees);
+//   - the entry count matches Len().
+func (t *Tree) CheckInvariants(requireMinFill bool) error {
+	count := 0
+	var walk func(id NodeID, depth int) error
+	leafDepth := -1
+	walk = func(id NodeID, depth int) error {
+		n, err := t.getNode(id)
+		if err != nil {
+			return err
+		}
+		if len(n.Entries) > t.cfg.MaxEntries {
+			return fmt.Errorf("node %d: %d entries exceeds max %d", id, len(n.Entries), t.cfg.MaxEntries)
+		}
+		if requireMinFill && id != t.root && len(n.Entries) < t.cfg.MinEntries {
+			return fmt.Errorf("node %d: %d entries below min %d", id, len(n.Entries), t.cfg.MinEntries)
+		}
+		if n.Leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("leaf %d at depth %d, expected %d", id, depth, leafDepth)
+			}
+			if depth != t.height-1 {
+				return fmt.Errorf("leaf %d at depth %d, height %d", id, depth, t.height)
+			}
+			count += len(n.Entries)
+			return nil
+		}
+		for i, e := range n.Entries {
+			child, err := t.getNode(e.Child)
+			if err != nil {
+				return fmt.Errorf("node %d entry %d: %w", id, i, err)
+			}
+			r, aux := t.entryEnvelope(child)
+			if !e.Rect.ApproxEqual(r) {
+				return fmt.Errorf("node %d entry %d: envelope %v, children union %v", id, i, e.Rect, r)
+			}
+			for j := range aux {
+				if math.Abs(aux[j]-e.Aux[j]) > 1e-9 {
+					return fmt.Errorf("node %d entry %d: aux[%d] = %g, merged %g", id, i, j, e.Aux[j], aux[j])
+				}
+			}
+			if err := walk(e.Child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("entry count %d != Len() %d", count, t.size)
+	}
+	return nil
+}
+
+// NodeCount returns the total number of nodes and leaves in the tree.
+func (t *Tree) NodeCount() (nodes, leaves int, err error) {
+	err = t.Walk(func(n *Node, level int) error {
+		nodes++
+		if n.Leaf {
+			leaves++
+		}
+		return nil
+	})
+	return nodes, leaves, err
+}
+
+// TreeStats summarizes the tree's shape for diagnostics and ablation
+// reporting.
+type TreeStats struct {
+	Height        int
+	Nodes         int
+	Leaves        int
+	Entries       int
+	AvgFill       float64 // mean entries per node relative to capacity
+	LeafArea      float64 // total leaf MBR area (overlap proxy)
+	BytesPerEntry int
+}
+
+// Stats walks the tree and returns shape statistics.
+func (t *Tree) Stats() (TreeStats, error) {
+	s := TreeStats{Height: t.height, Entries: t.size, BytesPerEntry: t.cfg.entryBytes()}
+	var fill float64
+	err := t.Walk(func(n *Node, level int) error {
+		s.Nodes++
+		fill += float64(len(n.Entries)) / float64(t.cfg.MaxEntries)
+		if n.Leaf {
+			s.Leaves++
+			s.LeafArea += n.bounds().Area()
+		}
+		return nil
+	})
+	if err != nil {
+		return TreeStats{}, err
+	}
+	if s.Nodes > 0 {
+		s.AvgFill = fill / float64(s.Nodes)
+	}
+	return s, nil
+}

@@ -1,0 +1,74 @@
+package integrate
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// mutex aliases sync.Mutex so integrate.go stays free of a direct
+// import it only needs for the rule cache.
+type mutex = sync.Mutex
+
+// AdaptiveOptions tunes Adaptive.
+type AdaptiveOptions struct {
+	// Tol is the absolute error target for the whole integral.
+	// Zero means 1e-9.
+	Tol float64
+	// MaxDepth bounds the recursive subdivision depth. Zero means 20.
+	MaxDepth int
+}
+
+// Adaptive estimates the integral of f over r by recursive quad-tree
+// subdivision with a Richardson-style error estimate: a cell's coarse
+// midpoint-rule estimate is compared against the sum of its four
+// children's estimates, and the cell is split while the discrepancy
+// exceeds its share of the tolerance. It handles the piecewise-smooth
+// integrands that arise from clipped pdfs far better than a fixed rule.
+func Adaptive(f Func2D, r geom.Rect, opts AdaptiveOptions) float64 {
+	if r.Empty() || r.Area() == 0 {
+		return 0
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	depth := opts.MaxDepth
+	if depth <= 0 {
+		depth = 20
+	}
+	return adaptiveCell(f, r, coarse(f, r), tol, depth)
+}
+
+// coarse is a 3×3 Gauss–Legendre estimate of the integral over r,
+// exact through degree-5 polynomials per axis, so the subdivision error
+// estimate contracts like h^6 on smooth integrands and the recursion
+// terminates after a handful of levels away from discontinuities.
+func coarse(f Func2D, r geom.Rect) float64 {
+	return GaussLegendre(f, r, 3)
+}
+
+func adaptiveCell(f Func2D, r geom.Rect, est, tol float64, depth int) float64 {
+	c := r.Center()
+	quads := [4]geom.Rect{
+		{Lo: r.Lo, Hi: c},
+		{Lo: geom.Pt(c.X, r.Lo.Y), Hi: geom.Pt(r.Hi.X, c.Y)},
+		{Lo: geom.Pt(r.Lo.X, c.Y), Hi: geom.Pt(c.X, r.Hi.Y)},
+		{Lo: c, Hi: r.Hi},
+	}
+	var fine float64
+	var sub [4]float64
+	for i, q := range quads {
+		sub[i] = coarse(f, q)
+		fine += sub[i]
+	}
+	if depth <= 0 || math.Abs(fine-est) <= tol {
+		return fine
+	}
+	var sum float64
+	for i, q := range quads {
+		sum += adaptiveCell(f, q, sub[i], tol/4, depth-1)
+	}
+	return sum
+}

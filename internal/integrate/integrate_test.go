@@ -1,0 +1,188 @@
+package integrate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Test integrands with known integrals over [0,2]x[0,3] (area 6).
+var (
+	unitRect = geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(2, 3)}
+
+	constOne = func(p geom.Point) float64 { return 1 }
+	// ∫∫ x*y over [0,2]x[0,3] = (4/2)(9/2) = 9.
+	bilinear = func(p geom.Point) float64 { return p.X * p.Y }
+	// ∫∫ x^2 + y^2 = 3*(8/3) + 2*(27/3) = 8 + 18 = 26.
+	quadratic = func(p geom.Point) float64 { return p.X*p.X + p.Y*p.Y }
+	// Discontinuous indicator of the half-plane x < 1: integral 3.
+	indicator = func(p geom.Point) float64 {
+		if p.X < 1 {
+			return 1
+		}
+		return 0
+	}
+)
+
+func TestMonteCarloConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	got := MonteCarlo(constOne, unitRect, 1000, rng)
+	if !approx(got, 6, 1e-9) {
+		t.Fatalf("constant integral = %g, want 6", got)
+	}
+}
+
+func TestMonteCarloBilinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	got := MonteCarlo(bilinear, unitRect, 200000, rng)
+	if !approx(got, 9, 0.15) {
+		t.Fatalf("bilinear integral = %g, want ~9", got)
+	}
+}
+
+func TestMonteCarloEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if got := MonteCarlo(constOne, unitRect, 0, rng); got != 0 {
+		t.Fatalf("n=0 gave %g", got)
+	}
+	empty := geom.Rect{Lo: geom.Pt(1, 1), Hi: geom.Pt(0, 0)}
+	if got := MonteCarlo(constOne, empty, 100, rng); got != 0 {
+		t.Fatalf("empty rect gave %g", got)
+	}
+	degenerate := geom.RectAt(geom.Pt(1, 1))
+	if got := MonteCarlo(constOne, degenerate, 100, rng); got != 0 {
+		t.Fatalf("degenerate rect gave %g", got)
+	}
+}
+
+func TestStratifiedBeatsPlainMC(t *testing.T) {
+	// With the same budget, stratified sampling should have visibly
+	// lower error on a smooth integrand, averaged over repetitions.
+	const n = 256
+	const reps = 60
+	var plainErr, stratErr float64
+	for i := 0; i < reps; i++ {
+		rngA := rand.New(rand.NewSource(int64(1000 + i)))
+		rngB := rand.New(rand.NewSource(int64(2000 + i)))
+		plainErr += math.Abs(MonteCarlo(quadratic, unitRect, n, rngA) - 26)
+		stratErr += math.Abs(Stratified(quadratic, unitRect, n, rngB) - 26)
+	}
+	if stratErr >= plainErr {
+		t.Fatalf("stratified mean error %g not below plain MC %g", stratErr/reps, plainErr/reps)
+	}
+}
+
+func TestStratifiedAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	got := Stratified(bilinear, unitRect, 4096, rng)
+	if !approx(got, 9, 0.05) {
+		t.Fatalf("stratified bilinear = %g, want ~9", got)
+	}
+}
+
+func TestGaussLegendreExactForPolynomials(t *testing.T) {
+	// A 2-point rule is exact through cubic polynomials per axis.
+	if got := GaussLegendre(bilinear, unitRect, 2); !approx(got, 9, 1e-9) {
+		t.Fatalf("GL2 bilinear = %g, want 9", got)
+	}
+	if got := GaussLegendre(quadratic, unitRect, 2); !approx(got, 26, 1e-9) {
+		t.Fatalf("GL2 quadratic = %g, want 26", got)
+	}
+	if got := GaussLegendre(constOne, unitRect, 1); !approx(got, 6, 1e-9) {
+		t.Fatalf("GL1 constant = %g, want 6", got)
+	}
+}
+
+func TestGaussLegendreSmoothTranscendental(t *testing.T) {
+	// ∫_0^2 ∫_0^3 sin(x) cos(y) dy dx = (1-cos 2)(sin 3).
+	f := func(p geom.Point) float64 { return math.Sin(p.X) * math.Cos(p.Y) }
+	want := (1 - math.Cos(2)) * math.Sin(3)
+	if got := GaussLegendre(f, unitRect, 16); !approx(got, want, 1e-12) {
+		t.Fatalf("GL16 = %g, want %g", got, want)
+	}
+}
+
+func TestGaussLegendreRuleProperties(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 32, 64} {
+		nodes, weights := gaussLegendreRule(n)
+		if len(nodes) != n || len(weights) != n {
+			t.Fatalf("n=%d: got %d nodes, %d weights", n, len(nodes), len(weights))
+		}
+		var wsum float64
+		for i, w := range weights {
+			if w <= 0 {
+				t.Fatalf("n=%d: non-positive weight %g", n, w)
+			}
+			wsum += w
+			if nodes[i] < -1 || nodes[i] > 1 {
+				t.Fatalf("n=%d: node %g out of [-1,1]", n, nodes[i])
+			}
+			if i > 0 && nodes[i] <= nodes[i-1] {
+				t.Fatalf("n=%d: nodes not increasing", n)
+			}
+		}
+		if !approx(wsum, 2, 1e-12) {
+			t.Fatalf("n=%d: weights sum to %g, want 2", n, wsum)
+		}
+	}
+}
+
+func TestAdaptiveSmooth(t *testing.T) {
+	got := Adaptive(quadratic, unitRect, AdaptiveOptions{Tol: 1e-8})
+	if !approx(got, 26, 1e-6) {
+		t.Fatalf("adaptive quadratic = %g, want 26", got)
+	}
+}
+
+func TestAdaptiveDiscontinuous(t *testing.T) {
+	// The indicator's discontinuity defeats fixed rules; the adaptive
+	// integrator should localize it.
+	got := Adaptive(indicator, unitRect, AdaptiveOptions{Tol: 1e-6, MaxDepth: 16})
+	if !approx(got, 3, 0.01) {
+		t.Fatalf("adaptive indicator = %g, want ~3", got)
+	}
+}
+
+func TestAdaptiveDefaultsAndEdges(t *testing.T) {
+	if got := Adaptive(constOne, geom.RectAt(geom.Pt(1, 2)), AdaptiveOptions{}); got != 0 {
+		t.Fatalf("degenerate adaptive = %g", got)
+	}
+	got := Adaptive(constOne, unitRect, AdaptiveOptions{}) // default tol
+	if !approx(got, 6, 1e-9) {
+		t.Fatalf("default-option adaptive = %g, want 6", got)
+	}
+}
+
+func TestIntegratorsAgree(t *testing.T) {
+	// All integrators must agree on a moderately smooth integrand.
+	f := func(p geom.Point) float64 { return math.Exp(-p.X) + p.Y }
+	r := geom.Rect{Lo: geom.Pt(-1, 0), Hi: geom.Pt(1, 2)}
+	want := GaussLegendre(f, r, 32)
+	rng := rand.New(rand.NewSource(5))
+	if got := MonteCarlo(f, r, 400000, rng); !approx(got, want, 0.05) {
+		t.Errorf("MC = %g, GL = %g", got, want)
+	}
+	if got := Stratified(f, r, 10000, rng); !approx(got, want, 0.01) {
+		t.Errorf("stratified = %g, GL = %g", got, want)
+	}
+	if got := Adaptive(f, r, AdaptiveOptions{Tol: 1e-9}); !approx(got, want, 1e-6) {
+		t.Errorf("adaptive = %g, GL = %g", got, want)
+	}
+}
+
+func BenchmarkMonteCarlo1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		MonteCarlo(bilinear, unitRect, 1000, rng)
+	}
+}
+
+func BenchmarkGaussLegendre16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GaussLegendre(bilinear, unitRect, 16)
+	}
+}

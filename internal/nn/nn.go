@@ -1,0 +1,152 @@
+// Package nn implements the paper's first future-work item (§7):
+// imprecise location-dependent nearest-neighbor queries. Given a query
+// issuer with an uncertain location, it returns for each point object
+// the probability that the object is the issuer's nearest neighbor —
+// the probabilistic counterpart of the range nearest-neighbor query
+// (Hu & Lee 2006, the paper's reference [11]).
+//
+// Evaluation has two stages, mirroring the range-query engine:
+//
+//  1. Candidate pruning: an object can be the nearest neighbor of
+//     some position in U0 only if its minimum distance to U0 does not
+//     exceed the smallest maximum distance any object has to U0
+//     (the classic MinDist/MaxDist bound). Everything else has
+//     qualification probability exactly zero.
+//  2. Monte-Carlo refinement: sample issuer positions from f0 and
+//     tally nearest-candidate frequencies. The estimate is unbiased,
+//     and only candidates are scanned per sample.
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+)
+
+// Match pairs an object id with its probability of being the nearest
+// neighbor.
+type Match struct {
+	ID uncertain.ID
+	P  float64
+}
+
+// Result reports an evaluation.
+type Result struct {
+	// Matches holds every object with non-zero estimated probability,
+	// ordered by descending probability then id.
+	Matches []Match
+	// Candidates is the number of objects surviving distance pruning.
+	Candidates int
+	// Samples is the Monte-Carlo sample count used.
+	Samples int
+}
+
+// ErrNoObjects is returned when the database is empty.
+var ErrNoObjects = errors.New("nn: no objects to query")
+
+// Evaluate computes nearest-neighbor qualification probabilities for
+// the issuer pdf over the given point objects. samples <= 0 selects
+// 1000. A nil rng gets a fixed seed, making results reproducible.
+func Evaluate(points []uncertain.PointObject, issuer pdf.PDF, samples int, rng *rand.Rand) (Result, error) {
+	if len(points) == 0 {
+		return Result{}, ErrNoObjects
+	}
+	if samples <= 0 {
+		samples = 1000
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	u0 := issuer.Support()
+
+	// Stage 1: MinDist/MaxDist pruning. tau is the best guaranteed
+	// distance: some object is always within tau of every position in
+	// U0, so anything with MinDist > tau can never win.
+	tau := math.Inf(1)
+	for _, p := range points {
+		if d := u0.MaxDist(p.Loc); d < tau {
+			tau = d
+		}
+	}
+	var cands []uncertain.PointObject
+	for _, p := range points {
+		if u0.MinDist(p.Loc) <= tau {
+			cands = append(cands, p)
+		}
+	}
+
+	// Stage 2: Monte-Carlo tally over candidates only.
+	counts := make(map[uncertain.ID]int, len(cands))
+	for s := 0; s < samples; s++ {
+		pos := issuer.Sample(rng)
+		best := -1
+		bestD := math.Inf(1)
+		for i, c := range cands {
+			if d := pos.SqDistTo(c.Loc); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		counts[cands[best].ID]++
+	}
+
+	res := Result{Candidates: len(cands), Samples: samples}
+	for id, n := range counts {
+		res.Matches = append(res.Matches, Match{ID: id, P: float64(n) / float64(samples)})
+	}
+	sort.Slice(res.Matches, func(i, j int) bool {
+		if res.Matches[i].P != res.Matches[j].P {
+			return res.Matches[i].P > res.Matches[j].P
+		}
+		return res.Matches[i].ID < res.Matches[j].ID
+	})
+	return res, nil
+}
+
+// EvaluateThreshold is Evaluate restricted to answers with probability
+// at least qp — the nearest-neighbor analogue of the constrained
+// queries.
+func EvaluateThreshold(points []uncertain.PointObject, issuer pdf.PDF, qp float64, samples int, rng *rand.Rand) (Result, error) {
+	res, err := Evaluate(points, issuer, samples, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	kept := res.Matches[:0]
+	for _, m := range res.Matches {
+		if m.P >= qp {
+			kept = append(kept, m)
+		}
+	}
+	res.Matches = kept
+	return res, nil
+}
+
+// Exact1D is a closed-form reference for tests: with a uniform issuer
+// on a horizontal segment (degenerate-height U0) and objects on the
+// same line, nearest-neighbor regions are intervals split at midpoints
+// of consecutive objects, so probabilities are interval-length
+// fractions. Objects must be sorted by X and distinct; the issuer
+// segment is [a, b] at the same Y.
+func Exact1D(xs []float64, a, b float64) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	if n == 0 || b <= a {
+		return out
+	}
+	for i := range xs {
+		lo := math.Inf(-1)
+		hi := math.Inf(1)
+		if i > 0 {
+			lo = (xs[i-1] + xs[i]) / 2
+		}
+		if i < n-1 {
+			hi = (xs[i] + xs[i+1]) / 2
+		}
+		out[i] = geom.IntervalOverlap(math.Max(lo, a), math.Min(hi, b), a, b) / (b - a)
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+)
+
+func TestEvaluateEmpty(t *testing.T) {
+	issuer := pdf.MustUniform(geom.RectCentered(geom.Pt(0, 0), 1, 1))
+	if _, err := Evaluate(nil, issuer, 100, nil); err != ErrNoObjects {
+		t.Fatalf("expected ErrNoObjects, got %v", err)
+	}
+}
+
+func TestSingleObjectAlwaysWins(t *testing.T) {
+	issuer := pdf.MustUniform(geom.RectCentered(geom.Pt(50, 50), 10, 10))
+	pts := []uncertain.PointObject{{ID: 7, Loc: geom.Pt(80, 80)}}
+	res, err := Evaluate(pts, issuer, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 || res.Matches[0].ID != 7 || res.Matches[0].P != 1 {
+		t.Fatalf("single object result = %+v", res.Matches)
+	}
+}
+
+func TestDominatedObjectPruned(t *testing.T) {
+	// Object B is so far away it can never be nearest: pruned in
+	// stage 1 and absent from results.
+	issuer := pdf.MustUniform(geom.RectCentered(geom.Pt(0, 0), 5, 5))
+	pts := []uncertain.PointObject{
+		{ID: 1, Loc: geom.Pt(1, 1)},
+		{ID: 2, Loc: geom.Pt(1000, 1000)},
+	}
+	res, err := Evaluate(pts, issuer, 800, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 1 {
+		t.Fatalf("candidates = %d, want 1 (far object pruned)", res.Candidates)
+	}
+	if len(res.Matches) != 1 || res.Matches[0].ID != 1 {
+		t.Fatalf("matches = %+v", res.Matches)
+	}
+}
+
+func TestSymmetricPairSplits(t *testing.T) {
+	// Two objects mirror-symmetric about the issuer center: each wins
+	// about half the time.
+	issuer := pdf.MustUniform(geom.RectCentered(geom.Pt(0, 0), 20, 20))
+	pts := []uncertain.PointObject{
+		{ID: 1, Loc: geom.Pt(-30, 0)},
+		{ID: 2, Loc: geom.Pt(30, 0)},
+	}
+	rng := rand.New(rand.NewSource(5))
+	res, err := Evaluate(pts, issuer, 40000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 2 {
+		t.Fatalf("matches = %+v", res.Matches)
+	}
+	for _, m := range res.Matches {
+		if math.Abs(m.P-0.5) > 0.02 {
+			t.Fatalf("object %d probability %g, want ~0.5", m.ID, m.P)
+		}
+	}
+}
+
+func TestAgainstExact1D(t *testing.T) {
+	// Issuer on a thin horizontal strip; objects on the same line. The
+	// Monte-Carlo result must match the interval closed form.
+	xs := []float64{10, 22, 40, 41, 90}
+	a, b := 0.0, 100.0
+	issuer := pdf.MustUniform(geom.Rect{Lo: geom.Pt(a, 50), Hi: geom.Pt(b, 50.001)})
+	var pts []uncertain.PointObject
+	for i, x := range xs {
+		pts = append(pts, uncertain.PointObject{ID: uncertain.ID(i), Loc: geom.Pt(x, 50)})
+	}
+	rng := rand.New(rand.NewSource(6))
+	res, err := Evaluate(pts, issuer, 60000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Exact1D(xs, a, b)
+	got := make(map[uncertain.ID]float64)
+	for _, m := range res.Matches {
+		got[m.ID] = m.P
+	}
+	for i, w := range want {
+		if math.Abs(got[uncertain.ID(i)]-w) > 0.015 {
+			t.Fatalf("object %d: MC %g vs exact %g", i, got[uncertain.ID(i)], w)
+		}
+	}
+}
+
+func TestExact1DEdgeCases(t *testing.T) {
+	if out := Exact1D(nil, 0, 10); len(out) != 0 {
+		t.Fatal("empty input should give empty output")
+	}
+	out := Exact1D([]float64{5}, 0, 10)
+	if out[0] != 1 {
+		t.Fatalf("lone object share = %g", out[0])
+	}
+	// Degenerate segment.
+	out = Exact1D([]float64{1, 2}, 5, 5)
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("degenerate segment shares = %v", out)
+	}
+	// Shares always sum to 1 on a proper segment.
+	out = Exact1D([]float64{1, 2, 3, 50, 99}, 0, 100)
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("shares sum to %g", sum)
+	}
+}
+
+func TestEvaluateThreshold(t *testing.T) {
+	issuer := pdf.MustUniform(geom.RectCentered(geom.Pt(0, 0), 10, 10))
+	pts := []uncertain.PointObject{
+		{ID: 1, Loc: geom.Pt(-5, 0)},
+		{ID: 2, Loc: geom.Pt(5, 0)},
+		{ID: 3, Loc: geom.Pt(0, 14)}, // occasionally nearest
+	}
+	rng := rand.New(rand.NewSource(7))
+	res, err := EvaluateThreshold(pts, issuer, 0.25, 20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Matches {
+		if m.P < 0.25 {
+			t.Fatalf("threshold violated: %+v", m)
+		}
+	}
+	if len(res.Matches) == 0 {
+		t.Fatal("no matches above threshold")
+	}
+}
+
+func TestGaussianIssuerConcentrates(t *testing.T) {
+	// With a Gaussian issuer, the object near the mean should win far
+	// more often than under a uniform issuer.
+	region := geom.RectCentered(geom.Pt(0, 0), 30, 30)
+	gauss, err := pdf.NewTruncGaussian(region, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := pdf.MustUniform(region)
+	pts := []uncertain.PointObject{
+		{ID: 1, Loc: geom.Pt(0, 0)},    // at the mean
+		{ID: 2, Loc: geom.Pt(25, 25)},  // corner
+		{ID: 3, Loc: geom.Pt(-25, 25)}, // corner
+	}
+	rng := rand.New(rand.NewSource(8))
+	resG, err := Evaluate(pts, gauss, 20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resU, err := Evaluate(pts, uni, 20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pG := map[uncertain.ID]float64{}
+	for _, m := range resG.Matches {
+		pG[m.ID] = m.P
+	}
+	pU := map[uncertain.ID]float64{}
+	for _, m := range resU.Matches {
+		pU[m.ID] = m.P
+	}
+	if pG[1] <= pU[1] {
+		t.Fatalf("Gaussian center win rate %g not above uniform %g", pG[1], pU[1])
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	issuer := pdf.MustUniform(geom.RectCentered(geom.Pt(500, 500), 100, 100))
+	var pts []uncertain.PointObject
+	for i := 0; i < 60; i++ {
+		pts = append(pts, uncertain.PointObject{
+			ID:  uncertain.ID(i),
+			Loc: geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+		})
+	}
+	res, err := Evaluate(pts, issuer, 30000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, m := range res.Matches {
+		sum += m.P
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+	if res.Candidates > len(pts) {
+		t.Fatalf("candidates %d exceed objects %d", res.Candidates, len(pts))
+	}
+}

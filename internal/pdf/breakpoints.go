@@ -1,0 +1,30 @@
+package pdf
+
+// PiecewiseLinearCDF is implemented by marginals whose CDF is piecewise
+// linear between a finite set of breakpoints. The query engine uses it
+// to evaluate the duality integrals (Lemma 3/4) in exact closed form:
+// between breakpoints the issuer-side kernel is a linear function, so
+// integrating it against any marginal only needs partial moments.
+type PiecewiseLinearCDF interface {
+	Marginal
+	// CDFBreakpoints returns the ascending x positions between which
+	// the CDF is linear (including the support endpoints).
+	CDFBreakpoints() []float64
+}
+
+// CDFBreakpoints implements PiecewiseLinearCDF: the uniform CDF is a
+// single linear ramp between its bounds.
+func (u *UniformMarginal) CDFBreakpoints() []float64 {
+	return []float64{u.lo, u.hi}
+}
+
+// CDFBreakpoints implements PiecewiseLinearCDF: the histogram CDF is
+// linear within each bin.
+func (h *HistogramMarginal) CDFBreakpoints() []float64 {
+	return append([]float64(nil), h.edges...)
+}
+
+var (
+	_ PiecewiseLinearCDF = (*UniformMarginal)(nil)
+	_ PiecewiseLinearCDF = (*HistogramMarginal)(nil)
+)

@@ -1,0 +1,89 @@
+package pdf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Mixture is a finite weighted mixture of component pdfs. It models
+// multi-modal location uncertainty, e.g. "the vehicle is near one of
+// two intersections". Mixtures are generally non-separable and exercise
+// the engine's numeric evaluation paths.
+type Mixture struct {
+	components []PDF
+	weights    []float64 // normalized
+	cum        []float64 // prefix sums for sampling
+	support    geom.Rect
+}
+
+// NewMixture builds a mixture from components and non-negative relative
+// weights (normalized internally). The support is the bounding
+// rectangle of the component supports.
+func NewMixture(components []PDF, weights []float64) (*Mixture, error) {
+	if len(components) == 0 || len(components) != len(weights) {
+		return nil, fmt.Errorf("pdf: mixture wants matching non-empty components/weights, got %d/%d",
+			len(components), len(weights))
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, ErrBadWeights
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, ErrBadWeights
+	}
+	m := &Mixture{
+		components: append([]PDF(nil), components...),
+		weights:    make([]float64, len(weights)),
+		cum:        make([]float64, len(weights)+1),
+	}
+	sup := components[0].Support()
+	for i, c := range components {
+		m.weights[i] = weights[i] / total
+		m.cum[i+1] = m.cum[i] + m.weights[i]
+		sup = sup.Union(c.Support())
+	}
+	m.cum[len(weights)] = 1
+	m.support = sup
+	return m, nil
+}
+
+// Support implements PDF.
+func (m *Mixture) Support() geom.Rect { return m.support }
+
+// At implements PDF.
+func (m *Mixture) At(p geom.Point) float64 {
+	var d float64
+	for i, c := range m.components {
+		d += m.weights[i] * c.At(p)
+	}
+	return d
+}
+
+// MassIn implements PDF.
+func (m *Mixture) MassIn(r geom.Rect) float64 {
+	var mass float64
+	for i, c := range m.components {
+		mass += m.weights[i] * c.MassIn(r)
+	}
+	return mass
+}
+
+// Sample implements PDF.
+func (m *Mixture) Sample(rng *rand.Rand) geom.Point {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(m.cum, u)
+	if i > 0 {
+		i--
+	}
+	if i >= len(m.components) {
+		i = len(m.components) - 1
+	}
+	return m.components[i].Sample(rng)
+}

@@ -1,0 +1,213 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Stats counts buffer-pool traffic. LogicalReads is the paper's "node
+// access" metric: every page request, hit or miss. PhysicalReads and
+// PageWrites reach the underlying Store.
+type Stats struct {
+	LogicalReads  int64
+	PhysicalReads int64
+	PageWrites    int64
+	Evictions     int64
+}
+
+// HitRate returns the fraction of logical reads served from the pool.
+func (s Stats) HitRate() float64 {
+	if s.LogicalReads == 0 {
+		return 0
+	}
+	return 1 - float64(s.PhysicalReads)/float64(s.LogicalReads)
+}
+
+// Sub returns s - t, for measuring a single operation's traffic.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		LogicalReads:  s.LogicalReads - t.LogicalReads,
+		PhysicalReads: s.PhysicalReads - t.PhysicalReads,
+		PageWrites:    s.PageWrites - t.PageWrites,
+		Evictions:     s.Evictions - t.Evictions,
+	}
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	lru   *list.Element // nil while pinned (not evictable)
+}
+
+// BufferPool caches up to capacity pages over a Store with LRU
+// eviction. Pages are pinned while in use; pinned pages are never
+// evicted. The zero value is not usable; call NewBufferPool.
+type BufferPool struct {
+	store    Store
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // front = most recently used; holds unpinned frames
+	stats    Stats
+}
+
+// NewBufferPool wraps store with a pool of the given page capacity
+// (minimum 1).
+func NewBufferPool(store Store, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (bp *BufferPool) Stats() Stats { return bp.stats }
+
+// ResetStats zeroes the counters (page contents are untouched).
+func (bp *BufferPool) ResetStats() { bp.stats = Stats{} }
+
+// Allocate creates a new zeroed page in the store and pins it.
+func (bp *BufferPool) Allocate() (PageID, []byte, error) {
+	id, err := bp.store.Allocate()
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	f, err := bp.admit(id, false)
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	return id, f.data, nil
+}
+
+// Pin fetches page id, reading it from the store on a miss, and pins
+// it. The returned slice aliases the pool frame: it is valid until the
+// matching Unpin and must be written through MarkDirty to persist.
+func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
+	bp.stats.LogicalReads++
+	if f, ok := bp.frames[id]; ok {
+		bp.pinFrame(f)
+		return f.data, nil
+	}
+	f, err := bp.admit(id, true)
+	if err != nil {
+		return nil, err
+	}
+	return f.data, nil
+}
+
+// pinFrame pins an already-resident frame, removing it from the LRU
+// list while pinned.
+func (bp *BufferPool) pinFrame(f *frame) {
+	if f.lru != nil {
+		bp.lru.Remove(f.lru)
+		f.lru = nil
+	}
+	f.pins++
+}
+
+// admit brings page id into a frame (evicting if needed) and pins it.
+func (bp *BufferPool) admit(id PageID, read bool) (*frame, error) {
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, data: make([]byte, PageSize), pins: 1}
+	if read {
+		bp.stats.PhysicalReads++
+		if err := bp.store.ReadPage(id, f.data); err != nil {
+			return nil, err
+		}
+	}
+	bp.frames[id] = f
+	return f, nil
+}
+
+// evictOne writes back and drops the least recently used unpinned
+// frame.
+func (bp *BufferPool) evictOne() error {
+	el := bp.lru.Back()
+	if el == nil {
+		return fmt.Errorf("%w: capacity %d", ErrPoolFull, bp.capacity)
+	}
+	f := el.Value.(*frame)
+	if f.dirty {
+		bp.stats.PageWrites++
+		if err := bp.store.WritePage(f.id, f.data); err != nil {
+			return err
+		}
+	}
+	bp.lru.Remove(el)
+	delete(bp.frames, f.id)
+	bp.stats.Evictions++
+	return nil
+}
+
+// MarkDirty records that the pinned page id has been modified.
+func (bp *BufferPool) MarkDirty(id PageID) {
+	if f, ok := bp.frames[id]; ok {
+		f.dirty = true
+	}
+}
+
+// Unpin releases one pin on page id.
+func (bp *BufferPool) Unpin(id PageID) error {
+	f, ok := bp.frames[id]
+	if !ok || f.pins <= 0 {
+		return fmt.Errorf("%w: page %d", ErrBadPinCount, id)
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.lru = bp.lru.PushFront(f)
+	}
+	return nil
+}
+
+// Flush writes back all dirty frames (pinned or not) without evicting.
+func (bp *BufferPool) Flush() error {
+	for _, f := range bp.frames {
+		if !f.dirty {
+			continue
+		}
+		bp.stats.PageWrites++
+		if err := bp.store.WritePage(f.id, f.data); err != nil {
+			return err
+		}
+		f.dirty = false
+	}
+	return nil
+}
+
+// Resident returns the number of pages currently cached.
+func (bp *BufferPool) Resident() int { return len(bp.frames) }
+
+// Clear flushes dirty frames and drops every unpinned frame, leaving a
+// cold cache. It is used by experiments that need cold-start I/O
+// measurements. Pinned frames are flushed but stay resident; an error
+// is returned if any page remains pinned.
+func (bp *BufferPool) Clear() error {
+	if err := bp.Flush(); err != nil {
+		return err
+	}
+	var pinned int
+	for id, f := range bp.frames {
+		if f.pins > 0 {
+			pinned++
+			continue
+		}
+		if f.lru != nil {
+			bp.lru.Remove(f.lru)
+		}
+		delete(bp.frames, id)
+	}
+	if pinned > 0 {
+		return fmt.Errorf("%w: %d pages still pinned during Clear", ErrBadPinCount, pinned)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// FileStore is a Store backed by an operating-system file. Page i lives
+// at byte offset i*PageSize. It gives the simulation real disk
+// behaviour when wanted; tests and benchmarks default to MemStore.
+type FileStore struct {
+	f *os.File
+	n int
+}
+
+// OpenFileStore opens (or creates) the file at path as a page store.
+// An existing file must have a size that is a multiple of PageSize.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	if info.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s size %d is not a multiple of the page size", path, info.Size())
+	}
+	return &FileStore{f: f, n: int(info.Size() / PageSize)}, nil
+}
+
+// Allocate implements Store.
+func (fs *FileStore) Allocate() (PageID, error) {
+	id := PageID(fs.n)
+	zero := make([]byte, PageSize)
+	if _, err := fs.f.WriteAt(zero, int64(fs.n)*PageSize); err != nil {
+		return InvalidPage, fmt.Errorf("storage: allocate page %d: %w", id, err)
+	}
+	fs.n++
+	return id, nil
+}
+
+// ReadPage implements Store.
+func (fs *FileStore) ReadPage(id PageID, buf []byte) error {
+	if int(id) >= fs.n {
+		return fmt.Errorf("%w: read %d of %d", ErrPageBounds, id, fs.n)
+	}
+	_, err := fs.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	if err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage implements Store.
+func (fs *FileStore) WritePage(id PageID, buf []byte) error {
+	if int(id) >= fs.n {
+		return fmt.Errorf("%w: write %d of %d", ErrPageBounds, id, fs.n)
+	}
+	if _, err := fs.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// NumPages implements Store.
+func (fs *FileStore) NumPages() int { return fs.n }
+
+// Close flushes and closes the underlying file.
+func (fs *FileStore) Close() error { return fs.f.Close() }

@@ -1,0 +1,265 @@
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/index/rtree"
+	"repro/internal/nn"
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+)
+
+// Geometry re-exports.
+type (
+	// Point is a location in the plane.
+	Point = geom.Point
+	// Rect is a closed axis-parallel rectangle.
+	Rect = geom.Rect
+)
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// RectCentered builds the rectangle centered at c with the given half
+// extents — the paper's R(x, y).
+func RectCentered(c Point, halfW, halfH float64) Rect {
+	return geom.RectCentered(c, halfW, halfH)
+}
+
+// RectFromCorners builds the minimal rectangle containing both points.
+func RectFromCorners(a, b Point) Rect { return geom.RectFromCorners(a, b) }
+
+// ExpandedQuery returns the Minkowski sum U0 ⊕ R (Lemma 1's filter
+// region).
+func ExpandedQuery(u0 Rect, halfW, halfH float64) Rect {
+	return geom.ExpandedQuery(u0, halfW, halfH)
+}
+
+// Probability model re-exports.
+type (
+	// PDF is a two-dimensional location density over a rectangular
+	// uncertainty region.
+	PDF = pdf.PDF
+	// ID identifies an object.
+	ID = uncertain.ID
+	// PointObject is an object with an exactly known location.
+	PointObject = uncertain.PointObject
+	// Object is an uncertain object: a pdf plus optional U-catalog.
+	Object = uncertain.Object
+)
+
+// NewUniformPDF returns the uniform pdf over region (the paper's
+// default uncertainty pdf).
+func NewUniformPDF(region Rect) (PDF, error) { return pdf.NewUniform(region) }
+
+// NewGaussianPDF returns the truncated-Gaussian pdf over region with
+// mean at the center; sigma values <= 0 select the paper's convention
+// (one-sixth of the region extent per axis).
+func NewGaussianPDF(region Rect, sigmaX, sigmaY float64) (PDF, error) {
+	return pdf.NewTruncGaussian(region, sigmaX, sigmaY)
+}
+
+// NewGridPDF returns a piecewise-constant pdf over an nx × ny lattice
+// with the given row-major relative weights (for arbitrary empirical
+// distributions).
+func NewGridPDF(region Rect, nx, ny int, weights []float64) (PDF, error) {
+	return pdf.NewGrid(region, nx, ny, weights)
+}
+
+// NewConvexPDF returns the uniform pdf over a convex counterclockwise
+// polygon — non-rectangular uncertainty regions, the paper's §7
+// future-work extension. Rectangle masses are exact (polygon
+// clipping); uncertain-object refinement uses Monte-Carlo.
+func NewConvexPDF(vertices []Point) (PDF, error) {
+	return pdf.NewConvexUniform(vertices)
+}
+
+// NewDiscPDF returns a regular-polygon approximation (sides vertices,
+// minimum 8) of the uniform pdf over a disc — the "within distance d
+// of the last fix" uncertainty model.
+func NewDiscPDF(center Point, radius float64, sides int) (PDF, error) {
+	return pdf.NewDisc(center, radius, sides)
+}
+
+// PaperCatalogProbs returns the ten U-catalog probability values used
+// in the paper's experiments (0, 0.1, ..., 0.9).
+func PaperCatalogProbs() []float64 { return uncertain.PaperCatalogProbs() }
+
+// NewUncertainObject wraps a pdf as an uncertain object with a
+// U-catalog at the given probability values (nil = the paper's ten).
+func NewUncertainObject(id ID, p PDF, catalogProbs []float64) (*Object, error) {
+	if catalogProbs == nil {
+		catalogProbs = uncertain.PaperCatalogProbs()
+	}
+	return uncertain.NewObject(id, p, catalogProbs)
+}
+
+// NewIssuer builds a query issuer from its location pdf, with the
+// paper's default U-catalog (needed for Qp-expanded-query pruning).
+func NewIssuer(p PDF) (*Object, error) {
+	return uncertain.NewObject(-1, p, uncertain.PaperCatalogProbs())
+}
+
+// Engine re-exports.
+type (
+	// Engine evaluates imprecise location-dependent queries over
+	// indexed point and uncertain-object databases.
+	Engine = core.Engine
+	// EngineOptions configures engine construction.
+	EngineOptions = core.EngineOptions
+	// Query is an imprecise location-dependent range query.
+	Query = core.Query
+	// EvalOptions tunes one evaluation (method, sampling, pruning
+	// toggles).
+	EvalOptions = core.EvalOptions
+	// ObjectEvalConfig tunes uncertain-object refinement.
+	ObjectEvalConfig = core.ObjectEvalConfig
+	// StrategySet toggles the §5.2 pruning strategies.
+	StrategySet = core.StrategySet
+	// Result is a query outcome: matches plus cost accounting.
+	Result = core.Result
+	// Match pairs an object id with its qualification probability.
+	Match = core.Match
+	// Cost reports candidates, pruning, refinement, and I/O.
+	Cost = core.Cost
+	// Method selects the enhanced or basic evaluator.
+	Method = core.Method
+)
+
+// Evaluation methods.
+const (
+	// MethodEnhanced is the paper's proposal (expansion + duality +
+	// threshold pruning).
+	MethodEnhanced = core.MethodEnhanced
+	// MethodBasic is the §3.3 baseline (direct numeric integration).
+	MethodBasic = core.MethodBasic
+)
+
+// IndexConfig configures an R-tree (capacity, minimum fill, split
+// heuristic); the zero value selects 4 KiB-page defaults with
+// quadratic splits.
+type IndexConfig = rtree.Config
+
+// R-tree split heuristics for IndexConfig.Split.
+const (
+	// SplitQuadratic is Guttman's quadratic split (default).
+	SplitQuadratic = rtree.SplitQuadratic
+	// SplitLinear is Guttman's cheaper linear split.
+	SplitLinear = rtree.SplitLinear
+)
+
+// NewEngine bulk-loads indexes over the given datasets.
+func NewEngine(points []PointObject, objects []*Object, opts EngineOptions) (*Engine, error) {
+	return core.NewEngine(points, objects, opts)
+}
+
+// PointQualification computes a point object's qualification
+// probability by query-data duality (Lemma 3) — exact for every pdf in
+// this package.
+func PointQualification(issuer PDF, s Point, w, h float64) float64 {
+	return core.PointQualification(issuer, s, w, h)
+}
+
+// ObjectQualification computes an uncertain object's qualification
+// probability (Lemma 4), using closed forms where the pdfs allow.
+func ObjectQualification(issuer, obj PDF, w, h float64, cfg ObjectEvalConfig) float64 {
+	return core.ObjectQualification(issuer, obj, w, h, cfg)
+}
+
+// BatchResult pairs a batch query's result with its error.
+type BatchResult = core.BatchResult
+
+// ExpectedCount returns the expected number of truly qualifying
+// objects: the sum of qualification probabilities.
+func ExpectedCount(ms []Match) float64 { return core.ExpectedCount(ms) }
+
+// QualityScore returns the mean qualification probability of an answer
+// set — the service-quality summary from the authors' companion work.
+func QualityScore(ms []Match) float64 { return core.QualityScore(ms) }
+
+// AnswerEntropy returns the total Shannon entropy (bits) of the answer
+// set's membership uncertainty.
+func AnswerEntropy(ms []Match) float64 { return core.AnswerEntropy(ms) }
+
+// Nearest-neighbor extension re-exports.
+type (
+	// NNMatch pairs an object id with its probability of being the
+	// issuer's nearest neighbor.
+	NNMatch = nn.Match
+	// NNResult reports a nearest-neighbor evaluation.
+	NNResult = nn.Result
+)
+
+// EvaluateNN computes nearest-neighbor qualification probabilities
+// over point objects for an imprecise issuer (the paper's future-work
+// extension).
+func EvaluateNN(points []PointObject, issuer PDF, samples int, rng *rand.Rand) (NNResult, error) {
+	return nn.Evaluate(points, issuer, samples, rng)
+}
+
+// EvaluateNNThreshold is EvaluateNN restricted to probabilities >= qp.
+func EvaluateNNThreshold(points []PointObject, issuer PDF, qp float64, samples int, rng *rand.Rand) (NNResult, error) {
+	return nn.EvaluateThreshold(points, issuer, qp, samples, rng)
+}
+
+// Dataset re-exports.
+type (
+	// PointConfig parameterizes synthetic point generation.
+	PointConfig = dataset.PointConfig
+	// RectConfig parameterizes synthetic rectangle generation.
+	RectConfig = dataset.RectConfig
+	// PDFKind selects the pdf attached to generated objects.
+	PDFKind = dataset.PDFKind
+)
+
+// Dataset pdf kinds.
+const (
+	// PDFUniform is the paper's default object pdf.
+	PDFUniform = dataset.PDFUniform
+	// PDFGaussian is the §6.2 non-uniform object pdf.
+	PDFGaussian = dataset.PDFGaussian
+)
+
+// DataExtent is the side length of the experiment space (10,000).
+const DataExtent = dataset.Extent
+
+// CaliforniaConfig returns the stand-in configuration for the paper's
+// California point dataset (62K points).
+func CaliforniaConfig() PointConfig { return dataset.CaliforniaConfig() }
+
+// LongBeachConfig returns the stand-in configuration for the paper's
+// Long Beach rectangle dataset (53K rectangles).
+func LongBeachConfig() RectConfig { return dataset.LongBeachConfig() }
+
+// GeneratePoints synthesizes a clustered point set.
+func GeneratePoints(cfg PointConfig) []Point { return dataset.GeneratePoints(cfg) }
+
+// GenerateRects synthesizes a clustered rectangle set.
+func GenerateRects(cfg RectConfig) []Rect { return dataset.GenerateRects(cfg) }
+
+// BuildPointObjects wraps raw points as point objects (ids = indexes).
+func BuildPointObjects(pts []Point) []PointObject { return dataset.BuildPointObjects(pts) }
+
+// BuildUncertainObjects wraps rectangles as uncertain objects with the
+// given pdf kind and U-catalog values (nil = the paper's ten).
+func BuildUncertainObjects(rects []Rect, kind PDFKind, catalogProbs []float64) ([]*Object, error) {
+	if catalogProbs == nil {
+		catalogProbs = uncertain.PaperCatalogProbs()
+	}
+	return dataset.BuildUncertainObjects(rects, kind, catalogProbs)
+}
+
+// SavePointsFile writes a point set in the binary .ilq format.
+func SavePointsFile(path string, pts []Point) error { return dataset.SavePointsFile(path, pts) }
+
+// LoadPointsFile reads a point set written by SavePointsFile.
+func LoadPointsFile(path string) ([]Point, error) { return dataset.LoadPointsFile(path) }
+
+// SaveRectsFile writes a rectangle set in the binary .ilq format.
+func SaveRectsFile(path string, rects []Rect) error { return dataset.SaveRectsFile(path, rects) }
+
+// LoadRectsFile reads a rectangle set written by SaveRectsFile.
+func LoadRectsFile(path string) ([]Rect, error) { return dataset.LoadRectsFile(path) }

@@ -1,0 +1,275 @@
+package repro_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+// buildSmallWorld assembles a small end-to-end database through the
+// public API only.
+func buildSmallWorld(t testing.TB) (*repro.Engine, []repro.PointObject, []*repro.Object) {
+	t.Helper()
+	pts := repro.GeneratePoints(repro.PointConfig{
+		N: 3000, Clusters: 10, ClusterSigma: 400, BackgroundFrac: 0.3, Seed: 21,
+	})
+	points := repro.BuildPointObjects(pts)
+	rects := repro.GenerateRects(repro.RectConfig{
+		N: 2500, Clusters: 10, ClusterSigma: 400, BackgroundFrac: 0.3,
+		MeanHalfW: 25, MeanHalfH: 25, MinHalf: 2, MaxHalf: 120, Seed: 22,
+	})
+	objects, err := repro.BuildUncertainObjects(rects, repro.PDFUniform, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := repro.NewEngine(points, objects, repro.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine, points, objects
+}
+
+func newIssuer(t testing.TB, c repro.Point, u float64) *repro.Object {
+	t.Helper()
+	p, err := repro.NewUniformPDF(repro.RectCentered(c, u, u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iss, err := repro.NewIssuer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iss
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	engine, points, objects := buildSmallWorld(t)
+	if engine.NumPoints() != len(points) || engine.NumUncertain() != len(objects) {
+		t.Fatalf("engine sizes %d/%d", engine.NumPoints(), engine.NumUncertain())
+	}
+	iss := newIssuer(t, repro.Pt(5000, 5000), 250)
+
+	// IPQ.
+	res, err := engine.EvaluatePoints(repro.Query{Issuer: iss, W: 500, H: 500}, repro.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Matches {
+		if m.P <= 0 || m.P > 1 {
+			t.Fatalf("IPQ match %d probability %g out of (0,1]", m.ID, m.P)
+		}
+	}
+
+	// C-IUQ with a threshold.
+	resU, err := engine.EvaluateUncertain(repro.Query{Issuer: iss, W: 500, H: 500, Threshold: 0.4}, repro.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range resU.Matches {
+		if m.P < 0.4 {
+			t.Fatalf("C-IUQ match %d probability %g below threshold", m.ID, m.P)
+		}
+	}
+	if resU.Cost.Candidates == 0 && len(resU.Matches) > 0 {
+		t.Fatal("matches without candidates")
+	}
+
+	// Standalone qualification helpers agree with the engine.
+	if len(res.Matches) > 0 {
+		m := res.Matches[0]
+		po, ok := engine.Point(m.ID)
+		if !ok {
+			t.Fatal("match id not resolvable")
+		}
+		if got := repro.PointQualification(iss.PDF, po.Loc, 500, 500); math.Abs(got-m.P) > 1e-12 {
+			t.Fatalf("facade PointQualification %g != engine %g", got, m.P)
+		}
+	}
+}
+
+func TestPublicAPINearestNeighbor(t *testing.T) {
+	_, points, _ := buildSmallWorld(t)
+	issPDF, err := repro.NewUniformPDF(repro.RectCentered(repro.Pt(5000, 5000), 200, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.EvaluateNN(points, issPDF, 4000, rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 {
+		t.Fatal("no NN matches")
+	}
+	var sum float64
+	for _, m := range res.Matches {
+		sum += m.P
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("NN probabilities sum to %g", sum)
+	}
+	th, err := repro.EvaluateNNThreshold(points, issPDF, 0.2, 4000, rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range th.Matches {
+		if m.P < 0.2 {
+			t.Fatalf("NN threshold violated: %+v", m)
+		}
+	}
+}
+
+func TestPublicAPIGaussian(t *testing.T) {
+	region := repro.RectCentered(repro.Pt(100, 100), 50, 50)
+	g, err := repro.NewGaussianPDF(region, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := repro.NewUniformPDF(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gaussian concentrates near the center: qualification of a point
+	// at the center with a small query should exceed the uniform's.
+	pg := repro.PointQualification(g, repro.Pt(100, 100), 20, 20)
+	pu := repro.PointQualification(u, repro.Pt(100, 100), 20, 20)
+	if pg <= pu {
+		t.Fatalf("Gaussian center qualification %g not above uniform %g", pg, pu)
+	}
+	// Object qualification through the facade.
+	objPDF, err := repro.NewUniformPDF(repro.RectCentered(repro.Pt(120, 100), 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := repro.ObjectQualification(g, objPDF, 40, 40, repro.ObjectEvalConfig{})
+	if p <= 0 || p > 1 {
+		t.Fatalf("object qualification %g out of range", p)
+	}
+}
+
+func TestPublicAPIGridPDF(t *testing.T) {
+	region := repro.RectCentered(repro.Pt(0, 0), 10, 10)
+	weights := []float64{1, 0, 0, 1}
+	g, err := repro.NewGridPDF(region, 2, 2, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mass splits between the SW and NE quadrants.
+	sw := repro.RectFromCorners(repro.Pt(-10, -10), repro.Pt(0, 0))
+	if got := g.MassIn(sw); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("SW mass = %g", got)
+	}
+}
+
+func TestPublicAPIExpandedQuery(t *testing.T) {
+	u0 := repro.RectCentered(repro.Pt(0, 0), 250, 250)
+	exp := repro.ExpandedQuery(u0, 500, 500)
+	want := repro.RectCentered(repro.Pt(0, 0), 750, 750)
+	if exp != want {
+		t.Fatalf("ExpandedQuery = %v, want %v", exp, want)
+	}
+}
+
+func TestDatasetConfigsThroughFacade(t *testing.T) {
+	if repro.CaliforniaConfig().N != 62000 {
+		t.Fatal("California config size")
+	}
+	if repro.LongBeachConfig().N != 53000 {
+		t.Fatal("Long Beach config size")
+	}
+	if repro.DataExtent != 10000 {
+		t.Fatal("extent")
+	}
+	if len(repro.PaperCatalogProbs()) != 10 {
+		t.Fatal("catalog probs")
+	}
+}
+
+func TestPublicAPIDynamicUpdates(t *testing.T) {
+	engine, _, _ := buildSmallWorld(t)
+	iss := newIssuer(t, repro.Pt(5000, 5000), 200)
+	q := repro.Query{Issuer: iss, W: 400, H: 400}
+
+	before, err := engine.EvaluateUncertain(q, repro.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh object dead-center: must join the answers with p=1.
+	p, err := repro.NewUniformPDF(repro.RectCentered(repro.Pt(5000, 5000), 20, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := repro.NewUncertainObject(999999, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.InsertObject(obj); err != nil {
+		t.Fatal(err)
+	}
+	after, err := engine.EvaluateUncertain(q, repro.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Matches) != len(before.Matches)+1 {
+		t.Fatalf("matches %d -> %d", len(before.Matches), len(after.Matches))
+	}
+	ok, err := engine.DeleteObject(999999)
+	if err != nil || !ok {
+		t.Fatalf("DeleteObject: %t %v", ok, err)
+	}
+	if err := engine.InsertPoint(repro.PointObject{ID: 888888, Loc: repro.Pt(5000, 5000)}); err != nil {
+		t.Fatal(err)
+	}
+	resP, err := engine.EvaluatePoints(q, repro.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range resP.Matches {
+		if m.ID == 888888 && m.P == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted point not found with p=1")
+	}
+}
+
+func TestPublicAPIParallel(t *testing.T) {
+	engine, _, _ := buildSmallWorld(t)
+	iss := newIssuer(t, repro.Pt(5000, 5000), 250)
+	q := repro.Query{Issuer: iss, W: 600, H: 600, Threshold: 0.2}
+	serial, err := engine.EvaluateUncertain(q, repro.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := engine.EvaluateUncertainParallel(q, repro.EvalOptions{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Matches) != len(par.Matches) {
+		t.Fatalf("serial %d vs parallel %d matches", len(serial.Matches), len(par.Matches))
+	}
+}
+
+func TestPublicAPIConvexRegions(t *testing.T) {
+	disc, err := repro.NewDiscPDF(repro.Pt(100, 100), 50, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact duality through the facade: a point at the disc center
+	// with a query covering the whole disc has probability 1.
+	if got := repro.PointQualification(disc, repro.Pt(100, 100), 60, 60); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("covering query probability = %g", got)
+	}
+	tri, err := repro.NewConvexPDF([]repro.Point{
+		repro.Pt(0, 0), repro.Pt(10, 0), repro.Pt(0, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tri.MassIn(repro.RectFromCorners(repro.Pt(0, 0), repro.Pt(5, 5))); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("triangle half mass = %g", got)
+	}
+}

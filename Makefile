@@ -1,0 +1,27 @@
+# Developer / CI entry points. `make bench` records the serving
+# throughput trajectory to BENCH_PR1.json so later revisions have a
+# baseline to compare against.
+
+GO ?= go
+
+.PHONY: all build test race bench
+
+all: build test race
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# Modest dataset sizes so the bench target finishes in about a minute
+# while still exercising realistic candidate sets.
+bench: build
+	$(GO) run ./cmd/ildq-bench -exp exp-throughput \
+		-points 8000 -rects 10000 -queries 64 -workers 1,2,4 \
+		-json BENCH_PR1.json
+	$(GO) test ./internal/bench -run xxx -bench 'BenchmarkRefine|BenchmarkThroughput' -benchtime 1s

@@ -1,28 +1,46 @@
 // Command ildq-bench regenerates the paper's evaluation figures
-// (Figures 8–13) and the repository's ablation studies, printing each
-// as an aligned text table of response time (and optionally I/O and
-// candidate metrics) per sweep point.
+// (Figures 8–13), the repository's ablation studies, and the serving
+// throughput experiment, printing each as an aligned text table of
+// response time (and optionally I/O and candidate metrics) per sweep
+// point.
 //
 // Usage:
 //
 //	ildq-bench -exp all                        # every experiment, paper scale
 //	ildq-bench -exp fig11,fig12 -queries 100   # selected figures, fewer queries
 //	ildq-bench -exp fig8 -points 10000 -rects 8000 -io
+//	ildq-bench -exp exp-throughput -workers 1,2,4 -json BENCH.json
 //
 // Paper scale (62K points, 53K rectangles, 500 queries per sweep
 // point) takes minutes for the sampling-heavy experiments; the -points,
-// -rects and -queries flags trade precision for speed.
+// -rects and -queries flags trade precision for speed. With -json the
+// collected results are additionally written to the given file as a
+// machine-readable report, so successive revisions can be compared.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/dataset"
 )
+
+// report is the -json output shape: every figure and throughput curve
+// the run produced, plus the sizing configuration, for perf-trajectory
+// comparison across revisions.
+type report struct {
+	Points     int                      `json:"points"`
+	Rects      int                      `json:"rects"`
+	Queries    int                      `json:"queries"`
+	Seed       int64                    `json:"seed"`
+	Figures    []bench.Figure           `json:"figures,omitempty"`
+	Throughput []bench.ThroughputReport `json:"throughput,omitempty"`
+}
 
 func main() {
 	var (
@@ -34,6 +52,8 @@ func main() {
 		showIO       = flag.Bool("io", false, "include node-access and candidate columns")
 		basicSamples = flag.Int("basic-samples", 400, "issuer samples for the basic method (fig8)")
 		mcSamples    = flag.Int("mc-samples", 200, "Monte-Carlo samples per refinement (fig13)")
+		workersFlag  = flag.String("workers", "1,2,4", "comma-separated worker counts for exp-throughput")
+		jsonPath     = flag.String("json", "", "also write results to this file as JSON")
 	)
 	flag.Parse()
 
@@ -58,8 +78,14 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	workerCounts, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ildq-bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := bench.Config{Points: *points, Rects: *rects, Queries: *queries, Seed: *seed}
+	rep := report{Points: *points, Rects: *rects, Queries: *queries, Seed: *seed}
 
 	// Environments are shared across experiments with the same pdf
 	// kind and built lazily.
@@ -96,6 +122,29 @@ func main() {
 		iuq.Render(os.Stdout)
 	}
 
+	// The throughput experiment produces worker-scaling curves instead
+	// of a sweep figure: one CPU-bound over an in-memory environment,
+	// one I/O-bound over a paged, latency-simulated store. It gets its
+	// own environment so drawing its issuers cannot shift the workloads
+	// of figures sharing the uniform env in an "-exp all" run (the
+	// -json output is meant to be comparable across revisions at a
+	// fixed -seed).
+	if want["exp-throughput"] {
+		cpu, err := bench.Throughput(mustEnv(cfg), 0, workerCounts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: throughput: %v\n", err)
+			os.Exit(1)
+		}
+		cpu.Render(os.Stdout)
+		iob, err := bench.ThroughputIO(cfg, 0, workerCounts, 0, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: throughput: %v\n", err)
+			os.Exit(1)
+		}
+		iob.Render(os.Stdout)
+		rep.Throughput = append(rep.Throughput, cpu, iob)
+	}
+
 	runners := []struct {
 		id  string
 		run func() (bench.Figure, error)
@@ -121,7 +170,41 @@ func main() {
 			os.Exit(1)
 		}
 		fig.Render(os.Stdout, *showIO)
+		rep.Figures = append(rep.Figures, fig)
 	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: encoding json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ildq-bench: wrote %s\n", *jsonPath)
+	}
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers value %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -workers list")
+	}
+	return out, nil
 }
 
 func mustEnv(cfg bench.Config) *bench.Env {

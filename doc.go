@@ -13,6 +13,11 @@
 //     (bulk-loaded R-tree and Probability Threshold Index);
 //   - evaluating IPQ, IUQ, C-IPQ and C-IUQ queries with the paper's
 //     query expansion, query-data duality, and threshold pruning;
+//   - concurrent query serving: the read path is safe for any number
+//     of simultaneous queries — over in-memory or paged storage (the
+//     buffer pool is internally synchronized) — each returning its own
+//     exact per-query Cost; Engine.EvaluateBatch fans a workload out
+//     over a worker pool with per-query deterministic sampling seeds;
 //   - the imprecise nearest-neighbor extension;
 //   - synthetic dataset generation matching the paper's experimental
 //     setup.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 )
@@ -54,7 +55,7 @@ func TestDefaults(t *testing.T) {
 	if len(QpSweep()) != 11 || QpSweep()[10] != 1 {
 		t.Fatalf("QpSweep = %v", QpSweep())
 	}
-	if len(AllFigureIDs()) != 11 {
+	if len(AllFigureIDs()) != 12 {
 		t.Fatalf("AllFigureIDs = %v", AllFigureIDs())
 	}
 }
@@ -242,6 +243,49 @@ func TestAblationGridVsRTree(t *testing.T) {
 		if fig.Series[0].Samples[i].Matches != fig.Series[1].Samples[i].Matches {
 			t.Fatalf("u=%g: index filters disagree on matches", fig.Series[0].Samples[i].X)
 		}
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	cfg := smallConfig()
+	env := smallEnv(t, cfg)
+	rep, err := Throughput(env, 8, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.QPS <= 0 || p.Queries != 8 || p.Seconds <= 0 {
+			t.Fatalf("bad throughput point %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if !strings.Contains(buf.String(), "qps") {
+		t.Fatalf("render missing qps column:\n%s", buf.String())
+	}
+}
+
+func TestThroughputIO(t *testing.T) {
+	cfg := smallConfig()
+	rep, err := ThroughputIO(cfg, 6, []int{1, 4}, 32, 50*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.QPS <= 0 || p.Seconds <= 0 {
+			t.Fatalf("bad throughput point %+v", p)
+		}
+	}
+	// Wall-clock scaling is reported, not asserted: on a loaded CI host
+	// a 6-query run can lose to scheduling noise without any defect.
+	if rep.Points[1].QPS < rep.Points[0].QPS {
+		t.Logf("note: io-bound throughput fell with workers: %+v", rep.Points)
 	}
 }
 

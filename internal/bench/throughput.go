@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/index/rtree"
+	"repro/internal/storage"
+	"repro/internal/uncertain"
+)
+
+// ThroughputPoint is one measured operating point of the serving
+// experiment: a worker count and the observed batch throughput.
+type ThroughputPoint struct {
+	Workers       int     `json:"workers"`
+	Queries       int     `json:"queries"`
+	Seconds       float64 `json:"seconds"`
+	QPS           float64 `json:"qps"`
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+}
+
+// ThroughputReport is one serving-throughput curve: QPS versus worker
+// count for a fixed workload and storage regime.
+type ThroughputReport struct {
+	Name   string            `json:"name"`
+	Points []ThroughputPoint `json:"points"`
+}
+
+// Render writes the report as an aligned text table.
+func (r ThroughputReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "== throughput: %s ==\n", r.Name)
+	fmt.Fprintf(w, "%12s %12s %12s %14s\n", "workers", "queries", "qps", "latency(ms)")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%12d %12d %12.1f %14.4f\n", p.Workers, p.Queries, p.QPS, p.MeanLatencyMS)
+	}
+	fmt.Fprintln(w)
+}
+
+// throughputWorkload builds the C-IUQ batch the serving experiments
+// replay: n issuers at the Table 2 defaults with threshold qp.
+func throughputWorkload(env *Env, n int, qp float64) ([]core.BatchQuery, error) {
+	p := DefaultParams()
+	issuers, err := env.Issuers(n, p.U)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.BatchQuery, n)
+	for i, iss := range issuers {
+		out[i] = core.BatchQuery{Query: core.Query{Issuer: iss, W: p.W, H: p.W, Threshold: qp}}
+	}
+	return out, nil
+}
+
+// measureBatch replays the batch at each worker count and records QPS.
+// One unmeasured serial replay warms caches (buffer pool, page cache,
+// allocator) first, so the measured points compare steady-state serving
+// rather than crediting later worker counts with the earlier ones'
+// warm-up.
+func measureBatch(engine *core.Engine, batch []core.BatchQuery, workerCounts []int, name string) (ThroughputReport, error) {
+	rep := ThroughputReport{Name: name}
+	for _, r := range engine.EvaluateBatch(batch, core.EvalOptions{}, 1) {
+		if r.Err != nil {
+			return ThroughputReport{}, r.Err
+		}
+	}
+	for _, workers := range workerCounts {
+		start := time.Now()
+		out := engine.EvaluateBatch(batch, core.EvalOptions{}, workers)
+		elapsed := time.Since(start)
+		var latMS float64
+		for _, r := range out {
+			if r.Err != nil {
+				return ThroughputReport{}, r.Err
+			}
+			latMS += float64(r.Result.Cost.Duration.Nanoseconds()) / 1e6
+		}
+		rep.Points = append(rep.Points, ThroughputPoint{
+			Workers:       workers,
+			Queries:       len(batch),
+			Seconds:       elapsed.Seconds(),
+			QPS:           float64(len(batch)) / elapsed.Seconds(),
+			MeanLatencyMS: latMS / float64(len(batch)),
+		})
+	}
+	return rep, nil
+}
+
+// Throughput measures CPU-bound batch serving over the in-memory
+// engine: the same C-IUQ workload replayed at each worker count. On a
+// multi-core host QPS rises with workers until the cores are saturated;
+// on a single core it stays flat (refinement is pure CPU).
+func Throughput(env *Env, queries int, workerCounts []int) (ThroughputReport, error) {
+	if queries <= 0 {
+		queries = env.cfg.Queries
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4}
+	}
+	batch, err := throughputWorkload(env, queries, 0.3)
+	if err != nil {
+		return ThroughputReport{}, err
+	}
+	return measureBatch(env.Engine, batch, workerCounts, "cpu-bound (in-memory engine)")
+}
+
+// ThroughputIO measures I/O-bound batch serving: the PTI lives on 4 KiB
+// pages behind a small thread-safe buffer pool whose physical reads
+// carry a simulated service time (readLatency; 0 means 150µs). Because
+// the pool performs physical reads outside its lock, workers overlap
+// the waits and QPS scales with the worker count even on one CPU — the
+// disk regime of the paper's experiments, served concurrently.
+func ThroughputIO(cfg Config, queries int, workerCounts []int, poolPages int, readLatency time.Duration) (ThroughputReport, error) {
+	cfg = cfg.withDefaults()
+	if queries <= 0 {
+		queries = cfg.Queries
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4}
+	}
+	if poolPages <= 0 {
+		poolPages = 64
+	}
+	if readLatency <= 0 {
+		readLatency = 150 * time.Microsecond
+	}
+
+	rcfg := dataset.LongBeachConfig()
+	rcfg.N = cfg.Rects
+	rcfg.Seed = cfg.Seed + 1
+	objs, err := dataset.BuildUncertainObjects(dataset.GenerateRects(rcfg), cfg.Kind, uncertain.PaperCatalogProbs())
+	if err != nil {
+		return ThroughputReport{}, err
+	}
+	store := storage.NewLatencyStore(storage.NewMemStore(), readLatency, 0)
+	pool := storage.NewBufferPool(store, poolPages)
+	engine, err := core.NewEngine(nil, objs, core.EngineOptions{
+		UncertainNodeStore: rtree.NewPagedNodeStore(pool, 4*len(uncertain.PaperCatalogProbs())),
+	})
+	if err != nil {
+		return ThroughputReport{}, err
+	}
+	env := &Env{cfg: cfg, Engine: engine, rng: newRng(cfg.Seed + 2)}
+	batch, err := throughputWorkload(env, queries, 0.3)
+	if err != nil {
+		return ThroughputReport{}, err
+	}
+	// The pool is far smaller than the index, so even after the
+	// warm-up replay inside measureBatch the workload keeps missing and
+	// every worker count pays comparable physical I/O.
+	if err := pool.Clear(); err != nil {
+		return ThroughputReport{}, err
+	}
+	name := fmt.Sprintf("io-bound (paged PTI, pool=%d pages, read latency %v)", poolPages, readLatency)
+	return measureBatch(engine, batch, workerCounts, name)
+}

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/geom"
@@ -32,11 +32,17 @@ type EngineOptions struct {
 // their spatial indexes, and evaluates imprecise location-dependent
 // queries against them. Construction bulk-loads both indexes.
 //
-// An Engine's query methods are safe for concurrent use only with
-// distinct EvalOptions.Rng values, no concurrent mutation, and
-// in-memory node stores (paged stores share a buffer pool that is not
-// synchronized). Cost.NodeAccesses is reliable only for serial use —
-// concurrent queries share the underlying atomic counters.
+// Concurrency: the read path is safe for concurrent use. Any number of
+// goroutines may call the Evaluate* methods simultaneously — over
+// in-memory or paged node stores (the buffer pool is internally
+// synchronized, and physical reads overlap across goroutines) — as
+// long as each call uses a distinct EvalOptions.Rng (or leaves it nil
+// inside EvaluateBatch, which derives an independent source per query)
+// and no mutation (Insert/Delete/bulk load) runs concurrently. Every
+// Result carries its own exact per-query Cost: node accesses are
+// counted per search call, not in shared tree state, so concurrent
+// queries do not perturb each other's counters. Mutations must be
+// externally serialized with each other and with queries.
 type Engine struct {
 	points    []uncertain.PointObject
 	pointByID map[uncertain.ID]int
@@ -186,17 +192,13 @@ func (e *Engine) evaluatePointsEnhanced(q Query, opts EvalOptions) (Result, erro
 	start := time.Now()
 	var res Result
 
-	searchReg := q.Expanded()
-	if q.Threshold > 0 && !opts.DisablePExpansion {
-		searchReg, _ = SearchRegion(q)
-	}
-	if searchReg.Empty() {
+	plan := newQueryPlan(q, opts, false)
+	if plan.searchReg.Empty() {
 		res.Cost.Duration = time.Since(start)
 		return res, nil
 	}
 
-	e.pointIdx.ResetNodeAccesses()
-	err := e.pointIdx.Search(searchReg, func(en rtree.Entry) bool {
+	na, err := e.pointIdx.SearchCounted(plan.searchReg, nil, func(en rtree.Entry) bool {
 		res.Cost.Candidates++
 		p := e.points[int(en.Ref)]
 		res.Cost.Refined++
@@ -216,7 +218,7 @@ func (e *Engine) evaluatePointsEnhanced(q Query, opts EvalOptions) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
-	res.Cost.NodeAccesses = e.pointIdx.NodeAccesses()
+	res.Cost.NodeAccesses = na
 	sortMatches(res.Matches)
 	res.Cost.Duration = time.Since(start)
 	return res, nil
@@ -231,8 +233,7 @@ func (e *Engine) evaluatePointsBasic(q Query, opts EvalOptions) (Result, error) 
 	// Minkowski range (its absence would mean scanning the whole
 	// database, making the baseline look arbitrarily bad).
 	searchReg := q.Expanded()
-	e.pointIdx.ResetNodeAccesses()
-	err := e.pointIdx.Search(searchReg, func(en rtree.Entry) bool {
+	na, err := e.pointIdx.SearchCounted(searchReg, nil, func(en rtree.Entry) bool {
 		res.Cost.Candidates++
 		res.Cost.Refined++
 		p := e.points[int(en.Ref)]
@@ -247,7 +248,7 @@ func (e *Engine) evaluatePointsBasic(q Query, opts EvalOptions) (Result, error) 
 	if err != nil {
 		return Result{}, err
 	}
-	res.Cost.NodeAccesses = e.pointIdx.NodeAccesses()
+	res.Cost.NodeAccesses = na
 	sortMatches(res.Matches)
 	res.Cost.Duration = time.Since(start)
 	return res, nil
@@ -262,7 +263,7 @@ func (e *Engine) EvaluateUncertain(q Query, opts EvalOptions) (Result, error) {
 	opts = opts.withDefaults()
 	switch opts.Method {
 	case MethodEnhanced:
-		return e.evaluateUncertainEnhanced(q, opts)
+		return e.evaluateUncertainEnhanced(q, opts, 1)
 	case MethodBasic:
 		return e.evaluateUncertainBasic(q, opts)
 	default:
@@ -270,59 +271,61 @@ func (e *Engine) EvaluateUncertain(q Query, opts EvalOptions) (Result, error) {
 	}
 }
 
-func (e *Engine) evaluateUncertainEnhanced(q Query, opts EvalOptions) (Result, error) {
+// evaluateUncertainEnhanced is the single enhanced evaluation path,
+// serial (workers <= 1) or fanned out: index probe and object-level
+// pruning run once, collecting survivors; refinement — where nearly all
+// CPU time goes — runs over the prepared query plan, optionally split
+// across a worker pool (see refineSurvivors).
+func (e *Engine) evaluateUncertainEnhanced(q Query, opts EvalOptions, workers int) (Result, error) {
 	start := time.Now()
 	var res Result
 
-	expanded := q.Expanded()
-	searchReg := expanded
-	usePExp := q.Threshold > 0 && !opts.DisablePExpansion
-	if usePExp {
-		searchReg, _ = SearchRegion(q)
-	}
-	if searchReg.Empty() {
+	plan := newQueryPlan(q, opts, true)
+	if plan.searchReg.Empty() {
 		res.Cost.Duration = time.Since(start)
 		return res, nil
 	}
 
-	e.uncIdx.Tree().ResetNodeAccesses()
+	var survivors []*uncertain.Object
 	visit := func(id uncertain.ID) bool {
 		res.Cost.Candidates++
 		obj := e.objects[id]
-		switch PruneUncertain(q, obj, expanded, searchReg, opts.Strategies) {
+		switch PruneUncertain(q, obj, plan.expanded, plan.searchReg, opts.Strategies) {
 		case PrunedEmptyOverlap:
 			// Zero probability; simply not a match.
-			return true
 		case PrunedStrategy1:
 			res.Cost.PrunedStrategy1++
-			return true
 		case PrunedStrategy2:
 			res.Cost.PrunedStrategy2++
-			return true
 		case PrunedStrategy3:
 			res.Cost.PrunedStrategy3++
-			return true
-		}
-		res.Cost.Refined++
-		prob := ObjectQualification(q.Issuer.PDF, obj.PDF, q.W, q.H, opts.Object)
-		if accept(prob, q.Threshold) {
-			res.Matches = append(res.Matches, Match{ID: id, P: prob})
-		} else {
-			res.Cost.BelowThreshold++
+		default:
+			survivors = append(survivors, obj)
 		}
 		return true
 	}
 
+	var na int64
 	var err error
 	if q.Threshold > 0 && !opts.DisableIndexPruning {
-		err = e.uncIdx.ThresholdSearch(searchReg, expanded, q.Threshold, visit)
+		na, err = e.uncIdx.ThresholdSearchCounted(plan.searchReg, plan.expanded, q.Threshold, visit)
 	} else {
-		err = e.uncIdx.RangeSearch(searchReg, visit)
+		na, err = e.uncIdx.RangeSearchCounted(plan.searchReg, visit)
 	}
 	if err != nil {
 		return Result{}, err
 	}
-	res.Cost.NodeAccesses = e.uncIdx.Tree().NodeAccesses()
+	res.Cost.NodeAccesses = na
+	res.Cost.Refined = len(survivors)
+
+	probs := refineSurvivors(plan, survivors, opts, workers)
+	for i, obj := range survivors {
+		if accept(probs[i], q.Threshold) {
+			res.Matches = append(res.Matches, Match{ID: obj.ID, P: probs[i]})
+		} else {
+			res.Cost.BelowThreshold++
+		}
+	}
 	sortMatches(res.Matches)
 	res.Cost.Duration = time.Since(start)
 	return res, nil
@@ -333,8 +336,7 @@ func (e *Engine) evaluateUncertainBasic(q Query, opts EvalOptions) (Result, erro
 	var res Result
 
 	expanded := q.Expanded()
-	e.uncIdx.Tree().ResetNodeAccesses()
-	err := e.uncIdx.RangeSearch(expanded, func(id uncertain.ID) bool {
+	na, err := e.uncIdx.RangeSearchCounted(expanded, func(id uncertain.ID) bool {
 		res.Cost.Candidates++
 		res.Cost.Refined++
 		obj := e.objects[id]
@@ -349,7 +351,7 @@ func (e *Engine) evaluateUncertainBasic(q Query, opts EvalOptions) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
-	res.Cost.NodeAccesses = e.uncIdx.Tree().NodeAccesses()
+	res.Cost.NodeAccesses = na
 	sortMatches(res.Matches)
 	res.Cost.Duration = time.Since(start)
 	return res, nil
@@ -367,13 +369,26 @@ func accept(p, threshold float64) bool {
 
 // sortMatches orders matches by descending probability, then id, so
 // results are deterministic and the most likely answers come first.
+// slices.SortFunc with a package-level comparator avoids the per-call
+// closure and interface allocations of sort.Slice in the hot result
+// path.
 func sortMatches(ms []Match) {
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].P != ms[j].P {
-			return ms[i].P > ms[j].P
-		}
-		return ms[i].ID < ms[j].ID
-	})
+	slices.SortFunc(ms, cmpMatch)
+}
+
+func cmpMatch(a, b Match) int {
+	switch {
+	case a.P > b.P:
+		return -1
+	case a.P < b.P:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // newSeededRand builds a deterministic source for derived workers.

@@ -3,21 +3,111 @@ package core
 import (
 	"math/rand"
 	"sync"
-	"time"
 
+	"repro/internal/pdf"
 	"repro/internal/uncertain"
 )
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix
+// whose outputs for consecutive inputs are statistically independent.
+// It is the standard recommendation for deriving child PRNG seeds from
+// a parent seed plus an index.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// deriveSeed maps one parent draw and a child index to a child seed.
+// Unlike the additive parent+index scheme it replaces, two children of
+// the same parent can never receive the same seed, and children of
+// parents that happen to differ by a small offset do not collide
+// either.
+func deriveSeed(parent int64, child int) int64 {
+	return int64(splitmix64(uint64(parent) + splitmix64(uint64(child))))
+}
+
+// refineSurvivors computes qualification probabilities for the
+// survivors of pruning, in input order, through the prepared query
+// plan. workers <= 1 refines serially on the caller's goroutine using
+// opts.Object.Rng directly. workers > 1 splits the survivors across a
+// worker pool; each survivor draws from its own deterministic source
+// derived (splitmix-style, see deriveSeed) from a single parent draw
+// of opts.Rng and the survivor's index.
+//
+// Reproducibility contract: for a fixed engine, query, and options
+// seed, parallel results are identical run to run and across worker
+// counts >= 2 — seeding is per survivor, so neither the scheduler nor
+// the worker count can change which sample stream refines which
+// object. Monte-Carlo probabilities still differ from the serial path
+// (workers <= 1), which consumes opts.Object.Rng sequentially;
+// closed-form refinement is identical everywhere.
+func refineSurvivors(plan queryPlan, survivors []*uncertain.Object, opts EvalOptions, workers int) []float64 {
+	if len(survivors) == 0 {
+		return nil
+	}
+	if workers > len(survivors) {
+		workers = len(survivors)
+	}
+	probs := make([]float64, len(survivors))
+	if workers <= 1 {
+		sc := acquireScratch()
+		defer releaseScratch(sc)
+		for i, obj := range survivors {
+			probs[i] = plan.qualifier.qualify(obj.PDF, opts.Object, sc)
+		}
+		return probs
+	}
+
+	// Sampling sources are only consulted by Monte-Carlo refinement
+	// (forced, or any side of the duality integral non-separable), so
+	// the per-survivor rand.New is only paid where hundreds of samples
+	// dwarf it; pure closed-form refinement never derives one.
+	parent := opts.Rng.Int63()
+	mcAll := opts.Object.ForceMonteCarlo || !plan.qualifier.separable
+	next := make(chan int, len(survivors))
+	for i := range survivors {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := acquireScratch()
+			defer releaseScratch(sc)
+			cfg := opts.Object
+			for i := range next {
+				if mcAll || !isSeparable(survivors[i].PDF) {
+					cfg.Rng = rand.New(rand.NewSource(deriveSeed(parent, i)))
+				}
+				probs[i] = plan.qualifier.qualify(survivors[i].PDF, cfg, sc)
+			}
+		}()
+	}
+	wg.Wait()
+	return probs
+}
+
+// isSeparable reports whether the pdf factors by axis (the closed-form
+// refinement precondition).
+func isSeparable(p pdf.PDF) bool {
+	_, ok := p.(pdf.Separable)
+	return ok
+}
 
 // EvaluateUncertainParallel is EvaluateUncertain with refinement fanned
 // out over workers goroutines. Index search and pruning run serially
 // (they are index-bound); the surviving candidates — where nearly all
 // CPU time goes for Monte-Carlo or quadrature refinement — are split
 // across a worker pool. workers <= 1 falls back to the serial path.
+// Both paths share one implementation (evaluateUncertainEnhanced); the
+// worker count is the only difference.
 //
-// Sampling paths draw from per-worker deterministic sources derived
-// from opts.Rng, so results are reproducible for a fixed worker count
-// (though not identical across different worker counts, as the sample
-// streams differ).
+// See refineSurvivors for the reproducibility contract of the derived
+// per-worker sampling sources.
 func (e *Engine) EvaluateUncertainParallel(q Query, opts EvalOptions, workers int) (Result, error) {
 	if workers <= 1 {
 		return e.EvaluateUncertain(q, opts)
@@ -26,83 +116,5 @@ func (e *Engine) EvaluateUncertainParallel(q Query, opts EvalOptions, workers in
 		return Result{}, err
 	}
 	opts = opts.withDefaults()
-
-	start := time.Now()
-	var res Result
-
-	expanded := q.Expanded()
-	searchReg := expanded
-	if q.Threshold > 0 && !opts.DisablePExpansion {
-		searchReg, _ = SearchRegion(q)
-	}
-	if searchReg.Empty() {
-		res.Cost.Duration = time.Since(start)
-		return res, nil
-	}
-
-	// Serial phase: search + pruning, collecting survivors.
-	e.uncIdx.Tree().ResetNodeAccesses()
-	var survivors []*uncertain.Object
-	visit := func(id uncertain.ID) bool {
-		res.Cost.Candidates++
-		obj := e.objects[id]
-		switch PruneUncertain(q, obj, expanded, searchReg, opts.Strategies) {
-		case PrunedEmptyOverlap:
-		case PrunedStrategy1:
-			res.Cost.PrunedStrategy1++
-		case PrunedStrategy2:
-			res.Cost.PrunedStrategy2++
-		case PrunedStrategy3:
-			res.Cost.PrunedStrategy3++
-		default:
-			survivors = append(survivors, obj)
-		}
-		return true
-	}
-	var err error
-	if q.Threshold > 0 && !opts.DisableIndexPruning {
-		err = e.uncIdx.ThresholdSearch(searchReg, expanded, q.Threshold, visit)
-	} else {
-		err = e.uncIdx.RangeSearch(searchReg, visit)
-	}
-	if err != nil {
-		return Result{}, err
-	}
-	res.Cost.NodeAccesses = e.uncIdx.Tree().NodeAccesses()
-	res.Cost.Refined = len(survivors)
-
-	// Parallel phase: refine survivors.
-	if workers > len(survivors) && len(survivors) > 0 {
-		workers = len(survivors)
-	}
-	probs := make([]float64, len(survivors))
-	var wg sync.WaitGroup
-	next := make(chan int, len(survivors))
-	for i := range survivors {
-		next <- i
-	}
-	close(next)
-	for wkr := 0; wkr < workers; wkr++ {
-		wg.Add(1)
-		cfg := opts.Object
-		cfg.Rng = rand.New(rand.NewSource(opts.Rng.Int63() + int64(wkr)))
-		go func(cfg ObjectEvalConfig) {
-			defer wg.Done()
-			for i := range next {
-				probs[i] = ObjectQualification(q.Issuer.PDF, survivors[i].PDF, q.W, q.H, cfg)
-			}
-		}(cfg)
-	}
-	wg.Wait()
-
-	for i, obj := range survivors {
-		if accept(probs[i], q.Threshold) {
-			res.Matches = append(res.Matches, Match{ID: obj.ID, P: probs[i]})
-		} else {
-			res.Cost.BelowThreshold++
-		}
-	}
-	sortMatches(res.Matches)
-	res.Cost.Duration = time.Since(start)
-	return res, nil
+	return e.evaluateUncertainEnhanced(q, opts, workers)
 }

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"repro/internal/geom"
-	"repro/internal/integrate"
 	"repro/internal/pdf"
 )
 
@@ -92,25 +91,12 @@ func (c ObjectEvalConfig) withDefaults() ObjectEvalConfig {
 //   - otherwise (or when cfg.ForceMonteCarlo): Monte-Carlo over the
 //     object's own distribution, pi = E_fi[Q(X)], which is unbiased
 //     because Q vanishes outside R⊕U0.
+//
+// When evaluating many candidates of one query, prepare a reusable
+// ObjectQualifier instead — this convenience form rebuilds the
+// issuer-side state (expanded support, shifted breakpoints) per call.
 func ObjectQualification(issuer, obj pdf.PDF, w, h float64, cfg ObjectEvalConfig) float64 {
-	cfg = cfg.withDefaults()
-	if !cfg.ForceMonteCarlo {
-		if sObj, okO := obj.(pdf.Separable); okO {
-			if sIss, okI := issuer.(pdf.Separable); okI {
-				clip := obj.Support().Intersect(geom.ExpandedQuery(issuer.Support(), w, h))
-				if clip.Empty() {
-					return 0
-				}
-				fx := axisFactor(sObj.MarginalX(), sIss.MarginalX(), clip.Lo.X, clip.Hi.X, w, cfg.QuadratureNodes)
-				if fx == 0 {
-					return 0
-				}
-				fy := axisFactor(sObj.MarginalY(), sIss.MarginalY(), clip.Lo.Y, clip.Hi.Y, h, cfg.QuadratureNodes)
-				return clampProb(fx * fy)
-			}
-		}
-	}
-	return objectQualificationMC(issuer, obj, w, h, cfg)
+	return NewObjectQualifier(issuer, w, h).Qualify(obj, cfg)
 }
 
 // objectQualificationMC is the sampling path: draw locations from the
@@ -152,54 +138,20 @@ func ObjectQualificationBasic(issuer, obj pdf.PDF, w, h float64, n int, rng *ran
 // partial moments. Otherwise the factor is integrated by composite
 // Gauss–Legendre between the same breakpoints (g has kinks there, so
 // splitting preserves spectral accuracy).
+//
+// The implementation lives on axisPlan (plan.go), which prepares the
+// shifted breakpoints once per query; this convenience form rebuilds
+// them per call.
 func axisFactor(objM, issM pdf.Marginal, a, b, w float64, glNodes int) float64 {
-	if b <= a {
-		return 0
-	}
-	g := func(x float64) float64 { return issM.CDF(x+w) - issM.CDF(x-w) }
-
-	if pl, ok := issM.(pdf.PiecewiseLinearCDF); ok {
-		cuts := shiftedBreakpoints(pl.CDFBreakpoints(), w, a, b)
-		var total float64
-		for i := 0; i+1 < len(cuts); i++ {
-			lo, hi := cuts[i], cuts[i+1]
-			if hi <= lo {
-				continue
-			}
-			// g is linear on the open piece (lo, hi): recover the line
-			// g(x) = alpha + beta*x from two interior samples. Interior
-			// points matter: a degenerate (point-mass) issuer marginal
-			// makes the CDF a step, so g jumps exactly at the piece
-			// boundaries and endpoint interpolation would integrate the
-			// wrong line.
-			x1 := lo + (hi-lo)/3
-			x2 := hi - (hi-lo)/3
-			g1, g2 := g(x1), g(x2)
-			beta := (g2 - g1) / (x2 - x1)
-			alpha := g1 - beta*x1
-			m0, m1 := objM.PartialMoments(lo, hi)
-			total += alpha*m0 + beta*m1
-		}
-		return total
-	}
-
-	// Smooth issuer CDF (truncated Gaussian): composite quadrature
-	// between support-shifted kinks.
-	lo0, hi0 := issM.Bounds()
-	cuts := shiftedBreakpoints([]float64{lo0, hi0}, w, a, b)
-	var total float64
-	for i := 0; i+1 < len(cuts); i++ {
-		lo, hi := cuts[i], cuts[i+1]
-		if hi <= lo {
-			continue
-		}
-		total += integrate.GaussLegendre1D(func(x float64) float64 { return objM.At(x) * g(x) }, lo, hi, glNodes)
-	}
-	return total
+	ap := newAxisPlan(issM, w)
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	return ap.factor(objM, a, b, glNodes, sc)
 }
 
 // shiftedBreakpoints returns the sorted breakpoints {p±w} clipped to
-// [a, b], with a and b included.
+// [a, b], with a and b included — the reference construction that
+// axisPlan.cutsInto reproduces without per-candidate sorting.
 func shiftedBreakpoints(points []float64, w, a, b float64) []float64 {
 	cuts := make([]float64, 0, 2*len(points)+2)
 	cuts = append(cuts, a, b)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync"
 )
@@ -68,26 +69,72 @@ type BatchResult struct {
 	Err    error
 }
 
-// EvaluateUncertainBatch evaluates many queries concurrently, workers
-// at a time (0 or 1 means serial), each with an independent
-// deterministic sampling source derived from opts.Rng. It requires an
-// in-memory engine (see the Engine concurrency note) and returns
-// results in query order.
-func (e *Engine) EvaluateUncertainBatch(queries []Query, opts EvalOptions, workers int) []BatchResult {
+// Target selects which database a batch query runs against.
+type Target int
+
+const (
+	// TargetUncertain evaluates over the uncertain-object database
+	// (IUQ / C-IUQ).
+	TargetUncertain Target = iota
+	// TargetPoints evaluates over the point-object database
+	// (IPQ / C-IPQ).
+	TargetPoints
+)
+
+// String implements fmt.Stringer.
+func (t Target) String() string {
+	switch t {
+	case TargetUncertain:
+		return "uncertain"
+	case TargetPoints:
+		return "points"
+	default:
+		return fmt.Sprintf("Target(%d)", int(t))
+	}
+}
+
+// BatchQuery is one element of an EvaluateBatch workload. The zero
+// Target evaluates over the uncertain-object database.
+type BatchQuery struct {
+	Query  Query
+	Target Target
+}
+
+// EvaluateBatch is the throughput API: it evaluates many queries
+// concurrently, workers at a time (0 or 1 means serial, on the calling
+// goroutine), and returns results in query order. Every query gets an
+// independent deterministic sampling source derived (splitmix-style,
+// see deriveSeed) from a single parent draw of opts.Rng, so results do
+// not depend on which worker serves which query, only on the options
+// seed.
+//
+// The read path is safe for this concurrency over both in-memory and
+// paged engines, and each result carries its own exact Cost counters;
+// see the Engine concurrency documentation.
+func (e *Engine) EvaluateBatch(queries []BatchQuery, opts EvalOptions, workers int) []BatchResult {
 	opts = opts.withDefaults()
 	out := make([]BatchResult, len(queries))
+	parent := opts.Rng.Int63()
+	eval := func(i int) {
+		o := opts
+		o.Rng = newSeededRand(deriveSeed(parent, i))
+		o.Object.Rng = o.Rng
+		var (
+			r   Result
+			err error
+		)
+		if queries[i].Target == TargetPoints {
+			r, err = e.EvaluatePoints(queries[i].Query, o)
+		} else {
+			r, err = e.EvaluateUncertain(queries[i].Query, o)
+		}
+		out[i] = BatchResult{Result: r, Err: err}
+	}
 	if workers <= 1 {
-		for i, q := range queries {
-			r, err := e.EvaluateUncertain(q, opts)
-			out[i] = BatchResult{Result: r, Err: err}
+		for i := range queries {
+			eval(i)
 		}
 		return out
-	}
-	// Pre-derive one seed per query so the assignment of queries to
-	// workers cannot change results.
-	seeds := make([]int64, len(queries))
-	for i := range seeds {
-		seeds[i] = opts.Rng.Int63()
 	}
 	var wg sync.WaitGroup
 	next := make(chan int, len(queries))
@@ -100,14 +147,22 @@ func (e *Engine) EvaluateUncertainBatch(queries []Query, opts EvalOptions, worke
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				o := opts
-				o.Rng = newSeededRand(seeds[i])
-				o.Object.Rng = o.Rng
-				r, err := e.EvaluateUncertain(queries[i], o)
-				out[i] = BatchResult{Result: r, Err: err}
+				eval(i)
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// EvaluateUncertainBatch evaluates many queries over the
+// uncertain-object database, workers at a time. It is EvaluateBatch
+// with every query targeting uncertain objects; see there for the
+// determinism and concurrency guarantees.
+func (e *Engine) EvaluateUncertainBatch(queries []Query, opts EvalOptions, workers int) []BatchResult {
+	bqs := make([]BatchQuery, len(queries))
+	for i, q := range queries {
+		bqs[i] = BatchQuery{Query: q, Target: TargetUncertain}
+	}
+	return e.EvaluateBatch(bqs, opts, workers)
 }

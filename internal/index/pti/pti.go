@@ -162,7 +162,15 @@ func (ix *Index) probIndex(q float64) int {
 // RangeSearch visits the ids of all objects whose uncertainty region
 // intersects q (no probability pruning).
 func (ix *Index) RangeSearch(q geom.Rect, visit func(id uncertain.ID) bool) error {
-	return ix.tree.Search(q, func(e rtree.Entry) bool {
+	_, err := ix.RangeSearchCounted(q, visit)
+	return err
+}
+
+// RangeSearchCounted is RangeSearch returning the node accesses this
+// call performed. The count is local to the call, so concurrent
+// searches each observe their own exact I/O cost.
+func (ix *Index) RangeSearchCounted(q geom.Rect, visit func(id uncertain.ID) bool) (int64, error) {
+	return ix.tree.SearchCounted(q, nil, func(e rtree.Entry) bool {
 		return visit(uncertain.ID(e.Ref))
 	})
 }
@@ -183,11 +191,18 @@ func (ix *Index) RangeSearch(q geom.Rect, visit func(id uncertain.ID) bool) erro
 // Survivors still require exact evaluation; the engine filters them by
 // their true qualification probability.
 func (ix *Index) ThresholdSearch(search, expanded geom.Rect, qp float64, visit func(id uncertain.ID) bool) error {
+	_, err := ix.ThresholdSearchCounted(search, expanded, qp, visit)
+	return err
+}
+
+// ThresholdSearchCounted is ThresholdSearch returning the node accesses
+// this call performed, counted locally for concurrent callers.
+func (ix *Index) ThresholdSearchCounted(search, expanded geom.Rect, qp float64, visit func(id uncertain.ID) bool) (int64, error) {
 	pi := ix.probIndex(qp)
 	prune := func(e rtree.Entry) bool {
 		return pi >= 0 && prunedByBounds(e.Rect, e.Aux[4*pi:4*pi+4], expanded)
 	}
-	return ix.tree.SearchWithPruner(search, prune, func(e rtree.Entry) bool {
+	return ix.tree.SearchCounted(search, prune, func(e rtree.Entry) bool {
 		if pi >= 0 && prunedByBounds(e.Rect, e.Aux[4*pi:4*pi+4], expanded) {
 			return true // pruned leaf entry; keep searching
 		}

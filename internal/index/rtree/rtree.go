@@ -153,16 +153,22 @@ func (c Config) normalize() (Config, error) {
 }
 
 // Tree is a dynamic R-tree. It is not safe for concurrent mutation;
-// concurrent Search calls are safe only against a quiescent tree.
+// concurrent Search calls against a quiescent tree are safe, including
+// over paged node stores (the buffer pool is internally synchronized).
+// Per-search node-access counts are returned by SearchCounted, so
+// concurrent searches measure their own cost without touching shared
+// state.
 type Tree struct {
 	store  NodeStore
 	cfg    Config
 	root   NodeID
 	height int // number of levels; leaves are level 0, root is height-1
 	size   int
-	// accesses is atomic so concurrent read-only searches are
-	// race-free; per-operation deltas are only meaningful when
-	// operations run serially.
+	// accesses accumulates node reads across the tree's lifetime,
+	// atomically so concurrent read-only searches are race-free.
+	// Per-operation deltas sampled around ResetNodeAccesses are only
+	// meaningful when operations run serially; concurrent callers use
+	// SearchCounted instead.
 	accesses atomic.Int64
 }
 

@@ -14,21 +14,36 @@ type NodePruner func(e Entry) bool
 
 // Search visits every leaf entry whose rectangle intersects q.
 func (t *Tree) Search(q geom.Rect, visit Visit) error {
-	return t.SearchWithPruner(q, nil, visit)
+	_, err := t.SearchCounted(q, nil, visit)
+	return err
 }
 
 // SearchWithPruner is Search with an additional subtree pruner applied
 // to interior entries after the rectangle test.
 func (t *Tree) SearchWithPruner(q geom.Rect, prune NodePruner, visit Visit) error {
-	if t.size == 0 {
-		return nil
-	}
-	_, err := t.searchNode(t.root, q, prune, visit)
+	_, err := t.SearchCounted(q, prune, visit)
 	return err
 }
 
-func (t *Tree) searchNode(id NodeID, q geom.Rect, prune NodePruner, visit Visit) (bool, error) {
-	n, err := t.getNode(id)
+// SearchCounted is SearchWithPruner returning the number of node
+// accesses this call performed, counted locally so concurrent searches
+// each observe their own exact cost (the cumulative Tree counter is
+// still advanced, atomically, for whole-run diagnostics). It is the
+// search the engine's read path is built on: no shared state is reset
+// or sampled around the call.
+func (t *Tree) SearchCounted(q geom.Rect, prune NodePruner, visit Visit) (int64, error) {
+	if t.size == 0 {
+		return 0, nil
+	}
+	var accesses int64
+	_, err := t.searchNode(t.root, q, prune, visit, &accesses)
+	t.accesses.Add(accesses)
+	return accesses, err
+}
+
+func (t *Tree) searchNode(id NodeID, q geom.Rect, prune NodePruner, visit Visit, accesses *int64) (bool, error) {
+	*accesses++
+	n, err := t.store.Get(id)
 	if err != nil {
 		return false, err
 	}
@@ -50,7 +65,7 @@ func (t *Tree) searchNode(id NodeID, q geom.Rect, prune NodePruner, visit Visit)
 		if prune != nil && prune(e) {
 			continue
 		}
-		cont, err := t.searchNode(e.Child, q, prune, visit)
+		cont, err := t.searchNode(e.Child, q, prune, visit, accesses)
 		if err != nil || !cont {
 			return cont, err
 		}

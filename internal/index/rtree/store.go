@@ -11,7 +11,9 @@ import (
 
 // NodeStore abstracts node persistence. Get returns a node the caller
 // may mutate; mutations become visible (and durable, for paged stores)
-// only after Update. Implementations are not safe for concurrent use.
+// only after Update. Concurrent Get calls are safe for both provided
+// implementations as long as no Alloc/Update/Free runs concurrently —
+// the quiescent-read contract the engine's query path relies on.
 type NodeStore interface {
 	// Alloc creates an empty node of the given kind and returns it.
 	Alloc(leaf bool) (*Node, error)

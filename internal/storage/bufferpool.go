@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
 )
 
 // Stats counts buffer-pool traffic. LogicalReads is the paper's "node
@@ -39,17 +40,42 @@ type frame struct {
 	pins  int
 	dirty bool
 	lru   *list.Element // nil while pinned (not evictable)
+	// ready is closed once data holds the page contents; loadErr (set
+	// before the close) reports a failed physical read. Concurrent
+	// pinners of a page being fetched block on ready instead of the
+	// pool mutex, so physical I/O overlaps across goroutines.
+	ready   chan struct{}
+	loadErr error
 }
+
+// readyClosed is a pre-closed channel shared by frames whose data is
+// available immediately (hits, allocations).
+var readyClosed = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // BufferPool caches up to capacity pages over a Store with LRU
 // eviction. Pages are pinned while in use; pinned pages are never
 // evicted. The zero value is not usable; call NewBufferPool.
+//
+// The pool is safe for concurrent use. Physical reads run outside the
+// pool lock: goroutines missing on different pages fetch them in
+// parallel, and goroutines requesting a page already being fetched wait
+// only for that fetch. The underlying Store must therefore tolerate
+// concurrent ReadPage calls (MemStore and FileStore both do). Page
+// contents themselves are not versioned — writers must serialize with
+// readers of the same page, as the engine's quiescent-read contract
+// guarantees.
 type BufferPool struct {
 	store    Store
 	capacity int
-	frames   map[PageID]*frame
-	lru      *list.List // front = most recently used; holds unpinned frames
-	stats    Stats
+
+	mu     sync.Mutex
+	frames map[PageID]*frame
+	lru    *list.List // front = most recently used; holds unpinned frames
+	stats  Stats
 }
 
 // NewBufferPool wraps store with a pool of the given page capacity
@@ -67,10 +93,18 @@ func NewBufferPool(store Store, capacity int) *BufferPool {
 }
 
 // Stats returns a snapshot of the pool's counters.
-func (bp *BufferPool) Stats() Stats { return bp.stats }
+func (bp *BufferPool) Stats() Stats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
 
 // ResetStats zeroes the counters (page contents are untouched).
-func (bp *BufferPool) ResetStats() { bp.stats = Stats{} }
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = Stats{}
+}
 
 // Allocate creates a new zeroed page in the store and pins it.
 func (bp *BufferPool) Allocate() (PageID, []byte, error) {
@@ -78,10 +112,15 @@ func (bp *BufferPool) Allocate() (PageID, []byte, error) {
 	if err != nil {
 		return InvalidPage, nil, err
 	}
-	f, err := bp.admit(id, false)
-	if err != nil {
-		return InvalidPage, nil, err
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictOneLocked(); err != nil {
+			return InvalidPage, nil, err
+		}
 	}
+	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, ready: readyClosed}
+	bp.frames[id] = f
 	return id, f.data, nil
 }
 
@@ -89,21 +128,48 @@ func (bp *BufferPool) Allocate() (PageID, []byte, error) {
 // it. The returned slice aliases the pool frame: it is valid until the
 // matching Unpin and must be written through MarkDirty to persist.
 func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
+	bp.mu.Lock()
 	bp.stats.LogicalReads++
 	if f, ok := bp.frames[id]; ok {
-		bp.pinFrame(f)
+		bp.pinFrameLocked(f)
+		bp.mu.Unlock()
+		<-f.ready
+		if f.loadErr != nil {
+			// The loader already removed the frame; the pin never took
+			// effect.
+			return nil, f.loadErr
+		}
 		return f.data, nil
 	}
-	f, err := bp.admit(id, true)
+	// Miss: install a loading frame under the lock, fetch outside it.
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictOneLocked(); err != nil {
+			bp.mu.Unlock()
+			return nil, err
+		}
+	}
+	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, ready: make(chan struct{})}
+	bp.frames[id] = f
+	bp.stats.PhysicalReads++
+	bp.mu.Unlock()
+
+	err := bp.store.ReadPage(id, f.data)
 	if err != nil {
+		bp.mu.Lock()
+		f.loadErr = err
+		f.pins = 0 // waiters' pins are void; the frame is discarded
+		delete(bp.frames, id)
+		bp.mu.Unlock()
+		close(f.ready)
 		return nil, err
 	}
+	close(f.ready)
 	return f.data, nil
 }
 
-// pinFrame pins an already-resident frame, removing it from the LRU
-// list while pinned.
-func (bp *BufferPool) pinFrame(f *frame) {
+// pinFrameLocked pins an already-resident frame, removing it from the
+// LRU list while pinned. The pool mutex must be held.
+func (bp *BufferPool) pinFrameLocked(f *frame) {
 	if f.lru != nil {
 		bp.lru.Remove(f.lru)
 		f.lru = nil
@@ -111,27 +177,10 @@ func (bp *BufferPool) pinFrame(f *frame) {
 	f.pins++
 }
 
-// admit brings page id into a frame (evicting if needed) and pins it.
-func (bp *BufferPool) admit(id PageID, read bool) (*frame, error) {
-	if len(bp.frames) >= bp.capacity {
-		if err := bp.evictOne(); err != nil {
-			return nil, err
-		}
-	}
-	f := &frame{id: id, data: make([]byte, PageSize), pins: 1}
-	if read {
-		bp.stats.PhysicalReads++
-		if err := bp.store.ReadPage(id, f.data); err != nil {
-			return nil, err
-		}
-	}
-	bp.frames[id] = f
-	return f, nil
-}
-
-// evictOne writes back and drops the least recently used unpinned
-// frame.
-func (bp *BufferPool) evictOne() error {
+// evictOneLocked writes back and drops the least recently used unpinned
+// frame. The pool mutex must be held. Frames still loading are pinned
+// and therefore never considered.
+func (bp *BufferPool) evictOneLocked() error {
 	el := bp.lru.Back()
 	if el == nil {
 		return fmt.Errorf("%w: capacity %d", ErrPoolFull, bp.capacity)
@@ -151,6 +200,8 @@ func (bp *BufferPool) evictOne() error {
 
 // MarkDirty records that the pinned page id has been modified.
 func (bp *BufferPool) MarkDirty(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if f, ok := bp.frames[id]; ok {
 		f.dirty = true
 	}
@@ -158,6 +209,8 @@ func (bp *BufferPool) MarkDirty(id PageID) {
 
 // Unpin releases one pin on page id.
 func (bp *BufferPool) Unpin(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	f, ok := bp.frames[id]
 	if !ok || f.pins <= 0 {
 		return fmt.Errorf("%w: page %d", ErrBadPinCount, id)
@@ -171,6 +224,12 @@ func (bp *BufferPool) Unpin(id PageID) error {
 
 // Flush writes back all dirty frames (pinned or not) without evicting.
 func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.flushLocked()
+}
+
+func (bp *BufferPool) flushLocked() error {
 	for _, f := range bp.frames {
 		if !f.dirty {
 			continue
@@ -185,14 +244,20 @@ func (bp *BufferPool) Flush() error {
 }
 
 // Resident returns the number of pages currently cached.
-func (bp *BufferPool) Resident() int { return len(bp.frames) }
+func (bp *BufferPool) Resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}
 
 // Clear flushes dirty frames and drops every unpinned frame, leaving a
 // cold cache. It is used by experiments that need cold-start I/O
 // measurements. Pinned frames are flushed but stay resident; an error
 // is returned if any page remains pinned.
 func (bp *BufferPool) Clear() error {
-	if err := bp.Flush(); err != nil {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err := bp.flushLocked(); err != nil {
 		return err
 	}
 	var pinned int

@@ -1,0 +1,138 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// gateStore wraps MemStore, blocking every ReadPage until release is
+// closed and counting the reads that actually reached it, so tests can
+// hold many pinners in flight against one physical fetch.
+type gateStore struct {
+	*MemStore
+	release chan struct{}
+	reads   atomic.Int64
+	failing atomic.Bool
+}
+
+var errInjected = errors.New("injected read failure")
+
+func (g *gateStore) ReadPage(id PageID, buf []byte) error {
+	<-g.release
+	g.reads.Add(1)
+	if g.failing.Load() {
+		return errInjected
+	}
+	return g.MemStore.ReadPage(id, buf)
+}
+
+// TestPinSingleFlight drives many goroutines at the same non-resident
+// page: exactly one physical read must reach the store, every pinner
+// must see the page contents, and pin accounting must drain cleanly.
+func TestPinSingleFlight(t *testing.T) {
+	gs := &gateStore{MemStore: NewMemStore(), release: make(chan struct{})}
+	id, err := gs.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("page-payload")
+	buf := make([]byte, PageSize)
+	copy(buf, want)
+	if err := gs.MemStore.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	bp := NewBufferPool(gs, 4)
+	const pinners = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, pinners)
+	for i := 0; i < pinners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, err := bp.Pin(id)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(data[:len(want)]) != string(want) {
+				errs <- fmt.Errorf("pinner saw wrong data %q", data[:len(want)])
+				return
+			}
+			errs <- bp.Unpin(id)
+		}()
+	}
+	close(gs.release) // let the single loader through
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := gs.reads.Load(); got != 1 {
+		t.Fatalf("physical reads = %d, want 1 (single flight)", got)
+	}
+	st := bp.Stats()
+	if st.LogicalReads != pinners || st.PhysicalReads != 1 {
+		t.Fatalf("stats = %+v, want %d logical / 1 physical", st, pinners)
+	}
+	// All pins released: the frame must be evictable again.
+	if err := bp.Clear(); err != nil {
+		t.Fatalf("Clear after unpin: %v", err)
+	}
+}
+
+// TestPinLoadFailure injects a ReadPage error under concurrent pinners:
+// every waiter must receive the error, the frame must not stay cached,
+// and a later Pin (store healthy again) must succeed with clean pin
+// accounting — the invariants of the voided-pins error path.
+func TestPinLoadFailure(t *testing.T) {
+	gs := &gateStore{MemStore: NewMemStore(), release: make(chan struct{})}
+	id, err := gs.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs.failing.Store(true)
+
+	bp := NewBufferPool(gs, 4)
+	const pinners = 8
+	var wg sync.WaitGroup
+	got := make(chan error, pinners)
+	for i := 0; i < pinners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := bp.Pin(id)
+			got <- err
+		}()
+	}
+	close(gs.release)
+	wg.Wait()
+	close(got)
+	for err := range got {
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("pinner error = %v, want %v", err, errInjected)
+		}
+	}
+	if n := bp.Resident(); n != 0 {
+		t.Fatalf("failed frame still resident (%d pages)", n)
+	}
+
+	// Recovery: the store works again, so the page must load fresh and
+	// the pin must be releasable (no leaked pin counts from the failed
+	// round).
+	gs.failing.Store(false)
+	if _, err := bp.Pin(id); err != nil {
+		t.Fatalf("Pin after recovery: %v", err)
+	}
+	if err := bp.Unpin(id); err != nil {
+		t.Fatalf("Unpin after recovery: %v", err)
+	}
+	if err := bp.Unpin(id); err == nil {
+		t.Fatal("double Unpin succeeded; pin accounting leaked")
+	}
+}

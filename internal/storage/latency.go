@@ -1,0 +1,45 @@
+package storage
+
+import "time"
+
+// LatencyStore wraps a Store and adds a fixed service time to every
+// physical page read and write, modelling the disk regime of the
+// paper's experiments with actual waiting instead of counters alone.
+// Because the buffer pool performs physical reads outside its lock,
+// concurrent queries overlap these waits — the effect the batch
+// evaluation API exploits to scale I/O-bound workloads with workers.
+//
+// The wrapper is as safe for concurrent use as the underlying store.
+type LatencyStore struct {
+	inner        Store
+	readLatency  time.Duration
+	writeLatency time.Duration
+}
+
+// NewLatencyStore wraps inner with the given per-operation service
+// times (either may be zero).
+func NewLatencyStore(inner Store, readLatency, writeLatency time.Duration) *LatencyStore {
+	return &LatencyStore{inner: inner, readLatency: readLatency, writeLatency: writeLatency}
+}
+
+// Allocate implements Store.
+func (ls *LatencyStore) Allocate() (PageID, error) { return ls.inner.Allocate() }
+
+// ReadPage implements Store.
+func (ls *LatencyStore) ReadPage(id PageID, buf []byte) error {
+	if ls.readLatency > 0 {
+		time.Sleep(ls.readLatency)
+	}
+	return ls.inner.ReadPage(id, buf)
+}
+
+// WritePage implements Store.
+func (ls *LatencyStore) WritePage(id PageID, buf []byte) error {
+	if ls.writeLatency > 0 {
+		time.Sleep(ls.writeLatency)
+	}
+	return ls.inner.WritePage(id, buf)
+}
+
+// NumPages implements Store.
+func (ls *LatencyStore) NumPages() int { return ls.inner.NumPages() }

@@ -34,8 +34,15 @@ var (
 )
 
 // Store is the raw page device: it can allocate fresh pages and read
-// and write whole pages by id. Implementations need not be safe for
-// concurrent use; the engine serializes access per index.
+// and write whole pages by id. Concurrency contract: the buffer pool
+// issues ReadPage calls concurrently (goroutines missing on different
+// pages), and a dirty-page eviction on the read path may issue a
+// WritePage concurrent with ReadPage calls for *other* pages (never
+// the page being written: it is resident and unpinned, so no pool
+// reader can be fetching it). Implementations must tolerate both;
+// MemStore and FileStore do, since distinct pages occupy distinct
+// slices / file regions. Allocate and same-page read/write conflicts
+// are serialized by the engine's write path.
 type Store interface {
 	// Allocate appends a zeroed page and returns its id.
 	Allocate() (PageID, error)

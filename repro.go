@@ -172,6 +172,33 @@ func ObjectQualification(issuer, obj PDF, w, h float64, cfg ObjectEvalConfig) fl
 // BatchResult pairs a batch query's result with its error.
 type BatchResult = core.BatchResult
 
+// BatchQuery is one element of an Engine.EvaluateBatch workload: a
+// query plus the database (points or uncertain objects) it targets.
+type BatchQuery = core.BatchQuery
+
+// Target selects which database a BatchQuery runs against.
+type Target = core.Target
+
+// Batch query targets.
+const (
+	// TargetUncertain evaluates over the uncertain-object database.
+	TargetUncertain = core.TargetUncertain
+	// TargetPoints evaluates over the point-object database.
+	TargetPoints = core.TargetPoints
+)
+
+// ObjectQualifier is the prepared form of ObjectQualification: built
+// once per query, it caches the issuer-side state (expanded support,
+// shifted CDF breakpoints) reused across every candidate. It is safe
+// for concurrent use.
+type ObjectQualifier = core.ObjectQualifier
+
+// NewObjectQualifier prepares qualification of many candidates against
+// one issuer and query extent.
+func NewObjectQualifier(issuer PDF, w, h float64) *ObjectQualifier {
+	return core.NewObjectQualifier(issuer, w, h)
+}
+
 // ExpectedCount returns the expected number of truly qualifying
 // objects: the sum of qualification probabilities.
 func ExpectedCount(ms []Match) float64 { return core.ExpectedCount(ms) }

@@ -1,6 +1,6 @@
 # Developer / CI entry points. `make bench` records the serving
-# throughput trajectory to BENCH_PR1.json so later revisions have a
-# baseline to compare against.
+# trajectory to BENCH_PR2.json (throughput + adaptive refinement);
+# BENCH_PR1.json stays checked in as the previous revision's baseline.
 
 GO ?= go
 
@@ -21,7 +21,8 @@ race:
 # Modest dataset sizes so the bench target finishes in about a minute
 # while still exercising realistic candidate sets.
 bench: build
-	$(GO) run ./cmd/ildq-bench -exp exp-throughput \
+	$(GO) run ./cmd/ildq-bench -exp exp-throughput,exp-adaptive \
 		-points 8000 -rects 10000 -queries 64 -workers 1,2,4 \
-		-json BENCH_PR1.json
+		-threshold 0.1,0.5,0.9 -adaptive-samples 2048 \
+		-json BENCH_PR2.json
 	$(GO) test ./internal/bench -run xxx -bench 'BenchmarkRefine|BenchmarkThroughput' -benchtime 1s

@@ -30,9 +30,9 @@ import (
 	"repro/internal/dataset"
 )
 
-// report is the -json output shape: every figure and throughput curve
-// the run produced, plus the sizing configuration, for perf-trajectory
-// comparison across revisions.
+// report is the -json output shape: every figure, throughput curve,
+// and adaptive-refinement table the run produced, plus the sizing
+// configuration, for perf-trajectory comparison across revisions.
 type report struct {
 	Points     int                      `json:"points"`
 	Rects      int                      `json:"rects"`
@@ -40,6 +40,7 @@ type report struct {
 	Seed       int64                    `json:"seed"`
 	Figures    []bench.Figure           `json:"figures,omitempty"`
 	Throughput []bench.ThroughputReport `json:"throughput,omitempty"`
+	Adaptive   []bench.AdaptiveReport   `json:"adaptive,omitempty"`
 }
 
 func main() {
@@ -53,6 +54,9 @@ func main() {
 		basicSamples = flag.Int("basic-samples", 400, "issuer samples for the basic method (fig8)")
 		mcSamples    = flag.Int("mc-samples", 200, "Monte-Carlo samples per refinement (fig13)")
 		workersFlag  = flag.String("workers", "1,2,4", "comma-separated worker counts for exp-throughput")
+		shards       = flag.Int("shards", 0, "buffer-pool lock shards for exp-throughput's io-bound run (0 = auto)")
+		thresholds   = flag.String("threshold", "0.1,0.5,0.9", "comma-separated probability thresholds for exp-adaptive")
+		adptSamples  = flag.Int("adaptive-samples", 2048, "Monte-Carlo budget per candidate for exp-adaptive")
 		jsonPath     = flag.String("json", "", "also write results to this file as JSON")
 	)
 	flag.Parse()
@@ -136,13 +140,30 @@ func main() {
 			os.Exit(1)
 		}
 		cpu.Render(os.Stdout)
-		iob, err := bench.ThroughputIO(cfg, 0, workerCounts, 0, 0)
+		iob, err := bench.ThroughputIO(cfg, 0, workerCounts, 0, 0, *shards)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ildq-bench: throughput: %v\n", err)
 			os.Exit(1)
 		}
 		iob.Render(os.Stdout)
 		rep.Throughput = append(rep.Throughput, cpu, iob)
+	}
+
+	// Adaptive refinement has its own table shape (full vs early-stop
+	// sampling cost per threshold); it shares the uniform environment.
+	if want["exp-adaptive"] {
+		qps, err := parseThresholds(*thresholds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: %v\n", err)
+			os.Exit(2)
+		}
+		adpt, err := bench.AdaptiveRefinement(getUni(), 0, qps, *adptSamples)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: adaptive: %v\n", err)
+			os.Exit(1)
+		}
+		adpt.Render(os.Stdout)
+		rep.Adaptive = append(rep.Adaptive, adpt)
 	}
 
 	runners := []struct {
@@ -186,6 +207,25 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ildq-bench: wrote %s\n", *jsonPath)
 	}
+}
+
+func parseThresholds(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 || v > 1 {
+			return nil, fmt.Errorf("bad -threshold value %q (want probabilities in (0, 1])", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -threshold list")
+	}
+	return out, nil
 }
 
 func parseWorkers(s string) ([]int, error) {

@@ -13,11 +13,22 @@
 //     (bulk-loaded R-tree and Probability Threshold Index);
 //   - evaluating IPQ, IUQ, C-IPQ and C-IUQ queries with the paper's
 //     query expansion, query-data duality, and threshold pruning;
+//   - adaptive refinement: Monte-Carlo refinement of threshold queries
+//     early-terminates per candidate once a Hoeffding / empirical
+//     Bernstein bound has decided it against the threshold — the same
+//     qualifying set for a fraction of the samples, with the saving
+//     reported in Cost.SamplesUsed and Cost.EarlyStopped (see
+//     ObjectEvalConfig.Adaptive);
 //   - concurrent query serving: the read path is safe for any number
-//     of simultaneous queries — over in-memory or paged storage (the
-//     buffer pool is internally synchronized) — each returning its own
-//     exact per-query Cost; Engine.EvaluateBatch fans a workload out
-//     over a worker pool with per-query deterministic sampling seeds;
+//     of simultaneous queries — over in-memory or paged storage (a
+//     sharded CLOCK buffer pool with asynchronous dirty-page
+//     write-back; evictions never stall concurrent pins) — each
+//     returning its own exact per-query Cost; Engine.EvaluateBatch
+//     fans a workload out over a worker pool with per-query
+//     deterministic sampling seeds, and Engine.EvaluateBatchStream
+//     streams results through a callback with per-query deadlines
+//     (EvalOptions.Timeout) and whole-batch cancellation, so
+//     arbitrarily large workloads evaluate in constant memory;
 //   - the imprecise nearest-neighbor extension;
 //   - synthetic dataset generation matching the paper's experimental
 //     setup.

@@ -6,17 +6,21 @@
 // The program maintains an engine under churn (ReplaceObject on every
 // position re-report, Insert/Delete as vehicles enter and leave
 // service), answers a batch of concurrent rider queries each epoch
-// with EvaluateUncertainBatch, and tracks the answer-quality metrics
-// (expected count, quality score, entropy) as fleet uncertainty
-// changes.
+// with EvaluateBatchStream — results stream back as each rider's
+// query finishes, under a per-query deadline, the serving mode meant
+// for workloads too large to collect into a slice — and tracks the
+// answer-quality metrics (expected count, quality score, entropy) as
+// fleet uncertainty changes.
 //
 // Run with: go run ./examples/livetracker
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"repro"
 )
@@ -85,8 +89,11 @@ func main() {
 			nextID++
 		}
 
-		// A batch of rider queries, evaluated concurrently.
-		var queries []repro.Query
+		// A batch of rider queries, streamed concurrently: each result
+		// is delivered as its query finishes, under a 100ms per-query
+		// deadline (a dispatch service would rather drop one rider's
+		// answer than stall the epoch).
+		var batch []repro.BatchQuery
 		for r := 0; r < ridersPerE; r++ {
 			issPDF, err := repro.NewUniformPDF(repro.RectCentered(
 				repro.Pt(rng.Float64()*worldSize, rng.Float64()*worldSize), 200, 200))
@@ -97,16 +104,25 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			queries = append(queries, repro.Query{
+			batch = append(batch, repro.BatchQuery{Query: repro.Query{
 				Issuer: issuer, W: rangeHalf, H: rangeHalf, Threshold: threshold,
-			})
+			}})
 		}
-		results := engine.EvaluateUncertainBatch(queries, repro.EvalOptions{}, 4)
+		results := make([]repro.BatchResult, len(batch))
+		err := engine.EvaluateBatchStream(context.Background(), batch,
+			repro.EvalOptions{Timeout: 100 * time.Millisecond}, 4,
+			func(i int, br repro.BatchResult) { results[i] = br })
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		fmt.Printf("epoch %d | fleet %d vehicles\n", epoch, engine.NumUncertain())
 		for r, br := range results {
 			if br.Err != nil {
-				log.Fatal(br.Err)
+				// A rider whose query overran its deadline: report and
+				// move on — the rest of the epoch's answers are good.
+				fmt.Printf("  rider %d: no answer (%v)\n", r+1, br.Err)
+				continue
 			}
 			m := br.Result.Matches
 			fmt.Printf("  rider %d: %2d callable | E[in range] %.1f | quality %.2f | entropy %.1f bits | %d node reads\n",

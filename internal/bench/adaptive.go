@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// AdaptivePoint is one measured operating point of the adaptive
+// refinement experiment: a probability threshold with the sampling
+// cost of full-budget versus early-terminating Monte-Carlo refinement
+// over the same workload and the same per-candidate sample streams.
+type AdaptivePoint struct {
+	Threshold       float64 `json:"threshold"`
+	Queries         int     `json:"queries"`
+	Refined         int     `json:"refined"`
+	FullSamples     int64   `json:"full_samples"`
+	AdaptiveSamples int64   `json:"adaptive_samples"`
+	// SampleReduction is FullSamples / AdaptiveSamples (the ×-factor
+	// the early termination saves).
+	SampleReduction float64 `json:"sample_reduction"`
+	EarlyStopped    int     `json:"early_stopped"`
+	// QualifyingEqual reports whether the early-stop qualifying set is
+	// exactly the full-budget qualifying set — the correctness side of
+	// the trade.
+	QualifyingEqual bool    `json:"qualifying_equal"`
+	FullMS          float64 `json:"full_ms"`
+	AdaptiveMS      float64 `json:"adaptive_ms"`
+}
+
+// AdaptiveReport is the exp-adaptive output: sampling savings per
+// threshold at a fixed Monte-Carlo budget.
+type AdaptiveReport struct {
+	Name      string          `json:"name"`
+	MCSamples int             `json:"mc_samples"`
+	Points    []AdaptivePoint `json:"points"`
+}
+
+// Render writes the report as an aligned text table.
+func (r AdaptiveReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "== adaptive refinement: %s ==\n", r.Name)
+	fmt.Fprintf(w, "%10s %10s %12s %12s %10s %10s %8s\n",
+		"threshold", "refined", "full", "adaptive", "saving", "early", "sets=")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%10.2f %10d %12d %12d %9.1fx %10d %8t\n",
+			p.Threshold, p.Refined, p.FullSamples, p.AdaptiveSamples,
+			p.SampleReduction, p.EarlyStopped, p.QualifyingEqual)
+	}
+	fmt.Fprintln(w)
+}
+
+// AdaptiveRefinement measures Hoeffding early termination on a C-IUQ
+// workload refined by forced Monte-Carlo (the paper's §6.2 regime for
+// non-uniform pdfs): each query is evaluated twice from identical
+// per-candidate sample streams — once with the full mcSamples budget,
+// once with AdaptiveAuto early termination — and the report records
+// total samples, the saving factor, and whether the qualifying sets
+// are identical (they must be).
+func AdaptiveRefinement(env *Env, queries int, thresholds []float64, mcSamples int) (AdaptiveReport, error) {
+	if queries <= 0 {
+		queries = env.cfg.Queries
+	}
+	if len(thresholds) == 0 {
+		thresholds = []float64{0.1, 0.5, 0.9}
+	}
+	if mcSamples <= 0 {
+		mcSamples = 2048
+	}
+	rep := AdaptiveReport{
+		Name:      fmt.Sprintf("C-IUQ forced Monte-Carlo, budget %d samples/candidate", mcSamples),
+		MCSamples: mcSamples,
+	}
+	p := DefaultParams()
+	issuers, err := env.Issuers(queries, p.U)
+	if err != nil {
+		return AdaptiveReport{}, err
+	}
+
+	mkOpts := func(seed int64, mode core.AdaptiveMode) core.EvalOptions {
+		return core.EvalOptions{
+			Rng: rand.New(rand.NewSource(seed)),
+			Object: core.ObjectEvalConfig{
+				ForceMonteCarlo: true,
+				MCSamples:       mcSamples,
+				Adaptive:        mode,
+			},
+		}
+	}
+
+	for _, qp := range thresholds {
+		pt := AdaptivePoint{Threshold: qp, Queries: queries, QualifyingEqual: true}
+		var fullDur, adptDur time.Duration
+		for i, iss := range issuers {
+			q := core.Query{Issuer: iss, W: p.W, H: p.W, Threshold: qp}
+			seed := int64(9000 + i)
+			full, err := env.Engine.EvaluateUncertain(q, mkOpts(seed, core.AdaptiveOff))
+			if err != nil {
+				return AdaptiveReport{}, err
+			}
+			adpt, err := env.Engine.EvaluateUncertain(q, mkOpts(seed, core.AdaptiveAuto))
+			if err != nil {
+				return AdaptiveReport{}, err
+			}
+			pt.Refined += full.Cost.Refined
+			pt.FullSamples += full.Cost.SamplesUsed
+			pt.AdaptiveSamples += adpt.Cost.SamplesUsed
+			pt.EarlyStopped += adpt.Cost.EarlyStopped
+			fullDur += full.Cost.Duration
+			adptDur += adpt.Cost.Duration
+			if !sameMatchIDs(full.Matches, adpt.Matches) {
+				pt.QualifyingEqual = false
+			}
+		}
+		if pt.AdaptiveSamples > 0 {
+			pt.SampleReduction = float64(pt.FullSamples) / float64(pt.AdaptiveSamples)
+		}
+		pt.FullMS = float64(fullDur.Nanoseconds()) / 1e6 / float64(queries)
+		pt.AdaptiveMS = float64(adptDur.Nanoseconds()) / 1e6 / float64(queries)
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// sameMatchIDs reports whether two match slices hold the same object
+// ids (both are sorted deterministically, but early termination may
+// reorder by probability, so compare as sets).
+func sameMatchIDs(a, b []core.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ids := make(map[int64]struct{}, len(a))
+	for _, m := range a {
+		ids[int64(m.ID)] = struct{}{}
+	}
+	for _, m := range b {
+		if _, ok := ids[int64(m.ID)]; !ok {
+			return false
+		}
+	}
+	return true
+}

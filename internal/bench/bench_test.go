@@ -55,7 +55,7 @@ func TestDefaults(t *testing.T) {
 	if len(QpSweep()) != 11 || QpSweep()[10] != 1 {
 		t.Fatalf("QpSweep = %v", QpSweep())
 	}
-	if len(AllFigureIDs()) != 12 {
+	if len(AllFigureIDs()) != 13 {
 		t.Fatalf("AllFigureIDs = %v", AllFigureIDs())
 	}
 }
@@ -270,7 +270,7 @@ func TestThroughput(t *testing.T) {
 
 func TestThroughputIO(t *testing.T) {
 	cfg := smallConfig()
-	rep, err := ThroughputIO(cfg, 6, []int{1, 4}, 32, 50*time.Microsecond)
+	rep, err := ThroughputIO(cfg, 6, []int{1, 4}, 32, 50*time.Microsecond, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,6 +286,34 @@ func TestThroughputIO(t *testing.T) {
 	// a 6-query run can lose to scheduling noise without any defect.
 	if rep.Points[1].QPS < rep.Points[0].QPS {
 		t.Logf("note: io-bound throughput fell with workers: %+v", rep.Points)
+	}
+}
+
+func TestAdaptiveRefinementExperiment(t *testing.T) {
+	env := smallEnv(t, Config{Points: 300, Rects: 1500, Queries: 4, Seed: 6})
+	rep, err := AdaptiveRefinement(env, 4, []float64{0.1, 0.5}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MCSamples != 512 || len(rep.Points) != 2 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	for _, p := range rep.Points {
+		if !p.QualifyingEqual {
+			t.Fatalf("qp=%g: early termination changed the qualifying set", p.Threshold)
+		}
+		if p.Refined == 0 {
+			t.Fatalf("qp=%g: workload refined nothing", p.Threshold)
+		}
+		if p.AdaptiveSamples >= p.FullSamples {
+			t.Fatalf("qp=%g: no sampling saved (%d adaptive vs %d full)",
+				p.Threshold, p.AdaptiveSamples, p.FullSamples)
+		}
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if !strings.Contains(buf.String(), "adaptive refinement") {
+		t.Fatalf("render:\n%s", buf.String())
 	}
 }
 

@@ -109,10 +109,12 @@ func Throughput(env *Env, queries int, workerCounts []int) (ThroughputReport, er
 // ThroughputIO measures I/O-bound batch serving: the PTI lives on 4 KiB
 // pages behind a small thread-safe buffer pool whose physical reads
 // carry a simulated service time (readLatency; 0 means 150µs). Because
-// the pool performs physical reads outside its lock, workers overlap
-// the waits and QPS scales with the worker count even on one CPU — the
-// disk regime of the paper's experiments, served concurrently.
-func ThroughputIO(cfg Config, queries int, workerCounts []int, poolPages int, readLatency time.Duration) (ThroughputReport, error) {
+// the pool performs physical reads outside its shard locks, workers
+// overlap the waits and QPS scales with the worker count even on one
+// CPU — the disk regime of the paper's experiments, served
+// concurrently. shards sets the pool's lock-shard count (0 = the
+// capacity-based default).
+func ThroughputIO(cfg Config, queries int, workerCounts []int, poolPages int, readLatency time.Duration, shards int) (ThroughputReport, error) {
 	cfg = cfg.withDefaults()
 	if queries <= 0 {
 		queries = cfg.Queries
@@ -135,7 +137,7 @@ func ThroughputIO(cfg Config, queries int, workerCounts []int, poolPages int, re
 		return ThroughputReport{}, err
 	}
 	store := storage.NewLatencyStore(storage.NewMemStore(), readLatency, 0)
-	pool := storage.NewBufferPool(store, poolPages)
+	pool := storage.NewBufferPoolShards(store, poolPages, shards)
 	engine, err := core.NewEngine(nil, objs, core.EngineOptions{
 		UncertainNodeStore: rtree.NewPagedNodeStore(pool, 4*len(uncertain.PaperCatalogProbs())),
 	})
@@ -153,6 +155,7 @@ func ThroughputIO(cfg Config, queries int, workerCounts []int, poolPages int, re
 	if err := pool.Clear(); err != nil {
 		return ThroughputReport{}, err
 	}
-	name := fmt.Sprintf("io-bound (paged PTI, pool=%d pages, read latency %v)", poolPages, readLatency)
+	name := fmt.Sprintf("io-bound (paged PTI, pool=%d pages/%d shards, read latency %v)",
+		poolPages, pool.ShardCount(), readLatency)
 	return measureBatch(engine, batch, workerCounts, name)
 }

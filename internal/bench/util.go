@@ -20,6 +20,6 @@ func AllFigureIDs() []string {
 	return []string{
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"ablation-strategies", "ablation-catalog", "ablation-index",
-		"exp-io", "exp-sensitivity", "exp-throughput",
+		"exp-io", "exp-sensitivity", "exp-throughput", "exp-adaptive",
 	}
 }

@@ -103,6 +103,16 @@ type Cost struct {
 	// BelowThreshold counts refined candidates whose exact probability
 	// missed the threshold (or was zero for unconstrained queries).
 	BelowThreshold int
+	// SamplesUsed is the total number of Monte-Carlo samples drawn by
+	// refinement (zero when every candidate refines in closed form).
+	// With adaptive early termination this is the observable saving:
+	// compare against Refined × MCSamples.
+	SamplesUsed int64
+	// EarlyStopped counts Monte-Carlo refinements that terminated
+	// before the full sample budget because a confidence bound already
+	// decided the candidate against the query threshold (§ adaptive
+	// refinement; see ObjectEvalConfig.Adaptive).
+	EarlyStopped int
 	// NodeAccesses is the number of index nodes (pages) read.
 	NodeAccesses int64
 	// Duration is the wall-clock evaluation time.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -34,15 +35,21 @@ type EngineOptions struct {
 //
 // Concurrency: the read path is safe for concurrent use. Any number of
 // goroutines may call the Evaluate* methods simultaneously — over
-// in-memory or paged node stores (the buffer pool is internally
-// synchronized, and physical reads overlap across goroutines) — as
-// long as each call uses a distinct EvalOptions.Rng (or leaves it nil
-// inside EvaluateBatch, which derives an independent source per query)
+// in-memory or paged node stores (the sharded buffer pool is
+// internally synchronized; physical reads and eviction write-backs
+// overlap across goroutines) — as long as each call uses a distinct
+// EvalOptions.Rng (or leaves it nil inside EvaluateBatch /
+// EvaluateBatchStream, which derive an independent source per query)
 // and no mutation (Insert/Delete/bulk load) runs concurrently. Every
 // Result carries its own exact per-query Cost: node accesses are
 // counted per search call, not in shared tree state, so concurrent
 // queries do not perturb each other's counters. Mutations must be
 // externally serialized with each other and with queries.
+//
+// Determinism: for a fixed engine, query, and options seed, enhanced
+// evaluation is bit-identical at every worker count (serial included):
+// Monte-Carlo refinement derives one sample stream per candidate
+// object, keyed by object id — see refineSurvivors.
 type Engine struct {
 	points    []uncertain.PointObject
 	pointByID map[uncertain.ID]int
@@ -153,6 +160,13 @@ type EvalOptions struct {
 	DisableIndexPruning bool
 	// Strategies toggles the object-level C-IUQ pruning strategies.
 	Strategies StrategySet
+	// Timeout bounds one query's evaluation wall clock (0 = none).
+	// It composes with any deadline already on the caller's context
+	// (the Evaluate*Context entry points); cancellation is checked at
+	// candidate granularity, and an expired evaluation returns
+	// context.DeadlineExceeded with no result. Inside batch serving
+	// this is the per-query deadline.
+	Timeout time.Duration
 	// Rng drives sampling paths; nil uses a fixed seed.
 	Rng *rand.Rand
 }
@@ -171,24 +185,46 @@ func (o EvalOptions) withDefaults() EvalOptions {
 	return o
 }
 
+// evalContext derives the evaluation context: the caller's ctx (nil
+// means context.Background) bounded by opts.Timeout when set. The
+// returned cancel must always be called.
+func (o EvalOptions) evalContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Timeout > 0 {
+		return context.WithTimeout(ctx, o.Timeout)
+	}
+	return ctx, func() {}
+}
+
 // EvaluatePoints answers IPQ (Threshold == 0) and C-IPQ (Threshold > 0)
 // queries over the point-object database.
 func (e *Engine) EvaluatePoints(q Query, opts EvalOptions) (Result, error) {
+	return e.EvaluatePointsContext(context.Background(), q, opts)
+}
+
+// EvaluatePointsContext is EvaluatePoints bounded by ctx (and by
+// opts.Timeout, whichever expires first): cancellation is observed at
+// candidate granularity and surfaces as the context's error.
+func (e *Engine) EvaluatePointsContext(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
 	if err := q.Validate(); err != nil {
 		return Result{}, err
 	}
 	opts = opts.withDefaults()
+	ctx, cancel := opts.evalContext(ctx)
+	defer cancel()
 	switch opts.Method {
 	case MethodEnhanced:
-		return e.evaluatePointsEnhanced(q, opts)
+		return e.evaluatePointsEnhanced(ctx, q, opts)
 	case MethodBasic:
-		return e.evaluatePointsBasic(q, opts)
+		return e.evaluatePointsBasic(ctx, q, opts)
 	default:
 		return Result{}, fmt.Errorf("%w: %v", ErrUnknownMethod, opts.Method)
 	}
 }
 
-func (e *Engine) evaluatePointsEnhanced(q Query, opts EvalOptions) (Result, error) {
+func (e *Engine) evaluatePointsEnhanced(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
 	start := time.Now()
 	var res Result
 
@@ -199,12 +235,16 @@ func (e *Engine) evaluatePointsEnhanced(q Query, opts EvalOptions) (Result, erro
 	}
 
 	na, err := e.pointIdx.SearchCounted(plan.searchReg, nil, func(en rtree.Entry) bool {
+		if canceled(ctx) != nil {
+			return false
+		}
 		res.Cost.Candidates++
 		p := e.points[int(en.Ref)]
 		res.Cost.Refined++
 		var prob float64
 		if opts.PointMCSamples > 0 {
 			prob = PointQualificationBasic(q.Issuer.PDF, p.Loc, q.W, q.H, opts.PointMCSamples, opts.Rng)
+			res.Cost.SamplesUsed += int64(opts.PointMCSamples)
 		} else {
 			prob = PointQualification(q.Issuer.PDF, p.Loc, q.W, q.H)
 		}
@@ -218,13 +258,16 @@ func (e *Engine) evaluatePointsEnhanced(q Query, opts EvalOptions) (Result, erro
 	if err != nil {
 		return Result{}, err
 	}
+	if err := canceled(ctx); err != nil {
+		return Result{}, err
+	}
 	res.Cost.NodeAccesses = na
 	sortMatches(res.Matches)
 	res.Cost.Duration = time.Since(start)
 	return res, nil
 }
 
-func (e *Engine) evaluatePointsBasic(q Query, opts EvalOptions) (Result, error) {
+func (e *Engine) evaluatePointsBasic(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
 	start := time.Now()
 	var res Result
 
@@ -234,10 +277,14 @@ func (e *Engine) evaluatePointsBasic(q Query, opts EvalOptions) (Result, error) 
 	// database, making the baseline look arbitrarily bad).
 	searchReg := q.Expanded()
 	na, err := e.pointIdx.SearchCounted(searchReg, nil, func(en rtree.Entry) bool {
+		if canceled(ctx) != nil {
+			return false
+		}
 		res.Cost.Candidates++
 		res.Cost.Refined++
 		p := e.points[int(en.Ref)]
 		prob := PointQualificationBasic(q.Issuer.PDF, p.Loc, q.W, q.H, opts.BasicSamples, opts.Rng)
+		res.Cost.SamplesUsed += int64(opts.BasicSamples)
 		if accept(prob, q.Threshold) {
 			res.Matches = append(res.Matches, Match{ID: p.ID, P: prob})
 		} else {
@@ -246,6 +293,9 @@ func (e *Engine) evaluatePointsBasic(q Query, opts EvalOptions) (Result, error) 
 		return true
 	})
 	if err != nil {
+		return Result{}, err
+	}
+	if err := canceled(ctx); err != nil {
 		return Result{}, err
 	}
 	res.Cost.NodeAccesses = na
@@ -257,15 +307,25 @@ func (e *Engine) evaluatePointsBasic(q Query, opts EvalOptions) (Result, error) 
 // EvaluateUncertain answers IUQ (Threshold == 0) and C-IUQ
 // (Threshold > 0) queries over the uncertain-object database.
 func (e *Engine) EvaluateUncertain(q Query, opts EvalOptions) (Result, error) {
+	return e.EvaluateUncertainContext(context.Background(), q, opts)
+}
+
+// EvaluateUncertainContext is EvaluateUncertain bounded by ctx (and by
+// opts.Timeout, whichever expires first): cancellation is observed at
+// candidate granularity — during both the index probe and refinement —
+// and surfaces as the context's error.
+func (e *Engine) EvaluateUncertainContext(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
 	if err := q.Validate(); err != nil {
 		return Result{}, err
 	}
 	opts = opts.withDefaults()
+	ctx, cancel := opts.evalContext(ctx)
+	defer cancel()
 	switch opts.Method {
 	case MethodEnhanced:
-		return e.evaluateUncertainEnhanced(q, opts, 1)
+		return e.evaluateUncertainEnhanced(ctx, q, opts, 1)
 	case MethodBasic:
-		return e.evaluateUncertainBasic(q, opts)
+		return e.evaluateUncertainBasic(ctx, q, opts)
 	default:
 		return Result{}, fmt.Errorf("%w: %v", ErrUnknownMethod, opts.Method)
 	}
@@ -275,8 +335,9 @@ func (e *Engine) EvaluateUncertain(q Query, opts EvalOptions) (Result, error) {
 // serial (workers <= 1) or fanned out: index probe and object-level
 // pruning run once, collecting survivors; refinement — where nearly all
 // CPU time goes — runs over the prepared query plan, optionally split
-// across a worker pool (see refineSurvivors).
-func (e *Engine) evaluateUncertainEnhanced(q Query, opts EvalOptions, workers int) (Result, error) {
+// across a worker pool (see refineSurvivors). ctx must already carry
+// any opts.Timeout bound.
+func (e *Engine) evaluateUncertainEnhanced(ctx context.Context, q Query, opts EvalOptions, workers int) (Result, error) {
 	start := time.Now()
 	var res Result
 
@@ -288,6 +349,9 @@ func (e *Engine) evaluateUncertainEnhanced(q Query, opts EvalOptions, workers in
 
 	var survivors []*uncertain.Object
 	visit := func(id uncertain.ID) bool {
+		if canceled(ctx) != nil {
+			return false
+		}
 		res.Cost.Candidates++
 		obj := e.objects[id]
 		switch PruneUncertain(q, obj, plan.expanded, plan.searchReg, opts.Strategies) {
@@ -315,10 +379,18 @@ func (e *Engine) evaluateUncertainEnhanced(q Query, opts EvalOptions, workers in
 	if err != nil {
 		return Result{}, err
 	}
+	if err := canceled(ctx); err != nil {
+		return Result{}, err
+	}
 	res.Cost.NodeAccesses = na
 	res.Cost.Refined = len(survivors)
 
-	probs := refineSurvivors(plan, survivors, opts, workers)
+	probs, rst, err := refineSurvivors(ctx, plan, survivors, opts, workers)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Cost.SamplesUsed = rst.samples
+	res.Cost.EarlyStopped = rst.earlyStopped
 	for i, obj := range survivors {
 		if accept(probs[i], q.Threshold) {
 			res.Matches = append(res.Matches, Match{ID: obj.ID, P: probs[i]})
@@ -331,16 +403,20 @@ func (e *Engine) evaluateUncertainEnhanced(q Query, opts EvalOptions, workers in
 	return res, nil
 }
 
-func (e *Engine) evaluateUncertainBasic(q Query, opts EvalOptions) (Result, error) {
+func (e *Engine) evaluateUncertainBasic(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
 	start := time.Now()
 	var res Result
 
 	expanded := q.Expanded()
 	na, err := e.uncIdx.RangeSearchCounted(expanded, func(id uncertain.ID) bool {
+		if canceled(ctx) != nil {
+			return false
+		}
 		res.Cost.Candidates++
 		res.Cost.Refined++
 		obj := e.objects[id]
 		prob := ObjectQualificationBasic(q.Issuer.PDF, obj.PDF, q.W, q.H, opts.BasicSamples, opts.Rng)
+		res.Cost.SamplesUsed += int64(opts.BasicSamples)
 		if accept(prob, q.Threshold) {
 			res.Matches = append(res.Matches, Match{ID: id, P: prob})
 		} else {
@@ -349,6 +425,9 @@ func (e *Engine) evaluateUncertainBasic(q Query, opts EvalOptions) (Result, erro
 		return true
 	})
 	if err != nil {
+		return Result{}, err
+	}
+	if err := canceled(ctx); err != nil {
 		return Result{}, err
 	}
 	res.Cost.NodeAccesses = na

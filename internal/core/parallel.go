@@ -1,8 +1,9 @@
 package core
 
 import (
-	"math/rand"
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pdf"
 	"repro/internal/uncertain"
@@ -28,67 +29,114 @@ func deriveSeed(parent int64, child int) int64 {
 	return int64(splitmix64(uint64(parent) + splitmix64(uint64(child))))
 }
 
+// refineStats aggregates what refinement spent: total Monte-Carlo
+// samples drawn and how many candidates a confidence bound settled
+// before their full budget.
+type refineStats struct {
+	samples      int64
+	earlyStopped int
+}
+
 // refineSurvivors computes qualification probabilities for the
 // survivors of pruning, in input order, through the prepared query
-// plan. workers <= 1 refines serially on the caller's goroutine using
-// opts.Object.Rng directly. workers > 1 splits the survivors across a
-// worker pool; each survivor draws from its own deterministic source
-// derived (splitmix-style, see deriveSeed) from a single parent draw
-// of opts.Rng and the survivor's index.
+// plan, and reports the sampling cost. workers <= 1 refines serially
+// on the caller's goroutine; workers > 1 splits the survivors across
+// a worker pool. Candidates refined by Monte-Carlo each draw from
+// their own deterministic source derived (splitmix-style, see
+// deriveSeed) from a single parent draw of opts.Rng and the
+// candidate's object id — serial and parallel alike.
 //
 // Reproducibility contract: for a fixed engine, query, and options
-// seed, parallel results are identical run to run and across worker
-// counts >= 2 — seeding is per survivor, so neither the scheduler nor
-// the worker count can change which sample stream refines which
-// object. Monte-Carlo probabilities still differ from the serial path
-// (workers <= 1), which consumes opts.Object.Rng sequentially;
-// closed-form refinement is identical everywhere.
-func refineSurvivors(plan queryPlan, survivors []*uncertain.Object, opts EvalOptions, workers int) []float64 {
+// seed, results are bit-identical run to run and across every worker
+// count, serial included — seeding is per candidate object, so
+// neither the scheduler, the worker count, nor the refinement order
+// can change which sample stream refines which object. Keying the
+// stream by object id (not survivor index) also means pruning
+// configuration cannot shift a surviving object's stream.
+//
+// When the query carries a threshold and opts.Object.Adaptive allows
+// it, Monte-Carlo refinement early-terminates per candidate (see
+// ObjectEvalConfig.Adaptive); the qualifying decision is unchanged.
+//
+// ctx is checked between candidates; on cancellation the partial
+// probability slice and an error are returned.
+func refineSurvivors(ctx context.Context, plan queryPlan, survivors []*uncertain.Object, opts EvalOptions, workers int) ([]float64, refineStats, error) {
+	var st refineStats
 	if len(survivors) == 0 {
-		return nil
+		return nil, st, nil
 	}
 	if workers > len(survivors) {
 		workers = len(survivors)
 	}
 	probs := make([]float64, len(survivors))
-	if workers <= 1 {
-		sc := acquireScratch()
-		defer releaseScratch(sc)
-		for i, obj := range survivors {
-			probs[i] = plan.qualifier.qualify(obj.PDF, opts.Object, sc)
-		}
-		return probs
-	}
 
 	// Sampling sources are only consulted by Monte-Carlo refinement
 	// (forced, or any side of the duality integral non-separable), so
-	// the per-survivor rand.New is only paid where hundreds of samples
-	// dwarf it; pure closed-form refinement never derives one.
+	// the per-candidate rand.New is only paid where hundreds of
+	// samples dwarf it; pure closed-form refinement never derives one.
+	// The parent is drawn unconditionally so the serial and parallel
+	// paths consume opts.Rng identically.
 	parent := opts.Rng.Int63()
 	mcAll := opts.Object.ForceMonteCarlo || !plan.qualifier.separable
-	next := make(chan int, len(survivors))
-	for i := range survivors {
-		next <- i
+	// Early termination applies only against a real threshold.
+	stopQP := 0.0
+	if plan.q.Threshold > 0 && opts.Object.Adaptive == AdaptiveAuto {
+		stopQP = plan.q.Threshold
 	}
-	close(next)
-	var wg sync.WaitGroup
+
+	refineOne := func(i int, cfg ObjectEvalConfig, sc *evalScratch, st *refineStats) {
+		obj := survivors[i]
+		if mcAll || !isSeparable(obj.PDF) {
+			cfg.Rng = newSeededRand(deriveSeed(parent, int(obj.ID)))
+		}
+		p, n, early := plan.qualifier.qualifyThreshold(obj.PDF, stopQP, cfg, sc)
+		probs[i] = p
+		st.samples += int64(n)
+		if early {
+			st.earlyStopped++
+		}
+	}
+
+	if workers <= 1 {
+		sc := acquireScratch()
+		defer releaseScratch(sc)
+		for i := range survivors {
+			if err := canceled(ctx); err != nil {
+				return probs, st, err
+			}
+			refineOne(i, opts.Object, sc, &st)
+		}
+		return probs, st, nil
+	}
+
+	var (
+		wg           sync.WaitGroup
+		next         atomic.Int64
+		samples      atomic.Int64
+		earlyStopped atomic.Int64
+	)
 	for wkr := 0; wkr < workers; wkr++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			sc := acquireScratch()
 			defer releaseScratch(sc)
-			cfg := opts.Object
-			for i := range next {
-				if mcAll || !isSeparable(survivors[i].PDF) {
-					cfg.Rng = rand.New(rand.NewSource(deriveSeed(parent, i)))
+			var local refineStats
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(survivors) || canceled(ctx) != nil {
+					break
 				}
-				probs[i] = plan.qualifier.qualify(survivors[i].PDF, cfg, sc)
+				refineOne(i, opts.Object, sc, &local)
 			}
+			samples.Add(local.samples)
+			earlyStopped.Add(int64(local.earlyStopped))
 		}()
 	}
 	wg.Wait()
-	return probs
+	st.samples = samples.Load()
+	st.earlyStopped = int(earlyStopped.Load())
+	return probs, st, canceled(ctx)
 }
 
 // isSeparable reports whether the pdf factors by axis (the closed-form
@@ -98,16 +146,27 @@ func isSeparable(p pdf.PDF) bool {
 	return ok
 }
 
+// canceled returns the context's error if it is done, nil otherwise.
+// The fast path (context.Background, undecided contexts) is a single
+// channel poll, cheap enough for per-candidate checks.
+func canceled(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // EvaluateUncertainParallel is EvaluateUncertain with refinement fanned
 // out over workers goroutines. Index search and pruning run serially
 // (they are index-bound); the surviving candidates — where nearly all
 // CPU time goes for Monte-Carlo or quadrature refinement — are split
 // across a worker pool. workers <= 1 falls back to the serial path.
 // Both paths share one implementation (evaluateUncertainEnhanced); the
-// worker count is the only difference.
-//
-// See refineSurvivors for the reproducibility contract of the derived
-// per-worker sampling sources.
+// worker count is the only difference, and per-candidate sampling
+// seeds (see refineSurvivors) make the results bit-identical at any
+// worker count.
 func (e *Engine) EvaluateUncertainParallel(q Query, opts EvalOptions, workers int) (Result, error) {
 	if workers <= 1 {
 		return e.EvaluateUncertain(q, opts)
@@ -116,5 +175,7 @@ func (e *Engine) EvaluateUncertainParallel(q Query, opts EvalOptions, workers in
 		return Result{}, err
 	}
 	opts = opts.withDefaults()
-	return e.evaluateUncertainEnhanced(q, opts, workers)
+	ctx, cancel := opts.evalContext(context.Background())
+	defer cancel()
+	return e.evaluateUncertainEnhanced(ctx, q, opts, workers)
 }

@@ -163,28 +163,46 @@ func NewObjectQualifier(issuer pdf.PDF, w, h float64) *ObjectQualifier {
 func (oq *ObjectQualifier) Qualify(obj pdf.PDF, cfg ObjectEvalConfig) float64 {
 	sc := acquireScratch()
 	defer releaseScratch(sc)
-	return oq.qualify(obj, cfg.withDefaults(), sc)
+	p, _, _ := oq.qualifyThreshold(obj, 0, cfg.withDefaults(), sc)
+	return p
 }
 
-// qualify is the engine-internal path: cfg must already carry defaults
-// and sc is the caller's scratch (one per goroutine, not per
-// candidate).
-func (oq *ObjectQualifier) qualify(obj pdf.PDF, cfg ObjectEvalConfig, sc *evalScratch) float64 {
+// QualifyThreshold is Qualify with adaptive early termination against
+// the probability threshold qp (> 0; zero disables early stop). It
+// additionally returns the Monte-Carlo samples drawn — zero when the
+// candidate refines in closed form, the full cfg.MCSamples budget
+// when sampling runs to completion — and whether a confidence bound
+// terminated sampling early. See ObjectEvalConfig.Adaptive.
+func (oq *ObjectQualifier) QualifyThreshold(obj pdf.PDF, qp float64, cfg ObjectEvalConfig) (p float64, samples int, early bool) {
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	return oq.qualifyThreshold(obj, qp, cfg.withDefaults(), sc)
+}
+
+// qualifyThreshold is the engine-internal path: cfg must already carry
+// defaults and sc is the caller's scratch (one per goroutine, not per
+// candidate). qp > 0 enables threshold early termination for the
+// Monte-Carlo branch unless cfg.Adaptive turns it off; the closed-form
+// branch is exact and ignores qp.
+func (oq *ObjectQualifier) qualifyThreshold(obj pdf.PDF, qp float64, cfg ObjectEvalConfig, sc *evalScratch) (float64, int, bool) {
 	if !cfg.ForceMonteCarlo && oq.separable {
 		if sObj, ok := obj.(pdf.Separable); ok {
 			clip := obj.Support().Intersect(oq.expSup)
 			if clip.Empty() {
-				return 0
+				return 0, 0, false
 			}
 			fx := oq.ax.factor(sObj.MarginalX(), clip.Lo.X, clip.Hi.X, cfg.QuadratureNodes, sc)
 			if fx == 0 {
-				return 0
+				return 0, 0, false
 			}
 			fy := oq.ay.factor(sObj.MarginalY(), clip.Lo.Y, clip.Hi.Y, cfg.QuadratureNodes, sc)
-			return clampProb(fx * fy)
+			return clampProb(fx * fy), 0, false
 		}
 	}
-	return objectQualificationMC(oq.issuer, obj, oq.w, oq.h, cfg)
+	if qp > 0 && cfg.Adaptive == AdaptiveAuto {
+		return objectQualificationMCThreshold(oq.issuer, obj, oq.w, oq.h, qp, cfg)
+	}
+	return objectQualificationMC(oq.issuer, obj, oq.w, oq.h, cfg), cfg.MCSamples, false
 }
 
 // queryPlan is the per-query execution state the engine prepares once

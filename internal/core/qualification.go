@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 
@@ -47,6 +48,22 @@ func DualityKernel(issuer pdf.PDF, w, h float64) func(geom.Point) float64 {
 	}
 }
 
+// AdaptiveMode selects whether Monte-Carlo refinement of threshold
+// queries may terminate early once a confidence bound has decided the
+// candidate.
+type AdaptiveMode int
+
+const (
+	// AdaptiveAuto (the default) enables early termination whenever
+	// the query carries a probability threshold. Unconstrained queries
+	// always draw the full budget (there is no decision to prove).
+	AdaptiveAuto AdaptiveMode = iota
+	// AdaptiveOff always draws the full MCSamples budget — the mode to
+	// use when the estimate itself (not just the threshold decision)
+	// must carry full-budget accuracy.
+	AdaptiveOff
+)
+
 // ObjectEvalConfig tunes uncertain-object refinement.
 type ObjectEvalConfig struct {
 	// ForceMonteCarlo evaluates by sampling even when a closed form or
@@ -57,6 +74,25 @@ type ObjectEvalConfig struct {
 	// MCSamples is the Monte-Carlo sample count (default 256, matching
 	// the paper's sensitivity analysis scale).
 	MCSamples int
+	// Adaptive controls threshold early termination for Monte-Carlo
+	// refinement (default AdaptiveAuto). For a threshold query,
+	// sampling proceeds in blocks of MCBlock and stops as soon as
+	// either (a) the remaining draws cannot change which side of the
+	// threshold the full-budget estimate lands on (a certainty bound:
+	// kernel values lie in [0, 1]), or (b) a confidence bound — the
+	// tighter of Hoeffding and empirical Bernstein, at confidence
+	// 1−MCDelta — separates the running mean from the threshold.
+	// Clear-cut candidates settle after a fraction of the budget;
+	// borderline ones still draw all MCSamples.
+	Adaptive AdaptiveMode
+	// MCBlock is the sample-block size between early-termination bound
+	// checks (default 64).
+	MCBlock int
+	// MCDelta is the per-check failure probability of the confidence
+	// bounds (default 1e-6): the chance that an early stop misjudges a
+	// candidate whose true probability sits on the other side of the
+	// threshold. Smaller values stop later but more safely.
+	MCDelta float64
 	// QuadratureNodes is the per-axis Gauss–Legendre order for smooth
 	// separable factors without closed form (default 24).
 	QuadratureNodes int
@@ -67,6 +103,12 @@ type ObjectEvalConfig struct {
 func (c ObjectEvalConfig) withDefaults() ObjectEvalConfig {
 	if c.MCSamples <= 0 {
 		c.MCSamples = 256
+	}
+	if c.MCBlock <= 0 {
+		c.MCBlock = 64
+	}
+	if c.MCDelta <= 0 {
+		c.MCDelta = 1e-6
 	}
 	if c.QuadratureNodes <= 0 {
 		c.QuadratureNodes = 24
@@ -108,6 +150,102 @@ func objectQualificationMC(issuer, obj pdf.PDF, w, h float64, cfg ObjectEvalConf
 		sum += q(obj.Sample(cfg.Rng))
 	}
 	return clampProb(sum / float64(cfg.MCSamples))
+}
+
+// objectQualificationMCThreshold is the adaptive sampling path for
+// threshold queries: sampling runs in blocks of cfg.MCBlock and stops
+// as soon as a bound proves which side of qp the candidate falls on
+// (see thresholdDecided). It returns the estimate, the samples
+// actually drawn, and whether the loop terminated early. For qp <= 0
+// it degenerates to the full-budget objectQualificationMC.
+//
+// The returned estimate is always on the same side of qp as the
+// full-budget estimate would be for the certainty bound, and as the
+// true probability (with confidence 1−MCDelta per check) for the
+// Hoeffding bound, so the qualifying set of a threshold query is
+// unchanged by early termination — only the number of samples spent
+// on clear-cut candidates shrinks.
+func objectQualificationMCThreshold(issuer, obj pdf.PDF, w, h, qp float64, cfg ObjectEvalConfig) (float64, int, bool) {
+	kern := DualityKernel(issuer, w, h)
+	total := cfg.MCSamples
+	var sum, sumSq float64
+	n := 0
+	for n < total {
+		block := cfg.MCBlock
+		if block > total-n {
+			block = total - n
+		}
+		for j := 0; j < block; j++ {
+			v := kern(obj.Sample(cfg.Rng))
+			sum += v
+			sumSq += v * v
+		}
+		n += block
+		if n >= total || qp <= 0 {
+			continue
+		}
+		if p, done := thresholdDecided(sum, sumSq, n, total, qp, cfg.MCDelta); done {
+			return p, n, true
+		}
+	}
+	return clampProb(sum / float64(total)), total, false
+}
+
+// thresholdDecided applies the early-termination bounds after n of
+// total samples summing to sum (squares to sumSq; each sample lies in
+// [0, 1]):
+//
+//   - certainty: the full-budget mean lies in [sum/total,
+//     (sum+total−n)/total] no matter what the remaining draws yield;
+//     if that interval excludes qp the full-budget decision is already
+//     fixed.
+//   - Hoeffding: |mean − E| <= sqrt(ln(2/δ)/(2n)) with probability
+//     >= 1−δ for i.i.d. samples in [0, 1].
+//   - empirical Bernstein (Maurer–Pontil): |mean − E| <=
+//     sqrt(2·Vn·ln(2/δ)/n) + 7·ln(2/δ)/(3(n−1)) with Vn the sample
+//     variance — far tighter than Hoeffding for the low-variance
+//     kernels of clear-cut candidates (probability near 0 or 1),
+//     which is exactly where early termination pays.
+//
+// If the tighter confidence interval around the running mean excludes
+// qp, the candidate's true probability is on the decided side with
+// confidence 1−δ. On a decision it returns the running mean, which is
+// guaranteed to be on the decided side of qp (so accept() agrees with
+// the proof).
+func thresholdDecided(sum, sumSq float64, n, total int, qp, delta float64) (float64, bool) {
+	mean := sum / float64(n)
+	if sum/float64(total) >= qp {
+		return clampProb(mean), true
+	}
+	if (sum+float64(total-n))/float64(total) < qp {
+		return clampProb(mean), true
+	}
+	lg := math.Log(2 / delta)
+	eps := math.Sqrt(lg / (2 * float64(n)))
+	if variance := (sumSq - float64(n)*mean*mean) / float64(n-1); variance > 0 {
+		if eb := math.Sqrt(2*variance*lg/float64(n)) + 7*lg/(3*float64(n-1)); eb < eps {
+			eps = eb
+		}
+	} else {
+		// Zero sample variance: the Bernstein radius is purely the
+		// bias term.
+		if eb := 7 * lg / (3 * float64(n-1)); eb < eps {
+			eps = eb
+		}
+	}
+	if mean-eps >= qp || mean+eps < qp {
+		return clampProb(mean), true
+	}
+	return 0, false
+}
+
+// ObjectQualificationThreshold is ObjectQualification with adaptive
+// early termination against the probability threshold qp: it returns
+// the estimate, the Monte-Carlo samples drawn (zero for closed-form
+// refinement), and whether sampling stopped before the full budget.
+// See ObjectEvalConfig.Adaptive for the stopping rule.
+func ObjectQualificationThreshold(issuer, obj pdf.PDF, w, h, qp float64, cfg ObjectEvalConfig) (float64, int, bool) {
+	return NewObjectQualifier(issuer, w, h).QualifyThreshold(obj, qp, cfg)
 }
 
 // ObjectQualificationBasic evaluates Equation 4 directly (§3.3): sample

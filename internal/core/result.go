@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // This file provides result-analysis helpers built on qualification
@@ -110,10 +112,60 @@ type BatchQuery struct {
 //
 // The read path is safe for this concurrency over both in-memory and
 // paged engines, and each result carries its own exact Cost counters;
-// see the Engine concurrency documentation.
+// see the Engine concurrency documentation. For workloads too large to
+// materialize a result slice — or that need per-query deadlines and
+// cancellation — use EvaluateBatchStream.
 func (e *Engine) EvaluateBatch(queries []BatchQuery, opts EvalOptions, workers int) []BatchResult {
-	opts = opts.withDefaults()
 	out := make([]BatchResult, len(queries))
+	// Delivery writes disjoint slots, so no serialization is needed.
+	e.batchRun(context.Background(), queries, opts.withDefaults(), workers, func(i int, br BatchResult) {
+		out[i] = br
+	})
+	return out
+}
+
+// StreamHandler receives one finished batch query: its index in the
+// input slice and its result or error. Calls are serialized by the
+// engine (the handler needs no locking of its own) but arrive in
+// completion order, not input order.
+type StreamHandler func(i int, br BatchResult)
+
+// EvaluateBatchStream is the streaming form of EvaluateBatch: results
+// are delivered to fn as each query finishes instead of being
+// collected into a slice, so arbitrarily large workloads evaluate in
+// constant memory. Determinism of each individual result matches
+// EvaluateBatch exactly (same per-query derived seeds); only the
+// delivery order varies with scheduling.
+//
+// ctx cancels the whole batch: once it is done, undispatched queries
+// are skipped (their handler is never called), in-flight queries
+// return the context's error, and EvaluateBatchStream returns
+// ctx.Err(). opts.Timeout, if set, is the per-query deadline: a query
+// exceeding it delivers Err == context.DeadlineExceeded to fn and the
+// batch continues. A nil fn discards results (useful for warm-up and
+// load generation).
+func (e *Engine) EvaluateBatchStream(ctx context.Context, queries []BatchQuery, opts EvalOptions, workers int, fn StreamHandler) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var mu sync.Mutex
+	deliver := func(i int, br BatchResult) {
+		if fn == nil {
+			return
+		}
+		mu.Lock()
+		fn(i, br)
+		mu.Unlock()
+	}
+	e.batchRun(ctx, queries, opts.withDefaults(), workers, deliver)
+	return ctx.Err()
+}
+
+// batchRun dispatches the batch over a worker pool (workers <= 1 runs
+// on the calling goroutine) and hands each finished query to deliver.
+// opts must already carry defaults. Dispatch stops once ctx is done;
+// queries never dispatched produce no delivery.
+func (e *Engine) batchRun(ctx context.Context, queries []BatchQuery, opts EvalOptions, workers int, deliver func(int, BatchResult)) {
 	parent := opts.Rng.Int63()
 	eval := func(i int) {
 		o := opts
@@ -124,35 +176,39 @@ func (e *Engine) EvaluateBatch(queries []BatchQuery, opts EvalOptions, workers i
 			err error
 		)
 		if queries[i].Target == TargetPoints {
-			r, err = e.EvaluatePoints(queries[i].Query, o)
+			r, err = e.EvaluatePointsContext(ctx, queries[i].Query, o)
 		} else {
-			r, err = e.EvaluateUncertain(queries[i].Query, o)
+			r, err = e.EvaluateUncertainContext(ctx, queries[i].Query, o)
 		}
-		out[i] = BatchResult{Result: r, Err: err}
+		deliver(i, BatchResult{Result: r, Err: err})
 	}
 	if workers <= 1 {
 		for i := range queries {
+			if canceled(ctx) != nil {
+				return
+			}
 			eval(i)
 		}
-		return out
+		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int, len(queries))
-	for i := range queries {
-		next <- i
-	}
-	close(next)
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) || canceled(ctx) != nil {
+					return
+				}
 				eval(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return out
 }
 
 // EvaluateUncertainBatch evaluates many queries over the

@@ -3,6 +3,7 @@ package rtree
 import (
 	"errors"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/storage"
@@ -13,14 +14,21 @@ var errInjected = errors.New("injected storage fault")
 
 // faultStore wraps a storage.Store and fails every operation once the
 // countdown reaches zero, exercising the index's error propagation.
+// The countdown is atomic because the buffer pool's background writer
+// issues WritePage calls concurrent with foreground operations.
 type faultStore struct {
 	inner     storage.Store
-	countdown int
+	countdown atomic.Int64
+}
+
+func newFaultStore(inner storage.Store, budget int) *faultStore {
+	f := &faultStore{inner: inner}
+	f.countdown.Store(int64(budget))
+	return f
 }
 
 func (f *faultStore) tick() error {
-	f.countdown--
-	if f.countdown < 0 {
+	if f.countdown.Add(-1) < 0 {
 		return errInjected
 	}
 	return nil
@@ -58,7 +66,7 @@ func TestFaultsSurfaceAsErrors(t *testing.T) {
 
 	// Find the total operation count of a clean run, then re-run with
 	// the fault injected at a sample of positions.
-	clean := &faultStore{inner: storage.NewMemStore(), countdown: 1 << 30}
+	clean := newFaultStore(storage.NewMemStore(), 1<<30)
 	pool := storage.NewBufferPool(clean, 8)
 	tr, err := BulkLoad(NewPagedNodeStore(pool, 0), Config{MaxEntries: 8, MinEntries: 2}, items)
 	if err != nil {
@@ -67,14 +75,14 @@ func TestFaultsSurfaceAsErrors(t *testing.T) {
 	if _, err := tr.SearchCollect(randItems(rng, 1, 500)[0].Rect); err != nil {
 		t.Fatal(err)
 	}
-	totalOps := (1 << 30) - clean.countdown
+	totalOps := int((1 << 30) - clean.countdown.Load())
 	if totalOps < 10 {
 		t.Fatalf("suspiciously few storage ops: %d", totalOps)
 	}
 
 	positions := []int{0, 1, 2, totalOps / 4, totalOps / 2, totalOps - 1}
 	for _, pos := range positions {
-		fs := &faultStore{inner: storage.NewMemStore(), countdown: pos}
+		fs := newFaultStore(storage.NewMemStore(), pos)
 		pool := storage.NewBufferPool(fs, 8)
 		tr, err := BulkLoad(NewPagedNodeStore(pool, 0), Config{MaxEntries: 8, MinEntries: 2}, items)
 		if err != nil {
@@ -98,7 +106,7 @@ func TestInsertFaultsSurfaceAsErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(72))
 	items := randItems(rng, 150, 300)
 	for _, budget := range []int{5, 50, 500, 2000} {
-		fs := &faultStore{inner: storage.NewMemStore(), countdown: budget}
+		fs := newFaultStore(storage.NewMemStore(), budget)
 		pool := storage.NewBufferPool(fs, 8)
 		tr, err := New(NewPagedNodeStore(pool, 0), Config{MaxEntries: 8, MinEntries: 2})
 		if err != nil {

@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 )
@@ -34,16 +33,38 @@ func (s Stats) Sub(t Stats) Stats {
 	}
 }
 
+// add returns s + t, for aggregating per-shard counters.
+func (s Stats) add(t Stats) Stats {
+	return Stats{
+		LogicalReads:  s.LogicalReads + t.LogicalReads,
+		PhysicalReads: s.PhysicalReads + t.PhysicalReads,
+		PageWrites:    s.PageWrites + t.PageWrites,
+		Evictions:     s.Evictions + t.Evictions,
+	}
+}
+
 type frame struct {
 	id    PageID
 	data  []byte
 	pins  int
 	dirty bool
-	lru   *list.Element // nil while pinned (not evictable)
+	// ref is the CLOCK reference bit: set on every pin, cleared when
+	// the sweep hand passes, granting recently used pages a second
+	// chance before eviction.
+	ref bool
+	// writing marks a frame whose eviction write-back is in flight on
+	// the background writer. The frame stays resident (its data is
+	// still valid and pinnable) but is out of the clock ring and does
+	// not count against shard capacity; the writer decides on
+	// completion whether it is dropped or re-adopted.
+	writing bool
+	// clockIdx is the frame's slot in the shard's clock ring, -1 while
+	// absent (writing, or being discarded).
+	clockIdx int
 	// ready is closed once data holds the page contents; loadErr (set
 	// before the close) reports a failed physical read. Concurrent
 	// pinners of a page being fetched block on ready instead of the
-	// pool mutex, so physical I/O overlaps across goroutines.
+	// shard mutex, so physical I/O overlaps across goroutines.
 	ready   chan struct{}
 	loadErr error
 }
@@ -56,54 +77,152 @@ var readyClosed = func() chan struct{} {
 	return ch
 }()
 
-// BufferPool caches up to capacity pages over a Store with LRU
-// eviction. Pages are pinned while in use; pinned pages are never
-// evicted. The zero value is not usable; call NewBufferPool.
+// poolShard is one lock domain of the pool: a page-id partition with
+// its own frame table, CLOCK ring, and counters. Shards never take
+// each other's locks, so pins on different shards cannot contend.
+type poolShard struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[PageID]*frame
+	clock    []*frame // resident, non-writing frames; sweep order
+	hand     int
+	writing  int // frames in the table with write-back in flight
+	stats    Stats
+}
+
+// BufferPool caches up to capacity pages over a Store. The pool is
+// partitioned into a power-of-two number of shards, each guarded by
+// its own mutex with CLOCK (second chance) eviction, so concurrent
+// pins contend only within a shard. Pages are pinned while in use;
+// pinned pages are never evicted. Because capacity is partitioned,
+// ErrPoolFull is a per-shard condition: the pool is guaranteed to
+// serve only as many simultaneous pins as its smallest shard
+// (capacity/shards), not the full capacity — size generously, or use
+// fewer shards, when many pages stay pinned at once. The zero value
+// is not usable; call NewBufferPool or NewBufferPoolShards.
 //
 // The pool is safe for concurrent use. Physical reads run outside the
-// pool lock: goroutines missing on different pages fetch them in
-// parallel, and goroutines requesting a page already being fetched wait
-// only for that fetch. The underlying Store must therefore tolerate
-// concurrent ReadPage calls (MemStore and FileStore both do). Page
-// contents themselves are not versioned — writers must serialize with
-// readers of the same page, as the engine's quiescent-read contract
-// guarantees.
+// shard locks: goroutines missing on different pages fetch them in
+// parallel, and goroutines requesting a page already being fetched
+// wait only for that fetch (single-flight misses). Dirty-page eviction
+// write-back runs on a bounded background writer, also outside the
+// shard locks, so an eviction writing through a slow store never
+// stalls concurrent pins — not of other shards, and not even of the
+// same shard. The underlying Store must tolerate concurrent ReadPage,
+// WritePage (distinct pages), and Allocate calls (MemStore and
+// FileStore both do). Page contents themselves are not versioned —
+// writers must serialize with readers of the same page, as the
+// engine's quiescent-read contract guarantees; Flush and Clear must
+// be serialized with each other by the caller (the engine's write
+// path already is).
 type BufferPool struct {
-	store    Store
-	capacity int
-
-	mu     sync.Mutex
-	frames map[PageID]*frame
-	lru    *list.List // front = most recently used; holds unpinned frames
-	stats  Stats
+	store  Store
+	shards []*poolShard
+	mask   uint64
+	wb     *writeback
 }
 
 // NewBufferPool wraps store with a pool of the given page capacity
-// (minimum 1).
+// (minimum 1), choosing a shard count from the capacity: small pools
+// stay single-shard (deterministic eviction for unit-scale use),
+// larger pools get up to 8 shards.
 func NewBufferPool(store Store, capacity int) *BufferPool {
+	return NewBufferPoolShards(store, capacity, 0)
+}
+
+// NewBufferPoolShards wraps store with a pool of the given page
+// capacity split exactly over an explicit shard count (the first
+// capacity mod shards shards hold one extra page). shards is rounded
+// to the nearest power of two not exceeding capacity (rounding up
+// first, then halving while above capacity); 0 selects the default
+// heuristic.
+func NewBufferPoolShards(store Store, capacity, shards int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
-		store:    store,
-		capacity: capacity,
-		frames:   make(map[PageID]*frame, capacity),
-		lru:      list.New(),
+	if shards <= 0 {
+		shards = defaultShards(capacity)
 	}
+	shards = ceilPow2(shards)
+	for shards > capacity {
+		shards /= 2
+	}
+	bp := &BufferPool{
+		store:  store,
+		shards: make([]*poolShard, shards),
+		mask:   uint64(shards - 1),
+		wb:     newWriteback(store),
+	}
+	// Distribute the capacity exactly: the first capacity%shards
+	// shards hold one extra page, so the pool never caches more than
+	// the requested total.
+	base, extra := capacity/shards, capacity%shards
+	for i := range bp.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		bp.shards[i] = &poolShard{
+			capacity: c,
+			frames:   make(map[PageID]*frame, c),
+		}
+	}
+	return bp
 }
 
-// Stats returns a snapshot of the pool's counters.
+// defaultShards picks the shard count for NewBufferPool: one shard
+// per 32 pages of capacity, up to 8. Pools under 64 pages stay single
+// shard so tests and small simulations keep a deterministic global
+// eviction order.
+func defaultShards(capacity int) int {
+	s := 1
+	for s < 8 && capacity >= 64*s {
+		s *= 2
+	}
+	return s
+}
+
+// ceilPow2 rounds n up to the next power of two (n >= 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// shardOf maps a page id to its shard. The splitmix finalizer spreads
+// sequentially allocated ids across shards evenly.
+func (bp *BufferPool) shardOf(id PageID) *poolShard {
+	x := uint64(id) + 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return bp.shards[x&bp.mask]
+}
+
+// ShardCount returns the number of lock shards.
+func (bp *BufferPool) ShardCount() int { return len(bp.shards) }
+
+// Stats returns a snapshot of the pool's counters, aggregated over
+// the shards.
 func (bp *BufferPool) Stats() Stats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	var total Stats
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		total = total.add(sh.stats)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // ResetStats zeroes the counters (page contents are untouched).
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = Stats{}
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		sh.stats = Stats{}
+		sh.mu.Unlock()
+	}
 }
 
 // Allocate creates a new zeroed page in the store and pins it.
@@ -112,15 +231,16 @@ func (bp *BufferPool) Allocate() (PageID, []byte, error) {
 	if err != nil {
 		return InvalidPage, nil, err
 	}
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if len(bp.frames) >= bp.capacity {
-		if err := bp.evictOneLocked(); err != nil {
-			return InvalidPage, nil, err
-		}
+	sh := bp.shardOf(id)
+	sh.mu.Lock()
+	if err := bp.makeRoomLocked(sh); err != nil {
+		sh.mu.Unlock()
+		return InvalidPage, nil, err
 	}
-	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, ready: readyClosed}
-	bp.frames[id] = f
+	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, ref: true, clockIdx: -1, ready: readyClosed}
+	sh.frames[id] = f
+	sh.clockAdd(f)
+	sh.mu.Unlock()
 	return id, f.data, nil
 }
 
@@ -128,38 +248,49 @@ func (bp *BufferPool) Allocate() (PageID, []byte, error) {
 // it. The returned slice aliases the pool frame: it is valid until the
 // matching Unpin and must be written through MarkDirty to persist.
 func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
-	bp.mu.Lock()
-	bp.stats.LogicalReads++
-	if f, ok := bp.frames[id]; ok {
-		bp.pinFrameLocked(f)
-		bp.mu.Unlock()
-		<-f.ready
-		if f.loadErr != nil {
-			// The loader already removed the frame; the pin never took
-			// effect.
-			return nil, f.loadErr
+	sh := bp.shardOf(id)
+	sh.mu.Lock()
+	sh.stats.LogicalReads++
+	for {
+		if f, ok := sh.frames[id]; ok {
+			f.pins++
+			f.ref = true
+			sh.mu.Unlock()
+			<-f.ready
+			if f.loadErr != nil {
+				// The loader already removed the frame; the pin never
+				// took effect.
+				return nil, f.loadErr
+			}
+			return f.data, nil
 		}
-		return f.data, nil
-	}
-	// Miss: install a loading frame under the lock, fetch outside it.
-	if len(bp.frames) >= bp.capacity {
-		if err := bp.evictOneLocked(); err != nil {
-			bp.mu.Unlock()
+		// Miss: make room, then install a loading frame under the lock
+		// and fetch outside it. makeRoomLocked may release the lock
+		// around a write-back hand-off, so another miss on this page
+		// can install a frame meanwhile — loop to join it as a waiter
+		// instead of installing a duplicate.
+		if err := bp.makeRoomLocked(sh); err != nil {
+			sh.mu.Unlock()
 			return nil, err
 		}
+		if _, ok := sh.frames[id]; !ok {
+			break
+		}
 	}
-	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, ready: make(chan struct{})}
-	bp.frames[id] = f
-	bp.stats.PhysicalReads++
-	bp.mu.Unlock()
+	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, ref: true, clockIdx: -1, ready: make(chan struct{})}
+	sh.frames[id] = f
+	sh.clockAdd(f)
+	sh.stats.PhysicalReads++
+	sh.mu.Unlock()
 
 	err := bp.store.ReadPage(id, f.data)
 	if err != nil {
-		bp.mu.Lock()
+		sh.mu.Lock()
 		f.loadErr = err
 		f.pins = 0 // waiters' pins are void; the frame is discarded
-		delete(bp.frames, id)
-		bp.mu.Unlock()
+		sh.clockRemove(f)
+		delete(sh.frames, id)
+		sh.mu.Unlock()
 		close(f.ready)
 		return nil, err
 	}
@@ -167,77 +298,159 @@ func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
 	return f.data, nil
 }
 
-// pinFrameLocked pins an already-resident frame, removing it from the
-// LRU list while pinned. The pool mutex must be held.
-func (bp *BufferPool) pinFrameLocked(f *frame) {
-	if f.lru != nil {
-		bp.lru.Remove(f.lru)
-		f.lru = nil
+// makeRoomLocked evicts frames until the shard has room for one more
+// page. Clean victims are dropped immediately; dirty victims are
+// snapshotted and handed to the background writer — the shard lock is
+// released around the (possibly blocking) hand-off, so a full writer
+// queue never stalls the shard itself. Called and returns with the
+// shard mutex held.
+func (bp *BufferPool) makeRoomLocked(sh *poolShard) error {
+	for len(sh.frames)-sh.writing >= sh.capacity {
+		v := sh.pickVictimLocked()
+		if v == nil {
+			return fmt.Errorf("%w: shard capacity %d", ErrPoolFull, sh.capacity)
+		}
+		sh.clockRemove(v)
+		if !v.dirty {
+			// Stats.Evictions counts frames that actually leave the
+			// pool: clean victims here, dirty ones when their
+			// write-back completes and drops them (a mid-write re-pin
+			// keeps the frame resident — no eviction happened).
+			sh.stats.Evictions++
+			delete(sh.frames, v.id)
+			continue
+		}
+		// Snapshot under the lock: the write-back must persist the
+		// page as of eviction even if a later pin re-dirties it.
+		v.dirty = false
+		v.writing = true
+		sh.writing++
+		snap := bp.wb.buffer()
+		copy(snap, v.data)
+		sh.mu.Unlock()
+		bp.wb.enqueue(writeJob{sh: sh, f: v, data: snap})
+		sh.mu.Lock()
 	}
-	f.pins++
+	return nil
 }
 
-// evictOneLocked writes back and drops the least recently used unpinned
-// frame. The pool mutex must be held. Frames still loading are pinned
-// and therefore never considered.
-func (bp *BufferPool) evictOneLocked() error {
-	el := bp.lru.Back()
-	if el == nil {
-		return fmt.Errorf("%w: capacity %d", ErrPoolFull, bp.capacity)
-	}
-	f := el.Value.(*frame)
-	if f.dirty {
-		bp.stats.PageWrites++
-		if err := bp.store.WritePage(f.id, f.data); err != nil {
-			return err
+// pickVictimLocked runs the CLOCK sweep: skip pinned frames, clear
+// reference bits, and return the first unpinned frame found without
+// one. Returns nil if two full sweeps find every frame pinned.
+func (sh *poolShard) pickVictimLocked() *frame {
+	for i := 0; i < 2*len(sh.clock); i++ {
+		if sh.hand >= len(sh.clock) {
+			sh.hand = 0
 		}
+		f := sh.clock[sh.hand]
+		if f.pins > 0 {
+			sh.hand++
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			sh.hand++
+			continue
+		}
+		return f
 	}
-	bp.lru.Remove(el)
-	delete(bp.frames, f.id)
-	bp.stats.Evictions++
 	return nil
+}
+
+// clockAdd appends a frame to the clock ring.
+func (sh *poolShard) clockAdd(f *frame) {
+	f.clockIdx = len(sh.clock)
+	sh.clock = append(sh.clock, f)
+}
+
+// clockRemove swap-removes a frame from the clock ring.
+func (sh *poolShard) clockRemove(f *frame) {
+	i := f.clockIdx
+	if i < 0 {
+		return
+	}
+	last := len(sh.clock) - 1
+	sh.clock[i] = sh.clock[last]
+	sh.clock[i].clockIdx = i
+	sh.clock[last] = nil
+	sh.clock = sh.clock[:last]
+	f.clockIdx = -1
+	if sh.hand > i {
+		sh.hand--
+	}
+	if sh.hand >= len(sh.clock) {
+		sh.hand = 0
+	}
 }
 
 // MarkDirty records that the pinned page id has been modified.
 func (bp *BufferPool) MarkDirty(id PageID) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if f, ok := bp.frames[id]; ok {
+	sh := bp.shardOf(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok {
 		f.dirty = true
 	}
+	sh.mu.Unlock()
 }
 
 // Unpin releases one pin on page id.
 func (bp *BufferPool) Unpin(id PageID) error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	f, ok := bp.frames[id]
+	sh := bp.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[id]
 	if !ok || f.pins <= 0 {
 		return fmt.Errorf("%w: page %d", ErrBadPinCount, id)
 	}
 	f.pins--
-	if f.pins == 0 {
-		f.lru = bp.lru.PushFront(f)
-	}
 	return nil
 }
 
-// Flush writes back all dirty frames (pinned or not) without evicting.
+// Flush persists every dirty frame (pinned or not) without evicting:
+// it waits out in-flight write-backs (the flush barrier) and writes
+// the remaining dirty frames through synchronously, repeating until a
+// pass finds nothing dirty and nothing in flight — so write-backs
+// started by concurrent read-path evictions *during* the flush are
+// waited out too. A page whose background write-back failed is
+// dirty-resident again after the barrier and is retried by the
+// synchronous pass — Flush returns nil only when every dirty page has
+// actually been persisted, and surfaces the store's error otherwise.
+// (Termination: dirty pages are only created by MarkDirty, which the
+// engine's write path serializes with Flush, so each round strictly
+// drains the remaining dirty set.)
 func (bp *BufferPool) Flush() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.flushLocked()
+	for {
+		bp.wb.barrier()
+		inFlight := false
+		for _, sh := range bp.shards {
+			sh.mu.Lock()
+			if err := bp.flushShardLocked(sh); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			for _, f := range sh.frames {
+				if f.writing {
+					inFlight = true
+					break
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if !inFlight {
+			return nil
+		}
+	}
 }
 
-func (bp *BufferPool) flushLocked() error {
-	for _, f := range bp.frames {
-		if !f.dirty {
+func (bp *BufferPool) flushShardLocked(sh *poolShard) error {
+	for _, f := range sh.frames {
+		if !f.dirty || f.writing {
 			continue
 		}
-		bp.stats.PageWrites++
 		if err := bp.store.WritePage(f.id, f.data); err != nil {
 			return err
 		}
+		sh.stats.PageWrites++
 		f.dirty = false
 	}
 	return nil
@@ -245,31 +458,38 @@ func (bp *BufferPool) flushLocked() error {
 
 // Resident returns the number of pages currently cached.
 func (bp *BufferPool) Resident() int {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return len(bp.frames)
+	n := 0
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		n += len(sh.frames)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Clear flushes dirty frames and drops every unpinned frame, leaving a
-// cold cache. It is used by experiments that need cold-start I/O
-// measurements. Pinned frames are flushed but stay resident; an error
-// is returned if any page remains pinned.
+// Clear flushes dirty frames (draining the background writer first)
+// and drops every unpinned frame, leaving a cold cache. It is used by
+// experiments that need cold-start I/O measurements. Pinned frames are
+// flushed but stay resident; an error is returned if any page remains
+// pinned.
 func (bp *BufferPool) Clear() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if err := bp.flushLocked(); err != nil {
-		return err
-	}
+	bp.wb.barrier()
 	var pinned int
-	for id, f := range bp.frames {
-		if f.pins > 0 {
-			pinned++
-			continue
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		if err := bp.flushShardLocked(sh); err != nil {
+			sh.mu.Unlock()
+			return err
 		}
-		if f.lru != nil {
-			bp.lru.Remove(f.lru)
+		for id, f := range sh.frames {
+			if f.pins > 0 || f.writing {
+				pinned++
+				continue
+			}
+			sh.clockRemove(f)
+			delete(sh.frames, id)
 		}
-		delete(bp.frames, id)
+		sh.mu.Unlock()
 	}
 	if pinned > 0 {
 		return fmt.Errorf("%w: %d pages still pinned during Clear", ErrBadPinCount, pinned)

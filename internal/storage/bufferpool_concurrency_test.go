@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // gateStore wraps MemStore, blocking every ReadPage until release is
@@ -83,6 +84,334 @@ func TestPinSingleFlight(t *testing.T) {
 	// All pins released: the frame must be evictable again.
 	if err := bp.Clear(); err != nil {
 		t.Fatalf("Clear after unpin: %v", err)
+	}
+}
+
+// blockingWriteStore wraps MemStore, holding every WritePage until
+// release is closed while letting reads through untouched — a stand-in
+// for a disk whose writes are slow.
+type blockingWriteStore struct {
+	*MemStore
+	started chan struct{} // closed when the first write arrives
+	release chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingWriteStore) WritePage(id PageID, buf []byte) error {
+	b.once.Do(func() { close(b.started) })
+	<-b.release
+	return b.MemStore.WritePage(id, buf)
+}
+
+// TestWriteBackDoesNotBlockPins is the regression test for the PR 1
+// stall: an eviction writing back a dirty page used to hold the pool
+// lock across the physical write, stalling every concurrent pin. Here
+// a write-back is parked inside a blocked WritePage while the same
+// goroutine keeps pinning other pages — including pages of the same
+// shard — and must make progress; under the old design this test
+// deadlocks. Run with -race it also exercises the snapshot hand-off
+// between evictor and background writer.
+func TestWriteBackDoesNotBlockPins(t *testing.T) {
+	bs := &blockingWriteStore{
+		MemStore: NewMemStore(),
+		started:  make(chan struct{}),
+		release:  make(chan struct{}),
+	}
+	var ids []PageID
+	for i := 0; i < 8; i++ {
+		id, err := bs.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	bp := NewBufferPoolShards(bs, 2, 1) // one shard: the hardest case
+
+	// Dirty page 0 and evict it by touching page 1 then missing on 2.
+	data, err := bp.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, []byte("dirty-victim"))
+	bp.MarkDirty(ids[0])
+	if err := bp.Unpin(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.Pin(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(ids[1])
+	if _, err := bp.Pin(ids[2]); err != nil { // evicts 0 -> write-back parks
+		t.Fatal(err)
+	}
+	bp.Unpin(ids[2])
+	<-bs.started // the write-back is now blocked inside WritePage
+
+	// Every pin below happens while the write-back is still parked. If
+	// eviction write-back held the shard lock (the old design), the
+	// first of these would block forever and the test would time out.
+	var extraPinners sync.WaitGroup
+	for i := 3; i < 8; i++ {
+		if _, err := bp.Pin(ids[i]); err != nil {
+			t.Fatalf("pin %d during write-back: %v", i, err)
+		}
+		bp.Unpin(ids[i])
+		extraPinners.Add(1)
+		go func(id PageID) {
+			defer extraPinners.Done()
+			if _, err := bp.Pin(id); err == nil {
+				bp.Unpin(id)
+			}
+		}(ids[i])
+	}
+	extraPinners.Wait()
+
+	// The evicted page is still resident while writing: a re-pin during
+	// write-back must hit the in-memory copy, not read a stale page.
+	back, err := bp.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back[:len("dirty-victim")]) != "dirty-victim" {
+		t.Fatalf("re-pin during write-back saw %q", back[:12])
+	}
+	bp.Unpin(ids[0])
+
+	close(bs.release)
+	if err := bp.Flush(); err != nil { // barrier: wait out the writer
+		t.Fatal(err)
+	}
+	raw := make([]byte, PageSize)
+	if err := bs.MemStore.ReadPage(ids[0], raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:len("dirty-victim")]) != "dirty-victim" {
+		t.Fatal("write-back lost the dirty page contents")
+	}
+}
+
+// TestShardedPoolConcurrentTraffic hammers a multi-shard pool from
+// many goroutines (reads, dirty writes, evictions, write-backs) and
+// then verifies every page holds its last written value — the
+// cross-shard consistency sweep, meant for -race.
+func TestShardedPoolConcurrentTraffic(t *testing.T) {
+	m := NewMemStore()
+	const pages = 256
+	ids := make([]PageID, pages)
+	for i := range ids {
+		ids[i], _ = m.Allocate()
+	}
+	bp := NewBufferPoolShards(m, 32, 4)
+	if bp.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", bp.ShardCount())
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker owns a disjoint page range so last-writer
+			// bookkeeping needs no cross-goroutine coordination.
+			lo, hi := w*pages/workers, (w+1)*pages/workers
+			for op := 0; op < 600; op++ {
+				id := ids[lo+(op*13)%(hi-lo)]
+				data, err := bp.Pin(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				data[0] = byte(w)
+				data[1] = byte(op)
+				bp.MarkDirty(id)
+				if err := bp.Unpin(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Every page's last write must be visible through a fresh pin.
+	if err := bp.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		lo, hi := w*pages/workers, (w+1)*pages/workers
+		last := make(map[PageID]byte)
+		for op := 0; op < 600; op++ {
+			id := ids[lo+(op*13)%(hi-lo)]
+			last[id] = byte(op)
+		}
+		for id, wantOp := range last {
+			data, err := bp.Pin(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if data[0] != byte(w) || data[1] != wantOp {
+				t.Fatalf("page %d = (%d,%d), want (%d,%d)", id, data[0], data[1], w, wantOp)
+			}
+			bp.Unpin(id)
+		}
+	}
+}
+
+// TestWriteBackErrorSurfaces checks that a failed background write is
+// not silently dropped: the page stays resident and dirty, the error
+// surfaces through Flush's synchronous retry, and — once the store
+// recovers — a later Flush succeeds and persists the data (one
+// transient fault must not poison the pool forever).
+func TestWriteBackErrorSurfaces(t *testing.T) {
+	fs := &failingWriteStore{MemStore: NewMemStore()}
+	fs.failing.Store(true)
+	id0, _ := fs.Allocate()
+	id1, _ := fs.Allocate()
+	bp := NewBufferPoolShards(fs, 1, 1)
+
+	data, err := bp.Pin(id0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, []byte("must-not-vanish"))
+	bp.MarkDirty(id0)
+	bp.Unpin(id0)
+	if _, err := bp.Pin(id1); err != nil { // evicts id0, write fails
+		t.Fatal(err)
+	}
+	bp.Unpin(id1)
+
+	if err := bp.Flush(); !errors.Is(err, errInjected) {
+		t.Fatalf("Flush after failed write-back = %v, want %v", err, errInjected)
+	}
+	// The dirty copy must still be in memory.
+	back, err := bp.Pin(id0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back[:len("must-not-vanish")]) != "must-not-vanish" {
+		t.Fatal("failed write-back lost the only copy of the page")
+	}
+	bp.Unpin(id0)
+
+	// Store recovers: the retained dirty page flushes cleanly and the
+	// pool is healthy again.
+	fs.failing.Store(false)
+	if err := bp.Flush(); err != nil {
+		t.Fatalf("Flush after store recovery: %v", err)
+	}
+	raw := make([]byte, PageSize)
+	if err := fs.MemStore.ReadPage(id0, raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:len("must-not-vanish")]) != "must-not-vanish" {
+		t.Fatal("recovered Flush did not persist the page")
+	}
+}
+
+type failingWriteStore struct {
+	*MemStore
+	failing atomic.Bool
+}
+
+func (f *failingWriteStore) WritePage(id PageID, buf []byte) error {
+	if f.failing.Load() {
+		return errInjected
+	}
+	return f.MemStore.WritePage(id, buf)
+}
+
+// TestConcurrentMissDuringWriteBackHandOff reproduces the duplicate-
+// install window: makeRoomLocked releases the shard lock to hand a
+// dirty victim to the (full) write-back queue, and a second miss on
+// the same page can install a frame in that window. The first miss
+// must then join the installed frame as a waiter, not overwrite it —
+// otherwise pin accounting splits across two frames and the second
+// Unpin below reports ErrBadPinCount.
+func TestConcurrentMissDuringWriteBackHandOff(t *testing.T) {
+	bs := &blockingWriteStore{
+		MemStore: NewMemStore(),
+		started:  make(chan struct{}),
+		release:  make(chan struct{}),
+	}
+	const cap = 70
+	var base, extra []PageID
+	for i := 0; i < cap; i++ {
+		id, _ := bs.Allocate()
+		base = append(base, id)
+	}
+	// 65 extra pages fill the writer (1 in flight + 64 queued), one
+	// more is the contended page X.
+	for i := 0; i < maxWritebackQueue+2; i++ {
+		id, _ := bs.Allocate()
+		extra = append(extra, id)
+	}
+	bp := NewBufferPoolShards(bs, cap, 1)
+
+	dirtyPin := func(id PageID) {
+		d, err := bp.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d[0] = byte(id)
+		bp.MarkDirty(id)
+		if err := bp.Unpin(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range base {
+		dirtyPin(id)
+	}
+	// Each of these misses evicts one dirty page; the writer blocks on
+	// the first and the queue absorbs the next maxWritebackQueue.
+	for _, id := range extra[:maxWritebackQueue+1] {
+		dirtyPin(id)
+	}
+	<-bs.started
+
+	// G1 misses on X; its eviction hand-off blocks on the full queue
+	// with the shard lock released.
+	x := extra[maxWritebackQueue+1]
+	g1 := make(chan error, 1)
+	go func() {
+		_, err := bp.Pin(x)
+		g1 <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let G1 park inside the hand-off
+
+	// G2 misses on X in that window and installs the frame (there is
+	// room: G1's victim is already counted as writing).
+	if _, err := bp.Pin(x); err != nil {
+		t.Fatal(err)
+	}
+
+	close(bs.release)
+	if err := <-g1; err != nil {
+		t.Fatal(err)
+	}
+
+	// Both pins must land on one frame: two unpins succeed, a third
+	// must fail. Under the duplicate-install bug the second already
+	// reports ErrBadPinCount.
+	if err := bp.Unpin(x); err != nil {
+		t.Fatalf("first Unpin: %v", err)
+	}
+	if err := bp.Unpin(x); err != nil {
+		t.Fatalf("second Unpin: %v", err)
+	}
+	if err := bp.Unpin(x); !errors.Is(err, ErrBadPinCount) {
+		t.Fatalf("third Unpin = %v, want %v", err, ErrBadPinCount)
+	}
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -3,14 +3,19 @@ package storage
 import (
 	"fmt"
 	"os"
+	"sync"
 )
 
 // FileStore is a Store backed by an operating-system file. Page i lives
 // at byte offset i*PageSize. It gives the simulation real disk
 // behaviour when wanted; tests and benchmarks default to MemStore.
+// The page count is guarded by a read-write mutex so Allocate is safe
+// against concurrent page I/O from the buffer pool's background
+// writer; ReadAt/WriteAt on distinct offsets are safe by themselves.
 type FileStore struct {
-	f *os.File
-	n int
+	f  *os.File
+	mu sync.RWMutex
+	n  int
 }
 
 // OpenFileStore opens (or creates) the file at path as a page store.
@@ -34,6 +39,8 @@ func OpenFileStore(path string) (*FileStore, error) {
 
 // Allocate implements Store.
 func (fs *FileStore) Allocate() (PageID, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	id := PageID(fs.n)
 	zero := make([]byte, PageSize)
 	if _, err := fs.f.WriteAt(zero, int64(fs.n)*PageSize); err != nil {
@@ -45,8 +52,8 @@ func (fs *FileStore) Allocate() (PageID, error) {
 
 // ReadPage implements Store.
 func (fs *FileStore) ReadPage(id PageID, buf []byte) error {
-	if int(id) >= fs.n {
-		return fmt.Errorf("%w: read %d of %d", ErrPageBounds, id, fs.n)
+	if n := fs.NumPages(); int(id) >= n {
+		return fmt.Errorf("%w: read %d of %d", ErrPageBounds, id, n)
 	}
 	_, err := fs.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
 	if err != nil {
@@ -57,8 +64,8 @@ func (fs *FileStore) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Store.
 func (fs *FileStore) WritePage(id PageID, buf []byte) error {
-	if int(id) >= fs.n {
-		return fmt.Errorf("%w: write %d of %d", ErrPageBounds, id, fs.n)
+	if n := fs.NumPages(); int(id) >= n {
+		return fmt.Errorf("%w: write %d of %d", ErrPageBounds, id, n)
 	}
 	if _, err := fs.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
@@ -67,7 +74,11 @@ func (fs *FileStore) WritePage(id PageID, buf []byte) error {
 }
 
 // NumPages implements Store.
-func (fs *FileStore) NumPages() int { return fs.n }
+func (fs *FileStore) NumPages() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.n
+}
 
 // Close flushes and closes the underlying file.
 func (fs *FileStore) Close() error { return fs.f.Close() }

@@ -14,6 +14,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // PageSize is the fixed page size in bytes, matching the paper's 4 KiB
@@ -36,13 +37,15 @@ var (
 // Store is the raw page device: it can allocate fresh pages and read
 // and write whole pages by id. Concurrency contract: the buffer pool
 // issues ReadPage calls concurrently (goroutines missing on different
-// pages), and a dirty-page eviction on the read path may issue a
-// WritePage concurrent with ReadPage calls for *other* pages (never
-// the page being written: it is resident and unpinned, so no pool
-// reader can be fetching it). Implementations must tolerate both;
-// MemStore and FileStore do, since distinct pages occupy distinct
-// slices / file regions. Allocate and same-page read/write conflicts
-// are serialized by the engine's write path.
+// pages), and its background writer issues WritePage calls concurrent
+// with ReadPage and Allocate calls for *other* pages (never the page
+// being written: an evicted dirty page stays resident until its
+// write-back completes, so no pool reader can be fetching it, and the
+// engine's write path cannot be re-allocating it). Implementations
+// must tolerate all three; MemStore and FileStore synchronize their
+// page directories internally, and distinct pages occupy distinct
+// slices / file regions. Same-page read/write conflicts are
+// serialized by the engine's write path.
 type Store interface {
 	// Allocate appends a zeroed page and returns its id.
 	Allocate() (PageID, error)
@@ -56,8 +59,12 @@ type Store interface {
 
 // MemStore is an in-memory Store. It is the default backing device for
 // simulations: "physical" reads are memory copies, but they are still
-// counted, preserving the paper's I/O cost model.
+// counted, preserving the paper's I/O cost model. The page directory
+// is guarded by a read-write mutex so Allocate (which may move the
+// slice header) is safe against concurrent page I/O; distinct pages
+// occupy distinct slices, so their contents need no further locking.
 type MemStore struct {
+	mu    sync.RWMutex
 	pages [][]byte
 }
 
@@ -66,27 +73,45 @@ func NewMemStore() *MemStore { return &MemStore{} }
 
 // Allocate implements Store.
 func (m *MemStore) Allocate() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.pages = append(m.pages, make([]byte, PageSize))
 	return PageID(len(m.pages) - 1), nil
 }
 
+// page returns the backing slice for id under the read lock.
+func (m *MemStore) page(id PageID) ([]byte, int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if int(id) >= len(m.pages) {
+		return nil, len(m.pages)
+	}
+	return m.pages[id], len(m.pages)
+}
+
 // ReadPage implements Store.
 func (m *MemStore) ReadPage(id PageID, buf []byte) error {
-	if int(id) >= len(m.pages) {
-		return fmt.Errorf("%w: read %d of %d", ErrPageBounds, id, len(m.pages))
+	p, n := m.page(id)
+	if p == nil {
+		return fmt.Errorf("%w: read %d of %d", ErrPageBounds, id, n)
 	}
-	copy(buf, m.pages[id])
+	copy(buf, p)
 	return nil
 }
 
 // WritePage implements Store.
 func (m *MemStore) WritePage(id PageID, buf []byte) error {
-	if int(id) >= len(m.pages) {
-		return fmt.Errorf("%w: write %d of %d", ErrPageBounds, id, len(m.pages))
+	p, n := m.page(id)
+	if p == nil {
+		return fmt.Errorf("%w: write %d of %d", ErrPageBounds, id, n)
 	}
-	copy(m.pages[id], buf)
+	copy(p, buf)
 	return nil
 }
 
 // NumPages implements Store.
-func (m *MemStore) NumPages() int { return len(m.pages) }
+func (m *MemStore) NumPages() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pages)
+}

@@ -121,7 +121,7 @@ func TestBufferPoolHitAndMiss(t *testing.T) {
 	}
 }
 
-func TestBufferPoolEvictionLRU(t *testing.T) {
+func TestBufferPoolEvictionClock(t *testing.T) {
 	m := NewMemStore()
 	var ids []PageID
 	for i := 0; i < 4; i++ {
@@ -129,7 +129,8 @@ func TestBufferPoolEvictionLRU(t *testing.T) {
 		ids = append(ids, id)
 	}
 	bp := NewBufferPool(m, 2)
-	// Touch 0, 1 -> pool holds {0, 1}, LRU order 1 (MRU), 0 (LRU).
+	// Touch 0, 1 -> pool holds {0, 1}; the CLOCK sweep clears both
+	// reference bits and takes the oldest slot (0) as the victim.
 	for _, id := range ids[:2] {
 		if _, err := bp.Pin(id); err != nil {
 			t.Fatal(err)
@@ -151,7 +152,7 @@ func TestBufferPoolEvictionLRU(t *testing.T) {
 	}
 	bp.Unpin(ids[1])
 	if bp.Stats().PhysicalReads != before {
-		t.Fatal("page 1 was evicted; expected LRU to evict page 0")
+		t.Fatal("page 1 was evicted; expected the sweep to evict page 0")
 	}
 	// Re-pin 0: miss.
 	if _, err := bp.Pin(ids[0]); err != nil {
@@ -176,12 +177,17 @@ func TestBufferPoolWriteBack(t *testing.T) {
 	bp.MarkDirty(id)
 	bp.Unpin(id)
 
-	// Force eviction by touching another page.
+	// Force eviction by touching another page. The write-back runs on
+	// the background writer, so wait for it behind the flush barrier
+	// before inspecting the store.
 	id2, _ := m.Allocate()
 	if _, err := bp.Pin(id2); err != nil {
 		t.Fatal(err)
 	}
 	bp.Unpin(id2)
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
 
 	raw := make([]byte, PageSize)
 	if err := m.ReadPage(id, raw); err != nil {
@@ -263,6 +269,27 @@ func TestBufferPoolAllocate(t *testing.T) {
 	m.ReadPage(id, raw)
 	if !bytes.HasPrefix(raw, []byte("fresh")) {
 		t.Fatal("allocated page contents lost")
+	}
+}
+
+func TestShardCountClamped(t *testing.T) {
+	m := NewMemStore()
+	cases := []struct {
+		capacity, shards, want int
+	}{
+		{6, 5, 4},    // rounds up to 8, then halves back under capacity
+		{6, 8, 4},    // explicit power of two above capacity
+		{1, 16, 1},   // degenerate pool stays single shard
+		{64, 3, 4},   // non-power-of-two rounds up within capacity
+		{64, 0, 2},   // default heuristic: one shard per 64 pages
+		{1024, 0, 8}, // default heuristic caps at 8
+	}
+	for _, c := range cases {
+		bp := NewBufferPoolShards(m, c.capacity, c.shards)
+		if got := bp.ShardCount(); got != c.want {
+			t.Errorf("NewBufferPoolShards(cap=%d, shards=%d).ShardCount() = %d, want %d",
+				c.capacity, c.shards, got, c.want)
+		}
 	}
 }
 

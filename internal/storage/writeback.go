@@ -1,0 +1,130 @@
+package storage
+
+import "sync"
+
+// maxWritebackQueue bounds the background writer's backlog (pages).
+// Evictions that find the queue full block — with the shard lock
+// released — until the writer drains, so a slow store applies
+// back-pressure without stalling unrelated pins.
+const maxWritebackQueue = 64
+
+// writeJob is one evicted dirty page awaiting write-back: the frame it
+// came from, its owning shard, and a snapshot of the page contents
+// taken at eviction time (so later re-pins may modify the live frame
+// freely while the write is in flight).
+type writeJob struct {
+	sh   *poolShard
+	f    *frame
+	data []byte
+}
+
+// writeback is the pool's bounded background writer. It owns no
+// permanent goroutine: a drain goroutine is started when the first job
+// arrives and exits when the queue runs dry, so pools never leak
+// goroutines and need no Close. barrier() is the flush barrier: it
+// blocks until every job enqueued before the call has been written.
+type writeback struct {
+	store Store
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []writeJob
+	inFlight int  // popped but not yet completed
+	running  bool // a drain goroutine is live
+
+	bufs sync.Pool
+}
+
+func newWriteback(store Store) *writeback {
+	w := &writeback{
+		store: store,
+		bufs:  sync.Pool{New: func() any { return make([]byte, PageSize) }},
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// buffer returns a PageSize scratch buffer for an eviction snapshot.
+func (w *writeback) buffer() []byte { return w.bufs.Get().([]byte) }
+
+// enqueue hands a job to the writer, blocking while the queue is full.
+// Must be called without any shard lock held.
+func (w *writeback) enqueue(j writeJob) {
+	w.mu.Lock()
+	for len(w.queue) >= maxWritebackQueue {
+		w.cond.Wait()
+	}
+	w.queue = append(w.queue, j)
+	if !w.running {
+		w.running = true
+		go w.drain()
+	}
+	w.mu.Unlock()
+}
+
+// drain writes queued pages until the queue is empty, then exits.
+func (w *writeback) drain() {
+	w.mu.Lock()
+	for {
+		if len(w.queue) == 0 {
+			w.running = false
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			return
+		}
+		j := w.queue[0]
+		w.queue[0] = writeJob{}
+		w.queue = w.queue[1:]
+		w.inFlight++
+		w.cond.Broadcast() // queue space freed
+		w.mu.Unlock()
+
+		err := w.store.WritePage(j.f.id, j.data)
+		w.complete(j, err)
+		w.bufs.Put(j.data) //nolint:staticcheck // PageSize slice, not pointer-sized
+
+		w.mu.Lock()
+		w.inFlight--
+		w.cond.Broadcast()
+	}
+}
+
+// complete finishes one write-back under the owning shard's lock: the
+// frame either leaves the table (the eviction completes) or stays
+// resident — because a reader re-pinned it mid-write, or because it
+// was re-dirtied (or the write failed, in which case dropping it would
+// lose the only copy) and must be written again later. A failed write
+// is not recorded anywhere else: keeping the page dirty is the error
+// signal, and the synchronous retry inside Flush/Clear surfaces it.
+func (w *writeback) complete(j writeJob, err error) {
+	sh := j.sh
+	sh.mu.Lock()
+	if err == nil {
+		sh.stats.PageWrites++ // only writes that reached the store count
+	}
+	sh.writing--
+	j.f.writing = false
+	if err != nil {
+		j.f.dirty = true
+	}
+	if j.f.pins > 0 || j.f.dirty {
+		if j.f.clockIdx < 0 {
+			sh.clockAdd(j.f)
+		}
+	} else {
+		sh.stats.Evictions++
+		delete(sh.frames, j.f.id)
+	}
+	sh.mu.Unlock()
+}
+
+// barrier blocks until every write-back enqueued before the call has
+// completed (successfully or not; failed pages are dirty-resident
+// again once it returns).
+func (w *writeback) barrier() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.queue) > 0 || w.inFlight > 0 {
+		w.cond.Wait()
+	}
+}

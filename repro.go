@@ -179,6 +179,30 @@ type BatchQuery = core.BatchQuery
 // Target selects which database a BatchQuery runs against.
 type Target = core.Target
 
+// StreamHandler receives one finished query of an
+// Engine.EvaluateBatchStream workload: its index in the input slice
+// and its result or error. Calls are serialized by the engine but
+// arrive in completion order.
+type StreamHandler = core.StreamHandler
+
+// AdaptiveMode selects whether Monte-Carlo refinement of threshold
+// queries may stop early once a confidence bound (Hoeffding /
+// empirical Bernstein) has decided the candidate against the
+// threshold; see ObjectEvalConfig.Adaptive.
+type AdaptiveMode = core.AdaptiveMode
+
+// Adaptive refinement modes for ObjectEvalConfig.Adaptive.
+const (
+	// AdaptiveAuto (default) early-terminates Monte-Carlo refinement
+	// whenever the query carries a probability threshold. The
+	// qualifying set is unchanged; only the samples spent on clear-cut
+	// candidates shrink (observable in Cost.SamplesUsed /
+	// Cost.EarlyStopped).
+	AdaptiveAuto = core.AdaptiveAuto
+	// AdaptiveOff always draws the full MCSamples budget.
+	AdaptiveOff = core.AdaptiveOff
+)
+
 // Batch query targets.
 const (
 	// TargetUncertain evaluates over the uncertain-object database.

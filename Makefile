@@ -1,10 +1,11 @@
 # Developer / CI entry points. `make bench` records the serving
-# trajectory to BENCH_PR2.json (throughput + adaptive refinement);
-# BENCH_PR1.json stays checked in as the previous revision's baseline.
+# trajectory to BENCH_PR3.json (throughput + adaptive refinement +
+# continuous monitoring); BENCH_PR1.json / BENCH_PR2.json stay checked
+# in as the previous revisions' baselines.
 
 GO ?= go
 
-.PHONY: all build test race bench
+.PHONY: all build test race bench soak
 
 all: build test race
 
@@ -18,11 +19,17 @@ test: build
 race:
 	$(GO) test -race ./internal/...
 
+# The continuous-query monitor's concurrency surface, repeated — the
+# CI soak job.
+soak:
+	$(GO) test -race -run Monitor -count=3 ./internal/monitor/...
+
 # Modest dataset sizes so the bench target finishes in about a minute
 # while still exercising realistic candidate sets.
 bench: build
-	$(GO) run ./cmd/ildq-bench -exp exp-throughput,exp-adaptive \
+	$(GO) run ./cmd/ildq-bench -exp exp-throughput,exp-adaptive,exp-continuous \
 		-points 8000 -rects 10000 -queries 64 -workers 1,2,4 \
 		-threshold 0.1,0.5,0.9 -adaptive-samples 2048 \
-		-json BENCH_PR2.json
+		-standing 64 -update-batches 40 -batch-size 32 \
+		-json BENCH_PR3.json
 	$(GO) test ./internal/bench -run xxx -bench 'BenchmarkRefine|BenchmarkThroughput' -benchtime 1s

@@ -41,6 +41,7 @@ type report struct {
 	Figures    []bench.Figure           `json:"figures,omitempty"`
 	Throughput []bench.ThroughputReport `json:"throughput,omitempty"`
 	Adaptive   []bench.AdaptiveReport   `json:"adaptive,omitempty"`
+	Continuous []bench.ContinuousReport `json:"continuous,omitempty"`
 }
 
 func main() {
@@ -57,6 +58,9 @@ func main() {
 		shards       = flag.Int("shards", 0, "buffer-pool lock shards for exp-throughput's io-bound run (0 = auto)")
 		thresholds   = flag.String("threshold", "0.1,0.5,0.9", "comma-separated probability thresholds for exp-adaptive")
 		adptSamples  = flag.Int("adaptive-samples", 2048, "Monte-Carlo budget per candidate for exp-adaptive")
+		standing     = flag.Int("standing", 64, "standing queries for exp-continuous")
+		updBatches   = flag.Int("update-batches", 40, "update batches for exp-continuous")
+		updBatchSize = flag.Int("batch-size", 32, "updates per batch for exp-continuous")
 		jsonPath     = flag.String("json", "", "also write results to this file as JSON")
 	)
 	flag.Parse()
@@ -164,6 +168,19 @@ func main() {
 		}
 		adpt.Render(os.Stdout)
 		rep.Adaptive = append(rep.Adaptive, adpt)
+	}
+
+	// Continuous monitoring mutates its engine (the update trace), so
+	// it always gets a private environment.
+	if want["exp-continuous"] {
+		workers := workerCounts[len(workerCounts)-1]
+		cont, err := bench.Continuous(mustEnv(cfg), *standing, *updBatches, *updBatchSize, workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: continuous: %v\n", err)
+			os.Exit(1)
+		}
+		cont.Render(os.Stdout)
+		rep.Continuous = append(rep.Continuous, cont)
 	}
 
 	runners := []struct {

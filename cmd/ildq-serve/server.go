@@ -1,0 +1,436 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/monitor"
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+)
+
+// The wire format. Regions are [x0, y0, x1, y1]; pdfs are "uniform"
+// (the paper's default) or "gaussian" (truncated, paper's σ
+// convention when sigma_x/sigma_y are omitted).
+
+type issuerJSON struct {
+	Region []float64 `json:"region"`
+	PDF    string    `json:"pdf,omitempty"`
+	SigmaX float64   `json:"sigma_x,omitempty"`
+	SigmaY float64   `json:"sigma_y,omitempty"`
+}
+
+type queryJSON struct {
+	Target    string     `json:"target,omitempty"` // "uncertain" (default) | "points"
+	Issuer    issuerJSON `json:"issuer"`
+	W         float64    `json:"w"`
+	H         float64    `json:"h"`
+	Threshold float64    `json:"threshold,omitempty"`
+}
+
+type updateJSON struct {
+	Op     string    `json:"op"` // upsert_point | delete_point | upsert_object | delete_object
+	ID     int64     `json:"id"`
+	X      float64   `json:"x,omitempty"`
+	Y      float64   `json:"y,omitempty"`
+	Region []float64 `json:"region,omitempty"`
+	PDF    string    `json:"pdf,omitempty"`
+	SigmaX float64   `json:"sigma_x,omitempty"`
+	SigmaY float64   `json:"sigma_y,omitempty"`
+}
+
+type matchJSON struct {
+	ID int64   `json:"id"`
+	P  float64 `json:"p"`
+}
+
+type costJSON struct {
+	Candidates   int     `json:"candidates"`
+	Refined      int     `json:"refined"`
+	SamplesUsed  int64   `json:"samples_used"`
+	EarlyStopped int     `json:"early_stopped"`
+	NodeAccesses int64   `json:"node_accesses"`
+	DurationMS   float64 `json:"duration_ms"`
+}
+
+type deltaJSON struct {
+	Seq       uint64      `json:"seq"`
+	Entered   []matchJSON `json:"entered,omitempty"`
+	Updated   []matchJSON `json:"updated,omitempty"`
+	Left      []int64     `json:"left,omitempty"`
+	Error     string      `json:"error,omitempty"`
+	Coalesced int         `json:"coalesced"`
+	Cost      costJSON    `json:"cost"`
+}
+
+func toRect(vals []float64) (geom.Rect, error) {
+	if len(vals) != 4 {
+		return geom.Rect{}, fmt.Errorf("region wants [x0, y0, x1, y1], got %d values", len(vals))
+	}
+	r := geom.RectFromCorners(geom.Pt(vals[0], vals[1]), geom.Pt(vals[2], vals[3]))
+	if err := r.Validate(); err != nil {
+		return geom.Rect{}, err
+	}
+	return r, nil
+}
+
+func toPDF(region geom.Rect, kind string, sx, sy float64) (pdf.PDF, error) {
+	switch kind {
+	case "", "uniform":
+		return pdf.NewUniform(region)
+	case "gaussian":
+		return pdf.NewTruncGaussian(region, sx, sy)
+	default:
+		return nil, fmt.Errorf("unknown pdf %q (want uniform or gaussian)", kind)
+	}
+}
+
+func (qj queryJSON) toQuery() (core.Query, core.Target, error) {
+	region, err := toRect(qj.Issuer.Region)
+	if err != nil {
+		return core.Query{}, 0, fmt.Errorf("issuer: %w", err)
+	}
+	p, err := toPDF(region, qj.Issuer.PDF, qj.Issuer.SigmaX, qj.Issuer.SigmaY)
+	if err != nil {
+		return core.Query{}, 0, fmt.Errorf("issuer: %w", err)
+	}
+	iss, err := uncertain.NewObject(-1, p, uncertain.PaperCatalogProbs())
+	if err != nil {
+		return core.Query{}, 0, fmt.Errorf("issuer: %w", err)
+	}
+	q := core.Query{Issuer: iss, W: qj.W, H: qj.H, Threshold: qj.Threshold}
+	var target core.Target
+	switch qj.Target {
+	case "", "uncertain":
+		target = core.TargetUncertain
+	case "points":
+		target = core.TargetPoints
+	default:
+		return core.Query{}, 0, fmt.Errorf("unknown target %q (want uncertain or points)", qj.Target)
+	}
+	return q, target, q.Validate()
+}
+
+func (uj updateJSON) toUpdate() (core.Update, error) {
+	switch uj.Op {
+	case "upsert_point":
+		return core.Update{Op: core.OpUpsertPoint,
+			Point: uncertain.PointObject{ID: uncertain.ID(uj.ID), Loc: geom.Pt(uj.X, uj.Y)}}, nil
+	case "delete_point":
+		return core.Update{Op: core.OpDeletePoint, ID: uncertain.ID(uj.ID)}, nil
+	case "upsert_object":
+		region, err := toRect(uj.Region)
+		if err != nil {
+			return core.Update{}, err
+		}
+		p, err := toPDF(region, uj.PDF, uj.SigmaX, uj.SigmaY)
+		if err != nil {
+			return core.Update{}, err
+		}
+		o, err := uncertain.NewObject(uncertain.ID(uj.ID), p, uncertain.PaperCatalogProbs())
+		if err != nil {
+			return core.Update{}, err
+		}
+		return core.Update{Op: core.OpUpsertObject, Object: o}, nil
+	case "delete_object":
+		return core.Update{Op: core.OpDeleteObject, ID: uncertain.ID(uj.ID)}, nil
+	default:
+		return core.Update{}, fmt.Errorf("unknown op %q", uj.Op)
+	}
+}
+
+func toMatchesJSON(ms []core.Match) []matchJSON {
+	out := make([]matchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = matchJSON{ID: int64(m.ID), P: m.P}
+	}
+	return out
+}
+
+func toCostJSON(c core.Cost) costJSON {
+	return costJSON{
+		Candidates:   c.Candidates,
+		Refined:      c.Refined,
+		SamplesUsed:  c.SamplesUsed,
+		EarlyStopped: c.EarlyStopped,
+		NodeAccesses: c.NodeAccesses,
+		DurationMS:   float64(c.Duration.Nanoseconds()) / 1e6,
+	}
+}
+
+func toDeltaJSON(d monitor.Delta) deltaJSON {
+	dj := deltaJSON{
+		Seq:       d.Seq,
+		Entered:   toMatchesJSON(d.Entered),
+		Updated:   toMatchesJSON(d.Updated),
+		Coalesced: d.Coalesced,
+		Cost:      toCostJSON(d.Cost),
+	}
+	if d.Err != nil {
+		dj.Error = d.Err.Error()
+	}
+	for _, id := range d.Left {
+		dj.Left = append(dj.Left, int64(id))
+	}
+	return dj
+}
+
+// server is the HTTP layer over one monitor: one-shot evaluation,
+// standing-query registration and SSE delta streaming, update
+// ingestion, and metrics.
+type server struct {
+	mon *monitor.Monitor
+	mux *http.ServeMux
+}
+
+func newServer(mon *monitor.Monitor) *server {
+	s := &server{mon: mon, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/queries", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/queries/{id}", s.handleQueryGet)
+	s.mux.HandleFunc("DELETE /v1/queries/{id}", s.handleQueryDelete)
+	s.mux.HandleFunc("GET /v1/queries/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("POST /v1/updates", s.handleUpdates)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// POST /v1/evaluate — one-shot query.
+func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var qj queryJSON
+	if err := decodeBody(r, &qj); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, target, err := qj.toQuery()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	eng := s.mon.Engine()
+	var res core.Result
+	if target == core.TargetPoints {
+		res, err = eng.EvaluatePointsContext(r.Context(), q, core.EvalOptions{})
+	} else {
+		res, err = eng.EvaluateUncertainContext(r.Context(), q, core.EvalOptions{})
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"matches": toMatchesJSON(res.Matches),
+		"cost":    toCostJSON(res.Cost),
+	})
+}
+
+// POST /v1/queries — register a standing query.
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var qj queryJSON
+	if err := decodeBody(r, &qj); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, target, err := qj.toQuery()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sub, err := s.mon.Register(q, target)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":       sub.ID(),
+		"snapshot": toMatchesJSON(sub.Snapshot()),
+	})
+}
+
+func (s *server) subscription(w http.ResponseWriter, r *http.Request) (*monitor.Subscription, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad query id: %w", err))
+		return nil, false
+	}
+	sub, ok := s.mon.Subscription(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no standing query %d", id))
+		return nil, false
+	}
+	return sub, true
+}
+
+// GET /v1/queries/{id} — current answer and per-query counters.
+func (s *server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
+	sub, ok := s.subscription(w, r)
+	if !ok {
+		return
+	}
+	st := sub.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":       sub.ID(),
+		"snapshot": toMatchesJSON(sub.Snapshot()),
+		"stats": map[string]any{
+			"reevals":       st.Reevals,
+			"skipped":       st.Skipped,
+			"deltas":        st.Deltas,
+			"coalesced":     st.Coalesced,
+			"errors":        st.Errors,
+			"samples":       st.Samples,
+			"node_accesses": st.NodeAccesses,
+			"eval_seconds":  st.EvalTime.Seconds(),
+		},
+	})
+}
+
+// DELETE /v1/queries/{id} — unregister.
+func (s *server) handleQueryDelete(w http.ResponseWriter, r *http.Request) {
+	sub, ok := s.subscription(w, r)
+	if !ok {
+		return
+	}
+	s.mon.Unregister(sub.ID())
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// GET /v1/queries/{id}/stream — the delta stream as server-sent
+// events. The first event is the registration snapshot if nothing has
+// drained it yet; replaying all events from an empty set reconstructs
+// the live answer after every batch.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	sub, ok := s.subscription(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if canFlush {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		d, err := sub.Next(r.Context())
+		if err != nil {
+			if errors.Is(err, monitor.ErrClosed) {
+				fmt.Fprint(w, "event: close\ndata: {}\n\n")
+			}
+			return
+		}
+		fmt.Fprint(w, "data: ")
+		if err := enc.Encode(toDeltaJSON(d)); err != nil {
+			return
+		}
+		fmt.Fprint(w, "\n")
+		if canFlush {
+			flusher.Flush()
+		}
+	}
+}
+
+// POST /v1/updates — ingest one update batch.
+func (s *server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Updates []updateJSON `json:"updates"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	batch := make([]core.Update, len(body.Updates))
+	for i, uj := range body.Updates {
+		u, err := uj.toUpdate()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("update %d: %w", i, err))
+			return
+		}
+		batch[i] = u
+	}
+	// The engine batch commits regardless of the client connection,
+	// so the incremental re-evaluation pass must not die with it — a
+	// disconnect would otherwise leave every touched standing query
+	// stale until the next batch.
+	out, err := s.mon.ApplyUpdates(context.WithoutCancel(r.Context()), batch)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := map[string]any{
+		"seq":         out.Seq,
+		"applied":     out.Report.Applied,
+		"missing":     out.Report.Missing,
+		"version":     out.Report.Version,
+		"reevaluated": out.Reevaluated,
+		"skipped":     out.Skipped,
+		"entered":     out.Entered,
+		"left":        out.Left,
+		"changed":     out.Changed,
+	}
+	if len(out.Report.Errors) > 0 {
+		var errs []string
+		for _, e := range out.Report.Errors {
+			errs = append(errs, e.Error())
+		}
+		resp["errors"] = errs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// GET /metrics — Prometheus-style text: monitor totals plus the
+// per-standing-query cost counters.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	st := s.mon.Stats()
+	eng := s.mon.Engine()
+	fmt.Fprintf(w, "ildq_engine_version %d\n", eng.Version())
+	fmt.Fprintf(w, "ildq_engine_points %d\n", eng.NumPoints())
+	fmt.Fprintf(w, "ildq_engine_uncertain_objects %d\n", eng.NumUncertain())
+	fmt.Fprintf(w, "ildq_monitor_registered %d\n", st.Registered)
+	fmt.Fprintf(w, "ildq_monitor_batches_total %d\n", st.Batches)
+	fmt.Fprintf(w, "ildq_monitor_updates_applied_total %d\n", st.UpdatesApplied)
+	fmt.Fprintf(w, "ildq_monitor_reevals_total %d\n", st.Reevaluated)
+	fmt.Fprintf(w, "ildq_monitor_reevals_skipped_total %d\n", st.Skipped)
+	fmt.Fprintf(w, "ildq_monitor_deltas_total %d\n", st.Deltas)
+	fmt.Fprintf(w, "ildq_monitor_coalesced_total %d\n", st.Coalesced)
+	fmt.Fprintf(w, "ildq_monitor_eval_errors_total %d\n", st.EvalErrors)
+	for _, sub := range s.mon.Subscriptions() {
+		qs := sub.Stats()
+		id := sub.ID()
+		fmt.Fprintf(w, "ildq_query_reevals_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.Reevals)
+		fmt.Fprintf(w, "ildq_query_skipped_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.Skipped)
+		fmt.Fprintf(w, "ildq_query_samples_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.Samples)
+		fmt.Fprintf(w, "ildq_query_node_accesses_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.NodeAccesses)
+		fmt.Fprintf(w, "ildq_query_eval_seconds_total{query=%q} %g\n", strconv.FormatInt(id, 10), qs.EvalTime.Seconds())
+		fmt.Fprintf(w, "ildq_query_matches{query=%q} %d\n", strconv.FormatInt(id, 10), sub.Size())
+	}
+}

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng, err := core.NewEngine(nil, nil, core.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(monitor.New(eng, monitor.Config{Workers: 2})))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: decoding: %v", url, err)
+	}
+	if resp.StatusCode >= 400 {
+		t.Fatalf("%s: HTTP %d: %v", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+// TestServeLifecycle drives the full API against an initially empty
+// world: register a standing query, ingest updates that move an
+// object in and out of its range, and check the delta stream, the
+// snapshot endpoint, and the metrics counters at each step.
+func TestServeLifecycle(t *testing.T) {
+	ts := testServer(t)
+
+	// Register a standing query around (500, 500).
+	reg := postJSON(t, ts.URL+"/v1/queries", `{
+		"issuer": {"region": [450, 450, 550, 550]}, "w": 100, "h": 100}`)
+	id := int64(reg["id"].(float64))
+	if snap := reg["snapshot"].([]any); len(snap) != 0 {
+		t.Fatalf("snapshot of empty world: %v", snap)
+	}
+
+	// An object inside the range enters the answer.
+	up := postJSON(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_object", "id": 7, "region": [480, 480, 520, 520]}]}`)
+	if up["applied"].(float64) != 1 || up["reevaluated"].(float64) != 1 {
+		t.Fatalf("first batch: %v", up)
+	}
+	if up["entered"].(float64) != 1 {
+		t.Fatalf("object did not enter: %v", up)
+	}
+
+	// A far-away object is guard-filtered: no re-evaluation.
+	up = postJSON(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_object", "id": 8, "region": [5000, 5000, 5040, 5040]}]}`)
+	if up["reevaluated"].(float64) != 0 || up["skipped"].(float64) != 1 {
+		t.Fatalf("far batch was not skipped: %v", up)
+	}
+
+	// Moving object 7 away makes it leave.
+	up = postJSON(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_object", "id": 7, "region": [3000, 3000, 3040, 3040]}]}`)
+	if up["left"].(float64) != 1 {
+		t.Fatalf("object did not leave: %v", up)
+	}
+
+	// One-shot evaluation sees the current world.
+	ev := postJSON(t, ts.URL+"/v1/evaluate", `{
+		"issuer": {"region": [2950, 2950, 3050, 3050]}, "w": 100, "h": 100}`)
+	if ms := ev["matches"].([]any); len(ms) != 1 {
+		t.Fatalf("one-shot matches: %v", ev)
+	}
+
+	// The snapshot endpoint reports the (now empty) standing answer
+	// and its counters.
+	resp, err := http.Get(fmt.Sprintf("%s/v1/queries/%d", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if snap := got["snapshot"].([]any); len(snap) != 0 {
+		t.Fatalf("standing answer after leave: %v", snap)
+	}
+	stats := got["stats"].(map[string]any)
+	if stats["reevals"].(float64) != 3 || stats["skipped"].(float64) != 1 {
+		t.Fatalf("per-query stats: %v", stats)
+	}
+
+	// Metrics expose the monitor totals and the per-query counters.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(strings.Builder)
+	if _, err := fmt.Fprint(body, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	metrics := body.String()
+	for _, want := range []string{
+		"ildq_monitor_batches_total 3",
+		"ildq_monitor_reevals_skipped_total 1",
+		fmt.Sprintf("ildq_query_reevals_total{query=\"%d\"} 3", id),
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Unregister; the id disappears.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/queries/%d", ts.URL, id), nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: HTTP %d", resp.StatusCode)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/v1/queries/%d", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted query still served: HTTP %d", resp.StatusCode)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteString("\n")
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestServeStream reads the SSE endpoint: the first event must be the
+// registration snapshot, subsequent events the update deltas, and
+// replaying them reconstructs the answer.
+func TestServeStream(t *testing.T) {
+	ts := testServer(t)
+
+	postJSON(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_object", "id": 1, "region": [480, 480, 520, 520]}]}`)
+	reg := postJSON(t, ts.URL+"/v1/queries", `{
+		"issuer": {"region": [450, 450, 550, 550]}, "w": 100, "h": 100}`)
+	id := int64(reg["id"].(float64))
+
+	resp, err := http.Get(fmt.Sprintf("%s/v1/queries/%d/stream", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	events := make(chan deltaJSON, 16)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if data, ok := strings.CutPrefix(line, "data: "); ok && data != "{}" {
+				var d deltaJSON
+				if json.Unmarshal([]byte(data), &d) == nil {
+					events <- d
+				}
+			}
+		}
+	}()
+
+	first := <-events
+	if len(first.Entered) != 1 || first.Entered[0].ID != 1 {
+		t.Fatalf("snapshot event: %+v", first)
+	}
+
+	postJSON(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_object", "id": 1, "region": [3000, 3000, 3040, 3040]},
+		{"op": "upsert_object", "id": 2, "region": [490, 490, 530, 530]}]}`)
+	second := <-events
+	if len(second.Left) != 1 || second.Left[0] != 1 {
+		t.Fatalf("delta event Left: %+v", second)
+	}
+	if len(second.Entered) != 1 || second.Entered[0].ID != 2 {
+		t.Fatalf("delta event Entered: %+v", second)
+	}
+}

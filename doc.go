@@ -27,11 +27,32 @@
 //     fans a workload out over a worker pool with per-query
 //     deterministic sampling seeds, and Engine.EvaluateBatchStream
 //     streams results through a callback with per-query deadlines
-//     (EvalOptions.Timeout) and whole-batch cancellation, so
+//     (EvalOptions.Timeout), per-query sample budgets
+//     (EvalOptions.MaxSamples), and whole-batch cancellation, so
 //     arbitrarily large workloads evaluate in constant memory;
+//   - dynamic updates concurrent with queries: every mutator takes
+//     the engine's write lock and evaluations its read lock, so
+//     position re-reports, joins, and leaves (Engine.ApplyUpdates
+//     batches them under one lock acquisition) interleave safely with
+//     serving, and each committed batch advances Engine.Version;
+//   - continuous monitoring: Monitor serves standing queries over the
+//     update stream. Register returns a Subscription streaming delta
+//     results (objects entering/leaving the qualifying set, with
+//     probabilities); ApplyUpdates re-evaluates only the standing
+//     queries whose guard region (GuardRegion — the prepared plan's
+//     index probe region) the batch's dirty rectangles touch,
+//     keeping every other cached answer at zero cost;
 //   - the imprecise nearest-neighbor extension;
 //   - synthetic dataset generation matching the paper's experimental
 //     setup.
+//
+// Serving architecture: one-shot queries call Evaluate* directly;
+// batch workloads go through EvaluateBatch / EvaluateBatchStream;
+// standing workloads register with a Monitor and consume deltas. The
+// cmd/ildq-serve binary exposes all three over HTTP/JSON — POST
+// /v1/evaluate, POST /v1/queries + GET /v1/queries/{id}/stream
+// (server-sent events), POST /v1/updates, GET /metrics — see its
+// package documentation for a curl quickstart.
 //
 // Quick start:
 //

@@ -1,0 +1,139 @@
+// Fleetwatch: continuous geofence monitoring over a moving fleet —
+// the standing-query workload the continuous-query monitor serves.
+//
+// A dispatch center keeps three standing queries open ("which
+// vehicles are probably inside my zone?", one per depot, one with a
+// 60% probability bar). Vehicles re-report imprecise positions every
+// tick; the monitor ingests each tick as one update batch, re-derives
+// answers only for the zones whose guard region the batch touched,
+// and pushes delta results — vehicles entering and leaving each
+// zone's qualifying set — to the subscriptions. The final stats show
+// how many re-evaluations guard filtering avoided.
+//
+// Run with: go run ./examples/fleetwatch
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+const (
+	worldSize = 10000.0
+	fleetSize = 400
+	ticks     = 10
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(17))
+
+	// The fleet: vehicles with ±60-unit position uncertainty.
+	positions := make(map[repro.ID]repro.Point, fleetSize)
+	var objs []*repro.Object
+	for i := 0; i < fleetSize; i++ {
+		id := repro.ID(i)
+		pos := repro.Pt(rng.Float64()*worldSize, rng.Float64()*worldSize)
+		positions[id] = pos
+		objs = append(objs, vehicle(id, pos))
+	}
+	engine, err := repro.NewEngine(nil, objs, repro.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mon := repro.NewMonitor(engine, repro.MonitorConfig{Workers: 2})
+
+	// Three zones; the third insists on >= 60% presence probability.
+	zones := []struct {
+		name   string
+		center repro.Point
+		qp     float64
+	}{
+		{"harbor", repro.Pt(2000, 2000), 0},
+		{"airport", repro.Pt(8000, 3000), 0},
+		{"depot (p>=0.6)", repro.Pt(5000, 8000), 0.6},
+	}
+	subs := make([]*repro.Subscription, len(zones))
+	for i, z := range zones {
+		issuerPDF, err := repro.NewUniformPDF(repro.RectCentered(z.center, 150, 150))
+		if err != nil {
+			log.Fatal(err)
+		}
+		issuer, err := repro.NewIssuer(issuerPDF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		subs[i], err = mon.Register(repro.Query{Issuer: issuer, W: 700, H: 700, Threshold: z.qp}, repro.TargetUncertain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap, _ := subs[i].Next(context.Background()) // registration snapshot
+		fmt.Printf("zone %-16s starts with %d vehicles\n", z.name, len(snap.Entered))
+	}
+
+	// Ticks: every vehicle drifts; a tenth of the fleet re-reports per
+	// batch (staggered telemetry).
+	for tick := 1; tick <= ticks; tick++ {
+		var batch []repro.Update
+		for id, pos := range positions {
+			if rng.Intn(10) != 0 {
+				continue
+			}
+			pos = repro.Pt(pos.X+(rng.Float64()-0.5)*800, pos.Y+(rng.Float64()-0.5)*800)
+			positions[id] = pos
+			batch = append(batch, repro.Update{Op: repro.OpUpsertObject, Object: vehicle(id, pos)})
+		}
+		out, err := mon.ApplyUpdates(context.Background(), batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tick %2d: %3d re-reports, %d zones re-evaluated, %d skipped\n",
+			tick, out.Report.Applied, out.Reevaluated, out.Skipped)
+
+		for i, z := range zones {
+			for {
+				d, err := drainOne(subs[i])
+				if err != nil {
+					break
+				}
+				for _, m := range d.Entered {
+					fmt.Printf("         %-16s + vehicle %3d (p=%.2f)\n", z.name, m.ID, m.P)
+				}
+				for _, id := range d.Left {
+					fmt.Printf("         %-16s - vehicle %3d\n", z.name, id)
+				}
+			}
+		}
+	}
+
+	st := mon.Stats()
+	total := st.Reevaluated + st.Skipped
+	fmt.Printf("\n%d update batches, %d updates: %d re-evaluations run, %d avoided (%.0f%%)\n",
+		st.Batches, st.UpdatesApplied, st.Reevaluated, st.Skipped,
+		100*float64(st.Skipped)/float64(total))
+}
+
+// drainOne pops one pending delta without blocking.
+func drainOne(sub *repro.Subscription) (repro.Delta, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return sub.Next(ctx)
+}
+
+// vehicle wraps a fleet position as an uncertain object (uniform pdf
+// over a ±60-unit box — the telemetry imprecision).
+func vehicle(id repro.ID, pos repro.Point) *repro.Object {
+	p, err := repro.NewUniformPDF(repro.RectCentered(pos, 60, 60))
+	if err != nil {
+		log.Fatal(err)
+	}
+	o, err := repro.NewUncertainObject(id, p, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return o
+}

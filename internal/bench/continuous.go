@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/monitor"
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+)
+
+// ContinuousReport is the exp-continuous output: continuous-query
+// serving over a moving-object update stream, measuring ingestion
+// throughput and how many re-evaluations guard-region filtering
+// avoids relative to re-evaluating every standing query per batch.
+type ContinuousReport struct {
+	Name           string  `json:"name"`
+	Standing       int     `json:"standing_queries"`
+	Batches        int     `json:"batches"`
+	BatchSize      int     `json:"batch_size"`
+	Workers        int     `json:"workers"`
+	Seconds        float64 `json:"seconds"`
+	UpdatesPerSec  float64 `json:"updates_per_sec"`
+	BatchesPerSec  float64 `json:"batches_per_sec"`
+	Reevaluated    int64   `json:"reevaluated"`
+	Skipped        int64   `json:"skipped"`
+	SkipFraction   float64 `json:"skip_fraction"`
+	Deltas         int64   `json:"deltas"`
+	Entered        int64   `json:"entered"`
+	Left           int64   `json:"left"`
+	MeanReevalCost float64 `json:"mean_reeval_ms"`
+}
+
+// Render writes the report as an aligned text table.
+func (r ContinuousReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "== continuous monitoring: %s ==\n", r.Name)
+	fmt.Fprintf(w, "%16s %10s %12s %12s %12s %10s\n",
+		"updates/s", "batches", "reevals", "skipped", "skip-frac", "deltas")
+	fmt.Fprintf(w, "%16.0f %10d %12d %12d %11.1f%% %10d\n",
+		r.UpdatesPerSec, r.Batches, r.Reevaluated, r.Skipped, r.SkipFraction*100, r.Deltas)
+	fmt.Fprintln(w)
+}
+
+// Continuous measures the continuous-query monitor: standing C-IUQ
+// queries registered over the environment's engine, then a randomized
+// moving-object trace ingested in batches — each object's re-report
+// is a bounded random walk of its uncertainty region, the localized
+// traffic pattern guard filtering exploits. The report records
+// ingestion throughput (updates/sec including incremental
+// re-evaluation) and the fraction of standing-query re-evaluations
+// the guard-region filter skipped (1 would mean every batch left
+// every query untouched; 0 means no filtering benefit).
+func Continuous(env *Env, standing, batches, batchSize, workers int) (ContinuousReport, error) {
+	if standing <= 0 {
+		standing = 64
+	}
+	if batches <= 0 {
+		batches = 40
+	}
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	p := DefaultParams()
+
+	mon := monitor.New(env.Engine, monitor.Config{
+		Workers:    workers,
+		Seed:       env.cfg.Seed + 7,
+		MaxPending: -1,
+	})
+	issuers, err := env.Issuers(standing, p.U)
+	if err != nil {
+		return ContinuousReport{}, err
+	}
+	subs := make([]*monitor.Subscription, standing)
+	for i, iss := range issuers {
+		qp := 0.0
+		if i%2 == 1 {
+			qp = 0.5
+		}
+		subs[i], err = mon.Register(core.Query{Issuer: iss, W: p.W, H: p.W, Threshold: qp}, core.TargetUncertain)
+		if err != nil {
+			return ContinuousReport{}, err
+		}
+	}
+
+	// The trace re-reports random objects near their current region —
+	// a bounded random walk, like vehicles moving between ticks.
+	rng := rand.New(rand.NewSource(env.cfg.Seed + 8))
+	nObjects := env.Engine.NumUncertain()
+	if nObjects == 0 {
+		return ContinuousReport{}, fmt.Errorf("bench: exp-continuous needs uncertain objects (rects = 0)")
+	}
+	step := dataset.Extent / 100
+	trace := make([][]core.Update, batches)
+	for b := range trace {
+		batch := make([]core.Update, batchSize)
+		for j := range batch {
+			id := uncertain.ID(rng.Intn(nObjects))
+			obj, ok := env.Engine.Object(id)
+			var c geom.Point
+			var u float64
+			if ok {
+				r := obj.Region()
+				c = geom.Pt(r.Center().X+(rng.Float64()-0.5)*2*step, r.Center().Y+(rng.Float64()-0.5)*2*step)
+				u = (r.Width() + r.Height()) / 4
+			} else {
+				c = geom.Pt(rng.Float64()*dataset.Extent, rng.Float64()*dataset.Extent)
+				u = 20 + rng.Float64()*30
+			}
+			if u <= 0 {
+				u = 20
+			}
+			up, err := pdf.NewUniform(geom.RectCentered(c, u, u))
+			if err != nil {
+				return ContinuousReport{}, err
+			}
+			o, err := uncertain.NewObject(id, up, uncertain.PaperCatalogProbs())
+			if err != nil {
+				return ContinuousReport{}, err
+			}
+			batch[j] = core.Update{Op: core.OpUpsertObject, Object: o}
+		}
+		trace[b] = batch
+	}
+
+	var entered, left int64
+	start := time.Now()
+	for _, batch := range trace {
+		out, err := mon.ApplyUpdates(context.Background(), batch)
+		if err != nil {
+			return ContinuousReport{}, err
+		}
+		if len(out.Report.Errors) > 0 {
+			return ContinuousReport{}, out.Report.Errors[0]
+		}
+		entered += int64(out.Entered)
+		left += int64(out.Left)
+	}
+	elapsed := time.Since(start)
+
+	st := mon.Stats()
+	var evalMS float64
+	for _, sub := range subs {
+		evalMS += sub.Stats().EvalTime.Seconds() * 1e3
+	}
+	rep := ContinuousReport{
+		Name: fmt.Sprintf("%d standing C-IUQ over %d objects, random-walk re-reports",
+			standing, nObjects),
+		Standing:      standing,
+		Batches:       batches,
+		BatchSize:     batchSize,
+		Workers:       workers,
+		Seconds:       elapsed.Seconds(),
+		UpdatesPerSec: float64(batches*batchSize) / elapsed.Seconds(),
+		BatchesPerSec: float64(batches) / elapsed.Seconds(),
+		Reevaluated:   st.Reevaluated,
+		Skipped:       st.Skipped,
+		Deltas:        st.Deltas,
+		Entered:       entered,
+		Left:          left,
+	}
+	if total := st.Reevaluated + st.Skipped; total > 0 {
+		rep.SkipFraction = float64(st.Skipped) / float64(total)
+	}
+	if st.Reevaluated > 0 {
+		rep.MeanReevalCost = evalMS / float64(st.Reevaluated)
+	}
+	return rep, nil
+}

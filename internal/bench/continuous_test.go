@@ -1,0 +1,31 @@
+package bench
+
+import "testing"
+
+// TestContinuousSmall runs the continuous-monitoring experiment at
+// test scale and sanity-checks the report: every standing query ×
+// batch pair is either re-evaluated or skipped, localized random-walk
+// traffic produces a non-trivial skip fraction, and throughput is
+// finite and positive.
+func TestContinuousSmall(t *testing.T) {
+	env := smallEnv(t, smallConfig())
+	rep, err := Continuous(env, 16, 10, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.Reevaluated+rep.Skipped, int64(16*10); got != want {
+		t.Fatalf("reevaluated+skipped = %d, want %d", got, want)
+	}
+	if rep.Skipped == 0 {
+		t.Fatal("guard filtering skipped nothing on a localized trace")
+	}
+	if rep.SkipFraction <= 0 || rep.SkipFraction >= 1 {
+		t.Fatalf("skip fraction %g out of (0, 1)", rep.SkipFraction)
+	}
+	if rep.UpdatesPerSec <= 0 {
+		t.Fatalf("updates/sec = %g", rep.UpdatesPerSec)
+	}
+	if rep.Deltas < rep.Reevaluated {
+		t.Fatalf("deltas %d < reevals %d (registration snapshots missing?)", rep.Deltas, rep.Reevaluated)
+	}
+}

@@ -38,6 +38,10 @@ var (
 	ErrBadExtents    = errors.New("core: query half extents must be positive")
 	ErrBadThreshold  = errors.New("core: probability threshold must be in [0, 1]")
 	ErrUnknownMethod = errors.New("core: unknown evaluation method")
+	// ErrSampleBudget reports that a query's Monte-Carlo refinement
+	// would exceed EvalOptions.MaxSamples; like a deadline expiry it
+	// ends only that query.
+	ErrSampleBudget = errors.New("core: per-query Monte-Carlo sample budget exhausted")
 )
 
 // Query is an imprecise location-dependent range query: the issuer's

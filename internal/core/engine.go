@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"slices"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -33,24 +35,35 @@ type EngineOptions struct {
 // their spatial indexes, and evaluates imprecise location-dependent
 // queries against them. Construction bulk-loads both indexes.
 //
-// Concurrency: the read path is safe for concurrent use. Any number of
-// goroutines may call the Evaluate* methods simultaneously — over
-// in-memory or paged node stores (the sharded buffer pool is
-// internally synchronized; physical reads and eviction write-backs
-// overlap across goroutines) — as long as each call uses a distinct
-// EvalOptions.Rng (or leaves it nil inside EvaluateBatch /
-// EvaluateBatchStream, which derive an independent source per query)
-// and no mutation (Insert/Delete/bulk load) runs concurrently. Every
-// Result carries its own exact per-query Cost: node accesses are
-// counted per search call, not in shared tree state, so concurrent
-// queries do not perturb each other's counters. Mutations must be
-// externally serialized with each other and with queries.
+// Concurrency: the engine is safe for concurrent use, readers and
+// writers alike. Any number of goroutines may call the Evaluate*
+// methods simultaneously — over in-memory or paged node stores (the
+// sharded buffer pool is internally synchronized; physical reads and
+// eviction write-backs overlap across goroutines) — as long as each
+// call uses a distinct EvalOptions.Rng (or leaves it nil inside
+// EvaluateBatch / EvaluateBatchStream, which derive an independent
+// source per query). Every Result carries its own exact per-query
+// Cost: node accesses are counted per search call, not in shared tree
+// state, so concurrent queries do not perturb each other's counters.
+//
+// Mutations (Insert*/Delete*/Move*/Replace*/ApplyUpdates) coordinate
+// with evaluation through the engine's reader–writer lock: each
+// evaluation holds the read lock for its duration, each mutation (or
+// ApplyUpdates batch) the write lock, so a query observes either all
+// of a batch or none of it and never a half-applied update. Every
+// committed mutation advances the engine version (Version), the epoch
+// continuous-query layers key cached results on.
 //
 // Determinism: for a fixed engine, query, and options seed, enhanced
 // evaluation is bit-identical at every worker count (serial included):
 // Monte-Carlo refinement derives one sample stream per candidate
 // object, keyed by object id — see refineSurvivors.
 type Engine struct {
+	// mu coordinates evaluation (read lock) with mutation (write
+	// lock); version counts committed mutation batches.
+	mu      sync.RWMutex
+	version atomic.Uint64
+
 	points    []uncertain.PointObject
 	pointByID map[uncertain.ID]int
 	pointIdx  *rtree.Tree
@@ -109,13 +122,28 @@ func NewEngine(points []uncertain.PointObject, objects []*uncertain.Object, opts
 }
 
 // NumPoints returns the number of point objects.
-func (e *Engine) NumPoints() int { return len(e.points) }
+func (e *Engine) NumPoints() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.points)
+}
 
 // NumUncertain returns the number of uncertain objects.
-func (e *Engine) NumUncertain() int { return len(e.objects) }
+func (e *Engine) NumUncertain() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.objects)
+}
+
+// Version returns the engine's mutation epoch: it advances once per
+// committed mutation (or ApplyUpdates batch), never otherwise. Two
+// evaluations bracketed by equal versions saw identical data.
+func (e *Engine) Version() uint64 { return e.version.Load() }
 
 // Point returns the point object with the given id.
 func (e *Engine) Point(id uncertain.ID) (uncertain.PointObject, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	i, ok := e.pointByID[id]
 	if !ok {
 		return uncertain.PointObject{}, false
@@ -125,14 +153,18 @@ func (e *Engine) Point(id uncertain.ID) (uncertain.PointObject, bool) {
 
 // Object returns the uncertain object with the given id.
 func (e *Engine) Object(id uncertain.ID) (*uncertain.Object, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	o, ok := e.objects[id]
 	return o, ok
 }
 
-// PointIndex exposes the point R-tree (for statistics).
+// PointIndex exposes the point R-tree (for statistics). Must not be
+// used concurrently with mutations.
 func (e *Engine) PointIndex() *rtree.Tree { return e.pointIdx }
 
-// UncertainIndex exposes the PTI (for statistics).
+// UncertainIndex exposes the PTI (for statistics). Must not be used
+// concurrently with mutations.
 func (e *Engine) UncertainIndex() *pti.Index { return e.uncIdx }
 
 // EvalOptions tunes one query evaluation.
@@ -167,6 +199,19 @@ type EvalOptions struct {
 	// context.DeadlineExceeded with no result. Inside batch serving
 	// this is the per-query deadline.
 	Timeout time.Duration
+	// MaxSamples bounds one query's total Monte-Carlo samples across
+	// all candidates (0 = unlimited). A query whose refinement would
+	// exceed it stops drawing and returns ErrSampleBudget with no
+	// result — the same shape as a deadline expiry, so budget and
+	// Timeout compose: whichever trips first ends the query, and in
+	// batch serving the rest of the batch continues. Whether a given
+	// query exceeds the budget is deterministic (per-candidate sample
+	// streams make the total independent of refinement order), so a
+	// query either always fits or always errors for a fixed engine,
+	// options, and seed. Adaptive early termination (see
+	// ObjectEvalConfig.Adaptive) stretches the budget by spending
+	// fewer samples on clear-cut candidates.
+	MaxSamples int64
 	// Rng drives sampling paths; nil uses a fixed seed.
 	Rng *rand.Rand
 }
@@ -214,6 +259,8 @@ func (e *Engine) EvaluatePointsContext(ctx context.Context, q Query, opts EvalOp
 	opts = opts.withDefaults()
 	ctx, cancel := opts.evalContext(ctx)
 	defer cancel()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	switch opts.Method {
 	case MethodEnhanced:
 		return e.evaluatePointsEnhanced(ctx, q, opts)
@@ -234,8 +281,28 @@ func (e *Engine) evaluatePointsEnhanced(ctx context.Context, q Query, opts EvalO
 		return res, nil
 	}
 
+	// Monte-Carlo point refinement draws each candidate's stream from
+	// a source derived from one parent draw and the candidate's object
+	// id — as in refineSurvivors — so adaptive early termination on
+	// one candidate cannot shift the samples any other candidate sees,
+	// and the full-budget and adaptive runs of one stream agree on
+	// every threshold decision (the certainty bound is exact).
+	var parent int64
+	if opts.PointMCSamples > 0 {
+		parent = opts.Rng.Int63()
+	}
+	// Early termination applies only against a real threshold.
+	stopQP := 0.0
+	if q.Threshold > 0 && opts.Object.Adaptive == AdaptiveAuto {
+		stopQP = q.Threshold
+	}
 	na, err := e.pointIdx.SearchCounted(plan.searchReg, nil, func(en rtree.Entry) bool {
 		if canceled(ctx) != nil {
+			return false
+		}
+		// SamplesUsed only grows, so the post-search budget check
+		// re-detects this early stop.
+		if opts.MaxSamples > 0 && res.Cost.SamplesUsed > opts.MaxSamples {
 			return false
 		}
 		res.Cost.Candidates++
@@ -243,8 +310,15 @@ func (e *Engine) evaluatePointsEnhanced(ctx context.Context, q Query, opts EvalO
 		res.Cost.Refined++
 		var prob float64
 		if opts.PointMCSamples > 0 {
-			prob = PointQualificationBasic(q.Issuer.PDF, p.Loc, q.W, q.H, opts.PointMCSamples, opts.Rng)
-			res.Cost.SamplesUsed += int64(opts.PointMCSamples)
+			rng := newSeededRand(deriveSeed(parent, int(p.ID)))
+			var n int
+			var early bool
+			prob, n, early = pointQualificationMCThreshold(q.Issuer.PDF, p.Loc, q.W, q.H,
+				stopQP, opts.PointMCSamples, opts.Object.MCBlock, opts.Object.MCDelta, rng)
+			res.Cost.SamplesUsed += int64(n)
+			if early {
+				res.Cost.EarlyStopped++
+			}
 		} else {
 			prob = PointQualification(q.Issuer.PDF, p.Loc, q.W, q.H)
 		}
@@ -260,6 +334,9 @@ func (e *Engine) evaluatePointsEnhanced(ctx context.Context, q Query, opts EvalO
 	}
 	if err := canceled(ctx); err != nil {
 		return Result{}, err
+	}
+	if opts.MaxSamples > 0 && res.Cost.SamplesUsed > opts.MaxSamples {
+		return Result{}, ErrSampleBudget
 	}
 	res.Cost.NodeAccesses = na
 	sortMatches(res.Matches)
@@ -280,6 +357,9 @@ func (e *Engine) evaluatePointsBasic(ctx context.Context, q Query, opts EvalOpti
 		if canceled(ctx) != nil {
 			return false
 		}
+		if opts.MaxSamples > 0 && res.Cost.SamplesUsed > opts.MaxSamples {
+			return false
+		}
 		res.Cost.Candidates++
 		res.Cost.Refined++
 		p := e.points[int(en.Ref)]
@@ -297,6 +377,9 @@ func (e *Engine) evaluatePointsBasic(ctx context.Context, q Query, opts EvalOpti
 	}
 	if err := canceled(ctx); err != nil {
 		return Result{}, err
+	}
+	if opts.MaxSamples > 0 && res.Cost.SamplesUsed > opts.MaxSamples {
+		return Result{}, ErrSampleBudget
 	}
 	res.Cost.NodeAccesses = na
 	sortMatches(res.Matches)
@@ -321,6 +404,8 @@ func (e *Engine) EvaluateUncertainContext(ctx context.Context, q Query, opts Eva
 	opts = opts.withDefaults()
 	ctx, cancel := opts.evalContext(ctx)
 	defer cancel()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	switch opts.Method {
 	case MethodEnhanced:
 		return e.evaluateUncertainEnhanced(ctx, q, opts, 1)
@@ -412,6 +497,9 @@ func (e *Engine) evaluateUncertainBasic(ctx context.Context, q Query, opts EvalO
 		if canceled(ctx) != nil {
 			return false
 		}
+		if opts.MaxSamples > 0 && res.Cost.SamplesUsed > opts.MaxSamples {
+			return false
+		}
 		res.Cost.Candidates++
 		res.Cost.Refined++
 		obj := e.objects[id]
@@ -430,6 +518,9 @@ func (e *Engine) evaluateUncertainBasic(ctx context.Context, q Query, opts EvalO
 	if err := canceled(ctx); err != nil {
 		return Result{}, err
 	}
+	if opts.MaxSamples > 0 && res.Cost.SamplesUsed > opts.MaxSamples {
+		return Result{}, ErrSampleBudget
+	}
 	res.Cost.NodeAccesses = na
 	sortMatches(res.Matches)
 	res.Cost.Duration = time.Since(start)
@@ -446,14 +537,17 @@ func accept(p, threshold float64) bool {
 	return p > 0
 }
 
-// sortMatches orders matches by descending probability, then id, so
-// results are deterministic and the most likely answers come first.
+// SortMatches orders matches by descending probability, then id — the
+// engine's canonical result order, shared by every serving layer so
+// that deterministic comparisons across them stay meaningful.
 // slices.SortFunc with a package-level comparator avoids the per-call
 // closure and interface allocations of sort.Slice in the hot result
 // path.
-func sortMatches(ms []Match) {
+func SortMatches(ms []Match) {
 	slices.SortFunc(ms, cmpMatch)
 }
+
+func sortMatches(ms []Match) { SortMatches(ms) }
 
 func cmpMatch(a, b Match) int {
 	switch {

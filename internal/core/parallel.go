@@ -59,7 +59,12 @@ type refineStats struct {
 // ObjectEvalConfig.Adaptive); the qualifying decision is unchanged.
 //
 // ctx is checked between candidates; on cancellation the partial
-// probability slice and an error are returned.
+// probability slice and an error are returned. opts.MaxSamples, when
+// set, bounds the query's total samples: refinement stops drawing
+// once the running total exceeds it and returns ErrSampleBudget.
+// Whether the budget trips is deterministic — per-candidate streams
+// make the full total independent of refinement order — even though
+// the exact stopping candidate under workers > 1 is not.
 func refineSurvivors(ctx context.Context, plan queryPlan, survivors []*uncertain.Object, opts EvalOptions, workers int) ([]float64, refineStats, error) {
 	var st refineStats
 	if len(survivors) == 0 {
@@ -84,17 +89,17 @@ func refineSurvivors(ctx context.Context, plan queryPlan, survivors []*uncertain
 		stopQP = plan.q.Threshold
 	}
 
-	refineOne := func(i int, cfg ObjectEvalConfig, sc *evalScratch, st *refineStats) {
+	budget := opts.MaxSamples
+	overBudget := func(total int64) bool { return budget > 0 && total > budget }
+
+	refineOne := func(i int, cfg ObjectEvalConfig, sc *evalScratch) (int, bool) {
 		obj := survivors[i]
 		if mcAll || !isSeparable(obj.PDF) {
 			cfg.Rng = newSeededRand(deriveSeed(parent, int(obj.ID)))
 		}
 		p, n, early := plan.qualifier.qualifyThreshold(obj.PDF, stopQP, cfg, sc)
 		probs[i] = p
-		st.samples += int64(n)
-		if early {
-			st.earlyStopped++
-		}
+		return n, early
 	}
 
 	if workers <= 1 {
@@ -104,7 +109,17 @@ func refineSurvivors(ctx context.Context, plan queryPlan, survivors []*uncertain
 			if err := canceled(ctx); err != nil {
 				return probs, st, err
 			}
-			refineOne(i, opts.Object, sc, &st)
+			if overBudget(st.samples) {
+				return probs, st, ErrSampleBudget
+			}
+			n, early := refineOne(i, opts.Object, sc)
+			st.samples += int64(n)
+			if early {
+				st.earlyStopped++
+			}
+		}
+		if overBudget(st.samples) {
+			return probs, st, ErrSampleBudget
 		}
 		return probs, st, nil
 	}
@@ -121,22 +136,32 @@ func refineSurvivors(ctx context.Context, plan queryPlan, survivors []*uncertain
 			defer wg.Done()
 			sc := acquireScratch()
 			defer releaseScratch(sc)
-			var local refineStats
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(survivors) || canceled(ctx) != nil {
 					break
 				}
-				refineOne(i, opts.Object, sc, &local)
+				if overBudget(samples.Load()) {
+					break
+				}
+				n, early := refineOne(i, opts.Object, sc)
+				samples.Add(int64(n))
+				if early {
+					earlyStopped.Add(1)
+				}
 			}
-			samples.Add(local.samples)
-			earlyStopped.Add(int64(local.earlyStopped))
 		}()
 	}
 	wg.Wait()
 	st.samples = samples.Load()
 	st.earlyStopped = int(earlyStopped.Load())
-	return probs, st, canceled(ctx)
+	if err := canceled(ctx); err != nil {
+		return probs, st, err
+	}
+	if overBudget(st.samples) {
+		return probs, st, ErrSampleBudget
+	}
+	return probs, st, nil
 }
 
 // isSeparable reports whether the pdf factors by axis (the closed-form
@@ -177,5 +202,7 @@ func (e *Engine) EvaluateUncertainParallel(q Query, opts EvalOptions, workers in
 	opts = opts.withDefaults()
 	ctx, cancel := opts.evalContext(context.Background())
 	defer cancel()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.evaluateUncertainEnhanced(ctx, q, opts, workers)
 }

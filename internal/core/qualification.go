@@ -248,6 +248,57 @@ func ObjectQualificationThreshold(issuer, obj pdf.PDF, w, h, qp float64, cfg Obj
 	return NewObjectQualifier(issuer, w, h).QualifyThreshold(obj, qp, cfg)
 }
 
+// pointQualificationMCThreshold is the adaptive Monte-Carlo point
+// refinement (the §6.2 regime for non-uniform issuer pdfs): sample the
+// issuer's location in blocks of block and count how often the object
+// falls inside the range query formed at each sample. For qp > 0 the
+// loop stops as soon as thresholdDecided proves which side of qp the
+// candidate falls on — the indicator samples lie in {0, 1} ⊂ [0, 1],
+// so the same certainty / Hoeffding / empirical-Bernstein bounds
+// apply, and sumSq equals sum. It returns the estimate, the samples
+// actually drawn, and whether the loop terminated early; qp <= 0
+// degenerates to the full-budget PointQualificationBasic.
+func pointQualificationMCThreshold(issuer pdf.PDF, s geom.Point, w, h, qp float64, total, block int, delta float64, rng *rand.Rand) (float64, int, bool) {
+	var sum float64
+	n := 0
+	for n < total {
+		b := block
+		if b > total-n {
+			b = total - n
+		}
+		for j := 0; j < b; j++ {
+			if geom.RectCentered(issuer.Sample(rng), w, h).Contains(s) {
+				sum++
+			}
+		}
+		n += b
+		if n >= total || qp <= 0 {
+			continue
+		}
+		if p, done := thresholdDecided(sum, sum, n, total, qp, delta); done {
+			return p, n, true
+		}
+	}
+	return clampProb(sum / float64(total)), total, false
+}
+
+// PointQualificationThreshold is PointQualificationBasic with adaptive
+// early termination against the probability threshold qp: it returns
+// the estimate, the issuer samples drawn, and whether a bound stopped
+// sampling before the full budget n. Block size and confidence follow
+// cfg (MCBlock / MCDelta); see ObjectEvalConfig.Adaptive for the
+// stopping rule.
+func PointQualificationThreshold(issuer pdf.PDF, s geom.Point, w, h, qp float64, n int, cfg ObjectEvalConfig, rng *rand.Rand) (float64, int, bool) {
+	cfg = cfg.withDefaults()
+	if rng == nil {
+		rng = cfg.Rng
+	}
+	if cfg.Adaptive != AdaptiveAuto {
+		qp = 0
+	}
+	return pointQualificationMCThreshold(issuer, s, w, h, qp, n, cfg.MCBlock, cfg.MCDelta, rng)
+}
+
 // ObjectQualificationBasic evaluates Equation 4 directly (§3.3): sample
 // the issuer's position n times; at each position integrate the
 // object's pdf over the overlap of its region with the range query

@@ -10,12 +10,208 @@ import (
 
 // The engine supports dynamic updates — the moving-object setting the
 // paper targets has vehicles joining, leaving, and re-reporting
-// positions continuously. Updates maintain both indexes; they are not
-// safe to run concurrently with queries.
+// positions continuously. Updates maintain both indexes and are safe
+// to run concurrently with queries: every mutator takes the engine's
+// write lock, every evaluation holds the read lock for its duration
+// (see the Engine concurrency documentation), and ApplyUpdates
+// amortizes the lock acquisition over a whole batch. Each committed
+// mutation advances the engine version (Engine.Version), giving
+// continuous-query layers an epoch to key cached results on.
+
+// UpdateOp selects what one Update does. All operations are
+// upsert-shaped where that is meaningful, so a position re-report does
+// not need to know whether the object is already present.
+type UpdateOp int
+
+const (
+	// OpUpsertPoint inserts Update.Point, or moves it if a point with
+	// that id already exists.
+	OpUpsertPoint UpdateOp = iota
+	// OpDeletePoint removes the point object with Update.ID (absent
+	// ids are a no-op, reported in UpdateReport.Missing).
+	OpDeletePoint
+	// OpUpsertObject inserts Update.Object, replacing any uncertain
+	// object with the same id — the re-report of an imprecise
+	// location.
+	OpUpsertObject
+	// OpDeleteObject removes the uncertain object with Update.ID
+	// (absent ids are a no-op, reported in UpdateReport.Missing).
+	OpDeleteObject
+)
+
+// String implements fmt.Stringer.
+func (op UpdateOp) String() string {
+	switch op {
+	case OpUpsertPoint:
+		return "upsert-point"
+	case OpDeletePoint:
+		return "delete-point"
+	case OpUpsertObject:
+		return "upsert-object"
+	case OpDeleteObject:
+		return "delete-object"
+	default:
+		return fmt.Sprintf("UpdateOp(%d)", int(op))
+	}
+}
+
+// Update is one element of an ApplyUpdates batch.
+type Update struct {
+	Op UpdateOp
+	// Point is the payload of OpUpsertPoint.
+	Point uncertain.PointObject
+	// Object is the payload of OpUpsertObject.
+	Object *uncertain.Object
+	// ID names the target of the delete operations.
+	ID uncertain.ID
+}
+
+// UpdateError records one failed update of a batch.
+type UpdateError struct {
+	// Index is the update's position in the batch.
+	Index int
+	Err   error
+}
+
+// Error implements the error interface.
+func (e UpdateError) Error() string {
+	return fmt.Sprintf("update %d: %v", e.Index, e.Err)
+}
+
+// UpdateReport summarizes one ApplyUpdates batch.
+type UpdateReport struct {
+	// Applied counts updates committed successfully.
+	Applied int
+	// Missing counts deletes whose target id did not exist (no-ops,
+	// not errors).
+	Missing int
+	// Errors lists the updates that failed; the rest of the batch is
+	// still applied.
+	Errors []UpdateError
+	// Dirty is the set of regions the batch touched: the old and new
+	// bounding rectangles of every applied update. A query whose guard
+	// region intersects none of them is provably unaffected by the
+	// batch — the filter the continuous-query monitor applies.
+	Dirty []geom.Rect
+	// Version is the engine version after the batch committed.
+	Version uint64
+}
+
+// Touches reports whether any dirty region of the batch intersects r.
+func (rep *UpdateReport) Touches(r geom.Rect) bool {
+	for _, d := range rep.Dirty {
+		if d.Intersects(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyUpdates applies a batch of updates under a single write-lock
+// acquisition. Failed updates are recorded in the report's Errors and
+// do not abort the batch; deletes of absent ids are counted as
+// Missing. The engine version advances once per batch that applied at
+// least one update.
+//
+// Concurrency: ApplyUpdates blocks until in-flight evaluations release
+// the read lock, applies the whole batch exclusively, and then lets
+// queued evaluations proceed against the new state — queries observe
+// either the entire batch or none of it. Concurrent ApplyUpdates
+// calls serialize with each other.
+func (e *Engine) ApplyUpdates(batch []Update) UpdateReport {
+	var rep UpdateReport
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, u := range batch {
+		if err := e.applyLocked(u, &rep); err != nil {
+			rep.Errors = append(rep.Errors, UpdateError{Index: i, Err: err})
+		}
+	}
+	if rep.Applied > 0 {
+		e.version.Add(1)
+	}
+	rep.Version = e.version.Load()
+	return rep
+}
+
+// applyLocked dispatches one update; the write lock is held.
+func (e *Engine) applyLocked(u Update, rep *UpdateReport) error {
+	switch u.Op {
+	case OpUpsertPoint:
+		if idx, ok := e.pointByID[u.Point.ID]; ok {
+			old := e.points[idx].Loc
+			if err := e.movePointLocked(u.Point.ID, u.Point.Loc); err != nil {
+				return err
+			}
+			rep.Applied++
+			rep.Dirty = append(rep.Dirty, geom.RectAt(old), geom.RectAt(u.Point.Loc))
+			return nil
+		}
+		if err := e.insertPointLocked(u.Point); err != nil {
+			return err
+		}
+		rep.Applied++
+		rep.Dirty = append(rep.Dirty, geom.RectAt(u.Point.Loc))
+		return nil
+	case OpDeletePoint:
+		idx, ok := e.pointByID[u.ID]
+		if !ok {
+			rep.Missing++
+			return nil
+		}
+		old := e.points[idx].Loc
+		if _, err := e.deletePointLocked(u.ID); err != nil {
+			return err
+		}
+		rep.Applied++
+		rep.Dirty = append(rep.Dirty, geom.RectAt(old))
+		return nil
+	case OpUpsertObject:
+		if u.Object == nil {
+			return fmt.Errorf("core: %v with nil object", u.Op)
+		}
+		old, existed := e.objects[u.Object.ID]
+		if err := e.replaceObjectLocked(u.Object); err != nil {
+			return err
+		}
+		rep.Applied++
+		if existed {
+			rep.Dirty = append(rep.Dirty, old.Region())
+		}
+		rep.Dirty = append(rep.Dirty, u.Object.Region())
+		return nil
+	case OpDeleteObject:
+		old, ok := e.objects[u.ID]
+		if !ok {
+			rep.Missing++
+			return nil
+		}
+		if _, err := e.deleteObjectLocked(u.ID); err != nil {
+			return err
+		}
+		rep.Applied++
+		rep.Dirty = append(rep.Dirty, old.Region())
+		return nil
+	default:
+		return fmt.Errorf("core: unknown update op %v", u.Op)
+	}
+}
 
 // InsertPoint adds a point object. Its ID must be new among point
-// objects.
+// objects. Safe to call concurrently with queries (it takes the write
+// lock); batches of updates should prefer ApplyUpdates, which locks
+// once.
 func (e *Engine) InsertPoint(p uncertain.PointObject) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.insertPointLocked(p); err != nil {
+		return err
+	}
+	e.version.Add(1)
+	return nil
+}
+
+func (e *Engine) insertPointLocked(p uncertain.PointObject) error {
 	if _, dup := e.pointByID[p.ID]; dup {
 		return fmt.Errorf("core: point object %d already exists", p.ID)
 	}
@@ -34,8 +230,19 @@ func (e *Engine) InsertPoint(p uncertain.PointObject) error {
 // DeletePoint removes the point object with the given id, reporting
 // whether it existed. The backing slice keeps a tombstone (the slot is
 // never referenced again); long-lived engines with heavy churn should
-// be rebuilt periodically, as with any bulk-loaded index.
+// be rebuilt periodically, as with any bulk-loaded index. Safe to call
+// concurrently with queries.
 func (e *Engine) DeletePoint(id uncertain.ID) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ok, err := e.deletePointLocked(id)
+	if ok && err == nil {
+		e.version.Add(1)
+	}
+	return ok, err
+}
+
+func (e *Engine) deletePointLocked(id uncertain.ID) (bool, error) {
 	idx, ok := e.pointByID[id]
 	if !ok {
 		return false, nil
@@ -51,22 +258,54 @@ func (e *Engine) DeletePoint(id uncertain.ID) (bool, error) {
 	return true, nil
 }
 
-// MovePoint updates a point object's location (delete + insert).
+// MovePoint updates a point object's location (delete + insert). Safe
+// to call concurrently with queries; a query never observes the point
+// half-moved.
 func (e *Engine) MovePoint(id uncertain.ID, to geom.Point) error {
-	ok, err := e.DeletePoint(id)
-	if err != nil {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.movePointLocked(id, to); err != nil {
 		return err
 	}
+	e.version.Add(1)
+	return nil
+}
+
+func (e *Engine) movePointLocked(id uncertain.ID, to geom.Point) error {
+	idx, ok := e.pointByID[id]
 	if !ok {
 		return fmt.Errorf("core: point %d not found", id)
 	}
-	return e.InsertPoint(uncertain.PointObject{ID: id, Loc: to})
+	old := e.points[idx]
+	if _, err := e.deletePointLocked(id); err != nil {
+		return err
+	}
+	if err := e.insertPointLocked(uncertain.PointObject{ID: id, Loc: to}); err != nil {
+		// Restore the old position so a failed move leaves the engine
+		// exactly as it was; the old point inserted cleanly before,
+		// so the restore can only fail on an index I/O error.
+		if rerr := e.insertPointLocked(old); rerr != nil {
+			return fmt.Errorf("core: move failed (%w) and old position not restored: %v", err, rerr)
+		}
+		return err
+	}
+	return nil
 }
 
 // InsertObject adds an uncertain object. Its ID must be new among
 // uncertain objects and its U-catalog must cover the engine's catalog
-// probability values.
+// probability values. Safe to call concurrently with queries.
 func (e *Engine) InsertObject(o *uncertain.Object) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.insertObjectLocked(o); err != nil {
+		return err
+	}
+	e.version.Add(1)
+	return nil
+}
+
+func (e *Engine) insertObjectLocked(o *uncertain.Object) error {
 	if _, dup := e.objects[o.ID]; dup {
 		return fmt.Errorf("core: uncertain object %d already exists", o.ID)
 	}
@@ -78,8 +317,19 @@ func (e *Engine) InsertObject(o *uncertain.Object) error {
 }
 
 // DeleteObject removes the uncertain object with the given id,
-// reporting whether it existed.
+// reporting whether it existed. Safe to call concurrently with
+// queries.
 func (e *Engine) DeleteObject(id uncertain.ID) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ok, err := e.deleteObjectLocked(id)
+	if ok && err == nil {
+		e.version.Add(1)
+	}
+	return ok, err
+}
+
+func (e *Engine) deleteObjectLocked(id uncertain.ID) (bool, error) {
 	o, ok := e.objects[id]
 	if !ok {
 		return false, nil
@@ -97,14 +347,59 @@ func (e *Engine) DeleteObject(id uncertain.ID) (bool, error) {
 
 // ReplaceObject atomically swaps the uncertain object with the given
 // id for a new version (same id, new pdf/region) — a position
-// re-report in the moving-object setting.
+// re-report in the moving-object setting. Safe to call concurrently
+// with queries; a query observes either the old or the new version,
+// never neither.
 func (e *Engine) ReplaceObject(o *uncertain.Object) error {
-	if _, ok := e.objects[o.ID]; ok {
-		if _, err := e.DeleteObject(o.ID); err != nil {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.replaceObjectLocked(o); err != nil {
+		return err
+	}
+	e.version.Add(1)
+	return nil
+}
+
+func (e *Engine) replaceObjectLocked(o *uncertain.Object) error {
+	old, existed := e.objects[o.ID]
+	if existed {
+		if _, err := e.deleteObjectLocked(o.ID); err != nil {
 			return err
 		}
 	}
-	return e.InsertObject(o)
+	if err := e.insertObjectLocked(o); err != nil {
+		// Restore the old version so a failed replace leaves the
+		// engine exactly as it was (the atomicity the method
+		// promises). The old object inserted cleanly before, so the
+		// restore can only fail on an index I/O error.
+		if existed {
+			if rerr := e.insertObjectLocked(old); rerr != nil {
+				return fmt.Errorf("core: replace failed (%w) and old version not restored: %v", err, rerr)
+			}
+		}
+		return err
+	}
+	return nil
+}
+
+// GuardRegion returns the standing-query guard region for q under
+// opts: the index probe region the evaluation method uses — the full
+// Minkowski sum R⊕U0 for MethodBasic (its probe never shrinks),
+// otherwise shrunk to the Qp-expanded region for threshold queries
+// unless opts.DisablePExpansion. The engine's evaluation only ever
+// considers objects whose bounding rectangle intersects this region,
+// so an update batch none of whose dirty rectangles (old or new
+// bounds of every touched object) intersect it provably leaves the
+// query's result unchanged. The continuous-query monitor uses this to
+// skip re-evaluations.
+func GuardRegion(q Query, opts EvalOptions) (geom.Rect, error) {
+	if err := q.Validate(); err != nil {
+		return geom.Rect{}, err
+	}
+	if opts.Method == MethodBasic {
+		return q.Expanded(), nil
+	}
+	return newQueryPlan(q, opts, false).searchReg, nil
 }
 
 // refOf converts a point-slice index to an index ref.

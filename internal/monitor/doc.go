@@ -1,0 +1,35 @@
+// Package monitor serves standing (continuous) imprecise
+// location-dependent queries over a core.Engine under a stream of
+// moving-object updates — the workload the paper's introduction
+// motivates: vehicles continuously re-report imprecise positions
+// while registered queries must keep their answers fresh.
+//
+// A Monitor owns a registry of standing queries. Register evaluates a
+// query once, caches its qualifying set, and returns a Subscription
+// whose Next method yields Deltas — the objects entering and leaving
+// the qualifying set (and probability changes of objects staying)
+// since the previous delta. ApplyUpdates ingests a batch of updates
+// through the engine's write path and incrementally re-evaluates only
+// the standing queries the batch can have affected.
+//
+// The filter is the guard region (core.GuardRegion): the standing
+// query's index probe region — the Minkowski sum R⊕U0, shrunk to the
+// Qp-expanded region for threshold queries. The engine only ever
+// considers objects whose bounds intersect that region, so an update
+// batch none of whose dirty rectangles (old and new bounds of every
+// touched object) intersect a query's guard provably leaves that
+// query's result unchanged: its cached qualifying set stays valid and
+// no evaluation work is spent. Stats.Skipped counts these avoided
+// re-evaluations; under localized update traffic they dominate.
+//
+// Affected queries are re-evaluated through the engine's serialized
+// streaming batch machinery (core.Engine.EvaluateBatchStream), so
+// re-evaluation fans out over Config.Workers, respects the per-query
+// deadline (Config.Options.Timeout) and sample budget (MaxSamples),
+// and benefits from adaptive refinement. A delta stream, replayed in
+// order (delete Left, then upsert Entered and Updated), reconstructs
+// the query's qualifying set exactly as a from-scratch evaluation of
+// the engine state after each batch would report it — coalescing (the
+// back-pressure response for slow consumers) composes deltas and
+// preserves this invariant.
+package monitor

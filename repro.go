@@ -7,6 +7,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/geom"
 	"repro/internal/index/rtree"
+	"repro/internal/monitor"
 	"repro/internal/nn"
 	"repro/internal/pdf"
 	"repro/internal/uncertain"
@@ -210,6 +211,73 @@ const (
 	// TargetPoints evaluates over the point-object database.
 	TargetPoints = core.TargetPoints
 )
+
+// Dynamic-update re-exports. Updates are safe to run concurrently
+// with queries (the engine coordinates writers and readers through
+// its reader–writer lock); ApplyUpdates ingests a whole batch under
+// one lock acquisition.
+type (
+	// Update is one element of an Engine.ApplyUpdates batch.
+	Update = core.Update
+	// UpdateOp selects what an Update does.
+	UpdateOp = core.UpdateOp
+	// UpdateReport summarizes one ingested batch (applied counts,
+	// dirty regions, engine version).
+	UpdateReport = core.UpdateReport
+	// UpdateError records one failed update of a batch.
+	UpdateError = core.UpdateError
+)
+
+// Update operations.
+const (
+	// OpUpsertPoint inserts or moves a point object.
+	OpUpsertPoint = core.OpUpsertPoint
+	// OpDeletePoint removes a point object.
+	OpDeletePoint = core.OpDeletePoint
+	// OpUpsertObject inserts or replaces an uncertain object (a
+	// position re-report).
+	OpUpsertObject = core.OpUpsertObject
+	// OpDeleteObject removes an uncertain object.
+	OpDeleteObject = core.OpDeleteObject
+)
+
+// GuardRegion returns the standing-query guard region for q: the
+// prepared plan's index probe region. An update batch whose dirty
+// rectangles miss it provably leaves q's result unchanged — the
+// filter the continuous-query monitor applies.
+func GuardRegion(q Query, opts EvalOptions) (Rect, error) {
+	return core.GuardRegion(q, opts)
+}
+
+// Continuous-query monitoring re-exports (package internal/monitor).
+type (
+	// Monitor serves standing queries over an engine under a stream
+	// of updates, re-evaluating only the queries each batch can have
+	// affected (guard-region filtering).
+	Monitor = monitor.Monitor
+	// MonitorConfig tunes a Monitor (re-evaluation workers, eval
+	// options, delta-queue bound).
+	MonitorConfig = monitor.Config
+	// MonitorStats are a monitor's lifetime counters.
+	MonitorStats = monitor.Stats
+	// Subscription is one registered standing query: its delta stream
+	// (Next), current answer (Snapshot), and lifecycle (Close).
+	Subscription = monitor.Subscription
+	// SubStats are one subscription's counters.
+	SubStats = monitor.SubStats
+	// Delta is one increment of a standing query's answer: objects
+	// entering/leaving the qualifying set with probabilities.
+	Delta = monitor.Delta
+	// BatchOutcome reports what one Monitor.ApplyUpdates call did.
+	BatchOutcome = monitor.BatchOutcome
+)
+
+// NewMonitor builds a continuous-query monitor over the engine.
+func NewMonitor(e *Engine, cfg MonitorConfig) *Monitor { return monitor.New(e, cfg) }
+
+// ErrSubscriptionClosed is returned by Subscription.Next once the
+// subscription is unregistered and drained.
+var ErrSubscriptionClosed = monitor.ErrClosed
 
 // ObjectQualifier is the prepared form of ObjectQualification: built
 // once per query, it caches the issuer-side state (expanded support,

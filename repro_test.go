@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -271,5 +272,80 @@ func TestPublicAPIConvexRegions(t *testing.T) {
 	}
 	if got := tri.MassIn(repro.RectFromCorners(repro.Pt(0, 0), repro.Pt(5, 5))); math.Abs(got-0.5) > 1e-9 {
 		t.Fatalf("triangle half mass = %g", got)
+	}
+}
+
+// TestPublicAPIContinuousMonitor drives the continuous-query monitor
+// through the facade: a standing query, an update batch through
+// Monitor.ApplyUpdates, delta consumption, and guard-region
+// filtering of an irrelevant batch.
+func TestPublicAPIContinuousMonitor(t *testing.T) {
+	engine, _, _ := buildSmallWorld(t)
+	mon := repro.NewMonitor(engine, repro.MonitorConfig{Workers: 2})
+
+	q := repro.Query{Issuer: newIssuer(t, repro.Pt(5000, 5000), 100), W: 400, H: 400}
+	sub, err := mon.Register(q, repro.TargetUncertain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	snap, err := sub.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Entered) != len(sub.Snapshot()) {
+		t.Fatalf("snapshot delta %d entries, Snapshot %d", len(snap.Entered), len(sub.Snapshot()))
+	}
+
+	// Drop a fresh object into the query range: it must enter.
+	pdf, err := repro.NewUniformPDF(repro.RectCentered(repro.Pt(5000, 5000), 20, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := repro.NewUncertainObject(90001, pdf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mon.ApplyUpdates(context.Background(), []repro.Update{
+		{Op: repro.OpUpsertObject, Object: obj},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Reevaluated != 1 {
+		t.Fatalf("outcome: %+v", out)
+	}
+	d, err := sub.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range d.Entered {
+		if m.ID == 90001 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inserted object missing from delta: %+v", d)
+	}
+
+	// A far-away update is filtered by the guard region.
+	out, err = mon.ApplyUpdates(context.Background(), []repro.Update{
+		{Op: repro.OpUpsertPoint, Point: repro.PointObject{ID: 90002, Loc: repro.Pt(100, 100)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Reevaluated != 0 || out.Skipped != 1 {
+		t.Fatalf("far update not guard-filtered: %+v", out)
+	}
+
+	guard, err := repro.GuardRegion(q, repro.EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !guard.ContainsRect(repro.RectCentered(repro.Pt(5000, 5000), 100, 100)) {
+		t.Fatalf("guard region %v does not cover the issuer", guard)
 	}
 }

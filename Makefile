@@ -1,11 +1,19 @@
 # Developer / CI entry points. `make bench` records the serving
-# trajectory to BENCH_PR3.json (throughput + adaptive refinement +
-# continuous monitoring); BENCH_PR1.json / BENCH_PR2.json stay checked
-# in as the previous revisions' baselines.
+# trajectory to BENCH_PR4.json (throughput + adaptive refinement +
+# continuous monitoring); BENCH_PR1..3.json stay checked in as the
+# previous revisions' baselines. `make bench-regression` replays the
+# same profile and fails (exit 3) if io-bound batch QPS, C-IUQ
+# refinement latency, or ingestion updates/sec regress more than 20%
+# against the checked-in BENCH_PR4.json — the CI perf gate.
 
 GO ?= go
 
-.PHONY: all build test race bench soak
+BENCH_PROFILE = -exp exp-throughput,exp-adaptive,exp-continuous \
+	-points 8000 -rects 10000 -queries 64 -workers 1,2,4 \
+	-threshold 0.1,0.5,0.9 -adaptive-samples 2048 \
+	-standing 64 -update-batches 40 -batch-size 32
+
+.PHONY: all build test race bench bench-regression soak fuzz-smoke lint
 
 all: build test race
 
@@ -19,17 +27,38 @@ test: build
 race:
 	$(GO) test -race ./internal/...
 
-# The continuous-query monitor's concurrency surface, repeated — the
-# CI soak job.
+# The concurrency surfaces under sustained -race repetition — the CI
+# soak job: the continuous-query monitor plus the MVCC snapshot
+# overlap tests (slow pinned evaluations racing update floods).
 soak:
 	$(GO) test -race -run Monitor -count=3 ./internal/monitor/...
+	$(GO) test -race -run Snapshot -count=3 ./internal/core/
 
 # Modest dataset sizes so the bench target finishes in about a minute
 # while still exercising realistic candidate sets.
 bench: build
-	$(GO) run ./cmd/ildq-bench -exp exp-throughput,exp-adaptive,exp-continuous \
-		-points 8000 -rects 10000 -queries 64 -workers 1,2,4 \
-		-threshold 0.1,0.5,0.9 -adaptive-samples 2048 \
-		-standing 64 -update-batches 40 -batch-size 32 \
-		-json BENCH_PR3.json
+	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_PR4.json
 	$(GO) test ./internal/bench -run xxx -bench 'BenchmarkRefine|BenchmarkThroughput' -benchtime 1s
+
+# Re-run the recorded profile and gate against the checked-in
+# baseline. The fresh numbers land in BENCH_CI.json (uploaded as a CI
+# artifact, where multi-core runners also record worker scaling).
+bench-regression: build
+	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_CI.json \
+		-baseline BENCH_PR4.json -regress 0.20
+
+# Short fuzzing smoke over the R-tree: the op-stream target plus the
+# node codec targets.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzRTree -fuzztime=30s ./internal/index/rtree
+	$(GO) test -fuzz=FuzzNodeRoundTrip -fuzztime=15s ./internal/index/rtree
+	$(GO) test -fuzz=FuzzDecodeNode -fuzztime=15s ./internal/index/rtree
+
+# Mirrors the CI lint job: gofmt, vet, and staticcheck when installed
+# (CI installs staticcheck@2025.1.1; offline dev environments fall
+# back to gofmt+vet).
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// The benchmark-regression gate: compare the run just produced against
+// a checked-in baseline report and fail when a guarded metric regresses
+// beyond the tolerance. Guarded metrics, chosen to track the serving
+// trajectory rather than machine noise:
+//
+//   - io-bound batch QPS, per worker count (throughput must not drop:
+//     this is the disk-regime serving curve, and on multi-core runners
+//     it also records worker scaling);
+//   - C-IUQ refinement latency (exp-adaptive's mean per-query
+//     wall-clock, per threshold — the CPU hot path);
+//   - continuous-ingestion updates/sec (exp-continuous — the MVCC
+//     writer path, which snapshot isolation must not tax).
+//
+// Lower-is-better metrics fail above baseline×(1+tol); higher-is-better
+// below baseline×(1−tol). Metrics absent from either side are skipped
+// (a trimmed profile gates only what it measured).
+
+// gateViolation is one failed comparison.
+type gateViolation struct {
+	metric   string
+	baseline float64
+	current  float64
+}
+
+func (v gateViolation) String() string {
+	return fmt.Sprintf("%-52s baseline %12.3f -> current %12.3f", v.metric, v.baseline, v.current)
+}
+
+// runGate compares rep against the baseline file and returns the
+// violations (nil error means the gate ran; the caller decides the
+// exit code).
+func runGate(rep report, baselinePath string, tol float64) ([]gateViolation, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+
+	var out []gateViolation
+	minOK := func(baseline float64) float64 { return baseline * (1 - tol) }
+	maxOK := func(baseline float64) float64 { return baseline * (1 + tol) }
+
+	// io-bound QPS per worker count (higher is better). Reports are
+	// matched by name so a profile emitting several curves never
+	// gates one experiment against another.
+	for _, brep := range base.Throughput {
+		if !strings.HasPrefix(brep.Name, "io-bound") {
+			continue
+		}
+		for _, crep := range rep.Throughput {
+			if crep.Name != brep.Name {
+				continue
+			}
+			for _, bp := range brep.Points {
+				for _, cp := range crep.Points {
+					if cp.Workers != bp.Workers {
+						continue
+					}
+					if cp.QPS < minOK(bp.QPS) {
+						out = append(out, gateViolation{
+							metric:   fmt.Sprintf("io-bound qps (workers=%d)", bp.Workers),
+							baseline: bp.QPS, current: cp.QPS,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// C-IUQ refinement latency per threshold (lower is better).
+	for _, badpt := range base.Adaptive {
+		for _, cadpt := range rep.Adaptive {
+			if cadpt.Name != badpt.Name {
+				continue
+			}
+			for _, bp := range badpt.Points {
+				for _, cp := range cadpt.Points {
+					if cp.Threshold != bp.Threshold {
+						continue
+					}
+					if cp.AdaptiveMS > maxOK(bp.AdaptiveMS) {
+						out = append(out, gateViolation{
+							metric:   fmt.Sprintf("C-IUQ refinement latency ms (qp=%.2f)", bp.Threshold),
+							baseline: bp.AdaptiveMS, current: cp.AdaptiveMS,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Continuous ingestion updates/sec (higher is better).
+	for _, bc := range base.Continuous {
+		for _, cc := range rep.Continuous {
+			if cc.Name != bc.Name {
+				continue
+			}
+			if cc.UpdatesPerSec < minOK(bc.UpdatesPerSec) {
+				out = append(out, gateViolation{
+					metric:   "continuous updates/sec",
+					baseline: bc.UpdatesPerSec, current: cc.UpdatesPerSec,
+				})
+			}
+		}
+	}
+	return out, nil
+}

@@ -62,6 +62,8 @@ func main() {
 		updBatches   = flag.Int("update-batches", 40, "update batches for exp-continuous")
 		updBatchSize = flag.Int("batch-size", 32, "updates per batch for exp-continuous")
 		jsonPath     = flag.String("json", "", "also write results to this file as JSON")
+		baseline     = flag.String("baseline", "", "gate this run against a baseline -json report; exit 3 on regression")
+		regressTol   = flag.Float64("regress", 0.20, "fractional regression tolerance for -baseline")
 	)
 	flag.Parse()
 
@@ -223,6 +225,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "ildq-bench: wrote %s\n", *jsonPath)
+	}
+
+	if *baseline != "" {
+		violations, err := runGate(rep, *baseline, *regressTol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: gate: %v\n", err)
+			os.Exit(1)
+		}
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "ildq-bench: %d metric(s) regressed more than %.0f%% vs %s:\n",
+				len(violations), *regressTol*100, *baseline)
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			os.Exit(3)
+		}
+		fmt.Fprintf(os.Stderr, "ildq-bench: gate vs %s passed (tolerance %.0f%%)\n", *baseline, *regressTol*100)
 	}
 }
 

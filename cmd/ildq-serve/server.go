@@ -412,9 +412,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	st := s.mon.Stats()
 	eng := s.mon.Engine()
-	fmt.Fprintf(w, "ildq_engine_version %d\n", eng.Version())
+	ss := eng.SnapshotStats()
+	fmt.Fprintf(w, "ildq_engine_version %d\n", ss.Version)
 	fmt.Fprintf(w, "ildq_engine_points %d\n", eng.NumPoints())
 	fmt.Fprintf(w, "ildq_engine_uncertain_objects %d\n", eng.NumUncertain())
+	// MVCC snapshot gauges: how stale the newest state is, what
+	// readers still pin, and the reclamation debt their pins hold.
+	fmt.Fprintf(w, "ildq_engine_snapshot_age_seconds %g\n", ss.Age.Seconds())
+	fmt.Fprintf(w, "ildq_engine_snapshot_pins %d\n", ss.Pins)
+	fmt.Fprintf(w, "ildq_engine_snapshot_pinned_states %d\n", ss.PinnedStates)
+	fmt.Fprintf(w, "ildq_engine_snapshot_oldest_pinned_version %d\n", ss.OldestPinnedVersion)
+	fmt.Fprintf(w, "ildq_engine_snapshot_version_lag %d\n", ss.VersionLag)
+	fmt.Fprintf(w, "ildq_engine_snapshot_retired_nodes %d\n", ss.RetiredNodes)
 	fmt.Fprintf(w, "ildq_monitor_registered %d\n", st.Registered)
 	fmt.Fprintf(w, "ildq_monitor_batches_total %d\n", st.Batches)
 	fmt.Fprintf(w, "ildq_monitor_updates_applied_total %d\n", st.UpdatesApplied)

@@ -118,6 +118,10 @@ func TestServeLifecycle(t *testing.T) {
 		"ildq_monitor_batches_total 3",
 		"ildq_monitor_reevals_skipped_total 1",
 		fmt.Sprintf("ildq_query_reevals_total{query=\"%d\"} 3", id),
+		"ildq_engine_snapshot_age_seconds ",
+		"ildq_engine_snapshot_pins 0",
+		"ildq_engine_snapshot_version_lag 0",
+		"ildq_engine_snapshot_retired_nodes 0",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, metrics)

@@ -30,11 +30,17 @@
 //     (EvalOptions.Timeout), per-query sample budgets
 //     (EvalOptions.MaxSamples), and whole-batch cancellation, so
 //     arbitrarily large workloads evaluate in constant memory;
-//   - dynamic updates concurrent with queries: every mutator takes
-//     the engine's write lock and evaluations its read lock, so
-//     position re-reports, joins, and leaves (Engine.ApplyUpdates
-//     batches them under one lock acquisition) interleave safely with
-//     serving, and each committed batch advances Engine.Version;
+//   - dynamic updates concurrent with queries, under MVCC snapshot
+//     isolation: every evaluation pins the immutable engine state
+//     current when it starts and runs lock-free against it, while
+//     mutators build the next state copy-on-write (path-copied index
+//     nodes, bucket-copied object tables) and publish it atomically —
+//     so position re-reports, joins, and leaves (Engine.ApplyUpdates
+//     batches them into one transaction) never wait for in-flight
+//     evaluations and vice versa. Each committed batch advances
+//     Engine.Version; Engine.Snapshot pins one version explicitly
+//     across many evaluations (Snapshot.Close releases it for index
+//     reclamation);
 //   - continuous monitoring: Monitor serves standing queries over the
 //     update stream. Register returns a Subscription streaming delta
 //     results (objects entering/leaving the qualifying set, with

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/uncertain"
+)
+
+// cowTable is the engine's persistent object table: an immutable,
+// bucketed map from object id to value. A published table is never
+// modified; mutation goes through a tableTxn, which copies the bucket
+// spine once and each touched bucket once per transaction, so an
+// update batch pays O(touched buckets) — not O(table) — to produce
+// the next version while readers keep the old one.
+//
+// Buckets hold id-sorted slices: Get is a binary search within one
+// bucket, and bucket copies are flat memmoves. The bucket count is
+// fixed at construction (a power of two sized for ~32 entries per
+// bucket), chosen once from the initial dataset size.
+type cowTable[V any] struct {
+	mask    uint64
+	buckets [][]tabEntry[V]
+	size    int
+}
+
+type tabEntry[V any] struct {
+	id  uncertain.ID
+	val V
+}
+
+// newCowTable builds a table sized for roughly n entries. The bucket
+// count is floored at 64 so an engine built over a small (or empty)
+// initial dataset and grown through updates keeps bucket copies cheap
+// well past 2K entries; beyond that, per-update copy cost grows
+// linearly with bucket fill (resize-on-growth is a noted follow-up —
+// a 64-pointer spine costs nothing meanwhile).
+func newCowTable[V any](n int) *cowTable[V] {
+	b := 64
+	for b*32 < n {
+		b <<= 1
+	}
+	return &cowTable[V]{mask: uint64(b - 1), buckets: make([][]tabEntry[V], b)}
+}
+
+func (t *cowTable[V]) bucketOf(id uncertain.ID) int {
+	// splitmix-style finalizer: sequential dataset ids spread evenly
+	// even when the bucket count exceeds the id range density.
+	x := uint64(id)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x & t.mask)
+}
+
+// find returns the entry's position in its bucket and whether it is
+// present.
+func (t *cowTable[V]) find(id uncertain.ID) (bucket, pos int, ok bool) {
+	b := t.bucketOf(id)
+	s := t.buckets[b]
+	i := sort.Search(len(s), func(i int) bool { return s[i].id >= id })
+	return b, i, i < len(s) && s[i].id == id
+}
+
+// Get returns the value stored under id.
+func (t *cowTable[V]) Get(id uncertain.ID) (V, bool) {
+	b, i, ok := t.find(id)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return t.buckets[b][i].val, true
+}
+
+// Len returns the number of stored entries.
+func (t *cowTable[V]) Len() int { return t.size }
+
+// Range calls fn for every entry until fn returns false. Iteration
+// order is unspecified but deterministic for a given table.
+func (t *cowTable[V]) Range(fn func(id uncertain.ID, v V) bool) {
+	for _, b := range t.buckets {
+		for _, e := range b {
+			if !fn(e.id, e.val) {
+				return
+			}
+		}
+	}
+}
+
+// put inserts or replaces in place — construction-time only, before
+// the table is published.
+func (t *cowTable[V]) put(id uncertain.ID, v V) {
+	b, i, ok := t.find(id)
+	if ok {
+		t.buckets[b][i].val = v
+		return
+	}
+	s := t.buckets[b]
+	s = append(s, tabEntry[V]{})
+	copy(s[i+1:], s[i:])
+	s[i] = tabEntry[V]{id: id, val: v}
+	t.buckets[b] = s
+	t.size++
+}
+
+// tableTxn builds the next version of a table copy-on-write: the spine
+// is copied at construction, each bucket on first touch. The base
+// table is never modified.
+type tableTxn[V any] struct {
+	tab     *cowTable[V]
+	touched map[int]struct{}
+}
+
+// newTableTxn starts a mutation over base.
+func newTableTxn[V any](base *cowTable[V]) *tableTxn[V] {
+	next := &cowTable[V]{
+		mask:    base.mask,
+		buckets: make([][]tabEntry[V], len(base.buckets)),
+		size:    base.size,
+	}
+	copy(next.buckets, base.buckets)
+	return &tableTxn[V]{tab: next, touched: make(map[int]struct{})}
+}
+
+// ownBucket returns bucket b's slice, copying it first if this txn has
+// not touched it yet.
+func (tx *tableTxn[V]) ownBucket(b int) []tabEntry[V] {
+	if _, ok := tx.touched[b]; !ok {
+		src := tx.tab.buckets[b]
+		cp := make([]tabEntry[V], len(src), len(src)+1)
+		copy(cp, src)
+		tx.tab.buckets[b] = cp
+		tx.touched[b] = struct{}{}
+	}
+	return tx.tab.buckets[b]
+}
+
+// Get reads through the txn's current state.
+func (tx *tableTxn[V]) Get(id uncertain.ID) (V, bool) { return tx.tab.Get(id) }
+
+// Put inserts or replaces id's value.
+func (tx *tableTxn[V]) Put(id uncertain.ID, v V) {
+	b, i, ok := tx.tab.find(id)
+	s := tx.ownBucket(b)
+	if ok {
+		s[i].val = v
+		return
+	}
+	s = append(s, tabEntry[V]{})
+	copy(s[i+1:], s[i:])
+	s[i] = tabEntry[V]{id: id, val: v}
+	tx.tab.buckets[b] = s
+	tx.tab.size++
+}
+
+// Delete removes id, reporting whether it was present.
+func (tx *tableTxn[V]) Delete(id uncertain.ID) bool {
+	b, i, ok := tx.tab.find(id)
+	if !ok {
+		return false
+	}
+	s := tx.ownBucket(b)
+	s = append(s[:i], s[i+1:]...)
+	tx.tab.buckets[b] = s
+	tx.tab.size--
+	return true
+}
+
+// Commit returns the built table. The txn must not be used afterwards.
+func (tx *tableTxn[V]) Commit() *cowTable[V] { return tx.tab }

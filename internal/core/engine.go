@@ -35,43 +35,47 @@ type EngineOptions struct {
 // their spatial indexes, and evaluates imprecise location-dependent
 // queries against them. Construction bulk-loads both indexes.
 //
-// Concurrency: the engine is safe for concurrent use, readers and
-// writers alike. Any number of goroutines may call the Evaluate*
-// methods simultaneously — over in-memory or paged node stores (the
-// sharded buffer pool is internally synchronized; physical reads and
-// eviction write-backs overlap across goroutines) — as long as each
-// call uses a distinct EvalOptions.Rng (or leaves it nil inside
-// EvaluateBatch / EvaluateBatchStream, which derive an independent
-// source per query). Every Result carries its own exact per-query
-// Cost: node accesses are counted per search call, not in shared tree
-// state, so concurrent queries do not perturb each other's counters.
+// Concurrency — MVCC snapshot isolation: the engine's state (object
+// tables, index roots, version epoch) is an immutable value swapped
+// atomically by writers. Every evaluation pins the state current when
+// it starts and runs entirely against that snapshot without holding
+// any lock — a long Monte-Carlo refinement never delays ingestion.
+// Conversely, writers (Insert*/Delete*/Move*/Replace*/ApplyUpdates)
+// never wait for readers: they serialize with each other, build the
+// next state copy-on-write (path-copied index nodes, bucket-copied
+// object tables), and publish it inside a short critical section
+// whose cost is independent of in-flight evaluations. A query
+// therefore observes either all of an update batch or none of it —
+// specifically, the newest state published before the evaluation
+// began; use Snapshot to hold one version across several evaluations.
+// Superseded index nodes are reclaimed once the last evaluation
+// pinning them finishes (see SnapshotStats).
 //
-// Mutations (Insert*/Delete*/Move*/Replace*/ApplyUpdates) coordinate
-// with evaluation through the engine's reader–writer lock: each
-// evaluation holds the read lock for its duration, each mutation (or
-// ApplyUpdates batch) the write lock, so a query observes either all
-// of a batch or none of it and never a half-applied update. Every
-// committed mutation advances the engine version (Version), the epoch
-// continuous-query layers key cached results on.
+// Every Result carries its own exact per-query Cost: node accesses
+// are counted per search call, not in shared tree state, so
+// concurrent queries do not perturb each other's counters. Any number
+// of goroutines may call the Evaluate* methods simultaneously — over
+// in-memory or paged node stores (the sharded buffer pool is
+// internally synchronized) — as long as each call uses a distinct
+// EvalOptions.Rng (or leaves it nil inside EvaluateBatch /
+// EvaluateBatchStream, which derive an independent source per query).
 //
-// Determinism: for a fixed engine, query, and options seed, enhanced
-// evaluation is bit-identical at every worker count (serial included):
-// Monte-Carlo refinement derives one sample stream per candidate
-// object, keyed by object id — see refineSurvivors.
+// Determinism: for a fixed engine version, query, and options seed,
+// enhanced evaluation is bit-identical at every worker count (serial
+// included): Monte-Carlo refinement derives one sample stream per
+// candidate object, keyed by object id — see refineSurvivors.
 type Engine struct {
-	// mu coordinates evaluation (read lock) with mutation (write
-	// lock); version counts committed mutation batches.
-	mu      sync.RWMutex
-	version atomic.Uint64
+	// writeMu serializes writers; readers never take it.
+	writeMu sync.Mutex
+	// state is the current published version, swapped under pinMu.
+	state atomic.Pointer[engineState]
 
-	points    []uncertain.PointObject
-	pointByID map[uncertain.ID]int
-	pointIdx  *rtree.Tree
-
-	objects map[uncertain.ID]*uncertain.Object
-	uncIdx  *pti.Index
-
-	probs []float64
+	// pinMu guards the pin table and graveyard — and brackets every
+	// state load-and-pin and every publish, so a state can never be
+	// reclaimed between a reader loading and pinning it.
+	pinMu     sync.Mutex
+	pins      map[uint64]*pinEntry
+	graveyard []retiredBatch
 }
 
 // NewEngine builds an engine over the given datasets. Point object IDs
@@ -87,85 +91,76 @@ func NewEngine(points []uncertain.PointObject, objects []*uncertain.Object, opts
 		opts.UncertainNodeStore = rtree.NewMemNodeStore()
 	}
 
-	e := &Engine{
-		points:    append([]uncertain.PointObject(nil), points...),
-		pointByID: make(map[uncertain.ID]int, len(points)),
-		objects:   make(map[uncertain.ID]*uncertain.Object, len(objects)),
-		probs:     opts.CatalogProbs,
+	st := &engineState{
+		seq:         1,
+		publishedAt: time.Now(),
+		points:      newCowTable[uncertain.PointObject](len(points)),
+		objects:     newCowTable[*uncertain.Object](len(objects)),
+		probs:       opts.CatalogProbs,
 	}
 
-	items := make([]rtree.Item, len(e.points))
-	for i, p := range e.points {
-		if _, dup := e.pointByID[p.ID]; dup {
+	items := make([]rtree.Item, len(points))
+	for i, p := range points {
+		if _, dup := st.points.Get(p.ID); dup {
 			return nil, fmt.Errorf("core: duplicate point object id %d", p.ID)
 		}
-		e.pointByID[p.ID] = i
-		items[i] = rtree.Item{Rect: geom.RectAt(p.Loc), Ref: rtree.Ref(i)}
+		st.points.put(p.ID, p)
+		items[i] = rtree.Item{Rect: geom.RectAt(p.Loc), Ref: rtree.Ref(p.ID)}
 	}
 	var err error
-	e.pointIdx, err = rtree.BulkLoad(opts.PointNodeStore, opts.PointIndexConfig, items)
+	st.pointIdx, err = rtree.BulkLoad(opts.PointNodeStore, opts.PointIndexConfig, items)
 	if err != nil {
 		return nil, fmt.Errorf("core: building point index: %w", err)
 	}
 
 	for _, o := range objects {
-		if _, dup := e.objects[o.ID]; dup {
+		if _, dup := st.objects.Get(o.ID); dup {
 			return nil, fmt.Errorf("core: duplicate uncertain object id %d", o.ID)
 		}
-		e.objects[o.ID] = o
+		st.objects.put(o.ID, o)
 	}
-	e.uncIdx, err = pti.BulkLoad(opts.UncertainNodeStore, opts.CatalogProbs, objects)
+	st.uncIdx, err = pti.BulkLoad(opts.UncertainNodeStore, opts.CatalogProbs, objects)
 	if err != nil {
 		return nil, fmt.Errorf("core: building PTI: %w", err)
 	}
+
+	e := &Engine{pins: make(map[uint64]*pinEntry)}
+	e.state.Store(st)
 	return e, nil
 }
 
 // NumPoints returns the number of point objects.
-func (e *Engine) NumPoints() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.points)
-}
+func (e *Engine) NumPoints() int { return e.state.Load().points.Len() }
 
 // NumUncertain returns the number of uncertain objects.
-func (e *Engine) NumUncertain() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.objects)
-}
+func (e *Engine) NumUncertain() int { return e.state.Load().objects.Len() }
 
 // Version returns the engine's mutation epoch: it advances once per
 // committed mutation (or ApplyUpdates batch), never otherwise. Two
 // evaluations bracketed by equal versions saw identical data.
-func (e *Engine) Version() uint64 { return e.version.Load() }
+func (e *Engine) Version() uint64 { return e.state.Load().version }
 
-// Point returns the point object with the given id.
+// Point returns the point object with the given id (in the current
+// version).
 func (e *Engine) Point(id uncertain.ID) (uncertain.PointObject, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	i, ok := e.pointByID[id]
-	if !ok {
-		return uncertain.PointObject{}, false
-	}
-	return e.points[i], true
+	return e.state.Load().points.Get(id)
 }
 
-// Object returns the uncertain object with the given id.
+// Object returns the uncertain object with the given id (in the
+// current version).
 func (e *Engine) Object(id uncertain.ID) (*uncertain.Object, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	o, ok := e.objects[id]
-	return o, ok
+	return e.state.Load().objects.Get(id)
 }
 
-// PointIndex exposes the point R-tree (for statistics). Must not be
-// used concurrently with mutations.
-func (e *Engine) PointIndex() *rtree.Tree { return e.pointIdx }
+// PointIndex exposes the current version's point R-tree (for
+// statistics). Walking it is only safe while no mutation commits; pin
+// a Snapshot to hold a version across mutations.
+func (e *Engine) PointIndex() *rtree.Tree { return e.state.Load().pointIdx }
 
-// UncertainIndex exposes the PTI (for statistics). Must not be used
-// concurrently with mutations.
-func (e *Engine) UncertainIndex() *pti.Index { return e.uncIdx }
+// UncertainIndex exposes the current version's PTI (for statistics).
+// Walking it is only safe while no mutation commits; pin a Snapshot
+// to hold a version across mutations.
+func (e *Engine) UncertainIndex() *pti.Index { return e.state.Load().uncIdx }
 
 // EvalOptions tunes one query evaluation.
 type EvalOptions struct {
@@ -251,27 +246,35 @@ func (e *Engine) EvaluatePoints(q Query, opts EvalOptions) (Result, error) {
 
 // EvaluatePointsContext is EvaluatePoints bounded by ctx (and by
 // opts.Timeout, whichever expires first): cancellation is observed at
-// candidate granularity and surfaces as the context's error.
+// candidate granularity and surfaces as the context's error. The
+// evaluation runs against the snapshot current at the call, pinned
+// lock-free for its duration.
 func (e *Engine) EvaluatePointsContext(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
+	st := e.acquireState()
+	defer e.releaseState(st)
+	return st.evaluatePoints(ctx, q, opts)
+}
+
+// evaluatePoints validates, applies defaults and deadline, and
+// dispatches a point-database evaluation against this state.
+func (st *engineState) evaluatePoints(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
 	if err := q.Validate(); err != nil {
 		return Result{}, err
 	}
 	opts = opts.withDefaults()
 	ctx, cancel := opts.evalContext(ctx)
 	defer cancel()
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	switch opts.Method {
 	case MethodEnhanced:
-		return e.evaluatePointsEnhanced(ctx, q, opts)
+		return st.evaluatePointsEnhanced(ctx, q, opts)
 	case MethodBasic:
-		return e.evaluatePointsBasic(ctx, q, opts)
+		return st.evaluatePointsBasic(ctx, q, opts)
 	default:
 		return Result{}, fmt.Errorf("%w: %v", ErrUnknownMethod, opts.Method)
 	}
 }
 
-func (e *Engine) evaluatePointsEnhanced(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
+func (st *engineState) evaluatePointsEnhanced(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
 	start := time.Now()
 	var res Result
 
@@ -296,7 +299,7 @@ func (e *Engine) evaluatePointsEnhanced(ctx context.Context, q Query, opts EvalO
 	if q.Threshold > 0 && opts.Object.Adaptive == AdaptiveAuto {
 		stopQP = q.Threshold
 	}
-	na, err := e.pointIdx.SearchCounted(plan.searchReg, nil, func(en rtree.Entry) bool {
+	na, err := st.pointIdx.SearchCounted(plan.searchReg, nil, func(en rtree.Entry) bool {
 		if canceled(ctx) != nil {
 			return false
 		}
@@ -306,7 +309,10 @@ func (e *Engine) evaluatePointsEnhanced(ctx context.Context, q Query, opts EvalO
 			return false
 		}
 		res.Cost.Candidates++
-		p := e.points[int(en.Ref)]
+		p, ok := st.points.Get(uncertain.ID(en.Ref))
+		if !ok {
+			return true // index/table torn only by construction bugs
+		}
 		res.Cost.Refined++
 		var prob float64
 		if opts.PointMCSamples > 0 {
@@ -344,7 +350,7 @@ func (e *Engine) evaluatePointsEnhanced(ctx context.Context, q Query, opts EvalO
 	return res, nil
 }
 
-func (e *Engine) evaluatePointsBasic(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
+func (st *engineState) evaluatePointsBasic(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
 	start := time.Now()
 	var res Result
 
@@ -352,8 +358,19 @@ func (e *Engine) evaluatePointsBasic(ctx context.Context, q Query, opts EvalOpti
 	// paper's observations the best available filter is the plain
 	// Minkowski range (its absence would mean scanning the whole
 	// database, making the baseline look arbitrarily bad).
+	//
+	// Its issuer-sampling loop supports the same adaptive early
+	// termination as the Monte-Carlo refiners: for a threshold query
+	// (unless Object.Adaptive turns it off) sampling stops once a
+	// certainty or confidence bound decides the candidate against the
+	// threshold, with the actual draws recorded in SamplesUsed and the
+	// saves in EarlyStopped.
+	stopQP := 0.0
+	if q.Threshold > 0 && opts.Object.Adaptive == AdaptiveAuto {
+		stopQP = q.Threshold
+	}
 	searchReg := q.Expanded()
-	na, err := e.pointIdx.SearchCounted(searchReg, nil, func(en rtree.Entry) bool {
+	na, err := st.pointIdx.SearchCounted(searchReg, nil, func(en rtree.Entry) bool {
 		if canceled(ctx) != nil {
 			return false
 		}
@@ -361,10 +378,17 @@ func (e *Engine) evaluatePointsBasic(ctx context.Context, q Query, opts EvalOpti
 			return false
 		}
 		res.Cost.Candidates++
+		p, ok := st.points.Get(uncertain.ID(en.Ref))
+		if !ok {
+			return true
+		}
 		res.Cost.Refined++
-		p := e.points[int(en.Ref)]
-		prob := PointQualificationBasic(q.Issuer.PDF, p.Loc, q.W, q.H, opts.BasicSamples, opts.Rng)
-		res.Cost.SamplesUsed += int64(opts.BasicSamples)
+		prob, n, early := pointQualificationMCThreshold(q.Issuer.PDF, p.Loc, q.W, q.H,
+			stopQP, opts.BasicSamples, opts.Object.MCBlock, opts.Object.MCDelta, opts.Rng)
+		res.Cost.SamplesUsed += int64(n)
+		if early {
+			res.Cost.EarlyStopped++
+		}
 		if accept(prob, q.Threshold) {
 			res.Matches = append(res.Matches, Match{ID: p.ID, P: prob})
 		} else {
@@ -396,21 +420,28 @@ func (e *Engine) EvaluateUncertain(q Query, opts EvalOptions) (Result, error) {
 // EvaluateUncertainContext is EvaluateUncertain bounded by ctx (and by
 // opts.Timeout, whichever expires first): cancellation is observed at
 // candidate granularity — during both the index probe and refinement —
-// and surfaces as the context's error.
+// and surfaces as the context's error. The evaluation runs against the
+// snapshot current at the call, pinned lock-free for its duration.
 func (e *Engine) EvaluateUncertainContext(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
+	st := e.acquireState()
+	defer e.releaseState(st)
+	return st.evaluateUncertain(ctx, q, opts, 1)
+}
+
+// evaluateUncertain validates, applies defaults and deadline, and
+// dispatches an uncertain-database evaluation against this state.
+func (st *engineState) evaluateUncertain(ctx context.Context, q Query, opts EvalOptions, workers int) (Result, error) {
 	if err := q.Validate(); err != nil {
 		return Result{}, err
 	}
 	opts = opts.withDefaults()
 	ctx, cancel := opts.evalContext(ctx)
 	defer cancel()
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	switch opts.Method {
 	case MethodEnhanced:
-		return e.evaluateUncertainEnhanced(ctx, q, opts, 1)
+		return st.evaluateUncertainEnhanced(ctx, q, opts, workers)
 	case MethodBasic:
-		return e.evaluateUncertainBasic(ctx, q, opts)
+		return st.evaluateUncertainBasic(ctx, q, opts)
 	default:
 		return Result{}, fmt.Errorf("%w: %v", ErrUnknownMethod, opts.Method)
 	}
@@ -422,7 +453,7 @@ func (e *Engine) EvaluateUncertainContext(ctx context.Context, q Query, opts Eva
 // CPU time goes — runs over the prepared query plan, optionally split
 // across a worker pool (see refineSurvivors). ctx must already carry
 // any opts.Timeout bound.
-func (e *Engine) evaluateUncertainEnhanced(ctx context.Context, q Query, opts EvalOptions, workers int) (Result, error) {
+func (st *engineState) evaluateUncertainEnhanced(ctx context.Context, q Query, opts EvalOptions, workers int) (Result, error) {
 	start := time.Now()
 	var res Result
 
@@ -438,7 +469,10 @@ func (e *Engine) evaluateUncertainEnhanced(ctx context.Context, q Query, opts Ev
 			return false
 		}
 		res.Cost.Candidates++
-		obj := e.objects[id]
+		obj, ok := st.objects.Get(id)
+		if !ok {
+			return true
+		}
 		switch PruneUncertain(q, obj, plan.expanded, plan.searchReg, opts.Strategies) {
 		case PrunedEmptyOverlap:
 			// Zero probability; simply not a match.
@@ -457,9 +491,9 @@ func (e *Engine) evaluateUncertainEnhanced(ctx context.Context, q Query, opts Ev
 	var na int64
 	var err error
 	if q.Threshold > 0 && !opts.DisableIndexPruning {
-		na, err = e.uncIdx.ThresholdSearchCounted(plan.searchReg, plan.expanded, q.Threshold, visit)
+		na, err = st.uncIdx.ThresholdSearchCounted(plan.searchReg, plan.expanded, q.Threshold, visit)
 	} else {
-		na, err = e.uncIdx.RangeSearchCounted(plan.searchReg, visit)
+		na, err = st.uncIdx.RangeSearchCounted(plan.searchReg, visit)
 	}
 	if err != nil {
 		return Result{}, err
@@ -488,12 +522,19 @@ func (e *Engine) evaluateUncertainEnhanced(ctx context.Context, q Query, opts Ev
 	return res, nil
 }
 
-func (e *Engine) evaluateUncertainBasic(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
+func (st *engineState) evaluateUncertainBasic(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
 	start := time.Now()
 	var res Result
 
+	// The basic issuer-sampling loop early-terminates against a real
+	// threshold like every other refinement path; see
+	// ObjectQualificationBasicThreshold.
+	stopQP := 0.0
+	if q.Threshold > 0 && opts.Object.Adaptive == AdaptiveAuto {
+		stopQP = q.Threshold
+	}
 	expanded := q.Expanded()
-	na, err := e.uncIdx.RangeSearchCounted(expanded, func(id uncertain.ID) bool {
+	na, err := st.uncIdx.RangeSearchCounted(expanded, func(id uncertain.ID) bool {
 		if canceled(ctx) != nil {
 			return false
 		}
@@ -501,10 +542,17 @@ func (e *Engine) evaluateUncertainBasic(ctx context.Context, q Query, opts EvalO
 			return false
 		}
 		res.Cost.Candidates++
+		obj, ok := st.objects.Get(id)
+		if !ok {
+			return true
+		}
 		res.Cost.Refined++
-		obj := e.objects[id]
-		prob := ObjectQualificationBasic(q.Issuer.PDF, obj.PDF, q.W, q.H, opts.BasicSamples, opts.Rng)
-		res.Cost.SamplesUsed += int64(opts.BasicSamples)
+		prob, n, early := objectQualificationBasicThreshold(q.Issuer.PDF, obj.PDF, q.W, q.H,
+			stopQP, opts.BasicSamples, opts.Object.MCBlock, opts.Object.MCDelta, opts.Rng)
+		res.Cost.SamplesUsed += int64(n)
+		if early {
+			res.Cost.EarlyStopped++
+		}
 		if accept(prob, q.Threshold) {
 			res.Matches = append(res.Matches, Match{ID: id, P: prob})
 		} else {

@@ -196,13 +196,7 @@ func (e *Engine) EvaluateUncertainParallel(q Query, opts EvalOptions, workers in
 	if workers <= 1 {
 		return e.EvaluateUncertain(q, opts)
 	}
-	if err := q.Validate(); err != nil {
-		return Result{}, err
-	}
-	opts = opts.withDefaults()
-	ctx, cancel := opts.evalContext(context.Background())
-	defer cancel()
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.evaluateUncertainEnhanced(ctx, q, opts, workers)
+	st := e.acquireState()
+	defer e.releaseState(st)
+	return st.evaluateUncertain(context.Background(), q, opts, workers)
 }

@@ -306,14 +306,69 @@ func PointQualificationThreshold(issuer pdf.PDF, s geom.Point, w, h, qp float64,
 // integrations per object regardless of how little of U0 matters,
 // which is what Figure 8 shows losing to the enhanced method.
 func ObjectQualificationBasic(issuer, obj pdf.PDF, w, h float64, n int, rng *rand.Rand) float64 {
-	if n <= 0 {
-		return 0
+	p, _, _ := objectQualificationBasicThreshold(issuer, obj, w, h, 0, n, 0, 0, rng)
+	return p
+}
+
+// objectQualificationBasicThreshold is the basic (§3.3)
+// issuer-sampling loop with adaptive early termination against the
+// probability threshold qp — the same certainty / Hoeffding /
+// empirical-Bernstein stopping rule every other Monte-Carlo
+// refinement path applies (thresholdDecided): the per-sample masses
+// lie in [0, 1], sampling runs in blocks of block, and for qp > 0 the
+// loop stops once a bound proves which side of qp the candidate falls
+// on. It returns the estimate, the issuer samples actually drawn, and
+// whether a bound terminated the loop early; qp <= 0 degenerates to
+// the full-budget ObjectQualificationBasic, consuming rng
+// identically.
+func objectQualificationBasicThreshold(issuer, obj pdf.PDF, w, h, qp float64, total, block int, delta float64, rng *rand.Rand) (float64, int, bool) {
+	if total <= 0 {
+		return 0, 0, false
 	}
-	var sum float64
-	for i := 0; i < n; i++ {
-		sum += obj.MassIn(geom.RectCentered(issuer.Sample(rng), w, h))
+	if block <= 0 {
+		block = 64
 	}
-	return clampProb(sum / float64(n))
+	if delta <= 0 {
+		delta = 1e-6
+	}
+	var sum, sumSq float64
+	n := 0
+	for n < total {
+		b := block
+		if b > total-n {
+			b = total - n
+		}
+		for j := 0; j < b; j++ {
+			v := obj.MassIn(geom.RectCentered(issuer.Sample(rng), w, h))
+			sum += v
+			sumSq += v * v
+		}
+		n += b
+		if n >= total || qp <= 0 {
+			continue
+		}
+		if p, done := thresholdDecided(sum, sumSq, n, total, qp, delta); done {
+			return p, n, true
+		}
+	}
+	return clampProb(sum / float64(total)), total, false
+}
+
+// ObjectQualificationBasicThreshold is ObjectQualificationBasic with
+// adaptive early termination against the probability threshold qp:
+// it returns the estimate, the issuer samples drawn, and whether a
+// bound stopped sampling before the full budget n. Block size and
+// confidence follow cfg (MCBlock / MCDelta); see
+// ObjectEvalConfig.Adaptive for the stopping rule.
+func ObjectQualificationBasicThreshold(issuer, obj pdf.PDF, w, h, qp float64, n int, cfg ObjectEvalConfig, rng *rand.Rand) (float64, int, bool) {
+	cfg = cfg.withDefaults()
+	if rng == nil {
+		rng = cfg.Rng
+	}
+	if cfg.Adaptive != AdaptiveAuto {
+		qp = 0
+	}
+	return objectQualificationBasicThreshold(issuer, obj, w, h, qp, n, cfg.MCBlock, cfg.MCDelta, rng)
 }
 
 // axisFactor computes the one-dimensional factor of Lemma 4 for one

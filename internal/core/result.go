@@ -112,13 +112,17 @@ type BatchQuery struct {
 //
 // The read path is safe for this concurrency over both in-memory and
 // paged engines, and each result carries its own exact Cost counters;
-// see the Engine concurrency documentation. For workloads too large to
-// materialize a result slice — or that need per-query deadlines and
-// cancellation — use EvaluateBatchStream.
+// see the Engine concurrency documentation. The whole batch runs
+// against one pinned snapshot: every query observes the same engine
+// version no matter how many updates commit while the batch drains.
+// For workloads too large to materialize a result slice — or that
+// need per-query deadlines and cancellation — use EvaluateBatchStream.
 func (e *Engine) EvaluateBatch(queries []BatchQuery, opts EvalOptions, workers int) []BatchResult {
 	out := make([]BatchResult, len(queries))
+	st := e.acquireState()
+	defer e.releaseState(st)
 	// Delivery writes disjoint slots, so no serialization is needed.
-	e.batchRun(context.Background(), queries, opts.withDefaults(), workers, func(i int, br BatchResult) {
+	st.batchRun(context.Background(), queries, opts.withDefaults(), workers, func(i int, br BatchResult) {
 		out[i] = br
 	})
 	return out
@@ -143,8 +147,17 @@ type StreamHandler func(i int, br BatchResult)
 // ctx.Err(). opts.Timeout, if set, is the per-query deadline: a query
 // exceeding it delivers Err == context.DeadlineExceeded to fn and the
 // batch continues. A nil fn discards results (useful for warm-up and
-// load generation).
+// load generation). Like EvaluateBatch, the whole stream runs against
+// one pinned snapshot: every query observes the same engine version.
 func (e *Engine) EvaluateBatchStream(ctx context.Context, queries []BatchQuery, opts EvalOptions, workers int, fn StreamHandler) error {
+	st := e.acquireState()
+	defer e.releaseState(st)
+	return st.evaluateBatchStream(ctx, queries, opts, workers, fn)
+}
+
+// evaluateBatchStream is the state-level streaming batch evaluator
+// shared by the engine and snapshot entry points.
+func (st *engineState) evaluateBatchStream(ctx context.Context, queries []BatchQuery, opts EvalOptions, workers int, fn StreamHandler) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -157,7 +170,7 @@ func (e *Engine) EvaluateBatchStream(ctx context.Context, queries []BatchQuery, 
 		fn(i, br)
 		mu.Unlock()
 	}
-	e.batchRun(ctx, queries, opts.withDefaults(), workers, deliver)
+	st.batchRun(ctx, queries, opts.withDefaults(), workers, deliver)
 	return ctx.Err()
 }
 
@@ -165,7 +178,7 @@ func (e *Engine) EvaluateBatchStream(ctx context.Context, queries []BatchQuery, 
 // on the calling goroutine) and hands each finished query to deliver.
 // opts must already carry defaults. Dispatch stops once ctx is done;
 // queries never dispatched produce no delivery.
-func (e *Engine) batchRun(ctx context.Context, queries []BatchQuery, opts EvalOptions, workers int, deliver func(int, BatchResult)) {
+func (st *engineState) batchRun(ctx context.Context, queries []BatchQuery, opts EvalOptions, workers int, deliver func(int, BatchResult)) {
 	parent := opts.Rng.Int63()
 	eval := func(i int) {
 		o := opts
@@ -176,9 +189,9 @@ func (e *Engine) batchRun(ctx context.Context, queries []BatchQuery, opts EvalOp
 			err error
 		)
 		if queries[i].Target == TargetPoints {
-			r, err = e.EvaluatePointsContext(ctx, queries[i].Query, o)
+			r, err = st.evaluatePoints(ctx, queries[i].Query, o)
 		} else {
-			r, err = e.EvaluateUncertainContext(ctx, queries[i].Query, o)
+			r, err = st.evaluateUncertain(ctx, queries[i].Query, o, 1)
 		}
 		deliver(i, BatchResult{Result: r, Err: err})
 	}

@@ -2,21 +2,27 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/geom"
+	"repro/internal/index/pti"
 	"repro/internal/index/rtree"
 	"repro/internal/uncertain"
 )
 
 // The engine supports dynamic updates — the moving-object setting the
 // paper targets has vehicles joining, leaving, and re-reporting
-// positions continuously. Updates maintain both indexes and are safe
-// to run concurrently with queries: every mutator takes the engine's
-// write lock, every evaluation holds the read lock for its duration
-// (see the Engine concurrency documentation), and ApplyUpdates
-// amortizes the lock acquisition over a whole batch. Each committed
-// mutation advances the engine version (Engine.Version), giving
-// continuous-query layers an epoch to key cached results on.
+// positions continuously. Updates maintain both indexes and run
+// concurrently with queries under MVCC snapshot isolation: a mutation
+// builds the next engine state copy-on-write (path-copied index
+// nodes, bucket-copied object tables) and publishes it atomically, so
+// it never waits for in-flight evaluations — and evaluations, pinned
+// to the state current when they started, never see a half-applied
+// update. ApplyUpdates amortizes the copy-on-write work over a whole
+// batch (each touched index path and table bucket is copied at most
+// once per batch). Each committed mutation advances the engine
+// version (Engine.Version), the epoch continuous-query layers key
+// cached results on.
 
 // UpdateOp selects what one Update does. All operations are
 // upsert-shaped where that is meaningful, so a position re-report does
@@ -107,71 +113,238 @@ func (rep *UpdateReport) Touches(r geom.Rect) bool {
 	return false
 }
 
-// ApplyUpdates applies a batch of updates under a single write-lock
-// acquisition. Failed updates are recorded in the report's Errors and
-// do not abort the batch; deletes of absent ids are counted as
-// Missing. The engine version advances once per batch that applied at
-// least one update.
-//
-// Concurrency: ApplyUpdates blocks until in-flight evaluations release
-// the read lock, applies the whole batch exclusively, and then lets
-// queued evaluations proceed against the new state — queries observe
-// either the entire batch or none of it. Concurrent ApplyUpdates
-// calls serialize with each other.
-func (e *Engine) ApplyUpdates(batch []Update) UpdateReport {
-	var rep UpdateReport
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for i, u := range batch {
-		if err := e.applyLocked(u, &rep); err != nil {
-			rep.Errors = append(rep.Errors, UpdateError{Index: i, Err: err})
+// stateTxn builds the next engine state copy-on-write over a base
+// version. Tables and trees are cloned lazily, on first touch, so a
+// batch pays only for the structures it actually mutates; reads fall
+// through to the base until then. A txn is single-goroutine (the
+// engine's writeMu serializes writers).
+type stateTxn struct {
+	base *engineState
+
+	points   *tableTxn[uncertain.PointObject]
+	pointIdx *rtree.Tree
+
+	objects *tableTxn[*uncertain.Object]
+	uncIdx  *pti.Index
+}
+
+func newStateTxn(base *engineState) *stateTxn { return &stateTxn{base: base} }
+
+func (tx *stateTxn) pointTable() *tableTxn[uncertain.PointObject] {
+	if tx.points == nil {
+		tx.points = newTableTxn(tx.base.points)
+	}
+	return tx.points
+}
+
+func (tx *stateTxn) pointTree() *rtree.Tree {
+	if tx.pointIdx == nil {
+		tx.pointIdx = tx.base.pointIdx.CloneCOW()
+	}
+	return tx.pointIdx
+}
+
+func (tx *stateTxn) objectTable() *tableTxn[*uncertain.Object] {
+	if tx.objects == nil {
+		tx.objects = newTableTxn(tx.base.objects)
+	}
+	return tx.objects
+}
+
+func (tx *stateTxn) uncTree() *pti.Index {
+	if tx.uncIdx == nil {
+		tx.uncIdx = tx.base.uncIdx.CloneCOW()
+	}
+	return tx.uncIdx
+}
+
+func (tx *stateTxn) getPoint(id uncertain.ID) (uncertain.PointObject, bool) {
+	if tx.points != nil {
+		return tx.points.Get(id)
+	}
+	return tx.base.points.Get(id)
+}
+
+func (tx *stateTxn) getObject(id uncertain.ID) (*uncertain.Object, bool) {
+	if tx.objects != nil {
+		return tx.objects.Get(id)
+	}
+	return tx.base.objects.Get(id)
+}
+
+// touched reports whether the txn physically diverged from its base.
+func (tx *stateTxn) touched() bool {
+	return tx.points != nil || tx.pointIdx != nil || tx.objects != nil || tx.uncIdx != nil
+}
+
+// discard throws the txn away instead of publishing it: the cloned
+// trees' private nodes are freed and the base state — untouched by
+// construction under copy-on-write — simply remains current. Single
+// mutators call this on error so a mutation that failed mid-way
+// through an index operation can never publish a torn tree. (Batch
+// application cannot: later updates of the batch must still apply, so
+// its per-update error paths restore logical state instead — see
+// apply.)
+func (tx *stateTxn) discard() {
+	if tx.pointIdx != nil {
+		_ = tx.pointIdx.AbortCOW()
+	}
+	if tx.uncIdx != nil {
+		_ = tx.uncIdx.Abort()
+	}
+}
+
+// finish seals the txn into the next engine state plus the retired
+// index nodes, or returns nil if nothing was touched. seq, version
+// and publishedAt are the caller's to fill.
+func (tx *stateTxn) finish() (*engineState, retiredBatch) {
+	if !tx.touched() {
+		return nil, retiredBatch{}
+	}
+	st := &engineState{
+		points:   tx.base.points,
+		pointIdx: tx.base.pointIdx,
+		objects:  tx.base.objects,
+		uncIdx:   tx.base.uncIdx,
+		probs:    tx.base.probs,
+	}
+	var retired retiredBatch
+	if tx.points != nil {
+		st.points = tx.points.Commit()
+	}
+	if tx.pointIdx != nil {
+		st.pointIdx = tx.pointIdx
+		retired.pointNodes = tx.pointIdx.Seal()
+	}
+	if tx.objects != nil {
+		st.objects = tx.objects.Commit()
+	}
+	if tx.uncIdx != nil {
+		st.uncIdx = tx.uncIdx
+		retired.uncNodes = tx.uncIdx.Seal()
+	}
+	return st, retired
+}
+
+// publishLocked seals and publishes tx. advance controls whether the
+// public version epoch moves (mutators that logically changed
+// nothing — a failed single mutation whose rollback restored the base
+// contents, a batch that applied zero updates — publish their
+// physical state, if any, without advancing the epoch: equal versions
+// must mean identical contents). pin additionally returns a pinned
+// snapshot of the resulting state, taken atomically with the publish —
+// the post-batch view continuous-query layers evaluate against.
+// writeMu is held; this is the writer's entire critical section with
+// respect to readers, and none of it waits for them.
+func (e *Engine) publishLocked(tx *stateTxn, advance, pin bool) (*engineState, *Snapshot) {
+	base := tx.base
+	st, retired := tx.finish()
+	var freeable []retiredBatch
+	var snap *Snapshot
+
+	e.pinMu.Lock()
+	if st == nil {
+		st = base
+	} else {
+		st.seq = base.seq + 1
+		st.version = base.version
+		if advance {
+			st.version++
+		}
+		st.publishedAt = time.Now()
+		e.state.Store(st)
+		if len(retired.pointNodes) > 0 || len(retired.uncNodes) > 0 {
+			retired.seq = base.seq
+			e.graveyard = append(e.graveyard, retired)
 		}
 	}
-	if rep.Applied > 0 {
-		e.version.Add(1)
+	if pin {
+		e.pinLocked(st)
+		snap = &Snapshot{e: e, st: st}
 	}
-	rep.Version = e.version.Load()
+	freeable = e.collectFreeableLocked()
+	e.pinMu.Unlock()
+
+	e.freeRetired(freeable)
+	return st, snap
+}
+
+// ApplyUpdates applies a batch of updates as one transaction. Failed
+// updates are recorded in the report's Errors and do not abort the
+// batch; deletes of absent ids are counted as Missing. The engine
+// version advances once per batch that applied at least one update.
+//
+// Concurrency: the batch is built copy-on-write against the current
+// version and published atomically — queries observe either the
+// entire batch or none of it, and ApplyUpdates never waits for
+// in-flight evaluations (writers only serialize with each other).
+func (e *Engine) ApplyUpdates(batch []Update) UpdateReport {
+	rep, _ := e.applyUpdates(batch, false)
 	return rep
 }
 
-// applyLocked dispatches one update; the write lock is held.
-func (e *Engine) applyLocked(u Update, rep *UpdateReport) error {
+// ApplyUpdatesSnapshot is ApplyUpdates additionally returning a
+// pinned snapshot of the post-batch state, taken atomically with the
+// commit: no concurrent mutation can slip between the batch and the
+// snapshot. It is the ingestion entry point for continuous-query
+// layers, whose incremental re-evaluations must observe exactly the
+// version the report describes. The caller must Close the snapshot.
+func (e *Engine) ApplyUpdatesSnapshot(batch []Update) (UpdateReport, *Snapshot) {
+	return e.applyUpdates(batch, true)
+}
+
+func (e *Engine) applyUpdates(batch []Update, pin bool) (UpdateReport, *Snapshot) {
+	var rep UpdateReport
+	e.writeMu.Lock()
+	tx := newStateTxn(e.state.Load())
+	for i, u := range batch {
+		if err := tx.apply(u, &rep); err != nil {
+			rep.Errors = append(rep.Errors, UpdateError{Index: i, Err: err})
+		}
+	}
+	st, snap := e.publishLocked(tx, rep.Applied > 0, pin)
+	e.writeMu.Unlock()
+	rep.Version = st.version
+	return rep, snap
+}
+
+// apply dispatches one update onto the txn.
+func (tx *stateTxn) apply(u Update, rep *UpdateReport) error {
 	switch u.Op {
 	case OpUpsertPoint:
-		if idx, ok := e.pointByID[u.Point.ID]; ok {
-			old := e.points[idx].Loc
-			if err := e.movePointLocked(u.Point.ID, u.Point.Loc); err != nil {
+		if p, ok := tx.getPoint(u.Point.ID); ok {
+			old := p.Loc
+			if err := tx.movePoint(u.Point.ID, u.Point.Loc); err != nil {
 				return err
 			}
 			rep.Applied++
 			rep.Dirty = append(rep.Dirty, geom.RectAt(old), geom.RectAt(u.Point.Loc))
 			return nil
 		}
-		if err := e.insertPointLocked(u.Point); err != nil {
+		if err := tx.insertPoint(u.Point); err != nil {
 			return err
 		}
 		rep.Applied++
 		rep.Dirty = append(rep.Dirty, geom.RectAt(u.Point.Loc))
 		return nil
 	case OpDeletePoint:
-		idx, ok := e.pointByID[u.ID]
+		p, ok := tx.getPoint(u.ID)
 		if !ok {
 			rep.Missing++
 			return nil
 		}
-		old := e.points[idx].Loc
-		if _, err := e.deletePointLocked(u.ID); err != nil {
+		if _, err := tx.deletePoint(u.ID); err != nil {
 			return err
 		}
 		rep.Applied++
-		rep.Dirty = append(rep.Dirty, geom.RectAt(old))
+		rep.Dirty = append(rep.Dirty, geom.RectAt(p.Loc))
 		return nil
 	case OpUpsertObject:
 		if u.Object == nil {
 			return fmt.Errorf("core: %v with nil object", u.Op)
 		}
-		old, existed := e.objects[u.Object.ID]
-		if err := e.replaceObjectLocked(u.Object); err != nil {
+		old, existed := tx.getObject(u.Object.ID)
+		if err := tx.replaceObject(u.Object); err != nil {
 			return err
 		}
 		rep.Applied++
@@ -181,12 +354,12 @@ func (e *Engine) applyLocked(u Update, rep *UpdateReport) error {
 		rep.Dirty = append(rep.Dirty, u.Object.Region())
 		return nil
 	case OpDeleteObject:
-		old, ok := e.objects[u.ID]
+		old, ok := tx.getObject(u.ID)
 		if !ok {
 			rep.Missing++
 			return nil
 		}
-		if _, err := e.deleteObjectLocked(u.ID); err != nil {
+		if _, err := tx.deleteObject(u.ID); err != nil {
 			return err
 		}
 		rep.Applied++
@@ -198,63 +371,60 @@ func (e *Engine) applyLocked(u Update, rep *UpdateReport) error {
 }
 
 // InsertPoint adds a point object. Its ID must be new among point
-// objects. Safe to call concurrently with queries (it takes the write
-// lock); batches of updates should prefer ApplyUpdates, which locks
-// once.
+// objects. Safe to call concurrently with queries (the mutation
+// publishes a new snapshot); batches of updates should prefer
+// ApplyUpdates, which amortizes the copy-on-write work.
 func (e *Engine) InsertPoint(p uncertain.PointObject) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.insertPointLocked(p); err != nil {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	tx := newStateTxn(e.state.Load())
+	if err := tx.insertPoint(p); err != nil {
+		tx.discard()
 		return err
 	}
-	e.version.Add(1)
+	e.publishLocked(tx, true, false)
 	return nil
 }
 
-func (e *Engine) insertPointLocked(p uncertain.PointObject) error {
-	if _, dup := e.pointByID[p.ID]; dup {
+func (tx *stateTxn) insertPoint(p uncertain.PointObject) error {
+	if _, dup := tx.getPoint(p.ID); dup {
 		return fmt.Errorf("core: point object %d already exists", p.ID)
 	}
-	idx := len(e.points)
-	e.points = append(e.points, p)
-	e.pointByID[p.ID] = idx
-	if err := e.pointIdx.Insert(geom.RectAt(p.Loc), refOf(idx), nil); err != nil {
-		// Roll back the side tables so the engine stays consistent.
-		e.points = e.points[:idx]
-		delete(e.pointByID, p.ID)
+	if err := tx.pointTree().Insert(geom.RectAt(p.Loc), rtree.Ref(p.ID), nil); err != nil {
 		return err
 	}
+	tx.pointTable().Put(p.ID, p)
 	return nil
 }
 
 // DeletePoint removes the point object with the given id, reporting
-// whether it existed. The backing slice keeps a tombstone (the slot is
-// never referenced again); long-lived engines with heavy churn should
-// be rebuilt periodically, as with any bulk-loaded index. Safe to call
-// concurrently with queries.
+// whether it existed. Safe to call concurrently with queries.
 func (e *Engine) DeletePoint(id uncertain.ID) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ok, err := e.deletePointLocked(id)
-	if ok && err == nil {
-		e.version.Add(1)
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	tx := newStateTxn(e.state.Load())
+	ok, err := tx.deletePoint(id)
+	if err != nil {
+		tx.discard()
+		return ok, err
 	}
-	return ok, err
+	e.publishLocked(tx, ok, false)
+	return ok, nil
 }
 
-func (e *Engine) deletePointLocked(id uncertain.ID) (bool, error) {
-	idx, ok := e.pointByID[id]
+func (tx *stateTxn) deletePoint(id uncertain.ID) (bool, error) {
+	p, ok := tx.getPoint(id)
 	if !ok {
 		return false, nil
 	}
-	removed, err := e.pointIdx.Delete(geom.RectAt(e.points[idx].Loc), refOf(idx))
+	removed, err := tx.pointTree().Delete(geom.RectAt(p.Loc), rtree.Ref(id))
 	if err != nil {
 		return false, err
 	}
 	if !removed {
 		return false, fmt.Errorf("core: point %d present in table but missing from index", id)
 	}
-	delete(e.pointByID, id)
+	tx.pointTable().Delete(id)
 	return true, nil
 }
 
@@ -262,29 +432,30 @@ func (e *Engine) deletePointLocked(id uncertain.ID) (bool, error) {
 // to call concurrently with queries; a query never observes the point
 // half-moved.
 func (e *Engine) MovePoint(id uncertain.ID, to geom.Point) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.movePointLocked(id, to); err != nil {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	tx := newStateTxn(e.state.Load())
+	if err := tx.movePoint(id, to); err != nil {
+		tx.discard()
 		return err
 	}
-	e.version.Add(1)
+	e.publishLocked(tx, true, false)
 	return nil
 }
 
-func (e *Engine) movePointLocked(id uncertain.ID, to geom.Point) error {
-	idx, ok := e.pointByID[id]
+func (tx *stateTxn) movePoint(id uncertain.ID, to geom.Point) error {
+	old, ok := tx.getPoint(id)
 	if !ok {
 		return fmt.Errorf("core: point %d not found", id)
 	}
-	old := e.points[idx]
-	if _, err := e.deletePointLocked(id); err != nil {
+	if _, err := tx.deletePoint(id); err != nil {
 		return err
 	}
-	if err := e.insertPointLocked(uncertain.PointObject{ID: id, Loc: to}); err != nil {
-		// Restore the old position so a failed move leaves the engine
+	if err := tx.insertPoint(uncertain.PointObject{ID: id, Loc: to}); err != nil {
+		// Restore the old position so a failed move leaves the state
 		// exactly as it was; the old point inserted cleanly before,
 		// so the restore can only fail on an index I/O error.
-		if rerr := e.insertPointLocked(old); rerr != nil {
+		if rerr := tx.insertPoint(old); rerr != nil {
 			return fmt.Errorf("core: move failed (%w) and old position not restored: %v", err, rerr)
 		}
 		return err
@@ -296,23 +467,25 @@ func (e *Engine) movePointLocked(id uncertain.ID, to geom.Point) error {
 // uncertain objects and its U-catalog must cover the engine's catalog
 // probability values. Safe to call concurrently with queries.
 func (e *Engine) InsertObject(o *uncertain.Object) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.insertObjectLocked(o); err != nil {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	tx := newStateTxn(e.state.Load())
+	if err := tx.insertObject(o); err != nil {
+		tx.discard()
 		return err
 	}
-	e.version.Add(1)
+	e.publishLocked(tx, true, false)
 	return nil
 }
 
-func (e *Engine) insertObjectLocked(o *uncertain.Object) error {
-	if _, dup := e.objects[o.ID]; dup {
+func (tx *stateTxn) insertObject(o *uncertain.Object) error {
+	if _, dup := tx.getObject(o.ID); dup {
 		return fmt.Errorf("core: uncertain object %d already exists", o.ID)
 	}
-	if err := e.uncIdx.Insert(o); err != nil {
+	if err := tx.uncTree().Insert(o); err != nil {
 		return err
 	}
-	e.objects[o.ID] = o
+	tx.objectTable().Put(o.ID, o)
 	return nil
 }
 
@@ -320,28 +493,31 @@ func (e *Engine) insertObjectLocked(o *uncertain.Object) error {
 // reporting whether it existed. Safe to call concurrently with
 // queries.
 func (e *Engine) DeleteObject(id uncertain.ID) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ok, err := e.deleteObjectLocked(id)
-	if ok && err == nil {
-		e.version.Add(1)
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	tx := newStateTxn(e.state.Load())
+	ok, err := tx.deleteObject(id)
+	if err != nil {
+		tx.discard()
+		return ok, err
 	}
-	return ok, err
+	e.publishLocked(tx, ok, false)
+	return ok, nil
 }
 
-func (e *Engine) deleteObjectLocked(id uncertain.ID) (bool, error) {
-	o, ok := e.objects[id]
+func (tx *stateTxn) deleteObject(id uncertain.ID) (bool, error) {
+	o, ok := tx.getObject(id)
 	if !ok {
 		return false, nil
 	}
-	removed, err := e.uncIdx.Delete(o)
+	removed, err := tx.uncTree().Delete(o)
 	if err != nil {
 		return false, err
 	}
 	if !removed {
 		return false, fmt.Errorf("core: object %d present in table but missing from index", id)
 	}
-	delete(e.objects, id)
+	tx.objectTable().Delete(id)
 	return true, nil
 }
 
@@ -351,29 +527,31 @@ func (e *Engine) deleteObjectLocked(id uncertain.ID) (bool, error) {
 // with queries; a query observes either the old or the new version,
 // never neither.
 func (e *Engine) ReplaceObject(o *uncertain.Object) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.replaceObjectLocked(o); err != nil {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	tx := newStateTxn(e.state.Load())
+	if err := tx.replaceObject(o); err != nil {
+		tx.discard()
 		return err
 	}
-	e.version.Add(1)
+	e.publishLocked(tx, true, false)
 	return nil
 }
 
-func (e *Engine) replaceObjectLocked(o *uncertain.Object) error {
-	old, existed := e.objects[o.ID]
+func (tx *stateTxn) replaceObject(o *uncertain.Object) error {
+	old, existed := tx.getObject(o.ID)
 	if existed {
-		if _, err := e.deleteObjectLocked(o.ID); err != nil {
+		if _, err := tx.deleteObject(o.ID); err != nil {
 			return err
 		}
 	}
-	if err := e.insertObjectLocked(o); err != nil {
+	if err := tx.insertObject(o); err != nil {
 		// Restore the old version so a failed replace leaves the
-		// engine exactly as it was (the atomicity the method
+		// state exactly as it was (the atomicity the method
 		// promises). The old object inserted cleanly before, so the
 		// restore can only fail on an index I/O error.
 		if existed {
-			if rerr := e.insertObjectLocked(old); rerr != nil {
+			if rerr := tx.insertObject(old); rerr != nil {
 				return fmt.Errorf("core: replace failed (%w) and old version not restored: %v", err, rerr)
 			}
 		}
@@ -401,6 +579,3 @@ func GuardRegion(q Query, opts EvalOptions) (geom.Rect, error) {
 	}
 	return newQueryPlan(q, opts, false).searchReg, nil
 }
-
-// refOf converts a point-slice index to an index ref.
-func refOf(idx int) rtree.Ref { return rtree.Ref(idx) }

@@ -69,6 +69,33 @@ func New(capacity int) *File {
 	return f
 }
 
+// Clone returns an independent snapshot of the grid file: scales,
+// directory, and buckets are deep-copied, so mutations of either side
+// never reach the other. It is the grid's version hook, mirroring the
+// R-tree/PTI copy-on-write clones in spirit — the grid serves only
+// the ablation experiments, whose index is small, so a full copy
+// (O(entries)) is the honest trade against path-copy machinery the
+// workload would never amortize. The access counter starts at zero.
+func (f *File) Clone() *File {
+	out := &File{
+		xs:       append([]float64(nil), f.xs...),
+		ys:       append([]float64(nil), f.ys...),
+		dir:      make([][]int, len(f.dir)),
+		buckets:  make([]*bucket, len(f.buckets)),
+		capacity: f.capacity,
+		size:     f.size,
+		maxHalfW: f.maxHalfW,
+		maxHalfH: f.maxHalfH,
+	}
+	for i, col := range f.dir {
+		out.dir[i] = append([]int(nil), col...)
+	}
+	for i, b := range f.buckets {
+		out.buckets[i] = &bucket{entries: append([]Entry(nil), b.entries...)}
+	}
+	return out
+}
+
 // Len returns the number of stored entries.
 func (f *File) Len() int { return f.size }
 

@@ -265,3 +265,50 @@ func TestClusteredData(t *testing.T) {
 		}
 	}
 }
+
+func TestCloneIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := New(8)
+	var items []item
+	for i := 0; i < 400; i++ {
+		c := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		it := item{rect: geom.RectCentered(c, 1+rng.Float64()*4, 1+rng.Float64()*4), ref: Ref(i)}
+		items = append(items, it)
+		if err := f.Insert(it.rect, it.ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := f.Clone()
+	if snap.Len() != f.Len() || snap.BucketCount() != f.BucketCount() {
+		t.Fatalf("clone shape: len %d/%d buckets %d/%d", snap.Len(), f.Len(), snap.BucketCount(), f.BucketCount())
+	}
+
+	// Mutate the original heavily; the clone must keep answering the
+	// pre-clone world.
+	for i := 0; i < 200; i++ {
+		if !f.Delete(items[i].rect, items[i].ref) {
+			t.Fatalf("delete %d", i)
+		}
+	}
+	for i := 1000; i < 1200; i++ {
+		c := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		if err := f.Insert(geom.RectCentered(c, 1, 1), Ref(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := snap.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.RectFromCorners(geom.Pt(0, 0), geom.Pt(1000, 1000))
+	got := sortedRefs(snap.SearchCollect(q))
+	if want := bruteRefs(items, q); !refsEqual(got, want) {
+		t.Fatalf("clone answers mutated world: %d refs, want %d", len(got), len(want))
+	}
+	// And the clone can move on independently.
+	if err := snap.Insert(geom.RectCentered(geom.Pt(1, 1), 1, 1), Ref(5000)); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 401 || f.Len() != 400 {
+		t.Fatalf("independent mutation leaked: clone %d, original %d", snap.Len(), f.Len())
+	}
+}

@@ -125,6 +125,27 @@ func BulkLoad(store rtree.NodeStore, probs []float64, objs []*uncertain.Object) 
 	return &Index{tree: tr, probs: ps}, nil
 }
 
+// CloneCOW returns a copy-on-write clone of the index: a mutable next
+// version sharing every node with the receiver, which stays a
+// consistent immutable view for concurrent searches. Seal the clone
+// before publishing it (see rtree.Tree.CloneCOW).
+func (ix *Index) CloneCOW() *Index {
+	return &Index{tree: ix.tree.CloneCOW(), probs: ix.probs}
+}
+
+// Seal finishes the copy-on-write phase and returns the superseded
+// node ids; free them via FreeRetired once no reader can still hold an
+// earlier version.
+func (ix *Index) Seal() []rtree.NodeID { return ix.tree.Seal() }
+
+// Abort discards an unsealed copy-on-write clone, freeing its private
+// nodes; the parent index is untouched. The clone must not be used
+// afterwards.
+func (ix *Index) Abort() error { return ix.tree.AbortCOW() }
+
+// FreeRetired releases node ids a sealed mutation retired.
+func (ix *Index) FreeRetired(ids []rtree.NodeID) error { return ix.tree.FreeAll(ids) }
+
 // Insert adds an uncertain object.
 func (ix *Index) Insert(o *uncertain.Object) error {
 	aux, err := encodeBounds(o, ix.probs)

@@ -9,12 +9,18 @@ import (
 // Delete removes one entry matching (r, ref) exactly. It reports
 // whether an entry was found and removed. Underflowing nodes are
 // dissolved and their entries reinserted (Guttman's CondenseTree).
+// Under copy-on-write the touched path is copied, never mutated in
+// place; dissolved shared nodes are retired, not freed.
 func (t *Tree) Delete(r geom.Rect, ref Ref) (bool, error) {
 	path, found, err := t.findLeaf(t.root, r, ref, t.height-1)
 	if err != nil || !found {
 		return false, err
 	}
-	leaf := path[len(path)-1].node
+	leaf, err := t.writable(path[len(path)-1].node)
+	if err != nil {
+		return false, err
+	}
+	path[len(path)-1].node = leaf
 	for i, e := range leaf.Entries {
 		if e.Ref == ref && e.Rect.ApproxEqual(r) {
 			leaf.Entries = append(leaf.Entries[:i], leaf.Entries[i+1:]...)
@@ -71,16 +77,21 @@ type orphan struct {
 
 // condenseTree walks the deletion path bottom-up: underflowing
 // non-root nodes are removed (their entries queued for reinsertion)
-// and surviving ancestors get refreshed envelopes. Finally the
-// orphaned entries are reinserted at their original levels and a
-// root with a single child is collapsed.
+// and surviving ancestors get refreshed envelopes — with parents made
+// writable and repointed at their child's current id, since
+// copy-on-write may have moved it. Finally the orphaned entries are
+// reinserted at their original levels and a root with a single child
+// is collapsed.
 func (t *Tree) condenseTree(path []pathStep) error {
 	var orphans []orphan
 	for i := len(path) - 1; i > 0; i-- {
 		n := path[i].node
-		parent := path[i-1].node
-		level := t.height - 1 - i // distance from leaves? path[0] is root at height-1
-		// path index i corresponds to level (height-1-i).
+		parent, err := t.writable(path[i-1].node)
+		if err != nil {
+			return err
+		}
+		path[i-1].node = parent
+		level := t.height - 1 - i // path index i corresponds to level (height-1-i)
 		if len(n.Entries) < t.cfg.MinEntries {
 			// Dissolve n: remove its parent entry and queue contents.
 			idx := path[i].entryIdx
@@ -91,19 +102,23 @@ func (t *Tree) condenseTree(path []pathStep) error {
 			if len(n.Entries) > 0 {
 				orphans = append(orphans, orphan{entries: n.Entries, level: level})
 			}
-			if err := t.store.Free(n.ID); err != nil {
+			if err := t.freeNode(n.ID); err != nil {
 				return err
 			}
 		} else {
-			// Refresh the parent's envelope for n.
+			// Refresh the parent's envelope (and child pointer) for n.
 			r, aux := t.entryEnvelope(n)
 			parent.Entries[path[i].entryIdx].Rect = r
 			parent.Entries[path[i].entryIdx].Aux = aux
+			parent.Entries[path[i].entryIdx].Child = n.ID
 		}
 		if err := t.store.Update(parent); err != nil {
 			return err
 		}
 	}
+	// The root may have been path-copied; reinsertions below must
+	// descend from the current version's root.
+	t.root = path[0].node.ID
 
 	// Reinsert orphans at their recorded levels, deepest first so that
 	// the tree height cannot change underneath queued higher-level
@@ -127,7 +142,7 @@ func (t *Tree) condenseTree(path []pathStep) error {
 			return nil
 		}
 		child := root.Entries[0].Child
-		if err := t.store.Free(root.ID); err != nil {
+		if err := t.freeNode(root.ID); err != nil {
 			return err
 		}
 		t.root = child

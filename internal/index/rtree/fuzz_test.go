@@ -104,6 +104,123 @@ func FuzzNodeRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzRTree drives the dynamic tree through an arbitrary op stream —
+// inserts, deletes, moves, and copy-on-write version boundaries —
+// against a shadow model, checking structural invariants, exact
+// search results, and old-version isolation after every sealed
+// version. The byte stream encodes one op per 5 bytes: opcode,
+// 2-byte coordinate pair, 2-byte target selector.
+func FuzzRTree(f *testing.F) {
+	f.Add([]byte{0, 10, 20, 0, 1, 0, 200, 100, 0, 2, 3, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0, 50, 60, 1, 7, 2, 0, 0, 0, 0}, 12))
+	f.Add(bytes.Repeat([]byte{0, 1, 2, 3, 4, 1, 0, 0, 0, 1, 3, 0, 0, 0, 0}, 8))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4000 {
+			return
+		}
+		store := NewMemNodeStore()
+		tr, err := New(store, Config{MaxEntries: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := make(map[Ref]geom.Rect)
+		refs := []Ref{} // insertion order, for deterministic target picks
+		nextRef := Ref(0)
+
+		// One frozen prior version to check isolation against.
+		var frozenTree *Tree
+		var frozenModel map[Ref]geom.Rect
+
+		checkAll := func(label string, tr *Tree, m map[Ref]geom.Rect) {
+			if err := tr.CheckInvariants(false); err != nil {
+				t.Fatalf("%s: invariants: %v", label, err)
+			}
+			got := make(map[Ref]geom.Rect)
+			if tr.Len() > 0 {
+				b, err := tr.Bounds()
+				if err != nil {
+					t.Fatalf("%s: bounds: %v", label, err)
+				}
+				if err := tr.Search(b, func(e Entry) bool {
+					got[e.Ref] = e.Rect
+					return true
+				}); err != nil {
+					t.Fatalf("%s: search: %v", label, err)
+				}
+			}
+			if len(got) != len(m) {
+				t.Fatalf("%s: %d entries, want %d", label, len(got), len(m))
+			}
+			for ref, r := range m {
+				if gr, ok := got[ref]; !ok || !gr.ApproxEqual(r) {
+					t.Fatalf("%s: ref %d = %v, want %v", label, ref, gr, r)
+				}
+			}
+		}
+
+		for i := 0; i+5 <= len(data); i += 5 {
+			op, a, b, c, d := data[i], data[i+1], data[i+2], data[i+3], data[i+4]
+			rect := geom.RectCentered(geom.Pt(float64(a)*4, float64(b)*4), 1+float64(c%8), 1+float64(d%8))
+			switch op % 4 {
+			case 0: // insert
+				if err := tr.Insert(rect, nextRef, nil); err != nil {
+					t.Fatalf("insert: %v", err)
+				}
+				model[nextRef] = rect
+				refs = append(refs, nextRef)
+				nextRef++
+			case 1: // delete an existing entry
+				if len(refs) == 0 {
+					continue
+				}
+				ref := refs[int(a)%len(refs)]
+				r, ok := model[ref]
+				if !ok {
+					continue
+				}
+				removed, err := tr.Delete(r, ref)
+				if err != nil {
+					t.Fatalf("delete: %v", err)
+				}
+				if !removed {
+					t.Fatalf("delete of present ref %d not found", ref)
+				}
+				delete(model, ref)
+			case 2: // move an existing entry
+				if len(refs) == 0 {
+					continue
+				}
+				ref := refs[int(b)%len(refs)]
+				r, ok := model[ref]
+				if !ok {
+					continue
+				}
+				if removed, err := tr.Delete(r, ref); err != nil || !removed {
+					t.Fatalf("move delete: %v %v", removed, err)
+				}
+				if err := tr.Insert(rect, ref, nil); err != nil {
+					t.Fatalf("move insert: %v", err)
+				}
+				model[ref] = rect
+			case 3: // version boundary: seal current, continue on a clone
+				tr.Seal() // retired ids leaked deliberately: frozen version may use them
+				frozenTree = tr
+				frozenModel = make(map[Ref]geom.Rect, len(model))
+				for k, v := range model {
+					frozenModel[k] = v
+				}
+				tr = frozenTree.CloneCOW()
+			}
+		}
+		tr.Seal()
+		checkAll("final", tr, model)
+		if frozenTree != nil {
+			checkAll("frozen", frozenTree, frozenModel)
+		}
+	})
+}
+
 // TestEncodeNodeOverflow ensures oversized nodes are rejected rather
 // than silently truncated.
 func TestEncodeNodeOverflow(t *testing.T) {

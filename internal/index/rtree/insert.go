@@ -26,13 +26,20 @@ func (t *Tree) Insert(r geom.Rect, ref Ref, aux []float64) error {
 
 // insertAtLevel places e at the given level (0 = leaves). Levels above
 // 0 are used when reinserting orphaned subtrees during deletion.
+// Under copy-on-write, every node mutated along the descent path is
+// first made writable (path-copied on first touch); adjustTree then
+// repoints each parent at its child's current id, and the root id is
+// refreshed last.
 func (t *Tree) insertAtLevel(e Entry, level int) error {
 	path, err := t.chooseNode(e.Rect, level)
 	if err != nil {
 		return err
 	}
-	leafStep := path[len(path)-1]
-	n := leafStep.node
+	n, err := t.writable(path[len(path)-1].node)
+	if err != nil {
+		return err
+	}
+	path[len(path)-1].node = n
 	n.Entries = append(n.Entries, e)
 
 	var splitNew *Node
@@ -93,15 +100,22 @@ func (t *Tree) chooseNode(r geom.Rect, targetLevel int) ([]pathStep, error) {
 
 // adjustTree walks the path bottom-up, refreshing parent envelopes and
 // propagating splits. splitNew is the sibling created by splitting the
-// deepest node on the path, or nil.
+// deepest node on the path, or nil. Parents are made writable before
+// mutation and repointed at their child's current id — under
+// copy-on-write the child may have been path-copied to a new id.
 func (t *Tree) adjustTree(path []pathStep, splitNew *Node) error {
 	for i := len(path) - 1; i > 0; i-- {
 		child := path[i]
-		parent := path[i-1].node
+		parent, err := t.writable(path[i-1].node)
+		if err != nil {
+			return err
+		}
+		path[i-1].node = parent
 
 		r, aux := t.entryEnvelope(child.node)
 		parent.Entries[child.entryIdx].Rect = r
 		parent.Entries[child.entryIdx].Aux = aux
+		parent.Entries[child.entryIdx].Child = child.node.ID
 
 		if splitNew != nil {
 			r2, aux2 := t.entryEnvelope(splitNew)
@@ -121,13 +135,14 @@ func (t *Tree) adjustTree(path []pathStep, splitNew *Node) error {
 	if splitNew != nil {
 		return t.growRoot(path[0].node, splitNew)
 	}
+	t.root = path[0].node.ID
 	return nil
 }
 
 // growRoot installs a new root above old and sibling after a root
 // split.
 func (t *Tree) growRoot(old, sibling *Node) error {
-	root, err := t.store.Alloc(false)
+	root, err := t.allocNode(false)
 	if err != nil {
 		return err
 	}
@@ -335,9 +350,10 @@ func (t *Tree) splitNodeQuadratic(n *Node) (*Node, error) {
 }
 
 // finishSplit materializes a split: n keeps groupA, a fresh sibling
-// takes groupB, both persisted.
+// takes groupB, both persisted. n must already be writable (splits
+// only happen to nodes the current mutation has touched).
 func (t *Tree) finishSplit(n *Node, groupA, groupB []Entry) (*Node, error) {
-	sibling, err := t.store.Alloc(n.Leaf)
+	sibling, err := t.allocNode(n.Leaf)
 	if err != nil {
 		return nil, err
 	}

@@ -152,9 +152,13 @@ func (c Config) normalize() (Config, error) {
 	return c, nil
 }
 
-// Tree is a dynamic R-tree. It is not safe for concurrent mutation;
-// concurrent Search calls against a quiescent tree are safe, including
-// over paged node stores (the buffer pool is internally synchronized).
+// Tree is a dynamic R-tree. A given Tree value is not safe for
+// concurrent mutation (single writer); concurrent Search calls
+// against a sealed tree are safe, including over paged node stores
+// (the buffer pool is internally synchronized), and — through the
+// copy-on-write machinery (CloneCOW/Seal, cow.go) — remain safe while
+// a writer builds the next version on a clone: mutations only ever
+// write freshly allocated nodes that no sealed root references.
 // Per-search node-access counts are returned by SearchCounted, so
 // concurrent searches measure their own cost without touching shared
 // state.
@@ -164,6 +168,10 @@ type Tree struct {
 	root   NodeID
 	height int // number of levels; leaves are level 0, root is height-1
 	size   int
+	// cow, when non-nil, marks an unsealed copy-on-write version:
+	// mutations path-copy shared nodes instead of updating in place
+	// (see cow.go). Sealed trees and legacy in-place trees carry nil.
+	cow *cowState
 	// accesses accumulates node reads across the tree's lifetime,
 	// atomically so concurrent read-only searches are race-free.
 	// Per-operation deltas sampled around ResetNodeAccesses are only

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/storage"
@@ -11,9 +12,13 @@ import (
 
 // NodeStore abstracts node persistence. Get returns a node the caller
 // may mutate; mutations become visible (and durable, for paged stores)
-// only after Update. Concurrent Get calls are safe for both provided
-// implementations as long as no Alloc/Update/Free runs concurrently —
-// the quiescent-read contract the engine's query path relies on.
+// only after Update. Both provided implementations are internally
+// synchronized for the MVCC access pattern the engine relies on: any
+// number of goroutines may Get concurrently while a single writer
+// runs Alloc/Update/Free — readers traversing a published (sealed)
+// tree version never observe a node the writer is still building,
+// because copy-on-write mutations only ever write to freshly
+// allocated ids that no published root references.
 type NodeStore interface {
 	// Alloc creates an empty node of the given kind and returns it.
 	Alloc(leaf bool) (*Node, error)
@@ -27,7 +32,11 @@ type NodeStore interface {
 
 // MemNodeStore keeps nodes on the Go heap. It is the fast path for
 // CPU-bound experiments; node accesses are still counted by the Tree.
+// A reader–writer mutex makes concurrent Gets race-free against the
+// single COW writer's Alloc/Update/Free; the lock is held only for
+// the map operation, never across node processing.
 type MemNodeStore struct {
+	mu    sync.RWMutex
 	nodes map[NodeID]*Node
 	next  NodeID
 	free  []NodeID
@@ -40,6 +49,8 @@ func NewMemNodeStore() *MemNodeStore {
 
 // Alloc implements NodeStore.
 func (s *MemNodeStore) Alloc(leaf bool) (*Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var id NodeID
 	if n := len(s.free); n > 0 {
 		id = s.free[n-1]
@@ -55,7 +66,9 @@ func (s *MemNodeStore) Alloc(leaf bool) (*Node, error) {
 
 // Get implements NodeStore.
 func (s *MemNodeStore) Get(id NodeID) (*Node, error) {
+	s.mu.RLock()
 	n, ok := s.nodes[id]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("rtree: node %d not found", id)
 	}
@@ -65,12 +78,16 @@ func (s *MemNodeStore) Get(id NodeID) (*Node, error) {
 // Update implements NodeStore. For the memory store the returned nodes
 // alias the stored ones, so Update only needs to re-register the id.
 func (s *MemNodeStore) Update(n *Node) error {
+	s.mu.Lock()
 	s.nodes[n.ID] = n
+	s.mu.Unlock()
 	return nil
 }
 
 // Free implements NodeStore.
 func (s *MemNodeStore) Free(id NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.nodes[id]; !ok {
 		return fmt.Errorf("rtree: free of unknown node %d", id)
 	}
@@ -80,16 +97,25 @@ func (s *MemNodeStore) Free(id NodeID) error {
 }
 
 // NumNodes returns the number of live nodes.
-func (s *MemNodeStore) NumNodes() int { return len(s.nodes) }
+func (s *MemNodeStore) NumNodes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.nodes)
+}
 
 // PagedNodeStore serializes each node into one 4 KiB page accessed
 // through a buffer pool, reproducing the paper's disk-resident index.
 // Tree metadata (root id, free list) is kept in memory: the
 // reproduction rebuilds indexes per run, and the I/O cost model only
-// concerns node pages.
+// concerns node pages. The free list carries its own mutex because
+// snapshot reclamation may Free retired pages from a reader goroutine
+// while the writer Allocs; page data itself is synchronized by the
+// buffer pool.
 type PagedNodeStore struct {
 	pool   *storage.BufferPool
 	auxLen int
+
+	freeMu sync.Mutex
 	free   []NodeID
 }
 
@@ -104,11 +130,16 @@ func (s *PagedNodeStore) Pool() *storage.BufferPool { return s.pool }
 
 // Alloc implements NodeStore.
 func (s *PagedNodeStore) Alloc(leaf bool) (*Node, error) {
+	s.freeMu.Lock()
 	var id NodeID
+	var reused bool
 	if n := len(s.free); n > 0 {
 		id = s.free[n-1]
 		s.free = s.free[:n-1]
-	} else {
+		reused = true
+	}
+	s.freeMu.Unlock()
+	if !reused {
 		pid, _, err := s.pool.Allocate()
 		if err != nil {
 			return nil, err
@@ -147,7 +178,9 @@ func (s *PagedNodeStore) Update(n *Node) error {
 
 // Free implements NodeStore.
 func (s *PagedNodeStore) Free(id NodeID) error {
+	s.freeMu.Lock()
 	s.free = append(s.free, id)
+	s.freeMu.Unlock()
 	return nil
 }
 

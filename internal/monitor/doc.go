@@ -23,13 +23,21 @@
 // re-evaluations; under localized update traffic they dominate.
 //
 // Affected queries are re-evaluated through the engine's serialized
-// streaming batch machinery (core.Engine.EvaluateBatchStream), so
+// streaming batch machinery (core.Snapshot.EvaluateBatchStream), so
 // re-evaluation fans out over Config.Workers, respects the per-query
 // deadline (Config.Options.Timeout) and sample budget (MaxSamples),
-// and benefits from adaptive refinement. A delta stream, replayed in
-// order (delete Left, then upsert Entered and Updated), reconstructs
-// the query's qualifying set exactly as a from-scratch evaluation of
-// the engine state after each batch would report it — coalescing (the
-// back-pressure response for slow consumers) composes deltas and
-// preserves this invariant.
+// and benefits from adaptive refinement.
+//
+// Snapshot pinning: each ingestion pass evaluates against the
+// post-batch MVCC snapshot, pinned atomically with the batch commit
+// (core.Engine.ApplyUpdatesSnapshot). Every delta therefore reflects
+// exactly the engine version its batch report records — neither
+// later monitor batches nor direct engine mutations bypassing the
+// monitor can leak into a pass — and however long a re-evaluation
+// pass runs, it never blocks concurrent ingestion. A delta stream,
+// replayed in order (delete Left, then upsert Entered and Updated),
+// reconstructs the query's qualifying set exactly as a from-scratch
+// evaluation of the pinned post-batch state would report it —
+// coalescing (the back-pressure response for slow consumers)
+// composes deltas and preserves this invariant.
 package monitor

@@ -171,13 +171,18 @@ func (m *Monitor) Register(q core.Query, target core.Target) (*Subscription, err
 	id := m.nextID
 	m.mu.Unlock()
 
+	// The initial evaluation runs against a pinned snapshot so the
+	// registration answer reflects exactly one engine version even if
+	// direct (non-monitor) updates commit concurrently.
 	opts := m.evalOptions(mixSeed(id, int64(m.seq)))
+	snap := m.eng.Snapshot()
 	var res core.Result
 	if target == core.TargetPoints {
-		res, err = m.eng.EvaluatePointsContext(context.Background(), q, opts)
+		res, err = snap.EvaluatePointsContext(context.Background(), q, opts)
 	} else {
-		res, err = m.eng.EvaluateUncertainContext(context.Background(), q, opts)
+		res, err = snap.EvaluateUncertainContext(context.Background(), q, opts)
 	}
+	snap.Close()
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +262,17 @@ func (m *Monitor) Subscription(id int64) (*Subscription, bool) {
 //
 // Re-evaluation runs through the engine's streaming batch machinery:
 // Config.Workers wide, per-query deadline and sample budget from
-// Config.Options, deltas delivered through the serialized callback.
+// Config.Options, deltas delivered through the serialized callback —
+// and against the post-batch snapshot, pinned atomically with the
+// commit (core.Engine.ApplyUpdatesSnapshot). Every delta of sequence
+// Seq therefore reflects exactly the engine version its report
+// records: updates committing concurrently — further monitor batches
+// queued behind ingestMu, or direct engine mutations bypassing the
+// monitor — cannot leak into the pass, which is what keeps delta
+// replay bit-exact against Engine.Version. The snapshot also means
+// the pass never blocks those concurrent writers, however long the
+// re-evaluations run.
+//
 // ctx cancels the re-evaluation pass (not the already-committed
 // engine batch); the error is returned after every in-flight query
 // settles.
@@ -265,7 +280,8 @@ func (m *Monitor) ApplyUpdates(ctx context.Context, batch []core.Update) (BatchO
 	m.ingestMu.Lock()
 	defer m.ingestMu.Unlock()
 
-	rep := m.eng.ApplyUpdates(batch)
+	rep, snap := m.eng.ApplyUpdatesSnapshot(batch)
+	defer snap.Close()
 	m.seq++
 	out := BatchOutcome{Report: rep, Seq: m.seq}
 	m.batches.Add(1)
@@ -298,7 +314,7 @@ func (m *Monitor) ApplyUpdates(ctx context.Context, batch []core.Update) (BatchO
 	opts := m.evalOptions(int64(m.seq))
 	seq := m.seq
 	delivered := make([]bool, len(affected))
-	err := m.eng.EvaluateBatchStream(ctx, queries, opts, m.cfg.Workers, func(i int, br core.BatchResult) {
+	err := snap.EvaluateBatchStream(ctx, queries, opts, m.cfg.Workers, func(i int, br core.BatchResult) {
 		delivered[i] = true
 		sub := affected[i]
 		if br.Err != nil {

@@ -212,10 +212,11 @@ const (
 	TargetPoints = core.TargetPoints
 )
 
-// Dynamic-update re-exports. Updates are safe to run concurrently
-// with queries (the engine coordinates writers and readers through
-// its reader–writer lock); ApplyUpdates ingests a whole batch under
-// one lock acquisition.
+// Dynamic-update re-exports. Updates run concurrently with queries
+// under MVCC snapshot isolation: evaluations pin the immutable state
+// current when they start, mutators build the next state
+// copy-on-write and publish it atomically — neither ever waits for
+// the other. ApplyUpdates ingests a whole batch as one transaction.
 type (
 	// Update is one element of an Engine.ApplyUpdates batch.
 	Update = core.Update
@@ -226,7 +227,20 @@ type (
 	UpdateReport = core.UpdateReport
 	// UpdateError records one failed update of a batch.
 	UpdateError = core.UpdateError
+	// Snapshot is a pinned immutable view of the engine at one
+	// version: all its Evaluate* methods observe that version no
+	// matter how many updates commit concurrently. Obtain one with
+	// Engine.Snapshot (or atomically with a batch commit via
+	// Engine.ApplyUpdatesSnapshot) and Close it when done.
+	Snapshot = core.Snapshot
+	// SnapshotStats reports the engine's MVCC bookkeeping (snapshot
+	// age, pins, version lag, retired-node debt).
+	SnapshotStats = core.SnapshotStats
 )
+
+// ErrSnapshotClosed is returned by evaluation through a Snapshot
+// whose Close has already run.
+var ErrSnapshotClosed = core.ErrSnapshotClosed
 
 // Update operations.
 const (

@@ -1,10 +1,11 @@
 # Developer / CI entry points. `make bench` records the serving
-# trajectory to BENCH_PR4.json (throughput + adaptive refinement +
-# continuous monitoring); BENCH_PR1..3.json stay checked in as the
+# trajectory to BENCH_PR5.json (throughput + adaptive refinement +
+# continuous monitoring); BENCH_PR1..4.json stay checked in as the
 # previous revisions' baselines. `make bench-regression` replays the
 # same profile and fails (exit 3) if io-bound batch QPS, C-IUQ
 # refinement latency, or ingestion updates/sec regress more than 20%
-# against the checked-in BENCH_PR4.json — the CI perf gate.
+# against the checked-in BENCH_PR5.json — the CI perf gate.
+# `make apicheck` gates the public API surface against api/repro.txt.
 
 GO ?= go
 
@@ -13,7 +14,7 @@ BENCH_PROFILE = -exp exp-throughput,exp-adaptive,exp-continuous \
 	-threshold 0.1,0.5,0.9 -adaptive-samples 2048 \
 	-standing 64 -update-batches 40 -batch-size 32
 
-.PHONY: all build test race bench bench-regression soak fuzz-smoke lint
+.PHONY: all build test race bench bench-regression soak fuzz-smoke lint apicheck apiupdate
 
 all: build test race
 
@@ -37,7 +38,7 @@ soak:
 # Modest dataset sizes so the bench target finishes in about a minute
 # while still exercising realistic candidate sets.
 bench: build
-	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_PR4.json
+	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_PR5.json
 	$(GO) test ./internal/bench -run xxx -bench 'BenchmarkRefine|BenchmarkThroughput' -benchtime 1s
 
 # Re-run the recorded profile and gate against the checked-in
@@ -45,7 +46,7 @@ bench: build
 # artifact, where multi-core runners also record worker scaling).
 bench-regression: build
 	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_CI.json \
-		-baseline BENCH_PR4.json -regress 0.20
+		-baseline BENCH_PR5.json -regress 0.20
 
 # Short fuzzing smoke over the R-tree: the op-stream target plus the
 # node codec targets.
@@ -54,10 +55,30 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzNodeRoundTrip -fuzztime=15s ./internal/index/rtree
 	$(GO) test -fuzz=FuzzDecodeNode -fuzztime=15s ./internal/index/rtree
 
-# Mirrors the CI lint job: gofmt, vet, and staticcheck when installed
-# (CI installs staticcheck@2025.1.1; offline dev environments fall
-# back to gofmt+vet).
-lint:
+# API-surface gate: the public facade (package repro) is a reviewed
+# artifact. apicheck regenerates the surface with `go doc -all` and
+# fails when it drifts from the checked-in api/repro.txt — growing or
+# changing the surface means updating that file in the same PR
+# (`make apiupdate`), which makes every surface change a reviewed
+# decision. Wired into the CI lint job.
+apicheck:
+	@$(GO) doc -all . > api/repro.txt.new; \
+	if ! diff -u api/repro.txt api/repro.txt.new; then \
+		rm -f api/repro.txt.new; \
+		echo ""; \
+		echo "public API surface drifted from api/repro.txt;"; \
+		echo "review the diff above and run 'make apiupdate' to accept."; \
+		exit 1; \
+	fi; rm -f api/repro.txt.new
+	@echo "api surface matches api/repro.txt"
+
+apiupdate:
+	$(GO) doc -all . > api/repro.txt
+
+# Mirrors the CI lint job: gofmt, vet, apicheck, and staticcheck when
+# installed (CI installs staticcheck@2025.1.1; offline dev
+# environments fall back to gofmt+vet+apicheck).
+lint: apicheck
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \

@@ -4,6 +4,12 @@
 // ingestion, and Prometheus-style metrics with per-query cost
 // counters.
 //
+// The wire format is a direct JSON encoding of core.Request /
+// core.Response, shared by the one-shot and standing paths: kind
+// ("uncertain" default, "points", "nn"), issuer, w/h, threshold, k,
+// nn_samples, workers, seed. Unknown fields and malformed requests
+// are rejected with structured 400s carrying the offending field.
+//
 // Usage:
 //
 //	ildq-serve                          # empty world, fed via /v1/updates
@@ -15,6 +21,10 @@
 //	curl -s localhost:8080/v1/evaluate -d '{
 //	  "issuer": {"region": [4800, 4800, 5200, 5200]},
 //	  "w": 500, "h": 500, "threshold": 0.5}'
+//
+//	# nearest neighbor: the 3 most probable nearest points
+//	curl -s localhost:8080/v1/evaluate -d '{
+//	  "kind": "nn", "issuer": {"region": [4800, 4800, 5200, 5200]}, "k": 3}'
 //
 //	# standing query: register, stream deltas, feed updates
 //	curl -s localhost:8080/v1/queries -d '{
@@ -46,8 +56,8 @@ func main() {
 		rects      = flag.Int("rects", 0, "synthetic uncertain objects to preload (0 = empty)")
 		seed       = flag.Int64("seed", 1, "synthetic dataset seed")
 		workers    = flag.Int("workers", 2, "re-evaluation worker pool size")
-		timeout    = flag.Duration("timeout", 0, "per-query evaluation deadline (0 = none)")
-		maxSamples = flag.Int64("max-samples", 0, "per-query Monte-Carlo sample budget (0 = unlimited)")
+		timeout    = flag.Duration("timeout", 0, "per-request evaluation deadline (0 = none)")
+		maxSamples = flag.Int64("max-samples", 0, "per-request Monte-Carlo sample budget (0 = unlimited; nn requests always run under some budget)")
 		maxPending = flag.Int("max-pending", 64, "per-subscription delta queue bound before coalescing (<0 = unbounded)")
 	)
 	flag.Parse()
@@ -57,16 +67,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ildq-serve: %v\n", err)
 		os.Exit(1)
 	}
+	opts := core.EvalOptions{Timeout: *timeout, MaxSamples: *maxSamples}
 	mon := monitor.New(eng, monitor.Config{
 		Workers:    *workers,
 		Seed:       *seed,
 		MaxPending: *maxPending,
-		Options:    core.EvalOptions{Timeout: *timeout, MaxSamples: *maxSamples},
+		Options:    opts,
 	})
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(mon),
+		Handler:           newServer(mon, opts),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("ildq-serve: listening on %s (points=%d uncertain=%d workers=%d)",

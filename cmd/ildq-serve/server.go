@@ -15,9 +15,12 @@ import (
 	"repro/internal/uncertain"
 )
 
-// The wire format. Regions are [x0, y0, x1, y1]; pdfs are "uniform"
-// (the paper's default) or "gaussian" (truncated, paper's σ
-// convention when sigma_x/sigma_y are omitted).
+// The wire format is a direct JSON encoding of core.Request /
+// core.Response, shared by the one-shot and standing-query paths.
+// Regions are [x0, y0, x1, y1]; pdfs are "uniform" (the paper's
+// default) or "gaussian" (truncated, paper's σ convention when
+// sigma_x/sigma_y are omitted). Unknown fields are rejected with a
+// structured 400.
 
 type issuerJSON struct {
 	Region []float64 `json:"region"`
@@ -26,12 +29,20 @@ type issuerJSON struct {
 	SigmaY float64   `json:"sigma_y,omitempty"`
 }
 
-type queryJSON struct {
-	Target    string     `json:"target,omitempty"` // "uncertain" (default) | "points"
+type requestJSON struct {
+	// Kind is "uncertain" (default), "points", or "nn". Target is the
+	// deprecated pre-Request spelling, honored as an alias when Kind
+	// is empty.
+	Kind      string     `json:"kind,omitempty"`
+	Target    string     `json:"target,omitempty"`
 	Issuer    issuerJSON `json:"issuer"`
-	W         float64    `json:"w"`
-	H         float64    `json:"h"`
+	W         float64    `json:"w,omitempty"`
+	H         float64    `json:"h,omitempty"`
 	Threshold float64    `json:"threshold,omitempty"`
+	K         int        `json:"k,omitempty"`
+	NNSamples int        `json:"nn_samples,omitempty"`
+	Workers   int        `json:"workers,omitempty"`
+	Seed      int64      `json:"seed,omitempty"`
 }
 
 type updateJSON struct {
@@ -91,30 +102,76 @@ func toPDF(region geom.Rect, kind string, sx, sy float64) (pdf.PDF, error) {
 	}
 }
 
-func (qj queryJSON) toQuery() (core.Query, core.Target, error) {
-	region, err := toRect(qj.Issuer.Region)
-	if err != nil {
-		return core.Query{}, 0, fmt.Errorf("issuer: %w", err)
+// maxRequestWorkers caps client-requested per-request refinement
+// fan-out so one request cannot commandeer the whole server.
+const maxRequestWorkers = 16
+
+// maxRequestNNSamples caps the client-requested per-candidate NN
+// sample count.
+const maxRequestNNSamples = 1 << 20
+
+// defaultNNBudget bounds an NN request's total Monte-Carlo draws
+// (samples × candidates) when neither the client nor the operator set
+// a budget. NN refinement scans every candidate per draw, so total
+// work grows with candidates² × samples; without a bound, a single
+// wide-issuer request over a large point database could burn CPU for
+// hours. Requests over budget get a structured 400 up front
+// (core.ErrSampleBudget), not a slow death. Operators override with
+// -max-samples.
+const defaultNNBudget = 1 << 24
+
+// toRequest decodes the wire request into a validated core.Request.
+// Errors are *core.RequestError where validation fails, so handlers
+// can surface the offending field.
+func (rj requestJSON) toRequest() (core.Request, error) {
+	kindName := rj.Kind
+	if kindName == "" {
+		kindName = rj.Target // deprecated alias
 	}
-	p, err := toPDF(region, qj.Issuer.PDF, qj.Issuer.SigmaX, qj.Issuer.SigmaY)
+	var kind core.Kind
+	switch kindName {
+	case "", "uncertain":
+		kind = core.KindUncertain
+	case "points":
+		kind = core.KindPoints
+	case "nn":
+		kind = core.KindNN
+	default:
+		return core.Request{}, &core.RequestError{Field: "kind",
+			Err: fmt.Errorf("%w: %q (want uncertain, points, or nn)", core.ErrBadKind, kindName)}
+	}
+	region, err := toRect(rj.Issuer.Region)
 	if err != nil {
-		return core.Query{}, 0, fmt.Errorf("issuer: %w", err)
+		return core.Request{}, &core.RequestError{Field: "issuer", Err: err}
+	}
+	p, err := toPDF(region, rj.Issuer.PDF, rj.Issuer.SigmaX, rj.Issuer.SigmaY)
+	if err != nil {
+		return core.Request{}, &core.RequestError{Field: "issuer", Err: err}
 	}
 	iss, err := uncertain.NewObject(-1, p, uncertain.PaperCatalogProbs())
 	if err != nil {
-		return core.Query{}, 0, fmt.Errorf("issuer: %w", err)
+		return core.Request{}, &core.RequestError{Field: "issuer", Err: err}
 	}
-	q := core.Query{Issuer: iss, W: qj.W, H: qj.H, Threshold: qj.Threshold}
-	var target core.Target
-	switch qj.Target {
-	case "", "uncertain":
-		target = core.TargetUncertain
-	case "points":
-		target = core.TargetPoints
-	default:
-		return core.Query{}, 0, fmt.Errorf("unknown target %q (want uncertain or points)", qj.Target)
+	workers := rj.Workers
+	if workers > maxRequestWorkers {
+		workers = maxRequestWorkers
 	}
-	return q, target, q.Validate()
+	nnSamples := rj.NNSamples
+	if nnSamples > maxRequestNNSamples {
+		nnSamples = maxRequestNNSamples
+	}
+	req := core.Request{
+		Kind:      kind,
+		Issuer:    iss,
+		W:         rj.W,
+		H:         rj.H,
+		Threshold: rj.Threshold,
+		K:         rj.K,
+		NNSamples: nnSamples,
+		Workers:   workers,
+		Seed:      rj.Seed,
+	}
+	return req, req.Validate()
 }
 
 func (uj updateJSON) toUpdate() (core.Update, error) {
@@ -183,14 +240,17 @@ func toDeltaJSON(d monitor.Delta) deltaJSON {
 
 // server is the HTTP layer over one monitor: one-shot evaluation,
 // standing-query registration and SSE delta streaming, update
-// ingestion, and metrics.
+// ingestion, and metrics. defaults are the operator's evaluation
+// options (deadline, sample budget), applied to wire requests that
+// carry none of their own.
 type server struct {
-	mon *monitor.Monitor
-	mux *http.ServeMux
+	mon      *monitor.Monitor
+	defaults core.EvalOptions
+	mux      *http.ServeMux
 }
 
-func newServer(mon *monitor.Monitor) *server {
-	s := &server{mon: mon, mux: http.NewServeMux()}
+func newServer(mon *monitor.Monitor, defaults core.EvalOptions) *server {
+	s := &server{mon: mon, defaults: defaults, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/queries", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/queries/{id}", s.handleQueryGet)
@@ -213,64 +273,104 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
+// writeError reports an error as JSON. Request-validation failures
+// carry the offending Request field so clients can see exactly what
+// to fix ({"error": ..., "field": ...}).
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	var reqErr *core.RequestError
+	if errors.As(err, &reqErr) {
+		body["field"] = reqErr.Field
+	}
+	writeJSON(w, status, body)
 }
 
+// writeRequestError maps an evaluation error to a status: malformed
+// requests (typed *core.RequestError) and budget refusals (the
+// request asked for more Monte-Carlo work than the server allows) are
+// the client's fault (400), anything else the server's (500).
+func (s *server) writeRequestError(w http.ResponseWriter, err error) {
+	var reqErr *core.RequestError
+	if errors.As(err, &reqErr) {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if errors.Is(err, core.ErrSampleBudget) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w (shrink the issuer region or nn_samples, or raise the server's -max-samples)", err))
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
+}
+
+// decodeBody decodes a JSON body, rejecting unknown fields — a typo
+// in a request must fail loudly, not be silently ignored.
 func decodeBody(r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
 }
 
-// POST /v1/evaluate — one-shot query.
+// decodeRequest decodes and validates the wire form of core.Request,
+// writing a structured 400 on failure.
+func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (core.Request, bool) {
+	var rj requestJSON
+	if err := decodeBody(r, &rj); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return core.Request{}, false
+	}
+	req, err := rj.toRequest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return core.Request{}, false
+	}
+	// Requests carrying no options of their own inherit the
+	// operator's deadline and sample budget; NN requests always run
+	// under some budget (their work grows with candidates² × samples,
+	// so an unbounded wide-issuer request must be refused up front,
+	// not served for hours).
+	if req.Options == (core.EvalOptions{}) {
+		req.Options = s.defaults
+	}
+	if req.Kind == core.KindNN && req.Options.MaxSamples == 0 {
+		req.Options.MaxSamples = defaultNNBudget
+	}
+	return req, true
+}
+
+// POST /v1/evaluate — one-shot request.
 func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	var qj queryJSON
-	if err := decodeBody(r, &qj); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
 		return
 	}
-	q, target, err := qj.toQuery()
+	resp, err := s.mon.Engine().Evaluate(r.Context(), req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	eng := s.mon.Engine()
-	var res core.Result
-	if target == core.TargetPoints {
-		res, err = eng.EvaluatePointsContext(r.Context(), q, core.EvalOptions{})
-	} else {
-		res, err = eng.EvaluateUncertainContext(r.Context(), q, core.EvalOptions{})
-	}
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeRequestError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"matches": toMatchesJSON(res.Matches),
-		"cost":    toCostJSON(res.Cost),
+		"kind":    resp.Kind.String(),
+		"version": resp.Version,
+		"matches": toMatchesJSON(resp.Matches),
+		"cost":    toCostJSON(resp.Cost),
 	})
 }
 
-// POST /v1/queries — register a standing query.
+// POST /v1/queries — register a standing request.
 func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	var qj queryJSON
-	if err := decodeBody(r, &qj); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
 		return
 	}
-	q, target, err := qj.toQuery()
+	sub, err := s.mon.Register(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	sub, err := s.mon.Register(q, target)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeRequestError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"id":       sub.ID(),
+		"kind":     sub.Request().Kind.String(),
 		"snapshot": toMatchesJSON(sub.Snapshot()),
 	})
 }

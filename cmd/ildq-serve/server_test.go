@@ -19,7 +19,7 @@ func testServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(monitor.New(eng, monitor.Config{Workers: 2})))
+	ts := httptest.NewServer(newServer(monitor.New(eng, monitor.Config{Workers: 2}), core.EvalOptions{}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -145,6 +145,175 @@ func TestServeLifecycle(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("deleted query still served: HTTP %d", resp.StatusCode)
+	}
+}
+
+// postRaw posts a body and returns the status code and decoded JSON
+// without failing on non-2xx (for the error-path tests).
+func postRaw(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: decoding: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestServeRejectsUnknownFields: the request decoder must refuse
+// unknown JSON fields with a structured 400 — a typo in a request
+// must fail loudly, not be silently ignored.
+func TestServeRejectsUnknownFields(t *testing.T) {
+	ts := testServer(t)
+	for _, path := range []string{"/v1/evaluate", "/v1/queries"} {
+		status, body := postRaw(t, ts.URL+path, `{
+			"issuer": {"region": [450, 450, 550, 550]}, "w": 100, "h": 100,
+			"treshold": 0.5}`)
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s with unknown field: HTTP %d, want 400", path, status)
+		}
+		msg, _ := body["error"].(string)
+		if !strings.Contains(msg, "treshold") {
+			t.Fatalf("%s error does not name the unknown field: %v", path, body)
+		}
+	}
+	// Updates share the decoder policy.
+	status, body := postRaw(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_object", "id": 7, "regoin": [480, 480, 520, 520]}]}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("updates with unknown field: HTTP %d (%v), want 400", status, body)
+	}
+}
+
+// TestServeInvalidRequests: malformed requests come back as
+// structured 400s carrying the core.RequestError message and the
+// offending field.
+func TestServeInvalidRequests(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name, body, field string
+	}{
+		{"bad kind", `{"kind": "voronoi", "issuer": {"region": [0, 0, 10, 10]}, "w": 5, "h": 5}`, "kind"},
+		{"bad threshold", `{"issuer": {"region": [0, 0, 10, 10]}, "w": 5, "h": 5, "threshold": 1.5}`, "threshold"},
+		{"missing extents", `{"issuer": {"region": [0, 0, 10, 10]}}`, "extent"},
+		{"nn without k", `{"kind": "nn", "issuer": {"region": [0, 0, 10, 10]}}`, "k"},
+		{"nn with extents", `{"kind": "nn", "issuer": {"region": [0, 0, 10, 10]}, "w": 5, "h": 5, "k": 3}`, "extent"},
+		{"k on range kind", `{"issuer": {"region": [0, 0, 10, 10]}, "w": 5, "h": 5, "k": 3}`, "k"},
+		{"bad issuer region", `{"issuer": {"region": [0, 0, 10]}, "w": 5, "h": 5}`, "issuer"},
+	}
+	for _, path := range []string{"/v1/evaluate", "/v1/queries"} {
+		for _, tc := range cases {
+			status, body := postRaw(t, ts.URL+path, tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("%s %s: HTTP %d (%v), want 400", path, tc.name, status, body)
+			}
+			if got, _ := body["field"].(string); got != tc.field {
+				t.Fatalf("%s %s: field = %q (%v), want %q", path, tc.name, got, body, tc.field)
+			}
+			if msg, _ := body["error"].(string); msg == "" {
+				t.Fatalf("%s %s: empty error message: %v", path, tc.name, body)
+			}
+		}
+	}
+}
+
+// TestServeNNBudgetRefusal: an NN request whose total Monte-Carlo
+// work (samples × candidates) exceeds the server's budget is refused
+// up front with a 400 — not served for hours.
+func TestServeNNBudgetRefusal(t *testing.T) {
+	ts := testServer(t)
+	// 64 clustered points, all of which survive pruning under a wide
+	// issuer; with nn_samples at the per-candidate cap the total blows
+	// the default budget (2^20 × 64 = 2^26 > 2^24).
+	var sb strings.Builder
+	sb.WriteString(`{"updates": [`)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"op": "upsert_point", "id": %d, "x": %d, "y": %d}`, i, 490+i%8, 490+i/8)
+	}
+	sb.WriteString(`]}`)
+	postJSON(t, ts.URL+"/v1/updates", sb.String())
+
+	status, body := postRaw(t, ts.URL+"/v1/evaluate", `{
+		"kind": "nn", "issuer": {"region": [0, 0, 1000, 1000]}, "k": 64, "nn_samples": 1048576}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("over-budget NN: HTTP %d (%v), want 400", status, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "budget") {
+		t.Fatalf("budget refusal message: %v", body)
+	}
+
+	// The same request at a modest sample count succeeds.
+	ev := postJSON(t, ts.URL+"/v1/evaluate", `{
+		"kind": "nn", "issuer": {"region": [0, 0, 1000, 1000]}, "k": 64, "nn_samples": 2000}`)
+	if len(ev["matches"].([]any)) == 0 {
+		t.Fatalf("in-budget NN returned nothing: %v", ev)
+	}
+}
+
+// TestServeNN: nearest neighbor is a first-class wire kind — one-shot
+// and standing — evaluated through the engine's point index.
+func TestServeNN(t *testing.T) {
+	ts := testServer(t)
+	postJSON(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_point", "id": 1, "x": 520, "y": 500},
+		{"op": "upsert_point", "id": 2, "x": 480, "y": 500},
+		{"op": "upsert_point", "id": 3, "x": 5000, "y": 5000}]}`)
+
+	ev := postJSON(t, ts.URL+"/v1/evaluate", `{
+		"kind": "nn", "issuer": {"region": [450, 450, 550, 550]}, "k": 2, "seed": 7}`)
+	if ev["kind"] != "nn" {
+		t.Fatalf("response kind: %v", ev)
+	}
+	ms := ev["matches"].([]any)
+	if len(ms) != 2 {
+		t.Fatalf("nn matches: %v", ev)
+	}
+	var ids []float64
+	var total float64
+	for _, m := range ms {
+		mm := m.(map[string]any)
+		ids = append(ids, mm["id"].(float64))
+		total += mm["p"].(float64)
+	}
+	for _, id := range ids {
+		if id == 3 {
+			t.Fatalf("distant point won a nearest-neighbor share: %v", ev)
+		}
+	}
+	if total < 0.9 {
+		t.Fatalf("nearby points share %.3f of the probability, want ~1: %v", total, ev)
+	}
+
+	// Standing NN request: registration snapshot, then a point move
+	// re-derives the answer (NN guards are unbounded — every batch
+	// re-evaluates).
+	reg := postJSON(t, ts.URL+"/v1/queries", `{
+		"kind": "nn", "issuer": {"region": [450, 450, 550, 550]}, "k": 2}`)
+	if reg["kind"] != "nn" || len(reg["snapshot"].([]any)) != 2 {
+		t.Fatalf("standing nn registration: %v", reg)
+	}
+	up := postJSON(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_point", "id": 3, "x": 500, "y": 480}]}`)
+	if up["reevaluated"].(float64) != 1 {
+		t.Fatalf("standing nn was not re-evaluated: %v", up)
+	}
+	id := int64(reg["id"].(float64))
+	resp, err := http.Get(fmt.Sprintf("%s/v1/queries/%d", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if len(got["snapshot"].([]any)) != 2 {
+		t.Fatalf("standing nn answer after move: %v", got)
 	}
 }
 

@@ -4,72 +4,90 @@
 // over databases of exact points and uncertain objects, returning
 // probabilistic guarantees.
 //
-// The package is a façade over the internal packages; it exposes
-// everything an application needs:
+// # The Request model
+//
+// The engine's query surface is one value type and one entry point:
+// a Request describes any evaluation — its Kind (KindUncertain,
+// KindPoints, or KindNN), issuer, constraint, EvalOptions, refinement
+// fan-out (Workers), and reproducibility Seed — and
+// Evaluate(ctx, req) runs it, returning a Response (the Result plus
+// the kind and the engine version observed). Evaluate is defined on
+// *Snapshot, so every evaluation observes exactly one pinned MVCC
+// version; Engine.Evaluate is the one-shot pin-evaluate-release
+// wrapper. EvaluateAll(ctx, reqs, opts, fn) is the single fan-out
+// form: requests run opts.Workers at a time against one pinned
+// version, each with an independent deterministic sampling seed, and
+// responses stream to the handler in completion order with
+// per-request deadlines and whole-batch cancellation. Malformed
+// requests return a typed *RequestError naming the offending field.
+//
+//	issuerPDF, _ := repro.NewUniformPDF(repro.RectCentered(repro.Pt(5200, 4800), 250, 250))
+//	issuer, _ := repro.NewIssuer(issuerPDF)
+//	engine, _ := repro.NewEngine(points, objects, repro.EngineOptions{})
+//	resp, _ := engine.Evaluate(ctx, repro.RequestUncertain(issuer, 500, 500, 0.5))
+//	for _, m := range resp.Matches {
+//		fmt.Printf("object %d qualifies with probability %.3f\n", m.ID, m.P)
+//	}
+//
+// Nearest neighbor is a first-class kind: RequestNN(issuer, k)
+// returns the k most probable nearest neighbors of the imprecise
+// issuer among the point objects (the paper's §7 future-work
+// extension). Candidates are pruned by branch-and-bound over the
+// engine's point R-tree — node accesses recorded in Cost like every
+// other kind — and refined with one deterministic Monte-Carlo sample
+// stream per candidate object id, so results are bit-identical at
+// every Workers count and consistent under concurrent ingestion.
+//
+// The pre-Request methods (EvaluatePoints, EvaluateUncertain, their
+// Context variants, EvaluateUncertainParallel, EvaluateBatch,
+// EvaluateBatchStream, EvaluateUncertainBatch, and the slice-based
+// EvaluateNN) remain as deprecated shims over Evaluate/EvaluateAll
+// with bit-identical results; see the README's migration table.
+//
+// # What the package provides
 //
 //   - building location pdfs (uniform, truncated Gaussian, histogram
 //     grids, mixtures) and uncertain objects with U-catalogs;
 //   - constructing an Engine over point and uncertain-object datasets
 //     (bulk-loaded R-tree and Probability Threshold Index);
-//   - evaluating IPQ, IUQ, C-IPQ and C-IUQ queries with the paper's
+//   - evaluating IPQ, IUQ, C-IPQ and C-IUQ requests with the paper's
 //     query expansion, query-data duality, and threshold pruning;
-//   - adaptive refinement: Monte-Carlo refinement of threshold queries
-//     early-terminates per candidate once a Hoeffding / empirical
-//     Bernstein bound has decided it against the threshold — the same
-//     qualifying set for a fraction of the samples, with the saving
-//     reported in Cost.SamplesUsed and Cost.EarlyStopped (see
-//     ObjectEvalConfig.Adaptive);
-//   - concurrent query serving: the read path is safe for any number
-//     of simultaneous queries — over in-memory or paged storage (a
-//     sharded CLOCK buffer pool with asynchronous dirty-page
-//     write-back; evictions never stall concurrent pins) — each
-//     returning its own exact per-query Cost; Engine.EvaluateBatch
-//     fans a workload out over a worker pool with per-query
-//     deterministic sampling seeds, and Engine.EvaluateBatchStream
-//     streams results through a callback with per-query deadlines
-//     (EvalOptions.Timeout), per-query sample budgets
-//     (EvalOptions.MaxSamples), and whole-batch cancellation, so
-//     arbitrarily large workloads evaluate in constant memory;
+//   - adaptive refinement: Monte-Carlo refinement of threshold
+//     requests early-terminates per candidate once a Hoeffding /
+//     empirical Bernstein bound has decided it against the threshold
+//     (Cost.SamplesUsed, Cost.EarlyStopped; ObjectEvalConfig.Adaptive);
+//   - concurrent serving: any number of goroutines may Evaluate
+//     simultaneously — over in-memory or paged storage (a sharded
+//     CLOCK buffer pool with asynchronous dirty-page write-back) —
+//     each response carrying its own exact per-request Cost;
 //   - dynamic updates concurrent with queries, under MVCC snapshot
 //     isolation: every evaluation pins the immutable engine state
 //     current when it starts and runs lock-free against it, while
-//     mutators build the next state copy-on-write (path-copied index
-//     nodes, bucket-copied object tables) and publish it atomically —
-//     so position re-reports, joins, and leaves (Engine.ApplyUpdates
-//     batches them into one transaction) never wait for in-flight
-//     evaluations and vice versa. Each committed batch advances
-//     Engine.Version; Engine.Snapshot pins one version explicitly
-//     across many evaluations (Snapshot.Close releases it for index
-//     reclamation);
-//   - continuous monitoring: Monitor serves standing queries over the
-//     update stream. Register returns a Subscription streaming delta
-//     results (objects entering/leaving the qualifying set, with
-//     probabilities); ApplyUpdates re-evaluates only the standing
-//     queries whose guard region (GuardRegion — the prepared plan's
-//     index probe region) the batch's dirty rectangles touch,
-//     keeping every other cached answer at zero cost;
-//   - the imprecise nearest-neighbor extension;
+//     mutators build the next state copy-on-write and publish it
+//     atomically — Engine.ApplyUpdates never waits for evaluations
+//     and vice versa. Engine.Snapshot pins one version across many
+//     evaluations (Snapshot.Close releases it);
+//   - continuous monitoring: Monitor serves standing Requests over
+//     the update stream. Register(req) returns a Subscription
+//     streaming delta results; ApplyUpdates re-evaluates only the
+//     standing requests whose guard region (Request.GuardRegion) the
+//     batch's dirty rectangles touch;
+//   - the imprecise nearest-neighbor extension as a first-class
+//     request kind;
 //   - synthetic dataset generation matching the paper's experimental
 //     setup.
 //
-// Serving architecture: one-shot queries call Evaluate* directly;
-// batch workloads go through EvaluateBatch / EvaluateBatchStream;
-// standing workloads register with a Monitor and consume deltas. The
-// cmd/ildq-serve binary exposes all three over HTTP/JSON — POST
-// /v1/evaluate, POST /v1/queries + GET /v1/queries/{id}/stream
-// (server-sent events), POST /v1/updates, GET /metrics — see its
-// package documentation for a curl quickstart.
+// Serving architecture: one-shot requests call Evaluate; batch
+// workloads go through EvaluateAll; standing workloads register with
+// a Monitor and consume deltas. The cmd/ildq-serve binary exposes all
+// three over HTTP/JSON — the wire format is a direct encoding of
+// Request/Response (POST /v1/evaluate, POST /v1/queries + GET
+// /v1/queries/{id}/stream as server-sent events, POST /v1/updates,
+// GET /metrics); see its package documentation for a curl quickstart.
 //
-// Quick start:
-//
-//	issuerPDF, _ := repro.NewUniformPDF(repro.RectCentered(repro.Pt(5200, 4800), 250, 250))
-//	issuer, _ := repro.NewIssuer(issuerPDF)
-//	engine, _ := repro.NewEngine(points, objects, repro.EngineOptions{})
-//	res, _ := engine.EvaluateUncertain(repro.Query{Issuer: issuer, W: 500, H: 500, Threshold: 0.5},
-//		repro.EvalOptions{})
-//	for _, m := range res.Matches {
-//		fmt.Printf("object %d qualifies with probability %.3f\n", m.ID, m.P)
-//	}
+// The public API surface is checked into api/repro.txt; `make
+// apicheck` fails when it drifts, so surface growth is a reviewed
+// decision.
 //
 // See examples/ for runnable programs and DESIGN.md for the map from
 // the paper's sections to packages.

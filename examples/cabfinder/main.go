@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -101,9 +102,8 @@ func main() {
 			log.Fatal(err)
 		}
 
-		res, err := engine.EvaluateUncertain(repro.Query{
-			Issuer: issuer, W: rangeHalf, H: rangeHalf, Threshold: threshold,
-		}, repro.EvalOptions{})
+		res, err := engine.Evaluate(context.Background(),
+			repro.RequestUncertain(issuer, rangeHalf, rangeHalf, threshold))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -67,7 +67,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		subs[i], err = mon.Register(repro.Query{Issuer: issuer, W: 700, H: 700, Threshold: z.qp}, repro.TargetUncertain)
+		subs[i], err = mon.Register(repro.RequestUncertain(issuer, 700, 700, z.qp))
 		if err != nil {
 			log.Fatal(err)
 		}

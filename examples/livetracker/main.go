@@ -5,12 +5,11 @@
 //
 // The program maintains an engine under churn (ReplaceObject on every
 // position re-report, Insert/Delete as vehicles enter and leave
-// service), answers a batch of concurrent rider queries each epoch
-// with EvaluateBatchStream — results stream back as each rider's
-// query finishes, under a per-query deadline, the serving mode meant
-// for workloads too large to collect into a slice — and tracks the
-// answer-quality metrics (expected count, quality score, entropy) as
-// fleet uncertainty changes.
+// service), answers a batch of concurrent rider requests each epoch
+// with EvaluateAll — responses stream back as each rider's request
+// finishes, under a per-request deadline, against one pinned snapshot
+// — and tracks the answer-quality metrics (expected count, quality
+// score, entropy) as fleet uncertainty changes.
 //
 // Run with: go run ./examples/livetracker
 package main
@@ -89,11 +88,12 @@ func main() {
 			nextID++
 		}
 
-		// A batch of rider queries, streamed concurrently: each result
-		// is delivered as its query finishes, under a 100ms per-query
-		// deadline (a dispatch service would rather drop one rider's
-		// answer than stall the epoch).
-		var batch []repro.BatchQuery
+		// A batch of rider requests, fanned out with EvaluateAll: each
+		// response is delivered as its request finishes, under a 100ms
+		// per-request deadline (a dispatch service would rather drop
+		// one rider's answer than stall the epoch), and the whole
+		// batch observes one engine version.
+		var batch []repro.Request
 		for r := 0; r < ridersPerE; r++ {
 			issPDF, err := repro.NewUniformPDF(repro.RectCentered(
 				repro.Pt(rng.Float64()*worldSize, rng.Float64()*worldSize), 200, 200))
@@ -104,30 +104,33 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			batch = append(batch, repro.BatchQuery{Query: repro.Query{
-				Issuer: issuer, W: rangeHalf, H: rangeHalf, Threshold: threshold,
-			}})
+			req := repro.RequestUncertain(issuer, rangeHalf, rangeHalf, threshold)
+			req.Options.Timeout = 100 * time.Millisecond
+			batch = append(batch, req)
 		}
-		results := make([]repro.BatchResult, len(batch))
-		err := engine.EvaluateBatchStream(context.Background(), batch,
-			repro.EvalOptions{Timeout: 100 * time.Millisecond}, 4,
-			func(i int, br repro.BatchResult) { results[i] = br })
+		type answer struct {
+			resp repro.Response
+			err  error
+		}
+		results := make([]answer, len(batch))
+		err := engine.EvaluateAll(context.Background(), batch, repro.AllOptions{Workers: 4},
+			func(i int, resp repro.Response, err error) { results[i] = answer{resp, err} })
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		fmt.Printf("epoch %d | fleet %d vehicles\n", epoch, engine.NumUncertain())
-		for r, br := range results {
-			if br.Err != nil {
-				// A rider whose query overran its deadline: report and
+		for r, a := range results {
+			if a.err != nil {
+				// A rider whose request overran its deadline: report and
 				// move on — the rest of the epoch's answers are good.
-				fmt.Printf("  rider %d: no answer (%v)\n", r+1, br.Err)
+				fmt.Printf("  rider %d: no answer (%v)\n", r+1, a.err)
 				continue
 			}
-			m := br.Result.Matches
+			m := a.resp.Matches
 			fmt.Printf("  rider %d: %2d callable | E[in range] %.1f | quality %.2f | entropy %.1f bits | %d node reads\n",
 				r+1, len(m), repro.ExpectedCount(m), repro.QualityScore(m),
-				repro.AnswerEntropy(m), br.Result.Cost.NodeAccesses)
+				repro.AnswerEntropy(m), a.resp.Cost.NodeAccesses)
 		}
 	}
 }

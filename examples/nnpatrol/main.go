@@ -1,21 +1,24 @@
 // NNPatrol: the paper's future-work extension (§7) in action —
-// imprecise location-dependent nearest-neighbor queries.
+// imprecise location-dependent nearest-neighbor queries as a
+// first-class engine request.
 //
 // A police dispatcher knows an officer's position only up to a cell
 // sector (an uncertainty region) and must decide which patrol station
 // is "the officer's nearest" — a question that has no single answer
-// under uncertainty. The program computes, for each station, the
-// probability of being the nearest, under both a uniform and a
-// Gaussian model of the officer's position, and shows the effect of a
-// confidence threshold.
+// under uncertainty. The program indexes the stations in an engine
+// and evaluates RequestNN — candidates are pruned by branch-and-bound
+// over the R-tree (node accesses reported in the cost), refinement
+// draws a deterministic sample stream per station — under both a
+// uniform and a Gaussian model of the officer's position, and shows
+// the effect of a confidence threshold.
 //
 // Run with: go run ./examples/nnpatrol
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"repro"
 )
@@ -29,8 +32,11 @@ func main() {
 		{ID: 5, Loc: repro.Pt(6800, 6100)},
 		{ID: 6, Loc: repro.Pt(2500, 8200)}, // far precinct, should be pruned
 	}
+	engine, err := repro.NewEngine(stations, nil, repro.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	officerRegion := repro.RectCentered(repro.Pt(5000, 5000), 600, 450)
-	rng := rand.New(rand.NewSource(7))
 
 	fmt.Printf("officer somewhere in %v\n\n", officerRegion)
 
@@ -43,6 +49,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	mkReq := func(p repro.PDF, threshold float64) repro.Request {
+		issuer, err := repro.NewIssuer(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req := repro.RequestNN(issuer, len(stations))
+		req.Threshold = threshold
+		req.NNSamples = 60000
+		req.Seed = 7
+		return req
+	}
+
 	for _, tc := range []struct {
 		name string
 		pdf  repro.PDF
@@ -50,13 +68,13 @@ func main() {
 		{"uniform position model", uniform},
 		{"gaussian position model (likely near sector center)", gaussian},
 	} {
-		res, err := repro.EvaluateNN(stations, tc.pdf, 60000, rng)
+		resp, err := engine.Evaluate(context.Background(), mkReq(tc.pdf, 0))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s — %d of %d stations survive distance pruning:\n",
-			tc.name, res.Candidates, len(stations))
-		for _, m := range res.Matches {
+		fmt.Printf("%s — %d of %d stations survive index pruning (%d node reads):\n",
+			tc.name, resp.Cost.Refined, len(stations), resp.Cost.NodeAccesses)
+		for _, m := range resp.Matches {
 			fmt.Printf("  station %d nearest with probability %.3f\n", m.ID, m.P)
 		}
 		fmt.Println()
@@ -64,7 +82,7 @@ func main() {
 
 	// Dispatch policy: only radio stations that are nearest with
 	// probability at least 0.25.
-	th, err := repro.EvaluateNNThreshold(stations, uniform, 0.25, 60000, rng)
+	th, err := engine.Evaluate(context.Background(), mkReq(uniform, 0.25))
 	if err != nil {
 		log.Fatal(err)
 	}

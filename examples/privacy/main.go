@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,9 +50,8 @@ func main() {
 		}
 
 		// Unconstrained IPQ: every restaurant with non-zero chance.
-		res, err := engine.EvaluatePoints(repro.Query{
-			Issuer: issuer, W: rangeHalf, H: rangeHalf,
-		}, repro.EvalOptions{})
+		res, err := engine.Evaluate(context.Background(),
+			repro.RequestPoints(issuer, rangeHalf, rangeHalf, 0))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,9 +66,8 @@ func main() {
 
 		// C-IPQ with a 0.5 threshold: the "useful" answers, evaluated
 		// cheaply thanks to the Qp-expanded query.
-		resC, err := engine.EvaluatePoints(repro.Query{
-			Issuer: issuer, W: rangeHalf, H: rangeHalf, Threshold: 0.5,
-		}, repro.EvalOptions{})
+		resC, err := engine.Evaluate(context.Background(),
+			repro.RequestPoints(issuer, rangeHalf, rangeHalf, 0.5))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,10 +59,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	query := repro.Query{Issuer: issuer, W: 500, H: 500}
+	ctx := context.Background()
 
-	// IPQ: probabilistic range query over the exact points.
-	res, err := engine.EvaluatePoints(query, repro.EvalOptions{})
+	// IPQ: probabilistic range query over the exact points. Every
+	// query is one Request evaluated by the engine's single entry
+	// point.
+	res, err := engine.Evaluate(ctx, repro.RequestPoints(issuer, 500, 500, 0))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +74,7 @@ func main() {
 	}
 
 	// IUQ: both the issuer and the data are uncertain.
-	resU, err := engine.EvaluateUncertain(query, repro.EvalOptions{})
+	resU, err := engine.Evaluate(ctx, repro.RequestUncertain(issuer, 500, 500, 0))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,8 +84,7 @@ func main() {
 	}
 
 	// C-IUQ: keep only confident answers (Qp = 0.5).
-	query.Threshold = 0.5
-	resC, err := engine.EvaluateUncertain(query, repro.EvalOptions{})
+	resC, err := engine.Evaluate(ctx, repro.RequestUncertain(issuer, 500, 500, 0.5))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,12 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"math/rand"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/uncertain"
 )
 
 // AdaptivePoint is one measured operating point of the adaptive
@@ -79,31 +80,31 @@ func AdaptiveRefinement(env *Env, queries int, thresholds []float64, mcSamples i
 		return AdaptiveReport{}, err
 	}
 
-	mkOpts := func(seed int64, mode core.AdaptiveMode) core.EvalOptions {
-		return core.EvalOptions{
-			Rng: rand.New(rand.NewSource(seed)),
-			Object: core.ObjectEvalConfig{
-				ForceMonteCarlo: true,
-				MCSamples:       mcSamples,
-				Adaptive:        mode,
-			},
+	mkReq := func(iss *uncertain.Object, qp float64, seed int64, mode core.AdaptiveMode) core.Request {
+		req := core.RequestUncertain(iss, p.W, p.W, qp)
+		req.Seed = seed
+		req.Options.Object = core.ObjectEvalConfig{
+			ForceMonteCarlo: true,
+			MCSamples:       mcSamples,
+			Adaptive:        mode,
 		}
+		return req
 	}
 
 	for _, qp := range thresholds {
 		pt := AdaptivePoint{Threshold: qp, Queries: queries, QualifyingEqual: true}
 		var fullDur, adptDur time.Duration
 		for i, iss := range issuers {
-			q := core.Query{Issuer: iss, W: p.W, H: p.W, Threshold: qp}
 			seed := int64(9000 + i)
-			full, err := env.Engine.EvaluateUncertain(q, mkOpts(seed, core.AdaptiveOff))
+			fullResp, err := env.Engine.Evaluate(context.Background(), mkReq(iss, qp, seed, core.AdaptiveOff))
 			if err != nil {
 				return AdaptiveReport{}, err
 			}
-			adpt, err := env.Engine.EvaluateUncertain(q, mkOpts(seed, core.AdaptiveAuto))
+			adptResp, err := env.Engine.Evaluate(context.Background(), mkReq(iss, qp, seed, core.AdaptiveAuto))
 			if err != nil {
 				return AdaptiveReport{}, err
 			}
+			full, adpt := fullResp.Result, adptResp.Result
 			pt.Refined += full.Cost.Refined
 			pt.FullSamples += full.Cost.SamplesUsed
 			pt.AdaptiveSamples += adpt.Cost.SamplesUsed

@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -184,27 +185,29 @@ const (
 	overUncertain
 )
 
+// coreKind maps the experiment's database selector to the request
+// kind.
+func (k queryKind) coreKind() core.Kind {
+	if k == overPoints {
+		return core.KindPoints
+	}
+	return core.KindUncertain
+}
+
 // runPoint executes one workload (one sweep x-value) and averages the
 // metrics.
 func (e *Env) runPoint(kind queryKind, issuers []*uncertain.Object, w, h, qp float64, opts core.EvalOptions, x float64) (Sample, error) {
 	var agg Sample
 	agg.X = x
 	for _, iss := range issuers {
-		q := core.Query{Issuer: iss, W: w, H: h, Threshold: qp}
-		var (
-			res core.Result
-			err error
-		)
+		req := core.Request{Kind: kind.coreKind(), Issuer: iss, W: w, H: h, Threshold: qp, Options: opts}
 		start := time.Now()
-		if kind == overPoints {
-			res, err = e.Engine.EvaluatePoints(q, opts)
-		} else {
-			res, err = e.Engine.EvaluateUncertain(q, opts)
-		}
+		resp, err := e.Engine.Evaluate(context.Background(), req)
 		elapsed := time.Since(start)
 		if err != nil {
 			return Sample{}, err
 		}
+		res := resp.Result
 		agg.TimeMS += float64(elapsed.Nanoseconds()) / 1e6
 		agg.NodeIO += float64(res.Cost.NodeAccesses)
 		agg.Candidates += float64(res.Cost.Candidates)

@@ -86,7 +86,7 @@ func Continuous(env *Env, standing, batches, batchSize, workers int) (Continuous
 		if i%2 == 1 {
 			qp = 0.5
 		}
-		subs[i], err = mon.Register(core.Query{Issuer: iss, W: p.W, H: p.W, Threshold: qp}, core.TargetUncertain)
+		subs[i], err = mon.Register(core.RequestUncertain(iss, p.W, p.W, qp))
 		if err != nil {
 			return ContinuousReport{}, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -39,43 +40,53 @@ func (r ThroughputReport) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// throughputWorkload builds the C-IUQ batch the serving experiments
-// replay: n issuers at the Table 2 defaults with threshold qp.
-func throughputWorkload(env *Env, n int, qp float64) ([]core.BatchQuery, error) {
+// throughputWorkload builds the C-IUQ request batch the serving
+// experiments replay: n issuers at the Table 2 defaults with
+// threshold qp.
+func throughputWorkload(env *Env, n int, qp float64) ([]core.Request, error) {
 	p := DefaultParams()
 	issuers, err := env.Issuers(n, p.U)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]core.BatchQuery, n)
+	out := make([]core.Request, n)
 	for i, iss := range issuers {
-		out[i] = core.BatchQuery{Query: core.Query{Issuer: iss, W: p.W, H: p.W, Threshold: qp}}
+		out[i] = core.RequestUncertain(iss, p.W, p.W, qp)
 	}
 	return out, nil
 }
 
-// measureBatch replays the batch at each worker count and records QPS.
-// One unmeasured serial replay warms caches (buffer pool, page cache,
-// allocator) first, so the measured points compare steady-state serving
-// rather than crediting later worker counts with the earlier ones'
-// warm-up.
-func measureBatch(engine *core.Engine, batch []core.BatchQuery, workerCounts []int, name string) (ThroughputReport, error) {
+// measureBatch replays the request batch at each worker count through
+// EvaluateAll and records QPS. One unmeasured serial replay warms
+// caches (buffer pool, page cache, allocator) first, so the measured
+// points compare steady-state serving rather than crediting later
+// worker counts with the earlier ones' warm-up.
+func measureBatch(engine *core.Engine, batch []core.Request, workerCounts []int, name string) (ThroughputReport, error) {
 	rep := ThroughputReport{Name: name}
-	for _, r := range engine.EvaluateBatch(batch, core.EvalOptions{}, 1) {
-		if r.Err != nil {
-			return ThroughputReport{}, r.Err
+	run := func(workers int) (float64, error) {
+		var latMS float64
+		var firstErr error
+		err := engine.EvaluateAll(context.Background(), batch, core.AllOptions{Workers: workers},
+			func(i int, resp core.Response, err error) {
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				latMS += float64(resp.Cost.Duration.Nanoseconds()) / 1e6
+			})
+		if err == nil {
+			err = firstErr
 		}
+		return latMS, err
+	}
+	if _, err := run(1); err != nil {
+		return ThroughputReport{}, err
 	}
 	for _, workers := range workerCounts {
 		start := time.Now()
-		out := engine.EvaluateBatch(batch, core.EvalOptions{}, workers)
+		latMS, err := run(workers)
 		elapsed := time.Since(start)
-		var latMS float64
-		for _, r := range out {
-			if r.Err != nil {
-				return ThroughputReport{}, r.Err
-			}
-			latMS += float64(r.Result.Cost.Duration.Nanoseconds()) / 1e6
+		if err != nil {
+			return ThroughputReport{}, err
 		}
 		rep.Points = append(rep.Points, ThroughputPoint{
 			Workers:       workers,

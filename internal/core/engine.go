@@ -51,19 +51,27 @@ type EngineOptions struct {
 // Superseded index nodes are reclaimed once the last evaluation
 // pinning them finishes (see SnapshotStats).
 //
-// Every Result carries its own exact per-query Cost: node accesses
-// are counted per search call, not in shared tree state, so
-// concurrent queries do not perturb each other's counters. Any number
-// of goroutines may call the Evaluate* methods simultaneously — over
-// in-memory or paged node stores (the sharded buffer pool is
-// internally synchronized) — as long as each call uses a distinct
-// EvalOptions.Rng (or leaves it nil inside EvaluateBatch /
-// EvaluateBatchStream, which derive an independent source per query).
+// The query surface is the Request model: Evaluate(ctx, Request)
+// answers any kind (range over uncertain objects or points, nearest
+// neighbor) and EvaluateAll is the one fan-out form; both are defined
+// on Snapshot with thin Engine wrappers, so every evaluation flows
+// through the single pinned-snapshot code path. The legacy Evaluate*
+// methods are deprecated shims over them.
 //
-// Determinism: for a fixed engine version, query, and options seed,
-// enhanced evaluation is bit-identical at every worker count (serial
+// Every Response carries its own exact per-request Cost: node
+// accesses are counted per search call, not in shared tree state, so
+// concurrent requests do not perturb each other's counters. Any
+// number of goroutines may Evaluate simultaneously — over in-memory
+// or paged node stores (the sharded buffer pool is internally
+// synchronized) — as long as each call uses a distinct Request.Seed
+// or EvalOptions.Rng (EvaluateAll derives an independent seed per
+// request automatically).
+//
+// Determinism: for a fixed engine version, request, and seed,
+// evaluation is bit-identical at every worker count (serial
 // included): Monte-Carlo refinement derives one sample stream per
-// candidate object, keyed by object id — see refineSurvivors.
+// candidate object, keyed by object id — see refineSurvivors and
+// nn.RefineCandidates.
 type Engine struct {
 	// writeMu serializes writers; readers never take it.
 	writeMu sync.Mutex
@@ -238,21 +246,27 @@ func (o EvalOptions) evalContext(ctx context.Context) (context.Context, context.
 	return ctx, func() {}
 }
 
-// EvaluatePoints answers IPQ (Threshold == 0) and C-IPQ (Threshold > 0)
-// queries over the point-object database.
-func (e *Engine) EvaluatePoints(q Query, opts EvalOptions) (Result, error) {
-	return e.EvaluatePointsContext(context.Background(), q, opts)
+// requestFor adapts a legacy (Query, EvalOptions) pair to a Request —
+// the conversion every deprecated Evaluate* shim routes through.
+func requestFor(kind Kind, q Query, opts EvalOptions) Request {
+	return Request{Kind: kind, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold, Options: opts}
 }
 
-// EvaluatePointsContext is EvaluatePoints bounded by ctx (and by
-// opts.Timeout, whichever expires first): cancellation is observed at
-// candidate granularity and surfaces as the context's error. The
-// evaluation runs against the snapshot current at the call, pinned
-// lock-free for its duration.
+// EvaluatePoints answers IPQ (Threshold == 0) and C-IPQ (Threshold > 0)
+// queries over the point-object database.
+//
+// Deprecated: use Evaluate with a KindPoints Request.
+func (e *Engine) EvaluatePoints(q Query, opts EvalOptions) (Result, error) {
+	resp, err := e.Evaluate(context.Background(), requestFor(KindPoints, q, opts))
+	return resp.Result, err
+}
+
+// EvaluatePointsContext is EvaluatePoints bounded by ctx.
+//
+// Deprecated: use Evaluate with a KindPoints Request.
 func (e *Engine) EvaluatePointsContext(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
-	st := e.acquireState()
-	defer e.releaseState(st)
-	return st.evaluatePoints(ctx, q, opts)
+	resp, err := e.Evaluate(ctx, requestFor(KindPoints, q, opts))
+	return resp.Result, err
 }
 
 // evaluatePoints validates, applies defaults and deadline, and
@@ -413,19 +427,19 @@ func (st *engineState) evaluatePointsBasic(ctx context.Context, q Query, opts Ev
 
 // EvaluateUncertain answers IUQ (Threshold == 0) and C-IUQ
 // (Threshold > 0) queries over the uncertain-object database.
+//
+// Deprecated: use Evaluate with a KindUncertain Request.
 func (e *Engine) EvaluateUncertain(q Query, opts EvalOptions) (Result, error) {
-	return e.EvaluateUncertainContext(context.Background(), q, opts)
+	resp, err := e.Evaluate(context.Background(), requestFor(KindUncertain, q, opts))
+	return resp.Result, err
 }
 
-// EvaluateUncertainContext is EvaluateUncertain bounded by ctx (and by
-// opts.Timeout, whichever expires first): cancellation is observed at
-// candidate granularity — during both the index probe and refinement —
-// and surfaces as the context's error. The evaluation runs against the
-// snapshot current at the call, pinned lock-free for its duration.
+// EvaluateUncertainContext is EvaluateUncertain bounded by ctx.
+//
+// Deprecated: use Evaluate with a KindUncertain Request.
 func (e *Engine) EvaluateUncertainContext(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
-	st := e.acquireState()
-	defer e.releaseState(st)
-	return st.evaluateUncertain(ctx, q, opts, 1)
+	resp, err := e.Evaluate(ctx, requestFor(KindUncertain, q, opts))
+	return resp.Result, err
 }
 
 // evaluateUncertain validates, applies defaults and deadline, and

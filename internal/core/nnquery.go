@@ -1,0 +1,162 @@
+package core
+
+import (
+	"cmp"
+	"context"
+	"math"
+	"slices"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/index/rtree"
+	"repro/internal/nn"
+	"repro/internal/uncertain"
+)
+
+// This file evaluates KindNN requests — the paper's §7 imprecise
+// nearest-neighbor extension — as a first-class engine query: the
+// candidate set comes from branch-and-bound over the pinned
+// snapshot's point R-tree (node accesses recorded in Cost, like every
+// other kind) instead of a linear scan over a caller-supplied slice,
+// and refinement reuses package nn's per-candidate-id sample streams,
+// so results are bit-identical at every worker count and stable under
+// concurrent ingestion (the snapshot is immutable).
+
+// nnTau computes tau, the smallest maximum distance any indexed point
+// has to u0, by best-first branch-and-bound: interior entries are
+// bounded below by max over u0's corners of MinDist(corner, node
+// rect) — every point inside the node is at least that far from some
+// corner, and the point-to-rect maximum is always attained at a
+// corner — so the first leaf popped is the global minimum. Returns
+// +Inf over an empty index.
+func nnTau(idx *rtree.Tree, u0 geom.Rect) (float64, int64, error) {
+	corners := u0.Corners()
+	prio := func(e rtree.Entry, leaf bool) float64 {
+		if leaf {
+			// Points are stored as degenerate rectangles: Lo is the
+			// location.
+			return u0.MaxDist(e.Rect.Lo)
+		}
+		var bound float64
+		for _, c := range corners {
+			if d := e.Rect.MinDist(c); d > bound {
+				bound = d
+			}
+		}
+		return bound
+	}
+	tau := math.Inf(1)
+	na, err := idx.BestFirstCounted(prio, math.Inf(1), func(_ rtree.Entry, p float64) (float64, bool) {
+		tau = p
+		return p, false // first leaf in ascending order is the minimum
+	})
+	return tau, na, err
+}
+
+// evaluateNN answers one KindNN request against this state. req must
+// already be validated; opts is req.Options with any Seed applied.
+func (st *engineState) evaluateNN(ctx context.Context, req Request, opts EvalOptions) (Result, error) {
+	start := time.Now()
+	opts = opts.withDefaults()
+	ctx, cancel := opts.evalContext(ctx)
+	defer cancel()
+
+	samples := req.NNSamples
+	if samples <= 0 {
+		samples = nn.DefaultSamples
+	}
+
+	var res Result
+	// An empty point database has an empty answer — not an error —
+	// so standing NN requests drain to empty via Left deltas when the
+	// last point is deleted, exactly like the range kinds. (The
+	// legacy slice-based nn.Evaluate keeps its ErrNoObjects contract.)
+	if st.points.Len() == 0 {
+		res.Cost.Duration = time.Since(start)
+		return res, nil
+	}
+	u0 := req.Issuer.Region()
+
+	// Stage 1: candidate pruning through the index. tau bounds the
+	// distance within which the nearest neighbor must lie; the
+	// candidates are exactly the points whose MinDist to U0 does not
+	// exceed it, found by a range probe of the tau-expanded region
+	// (its bounding box, with an exact MinDist filter per entry).
+	tau, na, err := nnTau(st.pointIdx, u0)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Cost.NodeAccesses = na
+	if err := canceled(ctx); err != nil {
+		return Result{}, err
+	}
+
+	var cands []uncertain.PointObject
+	na, err = st.pointIdx.SearchCounted(u0.Expand(tau, tau), nil, func(en rtree.Entry) bool {
+		if canceled(ctx) != nil {
+			return false
+		}
+		res.Cost.Candidates++
+		p, ok := st.points.Get(uncertain.ID(en.Ref))
+		if !ok {
+			return true
+		}
+		if u0.MinDist(p.Loc) <= tau {
+			cands = append(cands, p)
+		}
+		return true
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := canceled(ctx); err != nil {
+		return Result{}, err
+	}
+	res.Cost.NodeAccesses += na
+	// Sort by id so tie-breaking inside the refinement kernel (slice
+	// order) is a pure function of the candidate set.
+	slices.SortFunc(cands, func(a, b uncertain.PointObject) int {
+		return cmp.Compare(a.ID, b.ID)
+	})
+	res.Cost.Refined = len(cands)
+
+	// Per-candidate streams make the total draw deterministic, so the
+	// sample budget is checkable up front. The division form is
+	// overflow-safe: samples × len(cands) > MaxSamples iff samples >
+	// MaxSamples / len(cands) for positive operands.
+	if opts.MaxSamples > 0 && len(cands) > 0 && int64(samples) > opts.MaxSamples/int64(len(cands)) {
+		return Result{}, ErrSampleBudget
+	}
+
+	probs, err := refineNN(ctx, cands, req, opts, samples)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Cost.SamplesUsed = int64(samples) * int64(len(cands))
+	for i, p := range probs {
+		if accept(p, req.Threshold) {
+			res.Matches = append(res.Matches, Match{ID: cands[i].ID, P: p})
+		} else {
+			res.Cost.BelowThreshold++
+		}
+	}
+	sortMatches(res.Matches)
+	res.Matches = res.TopK(req.K)
+	res.Cost.Duration = time.Since(start)
+	return res, nil
+}
+
+// refineNN computes the per-candidate nearest-neighbor probabilities
+// through the shared kernel dispatch (nn.RefineCandidates), serially
+// or across req.Workers goroutines. Each candidate draws its own
+// stream keyed by object id, so the worker count and scheduling
+// cannot change any estimate; ctx is polled every few thousand
+// samples inside each stream, so deadlines and cancellation bite
+// mid-candidate.
+func refineNN(ctx context.Context, cands []uncertain.PointObject, req Request, opts EvalOptions, samples int) ([]float64, error) {
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	return nn.RefineCandidates(cands, req.Issuer.PDF, samples, opts.Rng.Int63(), req.Workers,
+		func() error { return canceled(ctx) })
+}

@@ -183,20 +183,16 @@ func canceled(ctx context.Context) error {
 	}
 }
 
-// EvaluateUncertainParallel is EvaluateUncertain with refinement fanned
-// out over workers goroutines. Index search and pruning run serially
-// (they are index-bound); the surviving candidates — where nearly all
-// CPU time goes for Monte-Carlo or quadrature refinement — are split
-// across a worker pool. workers <= 1 falls back to the serial path.
-// Both paths share one implementation (evaluateUncertainEnhanced); the
-// worker count is the only difference, and per-candidate sampling
-// seeds (see refineSurvivors) make the results bit-identical at any
-// worker count.
+// EvaluateUncertainParallel is EvaluateUncertain with refinement
+// fanned out over workers goroutines. Parallel and serial evaluation
+// share one implementation; per-candidate sampling seeds (see
+// refineSurvivors) make the results bit-identical at any worker
+// count, so this is exactly a Request with Workers set.
+//
+// Deprecated: use Evaluate with a KindUncertain Request carrying
+// Workers.
 func (e *Engine) EvaluateUncertainParallel(q Query, opts EvalOptions, workers int) (Result, error) {
-	if workers <= 1 {
-		return e.EvaluateUncertain(q, opts)
-	}
-	st := e.acquireState()
-	defer e.releaseState(st)
-	return st.evaluateUncertain(context.Background(), q, opts, workers)
+	resp, err := e.Evaluate(context.Background(),
+		Request{Kind: KindUncertain, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold, Options: opts, Workers: workers})
+	return resp.Result, err
 }

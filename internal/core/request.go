@@ -1,0 +1,440 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+// This file is the engine's unified query surface. The paper defines
+// one conceptual operation — evaluate an imprecise location-dependent
+// query against a set of (possibly uncertain) objects — and Request is
+// its one value type: the query kind (range over uncertain objects,
+// range over points, nearest neighbor), the issuer, the constraint,
+// the tuning options, and the reproducibility seed, all in one
+// serializable struct. Evaluate(ctx, req) on *Snapshot is the single
+// evaluation entry point every other method (the Engine wrappers, the
+// deprecated legacy Evaluate* shims, the monitor, the HTTP server)
+// flows through, so every evaluation — nearest neighbor included —
+// runs against one pinned MVCC snapshot. EvaluateAll is the one
+// fan-out form.
+
+// Kind selects what a Request evaluates.
+type Kind int
+
+const (
+	// KindUncertain answers IUQ / C-IUQ range queries over the
+	// uncertain-object database (the zero value, matching the paper's
+	// primary setting).
+	KindUncertain Kind = iota
+	// KindPoints answers IPQ / C-IPQ range queries over the
+	// point-object database.
+	KindPoints
+	// KindNN answers imprecise nearest-neighbor queries over the
+	// point-object database (the paper's §7 future-work extension):
+	// for each point object, the probability that it is the issuer's
+	// nearest neighbor.
+	KindNN
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindUncertain:
+		return "uncertain"
+	case KindPoints:
+		return "points"
+	case KindNN:
+		return "nn"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Request validation errors, wrapped by *RequestError.
+var (
+	// ErrBadKind reports a Kind outside the defined set.
+	ErrBadKind = errors.New("core: unknown request kind")
+	// ErrKindMismatch reports a field set on a request kind that does
+	// not use it (range extents on an NN request, K on a range
+	// request).
+	ErrKindMismatch = errors.New("core: field not valid for this request kind")
+	// ErrBadNNK reports a non-positive result bound on an NN request.
+	ErrBadNNK = errors.New("core: nearest-neighbor K must be positive")
+	// ErrBadNNSamples reports a negative NN sample count.
+	ErrBadNNSamples = errors.New("core: nearest-neighbor sample count must not be negative")
+)
+
+// RequestError is the typed validation error returned by
+// Request.Validate (and therefore by Evaluate and EvaluateAll for
+// malformed requests). Field names the offending Request field in its
+// wire spelling; Unwrap exposes the sentinel (ErrNilIssuer,
+// ErrBadExtents, ErrBadThreshold, ErrBadKind, ErrKindMismatch,
+// ErrBadNNK, ErrBadNNSamples) so errors.Is keeps working.
+type RequestError struct {
+	// Field is the offending field's wire name ("kind", "issuer",
+	// "extent", "threshold", "k", "nn_samples").
+	Field string
+	// Err is the underlying sentinel error, possibly annotated.
+	Err error
+}
+
+// Error implements error.
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("invalid request (%s): %v", e.Field, e.Err)
+}
+
+// Unwrap exposes the wrapped sentinel for errors.Is / errors.As.
+func (e *RequestError) Unwrap() error { return e.Err }
+
+func badRequest(field string, err error) *RequestError {
+	return &RequestError{Field: field, Err: err}
+}
+
+// Request is the one value describing any evaluation the engine can
+// run. It is plain data — serializable, routable, and re-evaluable —
+// which is what standing queries, batch serving, and the HTTP wire
+// format all build on.
+//
+// Construct requests with the RequestUncertain / RequestPoints /
+// RequestNN helpers, or as literals; Validate (called by every
+// evaluation path) reports malformed combinations as a typed
+// *RequestError.
+type Request struct {
+	// Kind selects the database and algorithm (the zero value is
+	// KindUncertain).
+	Kind Kind
+	// Issuer is the query issuer O0: its PDF describes the location
+	// uncertainty, its Catalog (if present) enables Qp-expanded
+	// pruning for range kinds.
+	Issuer *uncertain.Object
+	// W and H are the range query rectangle's half-width and
+	// half-height. Range kinds require both positive; NN requests must
+	// leave them zero.
+	W, H float64
+	// Threshold is the probability threshold in [0, 1]; 0 means
+	// unconstrained (return every object with non-zero probability).
+	// It applies to every kind, NN included.
+	Threshold float64
+	// K bounds an NN request's answer to the K most probable nearest
+	// neighbors. NN requests require K >= 1; range kinds must leave it
+	// zero.
+	K int
+	// NNSamples is the Monte-Carlo sample count drawn per NN candidate
+	// (0 selects 1000). Range kinds must leave it zero.
+	NNSamples int
+	// Options tunes the evaluation (method, sampling, pruning,
+	// deadline, sample budget). Options.Rng is only consulted when
+	// Seed is zero.
+	Options EvalOptions
+	// Workers fans per-request refinement out over a worker pool:
+	// surviving candidates of an uncertain range query, or NN
+	// candidates. <= 1 refines serially. Results are bit-identical at
+	// every worker count (per-candidate sample streams).
+	Workers int
+	// Seed, when non-zero, makes the request self-deterministic: the
+	// sampling source is derived from it, ignoring Options.Rng. Inside
+	// EvaluateAll a zero Seed is filled from AllOptions.Seed and the
+	// request's index.
+	Seed int64
+}
+
+// RequestUncertain builds an IUQ / C-IUQ range request over the
+// uncertain-object database.
+func RequestUncertain(issuer *uncertain.Object, w, h, threshold float64) Request {
+	return Request{Kind: KindUncertain, Issuer: issuer, W: w, H: h, Threshold: threshold}
+}
+
+// RequestPoints builds an IPQ / C-IPQ range request over the
+// point-object database.
+func RequestPoints(issuer *uncertain.Object, w, h, threshold float64) Request {
+	return Request{Kind: KindPoints, Issuer: issuer, W: w, H: h, Threshold: threshold}
+}
+
+// RequestNN builds an imprecise nearest-neighbor request: the K most
+// probable nearest neighbors of the issuer among the point objects
+// (threshold 0; set Request.Threshold to constrain).
+func RequestNN(issuer *uncertain.Object, k int) Request {
+	return Request{Kind: KindNN, Issuer: issuer, K: k}
+}
+
+// query returns the legacy Query view of a range request.
+func (r Request) query() Query {
+	return Query{Issuer: r.Issuer, W: r.W, H: r.H, Threshold: r.Threshold}
+}
+
+// Validate checks the request, returning a typed *RequestError (nil
+// when valid).
+func (r Request) Validate() error {
+	switch r.Kind {
+	case KindUncertain, KindPoints:
+		if r.Issuer == nil {
+			return badRequest("issuer", ErrNilIssuer)
+		}
+		if r.W <= 0 || r.H <= 0 {
+			return badRequest("extent", fmt.Errorf("%w: w=%g h=%g", ErrBadExtents, r.W, r.H))
+		}
+		if r.K != 0 {
+			return badRequest("k", fmt.Errorf("%w: K=%d on a %s request", ErrKindMismatch, r.K, r.Kind))
+		}
+		if r.NNSamples != 0 {
+			return badRequest("nn_samples", fmt.Errorf("%w: NNSamples=%d on a %s request", ErrKindMismatch, r.NNSamples, r.Kind))
+		}
+	case KindNN:
+		if r.Issuer == nil {
+			return badRequest("issuer", ErrNilIssuer)
+		}
+		if r.W != 0 || r.H != 0 {
+			return badRequest("extent", fmt.Errorf("%w: w=%g h=%g on an nn request", ErrKindMismatch, r.W, r.H))
+		}
+		if r.K <= 0 {
+			return badRequest("k", fmt.Errorf("%w: K=%d", ErrBadNNK, r.K))
+		}
+		if r.NNSamples < 0 {
+			return badRequest("nn_samples", fmt.Errorf("%w: %d", ErrBadNNSamples, r.NNSamples))
+		}
+	default:
+		return badRequest("kind", fmt.Errorf("%w: %d", ErrBadKind, int(r.Kind)))
+	}
+	if r.Threshold < 0 || r.Threshold > 1 {
+		return badRequest("threshold", fmt.Errorf("%w: %g", ErrBadThreshold, r.Threshold))
+	}
+	return nil
+}
+
+// GuardRegion returns the request's standing-query guard region: the
+// spatial region outside which an update provably cannot change the
+// request's answer. For range kinds it is the index probe region (see
+// GuardRegion); for NN requests it is unbounded — moving any point can
+// change the pruning distance tau, so NN standing queries re-evaluate
+// on every batch.
+func (r Request) GuardRegion() (geom.Rect, error) {
+	if err := r.Validate(); err != nil {
+		return geom.Rect{}, err
+	}
+	if r.Kind == KindNN {
+		return geom.Rect{
+			Lo: geom.Pt(-math.MaxFloat64, -math.MaxFloat64),
+			Hi: geom.Pt(math.MaxFloat64, math.MaxFloat64),
+		}, nil
+	}
+	return GuardRegion(r.query(), r.Options)
+}
+
+// Response is one evaluation outcome: the matches and cost, plus what
+// was evaluated and against which engine version.
+type Response struct {
+	Result
+	// Kind echoes the request kind.
+	Kind Kind
+	// Version is the engine version the evaluation observed — the
+	// MVCC snapshot every candidate and index node was read from.
+	Version uint64
+}
+
+// evaluateRequest validates and dispatches one request against this
+// state. A non-zero Seed replaces the sampling source so the request
+// is self-deterministic regardless of which worker or process runs it.
+func (st *engineState) evaluateRequest(ctx context.Context, req Request) (Response, error) {
+	if err := req.Validate(); err != nil {
+		return Response{}, err
+	}
+	opts := req.Options
+	if req.Seed != 0 {
+		opts.Rng = newSeededRand(req.Seed)
+		opts.Object.Rng = opts.Rng
+	}
+	resp := Response{Kind: req.Kind, Version: st.version}
+	var err error
+	switch req.Kind {
+	case KindPoints:
+		resp.Result, err = st.evaluatePoints(ctx, req.query(), opts)
+	case KindUncertain:
+		resp.Result, err = st.evaluateUncertain(ctx, req.query(), opts, req.Workers)
+	case KindNN:
+		resp.Result, err = st.evaluateNN(ctx, req, opts)
+	}
+	if err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// Evaluate runs one request against the snapshot. This is the single
+// evaluation entry point: every query kind — range over points or
+// uncertain objects, nearest neighbor — flows through it, against the
+// snapshot's pinned immutable state, so concurrent ingestion can
+// never tear an answer. ctx bounds the evaluation together with
+// req.Options.Timeout (whichever expires first); cancellation is
+// observed at candidate granularity. Malformed requests return a
+// typed *RequestError.
+func (s *Snapshot) Evaluate(ctx context.Context, req Request) (Response, error) {
+	st, err := s.acquireUse()
+	if err != nil {
+		return Response{}, err
+	}
+	defer s.e.releaseState(st)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return st.evaluateRequest(ctx, req)
+}
+
+// Evaluate runs one request against the engine's current state: it
+// pins the newest published snapshot, evaluates, and releases the pin
+// — the one-shot form of Snapshot.Evaluate. Use a Snapshot directly
+// to hold one version across several evaluations.
+func (e *Engine) Evaluate(ctx context.Context, req Request) (Response, error) {
+	st := e.acquireState()
+	defer e.releaseState(st)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return st.evaluateRequest(ctx, req)
+}
+
+// AllOptions tunes one EvaluateAll fan-out.
+type AllOptions struct {
+	// Workers is the number of requests evaluated concurrently (0 or 1
+	// = serial, on the calling goroutine). Per-request Workers still
+	// applies inside each evaluation.
+	Workers int
+	// Seed derives the sampling seed for requests whose own Seed is
+	// zero: request i receives deriveSeed(Seed, i), so every request
+	// has an independent deterministic stream no matter which worker
+	// serves it. Requests with a non-zero Seed keep it. Options.Rng is
+	// never consulted inside a fan-out (a shared source across
+	// goroutines would destroy reproducibility).
+	Seed int64
+}
+
+// AllHandler receives one finished request of an EvaluateAll fan-out:
+// its index in the input slice and its response or error. Calls are
+// serialized by the engine (the handler needs no locking of its own)
+// but arrive in completion order, not input order.
+type AllHandler func(i int, resp Response, err error)
+
+// EvaluateAll evaluates many requests against the snapshot,
+// opts.Workers at a time, streaming each response to fn as it
+// finishes — the one fan-out form every batch, stream, and standing
+// workload builds on. Every request observes the snapshot's single
+// pinned version. Results are deterministic per request (seeded via
+// Request.Seed or derived from AllOptions.Seed and the index) and
+// independent of the worker count and scheduling; only delivery order
+// varies. ctx cancels the whole fan-out: undispatched requests are
+// skipped (fn is never called for them), in-flight ones return the
+// context's error, and EvaluateAll returns ctx.Err(). A nil fn
+// discards responses (warm-up, load generation).
+func (s *Snapshot) EvaluateAll(ctx context.Context, reqs []Request, opts AllOptions, fn AllHandler) error {
+	st, err := s.acquireUse()
+	if err != nil {
+		return err
+	}
+	defer s.e.releaseState(st)
+	return st.evaluateAll(ctx, reqs, opts, fn)
+}
+
+// EvaluateAll evaluates many requests against the engine's current
+// state: the whole fan-out runs against one pinned snapshot, so every
+// request observes the same version no matter how many updates commit
+// while it drains. See Snapshot.EvaluateAll.
+func (e *Engine) EvaluateAll(ctx context.Context, reqs []Request, opts AllOptions, fn AllHandler) error {
+	st := e.acquireState()
+	defer e.releaseState(st)
+	return st.evaluateAll(ctx, reqs, opts, fn)
+}
+
+// evaluateAll dispatches the fan-out over a worker pool (opts.Workers
+// <= 1 runs on the calling goroutine) and hands each finished request
+// to fn through a serializing mutex.
+func (st *engineState) evaluateAll(ctx context.Context, reqs []Request, opts AllOptions, fn AllHandler) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var mu sync.Mutex
+	deliver := func(i int, resp Response, err error) {
+		if fn == nil {
+			return
+		}
+		mu.Lock()
+		fn(i, resp, err)
+		mu.Unlock()
+	}
+	eval := func(i int) {
+		req := reqs[i]
+		if req.Seed == 0 {
+			req.Seed = deriveSeed(opts.Seed, i)
+		}
+		resp, err := st.evaluateRequest(ctx, req)
+		deliver(i, resp, err)
+	}
+	if opts.Workers <= 1 {
+		for i := range reqs {
+			if canceled(ctx) != nil {
+				break
+			}
+			eval(i)
+		}
+		return ctx.Err()
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	workers := opts.Workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) || canceled(ctx) != nil {
+					return
+				}
+				eval(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// kindForTarget maps a legacy batch Target to the request Kind.
+func kindForTarget(t Target) Kind {
+	if t == TargetPoints {
+		return KindPoints
+	}
+	return KindUncertain
+}
+
+// batchRequests converts a legacy BatchQuery workload to requests,
+// reproducing the historical per-query seed derivation bit-exactly:
+// one parent draw from the defaulted options source, then
+// splitmix-derived per-index seeds. It exists only for the deprecated
+// EvaluateBatch / EvaluateBatchStream / EvaluateUncertainBatch shims.
+func batchRequests(queries []BatchQuery, opts EvalOptions) []Request {
+	o := opts.withDefaults()
+	parent := o.Rng.Int63()
+	reqs := make([]Request, len(queries))
+	for i, bq := range queries {
+		reqs[i] = Request{
+			Kind:      kindForTarget(bq.Target),
+			Issuer:    bq.Query.Issuer,
+			W:         bq.Query.W,
+			H:         bq.Query.H,
+			Threshold: bq.Query.Threshold,
+			Options:   opts,
+			Seed:      deriveSeed(parent, i),
+		}
+	}
+	return reqs
+}

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+// TestRequestValidationTable exhaustively checks that malformed
+// Requests come back as typed *RequestError values naming the
+// offending field and wrapping the documented sentinel.
+func TestRequestValidationTable(t *testing.T) {
+	iss := testIssuer(t, geom.Pt(500, 500), 25)
+	cases := []struct {
+		name     string
+		req      Request
+		field    string
+		sentinel error
+	}{
+		{"unknown kind", Request{Kind: Kind(99), Issuer: iss, W: 10, H: 10}, "kind", ErrBadKind},
+		{"negative kind", Request{Kind: Kind(-1), Issuer: iss, W: 10, H: 10}, "kind", ErrBadKind},
+		{"uncertain nil issuer", Request{Kind: KindUncertain, W: 10, H: 10}, "issuer", ErrNilIssuer},
+		{"points nil issuer", Request{Kind: KindPoints, W: 10, H: 10}, "issuer", ErrNilIssuer},
+		{"nn nil issuer", Request{Kind: KindNN, K: 1}, "issuer", ErrNilIssuer},
+		{"zero width", Request{Kind: KindUncertain, Issuer: iss, W: 0, H: 10}, "extent", ErrBadExtents},
+		{"negative height", Request{Kind: KindPoints, Issuer: iss, W: 10, H: -1}, "extent", ErrBadExtents},
+		{"threshold below range", Request{Kind: KindUncertain, Issuer: iss, W: 10, H: 10, Threshold: -0.1}, "threshold", ErrBadThreshold},
+		{"threshold above range", Request{Kind: KindPoints, Issuer: iss, W: 10, H: 10, Threshold: 1.01}, "threshold", ErrBadThreshold},
+		{"nn threshold above range", Request{Kind: KindNN, Issuer: iss, K: 3, Threshold: 2}, "threshold", ErrBadThreshold},
+		{"k on uncertain request", Request{Kind: KindUncertain, Issuer: iss, W: 10, H: 10, K: 5}, "k", ErrKindMismatch},
+		{"k on points request", Request{Kind: KindPoints, Issuer: iss, W: 10, H: 10, K: 5}, "k", ErrKindMismatch},
+		{"nn samples on range request", Request{Kind: KindUncertain, Issuer: iss, W: 10, H: 10, NNSamples: 100}, "nn_samples", ErrKindMismatch},
+		{"extents on nn request", Request{Kind: KindNN, Issuer: iss, W: 10, H: 10, K: 3}, "extent", ErrKindMismatch},
+		{"nn k zero", Request{Kind: KindNN, Issuer: iss}, "k", ErrBadNNK},
+		{"nn k negative", Request{Kind: KindNN, Issuer: iss, K: -2}, "k", ErrBadNNK},
+		{"nn negative samples", Request{Kind: KindNN, Issuer: iss, K: 3, NNSamples: -1}, "nn_samples", ErrBadNNSamples},
+	}
+	e := testWorld(t, 20, 20, 3)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.req.Validate()
+			if err == nil {
+				t.Fatal("invalid request accepted")
+			}
+			var reqErr *RequestError
+			if !errors.As(err, &reqErr) {
+				t.Fatalf("error %T (%v) is not a *RequestError", err, err)
+			}
+			if reqErr.Field != tc.field {
+				t.Fatalf("field = %q, want %q (%v)", reqErr.Field, tc.field, err)
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("error %v does not wrap %v", err, tc.sentinel)
+			}
+			// Evaluate (engine and snapshot) surfaces the identical
+			// typed error.
+			if _, eerr := e.Evaluate(context.Background(), tc.req); !errors.Is(eerr, tc.sentinel) {
+				t.Fatalf("Engine.Evaluate error %v does not wrap %v", eerr, tc.sentinel)
+			}
+			snap := e.Snapshot()
+			defer snap.Close()
+			if _, serr := snap.Evaluate(context.Background(), tc.req); !errors.As(serr, &reqErr) {
+				t.Fatalf("Snapshot.Evaluate error %T is not a *RequestError", serr)
+			}
+		})
+	}
+
+	// The valid shapes of each kind pass.
+	for _, req := range []Request{
+		RequestUncertain(iss, 10, 10, 0.5),
+		RequestPoints(iss, 10, 10, 0),
+		RequestNN(iss, 3),
+	} {
+		if err := req.Validate(); err != nil {
+			t.Fatalf("valid request %+v rejected: %v", req, err)
+		}
+	}
+}
+
+// stripDurations zeroes the wall-clock fields so results can be
+// compared bit-exactly.
+func stripDurations(r Result) Result {
+	r.Cost.Duration = 0
+	return r
+}
+
+// TestShimGoldenEquivalence: the deprecated Evaluate* shims must
+// produce byte-identical Results to the Request path, for every kind
+// and both databases, sampling paths included.
+func TestShimGoldenEquivalence(t *testing.T) {
+	e := testWorld(t, 400, 300, 4)
+	iss := testIssuer(t, geom.Pt(500, 500), 60)
+	q := Query{Issuer: iss, W: 150, H: 150, Threshold: 0.3}
+	mcOpts := func(seed int64) EvalOptions {
+		return EvalOptions{
+			Rng:    rand.New(rand.NewSource(seed)),
+			Object: ObjectEvalConfig{ForceMonteCarlo: true, MCSamples: 512},
+		}
+	}
+
+	t.Run("points", func(t *testing.T) {
+		legacy, err := e.EvaluatePoints(q, EvalOptions{Rng: rand.New(rand.NewSource(9))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := RequestPoints(iss, 150, 150, 0.3)
+		req.Options.Rng = rand.New(rand.NewSource(9))
+		resp, err := e.Evaluate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripDurations(legacy), stripDurations(resp.Result)) {
+			t.Fatalf("EvaluatePoints shim diverged:\n%+v\n%+v", legacy, resp.Result)
+		}
+	})
+
+	t.Run("uncertain-montecarlo", func(t *testing.T) {
+		legacy, err := e.EvaluateUncertain(q, mcOpts(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := RequestUncertain(iss, 150, 150, 0.3)
+		req.Options = mcOpts(9)
+		resp, err := e.Evaluate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripDurations(legacy), stripDurations(resp.Result)) {
+			t.Fatalf("EvaluateUncertain shim diverged:\n%+v\n%+v", legacy, resp.Result)
+		}
+	})
+
+	t.Run("parallel-vs-workers", func(t *testing.T) {
+		// The old parallel entry point, the serial path, and a Request
+		// with Workers set must agree bit-exactly on identical seeds —
+		// parallel vs serial is just Request.Workers now.
+		serial, err := e.EvaluateUncertain(q, mcOpts(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			legacy, err := e.EvaluateUncertainParallel(q, mcOpts(9), workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := RequestUncertain(iss, 150, 150, 0.3)
+			req.Options = mcOpts(9)
+			req.Workers = workers
+			resp, err := e.Evaluate(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(stripDurations(legacy), stripDurations(resp.Result)) {
+				t.Fatalf("workers=%d: EvaluateUncertainParallel shim diverged", workers)
+			}
+			if !reflect.DeepEqual(stripDurations(serial), stripDurations(resp.Result)) {
+				t.Fatalf("workers=%d: parallel result != serial result", workers)
+			}
+		}
+	})
+
+	t.Run("batch", func(t *testing.T) {
+		var queries []BatchQuery
+		for i := 0; i < 12; i++ {
+			target := TargetUncertain
+			if i%3 == 0 {
+				target = TargetPoints
+			}
+			queries = append(queries, BatchQuery{
+				Query:  Query{Issuer: testIssuer(t, geom.Pt(100+float64(i)*70, 500), 40), W: 120, H: 120, Threshold: 0.2},
+				Target: target,
+			})
+		}
+		legacy := e.EvaluateBatch(queries, mcOpts(9), 3)
+		// The shim's contract: query i runs as a Request seeded by the
+		// historical derivation — evaluating those requests one at a
+		// time must reproduce the batch bit-exactly.
+		reqs := batchRequests(queries, mcOpts(9))
+		for i, req := range reqs {
+			if legacy[i].Err != nil {
+				t.Fatalf("batch query %d: %v", i, legacy[i].Err)
+			}
+			resp, err := e.Evaluate(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(stripDurations(legacy[i].Result), stripDurations(resp.Result)) {
+				t.Fatalf("batch query %d diverged from its Request", i)
+			}
+		}
+		// And the stream shim delivers the same results.
+		streamed := make([]Result, len(queries))
+		if err := e.EvaluateBatchStream(context.Background(), queries, mcOpts(9), 2, func(i int, br BatchResult) {
+			if br.Err != nil {
+				t.Errorf("stream query %d: %v", i, br.Err)
+			}
+			streamed[i] = br.Result
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range queries {
+			if !reflect.DeepEqual(stripDurations(legacy[i].Result), stripDurations(streamed[i])) {
+				t.Fatalf("stream query %d diverged from batch", i)
+			}
+		}
+	})
+}
+
+// TestEvaluateAllDeterminism: responses are a pure function of
+// (snapshot, request, seed) — independent of the fan-out worker count
+// — with per-request seeds either explicit or derived from
+// AllOptions.Seed and the index.
+func TestEvaluateAllDeterminism(t *testing.T) {
+	e := testWorld(t, 300, 300, 5)
+	var reqs []Request
+	for i := 0; i < 10; i++ {
+		iss := testIssuer(t, geom.Pt(100+float64(i)*80, 400), 50)
+		req := RequestUncertain(iss, 130, 130, 0.25)
+		req.Options.Object = ObjectEvalConfig{ForceMonteCarlo: true, MCSamples: 256}
+		if i%2 == 0 {
+			req.Seed = int64(1000 + i)
+		}
+		reqs = append(reqs, req)
+	}
+	collect := func(workers int) []Result {
+		out := make([]Result, len(reqs))
+		if err := e.EvaluateAll(context.Background(), reqs, AllOptions{Workers: workers, Seed: 77},
+			func(i int, resp Response, err error) {
+				if err != nil {
+					t.Errorf("request %d: %v", i, err)
+				}
+				out[i] = stripDurations(resp.Result)
+			}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	base := collect(1)
+	for _, workers := range []int{2, 4, 16} {
+		if got := collect(workers); !reflect.DeepEqual(base, got) {
+			t.Fatalf("EvaluateAll results changed at workers=%d", workers)
+		}
+	}
+	// Explicitly seeded requests reproduce standalone.
+	for i, req := range reqs {
+		if req.Seed == 0 {
+			continue
+		}
+		resp, err := e.Evaluate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base[i], stripDurations(resp.Result)) {
+			t.Fatalf("seeded request %d differs between EvaluateAll and Evaluate", i)
+		}
+	}
+}
+
+// TestNNRequestWorkerDeterminism: RequestNN results are bit-identical
+// at every worker count — the per-candidate-object-id sample streams
+// make the refinement schedule irrelevant.
+func TestNNRequestWorkerDeterminism(t *testing.T) {
+	e := testWorld(t, 500, 0, 6)
+	iss := testIssuer(t, geom.Pt(500, 500), 80)
+	mk := func(workers int) Request {
+		req := RequestNN(iss, 500)
+		req.NNSamples = 3000
+		req.Seed = 99
+		req.Workers = workers
+		return req
+	}
+	base, err := e.Evaluate(context.Background(), mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Matches) == 0 || base.Cost.Refined == 0 {
+		t.Fatalf("degenerate NN baseline: %+v", base.Cost)
+	}
+	if base.Cost.SamplesUsed != int64(base.Cost.Refined)*3000 {
+		t.Fatalf("SamplesUsed %d != candidates %d x 3000", base.Cost.SamplesUsed, base.Cost.Refined)
+	}
+	for _, workers := range []int{2, 3, 8, 32} {
+		got, err := e.Evaluate(context.Background(), mk(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripDurations(base.Result), stripDurations(got.Result)) {
+			t.Fatalf("NN results changed at workers=%d", workers)
+		}
+	}
+}
+
+// TestNNRequestSemantics covers the NN-specific contract: threshold
+// filtering, the top-K bound, the empty database error, and the
+// sample budget.
+func TestNNRequestSemantics(t *testing.T) {
+	e := testWorld(t, 300, 0, 7)
+	iss := testIssuer(t, geom.Pt(500, 500), 60)
+
+	full := RequestNN(iss, 300)
+	full.Seed = 3
+	resp, err := e.Evaluate(context.Background(), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) == 0 {
+		t.Fatal("no NN matches")
+	}
+	var sum float64
+	for i, m := range resp.Matches {
+		sum += m.P
+		if m.P <= 0 {
+			t.Fatalf("non-positive NN probability: %+v", m)
+		}
+		if i > 0 && resp.Matches[i-1].P < m.P {
+			t.Fatal("NN matches not in canonical order")
+		}
+	}
+	if math.Abs(sum-1) > 0.2 {
+		t.Fatalf("NN probabilities sum to %g, want ~1", sum)
+	}
+
+	topK := RequestNN(iss, 2)
+	topK.Seed = 3
+	top, err := e.Evaluate(context.Background(), topK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Matches) > 2 {
+		t.Fatalf("K=2 returned %d matches", len(top.Matches))
+	}
+	if len(resp.Matches) >= 2 && !reflect.DeepEqual(top.Matches, resp.Matches[:2]) {
+		t.Fatal("top-K is not the prefix of the full answer")
+	}
+
+	thr := RequestNN(iss, 300)
+	thr.Seed = 3
+	thr.Threshold = 0.25
+	conj, err := e.Evaluate(context.Background(), thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range conj.Matches {
+		if m.P < 0.25 {
+			t.Fatalf("threshold violated: %+v", m)
+		}
+	}
+
+	// An empty point database has an empty answer, not an error — so
+	// standing NN requests drain to empty like the range kinds.
+	empty := testWorld(t, 0, 10, 8)
+	er, err := empty.Evaluate(context.Background(), full)
+	if err != nil {
+		t.Fatalf("NN over an empty point database: %v", err)
+	}
+	if len(er.Matches) != 0 || er.Cost.Refined != 0 {
+		t.Fatalf("empty-database NN answer: %+v", er.Result)
+	}
+
+	budget := RequestNN(iss, 300)
+	budget.Seed = 3
+	budget.Options.MaxSamples = 1
+	if _, err := e.Evaluate(context.Background(), budget); !errors.Is(err, ErrSampleBudget) {
+		t.Fatalf("1-sample budget: %v, want ErrSampleBudget", err)
+	}
+}
+
+// TestNNMatchesLinearScanPruning: the R-tree branch-and-bound
+// candidate set equals the exhaustive MinDist/MaxDist pruning over a
+// full scan, and node accesses are recorded.
+func TestNNMatchesLinearScanPruning(t *testing.T) {
+	e := testWorld(t, 600, 0, 9)
+	for _, c := range []geom.Point{{X: 500, Y: 500}, {X: 80, Y: 900}, {X: 990, Y: 20}} {
+		iss := testIssuer(t, c, 70)
+		u0 := iss.Region()
+
+		// Exhaustive pruning over the table.
+		tau := math.Inf(1)
+		st := e.state.Load()
+		var all []uncertain.PointObject
+		st.points.Range(func(_ uncertain.ID, p uncertain.PointObject) bool {
+			all = append(all, p)
+			if d := u0.MaxDist(p.Loc); d < tau {
+				tau = d
+			}
+			return true
+		})
+		want := map[uncertain.ID]bool{}
+		for _, p := range all {
+			if u0.MinDist(p.Loc) <= tau {
+				want[p.ID] = true
+			}
+		}
+
+		req := RequestNN(iss, 600)
+		req.Seed = 5
+		resp, err := e.Evaluate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Cost.Refined != len(want) {
+			t.Fatalf("issuer %v: index pruning kept %d candidates, scan %d", c, resp.Cost.Refined, len(want))
+		}
+		for _, m := range resp.Matches {
+			if !want[m.ID] {
+				t.Fatalf("issuer %v: match %d not in the scan candidate set", c, m.ID)
+			}
+		}
+		if resp.Cost.NodeAccesses <= 0 {
+			t.Fatal("no node accesses recorded")
+		}
+	}
+}
+
+// TestNNSnapshotStableUnderUpdateFlood is the MVCC contract for the
+// NN kind: a pinned snapshot's nearest-neighbor answer is bit-stable
+// while ApplyUpdates floods the engine with point churn — NN is
+// consistent under concurrent ingestion because it runs against the
+// pinned R-tree like every other kind. Run under -race in CI.
+func TestNNSnapshotStableUnderUpdateFlood(t *testing.T) {
+	e := testWorld(t, 400, 0, 10)
+	iss := testIssuer(t, geom.Pt(500, 500), 90)
+	req := RequestNN(iss, 400)
+	req.Seed = 13
+	req.NNSamples = 400
+
+	snap := e.Snapshot()
+	defer snap.Close()
+	baseline, err := snap.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(77))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := make([]Update, 16)
+			for j := range batch {
+				batch[j] = Update{Op: OpUpsertPoint, Point: uncertain.PointObject{
+					ID:  uncertain.ID(rng.Intn(400)),
+					Loc: geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+				}}
+			}
+			e.ApplyUpdates(batch)
+		}
+	}()
+
+	for i := 0; i < 30; i++ {
+		got, err := snap.Evaluate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripDurations(baseline.Result), stripDurations(got.Result)) {
+			t.Fatalf("iteration %d: pinned NN answer changed under update flood", i)
+		}
+		// Unpinned evaluations race the flood too (fresh snapshot per
+		// call) — they must not crash or misbehave, though their
+		// answers track the moving data.
+		if _, err := e.Evaluate(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if baseline.Version != snap.Version() {
+		t.Fatalf("baseline version %d != snapshot version %d", baseline.Version, snap.Version())
+	}
+	if e.Version() == baseline.Version {
+		t.Fatal("flood did not advance the engine version")
+	}
+}
+
+// TestRequestGuardRegion: range requests guard their index probe
+// region; NN requests guard everything (any point move can change the
+// pruning distance).
+func TestRequestGuardRegion(t *testing.T) {
+	iss := testIssuer(t, geom.Pt(500, 500), 50)
+	rangeReq := RequestUncertain(iss, 100, 100, 0.4)
+	got, err := rangeReq.GuardRegion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GuardRegion(Query{Issuer: iss, W: 100, H: 100, Threshold: 0.4}, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("range guard %v != legacy guard %v", got, want)
+	}
+
+	nnReq := RequestNN(iss, 3)
+	guard, err := nnReq.GuardRegion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []geom.Rect{
+		geom.RectCentered(geom.Pt(0, 0), 1, 1),
+		geom.RectCentered(geom.Pt(1e9, -1e9), 5, 5),
+	} {
+		if !guard.Intersects(r) {
+			t.Fatalf("NN guard %v misses %v", guard, r)
+		}
+	}
+
+	bad := RequestNN(iss, 0)
+	if _, err := bad.GuardRegion(); err == nil {
+		t.Fatal("invalid request produced a guard region")
+	}
+}

@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync"
-	"sync/atomic"
 )
 
 // This file provides result-analysis helpers built on qualification
@@ -102,136 +100,72 @@ type BatchQuery struct {
 	Target Target
 }
 
-// EvaluateBatch is the throughput API: it evaluates many queries
-// concurrently, workers at a time (0 or 1 means serial, on the calling
-// goroutine), and returns results in query order. Every query gets an
-// independent deterministic sampling source derived (splitmix-style,
-// see deriveSeed) from a single parent draw of opts.Rng, so results do
-// not depend on which worker serves which query, only on the options
-// seed.
+// EvaluateBatch evaluates many queries concurrently, workers at a
+// time, and returns results in query order.
 //
-// The read path is safe for this concurrency over both in-memory and
-// paged engines, and each result carries its own exact Cost counters;
-// see the Engine concurrency documentation. The whole batch runs
-// against one pinned snapshot: every query observes the same engine
-// version no matter how many updates commit while the batch drains.
-// For workloads too large to materialize a result slice — or that
-// need per-query deadlines and cancellation — use EvaluateBatchStream.
+// Deprecated: use EvaluateAll with a []Request — this shim converts
+// the workload (preserving the historical per-query seed derivation
+// bit-exactly, see batchRequests) and collects the responses.
 func (e *Engine) EvaluateBatch(queries []BatchQuery, opts EvalOptions, workers int) []BatchResult {
+	return collectBatch(e.EvaluateAll, queries, opts, workers)
+}
+
+// collectBatch adapts an EvaluateAll-shaped evaluator to the legacy
+// collected-slice form, for the deprecated EvaluateBatch shims. A
+// fan-out-level failure (a closed snapshot) is reported in every slot,
+// as the legacy methods did; it can only occur before any delivery.
+func collectBatch(evalAll func(context.Context, []Request, AllOptions, AllHandler) error, queries []BatchQuery, opts EvalOptions, workers int) []BatchResult {
 	out := make([]BatchResult, len(queries))
-	st := e.acquireState()
-	defer e.releaseState(st)
-	// Delivery writes disjoint slots, so no serialization is needed.
-	st.batchRun(context.Background(), queries, opts.withDefaults(), workers, func(i int, br BatchResult) {
-		out[i] = br
-	})
+	err := evalAll(context.Background(), batchRequests(queries, opts), AllOptions{Workers: workers},
+		func(i int, resp Response, err error) { out[i] = BatchResult{Result: resp.Result, Err: err} })
+	if err != nil {
+		for i := range out {
+			out[i] = BatchResult{Err: err}
+		}
+	}
 	return out
 }
 
 // StreamHandler receives one finished batch query: its index in the
 // input slice and its result or error. Calls are serialized by the
-// engine (the handler needs no locking of its own) but arrive in
-// completion order, not input order.
+// engine but arrive in completion order, not input order.
+//
+// Deprecated: new code uses AllHandler with EvaluateAll.
 type StreamHandler func(i int, br BatchResult)
 
 // EvaluateBatchStream is the streaming form of EvaluateBatch: results
-// are delivered to fn as each query finishes instead of being
-// collected into a slice, so arbitrarily large workloads evaluate in
-// constant memory. Determinism of each individual result matches
-// EvaluateBatch exactly (same per-query derived seeds); only the
-// delivery order varies with scheduling.
+// are delivered to fn as each query finishes.
 //
-// ctx cancels the whole batch: once it is done, undispatched queries
-// are skipped (their handler is never called), in-flight queries
-// return the context's error, and EvaluateBatchStream returns
-// ctx.Err(). opts.Timeout, if set, is the per-query deadline: a query
-// exceeding it delivers Err == context.DeadlineExceeded to fn and the
-// batch continues. A nil fn discards results (useful for warm-up and
-// load generation). Like EvaluateBatch, the whole stream runs against
-// one pinned snapshot: every query observes the same engine version.
+// Deprecated: use EvaluateAll, whose handler receives responses the
+// same way (serialized, completion order, whole-batch cancellation
+// via ctx, per-query deadlines via Options.Timeout).
 func (e *Engine) EvaluateBatchStream(ctx context.Context, queries []BatchQuery, opts EvalOptions, workers int, fn StreamHandler) error {
-	st := e.acquireState()
-	defer e.releaseState(st)
-	return st.evaluateBatchStream(ctx, queries, opts, workers, fn)
+	return e.EvaluateAll(ctx, batchRequests(queries, opts), AllOptions{Workers: workers}, streamAdapter(fn))
 }
 
-// evaluateBatchStream is the state-level streaming batch evaluator
-// shared by the engine and snapshot entry points.
-func (st *engineState) evaluateBatchStream(ctx context.Context, queries []BatchQuery, opts EvalOptions, workers int, fn StreamHandler) error {
-	if ctx == nil {
-		ctx = context.Background()
+// streamAdapter adapts a legacy StreamHandler to an AllHandler
+// (nil-preserving, so warm-up callers keep the discard fast path).
+func streamAdapter(fn StreamHandler) AllHandler {
+	if fn == nil {
+		return nil
 	}
-	var mu sync.Mutex
-	deliver := func(i int, br BatchResult) {
-		if fn == nil {
-			return
-		}
-		mu.Lock()
-		fn(i, br)
-		mu.Unlock()
-	}
-	st.batchRun(ctx, queries, opts.withDefaults(), workers, deliver)
-	return ctx.Err()
-}
-
-// batchRun dispatches the batch over a worker pool (workers <= 1 runs
-// on the calling goroutine) and hands each finished query to deliver.
-// opts must already carry defaults. Dispatch stops once ctx is done;
-// queries never dispatched produce no delivery.
-func (st *engineState) batchRun(ctx context.Context, queries []BatchQuery, opts EvalOptions, workers int, deliver func(int, BatchResult)) {
-	parent := opts.Rng.Int63()
-	eval := func(i int) {
-		o := opts
-		o.Rng = newSeededRand(deriveSeed(parent, i))
-		o.Object.Rng = o.Rng
-		var (
-			r   Result
-			err error
-		)
-		if queries[i].Target == TargetPoints {
-			r, err = st.evaluatePoints(ctx, queries[i].Query, o)
-		} else {
-			r, err = st.evaluateUncertain(ctx, queries[i].Query, o, 1)
-		}
-		deliver(i, BatchResult{Result: r, Err: err})
-	}
-	if workers <= 1 {
-		for i := range queries {
-			if canceled(ctx) != nil {
-				return
-			}
-			eval(i)
-		}
-		return
-	}
-	var (
-		wg   sync.WaitGroup
-		next atomic.Int64
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(queries) || canceled(ctx) != nil {
-					return
-				}
-				eval(i)
-			}
-		}()
-	}
-	wg.Wait()
+	return func(i int, resp Response, err error) { fn(i, BatchResult{Result: resp.Result, Err: err}) }
 }
 
 // EvaluateUncertainBatch evaluates many queries over the
-// uncertain-object database, workers at a time. It is EvaluateBatch
-// with every query targeting uncertain objects; see there for the
-// determinism and concurrency guarantees.
+// uncertain-object database, workers at a time.
+//
+// Deprecated: use EvaluateAll with KindUncertain requests.
 func (e *Engine) EvaluateUncertainBatch(queries []Query, opts EvalOptions, workers int) []BatchResult {
+	return e.EvaluateBatch(uncertainBatch(queries), opts, workers)
+}
+
+// uncertainBatch wraps bare queries as uncertain-target batch entries
+// (for the deprecated EvaluateUncertainBatch shim).
+func uncertainBatch(queries []Query) []BatchQuery {
 	bqs := make([]BatchQuery, len(queries))
 	for i, q := range queries {
-		bqs[i] = BatchQuery{Query: q, Target: TargetUncertain}
+		bqs[i] = BatchQuery{Query: q}
 	}
-	return e.EvaluateBatch(bqs, opts, workers)
+	return bqs
 }

@@ -216,66 +216,51 @@ func (s *Snapshot) Object(id uncertain.ID) (*uncertain.Object, bool) {
 }
 
 // EvaluatePoints answers IPQ / C-IPQ queries against the snapshot.
+//
+// Deprecated: use Evaluate with a KindPoints Request.
 func (s *Snapshot) EvaluatePoints(q Query, opts EvalOptions) (Result, error) {
-	return s.EvaluatePointsContext(context.Background(), q, opts)
+	resp, err := s.Evaluate(context.Background(), requestFor(KindPoints, q, opts))
+	return resp.Result, err
 }
 
-// EvaluatePointsContext is EvaluatePoints bounded by ctx (and
-// opts.Timeout, whichever expires first).
+// EvaluatePointsContext is EvaluatePoints bounded by ctx.
+//
+// Deprecated: use Evaluate with a KindPoints Request.
 func (s *Snapshot) EvaluatePointsContext(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
-	st, err := s.acquireUse()
-	if err != nil {
-		return Result{}, err
-	}
-	defer s.e.releaseState(st)
-	return st.evaluatePoints(ctx, q, opts)
+	resp, err := s.Evaluate(ctx, requestFor(KindPoints, q, opts))
+	return resp.Result, err
 }
 
 // EvaluateUncertain answers IUQ / C-IUQ queries against the snapshot.
+//
+// Deprecated: use Evaluate with a KindUncertain Request.
 func (s *Snapshot) EvaluateUncertain(q Query, opts EvalOptions) (Result, error) {
-	return s.EvaluateUncertainContext(context.Background(), q, opts)
+	resp, err := s.Evaluate(context.Background(), requestFor(KindUncertain, q, opts))
+	return resp.Result, err
 }
 
-// EvaluateUncertainContext is EvaluateUncertain bounded by ctx (and
-// opts.Timeout, whichever expires first).
+// EvaluateUncertainContext is EvaluateUncertain bounded by ctx.
+//
+// Deprecated: use Evaluate with a KindUncertain Request.
 func (s *Snapshot) EvaluateUncertainContext(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
-	st, err := s.acquireUse()
-	if err != nil {
-		return Result{}, err
-	}
-	defer s.e.releaseState(st)
-	return st.evaluateUncertain(ctx, q, opts, 1)
+	resp, err := s.Evaluate(ctx, requestFor(KindUncertain, q, opts))
+	return resp.Result, err
 }
 
 // EvaluateBatch evaluates many queries against the snapshot, workers
-// at a time; see Engine.EvaluateBatch. Every query of the batch
-// observes the same version.
+// at a time, returning results in query order.
+//
+// Deprecated: use EvaluateAll with a []Request.
 func (s *Snapshot) EvaluateBatch(queries []BatchQuery, opts EvalOptions, workers int) []BatchResult {
-	out := make([]BatchResult, len(queries))
-	st, err := s.acquireUse()
-	if err != nil {
-		for i := range out {
-			out[i] = BatchResult{Err: err}
-		}
-		return out
-	}
-	defer s.e.releaseState(st)
-	st.batchRun(context.Background(), queries, opts.withDefaults(), workers, func(i int, br BatchResult) {
-		out[i] = br
-	})
-	return out
+	return collectBatch(s.EvaluateAll, queries, opts, workers)
 }
 
 // EvaluateBatchStream is the streaming batch evaluator against the
-// snapshot; see Engine.EvaluateBatchStream. Every query of the batch
-// observes the same version.
+// snapshot.
+//
+// Deprecated: use EvaluateAll.
 func (s *Snapshot) EvaluateBatchStream(ctx context.Context, queries []BatchQuery, opts EvalOptions, workers int, fn StreamHandler) error {
-	st, err := s.acquireUse()
-	if err != nil {
-		return err
-	}
-	defer s.e.releaseState(st)
-	return st.evaluateBatchStream(ctx, queries, opts, workers, fn)
+	return s.EvaluateAll(ctx, batchRequests(queries, opts), AllOptions{Workers: workers}, streamAdapter(fn))
 }
 
 // SnapshotStats reports the engine's MVCC bookkeeping for metrics:

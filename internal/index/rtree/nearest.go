@@ -1,0 +1,83 @@
+package rtree
+
+import "container/heap"
+
+// This file implements best-first (branch-and-bound) traversal, the
+// primitive behind nearest-neighbor search (Hjaltason & Samet 1999):
+// entries are visited in ascending order of a caller-supplied
+// priority, and whole subtrees whose lower bound exceeds the caller's
+// running cutoff are never read.
+
+// Priority computes the traversal priority of an entry. For a leaf
+// entry it is the entry's exact priority; for an interior entry it
+// must be a lower bound on the priority of every leaf entry in the
+// subtree (so that popping in ascending order never misses a better
+// leaf).
+type Priority func(e Entry, leaf bool) float64
+
+// BestVisit receives one leaf entry, in ascending priority order,
+// together with its priority. It returns the new cutoff — subtrees
+// and leaves with priority strictly above it are pruned (the
+// traversal also stops as soon as the best remaining priority exceeds
+// the cutoff, since later pops only grow) — and whether to continue.
+type BestVisit func(e Entry, prio float64) (cutoff float64, cont bool)
+
+// bbEntry is one heap element of the best-first frontier.
+type bbEntry struct {
+	prio float64
+	e    Entry
+	leaf bool
+}
+
+type bbHeap []bbEntry
+
+func (h bbHeap) Len() int           { return len(h) }
+func (h bbHeap) Less(i, j int) bool { return h[i].prio < h[j].prio }
+func (h bbHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *bbHeap) Push(x any)        { *h = append(*h, x.(bbEntry)) }
+func (h *bbHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// BestFirstCounted traverses leaf entries in ascending order of prio,
+// pruning subtrees whose lower bound exceeds the running cutoff, and
+// returns the number of node accesses the traversal performed —
+// counted locally, like SearchCounted, so concurrent traversals each
+// observe their own exact cost. cutoff is the initial pruning bound
+// (use +Inf for none).
+func (t *Tree) BestFirstCounted(prio Priority, cutoff float64, visit BestVisit) (int64, error) {
+	if t.size == 0 {
+		return 0, nil
+	}
+	var accesses int64
+	h := bbHeap{{prio: 0, e: Entry{Child: t.root}, leaf: false}}
+	// The root pseudo-entry has priority 0 so it is always expanded;
+	// real entries get caller priorities from then on.
+	for len(h) > 0 {
+		top := heap.Pop(&h).(bbEntry)
+		if top.prio > cutoff {
+			break // everything remaining is at least as far
+		}
+		if top.leaf {
+			var cont bool
+			cutoff, cont = visit(top.e, top.prio)
+			if !cont {
+				break
+			}
+			continue
+		}
+		accesses++
+		n, err := t.store.Get(top.e.Child)
+		if err != nil {
+			t.accesses.Add(accesses)
+			return accesses, err
+		}
+		for _, e := range n.Entries {
+			p := prio(e, n.Leaf)
+			if p > cutoff {
+				continue
+			}
+			heap.Push(&h, bbEntry{prio: p, e: e, leaf: n.Leaf})
+		}
+	}
+	t.accesses.Add(accesses)
+	return accesses, nil
+}

@@ -4,17 +4,23 @@
 // motivates: vehicles continuously re-report imprecise positions
 // while registered queries must keep their answers fresh.
 //
-// A Monitor owns a registry of standing queries. Register evaluates a
-// query once, caches its qualifying set, and returns a Subscription
-// whose Next method yields Deltas — the objects entering and leaving
-// the qualifying set (and probability changes of objects staying)
-// since the previous delta. ApplyUpdates ingests a batch of updates
-// through the engine's write path and incrementally re-evaluates only
-// the standing queries the batch can have affected.
+// A Monitor owns a registry of standing requests: a Subscription is
+// exactly a standing core.Request, so anything the engine evaluates —
+// range queries over points or uncertain objects, nearest neighbor —
+// can stand. Register evaluates the request once, caches its
+// qualifying set, and returns a Subscription whose Next method yields
+// Deltas — the objects entering and leaving the qualifying set (and
+// probability changes of objects staying) since the previous delta.
+// ApplyUpdates ingests a batch of updates through the engine's write
+// path and incrementally re-evaluates only the standing requests the
+// batch can have affected.
 //
-// The filter is the guard region (core.GuardRegion): the standing
-// query's index probe region — the Minkowski sum R⊕U0, shrunk to the
-// Qp-expanded region for threshold queries. The engine only ever
+// The filter is the guard region (core.Request.GuardRegion): the
+// standing request's index probe region — the Minkowski sum R⊕U0,
+// shrunk to the Qp-expanded region for threshold queries, unbounded
+// for nearest-neighbor requests (any point move can change the
+// pruning distance, so NN requests re-evaluate every batch). For
+// range requests the engine only ever
 // considers objects whose bounds intersect that region, so an update
 // batch none of whose dirty rectangles (old and new bounds of every
 // touched object) intersect a query's guard provably leaves that
@@ -22,11 +28,11 @@
 // no evaluation work is spent. Stats.Skipped counts these avoided
 // re-evaluations; under localized update traffic they dominate.
 //
-// Affected queries are re-evaluated through the engine's serialized
-// streaming batch machinery (core.Snapshot.EvaluateBatchStream), so
-// re-evaluation fans out over Config.Workers, respects the per-query
-// deadline (Config.Options.Timeout) and sample budget (MaxSamples),
-// and benefits from adaptive refinement.
+// Affected requests are re-evaluated through the engine's one
+// fan-out form (core.Snapshot.EvaluateAll), so re-evaluation fans out
+// over Config.Workers, respects each request's deadline
+// (Options.Timeout) and sample budget (MaxSamples), and benefits from
+// adaptive refinement.
 //
 // Snapshot pinning: each ingestion pass evaluates against the
 // post-batch MVCC snapshot, pinned atomically with the batch commit

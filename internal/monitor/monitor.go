@@ -2,7 +2,6 @@ package monitor
 
 import (
 	"context"
-	"math/rand"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -14,14 +13,17 @@ import (
 // Config tunes a Monitor.
 type Config struct {
 	// Workers is the fan-out of each incremental re-evaluation pass
-	// (the worker count handed to EvaluateBatchStream; default 1).
+	// (the worker count handed to EvaluateAll; default 1).
 	Workers int
-	// Options are the evaluation options standing queries run with.
-	// Rng (and Object.Rng) are ignored: the monitor derives a
-	// deterministic source per re-evaluation pass from Seed, so a
-	// fixed engine, registration order, and update trace replay the
+	// Options are the default evaluation options, applied to standing
+	// requests registered with a zero Options field; a request
+	// carrying its own Options keeps them. Rng (and Object.Rng) and
+	// Request.Seed are ignored either way: the monitor derives a
+	// deterministic sampling seed per re-evaluation pass from Seed, so
+	// a fixed engine, registration order, and update trace replay the
 	// same delta streams. Timeout and MaxSamples act per re-evaluated
-	// query, surfacing as Delta.Err without disturbing the cached set.
+	// request, surfacing as Delta.Err without disturbing the cached
+	// set.
 	Options core.EvalOptions
 	// Seed drives the derived sampling sources (default 1).
 	Seed int64
@@ -142,23 +144,33 @@ func mixSeed(vals ...int64) int64 {
 	return int64(h)
 }
 
-// evalOptions derives the deterministic options for one evaluation
-// pass keyed by (monitor seed, pass key).
-func (m *Monitor) evalOptions(key int64) core.EvalOptions {
-	o := m.cfg.Options
-	o.Rng = rand.New(rand.NewSource(mixSeed(m.cfg.Seed, key)))
-	return o
+// normalize prepares a request for standing evaluation: the sampling
+// controls the monitor owns (Request.Seed, Options.Rng) are cleared
+// first — every pass re-derives them from the monitor seed and the
+// pass key — and Options that are then zero pick up the monitor's
+// defaults, so a request carrying only an (ignored) Rng still gets
+// the configured deadline and sample budget.
+func (m *Monitor) normalize(req core.Request) core.Request {
+	req.Seed = 0
+	req.Options.Rng = nil
+	req.Options.Object.Rng = nil
+	if req.Options == (core.EvalOptions{}) {
+		req.Options = m.cfg.Options // withDefaults already cleared its Rngs
+	}
+	return req
 }
 
-// Register adds a standing query over the given database, evaluates
-// it once, and returns its subscription. The subscription's first
-// delta is the registration snapshot (every current match in
-// Entered), so replaying the stream from an empty set always
-// reconstructs the live answer. Registration serializes with
-// ApplyUpdates: the snapshot reflects a batch boundary, never a
-// half-applied batch.
-func (m *Monitor) Register(q core.Query, target core.Target) (*Subscription, error) {
-	guard, err := core.GuardRegion(q, m.cfg.Options)
+// Register adds a standing request, evaluates it once, and returns
+// its subscription. A subscription is exactly a standing core.Request
+// — any kind the engine evaluates, nearest neighbor included, can
+// stand. The subscription's first delta is the registration snapshot
+// (every current match in Entered), so replaying the stream from an
+// empty set always reconstructs the live answer. Registration
+// serializes with ApplyUpdates: the snapshot reflects a batch
+// boundary, never a half-applied batch.
+func (m *Monitor) Register(req core.Request) (*Subscription, error) {
+	req = m.normalize(req)
+	guard, err := req.GuardRegion()
 	if err != nil {
 		return nil, err
 	}
@@ -174,23 +186,19 @@ func (m *Monitor) Register(q core.Query, target core.Target) (*Subscription, err
 	// The initial evaluation runs against a pinned snapshot so the
 	// registration answer reflects exactly one engine version even if
 	// direct (non-monitor) updates commit concurrently.
-	opts := m.evalOptions(mixSeed(id, int64(m.seq)))
+	eval := req
+	eval.Seed = mixSeed(m.cfg.Seed, id, int64(m.seq))
 	snap := m.eng.Snapshot()
-	var res core.Result
-	if target == core.TargetPoints {
-		res, err = snap.EvaluatePointsContext(context.Background(), q, opts)
-	} else {
-		res, err = snap.EvaluateUncertainContext(context.Background(), q, opts)
-	}
+	resp, err := snap.Evaluate(context.Background(), eval)
 	snap.Close()
 	if err != nil {
 		return nil, err
 	}
+	res := resp.Result
 
 	sub := &Subscription{
 		id:       id,
-		query:    q,
-		target:   target,
+		req:      req,
 		guard:    guard,
 		m:        m,
 		current:  make(map[uncertain.ID]float64, len(res.Matches)),
@@ -260,11 +268,12 @@ func (m *Monitor) Subscription(id int64) (*Subscription, bool) {
 // Untouched queries keep their cached qualifying set at zero cost
 // (BatchOutcome.Skipped counts them).
 //
-// Re-evaluation runs through the engine's streaming batch machinery:
-// Config.Workers wide, per-query deadline and sample budget from
-// Config.Options, deltas delivered through the serialized callback —
-// and against the post-batch snapshot, pinned atomically with the
-// commit (core.Engine.ApplyUpdatesSnapshot). Every delta of sequence
+// Re-evaluation runs through the engine's one fan-out form,
+// Snapshot.EvaluateAll: Config.Workers wide, per-request deadline and
+// sample budget from each standing request's options, deltas
+// delivered through the serialized callback — and against the
+// post-batch snapshot, pinned atomically with the commit
+// (core.Engine.ApplyUpdatesSnapshot). Every delta of sequence
 // Seq therefore reflects exactly the engine version its report
 // records: updates committing concurrently — further monitor batches
 // queued behind ingestMu, or direct engine mutations bypassing the
@@ -307,23 +316,23 @@ func (m *Monitor) ApplyUpdates(ctx context.Context, batch []core.Update) (BatchO
 		return out, nil
 	}
 
-	queries := make([]core.BatchQuery, len(affected))
+	reqs := make([]core.Request, len(affected))
 	for i, sub := range affected {
-		queries[i] = core.BatchQuery{Query: sub.query, Target: sub.target}
+		reqs[i] = sub.req
 	}
-	opts := m.evalOptions(int64(m.seq))
 	seq := m.seq
 	delivered := make([]bool, len(affected))
-	err := snap.EvaluateBatchStream(ctx, queries, opts, m.cfg.Workers, func(i int, br core.BatchResult) {
+	all := core.AllOptions{Workers: m.cfg.Workers, Seed: mixSeed(m.cfg.Seed, int64(m.seq))}
+	err := snap.EvaluateAll(ctx, reqs, all, func(i int, resp core.Response, rerr error) {
 		delivered[i] = true
 		sub := affected[i]
-		if br.Err != nil {
-			sub.applyError(seq, br.Err, br.Result.Cost)
+		if rerr != nil {
+			sub.applyError(seq, rerr, resp.Cost)
 			m.evalErrors.Add(1)
 			m.deltas.Add(1)
 			return
 		}
-		if d, ok := sub.applyResult(seq, br.Result); ok {
+		if d, ok := sub.applyResult(seq, resp.Result); ok {
 			out.Entered += len(d.Entered)
 			out.Left += len(d.Left)
 			out.Changed += len(d.Updated)

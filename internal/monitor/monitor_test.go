@@ -97,22 +97,26 @@ func drain(t *testing.T, sub *Subscription) []Delta {
 	}
 }
 
-// freshSet evaluates the standing query from scratch and returns its
-// qualifying set.
-func freshSet(t *testing.T, eng *core.Engine, q core.Query, target core.Target) map[uncertain.ID]float64 {
-	t.Helper()
-	var res core.Result
-	var err error
+// reqOf adapts a query and legacy target to the standing Request the
+// monitor now registers.
+func reqOf(q core.Query, target core.Target) core.Request {
+	kind := core.KindUncertain
 	if target == core.TargetPoints {
-		res, err = eng.EvaluatePoints(q, core.EvalOptions{})
-	} else {
-		res, err = eng.EvaluateUncertain(q, core.EvalOptions{})
+		kind = core.KindPoints
 	}
+	return core.Request{Kind: kind, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold}
+}
+
+// freshSet evaluates the standing request from scratch and returns
+// its qualifying set.
+func freshSet(t *testing.T, eng *core.Engine, req core.Request) map[uncertain.ID]float64 {
+	t.Helper()
+	resp, err := eng.Evaluate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	set := make(map[uncertain.ID]float64, len(res.Matches))
-	for _, m := range res.Matches {
+	set := make(map[uncertain.ID]float64, len(resp.Matches))
+	for _, m := range resp.Matches {
 		set[m.ID] = m.P
 	}
 	return set
@@ -161,7 +165,7 @@ func TestMonitorDeltaReplayMatchesFullEvaluation(t *testing.T) {
 		if i == 2 {
 			target = core.TargetPoints
 		}
-		sub, err := m.Register(q, target)
+		sub, err := m.Register(reqOf(q, target))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,7 +210,7 @@ func TestMonitorDeltaReplayMatchesFullEvaluation(t *testing.T) {
 				}
 				applyDelta(reg.replay, d)
 			}
-			fresh := freshSet(t, eng, reg.sub.Query(), reg.sub.Target())
+			fresh := freshSet(t, eng, reg.sub.Request())
 			if !sameSet(reg.replay, fresh) {
 				t.Fatalf("batch %d sub %d: replayed set (%d) != fresh evaluation (%d)",
 					batchNo, i, len(reg.replay), len(fresh))
@@ -227,6 +231,90 @@ func TestMonitorDeltaReplayMatchesFullEvaluation(t *testing.T) {
 	t.Logf("stats: %+v", st)
 }
 
+// TestMonitorStandingNN: a Subscription is just a standing Request,
+// so the nearest-neighbor kind stands like any other. NN guards are
+// unbounded (every point move can change the pruning distance), so
+// every batch re-evaluates the query, and replaying its deltas
+// reconstructs the fresh NN answer after each batch.
+func TestMonitorStandingNN(t *testing.T) {
+	const extent = 2000.0
+	eng := monitorWorld(t, 200, 0, extent, 58)
+	m := New(eng, Config{Workers: 2, MaxPending: -1})
+
+	req := core.RequestNN(monitorIssuer(t, geom.Pt(1000, 1000), 80), 10)
+	req.NNSamples = 500
+	sub, err := m.Register(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Request().Kind != core.KindNN {
+		t.Fatalf("subscription kind %v", sub.Request().Kind)
+	}
+	replay := map[uncertain.ID]float64{}
+	for _, d := range drain(t, sub) {
+		applyDelta(replay, d)
+	}
+	if len(replay) == 0 {
+		t.Fatal("empty registration answer")
+	}
+
+	rng := rand.New(rand.NewSource(59))
+	for batchNo := 0; batchNo < 10; batchNo++ {
+		var ups []core.Update
+		for j := 0; j < 8; j++ {
+			ups = append(ups, core.Update{Op: core.OpUpsertPoint, Point: uncertain.PointObject{
+				ID:  uncertain.ID(rng.Intn(200)),
+				Loc: geom.Pt(rng.Float64()*extent, rng.Float64()*extent),
+			}})
+		}
+		out, err := m.ApplyUpdates(context.Background(), ups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Reevaluated != 1 || out.Skipped != 0 {
+			t.Fatalf("batch %d: NN standing query was guard-filtered: %+v", batchNo, out)
+		}
+		for _, d := range drain(t, sub) {
+			if d.Err != nil {
+				t.Fatalf("batch %d: delta error %v", batchNo, d.Err)
+			}
+			applyDelta(replay, d)
+		}
+		// The replayed set's membership must match a fresh evaluation
+		// of the same request (probabilities depend on the pass seed,
+		// so compare ids).
+		fresh := freshSet(t, eng, sub.Request())
+		if len(replay) != len(fresh) {
+			t.Fatalf("batch %d: replay has %d ids, fresh %d", batchNo, len(replay), len(fresh))
+		}
+		for id := range replay {
+			if _, ok := fresh[id]; !ok {
+				t.Fatalf("batch %d: replayed id %d missing from fresh answer", batchNo, id)
+			}
+		}
+	}
+
+	// Deleting every point drains the standing NN answer to empty via
+	// Left deltas (an empty database is an empty answer, not an error
+	// that would freeze the cached set).
+	var wipe []core.Update
+	for id := 0; id < 200; id++ {
+		wipe = append(wipe, core.Update{Op: core.OpDeletePoint, ID: uncertain.ID(id)})
+	}
+	if _, err := m.ApplyUpdates(context.Background(), wipe); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range drain(t, sub) {
+		if d.Err != nil {
+			t.Fatalf("wipe batch: delta error %v", d.Err)
+		}
+		applyDelta(replay, d)
+	}
+	if len(replay) != 0 {
+		t.Fatalf("standing NN answer not drained after deleting every point: %d ids remain", len(replay))
+	}
+}
+
 func matchesAsSet(ms []core.Match) map[uncertain.ID]float64 {
 	set := make(map[uncertain.ID]float64, len(ms))
 	for _, m := range ms {
@@ -244,7 +332,7 @@ func TestMonitorCoalescing(t *testing.T) {
 	m := New(eng, Config{MaxPending: 4})
 
 	q := core.Query{Issuer: monitorIssuer(t, geom.Pt(750, 750), 60), W: 300, H: 300}
-	sub, err := m.Register(q, core.TargetUncertain)
+	sub, err := m.Register(reqOf(q, core.TargetUncertain))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +360,7 @@ func TestMonitorCoalescing(t *testing.T) {
 	for _, d := range deltas {
 		applyDelta(replay, d)
 	}
-	if fresh := freshSet(t, eng, q, core.TargetUncertain); !sameSet(replay, fresh) {
+	if fresh := freshSet(t, eng, reqOf(q, core.TargetUncertain)); !sameSet(replay, fresh) {
 		t.Fatalf("coalesced replay (%d) != fresh evaluation (%d)", len(replay), len(fresh))
 	}
 }
@@ -286,7 +374,7 @@ func TestMonitorRegisterUnregister(t *testing.T) {
 	m := New(eng, Config{})
 
 	q := core.Query{Issuer: monitorIssuer(t, geom.Pt(500, 500), 50), W: 250, H: 250}
-	sub, err := m.Register(q, core.TargetUncertain)
+	sub, err := m.Register(reqOf(q, core.TargetUncertain))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +388,7 @@ func TestMonitorRegisterUnregister(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sameSet(matchesAsSet(d.Entered), freshSet(t, eng, q, core.TargetUncertain)) {
+	if !sameSet(matchesAsSet(d.Entered), freshSet(t, eng, reqOf(q, core.TargetUncertain))) {
 		t.Fatal("registration snapshot != one-shot evaluation")
 	}
 	if len(d.Left) != 0 || len(d.Updated) != 0 || d.Seq != 0 {
@@ -359,12 +447,12 @@ func TestMonitorEvalErrorKeepsCachedSet(t *testing.T) {
 	// monitor sharing the engine, then ingest through the deadlined
 	// one. Simpler: registration uses the same options, so expect the
 	// error immediately.
-	if _, err := m.Register(q, core.TargetUncertain); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := m.Register(reqOf(q, core.TargetUncertain)); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("Register under nanosecond deadline: %v", err)
 	}
 
 	ok := New(eng, Config{})
-	sub, err := ok.Register(q, core.TargetUncertain)
+	sub, err := ok.Register(reqOf(q, core.TargetUncertain))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +465,7 @@ func TestMonitorEvalErrorKeepsCachedSet(t *testing.T) {
 	// trip the budget.
 	tight := New(eng, Config{Options: core.EvalOptions{MaxSamples: 1,
 		Object: core.ObjectEvalConfig{ForceMonteCarlo: true}}})
-	sub2, err2 := tight.Register(q, core.TargetUncertain)
+	sub2, err2 := tight.Register(reqOf(q, core.TargetUncertain))
 	if !errors.Is(err2, core.ErrSampleBudget) {
 		t.Fatalf("Register under 1-sample budget: %v (sub %v)", err2, sub2)
 	}
@@ -409,7 +497,7 @@ func TestMonitorConcurrentStress(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		c := geom.Pt(200+rand.New(rand.NewSource(int64(i))).Float64()*1600, 200+float64(i)*250)
 		q := core.Query{Issuer: monitorIssuer(t, c, 50), W: 200, H: 200}
-		sub, err := m.Register(q, core.TargetUncertain)
+		sub, err := m.Register(reqOf(q, core.TargetUncertain))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -466,12 +554,12 @@ func TestMonitorConcurrentStress(t *testing.T) {
 			default:
 			}
 			q := core.Query{Issuer: monitorIssuer(t, geom.Pt(rng.Float64()*extent, rng.Float64()*extent), 40), W: 150, H: 150}
-			sub, err := m.Register(q, core.TargetUncertain)
+			sub, err := m.Register(reqOf(q, core.TargetUncertain))
 			if err != nil {
 				t.Errorf("Register: %v", err)
 				return
 			}
-			if _, err := eng.EvaluateUncertain(q, core.EvalOptions{}); err != nil {
+			if _, err := eng.Evaluate(context.Background(), reqOf(q, core.TargetUncertain)); err != nil {
 				t.Errorf("one-shot: %v", err)
 				return
 			}
@@ -491,7 +579,7 @@ func TestMonitorConcurrentStress(t *testing.T) {
 		for _, d := range drain(t, sub) {
 			applyDelta(replay, d)
 		}
-		if fresh := freshSet(t, eng, sub.Query(), sub.Target()); !sameSet(replay, fresh) {
+		if fresh := freshSet(t, eng, sub.Request()); !sameSet(replay, fresh) {
 			t.Fatalf("sub %d: post-stress replay != fresh evaluation", i)
 		}
 	}

@@ -177,15 +177,14 @@ type SubStats struct {
 	EvalTime     time.Duration
 }
 
-// Subscription is one registered standing query: a handle for
+// Subscription is one registered standing request: a handle for
 // consuming its delta stream (Next), inspecting its current answer
 // (Snapshot), and unregistering it (Close).
 type Subscription struct {
-	id     int64
-	query  core.Query
-	target core.Target
-	guard  geom.Rect
-	m      *Monitor
+	id    int64
+	req   core.Request
+	guard geom.Rect
+	m     *Monitor
 
 	mu      sync.Mutex
 	pending []Delta
@@ -204,11 +203,10 @@ type Subscription struct {
 // ID returns the subscription's registry id.
 func (s *Subscription) ID() int64 { return s.id }
 
-// Query returns the standing query.
-func (s *Subscription) Query() core.Query { return s.query }
-
-// Target returns the database the query runs against.
-func (s *Subscription) Target() core.Target { return s.target }
+// Request returns the standing request (as normalized at
+// registration: monitor-owned sampling fields cleared, default
+// options applied).
+func (s *Subscription) Request() core.Request { return s.req }
 
 // Guard returns the guard region update batches are filtered against.
 func (s *Subscription) Guard() geom.Rect { return s.guard }

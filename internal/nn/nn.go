@@ -15,6 +15,22 @@
 //  2. Monte-Carlo refinement: sample issuer positions from f0 and
 //     tally nearest-candidate frequencies. The estimate is unbiased,
 //     and only candidates are scanned per sample.
+//
+// Determinism: refinement draws one independent sample stream per
+// candidate, derived (splitmix-style) from a single parent seed and
+// the candidate's object id — exactly the scheme the range engine
+// uses for C-IUQ refinement. A candidate's estimate therefore depends
+// only on the parent seed and its own id: not on the refinement
+// order, not on the worker count, and not on which other candidates
+// happen to share the batch. The price is that the per-candidate
+// estimates are independent Monte-Carlo runs, so they sum to 1 only
+// up to sampling error rather than exactly.
+//
+// The engine integrates this package as a first-class query kind
+// (core.KindNN): candidates come from a branch-and-bound search over
+// the pinned snapshot's R-tree, and RefineCandidates computes the
+// probabilities. The slice-based Evaluate / EvaluateThreshold
+// functions remain for callers without an engine.
 package nn
 
 import (
@@ -22,6 +38,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/pdf"
@@ -42,31 +60,39 @@ type Result struct {
 	Matches []Match
 	// Candidates is the number of objects surviving distance pruning.
 	Candidates int
-	// Samples is the Monte-Carlo sample count used.
+	// Samples is the Monte-Carlo sample count drawn per candidate.
 	Samples int
 }
 
 // ErrNoObjects is returned when the database is empty.
 var ErrNoObjects = errors.New("nn: no objects to query")
 
-// Evaluate computes nearest-neighbor qualification probabilities for
-// the issuer pdf over the given point objects. samples <= 0 selects
-// 1000. A nil rng gets a fixed seed, making results reproducible.
-func Evaluate(points []uncertain.PointObject, issuer pdf.PDF, samples int, rng *rand.Rand) (Result, error) {
-	if len(points) == 0 {
-		return Result{}, ErrNoObjects
-	}
-	if samples <= 0 {
-		samples = 1000
-	}
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
-	u0 := issuer.Support()
+// DefaultSamples is the per-candidate Monte-Carlo budget used when the
+// caller passes 0.
+const DefaultSamples = 1000
 
-	// Stage 1: MinDist/MaxDist pruning. tau is the best guaranteed
-	// distance: some object is always within tau of every position in
-	// U0, so anything with MinDist > tau can never win.
+// splitmix64 is the SplitMix64 finalizer (the same child-seed mixer
+// the core engine uses; the two need not agree, but sharing the
+// construction keeps the determinism story uniform).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// deriveSeed maps one parent seed and a child index (here: an object
+// id) to a collision-free child seed.
+func deriveSeed(parent int64, child int) int64 {
+	return int64(splitmix64(uint64(parent) + splitmix64(uint64(child))))
+}
+
+// Prune applies the MinDist/MaxDist bound: tau is the smallest
+// maximum distance any object has to u0 (some object is always within
+// tau of every position in u0), and any object whose minimum distance
+// to u0 exceeds tau can never be the nearest neighbor. The surviving
+// candidates are returned in input order.
+func Prune(points []uncertain.PointObject, u0 geom.Rect) []uncertain.PointObject {
 	tau := math.Inf(1)
 	for _, p := range points {
 		if d := u0.MaxDist(p.Loc); d < tau {
@@ -79,37 +105,169 @@ func Evaluate(points []uncertain.PointObject, issuer pdf.PDF, samples int, rng *
 			cands = append(cands, p)
 		}
 	}
+	return cands
+}
 
-	// Stage 2: Monte-Carlo tally over candidates only.
-	counts := make(map[uncertain.ID]int, len(cands))
+// RefineCandidates estimates, for each candidate, the probability that
+// it is the issuer's nearest neighbor among cands, drawing an
+// independent samples-long issuer-position stream per candidate from
+// a source derived from parent and the candidate's object id. workers
+// > 1 splits the candidates across a worker pool; because every
+// stream is keyed by object id, the results are bit-identical at
+// every worker count, serial included. cancel, when non-nil, is
+// polled every cancelBlock samples inside each candidate's stream: a
+// non-nil return stops refinement within milliseconds and is returned
+// with the partial probabilities (the engine passes its context check
+// here, so deadlines and disconnects cannot be outwaited by a long
+// candidate).
+func RefineCandidates(cands []uncertain.PointObject, issuer pdf.PDF, samples int, parent int64, workers int, cancel func() error) ([]float64, error) {
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	if cancel == nil {
+		cancel = func() error { return nil }
+	}
+	probs := make([]float64, len(cands))
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i := range cands {
+			p, err := refineOne(cands, i, issuer, samples, parent, cancel)
+			if err != nil {
+				return probs, err
+			}
+			probs[i] = p
+		}
+		return probs, nil
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				p, err := refineOne(cands, i, issuer, samples, parent, cancel)
+				if err != nil {
+					return
+				}
+				probs[i] = p
+			}
+		}()
+	}
+	wg.Wait()
+	return probs, cancel()
+}
+
+// RefineOne estimates the probability that candidate i is the
+// issuer's nearest neighbor among cands, drawing candidate i's own
+// samples-long stream (seeded from parent and cands[i].ID). It is the
+// per-candidate kernel RefineCandidates and the engine share.
+func RefineOne(cands []uncertain.PointObject, i int, issuer pdf.PDF, samples int, parent int64) float64 {
+	p, _ := refineOne(cands, i, issuer, samples, parent, nil)
+	return p
+}
+
+// cancelBlock is the number of samples drawn between cancellation
+// polls inside one candidate's refinement: large enough that the poll
+// is free, small enough that a cancelled request dies in
+// milliseconds, not at candidate boundaries.
+const cancelBlock = 2048
+
+// refineOne is RefineOne with block-granular cancellation. A non-nil
+// cancel error aborts the candidate mid-stream (the estimate is
+// discarded along with the whole evaluation, so cancellation cannot
+// bias a result).
+func refineOne(cands []uncertain.PointObject, i int, issuer pdf.PDF, samples int, parent int64, cancel func() error) (float64, error) {
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	rng := rand.New(rand.NewSource(deriveSeed(parent, int(cands[i].ID))))
+	wins := 0
 	for s := 0; s < samples; s++ {
-		pos := issuer.Sample(rng)
-		best := -1
-		bestD := math.Inf(1)
-		for i, c := range cands {
-			if d := pos.SqDistTo(c.Loc); d < bestD {
-				best, bestD = i, d
+		if cancel != nil && s > 0 && s%cancelBlock == 0 {
+			if err := cancel(); err != nil {
+				return 0, err
 			}
 		}
-		counts[cands[best].ID]++
+		pos := issuer.Sample(rng)
+		if nearestIs(cands, i, pos) {
+			wins++
+		}
 	}
+	return float64(wins) / float64(samples), nil
+}
+
+// nearestIs reports whether candidate i is the nearest candidate to
+// pos, with ties broken toward the lower slice index (a zero-measure
+// event for continuous issuers, but deterministic).
+func nearestIs(cands []uncertain.PointObject, i int, pos geom.Point) bool {
+	di := pos.SqDistTo(cands[i].Loc)
+	for j, c := range cands {
+		d := pos.SqDistTo(c.Loc)
+		if d < di || (d == di && j < i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Evaluate computes nearest-neighbor qualification probabilities for
+// the issuer pdf over the given point objects. samples <= 0 selects
+// DefaultSamples per candidate. A nil rng gets a fixed seed, making
+// results reproducible; the rng contributes only one parent draw
+// (per-candidate streams are derived from it and each object id).
+//
+// Deprecated: applications holding an engine should evaluate a
+// core.Request of kind KindNN instead — it prunes candidates through
+// the engine's R-tree and observes one MVCC snapshot. Evaluate
+// remains for slice-based callers.
+func Evaluate(points []uncertain.PointObject, issuer pdf.PDF, samples int, rng *rand.Rand) (Result, error) {
+	if len(points) == 0 {
+		return Result{}, ErrNoObjects
+	}
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	cands := Prune(points, issuer.Support())
+	probs, _ := RefineCandidates(cands, issuer, samples, rng.Int63(), 1, nil)
 
 	res := Result{Candidates: len(cands), Samples: samples}
-	for id, n := range counts {
-		res.Matches = append(res.Matches, Match{ID: id, P: float64(n) / float64(samples)})
-	}
-	sort.Slice(res.Matches, func(i, j int) bool {
-		if res.Matches[i].P != res.Matches[j].P {
-			return res.Matches[i].P > res.Matches[j].P
+	for i, p := range probs {
+		if p > 0 {
+			res.Matches = append(res.Matches, Match{ID: cands[i].ID, P: p})
 		}
-		return res.Matches[i].ID < res.Matches[j].ID
-	})
+	}
+	sortMatches(res.Matches)
 	return res, nil
+}
+
+// sortMatches orders by descending probability, then ascending id.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].P != ms[j].P {
+			return ms[i].P > ms[j].P
+		}
+		return ms[i].ID < ms[j].ID
+	})
 }
 
 // EvaluateThreshold is Evaluate restricted to answers with probability
 // at least qp — the nearest-neighbor analogue of the constrained
 // queries.
+//
+// Deprecated: see Evaluate; use a core.Request of kind KindNN with
+// Threshold set.
 func EvaluateThreshold(points []uncertain.PointObject, issuer pdf.PDF, qp float64, samples int, rng *rand.Rand) (Result, error) {
 	res, err := Evaluate(points, issuer, samples, rng)
 	if err != nil {

@@ -181,7 +181,12 @@ func TestGaussianIssuerConcentrates(t *testing.T) {
 	}
 }
 
-func TestProbabilitiesSumToOne(t *testing.T) {
+func TestProbabilitiesSumNearOne(t *testing.T) {
+	// Per-candidate sample streams make each estimate an independent
+	// Monte-Carlo run, so the probabilities sum to 1 only up to
+	// sampling error (a shared stream would sum exactly, but would tie
+	// every estimate to the refinement schedule — see the package
+	// documentation's determinism contract).
 	rng := rand.New(rand.NewSource(9))
 	issuer := pdf.MustUniform(geom.RectCentered(geom.Pt(500, 500), 100, 100))
 	var pts []uncertain.PointObject
@@ -199,10 +204,43 @@ func TestProbabilitiesSumToOne(t *testing.T) {
 	for _, m := range res.Matches {
 		sum += m.P
 	}
-	if math.Abs(sum-1) > 1e-9 {
-		t.Fatalf("probabilities sum to %g", sum)
+	if math.Abs(sum-1) > 0.05 {
+		t.Fatalf("probabilities sum to %g, want ~1", sum)
 	}
 	if res.Candidates > len(pts) {
 		t.Fatalf("candidates %d exceed objects %d", res.Candidates, len(pts))
+	}
+}
+
+func TestRefineCandidatesWorkerInvariance(t *testing.T) {
+	// The per-candidate-id streams are the determinism contract: the
+	// probabilities must be bit-identical at every worker count, and
+	// invariant to candidate slice order (ids, not indexes, key the
+	// streams; ties are broken by id order through the sorted slice).
+	rng := rand.New(rand.NewSource(11))
+	issuer := pdf.MustUniform(geom.RectCentered(geom.Pt(0, 0), 50, 50))
+	var cands []uncertain.PointObject
+	for i := 0; i < 17; i++ {
+		cands = append(cands, uncertain.PointObject{
+			ID:  uncertain.ID(100 + i),
+			Loc: geom.Pt(rng.Float64()*200-100, rng.Float64()*200-100),
+		})
+	}
+	const parent = 42
+	base, err := RefineCandidates(cands, issuer, 2000, parent, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 32} {
+		got, err := RefineCandidates(cands, issuer, 2000, parent, workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: candidate %d probability %v != serial %v",
+					workers, cands[i].ID, got[i], base[i])
+			}
+		}
 	}
 }

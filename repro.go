@@ -104,13 +104,36 @@ func NewIssuer(p PDF) (*Object, error) {
 	return uncertain.NewObject(-1, p, uncertain.PaperCatalogProbs())
 }
 
-// Engine re-exports.
+// Engine re-exports. The engine's query surface is the Request
+// model: one value type (Request) describing any evaluation — range
+// over uncertain objects or points, nearest neighbor — and one entry
+// point, Engine.Evaluate(ctx, req) (or Snapshot.Evaluate to hold a
+// version), with Engine.EvaluateAll as the one fan-out form. The
+// legacy Evaluate* methods remain as deprecated shims over it.
 type (
 	// Engine evaluates imprecise location-dependent queries over
 	// indexed point and uncertain-object databases.
 	Engine = core.Engine
 	// EngineOptions configures engine construction.
 	EngineOptions = core.EngineOptions
+	// Request is the one value describing any evaluation: kind,
+	// issuer, constraint, tuning options, fan-out, and seed.
+	Request = core.Request
+	// Response is an evaluation outcome: the Result plus the kind and
+	// the engine version observed.
+	Response = core.Response
+	// RequestError is the typed validation error for malformed
+	// Requests (Field names the offending field; Unwrap exposes the
+	// sentinel).
+	RequestError = core.RequestError
+	// RequestKind selects what a Request evaluates (uncertain /
+	// points / nn).
+	RequestKind = core.Kind
+	// AllOptions tunes one EvaluateAll fan-out (workers, seed).
+	AllOptions = core.AllOptions
+	// AllHandler receives one finished request of an EvaluateAll
+	// fan-out.
+	AllHandler = core.AllHandler
 	// Query is an imprecise location-dependent range query.
 	Query = core.Query
 	// EvalOptions tunes one evaluation (method, sampling, pruning
@@ -138,6 +161,35 @@ const (
 	// MethodBasic is the §3.3 baseline (direct numeric integration).
 	MethodBasic = core.MethodBasic
 )
+
+// Request kinds.
+const (
+	// KindUncertain evaluates IUQ / C-IUQ over the uncertain-object
+	// database (the zero value).
+	KindUncertain = core.KindUncertain
+	// KindPoints evaluates IPQ / C-IPQ over the point-object database.
+	KindPoints = core.KindPoints
+	// KindNN evaluates imprecise nearest-neighbor queries over the
+	// point-object database.
+	KindNN = core.KindNN
+)
+
+// RequestUncertain builds an IUQ / C-IUQ range request (threshold 0 =
+// unconstrained).
+func RequestUncertain(issuer *Object, w, h, threshold float64) Request {
+	return core.RequestUncertain(issuer, w, h, threshold)
+}
+
+// RequestPoints builds an IPQ / C-IPQ range request.
+func RequestPoints(issuer *Object, w, h, threshold float64) Request {
+	return core.RequestPoints(issuer, w, h, threshold)
+}
+
+// RequestNN builds an imprecise nearest-neighbor request: the K most
+// probable nearest neighbors of the issuer among the point objects.
+func RequestNN(issuer *Object, k int) Request {
+	return core.RequestNN(issuer, k)
+}
 
 // IndexConfig configures an R-tree (capacity, minimum fill, split
 // heuristic); the zero value selects 4 KiB-page defaults with
@@ -258,7 +310,8 @@ const (
 // GuardRegion returns the standing-query guard region for q: the
 // prepared plan's index probe region. An update batch whose dirty
 // rectangles miss it provably leaves q's result unchanged — the
-// filter the continuous-query monitor applies.
+// filter the continuous-query monitor applies. For the Request form
+// (NN included) use Request.GuardRegion.
 func GuardRegion(q Query, opts EvalOptions) (Rect, error) {
 	return core.GuardRegion(q, opts)
 }
@@ -274,8 +327,8 @@ type (
 	MonitorConfig = monitor.Config
 	// MonitorStats are a monitor's lifetime counters.
 	MonitorStats = monitor.Stats
-	// Subscription is one registered standing query: its delta stream
-	// (Next), current answer (Snapshot), and lifecycle (Close).
+	// Subscription is one registered standing Request: its delta
+	// stream (Next), current answer (Snapshot), and lifecycle (Close).
 	Subscription = monitor.Subscription
 	// SubStats are one subscription's counters.
 	SubStats = monitor.SubStats
@@ -327,13 +380,20 @@ type (
 )
 
 // EvaluateNN computes nearest-neighbor qualification probabilities
-// over point objects for an imprecise issuer (the paper's future-work
-// extension).
+// over a raw point slice for an imprecise issuer.
+//
+// Deprecated: build an Engine over the points and evaluate a
+// RequestNN instead — it prunes candidates through the R-tree
+// (branch-and-bound, node accesses in Cost) and observes one MVCC
+// snapshot, so answers stay consistent under concurrent ingestion.
+// This shim remains for engine-less callers.
 func EvaluateNN(points []PointObject, issuer PDF, samples int, rng *rand.Rand) (NNResult, error) {
 	return nn.Evaluate(points, issuer, samples, rng)
 }
 
 // EvaluateNNThreshold is EvaluateNN restricted to probabilities >= qp.
+//
+// Deprecated: use a RequestNN with Threshold set; see EvaluateNN.
 func EvaluateNNThreshold(points []PointObject, issuer PDF, qp float64, samples int, rng *rand.Rand) (NNResult, error) {
 	return nn.EvaluateThreshold(points, issuer, qp, samples, rng)
 }

@@ -1,18 +1,20 @@
 # Developer / CI entry points. `make bench` records the serving
-# trajectory to BENCH_PR5.json (throughput + adaptive refinement +
-# continuous monitoring); BENCH_PR1..4.json stay checked in as the
-# previous revisions' baselines. `make bench-regression` replays the
-# same profile and fails (exit 3) if io-bound batch QPS, C-IUQ
-# refinement latency, or ingestion updates/sec regress more than 20%
-# against the checked-in BENCH_PR5.json — the CI perf gate.
+# trajectory to BENCH_PR6.json (throughput + adaptive refinement +
+# continuous monitoring + mixed read/write interference);
+# BENCH_PR1..5.json stay checked in as the previous revisions'
+# baselines. `make bench-regression` replays the same profile and
+# fails (exit 3) if io-bound batch QPS, C-IUQ refinement latency,
+# ingestion updates/sec, mixed-workload throughput (either side), or
+# refinement allocs/op regress more than 20% against the checked-in
+# BENCH_PR6.json — the CI perf gate.
 # `make apicheck` gates the public API surface against api/repro.txt.
 
 GO ?= go
 
-BENCH_PROFILE = -exp exp-throughput,exp-adaptive,exp-continuous \
+BENCH_PROFILE = -exp exp-throughput,exp-adaptive,exp-continuous,exp-mixed \
 	-points 8000 -rects 10000 -queries 64 -workers 1,2,4 \
 	-threshold 0.1,0.5,0.9 -adaptive-samples 2048 \
-	-standing 64 -update-batches 40 -batch-size 32
+	-standing 64 -update-batches 40 -batch-size 32 -readers 2
 
 .PHONY: all build test race bench bench-regression soak fuzz-smoke lint apicheck apiupdate
 
@@ -38,7 +40,7 @@ soak:
 # Modest dataset sizes so the bench target finishes in about a minute
 # while still exercising realistic candidate sets.
 bench: build
-	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_PR5.json
+	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_PR6.json
 	$(GO) test ./internal/bench -run xxx -bench 'BenchmarkRefine|BenchmarkThroughput' -benchtime 1s
 
 # Re-run the recorded profile and gate against the checked-in
@@ -46,7 +48,7 @@ bench: build
 # artifact, where multi-core runners also record worker scaling).
 bench-regression: build
 	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_CI.json \
-		-baseline BENCH_PR5.json -regress 0.20
+		-baseline BENCH_PR6.json -regress 0.20
 
 # Short fuzzing smoke over the R-tree: the op-stream target plus the
 # node codec targets.

@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -98,7 +99,9 @@ func runUncertain(b *testing.B, engine func() *repro.Engine, issuers func() []*r
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := repro.Query{Issuer: iss[i%len(iss)], W: w, H: w, Threshold: qp}
-		if _, err := e.EvaluateUncertain(q, opts); err != nil {
+		if _, err := e.Evaluate(context.Background(), repro.Request{
+			Kind: repro.KindUncertain, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold, Options: opts,
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -112,7 +115,9 @@ func runPoints(b *testing.B, engine func() *repro.Engine, issuers func() []*repr
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := repro.Query{Issuer: iss[i%len(iss)], W: w, H: w, Threshold: qp}
-		if _, err := e.EvaluatePoints(q, opts); err != nil {
+		if _, err := e.Evaluate(context.Background(), repro.Request{
+			Kind: repro.KindPoints, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold, Options: opts,
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -268,9 +273,11 @@ func BenchmarkParallelRefinement8(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := repro.Query{Issuer: world.issuers[i%len(world.issuers)], W: 1000, H: 1000}
-		_, err := world.engine.EvaluateUncertainParallel(q, repro.EvalOptions{
-			Object: repro.ObjectEvalConfig{ForceMonteCarlo: true, MCSamples: 512},
-		}, 8)
+		_, err := world.engine.Evaluate(context.Background(), repro.Request{
+			Kind: repro.KindUncertain, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold,
+			Options: repro.EvalOptions{Object: repro.ObjectEvalConfig{ForceMonteCarlo: true, MCSamples: 512}},
+			Workers: 8,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

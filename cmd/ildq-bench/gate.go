@@ -18,7 +18,14 @@ import (
 //   - C-IUQ refinement latency (exp-adaptive's mean per-query
 //     wall-clock, per threshold — the CPU hot path);
 //   - continuous-ingestion updates/sec (exp-continuous — the MVCC
-//     writer path, which snapshot isolation must not tax).
+//     writer path, which snapshot isolation must not tax);
+//   - mixed-workload updates/sec and reader QPS (exp-mixed — the
+//     read/write interference profile the out-of-lock COW build
+//     flattens; both sides are gated, at 1.5× the tolerance — see
+//     below);
+//   - refinement allocs/op (exp-mixed's quiesced AllocsPerRun of one
+//     C-IUQ evaluation — the zero-alloc refinement loop; a zero
+//     baseline means any allocation at all fails).
 //
 // Lower-is-better metrics fail above baseline×(1+tol); higher-is-better
 // below baseline×(1−tol). Metrics absent from either side are skipped
@@ -111,6 +118,48 @@ func runGate(rep report, baselinePath string, tol float64) ([]gateViolation, err
 				out = append(out, gateViolation{
 					metric:   "continuous updates/sec",
 					baseline: bc.UpdatesPerSec, current: cc.UpdatesPerSec,
+				})
+			}
+		}
+	}
+
+	// Mixed read/write interference: writer throughput and reader QPS
+	// (both higher is better), and the quiesced refinement allocs/op
+	// (lower is better). The two throughput sides get 1.5× the normal
+	// tolerance: even as a best-of-windows measurement, how a small
+	// runner's scheduler splits one box between contending readers and
+	// a writer swings ~±10% run to run, and a real regression here (a
+	// lock reintroduced on either path) costs far more than 30%. Alloc
+	// counts are deterministic and integral, so they keep the tight
+	// tolerance; a zero baseline tolerates nothing, and small baselines
+	// still get a one-alloc grace so counting jitter cannot flake the
+	// gate.
+	mixedMinOK := func(baseline float64) float64 { return baseline * (1 - 1.5*tol) }
+	for _, bm := range base.Mixed {
+		for _, cm := range rep.Mixed {
+			if cm.Name != bm.Name {
+				continue
+			}
+			if cm.UpdatesPerSec < mixedMinOK(bm.UpdatesPerSec) {
+				out = append(out, gateViolation{
+					metric:   "mixed updates/sec",
+					baseline: bm.UpdatesPerSec, current: cm.UpdatesPerSec,
+				})
+			}
+			if cm.QPS < mixedMinOK(bm.QPS) {
+				out = append(out, gateViolation{
+					metric:   "mixed reader qps",
+					baseline: bm.QPS, current: cm.QPS,
+				})
+			}
+			allocLimit := maxOK(bm.RefineAllocsPerOp)
+			if bm.RefineAllocsPerOp > 0 && allocLimit < bm.RefineAllocsPerOp+1 {
+				allocLimit = bm.RefineAllocsPerOp + 1
+			}
+			if cm.RefineAllocsPerOp > allocLimit {
+				out = append(out, gateViolation{
+					metric:   "refinement allocs/op",
+					baseline: bm.RefineAllocsPerOp, current: cm.RefineAllocsPerOp,
 				})
 			}
 		}

@@ -42,6 +42,7 @@ type report struct {
 	Throughput []bench.ThroughputReport `json:"throughput,omitempty"`
 	Adaptive   []bench.AdaptiveReport   `json:"adaptive,omitempty"`
 	Continuous []bench.ContinuousReport `json:"continuous,omitempty"`
+	Mixed      []bench.MixedReport      `json:"mixed,omitempty"`
 }
 
 func main() {
@@ -59,8 +60,9 @@ func main() {
 		thresholds   = flag.String("threshold", "0.1,0.5,0.9", "comma-separated probability thresholds for exp-adaptive")
 		adptSamples  = flag.Int("adaptive-samples", 2048, "Monte-Carlo budget per candidate for exp-adaptive")
 		standing     = flag.Int("standing", 64, "standing queries for exp-continuous")
-		updBatches   = flag.Int("update-batches", 40, "update batches for exp-continuous")
-		updBatchSize = flag.Int("batch-size", 32, "updates per batch for exp-continuous")
+		updBatches   = flag.Int("update-batches", 40, "update batches for exp-continuous and exp-mixed")
+		updBatchSize = flag.Int("batch-size", 32, "updates per batch for exp-continuous and exp-mixed")
+		readers      = flag.Int("readers", 2, "reader goroutines for exp-mixed")
 		jsonPath     = flag.String("json", "", "also write results to this file as JSON")
 		baseline     = flag.String("baseline", "", "gate this run against a baseline -json report; exit 3 on regression")
 		regressTol   = flag.Float64("regress", 0.20, "fractional regression tolerance for -baseline")
@@ -183,6 +185,18 @@ func main() {
 		}
 		cont.Render(os.Stdout)
 		rep.Continuous = append(rep.Continuous, cont)
+	}
+
+	// The mixed read/write interference experiment also mutates its
+	// engine, so it too runs over a private environment.
+	if want["exp-mixed"] {
+		mixed, err := bench.Mixed(mustEnv(cfg), *readers, *updBatches, *updBatchSize)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: mixed: %v\n", err)
+			os.Exit(1)
+		}
+		mixed.Render(os.Stdout)
+		rep.Mixed = append(rep.Mixed, mixed)
 	}
 
 	runners := []struct {

@@ -59,10 +59,11 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "per-request evaluation deadline (0 = none)")
 		maxSamples = flag.Int64("max-samples", 0, "per-request Monte-Carlo sample budget (0 = unlimited; nn requests always run under some budget)")
 		maxPending = flag.Int("max-pending", 64, "per-subscription delta queue bound before coalescing (<0 = unbounded)")
+		maxSnapAge = flag.Duration("max-snapshot-age", 0, "force-close snapshots pinned longer than this so leaked pins cannot wedge node reclamation (0 = never)")
 	)
 	flag.Parse()
 
-	eng, err := buildEngine(*points, *rects, *seed)
+	eng, err := buildEngine(*points, *rects, *seed, *maxSnapAge)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ildq-serve: %v\n", err)
 		os.Exit(1)
@@ -91,7 +92,7 @@ func main() {
 // setup (clustered California points / Long Beach rectangles); a zero
 // count leaves that database empty, to be populated through
 // /v1/updates.
-func buildEngine(points, rects int, seed int64) (*core.Engine, error) {
+func buildEngine(points, rects int, seed int64, maxSnapAge time.Duration) (*core.Engine, error) {
 	var pts []uncertain.PointObject
 	if points > 0 {
 		pcfg := dataset.CaliforniaConfig()
@@ -110,5 +111,5 @@ func buildEngine(points, rects int, seed int64) (*core.Engine, error) {
 			return nil, err
 		}
 	}
-	return core.NewEngine(pts, objs, core.EngineOptions{})
+	return core.NewEngine(pts, objs, core.EngineOptions{MaxSnapshotAge: maxSnapAge})
 }

@@ -524,6 +524,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "ildq_engine_snapshot_oldest_pinned_version %d\n", ss.OldestPinnedVersion)
 	fmt.Fprintf(w, "ildq_engine_snapshot_version_lag %d\n", ss.VersionLag)
 	fmt.Fprintf(w, "ildq_engine_snapshot_retired_nodes %d\n", ss.RetiredNodes)
+	fmt.Fprintf(w, "ildq_engine_snapshot_open %d\n", ss.OpenSnapshots)
+	fmt.Fprintf(w, "ildq_engine_snapshot_forced_closes_total %d\n", ss.ForcedCloses)
 	fmt.Fprintf(w, "ildq_monitor_registered %d\n", st.Registered)
 	fmt.Fprintf(w, "ildq_monitor_batches_total %d\n", st.Batches)
 	fmt.Fprintf(w, "ildq_monitor_updates_applied_total %d\n", st.UpdatesApplied)

@@ -40,9 +40,9 @@
 //
 // The pre-Request methods (EvaluatePoints, EvaluateUncertain, their
 // Context variants, EvaluateUncertainParallel, EvaluateBatch,
-// EvaluateBatchStream, EvaluateUncertainBatch, and the slice-based
-// EvaluateNN) remain as deprecated shims over Evaluate/EvaluateAll
-// with bit-identical results; see the README's migration table.
+// EvaluateBatchStream, and EvaluateUncertainBatch) were removed after
+// one deprecation cycle; the README's migration table maps each to
+// its Request equivalent, bit-identical results included.
 //
 // # What the package provides
 //

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,20 +40,20 @@ func ExampleNewEngine() {
 	}
 
 	// IPQ over the shops.
-	res, err := engine.EvaluatePoints(repro.Query{Issuer: issuer, W: 60, H: 60}, repro.EvalOptions{})
+	resp, err := engine.Evaluate(context.Background(), repro.RequestPoints(issuer, 60, 60, 0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, m := range res.Matches {
+	for _, m := range resp.Result.Matches {
 		fmt.Printf("shop %d: p=%.2f\n", m.ID, m.P)
 	}
 
 	// C-IUQ over the vehicle with a 0.5 threshold.
-	resU, err := engine.EvaluateUncertain(repro.Query{Issuer: issuer, W: 60, H: 60, Threshold: 0.5}, repro.EvalOptions{})
+	respU, err := engine.Evaluate(context.Background(), repro.RequestUncertain(issuer, 60, 60, 0.5))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, m := range resU.Matches {
+	for _, m := range respU.Result.Matches {
 		fmt.Printf("vehicle %d: p=%.2f\n", m.ID, m.P)
 	}
 	// Output:

@@ -4,15 +4,10 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math/rand"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/geom"
 	"repro/internal/monitor"
-	"repro/internal/pdf"
-	"repro/internal/uncertain"
 )
 
 // ContinuousReport is the exp-continuous output: continuous-query
@@ -94,43 +89,11 @@ func Continuous(env *Env, standing, batches, batchSize, workers int) (Continuous
 
 	// The trace re-reports random objects near their current region —
 	// a bounded random walk, like vehicles moving between ticks.
-	rng := rand.New(rand.NewSource(env.cfg.Seed + 8))
+	trace, err := randomWalkTrace(env, batches, batchSize, env.cfg.Seed+8)
+	if err != nil {
+		return ContinuousReport{}, err
+	}
 	nObjects := env.Engine.NumUncertain()
-	if nObjects == 0 {
-		return ContinuousReport{}, fmt.Errorf("bench: exp-continuous needs uncertain objects (rects = 0)")
-	}
-	step := dataset.Extent / 100
-	trace := make([][]core.Update, batches)
-	for b := range trace {
-		batch := make([]core.Update, batchSize)
-		for j := range batch {
-			id := uncertain.ID(rng.Intn(nObjects))
-			obj, ok := env.Engine.Object(id)
-			var c geom.Point
-			var u float64
-			if ok {
-				r := obj.Region()
-				c = geom.Pt(r.Center().X+(rng.Float64()-0.5)*2*step, r.Center().Y+(rng.Float64()-0.5)*2*step)
-				u = (r.Width() + r.Height()) / 4
-			} else {
-				c = geom.Pt(rng.Float64()*dataset.Extent, rng.Float64()*dataset.Extent)
-				u = 20 + rng.Float64()*30
-			}
-			if u <= 0 {
-				u = 20
-			}
-			up, err := pdf.NewUniform(geom.RectCentered(c, u, u))
-			if err != nil {
-				return ContinuousReport{}, err
-			}
-			o, err := uncertain.NewObject(id, up, uncertain.PaperCatalogProbs())
-			if err != nil {
-				return ContinuousReport{}, err
-			}
-			batch[j] = core.Update{Op: core.OpUpsertObject, Object: o}
-		}
-		trace[b] = batch
-	}
 
 	var entered, left int64
 	start := time.Now()

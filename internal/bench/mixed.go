@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+)
+
+// MixedReport is the exp-mixed output: read/write interference. A
+// writer applies moving-object update batches back-to-back while
+// reader goroutines evaluate C-IUQ requests against the same engine;
+// both sides run full tilt, so the numbers expose how much each path
+// taxes the other — the contention profile the out-of-lock COW build
+// is designed to flatten. RefineAllocsPerOp is the steady-state heap
+// allocation count of one C-IUQ evaluation (measured quiesced, after
+// the interference phase), the regression gate for the zero-alloc
+// refinement loop.
+type MixedReport struct {
+	Name              string  `json:"name"`
+	Readers           int     `json:"readers"`
+	Batches           int     `json:"batches"`
+	BatchSize         int     `json:"batch_size"`
+	Seconds           float64 `json:"seconds"`
+	UpdatesPerSec     float64 `json:"updates_per_sec"`
+	Queries           int64   `json:"queries"`
+	QPS               float64 `json:"qps"`
+	RefineAllocsPerOp float64 `json:"refine_allocs_per_op"`
+}
+
+// Render writes the report as an aligned text table.
+func (r MixedReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "== mixed read/write interference: %s ==\n", r.Name)
+	fmt.Fprintf(w, "%10s %12s %12s %10s %12s %16s\n",
+		"readers", "updates/s", "qps", "queries", "batches", "refine allocs/op")
+	fmt.Fprintf(w, "%10d %12.0f %12.1f %10d %12d %16.1f\n",
+		r.Readers, r.UpdatesPerSec, r.QPS, r.Queries, r.Batches, r.RefineAllocsPerOp)
+	fmt.Fprintln(w)
+}
+
+// randomWalkTrace builds a deterministic moving-object update trace:
+// every update re-reports a random object near its current region (a
+// bounded random walk, like vehicles moving between ticks) as an
+// upsert. Shared by exp-continuous and exp-mixed.
+func randomWalkTrace(env *Env, batches, batchSize int, seed int64) ([][]core.Update, error) {
+	rng := rand.New(rand.NewSource(seed))
+	nObjects := env.Engine.NumUncertain()
+	if nObjects == 0 {
+		return nil, fmt.Errorf("bench: update trace needs uncertain objects (rects = 0)")
+	}
+	step := dataset.Extent / 100
+	trace := make([][]core.Update, batches)
+	for b := range trace {
+		batch := make([]core.Update, batchSize)
+		for j := range batch {
+			id := uncertain.ID(rng.Intn(nObjects))
+			obj, ok := env.Engine.Object(id)
+			var c geom.Point
+			var u float64
+			if ok {
+				r := obj.Region()
+				c = geom.Pt(r.Center().X+(rng.Float64()-0.5)*2*step, r.Center().Y+(rng.Float64()-0.5)*2*step)
+				u = (r.Width() + r.Height()) / 4
+			} else {
+				c = geom.Pt(rng.Float64()*dataset.Extent, rng.Float64()*dataset.Extent)
+				u = 20 + rng.Float64()*30
+			}
+			if u <= 0 {
+				u = 20
+			}
+			up, err := pdf.NewUniform(geom.RectCentered(c, u, u))
+			if err != nil {
+				return nil, err
+			}
+			o, err := uncertain.NewObject(id, up, uncertain.PaperCatalogProbs())
+			if err != nil {
+				return nil, err
+			}
+			batch[j] = core.Update{Op: core.OpUpsertObject, Object: o}
+		}
+		trace[b] = batch
+	}
+	return trace, nil
+}
+
+// Mixed measures update-heavy read/write interference: one writer
+// applies update trace batches through Engine.ApplyUpdates as fast as
+// they commit, while readers goroutines loop C-IUQ evaluations (each
+// pinning its own MVCC state) until the writer finishes. The report
+// records writer throughput under read pressure and reader throughput
+// under write pressure — best measurement window of several, both
+// sides always under full interference — plus the quiesced refinement
+// allocs/op.
+func Mixed(env *Env, readers, batches, batchSize int) (MixedReport, error) {
+	if readers <= 0 {
+		readers = 2
+	}
+	if batches <= 0 {
+		batches = 40
+	}
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	nq := env.cfg.Queries
+	if nq <= 0 || nq > 64 {
+		nq = 64
+	}
+	reqs, err := throughputWorkload(env, nq, 0.3)
+	if err != nil {
+		return MixedReport{}, err
+	}
+	trace, err := randomWalkTrace(env, batches, batchSize, env.cfg.Seed+9)
+	if err != nil {
+		return MixedReport{}, err
+	}
+
+	// One unmeasured serial pass over the reader workload warms the
+	// engine (allocator, candidate caches) so the measured window
+	// compares steady states.
+	for i := range reqs {
+		if _, err := env.Engine.Evaluate(context.Background(), reqs[i]); err != nil {
+			return MixedReport{}, err
+		}
+	}
+
+	var (
+		stop    = make(chan struct{})
+		queries atomic.Int64
+		readErr atomic.Pointer[error]
+		wg      sync.WaitGroup
+	)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for n := off; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := env.Engine.Evaluate(context.Background(), reqs[n%len(reqs)]); err != nil {
+					e := err
+					readErr.CompareAndSwap(nil, &e)
+					return
+				}
+				queries.Add(1)
+			}
+		}(r)
+	}
+
+	// The writer replays the trace through repeated measurement
+	// windows — a bare trace can commit in milliseconds, far too short
+	// to observe reader throughput, and replaying upserts just walks
+	// the same objects again. Each window lasts at least minWindow and
+	// at least the requested batch count; the report takes the best
+	// window per metric, which filters scheduler noise (on small
+	// machines a single window's split between readers and the writer
+	// is close to arbitrary) while still measuring both sides under
+	// full interference.
+	const (
+		windows   = 3
+		minWindow = 1500 * time.Millisecond
+	)
+	var bestUPS, bestQPS float64
+	applied, i := 0, 0
+	start := time.Now()
+	for w := 0; w < windows; w++ {
+		wBatches := 0
+		wQueries0 := queries.Load()
+		wStart := time.Now()
+		for wBatches < batches || time.Since(wStart) < minWindow {
+			batch := trace[i%len(trace)]
+			rep := env.Engine.ApplyUpdates(batch)
+			if len(rep.Errors) > 0 {
+				close(stop)
+				wg.Wait()
+				return MixedReport{}, rep.Errors[0].Err
+			}
+			i++
+			wBatches++
+		}
+		wSec := time.Since(wStart).Seconds()
+		if ups := float64(wBatches*batchSize) / wSec; ups > bestUPS {
+			bestUPS = ups
+		}
+		if qps := float64(queries.Load()-wQueries0) / wSec; qps > bestQPS {
+			bestQPS = qps
+		}
+		applied += wBatches
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	if ep := readErr.Load(); ep != nil {
+		return MixedReport{}, *ep
+	}
+
+	// Quiesced allocs/op of one C-IUQ evaluation — the refinement hot
+	// path the PR 6 gate holds flat.
+	req := reqs[0]
+	allocs := testing.AllocsPerRun(16, func() {
+		if _, err := env.Engine.Evaluate(context.Background(), req); err != nil {
+			panic(err)
+		}
+	})
+
+	return MixedReport{
+		Name: fmt.Sprintf("%d readers vs 1 writer over %d objects, random-walk re-reports",
+			readers, env.Engine.NumUncertain()),
+		Readers:           readers,
+		Batches:           applied,
+		BatchSize:         batchSize,
+		Seconds:           elapsed.Seconds(),
+		UpdatesPerSec:     bestUPS,
+		Queries:           queries.Load(),
+		QPS:               bestQPS,
+		RefineAllocsPerOp: allocs,
+	}, nil
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -60,11 +61,12 @@ func BenchmarkRefineCIUQ(b *testing.B) {
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		q := queries[n%len(queries)]
-		res, err := env.Engine.EvaluateUncertain(q, core.EvalOptions{Rng: rng})
+		resp, err := env.Engine.Evaluate(context.Background(),
+			core.Request{Kind: core.KindUncertain, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold, Options: core.EvalOptions{Rng: rng}})
 		if err != nil {
 			b.Fatal(err)
 		}
-		_ = res
+		_ = resp.Result
 	}
 }
 
@@ -79,11 +81,12 @@ func BenchmarkRefineIUQ(b *testing.B) {
 	for n := 0; n < b.N; n++ {
 		q := queries[n%len(queries)]
 		q.Threshold = 0
-		res, err := env.Engine.EvaluateUncertain(q, core.EvalOptions{Rng: rng})
+		resp, err := env.Engine.Evaluate(context.Background(),
+			core.Request{Kind: core.KindUncertain, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold, Options: core.EvalOptions{Rng: rng}})
 		if err != nil {
 			b.Fatal(err)
 		}
-		_ = res
+		_ = resp.Result
 	}
 }
 
@@ -91,20 +94,28 @@ func BenchmarkRefineIUQ(b *testing.B) {
 // at increasing worker counts over the uncertain-object database.
 func BenchmarkThroughput(b *testing.B) {
 	env, queries := tpWorld.init(b)
-	batch := make([]core.BatchQuery, len(queries))
-	for i, q := range queries {
-		batch[i] = core.BatchQuery{Query: q}
-	}
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for n := 0; n < b.N; n++ {
 				rng := rand.New(rand.NewSource(13))
-				out := env.Engine.EvaluateBatch(batch, core.EvalOptions{Rng: rng}, workers)
-				for _, r := range out {
-					if r.Err != nil {
-						b.Fatal(r.Err)
-					}
+				reqs := make([]core.Request, len(queries))
+				for i, q := range queries {
+					reqs[i] = core.Request{Kind: core.KindUncertain, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold,
+						Options: core.EvalOptions{Rng: rng}, Seed: rng.Int63()}
+				}
+				var reqErr error
+				err := env.Engine.EvaluateAll(context.Background(), reqs, core.AllOptions{Workers: workers},
+					func(_ int, _ core.Response, err error) {
+						if err != nil && reqErr == nil {
+							reqErr = err
+						}
+					})
+				if err == nil {
+					err = reqErr
+				}
+				if err != nil {
+					b.Fatal(err)
 				}
 			}
 			b.ReportMetric(float64(len(queries))*float64(b.N)/b.Elapsed().Seconds(), "qps")

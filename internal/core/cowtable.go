@@ -28,15 +28,20 @@ type tabEntry[V any] struct {
 	val V
 }
 
+// tableBucketFill is the target entries-per-bucket: the initial
+// bucket count is sized so fill stays at or below it, and a tableTxn
+// whose inserts push the average fill past it doubles the spine (see
+// maybeGrow) — so per-update bucket-copy cost stays O(fill) no matter
+// how far past its construction size the dataset grows.
+const tableBucketFill = 32
+
 // newCowTable builds a table sized for roughly n entries. The bucket
 // count is floored at 64 so an engine built over a small (or empty)
 // initial dataset and grown through updates keeps bucket copies cheap
-// well past 2K entries; beyond that, per-update copy cost grows
-// linearly with bucket fill (resize-on-growth is a noted follow-up —
-// a 64-pointer spine costs nothing meanwhile).
+// well past 2K entries; past that, transactions resize on growth.
 func newCowTable[V any](n int) *cowTable[V] {
 	b := 64
-	for b*32 < n {
+	for b*tableBucketFill < n {
 		b <<= 1
 	}
 	return &cowTable[V]{mask: uint64(b - 1), buckets: make([][]tabEntry[V], b)}
@@ -104,10 +109,15 @@ func (t *cowTable[V]) put(id uncertain.ID, v V) {
 
 // tableTxn builds the next version of a table copy-on-write: the spine
 // is copied at construction, each bucket on first touch. The base
-// table is never modified.
+// table is never modified. A txn whose inserts overfill the table
+// rebuilds it with a doubled spine (grown tables own every bucket, so
+// later touches stop copying).
 type tableTxn[V any] struct {
 	tab     *cowTable[V]
 	touched map[int]struct{}
+	// grown marks a txn that rebuilt the table: every bucket is
+	// private to the txn and ownBucket skips the copy-on-first-touch.
+	grown bool
 }
 
 // newTableTxn starts a mutation over base.
@@ -124,6 +134,9 @@ func newTableTxn[V any](base *cowTable[V]) *tableTxn[V] {
 // ownBucket returns bucket b's slice, copying it first if this txn has
 // not touched it yet.
 func (tx *tableTxn[V]) ownBucket(b int) []tabEntry[V] {
+	if tx.grown {
+		return tx.tab.buckets[b]
+	}
 	if _, ok := tx.touched[b]; !ok {
 		src := tx.tab.buckets[b]
 		cp := make([]tabEntry[V], len(src), len(src)+1)
@@ -132,6 +145,38 @@ func (tx *tableTxn[V]) ownBucket(b int) []tabEntry[V] {
 		tx.touched[b] = struct{}{}
 	}
 	return tx.tab.buckets[b]
+}
+
+// maybeGrow doubles the bucket spine once the average fill exceeds
+// tableBucketFill, rehashing every entry into a freshly built table.
+// Growth happens inside an unpublished txn, so readers of the base
+// table are unaffected; the O(n) rebuild amortizes over the >= n/2
+// inserts since the last doubling. Splitting on one extra mask bit
+// sends each bucket's id-sorted entries to exactly two destination
+// buckets in order, so buckets stay sorted without re-sorting.
+func (tx *tableTxn[V]) maybeGrow() {
+	t := tx.tab
+	if t.size <= len(t.buckets)*tableBucketFill {
+		return
+	}
+	nb := len(t.buckets)
+	for t.size > nb*tableBucketFill {
+		nb <<= 1
+	}
+	next := &cowTable[V]{
+		mask:    uint64(nb - 1),
+		buckets: make([][]tabEntry[V], nb),
+		size:    t.size,
+	}
+	for _, b := range t.buckets {
+		for _, e := range b {
+			i := next.bucketOf(e.id)
+			next.buckets[i] = append(next.buckets[i], e)
+		}
+	}
+	tx.tab = next
+	tx.touched = nil
+	tx.grown = true
 }
 
 // Get reads through the txn's current state.
@@ -150,6 +195,7 @@ func (tx *tableTxn[V]) Put(id uncertain.ID, v V) {
 	s[i] = tabEntry[V]{id: id, val: v}
 	tx.tab.buckets[b] = s
 	tx.tab.size++
+	tx.maybeGrow()
 }
 
 // Delete removes id, reporting whether it was present.

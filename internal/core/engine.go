@@ -29,6 +29,15 @@ type EngineOptions struct {
 	// PointIndexConfig overrides the point R-tree configuration
 	// (zero = 4 KiB-page defaults).
 	PointIndexConfig rtree.Config
+	// MaxSnapshotAge, when positive, bounds how long an open Snapshot
+	// may pin its state: snapshots older than the limit are
+	// force-closed by the engine (counted in
+	// SnapshotStats.ForcedCloses), so a leaked Snapshot.Close cannot
+	// wedge superseded-node reclamation indefinitely. In-flight
+	// evaluations hold their own pins and are never interrupted; only
+	// new evaluations through the snapshot are refused. Zero means no
+	// bound.
+	MaxSnapshotAge time.Duration
 }
 
 // Engine holds a database of point objects and uncertain objects with
@@ -41,22 +50,40 @@ type EngineOptions struct {
 // it starts and runs entirely against that snapshot without holding
 // any lock — a long Monte-Carlo refinement never delays ingestion.
 // Conversely, writers (Insert*/Delete*/Move*/Replace*/ApplyUpdates)
-// never wait for readers: they serialize with each other, build the
-// next state copy-on-write (path-copied index nodes, bucket-copied
-// object tables), and publish it inside a short critical section
-// whose cost is independent of in-flight evaluations. A query
-// therefore observes either all of an update batch or none of it —
-// specifically, the newest state published before the evaluation
+// never wait for readers, and contend with each other only for an
+// instant. The writer pipeline is optimistic:
+//
+//  1. Build out of lock: the writer loads the current state and
+//     constructs the successor copy-on-write against it (path-copied
+//     index nodes — each node copied at most once per batch, however
+//     many of the batch's updates touch it — and bucket-copied object
+//     tables, with the bucket spine doubling when inserts outgrow
+//     it). No lock is held; concurrent writers build in parallel
+//     against the same base, each into private nodes and buckets.
+//  2. Validate and publish: under writeMu the writer checks its base
+//     is still the published state; if so it seals the build and
+//     swaps the state pointer — a critical section whose cost is
+//     independent of both batch size and in-flight readers.
+//  3. Retry on conflict: a writer that lost the race discards its
+//     private build and rebuilds against the new base (bounded
+//     retries, then building under the lock as a fallback), so
+//     progress is guaranteed and contention costs only duplicated
+//     out-of-lock work.
+//
+// A query therefore observes either all of an update batch or none of
+// it — specifically, the newest state published before the evaluation
 // began; use Snapshot to hold one version across several evaluations.
 // Superseded index nodes are reclaimed once the last evaluation
-// pinning them finishes (see SnapshotStats).
+// pinning them finishes (see SnapshotStats); EngineOptions.
+// MaxSnapshotAge bounds how long a leaked Snapshot can stall that.
 //
 // The query surface is the Request model: Evaluate(ctx, Request)
 // answers any kind (range over uncertain objects or points, nearest
 // neighbor) and EvaluateAll is the one fan-out form; both are defined
 // on Snapshot with thin Engine wrappers, so every evaluation flows
-// through the single pinned-snapshot code path. The legacy Evaluate*
-// methods are deprecated shims over them.
+// through the single pinned-snapshot code path. (The legacy Evaluate*
+// shims were removed after one deprecation cycle; their behavior
+// survives in legacy_test.go as test-only equivalence coverage.)
 //
 // Every Response carries its own exact per-request Cost: node
 // accesses are counted per search call, not in shared tree state, so
@@ -78,12 +105,20 @@ type Engine struct {
 	// state is the current published version, swapped under pinMu.
 	state atomic.Pointer[engineState]
 
-	// pinMu guards the pin table and graveyard — and brackets every
-	// state load-and-pin and every publish, so a state can never be
-	// reclaimed between a reader loading and pinning it.
+	// pinMu guards the pin table, graveyard, and snapshot registry —
+	// and brackets every state load-and-pin and every publish, so a
+	// state can never be reclaimed between a reader loading and
+	// pinning it.
 	pinMu     sync.Mutex
 	pins      map[uint64]*pinEntry
 	graveyard []retiredBatch
+
+	// snaps registers every open Snapshot with its creation time, so
+	// the age-bound sweep can force-close leaked ones; maxSnapAge <= 0
+	// disables the sweep, forcedCloses counts its victims.
+	snaps        map[*Snapshot]time.Time
+	maxSnapAge   time.Duration
+	forcedCloses uint64
 }
 
 // NewEngine builds an engine over the given datasets. Point object IDs
@@ -132,7 +167,11 @@ func NewEngine(points []uncertain.PointObject, objects []*uncertain.Object, opts
 		return nil, fmt.Errorf("core: building PTI: %w", err)
 	}
 
-	e := &Engine{pins: make(map[uint64]*pinEntry)}
+	e := &Engine{
+		pins:       make(map[uint64]*pinEntry),
+		snaps:      make(map[*Snapshot]time.Time),
+		maxSnapAge: opts.MaxSnapshotAge,
+	}
 	e.state.Store(st)
 	return e, nil
 }
@@ -244,29 +283,6 @@ func (o EvalOptions) evalContext(ctx context.Context) (context.Context, context.
 		return context.WithTimeout(ctx, o.Timeout)
 	}
 	return ctx, func() {}
-}
-
-// requestFor adapts a legacy (Query, EvalOptions) pair to a Request —
-// the conversion every deprecated Evaluate* shim routes through.
-func requestFor(kind Kind, q Query, opts EvalOptions) Request {
-	return Request{Kind: kind, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold, Options: opts}
-}
-
-// EvaluatePoints answers IPQ (Threshold == 0) and C-IPQ (Threshold > 0)
-// queries over the point-object database.
-//
-// Deprecated: use Evaluate with a KindPoints Request.
-func (e *Engine) EvaluatePoints(q Query, opts EvalOptions) (Result, error) {
-	resp, err := e.Evaluate(context.Background(), requestFor(KindPoints, q, opts))
-	return resp.Result, err
-}
-
-// EvaluatePointsContext is EvaluatePoints bounded by ctx.
-//
-// Deprecated: use Evaluate with a KindPoints Request.
-func (e *Engine) EvaluatePointsContext(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
-	resp, err := e.Evaluate(ctx, requestFor(KindPoints, q, opts))
-	return resp.Result, err
 }
 
 // evaluatePoints validates, applies defaults and deadline, and
@@ -423,23 +439,6 @@ func (st *engineState) evaluatePointsBasic(ctx context.Context, q Query, opts Ev
 	sortMatches(res.Matches)
 	res.Cost.Duration = time.Since(start)
 	return res, nil
-}
-
-// EvaluateUncertain answers IUQ (Threshold == 0) and C-IUQ
-// (Threshold > 0) queries over the uncertain-object database.
-//
-// Deprecated: use Evaluate with a KindUncertain Request.
-func (e *Engine) EvaluateUncertain(q Query, opts EvalOptions) (Result, error) {
-	resp, err := e.Evaluate(context.Background(), requestFor(KindUncertain, q, opts))
-	return resp.Result, err
-}
-
-// EvaluateUncertainContext is EvaluateUncertain bounded by ctx.
-//
-// Deprecated: use Evaluate with a KindUncertain Request.
-func (e *Engine) EvaluateUncertainContext(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
-	resp, err := e.Evaluate(ctx, requestFor(KindUncertain, q, opts))
-	return resp.Result, err
 }
 
 // evaluateUncertain validates, applies defaults and deadline, and

@@ -13,6 +13,12 @@ import (
 // uncertain objects scattered over a 1000x1000 space.
 func testWorld(t testing.TB, nPoints, nObjects int, seed int64) *Engine {
 	t.Helper()
+	return testWorldOpts(t, nPoints, nObjects, seed, EngineOptions{})
+}
+
+// testWorldOpts is testWorld with explicit engine options.
+func testWorldOpts(t testing.TB, nPoints, nObjects int, seed int64, opts EngineOptions) *Engine {
+	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	points := make([]uncertain.PointObject, nPoints)
 	for i := range points {
@@ -31,7 +37,7 @@ func testWorld(t testing.TB, nPoints, nObjects int, seed int64) *Engine {
 		}
 		objects[i] = o
 	}
-	e, err := NewEngine(points, objects, EngineOptions{})
+	e, err := NewEngine(points, objects, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

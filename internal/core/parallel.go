@@ -182,17 +182,3 @@ func canceled(ctx context.Context) error {
 		return nil
 	}
 }
-
-// EvaluateUncertainParallel is EvaluateUncertain with refinement
-// fanned out over workers goroutines. Parallel and serial evaluation
-// share one implementation; per-candidate sampling seeds (see
-// refineSurvivors) make the results bit-identical at any worker
-// count, so this is exactly a Request with Workers set.
-//
-// Deprecated: use Evaluate with a KindUncertain Request carrying
-// Workers.
-func (e *Engine) EvaluateUncertainParallel(q Query, opts EvalOptions, workers int) (Result, error) {
-	resp, err := e.Evaluate(context.Background(),
-		Request{Kind: KindUncertain, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold, Options: opts, Workers: workers})
-	return resp.Result, err
-}

@@ -407,34 +407,3 @@ func (st *engineState) evaluateAll(ctx context.Context, reqs []Request, opts All
 	wg.Wait()
 	return ctx.Err()
 }
-
-// kindForTarget maps a legacy batch Target to the request Kind.
-func kindForTarget(t Target) Kind {
-	if t == TargetPoints {
-		return KindPoints
-	}
-	return KindUncertain
-}
-
-// batchRequests converts a legacy BatchQuery workload to requests,
-// reproducing the historical per-query seed derivation bit-exactly:
-// one parent draw from the defaulted options source, then
-// splitmix-derived per-index seeds. It exists only for the deprecated
-// EvaluateBatch / EvaluateBatchStream / EvaluateUncertainBatch shims.
-func batchRequests(queries []BatchQuery, opts EvalOptions) []Request {
-	o := opts.withDefaults()
-	parent := o.Rng.Int63()
-	reqs := make([]Request, len(queries))
-	for i, bq := range queries {
-		reqs[i] = Request{
-			Kind:      kindForTarget(bq.Target),
-			Issuer:    bq.Query.Issuer,
-			W:         bq.Query.W,
-			H:         bq.Query.H,
-			Threshold: bq.Query.Threshold,
-			Options:   opts,
-			Seed:      deriveSeed(parent, i),
-		}
-	}
-	return reqs
-}

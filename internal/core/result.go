@@ -1,8 +1,6 @@
 package core
 
 import (
-	"context"
-	"fmt"
 	"math"
 )
 
@@ -61,111 +59,4 @@ func AnswerEntropy(ms []Match) float64 {
 		h += -p*math.Log2(p) - (1-p)*math.Log2(1-p)
 	}
 	return h
-}
-
-// BatchResult pairs a query index with its result or error.
-type BatchResult struct {
-	Result Result
-	Err    error
-}
-
-// Target selects which database a batch query runs against.
-type Target int
-
-const (
-	// TargetUncertain evaluates over the uncertain-object database
-	// (IUQ / C-IUQ).
-	TargetUncertain Target = iota
-	// TargetPoints evaluates over the point-object database
-	// (IPQ / C-IPQ).
-	TargetPoints
-)
-
-// String implements fmt.Stringer.
-func (t Target) String() string {
-	switch t {
-	case TargetUncertain:
-		return "uncertain"
-	case TargetPoints:
-		return "points"
-	default:
-		return fmt.Sprintf("Target(%d)", int(t))
-	}
-}
-
-// BatchQuery is one element of an EvaluateBatch workload. The zero
-// Target evaluates over the uncertain-object database.
-type BatchQuery struct {
-	Query  Query
-	Target Target
-}
-
-// EvaluateBatch evaluates many queries concurrently, workers at a
-// time, and returns results in query order.
-//
-// Deprecated: use EvaluateAll with a []Request — this shim converts
-// the workload (preserving the historical per-query seed derivation
-// bit-exactly, see batchRequests) and collects the responses.
-func (e *Engine) EvaluateBatch(queries []BatchQuery, opts EvalOptions, workers int) []BatchResult {
-	return collectBatch(e.EvaluateAll, queries, opts, workers)
-}
-
-// collectBatch adapts an EvaluateAll-shaped evaluator to the legacy
-// collected-slice form, for the deprecated EvaluateBatch shims. A
-// fan-out-level failure (a closed snapshot) is reported in every slot,
-// as the legacy methods did; it can only occur before any delivery.
-func collectBatch(evalAll func(context.Context, []Request, AllOptions, AllHandler) error, queries []BatchQuery, opts EvalOptions, workers int) []BatchResult {
-	out := make([]BatchResult, len(queries))
-	err := evalAll(context.Background(), batchRequests(queries, opts), AllOptions{Workers: workers},
-		func(i int, resp Response, err error) { out[i] = BatchResult{Result: resp.Result, Err: err} })
-	if err != nil {
-		for i := range out {
-			out[i] = BatchResult{Err: err}
-		}
-	}
-	return out
-}
-
-// StreamHandler receives one finished batch query: its index in the
-// input slice and its result or error. Calls are serialized by the
-// engine but arrive in completion order, not input order.
-//
-// Deprecated: new code uses AllHandler with EvaluateAll.
-type StreamHandler func(i int, br BatchResult)
-
-// EvaluateBatchStream is the streaming form of EvaluateBatch: results
-// are delivered to fn as each query finishes.
-//
-// Deprecated: use EvaluateAll, whose handler receives responses the
-// same way (serialized, completion order, whole-batch cancellation
-// via ctx, per-query deadlines via Options.Timeout).
-func (e *Engine) EvaluateBatchStream(ctx context.Context, queries []BatchQuery, opts EvalOptions, workers int, fn StreamHandler) error {
-	return e.EvaluateAll(ctx, batchRequests(queries, opts), AllOptions{Workers: workers}, streamAdapter(fn))
-}
-
-// streamAdapter adapts a legacy StreamHandler to an AllHandler
-// (nil-preserving, so warm-up callers keep the discard fast path).
-func streamAdapter(fn StreamHandler) AllHandler {
-	if fn == nil {
-		return nil
-	}
-	return func(i int, resp Response, err error) { fn(i, BatchResult{Result: resp.Result, Err: err}) }
-}
-
-// EvaluateUncertainBatch evaluates many queries over the
-// uncertain-object database, workers at a time.
-//
-// Deprecated: use EvaluateAll with KindUncertain requests.
-func (e *Engine) EvaluateUncertainBatch(queries []Query, opts EvalOptions, workers int) []BatchResult {
-	return e.EvaluateBatch(uncertainBatch(queries), opts, workers)
-}
-
-// uncertainBatch wraps bare queries as uncertain-target batch entries
-// (for the deprecated EvaluateUncertainBatch shim).
-func uncertainBatch(queries []Query) []BatchQuery {
-	bqs := make([]BatchQuery, len(queries))
-	for i, q := range queries {
-		bqs[i] = BatchQuery{Query: q}
-	}
-	return bqs
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"context"
 	"errors"
 	"math"
 	"sync/atomic"
@@ -155,9 +154,55 @@ type Snapshot struct {
 }
 
 // Snapshot pins and returns the engine's current state. The caller
-// must Close it.
+// must Close it. If the engine was built with a MaxSnapshotAge, a
+// snapshot left open past the bound is force-closed by the engine.
 func (e *Engine) Snapshot() *Snapshot {
-	return &Snapshot{e: e, st: e.acquireState()}
+	e.pinMu.Lock()
+	st := e.state.Load()
+	e.pinLocked(st)
+	s := &Snapshot{e: e, st: st}
+	e.registerSnapshotLocked(s)
+	e.pinMu.Unlock()
+	return s
+}
+
+// registerSnapshotLocked records an open snapshot for the age-bound
+// sweep; pinMu is held.
+func (e *Engine) registerSnapshotLocked(s *Snapshot) {
+	e.snaps[s] = time.Now()
+}
+
+// sweepSnapshotsLocked force-closes registered snapshots older than
+// the engine's age bound. It runs inside every publish and every
+// SnapshotStats call, so a leaked pin is reclaimed as soon as either
+// the writers or the metrics path next come around. The CompareAndSwap
+// arbitrates with a racing user Close; in-flight evaluations hold
+// their own per-use pins and are unaffected. pinMu is held.
+func (e *Engine) sweepSnapshotsLocked(now time.Time) {
+	if e.maxSnapAge <= 0 {
+		return
+	}
+	for s, born := range e.snaps {
+		if now.Sub(born) <= e.maxSnapAge {
+			continue
+		}
+		delete(e.snaps, s)
+		if s.closed.CompareAndSwap(false, true) {
+			e.unpinLocked(s.st)
+			e.forcedCloses++
+		}
+	}
+}
+
+// unpinLocked drops one pin on st without collecting the graveyard;
+// pinMu is held and the caller collects afterwards.
+func (e *Engine) unpinLocked(st *engineState) {
+	if pe := e.pins[st.seq]; pe != nil {
+		pe.count--
+		if pe.count <= 0 {
+			delete(e.pins, st.seq)
+		}
+	}
 }
 
 // Close releases the snapshot's pin, allowing index nodes superseded
@@ -165,10 +210,17 @@ func (e *Engine) Snapshot() *Snapshot {
 // in-flight evaluations through the snapshot: each evaluation holds
 // its own pin for its duration (see acquireUse), so closing underneath
 // one never lets the nodes it is traversing be reclaimed — only new
-// evaluations are refused.
+// evaluations are refused. It is also safe to race with an engine-side
+// forced close (MaxSnapshotAge): exactly one of the two releases the
+// pin.
 func (s *Snapshot) Close() {
 	if s.closed.CompareAndSwap(false, true) {
-		s.e.releaseState(s.st)
+		s.e.pinMu.Lock()
+		delete(s.e.snaps, s)
+		s.e.unpinLocked(s.st)
+		freeable := s.e.collectFreeableLocked()
+		s.e.pinMu.Unlock()
+		s.e.freeRetired(freeable)
 	}
 }
 
@@ -215,54 +267,6 @@ func (s *Snapshot) Object(id uncertain.ID) (*uncertain.Object, bool) {
 	return s.st.objects.Get(id)
 }
 
-// EvaluatePoints answers IPQ / C-IPQ queries against the snapshot.
-//
-// Deprecated: use Evaluate with a KindPoints Request.
-func (s *Snapshot) EvaluatePoints(q Query, opts EvalOptions) (Result, error) {
-	resp, err := s.Evaluate(context.Background(), requestFor(KindPoints, q, opts))
-	return resp.Result, err
-}
-
-// EvaluatePointsContext is EvaluatePoints bounded by ctx.
-//
-// Deprecated: use Evaluate with a KindPoints Request.
-func (s *Snapshot) EvaluatePointsContext(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
-	resp, err := s.Evaluate(ctx, requestFor(KindPoints, q, opts))
-	return resp.Result, err
-}
-
-// EvaluateUncertain answers IUQ / C-IUQ queries against the snapshot.
-//
-// Deprecated: use Evaluate with a KindUncertain Request.
-func (s *Snapshot) EvaluateUncertain(q Query, opts EvalOptions) (Result, error) {
-	resp, err := s.Evaluate(context.Background(), requestFor(KindUncertain, q, opts))
-	return resp.Result, err
-}
-
-// EvaluateUncertainContext is EvaluateUncertain bounded by ctx.
-//
-// Deprecated: use Evaluate with a KindUncertain Request.
-func (s *Snapshot) EvaluateUncertainContext(ctx context.Context, q Query, opts EvalOptions) (Result, error) {
-	resp, err := s.Evaluate(ctx, requestFor(KindUncertain, q, opts))
-	return resp.Result, err
-}
-
-// EvaluateBatch evaluates many queries against the snapshot, workers
-// at a time, returning results in query order.
-//
-// Deprecated: use EvaluateAll with a []Request.
-func (s *Snapshot) EvaluateBatch(queries []BatchQuery, opts EvalOptions, workers int) []BatchResult {
-	return collectBatch(s.EvaluateAll, queries, opts, workers)
-}
-
-// EvaluateBatchStream is the streaming batch evaluator against the
-// snapshot.
-//
-// Deprecated: use EvaluateAll.
-func (s *Snapshot) EvaluateBatchStream(ctx context.Context, queries []BatchQuery, opts EvalOptions, workers int, fn StreamHandler) error {
-	return s.EvaluateAll(ctx, batchRequests(queries, opts), AllOptions{Workers: workers}, streamAdapter(fn))
-}
-
 // SnapshotStats reports the engine's MVCC bookkeeping for metrics:
 // how stale the freshest state is, what readers still pin, and how
 // much superseded index garbage awaits reclamation.
@@ -286,11 +290,20 @@ type SnapshotStats struct {
 	// whose reclamation is blocked by the oldest pins.
 	RetiredBatches int
 	RetiredNodes   int
+	// OpenSnapshots counts registered Snapshots not yet closed;
+	// ForcedCloses counts snapshots the engine force-closed for
+	// exceeding EngineOptions.MaxSnapshotAge.
+	OpenSnapshots int
+	ForcedCloses  uint64
 }
 
-// SnapshotStats returns the engine's current MVCC counters.
+// SnapshotStats returns the engine's current MVCC counters, first
+// running the snapshot age-bound sweep so a wedged pin shows up here
+// as a ForcedClose rather than as unbounded RetiredNodes growth.
 func (e *Engine) SnapshotStats() SnapshotStats {
 	e.pinMu.Lock()
+	e.sweepSnapshotsLocked(time.Now())
+	freeable := e.collectFreeableLocked()
 	st := e.state.Load()
 	out := SnapshotStats{
 		Version:             st.version,
@@ -310,7 +323,10 @@ func (e *Engine) SnapshotStats() SnapshotStats {
 	for _, b := range e.graveyard {
 		out.RetiredNodes += len(b.pointNodes) + len(b.uncNodes)
 	}
+	out.OpenSnapshots = len(e.snaps)
+	out.ForcedCloses = e.forcedCloses
 	e.pinMu.Unlock()
+	e.freeRetired(freeable)
 	out.VersionLag = out.Version - out.OldestPinnedVersion
 	return out
 }

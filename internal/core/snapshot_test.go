@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -393,5 +394,279 @@ func TestBasicMethodAdaptive(t *testing.T) {
 				t.Errorf("%v: adaptive basic accepted %d (p=%.3f) that exact evaluation rejects", target, id, p)
 			}
 		}
+	}
+}
+
+// TestSnapshotConcurrentWriterFlood races several ApplyUpdates callers
+// against each other and against live readers while a snapshot stays
+// pinned — the out-of-lock COW build's acceptance test. Concurrent
+// writers force optimistic builds to fail validation and retry, so the
+// assertions cover the whole optimistic path: every batch commits
+// atomically (all its updates applied, exactly one version bump), no
+// batch is lost or double-applied under contention, and the pinned
+// snapshot's answer stays bit-identical throughout. Run under -race by
+// the CI soak job.
+func TestSnapshotConcurrentWriterFlood(t *testing.T) {
+	e := testWorld(t, 0, 2000, 13)
+	q := Query{Issuer: testIssuer(t, geom.Pt(500, 500), 50), W: 120, H: 120, Threshold: 0.3}
+	opts := func() EvalOptions { return EvalOptions{Rng: rand.New(rand.NewSource(31))} }
+
+	snap := e.Snapshot()
+	defer snap.Close()
+	baseline, err := snap.EvaluateUncertain(q, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := e.Version()
+
+	const (
+		writers   = 4
+		perWriter = 16
+		batchSize = 8
+	)
+	var (
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		failures atomic.Int64
+		firstErr atomic.Pointer[string]
+	)
+	fail := func(msg string) {
+		failures.Add(1)
+		firstErr.CompareAndSwap(nil, &msg)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for b := 0; b < perWriter; b++ {
+				batch, err := randomBatch(e, rng, batchSize)
+				if err != nil {
+					fail("building batch: " + err.Error())
+					return
+				}
+				rep := e.ApplyUpdates(batch)
+				if len(rep.Errors) > 0 {
+					fail("apply: " + rep.Errors[0].Err.Error())
+					return
+				}
+				if rep.Applied != batchSize {
+					fail("batch applied partially — atomicity broken")
+					return
+				}
+			}
+		}(100 + int64(w))
+	}
+	// Live readers churn the read path while writers contend.
+	var readerWG sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readerWG.Add(1)
+		go func(seed int64) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := e.EvaluateUncertain(q, EvalOptions{Rng: rng}); err != nil {
+					fail("live read: " + err.Error())
+					return
+				}
+			}
+		}(200 + int64(r))
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d concurrent failures, first: %s", failures.Load(), *firstErr.Load())
+	}
+
+	// Every batch committed exactly once: the version advanced by the
+	// total batch count, no interleaving lost a commit.
+	if got, want := e.Version(), v0+writers*perWriter; got != want {
+		t.Fatalf("version %d after flood, want %d", got, want)
+	}
+	if e.NumUncertain() != 2000 {
+		t.Fatalf("object count drifted to %d (upsert-only flood)", e.NumUncertain())
+	}
+
+	// The pinned snapshot's world is untouched: bit-exact re-run.
+	again, err := snap.EvaluateUncertain(q, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Matches) != len(baseline.Matches) {
+		t.Fatalf("pinned re-run: %d matches, want %d", len(again.Matches), len(baseline.Matches))
+	}
+	for i := range again.Matches {
+		if again.Matches[i] != baseline.Matches[i] {
+			t.Fatalf("match %d differs after flood: %+v vs %+v", i, again.Matches[i], baseline.Matches[i])
+		}
+	}
+	if again.Cost.SamplesUsed != baseline.Cost.SamplesUsed {
+		t.Fatalf("pinned re-run drew %d samples, baseline %d", again.Cost.SamplesUsed, baseline.Cost.SamplesUsed)
+	}
+
+	// Quiesced: only the snapshot's pin remains.
+	if st := e.SnapshotStats(); st.Pins != 1 || st.OpenSnapshots != 1 {
+		t.Fatalf("quiesced stats %+v, want exactly the test snapshot pinned", st)
+	}
+}
+
+// randomBatch is makeUpdateBatch without the testing.TB dependency, so
+// writer goroutines can build batches without calling t.Fatal off the
+// test goroutine.
+func randomBatch(e *Engine, rng *rand.Rand, size int) ([]Update, error) {
+	n := e.NumUncertain()
+	batch := make([]Update, size)
+	for j := range batch {
+		id := uncertain.ID(rng.Intn(n))
+		c := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		if obj, ok := e.Object(id); ok {
+			r := obj.Region()
+			c = geom.Pt(r.Center().X+(rng.Float64()-0.5)*20, r.Center().Y+(rng.Float64()-0.5)*20)
+		}
+		o, err := uncertain.NewObject(id, pdf.MustUniform(geom.RectCentered(c, 5+rng.Float64()*10, 5+rng.Float64()*10)),
+			uncertain.PaperCatalogProbs())
+		if err != nil {
+			return nil, err
+		}
+		batch[j] = Update{Op: OpUpsertObject, Object: o}
+	}
+	return batch, nil
+}
+
+// TestSnapshotMaxAgeForcedClose covers the snapshot age bound: a
+// snapshot leaked past EngineOptions.MaxSnapshotAge is force-closed by
+// the next sweep (SnapshotStats or a publish), its pin released so
+// retired nodes reclaim, the ForcedCloses counter advanced, and a late
+// user Close stays a no-op.
+func TestSnapshotMaxAgeForcedClose(t *testing.T) {
+	e := testWorldOpts(t, 0, 300, 17, EngineOptions{MaxSnapshotAge: 50 * time.Millisecond})
+	q := Query{Issuer: testIssuer(t, geom.Pt(500, 500), 40), W: 120, H: 120}
+	rng := rand.New(rand.NewSource(2))
+
+	leak := e.Snapshot()
+	if rep := e.ApplyUpdates(makeUpdateBatch(t, e, rng, 32)); len(rep.Errors) > 0 {
+		t.Fatal(rep.Errors[0])
+	}
+	// Young snapshots survive the sweep, and their pin retains the
+	// superseded nodes.
+	if st := e.SnapshotStats(); st.OpenSnapshots != 1 || st.ForcedCloses != 0 {
+		t.Fatalf("young snapshot swept: %+v", st)
+	} else if st.RetiredNodes == 0 {
+		t.Fatalf("expected retained retired nodes while pinned: %+v", st)
+	}
+
+	time.Sleep(120 * time.Millisecond)
+	st := e.SnapshotStats()
+	if st.ForcedCloses != 1 || st.OpenSnapshots != 0 {
+		t.Fatalf("aged snapshot not force-closed: %+v", st)
+	}
+	if st.RetiredNodes != 0 || st.Pins != 0 {
+		t.Fatalf("forced close did not release the pin: %+v", st)
+	}
+	if _, err := leak.EvaluateUncertain(q, EvalOptions{Rng: rng}); !errors.Is(err, ErrSnapshotClosed) {
+		t.Fatalf("evaluation through force-closed snapshot: %v", err)
+	}
+	// The user's own (late) Close must not double-release.
+	leak.Close()
+	if st := e.SnapshotStats(); st.ForcedCloses != 1 || st.Pins != 0 {
+		t.Fatalf("late user Close double-released: %+v", st)
+	}
+
+	// The publish path sweeps too: an aged leak is closed by the next
+	// ApplyUpdates, before any metrics call looks.
+	leak2 := e.Snapshot()
+	time.Sleep(120 * time.Millisecond)
+	if rep := e.ApplyUpdates(makeUpdateBatch(t, e, rng, 8)); len(rep.Errors) > 0 {
+		t.Fatal(rep.Errors[0])
+	}
+	if _, err := leak2.EvaluateUncertain(q, EvalOptions{Rng: rng}); !errors.Is(err, ErrSnapshotClosed) {
+		t.Fatalf("publish-path sweep missed the aged snapshot: %v", err)
+	}
+	if st := e.SnapshotStats(); st.ForcedCloses != 2 {
+		t.Fatalf("ForcedCloses = %d, want 2: %+v", st.ForcedCloses, st)
+	}
+}
+
+// TestCowTableGrow drives a tableTxn far past its base table's sizing
+// so the spine doubles (repeatedly), then checks the resized table:
+// contents intact, buckets still id-sorted (growth splits each bucket
+// in order), fill back at or under the target, and the base table
+// untouched.
+func TestCowTableGrow(t *testing.T) {
+	tab := newCowTable[int](0) // 64-bucket floor, grows past 2048 entries
+	for i := 0; i < 100; i++ {
+		tab.put(uncertain.ID(i), i)
+	}
+	baseBuckets := len(tab.buckets)
+
+	tx := newTableTxn(tab)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tx.Put(uncertain.ID(i), i*3)
+	}
+	for i := 0; i < n; i += 10 {
+		if !tx.Delete(uncertain.ID(i)) {
+			t.Fatalf("delete %d failed after growth", i)
+		}
+	}
+	next := tx.Commit()
+
+	// Base untouched by the growing txn.
+	if tab.Len() != 100 || len(tab.buckets) != baseBuckets {
+		t.Fatalf("base mutated: len %d, buckets %d", tab.Len(), len(tab.buckets))
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok := tab.Get(uncertain.ID(i)); !ok || v != i {
+			t.Fatalf("base[%d] = %d, %t", i, v, ok)
+		}
+	}
+
+	// Grown: doubled spine, fill at or below target, contents exact.
+	if len(next.buckets) <= baseBuckets {
+		t.Fatalf("spine did not grow: %d buckets for %d entries", len(next.buckets), next.Len())
+	}
+	if next.Len() > len(next.buckets)*tableBucketFill {
+		t.Fatalf("fill %d entries over %d buckets exceeds target %d",
+			next.Len(), len(next.buckets), tableBucketFill)
+	}
+	if want := n - n/10; next.Len() != want {
+		t.Fatalf("len %d, want %d", next.Len(), want)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := next.Get(uncertain.ID(i))
+		if i%10 == 0 {
+			if ok {
+				t.Fatalf("deleted %d still present", i)
+			}
+		} else if !ok || v != i*3 {
+			t.Fatalf("next[%d] = %d, %t", i, v, ok)
+		}
+	}
+	for b, s := range next.buckets {
+		for j := 1; j < len(s); j++ {
+			if s[j-1].id >= s[j].id {
+				t.Fatalf("bucket %d unsorted after growth at %d", b, j)
+			}
+		}
+	}
+
+	// A later txn over the grown table copies buckets again as usual.
+	tx2 := newTableTxn(next)
+	tx2.Put(uncertain.ID(123456), 7)
+	if !tx2.Delete(uncertain.ID(1)) {
+		t.Fatal("post-growth delete failed")
+	}
+	after := tx2.Commit()
+	if v, ok := after.Get(uncertain.ID(123456)); !ok || v != 7 {
+		t.Fatal("post-growth insert lost")
+	}
+	if v, ok := next.Get(uncertain.ID(1)); !ok || v != 3 {
+		t.Fatalf("grown table mutated by later txn: %d, %t", v, ok)
 	}
 }

@@ -74,7 +74,9 @@ type Update struct {
 
 // UpdateError records one failed update of a batch.
 type UpdateError struct {
-	// Index is the update's position in the batch.
+	// Index is the update's position in the batch. Index -1 marks a
+	// batch-wide storage failure (a cached index-node write the store
+	// rejected): none of the batch was published.
 	Index int
 	Err   error
 }
@@ -116,8 +118,11 @@ func (rep *UpdateReport) Touches(r geom.Rect) bool {
 // stateTxn builds the next engine state copy-on-write over a base
 // version. Tables and trees are cloned lazily, on first touch, so a
 // batch pays only for the structures it actually mutates; reads fall
-// through to the base until then. A txn is single-goroutine (the
-// engine's writeMu serializes writers).
+// through to the base until then. A txn is single-goroutine, but
+// distinct txns may be built concurrently against the same base
+// (every clone's mutations live in private fresh nodes and copied
+// buckets): the optimistic writers in applyUpdates/mutate race to
+// publish and the losers discard and rebuild.
 type stateTxn struct {
 	base *engineState
 
@@ -194,12 +199,34 @@ func (tx *stateTxn) discard() {
 	}
 }
 
+// flush writes the txn's cached index-node updates through to the
+// stores. The engine calls it before entering the publish critical
+// section, so page encoding — the bulk of a paged batch's write cost,
+// already amortized to one encode per touched node — runs outside any
+// lock. An error means storage rejected a write; the txn must be
+// discarded, not published.
+func (tx *stateTxn) flush() error {
+	if tx.pointIdx != nil {
+		if err := tx.pointIdx.FlushCOW(); err != nil {
+			return err
+		}
+	}
+	if tx.uncIdx != nil {
+		if err := tx.uncIdx.FlushCOW(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // finish seals the txn into the next engine state plus the retired
 // index nodes, or returns nil if nothing was touched. seq, version
-// and publishedAt are the caller's to fill.
-func (tx *stateTxn) finish() (*engineState, retiredBatch) {
+// and publishedAt are the caller's to fill. An error is only possible
+// when a cached node write was not flushed beforehand and the store
+// rejects it at seal time; the txn must not be published then.
+func (tx *stateTxn) finish() (*engineState, retiredBatch, error) {
 	if !tx.touched() {
-		return nil, retiredBatch{}
+		return nil, retiredBatch{}, nil
 	}
 	st := &engineState{
 		points:   tx.base.points,
@@ -214,16 +241,24 @@ func (tx *stateTxn) finish() (*engineState, retiredBatch) {
 	}
 	if tx.pointIdx != nil {
 		st.pointIdx = tx.pointIdx
-		retired.pointNodes = tx.pointIdx.Seal()
+		ids, err := tx.pointIdx.Seal()
+		if err != nil {
+			return nil, retiredBatch{}, err
+		}
+		retired.pointNodes = ids
 	}
 	if tx.objects != nil {
 		st.objects = tx.objects.Commit()
 	}
 	if tx.uncIdx != nil {
 		st.uncIdx = tx.uncIdx
-		retired.uncNodes = tx.uncIdx.Seal()
+		ids, err := tx.uncIdx.Seal()
+		if err != nil {
+			return nil, retiredBatch{}, err
+		}
+		retired.uncNodes = ids
 	}
-	return st, retired
+	return st, retired, nil
 }
 
 // publishLocked seals and publishes tx. advance controls whether the
@@ -234,11 +269,21 @@ func (tx *stateTxn) finish() (*engineState, retiredBatch) {
 // must mean identical contents). pin additionally returns a pinned
 // snapshot of the resulting state, taken atomically with the publish —
 // the post-batch view continuous-query layers evaluate against.
-// writeMu is held; this is the writer's entire critical section with
-// respect to readers, and none of it waits for them.
-func (e *Engine) publishLocked(tx *stateTxn, advance, pin bool) (*engineState, *Snapshot) {
+// writeMu is held and tx.base must be the current state (the caller
+// validated it under writeMu); this is the writer's entire critical
+// section with respect to readers, and none of it waits for them. A
+// non-nil error (a storage write rejected at seal time, impossible
+// after a successful flush) means nothing was published.
+func (e *Engine) publishLocked(tx *stateTxn, advance, pin bool) (*engineState, *Snapshot, error) {
 	base := tx.base
-	st, retired := tx.finish()
+	st, retired, err := tx.finish()
+	if err != nil {
+		// Nothing reached the state pointer; the base version stays
+		// current. The txn's fresh nodes may leak (partial seal), but
+		// this is a storage-level failure path that a prior flush has
+		// already ruled out.
+		return base, nil, err
+	}
 	var freeable []retiredBatch
 	var snap *Snapshot
 
@@ -261,13 +306,21 @@ func (e *Engine) publishLocked(tx *stateTxn, advance, pin bool) (*engineState, *
 	if pin {
 		e.pinLocked(st)
 		snap = &Snapshot{e: e, st: st}
+		e.registerSnapshotLocked(snap)
 	}
+	e.sweepSnapshotsLocked(time.Now())
 	freeable = e.collectFreeableLocked()
 	e.pinMu.Unlock()
 
 	e.freeRetired(freeable)
-	return st, snap
+	return st, snap, nil
 }
+
+// maxOptimisticBuilds bounds how many times a writer rebuilds its
+// transaction after losing the publish race before falling back to
+// building under writeMu (which cannot lose: publishing requires the
+// lock, so the base cannot move).
+const maxOptimisticBuilds = 4
 
 // ApplyUpdates applies a batch of updates as one transaction. Failed
 // updates are recorded in the report's Errors and do not abort the
@@ -277,7 +330,13 @@ func (e *Engine) publishLocked(tx *stateTxn, advance, pin bool) (*engineState, *
 // Concurrency: the batch is built copy-on-write against the current
 // version and published atomically — queries observe either the
 // entire batch or none of it, and ApplyUpdates never waits for
-// in-flight evaluations (writers only serialize with each other).
+// in-flight evaluations. The copy-on-write build itself runs outside
+// the writer lock (optimistic concurrency control): concurrent
+// writers build private transactions against the same base in
+// parallel and only the publish — a pointer re-validation and swap —
+// serializes; a writer whose base moved underneath it discards its
+// build and retries, falling back to building under the lock after
+// maxOptimisticBuilds lost races.
 func (e *Engine) ApplyUpdates(batch []Update) UpdateReport {
 	rep, _ := e.applyUpdates(batch, false)
 	return rep
@@ -294,18 +353,105 @@ func (e *Engine) ApplyUpdatesSnapshot(batch []Update) (UpdateReport, *Snapshot) 
 }
 
 func (e *Engine) applyUpdates(batch []Update, pin bool) (UpdateReport, *Snapshot) {
-	var rep UpdateReport
-	e.writeMu.Lock()
-	tx := newStateTxn(e.state.Load())
-	for i, u := range batch {
-		if err := tx.apply(u, &rep); err != nil {
-			rep.Errors = append(rep.Errors, UpdateError{Index: i, Err: err})
+	for attempt := 0; ; attempt++ {
+		// Optimistic rounds load the base without writeMu and build
+		// the whole transaction lock-free; the final round builds
+		// under writeMu, where the base provably cannot move.
+		optimistic := attempt < maxOptimisticBuilds
+		var base *engineState
+		if optimistic {
+			base = e.state.Load()
+		} else {
+			e.writeMu.Lock()
+			base = e.state.Load()
 		}
+		var rep UpdateReport
+		tx := newStateTxn(base)
+		for i, u := range batch {
+			if err := tx.apply(u, &rep); err != nil {
+				rep.Errors = append(rep.Errors, UpdateError{Index: i, Err: err})
+			}
+		}
+		if err := tx.flush(); err != nil {
+			// Storage rejected a node write: the batch cannot be
+			// published at all. Report it as a batch-wide error
+			// (Index -1) against the untouched current version.
+			if !optimistic {
+				e.writeMu.Unlock()
+			}
+			tx.discard()
+			rep = UpdateReport{Errors: []UpdateError{{Index: -1, Err: err}}}
+			var snap *Snapshot
+			if pin {
+				snap = e.Snapshot()
+			}
+			rep.Version = e.state.Load().version
+			return rep, snap
+		}
+		if optimistic {
+			e.writeMu.Lock()
+			if e.state.Load() != base {
+				// Lost the publish race: a writer committed while we
+				// were building. Throw the build away and rebase.
+				e.writeMu.Unlock()
+				tx.discard()
+				continue
+			}
+		}
+		st, snap, err := e.publishLocked(tx, rep.Applied > 0, pin)
+		e.writeMu.Unlock()
+		if err != nil {
+			rep = UpdateReport{Errors: []UpdateError{{Index: -1, Err: err}}}
+			if pin {
+				snap = e.Snapshot()
+			}
+		}
+		rep.Version = st.version
+		return rep, snap
 	}
-	st, snap := e.publishLocked(tx, rep.Applied > 0, pin)
-	e.writeMu.Unlock()
-	rep.Version = st.version
-	return rep, snap
+}
+
+// mutate runs one single-operation transaction through the same
+// optimistic build/validate-publish pipeline as applyUpdates: fn
+// builds against a base loaded without the writer lock, the publish
+// re-validates the base under writeMu, and a lost race rebuilds from
+// scratch (fn must therefore be safe to re-run). fn returns whether
+// the version epoch should advance. Errors from fn are returned
+// as-is; they are linearized at the moment the base was loaded.
+func (e *Engine) mutate(fn func(tx *stateTxn) (advance bool, err error)) error {
+	for attempt := 0; ; attempt++ {
+		optimistic := attempt < maxOptimisticBuilds
+		var base *engineState
+		if optimistic {
+			base = e.state.Load()
+		} else {
+			e.writeMu.Lock()
+			base = e.state.Load()
+		}
+		tx := newStateTxn(base)
+		advance, err := fn(tx)
+		if err == nil {
+			err = tx.flush()
+		}
+		if err != nil {
+			if !optimistic {
+				e.writeMu.Unlock()
+			}
+			tx.discard()
+			return err
+		}
+		if optimistic {
+			e.writeMu.Lock()
+			if e.state.Load() != base {
+				e.writeMu.Unlock()
+				tx.discard()
+				continue
+			}
+		}
+		_, _, perr := e.publishLocked(tx, advance, false)
+		e.writeMu.Unlock()
+		return perr
+	}
 }
 
 // apply dispatches one update onto the txn.
@@ -375,15 +521,9 @@ func (tx *stateTxn) apply(u Update, rep *UpdateReport) error {
 // publishes a new snapshot); batches of updates should prefer
 // ApplyUpdates, which amortizes the copy-on-write work.
 func (e *Engine) InsertPoint(p uncertain.PointObject) error {
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
-	tx := newStateTxn(e.state.Load())
-	if err := tx.insertPoint(p); err != nil {
-		tx.discard()
-		return err
-	}
-	e.publishLocked(tx, true, false)
-	return nil
+	return e.mutate(func(tx *stateTxn) (bool, error) {
+		return true, tx.insertPoint(p)
+	})
 }
 
 func (tx *stateTxn) insertPoint(p uncertain.PointObject) error {
@@ -400,16 +540,13 @@ func (tx *stateTxn) insertPoint(p uncertain.PointObject) error {
 // DeletePoint removes the point object with the given id, reporting
 // whether it existed. Safe to call concurrently with queries.
 func (e *Engine) DeletePoint(id uncertain.ID) (bool, error) {
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
-	tx := newStateTxn(e.state.Load())
-	ok, err := tx.deletePoint(id)
-	if err != nil {
-		tx.discard()
+	var ok bool
+	err := e.mutate(func(tx *stateTxn) (bool, error) {
+		var err error
+		ok, err = tx.deletePoint(id)
 		return ok, err
-	}
-	e.publishLocked(tx, ok, false)
-	return ok, nil
+	})
+	return ok, err
 }
 
 func (tx *stateTxn) deletePoint(id uncertain.ID) (bool, error) {
@@ -432,15 +569,9 @@ func (tx *stateTxn) deletePoint(id uncertain.ID) (bool, error) {
 // to call concurrently with queries; a query never observes the point
 // half-moved.
 func (e *Engine) MovePoint(id uncertain.ID, to geom.Point) error {
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
-	tx := newStateTxn(e.state.Load())
-	if err := tx.movePoint(id, to); err != nil {
-		tx.discard()
-		return err
-	}
-	e.publishLocked(tx, true, false)
-	return nil
+	return e.mutate(func(tx *stateTxn) (bool, error) {
+		return true, tx.movePoint(id, to)
+	})
 }
 
 func (tx *stateTxn) movePoint(id uncertain.ID, to geom.Point) error {
@@ -467,15 +598,9 @@ func (tx *stateTxn) movePoint(id uncertain.ID, to geom.Point) error {
 // uncertain objects and its U-catalog must cover the engine's catalog
 // probability values. Safe to call concurrently with queries.
 func (e *Engine) InsertObject(o *uncertain.Object) error {
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
-	tx := newStateTxn(e.state.Load())
-	if err := tx.insertObject(o); err != nil {
-		tx.discard()
-		return err
-	}
-	e.publishLocked(tx, true, false)
-	return nil
+	return e.mutate(func(tx *stateTxn) (bool, error) {
+		return true, tx.insertObject(o)
+	})
 }
 
 func (tx *stateTxn) insertObject(o *uncertain.Object) error {
@@ -493,16 +618,13 @@ func (tx *stateTxn) insertObject(o *uncertain.Object) error {
 // reporting whether it existed. Safe to call concurrently with
 // queries.
 func (e *Engine) DeleteObject(id uncertain.ID) (bool, error) {
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
-	tx := newStateTxn(e.state.Load())
-	ok, err := tx.deleteObject(id)
-	if err != nil {
-		tx.discard()
+	var ok bool
+	err := e.mutate(func(tx *stateTxn) (bool, error) {
+		var err error
+		ok, err = tx.deleteObject(id)
 		return ok, err
-	}
-	e.publishLocked(tx, ok, false)
-	return ok, nil
+	})
+	return ok, err
 }
 
 func (tx *stateTxn) deleteObject(id uncertain.ID) (bool, error) {
@@ -527,15 +649,9 @@ func (tx *stateTxn) deleteObject(id uncertain.ID) (bool, error) {
 // with queries; a query observes either the old or the new version,
 // never neither.
 func (e *Engine) ReplaceObject(o *uncertain.Object) error {
-	e.writeMu.Lock()
-	defer e.writeMu.Unlock()
-	tx := newStateTxn(e.state.Load())
-	if err := tx.replaceObject(o); err != nil {
-		tx.discard()
-		return err
-	}
-	e.publishLocked(tx, true, false)
-	return nil
+	return e.mutate(func(tx *stateTxn) (bool, error) {
+		return true, tx.replaceObject(o)
+	})
 }
 
 func (tx *stateTxn) replaceObject(o *uncertain.Object) error {

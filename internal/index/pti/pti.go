@@ -133,10 +133,15 @@ func (ix *Index) CloneCOW() *Index {
 	return &Index{tree: ix.tree.CloneCOW(), probs: ix.probs}
 }
 
-// Seal finishes the copy-on-write phase and returns the superseded
-// node ids; free them via FreeRetired once no reader can still hold an
-// earlier version.
-func (ix *Index) Seal() []rtree.NodeID { return ix.tree.Seal() }
+// FlushCOW writes the unsealed clone's cached node updates through to
+// the store (see rtree.Tree.FlushCOW); callers that publish under a
+// lock flush beforehand so page encoding runs outside it.
+func (ix *Index) FlushCOW() error { return ix.tree.FlushCOW() }
+
+// Seal finishes the copy-on-write phase (flushing any still-cached
+// node updates) and returns the superseded node ids; free them via
+// FreeRetired once no reader can still hold an earlier version.
+func (ix *Index) Seal() ([]rtree.NodeID, error) { return ix.tree.Seal() }
 
 // Abort discards an unsealed copy-on-write clone, freeing its private
 // nodes; the parent index is untouched. The clone must not be used

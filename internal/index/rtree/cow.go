@@ -28,6 +28,13 @@ type cowState struct {
 	// retired lists the ids of shared nodes this version superseded;
 	// prior versions still reference them.
 	retired []NodeID
+	// dirty is the version's write cache: fresh nodes whose latest
+	// contents have not reached the store yet. Updates of fresh nodes
+	// land here (see Tree.storeNode) and are written through once, at
+	// FlushCOW/Seal — so N updates touching the same node per batch
+	// pay one store write (one page encode, for paged stores), not N.
+	// Reads during the phase consult it first (Tree.loadNode).
+	dirty map[NodeID]*Node
 }
 
 // CloneCOW returns a copy-on-write clone of the tree: a mutable next
@@ -43,23 +50,48 @@ func (t *Tree) CloneCOW() *Tree {
 		root:   t.root,
 		height: t.height,
 		size:   t.size,
-		cow:    &cowState{fresh: make(map[NodeID]struct{})},
+		cow: &cowState{
+			fresh: make(map[NodeID]struct{}),
+			dirty: make(map[NodeID]*Node),
+		},
 	}
 }
 
-// Seal finishes the copy-on-write phase started by CloneCOW and
-// returns the node ids this version superseded. The tree becomes an
-// immutable published version: further mutations must go through a new
-// CloneCOW. The caller owns the retired ids and must Free them on the
-// tree's store only once no concurrent reader can still be traversing
-// an earlier version.
-func (t *Tree) Seal() []NodeID {
-	if t.cow == nil {
+// FlushCOW writes the unsealed version's cached node updates through
+// to the store. It is idempotent and optional — Seal flushes whatever
+// remains — but callers that publish under a lock (the engine) flush
+// beforehand so page encoding runs outside their critical section.
+func (t *Tree) FlushCOW() error {
+	if t.cow == nil || len(t.cow.dirty) == 0 {
 		return nil
+	}
+	for id, n := range t.cow.dirty {
+		if err := t.store.Update(n); err != nil {
+			return err
+		}
+		delete(t.cow.dirty, id)
+	}
+	return nil
+}
+
+// Seal finishes the copy-on-write phase started by CloneCOW, writing
+// any still-cached node updates through to the store, and returns the
+// node ids this version superseded. The tree becomes an immutable
+// published version: further mutations must go through a new CloneCOW.
+// The caller owns the retired ids and must Free them on the tree's
+// store only once no concurrent reader can still be traversing an
+// earlier version. An error means the store rejected a flushed write;
+// the version must not be published.
+func (t *Tree) Seal() ([]NodeID, error) {
+	if t.cow == nil {
+		return nil, nil
+	}
+	if err := t.FlushCOW(); err != nil {
+		return nil, err
 	}
 	retired := t.cow.retired
 	t.cow = nil
-	return retired
+	return retired, nil
 }
 
 // AbortCOW discards an unsealed copy-on-write version: every node the
@@ -127,6 +159,7 @@ func (t *Tree) freeNode(id NodeID) error {
 	}
 	if _, ok := t.cow.fresh[id]; ok {
 		delete(t.cow.fresh, id)
+		delete(t.cow.dirty, id)
 		return t.store.Free(id)
 	}
 	t.cow.retired = append(t.cow.retired, id)

@@ -139,7 +139,11 @@ func TestCOWVersionIsolation(t *testing.T) {
 						}
 					}
 				}
-				retired = append(retired, clone.Seal())
+				ids, err := clone.Seal()
+				if err != nil {
+					t.Fatalf("seal version %d: %v", v+1, err)
+				}
+				retired = append(retired, ids)
 				if err := clone.CheckInvariants(false); err != nil {
 					t.Fatalf("version %d invariants: %v", v+1, err)
 				}
@@ -302,7 +306,10 @@ func TestCOWConcurrentReadersDuringWrite(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		clone.Seal() // retired ids deliberately leaked: readers still hold base
+		if _, err := clone.Seal(); err != nil { // retired ids deliberately leaked: readers still hold base
+			t.Error(err)
+			return
+		}
 		cur = clone
 	}
 	close(stop)

@@ -27,7 +27,7 @@ func (t *Tree) Delete(r geom.Rect, ref Ref) (bool, error) {
 			break
 		}
 	}
-	if err := t.store.Update(leaf); err != nil {
+	if err := t.storeNode(leaf); err != nil {
 		return false, err
 	}
 	if err := t.condenseTree(path); err != nil {
@@ -112,7 +112,7 @@ func (t *Tree) condenseTree(path []pathStep) error {
 			parent.Entries[path[i].entryIdx].Aux = aux
 			parent.Entries[path[i].entryIdx].Child = n.ID
 		}
-		if err := t.store.Update(parent); err != nil {
+		if err := t.storeNode(parent); err != nil {
 			return err
 		}
 	}

@@ -204,7 +204,9 @@ func FuzzRTree(f *testing.F) {
 				}
 				model[ref] = rect
 			case 3: // version boundary: seal current, continue on a clone
-				tr.Seal() // retired ids leaked deliberately: frozen version may use them
+				if _, err := tr.Seal(); err != nil { // retired ids leaked deliberately: frozen version may use them
+					t.Fatalf("seal: %v", err)
+				}
 				frozenTree = tr
 				frozenModel = make(map[Ref]geom.Rect, len(model))
 				for k, v := range model {
@@ -213,7 +215,9 @@ func FuzzRTree(f *testing.F) {
 				tr = frozenTree.CloneCOW()
 			}
 		}
-		tr.Seal()
+		if _, err := tr.Seal(); err != nil {
+			t.Fatalf("final seal: %v", err)
+		}
 		checkAll("final", tr, model)
 		if frozenTree != nil {
 			checkAll("frozen", frozenTree, frozenModel)

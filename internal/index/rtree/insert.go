@@ -48,7 +48,7 @@ func (t *Tree) insertAtLevel(e Entry, level int) error {
 		if err != nil {
 			return err
 		}
-	} else if err := t.store.Update(n); err != nil {
+	} else if err := t.storeNode(n); err != nil {
 		return err
 	}
 	return t.adjustTree(path, splitNew)
@@ -128,7 +128,7 @@ func (t *Tree) adjustTree(path []pathStep, splitNew *Node) error {
 			if err != nil {
 				return err
 			}
-		} else if err := t.store.Update(parent); err != nil {
+		} else if err := t.storeNode(parent); err != nil {
 			return err
 		}
 	}
@@ -152,7 +152,7 @@ func (t *Tree) growRoot(old, sibling *Node) error {
 		{Rect: r1, Child: old.ID, Aux: a1},
 		{Rect: r2, Child: sibling.ID, Aux: a2},
 	}
-	if err := t.store.Update(root); err != nil {
+	if err := t.storeNode(root); err != nil {
 		return err
 	}
 	t.root = root.ID
@@ -359,10 +359,10 @@ func (t *Tree) finishSplit(n *Node, groupA, groupB []Entry) (*Node, error) {
 	}
 	n.Entries = groupA
 	sibling.Entries = groupB
-	if err := t.store.Update(n); err != nil {
+	if err := t.storeNode(n); err != nil {
 		return nil, err
 	}
-	if err := t.store.Update(sibling); err != nil {
+	if err := t.storeNode(sibling); err != nil {
 		return nil, err
 	}
 	return sibling, nil

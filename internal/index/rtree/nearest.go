@@ -65,7 +65,7 @@ func (t *Tree) BestFirstCounted(prio Priority, cutoff float64, visit BestVisit) 
 			continue
 		}
 		accesses++
-		n, err := t.store.Get(top.e.Child)
+		n, err := t.loadNode(top.e.Child)
 		if err != nil {
 			t.accesses.Add(accesses)
 			return accesses, err

@@ -45,10 +45,18 @@ type Entry struct {
 
 // Node is an R-tree node. Nodes are value-owned by callers of
 // NodeStore.Get; mutations must be persisted with NodeStore.Update.
+// Nodes are referenced through pointers and must not be copied by
+// value (the SoA cache field is atomic).
 type Node struct {
 	ID      NodeID
 	Leaf    bool
 	Entries []Entry
+
+	// soa caches the structure-of-arrays mirror of the entry
+	// rectangles used by the search hot path (see soa.go). It is
+	// derived state: nil until the first scan, cleared whenever the
+	// entries change.
+	soa atomic.Pointer[soaRects]
 }
 
 // bounds returns the union of the node's entry rectangles.
@@ -216,7 +224,38 @@ func (t *Tree) ResetNodeAccesses() { t.accesses.Store(0) }
 // getNode reads a node and counts the access.
 func (t *Tree) getNode(id NodeID) (*Node, error) {
 	t.accesses.Add(1)
+	return t.loadNode(id)
+}
+
+// loadNode fetches a node, consulting the unsealed version's write
+// cache first: a node updated during the current copy-on-write phase
+// lives there until FlushCOW/Seal persists it, so the store may not
+// have its latest (or, for paged stores, any) contents yet.
+func (t *Tree) loadNode(id NodeID) (*Node, error) {
+	if t.cow != nil {
+		if n, ok := t.cow.dirty[id]; ok {
+			return n, nil
+		}
+	}
 	return t.store.Get(id)
+}
+
+// storeNode persists a mutated node. During a copy-on-write phase the
+// node is fresh (private to this unsealed version) and the write is
+// only recorded in the version's write cache — a batch that updates
+// the same node N times pays one store write at FlushCOW/Seal, not N;
+// for paged stores that means one page encode per touched node per
+// batch. Outside a COW phase (legacy in-place trees, construction)
+// the write goes straight through.
+func (t *Tree) storeNode(n *Node) error {
+	n.invalidateSoA()
+	if t.cow != nil {
+		if _, fresh := t.cow.fresh[n.ID]; fresh {
+			t.cow.dirty[n.ID] = n
+			return nil
+		}
+	}
+	return t.store.Update(n)
 }
 
 // copyAux clones an aux payload (nil-safe).

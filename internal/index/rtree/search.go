@@ -43,25 +43,36 @@ func (t *Tree) SearchCounted(q geom.Rect, prune NodePruner, visit Visit) (int64,
 
 func (t *Tree) searchNode(id NodeID, q geom.Rect, prune NodePruner, visit Visit, accesses *int64) (bool, error) {
 	*accesses++
-	n, err := t.store.Get(id)
+	n, err := t.loadNode(id)
 	if err != nil {
 		return false, err
 	}
+	// The overlap scan runs over the node's SoA rectangle mirror:
+	// four flat float64 slices instead of a 40+ byte Entry stride, so
+	// the per-entry test is a branch-light sequential pass. The four
+	// comparisons are exactly q.Intersects(e.Rect) — bit-identical
+	// results, including NaN/degenerate rectangles (see
+	// TestSearchSoABitIdentical).
+	rects := n.rectsSoA()
+	loX, loY, hiX, hiY := rects.loX, rects.loY, rects.hiX, rects.hiY
 	if n.Leaf {
-		for _, e := range n.Entries {
-			if !q.Intersects(e.Rect) {
+		for i := range n.Entries {
+			if !(q.Lo.X <= hiX[i] && loX[i] <= q.Hi.X &&
+				q.Lo.Y <= hiY[i] && loY[i] <= q.Hi.Y) {
 				continue
 			}
-			if !visit(e) {
+			if !visit(n.Entries[i]) {
 				return false, nil
 			}
 		}
 		return true, nil
 	}
-	for _, e := range n.Entries {
-		if !q.Intersects(e.Rect) {
+	for i := range n.Entries {
+		if !(q.Lo.X <= hiX[i] && loX[i] <= q.Hi.X &&
+			q.Lo.Y <= hiY[i] && loY[i] <= q.Hi.Y) {
 			continue
 		}
+		e := n.Entries[i]
 		if prune != nil && prune(e) {
 			continue
 		}

@@ -1,0 +1,68 @@
+package rtree
+
+// Structure-of-arrays rectangle mirror for the search hot path.
+//
+// The overlap scan in searchNode tests every entry rectangle of a node
+// against the query. With the array-of-structs Entry layout each test
+// strides over 40+ bytes (rect + ref + aux header), so the scan is
+// bound by cache-line traffic and pointer-heavy loads. soaRects
+// mirrors just the four rectangle coordinates into flat parallel
+// float64 slices: the scan becomes four branch-light sequential
+// passes over contiguous memory the compiler can keep in registers
+// (and auto-vectorize the comparisons of).
+//
+// The mirror is a pure cache: it is derived from Node.Entries, built
+// lazily on first scan, published with an atomic pointer so concurrent
+// sealed-tree searches may race to build it (both build identical
+// content), and invalidated whenever the node's entries change — every
+// mutation path funnels through Tree.storeNode or NodeStore.Update,
+// which clear it. Results are bit-identical to testing
+// geom.Rect.Intersects per entry: the scan uses exactly the same four
+// comparisons (see TestSearchSoABitIdentical).
+
+// soaRects holds one node's entry rectangles in structure-of-arrays
+// form. All four slices share one backing array and have equal length
+// len(Node.Entries).
+type soaRects struct {
+	loX, loY, hiX, hiY []float64
+}
+
+// buildSoA mirrors entries' rectangles into a fresh soaRects.
+func buildSoA(entries []Entry) *soaRects {
+	n := len(entries)
+	buf := make([]float64, 4*n)
+	s := &soaRects{
+		loX: buf[0*n : 1*n : 1*n],
+		loY: buf[1*n : 2*n : 2*n],
+		hiX: buf[2*n : 3*n : 3*n],
+		hiY: buf[3*n : 4*n : 4*n],
+	}
+	for i := range entries {
+		r := &entries[i].Rect
+		s.loX[i] = r.Lo.X
+		s.loY[i] = r.Lo.Y
+		s.hiX[i] = r.Hi.X
+		s.hiY[i] = r.Hi.Y
+	}
+	return s
+}
+
+// rectsSoA returns the node's SoA rectangle mirror, building and
+// caching it on first use. Safe for concurrent callers on sealed
+// nodes: racing builders produce identical content and the atomic
+// store publishes whichever wins.
+func (n *Node) rectsSoA() *soaRects {
+	if s := n.soa.Load(); s != nil {
+		return s
+	}
+	s := buildSoA(n.Entries)
+	n.soa.Store(s)
+	return s
+}
+
+// invalidateSoA drops the cached mirror after an entry mutation.
+func (n *Node) invalidateSoA() {
+	if n.soa.Load() != nil {
+		n.soa.Store(nil)
+	}
+}

@@ -97,13 +97,9 @@ func drain(t *testing.T, sub *Subscription) []Delta {
 	}
 }
 
-// reqOf adapts a query and legacy target to the standing Request the
-// monitor now registers.
-func reqOf(q core.Query, target core.Target) core.Request {
-	kind := core.KindUncertain
-	if target == core.TargetPoints {
-		kind = core.KindPoints
-	}
+// reqOf adapts a query and kind to the standing Request the monitor
+// registers.
+func reqOf(q core.Query, kind core.Kind) core.Request {
 	return core.Request{Kind: kind, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold}
 }
 
@@ -161,9 +157,9 @@ func TestMonitorDeltaReplayMatchesFullEvaluation(t *testing.T) {
 		if i%2 == 1 {
 			q.Threshold = 0.35
 		}
-		target := core.TargetUncertain
+		target := core.KindUncertain
 		if i == 2 {
-			target = core.TargetPoints
+			target = core.KindPoints
 		}
 		sub, err := m.Register(reqOf(q, target))
 		if err != nil {
@@ -332,7 +328,7 @@ func TestMonitorCoalescing(t *testing.T) {
 	m := New(eng, Config{MaxPending: 4})
 
 	q := core.Query{Issuer: monitorIssuer(t, geom.Pt(750, 750), 60), W: 300, H: 300}
-	sub, err := m.Register(reqOf(q, core.TargetUncertain))
+	sub, err := m.Register(reqOf(q, core.KindUncertain))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +356,7 @@ func TestMonitorCoalescing(t *testing.T) {
 	for _, d := range deltas {
 		applyDelta(replay, d)
 	}
-	if fresh := freshSet(t, eng, reqOf(q, core.TargetUncertain)); !sameSet(replay, fresh) {
+	if fresh := freshSet(t, eng, reqOf(q, core.KindUncertain)); !sameSet(replay, fresh) {
 		t.Fatalf("coalesced replay (%d) != fresh evaluation (%d)", len(replay), len(fresh))
 	}
 }
@@ -374,7 +370,7 @@ func TestMonitorRegisterUnregister(t *testing.T) {
 	m := New(eng, Config{})
 
 	q := core.Query{Issuer: monitorIssuer(t, geom.Pt(500, 500), 50), W: 250, H: 250}
-	sub, err := m.Register(reqOf(q, core.TargetUncertain))
+	sub, err := m.Register(reqOf(q, core.KindUncertain))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +384,7 @@ func TestMonitorRegisterUnregister(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sameSet(matchesAsSet(d.Entered), freshSet(t, eng, reqOf(q, core.TargetUncertain))) {
+	if !sameSet(matchesAsSet(d.Entered), freshSet(t, eng, reqOf(q, core.KindUncertain))) {
 		t.Fatal("registration snapshot != one-shot evaluation")
 	}
 	if len(d.Left) != 0 || len(d.Updated) != 0 || d.Seq != 0 {
@@ -447,12 +443,12 @@ func TestMonitorEvalErrorKeepsCachedSet(t *testing.T) {
 	// monitor sharing the engine, then ingest through the deadlined
 	// one. Simpler: registration uses the same options, so expect the
 	// error immediately.
-	if _, err := m.Register(reqOf(q, core.TargetUncertain)); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := m.Register(reqOf(q, core.KindUncertain)); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("Register under nanosecond deadline: %v", err)
 	}
 
 	ok := New(eng, Config{})
-	sub, err := ok.Register(reqOf(q, core.TargetUncertain))
+	sub, err := ok.Register(reqOf(q, core.KindUncertain))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,7 +461,7 @@ func TestMonitorEvalErrorKeepsCachedSet(t *testing.T) {
 	// trip the budget.
 	tight := New(eng, Config{Options: core.EvalOptions{MaxSamples: 1,
 		Object: core.ObjectEvalConfig{ForceMonteCarlo: true}}})
-	sub2, err2 := tight.Register(reqOf(q, core.TargetUncertain))
+	sub2, err2 := tight.Register(reqOf(q, core.KindUncertain))
 	if !errors.Is(err2, core.ErrSampleBudget) {
 		t.Fatalf("Register under 1-sample budget: %v (sub %v)", err2, sub2)
 	}
@@ -497,7 +493,7 @@ func TestMonitorConcurrentStress(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		c := geom.Pt(200+rand.New(rand.NewSource(int64(i))).Float64()*1600, 200+float64(i)*250)
 		q := core.Query{Issuer: monitorIssuer(t, c, 50), W: 200, H: 200}
-		sub, err := m.Register(reqOf(q, core.TargetUncertain))
+		sub, err := m.Register(reqOf(q, core.KindUncertain))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -554,12 +550,12 @@ func TestMonitorConcurrentStress(t *testing.T) {
 			default:
 			}
 			q := core.Query{Issuer: monitorIssuer(t, geom.Pt(rng.Float64()*extent, rng.Float64()*extent), 40), W: 150, H: 150}
-			sub, err := m.Register(reqOf(q, core.TargetUncertain))
+			sub, err := m.Register(reqOf(q, core.KindUncertain))
 			if err != nil {
 				t.Errorf("Register: %v", err)
 				return
 			}
-			if _, err := eng.Evaluate(context.Background(), reqOf(q, core.TargetUncertain)); err != nil {
+			if _, err := eng.Evaluate(context.Background(), reqOf(q, core.KindUncertain)); err != nil {
 				t.Errorf("one-shot: %v", err)
 				return
 			}

@@ -225,10 +225,10 @@ func nearestIs(cands []uncertain.PointObject, i int, pos geom.Point) bool {
 // results reproducible; the rng contributes only one parent draw
 // (per-candidate streams are derived from it and each object id).
 //
-// Deprecated: applications holding an engine should evaluate a
-// core.Request of kind KindNN instead — it prunes candidates through
-// the engine's R-tree and observes one MVCC snapshot. Evaluate
-// remains for slice-based callers.
+// Applications holding an engine should prefer evaluating a
+// core.Request of kind KindNN — it prunes candidates through the
+// engine's R-tree and observes one MVCC snapshot. Evaluate is the
+// engine-less path for slice-based callers.
 func Evaluate(points []uncertain.PointObject, issuer pdf.PDF, samples int, rng *rand.Rand) (Result, error) {
 	if len(points) == 0 {
 		return Result{}, ErrNoObjects
@@ -266,8 +266,8 @@ func sortMatches(ms []Match) {
 // at least qp — the nearest-neighbor analogue of the constrained
 // queries.
 //
-// Deprecated: see Evaluate; use a core.Request of kind KindNN with
-// Threshold set.
+// As with Evaluate, engine-holding applications should prefer a
+// core.Request of kind KindNN with Threshold set.
 func EvaluateThreshold(points []uncertain.PointObject, issuer pdf.PDF, qp float64, samples int, rng *rand.Rand) (Result, error) {
 	res, err := Evaluate(points, issuer, samples, rng)
 	if err != nil {

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats counts buffer-pool traffic. LogicalReads is the paper's "node
@@ -43,23 +44,59 @@ func (s Stats) add(t Stats) Stats {
 	}
 }
 
+// shardStats is one shard's traffic counters, each atomic so the
+// lock-free hit path can bump them without the shard mutex.
+type shardStats struct {
+	logicalReads  atomic.Int64
+	physicalReads atomic.Int64
+	pageWrites    atomic.Int64
+	evictions     atomic.Int64
+}
+
+func (ss *shardStats) snapshot() Stats {
+	return Stats{
+		LogicalReads:  ss.logicalReads.Load(),
+		PhysicalReads: ss.physicalReads.Load(),
+		PageWrites:    ss.pageWrites.Load(),
+		Evictions:     ss.evictions.Load(),
+	}
+}
+
+func (ss *shardStats) reset() {
+	ss.logicalReads.Store(0)
+	ss.physicalReads.Store(0)
+	ss.pageWrites.Store(0)
+	ss.evictions.Store(0)
+}
+
 type frame struct {
-	id    PageID
-	data  []byte
-	pins  int
-	dirty bool
+	id   PageID
+	data []byte
+	// pins counts concurrent users. -1 is the eviction tombstone: an
+	// evictor that CASes pins from 0 to -1 has claimed the frame, and
+	// tryPin refuses it forever after. Readers pin lock-free; all
+	// tombstoning happens with the shard mutex held, in the same
+	// critical section that removes the frame from the table — so a
+	// frame found in the table *under the mutex* is never tombstoned.
+	pins atomic.Int64
+	// dirty marks unpersisted modifications. Set lock-free by
+	// MarkDirty (the caller holds a pin, so the frame cannot be
+	// reclaimed underneath it); cleared by eviction snapshot, flush,
+	// and write-back completion, all under the shard mutex.
+	dirty atomic.Bool
 	// ref is the CLOCK reference bit: set on every pin, cleared when
 	// the sweep hand passes, granting recently used pages a second
 	// chance before eviction.
-	ref bool
+	ref atomic.Bool
 	// writing marks a frame whose eviction write-back is in flight on
 	// the background writer. The frame stays resident (its data is
 	// still valid and pinnable) but is out of the clock ring and does
 	// not count against shard capacity; the writer decides on
-	// completion whether it is dropped or re-adopted.
+	// completion whether it is dropped or re-adopted. Guarded by the
+	// shard mutex.
 	writing bool
 	// clockIdx is the frame's slot in the shard's clock ring, -1 while
-	// absent (writing, or being discarded).
+	// absent (writing, or being discarded). Guarded by the shard mutex.
 	clockIdx int
 	// ready is closed once data holds the page contents; loadErr (set
 	// before the close) reports a failed physical read. Concurrent
@@ -67,6 +104,19 @@ type frame struct {
 	// shard mutex, so physical I/O overlaps across goroutines.
 	ready   chan struct{}
 	loadErr error
+}
+
+// tryPin acquires one pin unless the frame has been tombstoned.
+func (f *frame) tryPin() bool {
+	for {
+		p := f.pins.Load()
+		if p < 0 {
+			return false
+		}
+		if f.pins.CompareAndSwap(p, p+1) {
+			return true
+		}
+	}
 }
 
 // readyClosed is a pre-closed channel shared by frames whose data is
@@ -78,22 +128,29 @@ var readyClosed = func() chan struct{} {
 }()
 
 // poolShard is one lock domain of the pool: a page-id partition with
-// its own frame table, CLOCK ring, and counters. Shards never take
-// each other's locks, so pins on different shards cannot contend.
+// its own frame table, CLOCK ring, and counters. The frame table is a
+// sync.Map read lock-free by the hit path; every Store/Delete on it
+// happens with mu held, as does all clock-ring and capacity
+// accounting. Shards never take each other's locks, so pins on
+// different shards cannot contend — and resident hits don't take any
+// lock at all.
 type poolShard struct {
 	mu       sync.Mutex
 	capacity int
-	frames   map[PageID]*frame
+	frames   sync.Map // PageID -> *frame; writes under mu, reads lock-free
+	resident int      // frames in the table; under mu (sync.Map has no O(1) len)
 	clock    []*frame // resident, non-writing frames; sweep order
 	hand     int
 	writing  int // frames in the table with write-back in flight
-	stats    Stats
+	stats    shardStats
 }
 
 // BufferPool caches up to capacity pages over a Store. The pool is
-// partitioned into a power-of-two number of shards, each guarded by
-// its own mutex with CLOCK (second chance) eviction, so concurrent
-// pins contend only within a shard. Pages are pinned while in use;
+// partitioned into a power-of-two number of shards; a pin that hits a
+// resident page runs entirely on atomics (lock-free lookup, pin
+// acquisition, and CLOCK reference bit), while misses and evictions
+// take the owning shard's mutex, so concurrent hits never contend and
+// misses contend only within a shard. Pages are pinned while in use;
 // pinned pages are never evicted. Because capacity is partitioned,
 // ErrPoolFull is a per-shard condition: the pool is guaranteed to
 // serve only as many simultaneous pins as its smallest shard
@@ -162,10 +219,7 @@ func NewBufferPoolShards(store Store, capacity, shards int) *BufferPool {
 		if i < extra {
 			c++
 		}
-		bp.shards[i] = &poolShard{
-			capacity: c,
-			frames:   make(map[PageID]*frame, c),
-		}
+		bp.shards[i] = &poolShard{capacity: c}
 	}
 	return bp
 }
@@ -205,13 +259,13 @@ func (bp *BufferPool) shardOf(id PageID) *poolShard {
 func (bp *BufferPool) ShardCount() int { return len(bp.shards) }
 
 // Stats returns a snapshot of the pool's counters, aggregated over
-// the shards.
+// the shards. Counters are read individually, so a snapshot taken
+// concurrently with traffic may be torn across counters (each counter
+// is itself exact).
 func (bp *BufferPool) Stats() Stats {
 	var total Stats
 	for _, sh := range bp.shards {
-		sh.mu.Lock()
-		total = total.add(sh.stats)
-		sh.mu.Unlock()
+		total = total.add(sh.stats.snapshot())
 	}
 	return total
 }
@@ -219,9 +273,7 @@ func (bp *BufferPool) Stats() Stats {
 // ResetStats zeroes the counters (page contents are untouched).
 func (bp *BufferPool) ResetStats() {
 	for _, sh := range bp.shards {
-		sh.mu.Lock()
-		sh.stats = Stats{}
-		sh.mu.Unlock()
+		sh.stats.reset()
 	}
 }
 
@@ -237,8 +289,11 @@ func (bp *BufferPool) Allocate() (PageID, []byte, error) {
 		sh.mu.Unlock()
 		return InvalidPage, nil, err
 	}
-	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, ref: true, clockIdx: -1, ready: readyClosed}
-	sh.frames[id] = f
+	f := &frame{id: id, data: make([]byte, PageSize), clockIdx: -1, ready: readyClosed}
+	f.pins.Store(1)
+	f.ref.Store(true)
+	sh.frames.Store(id, f)
+	sh.resident++
 	sh.clockAdd(f)
 	sh.mu.Unlock()
 	return id, f.data, nil
@@ -247,19 +302,48 @@ func (bp *BufferPool) Allocate() (PageID, []byte, error) {
 // Pin fetches page id, reading it from the store on a miss, and pins
 // it. The returned slice aliases the pool frame: it is valid until the
 // matching Unpin and must be written through MarkDirty to persist.
+//
+// A hit takes no lock: the frame lookup, the pin CAS, and the CLOCK
+// reference bit are all atomic. Only a miss — or losing a race with
+// an eviction in progress — falls through to the shard mutex.
 func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
 	sh := bp.shardOf(id)
+	sh.stats.logicalReads.Add(1)
+	if v, ok := sh.frames.Load(id); ok {
+		f := v.(*frame)
+		if f.tryPin() {
+			f.ref.Store(true)
+			<-f.ready
+			if f.loadErr != nil {
+				// The loader already removed the frame and voided all
+				// pins; this pin never took effect.
+				return nil, f.loadErr
+			}
+			return f.data, nil
+		}
+		// Tombstoned: an evictor claimed the frame between our lookup
+		// and the pin attempt. Resolve under the shard mutex.
+	}
+	return bp.pinSlow(sh, id)
+}
+
+// pinSlow is the miss path: under the shard mutex, re-check the table
+// (the frame may have been installed — or an eviction resolved —
+// since the lock-free attempt), make room, install a loading frame,
+// and fetch the page outside the lock.
+func (bp *BufferPool) pinSlow(sh *poolShard, id PageID) ([]byte, error) {
 	sh.mu.Lock()
-	sh.stats.LogicalReads++
 	for {
-		if f, ok := sh.frames[id]; ok {
-			f.pins++
-			f.ref = true
+		if v, ok := sh.frames.Load(id); ok {
+			// Under the mutex a frame in the table is never tombstoned
+			// (tombstoning and table removal share one critical
+			// section), so this pin cannot fail.
+			f := v.(*frame)
+			f.tryPin()
+			f.ref.Store(true)
 			sh.mu.Unlock()
 			<-f.ready
 			if f.loadErr != nil {
-				// The loader already removed the frame; the pin never
-				// took effect.
 				return nil, f.loadErr
 			}
 			return f.data, nil
@@ -273,23 +357,30 @@ func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
 			sh.mu.Unlock()
 			return nil, err
 		}
-		if _, ok := sh.frames[id]; !ok {
+		if _, ok := sh.frames.Load(id); !ok {
 			break
 		}
 	}
-	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, ref: true, clockIdx: -1, ready: make(chan struct{})}
-	sh.frames[id] = f
+	f := &frame{id: id, data: make([]byte, PageSize), clockIdx: -1, ready: make(chan struct{})}
+	f.pins.Store(1)
+	f.ref.Store(true)
+	sh.frames.Store(id, f)
+	sh.resident++
 	sh.clockAdd(f)
-	sh.stats.PhysicalReads++
+	sh.stats.physicalReads.Add(1)
 	sh.mu.Unlock()
 
 	err := bp.store.ReadPage(id, f.data)
 	if err != nil {
 		sh.mu.Lock()
 		f.loadErr = err
-		f.pins = 0 // waiters' pins are void; the frame is discarded
 		sh.clockRemove(f)
-		delete(sh.frames, id)
+		sh.frames.Delete(id)
+		sh.resident--
+		// Void every pin (ours and any waiters') and tombstone so a
+		// reader that looked the frame up just before the Delete
+		// cannot pin it afterwards.
+		f.pins.Store(-1)
 		sh.mu.Unlock()
 		close(f.ready)
 		return nil, err
@@ -299,30 +390,49 @@ func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
 }
 
 // makeRoomLocked evicts frames until the shard has room for one more
-// page. Clean victims are dropped immediately; dirty victims are
-// snapshotted and handed to the background writer — the shard lock is
-// released around the (possibly blocking) hand-off, so a full writer
-// queue never stalls the shard itself. Called and returns with the
-// shard mutex held.
+// page. Clean victims are claimed by tombstoning their pin count, so
+// lock-free pinners can never resurrect a frame that is leaving the
+// table; dirty victims are snapshotted and handed to the background
+// writer — the shard lock is released around the (possibly blocking)
+// hand-off, so a full writer queue never stalls the shard itself.
+// Called and returns with the shard mutex held.
 func (bp *BufferPool) makeRoomLocked(sh *poolShard) error {
-	for len(sh.frames)-sh.writing >= sh.capacity {
+	for sh.resident-sh.writing >= sh.capacity {
 		v := sh.pickVictimLocked()
 		if v == nil {
 			return fmt.Errorf("%w: shard capacity %d", ErrPoolFull, sh.capacity)
 		}
-		sh.clockRemove(v)
-		if !v.dirty {
+		if !v.dirty.Load() {
+			// Claim the clean victim: after this CAS no pinner can
+			// acquire it. The CAS fails if a lock-free pin slipped in
+			// after the sweep saw zero pins — the frame is hot again;
+			// resume the sweep.
+			if !v.pins.CompareAndSwap(0, -1) {
+				continue
+			}
+			// A pin/MarkDirty/Unpin cycle may have completed entirely
+			// between the dirty check and the claim. Re-check: a frame
+			// dirtied in that window must be written back, not dropped.
+			if v.dirty.Load() {
+				v.pins.Store(0)
+				continue
+			}
 			// Stats.Evictions counts frames that actually leave the
 			// pool: clean victims here, dirty ones when their
 			// write-back completes and drops them (a mid-write re-pin
 			// keeps the frame resident — no eviction happened).
-			sh.stats.Evictions++
-			delete(sh.frames, v.id)
+			sh.clockRemove(v)
+			sh.stats.evictions.Add(1)
+			sh.frames.Delete(v.id)
+			sh.resident--
 			continue
 		}
-		// Snapshot under the lock: the write-back must persist the
-		// page as of eviction even if a later pin re-dirties it.
-		v.dirty = false
+		// Dirty victim: no tombstone — the frame stays resident and
+		// pinnable while the write is in flight. Snapshot under the
+		// lock: the write-back must persist the page as of eviction
+		// even if a later pin re-dirties it.
+		sh.clockRemove(v)
+		v.dirty.Store(false)
 		v.writing = true
 		sh.writing++
 		snap := bp.wb.buffer()
@@ -343,12 +453,11 @@ func (sh *poolShard) pickVictimLocked() *frame {
 			sh.hand = 0
 		}
 		f := sh.clock[sh.hand]
-		if f.pins > 0 {
+		if f.pins.Load() != 0 {
 			sh.hand++
 			continue
 		}
-		if f.ref {
-			f.ref = false
+		if f.ref.Swap(false) {
 			sh.hand++
 			continue
 		}
@@ -383,27 +492,35 @@ func (sh *poolShard) clockRemove(f *frame) {
 	}
 }
 
-// MarkDirty records that the pinned page id has been modified.
+// MarkDirty records that the pinned page id has been modified. The
+// caller must hold a pin on the page (the engine's write path does),
+// which is what makes the lock-free bit set safe: a pinned frame
+// cannot be reclaimed, and every eviction path re-checks the dirty
+// bit after the last moment a pin could have existed.
 func (bp *BufferPool) MarkDirty(id PageID) {
 	sh := bp.shardOf(id)
-	sh.mu.Lock()
-	if f, ok := sh.frames[id]; ok {
-		f.dirty = true
+	if v, ok := sh.frames.Load(id); ok {
+		v.(*frame).dirty.Store(true)
 	}
-	sh.mu.Unlock()
 }
 
 // Unpin releases one pin on page id.
 func (bp *BufferPool) Unpin(id PageID) error {
 	sh := bp.shardOf(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	f, ok := sh.frames[id]
-	if !ok || f.pins <= 0 {
+	v, ok := sh.frames.Load(id)
+	if !ok {
 		return fmt.Errorf("%w: page %d", ErrBadPinCount, id)
 	}
-	f.pins--
-	return nil
+	f := v.(*frame)
+	for {
+		p := f.pins.Load()
+		if p <= 0 {
+			return fmt.Errorf("%w: page %d", ErrBadPinCount, id)
+		}
+		if f.pins.CompareAndSwap(p, p-1) {
+			return nil
+		}
+	}
 }
 
 // Flush persists every dirty frame (pinned or not) without evicting:
@@ -428,12 +545,13 @@ func (bp *BufferPool) Flush() error {
 				sh.mu.Unlock()
 				return err
 			}
-			for _, f := range sh.frames {
-				if f.writing {
+			sh.frames.Range(func(_, v any) bool {
+				if v.(*frame).writing {
 					inFlight = true
-					break
+					return false
 				}
-			}
+				return true
+			})
 			sh.mu.Unlock()
 		}
 		if !inFlight {
@@ -443,17 +561,25 @@ func (bp *BufferPool) Flush() error {
 }
 
 func (bp *BufferPool) flushShardLocked(sh *poolShard) error {
-	for _, f := range sh.frames {
-		if !f.dirty || f.writing {
-			continue
+	var ferr error
+	sh.frames.Range(func(_, v any) bool {
+		f := v.(*frame)
+		if f.writing || !f.dirty.Load() {
+			return true
 		}
+		// Clear before writing: a MarkDirty racing in after the swap
+		// re-marks the frame rather than being lost (the engine
+		// serializes writers with Flush, so this is belt-and-braces).
+		f.dirty.Store(false)
 		if err := bp.store.WritePage(f.id, f.data); err != nil {
-			return err
+			f.dirty.Store(true)
+			ferr = err
+			return false
 		}
-		sh.stats.PageWrites++
-		f.dirty = false
-	}
-	return nil
+		sh.stats.pageWrites.Add(1)
+		return true
+	})
+	return ferr
 }
 
 // Resident returns the number of pages currently cached.
@@ -461,7 +587,7 @@ func (bp *BufferPool) Resident() int {
 	n := 0
 	for _, sh := range bp.shards {
 		sh.mu.Lock()
-		n += len(sh.frames)
+		n += sh.resident
 		sh.mu.Unlock()
 	}
 	return n
@@ -481,14 +607,19 @@ func (bp *BufferPool) Clear() error {
 			sh.mu.Unlock()
 			return err
 		}
-		for id, f := range sh.frames {
-			if f.pins > 0 || f.writing {
+		sh.frames.Range(func(id, v any) bool {
+			f := v.(*frame)
+			// Claim via tombstone like any eviction; a failure means a
+			// live pin, which keeps the frame resident.
+			if f.writing || !f.pins.CompareAndSwap(0, -1) {
 				pinned++
-				continue
+				return true
 			}
 			sh.clockRemove(f)
-			delete(sh.frames, id)
-		}
+			sh.frames.Delete(id)
+			sh.resident--
+			return true
+		})
 		sh.mu.Unlock()
 	}
 	if pinned > 0 {

@@ -100,20 +100,38 @@ func (w *writeback) complete(j writeJob, err error) {
 	sh := j.sh
 	sh.mu.Lock()
 	if err == nil {
-		sh.stats.PageWrites++ // only writes that reached the store count
+		sh.stats.pageWrites.Add(1) // only writes that reached the store count
 	}
 	sh.writing--
 	j.f.writing = false
 	if err != nil {
-		j.f.dirty = true
+		j.f.dirty.Store(true)
 	}
-	if j.f.pins > 0 || j.f.dirty {
-		if j.f.clockIdx < 0 {
-			sh.clockAdd(j.f)
+	for {
+		if j.f.pins.Load() > 0 || j.f.dirty.Load() {
+			// Re-pinned or re-dirtied mid-write: the frame stays
+			// resident and rejoins the clock ring.
+			if j.f.clockIdx < 0 {
+				sh.clockAdd(j.f)
+			}
+			break
 		}
-	} else {
-		sh.stats.Evictions++
-		delete(sh.frames, j.f.id)
+		// Claim the frame with the eviction tombstone before dropping
+		// it, so a lock-free pinner that looked it up just before the
+		// Delete cannot resurrect it. A failed CAS means a pin slipped
+		// in — re-check; a pin/MarkDirty/Unpin cycle completing
+		// entirely between the checks and the CAS is caught by the
+		// dirty re-check after a successful claim.
+		if j.f.pins.CompareAndSwap(0, -1) {
+			if j.f.dirty.Load() {
+				j.f.pins.Store(0)
+				continue
+			}
+			sh.stats.evictions.Add(1)
+			sh.frames.Delete(j.f.id)
+			sh.resident--
+			break
+		}
 	}
 	sh.mu.Unlock()
 }

@@ -109,7 +109,8 @@ func NewIssuer(p PDF) (*Object, error) {
 // over uncertain objects or points, nearest neighbor — and one entry
 // point, Engine.Evaluate(ctx, req) (or Snapshot.Evaluate to hold a
 // version), with Engine.EvaluateAll as the one fan-out form. The
-// legacy Evaluate* methods remain as deprecated shims over it.
+// legacy Evaluate* methods were removed after one deprecation cycle;
+// see the README's migration table.
 type (
 	// Engine evaluates imprecise location-dependent queries over
 	// indexed point and uncertain-object databases.
@@ -222,22 +223,6 @@ func ObjectQualification(issuer, obj PDF, w, h float64, cfg ObjectEvalConfig) fl
 	return core.ObjectQualification(issuer, obj, w, h, cfg)
 }
 
-// BatchResult pairs a batch query's result with its error.
-type BatchResult = core.BatchResult
-
-// BatchQuery is one element of an Engine.EvaluateBatch workload: a
-// query plus the database (points or uncertain objects) it targets.
-type BatchQuery = core.BatchQuery
-
-// Target selects which database a BatchQuery runs against.
-type Target = core.Target
-
-// StreamHandler receives one finished query of an
-// Engine.EvaluateBatchStream workload: its index in the input slice
-// and its result or error. Calls are serialized by the engine but
-// arrive in completion order.
-type StreamHandler = core.StreamHandler
-
 // AdaptiveMode selects whether Monte-Carlo refinement of threshold
 // queries may stop early once a confidence bound (Hoeffding /
 // empirical Bernstein) has decided the candidate against the
@@ -254,14 +239,6 @@ const (
 	AdaptiveAuto = core.AdaptiveAuto
 	// AdaptiveOff always draws the full MCSamples budget.
 	AdaptiveOff = core.AdaptiveOff
-)
-
-// Batch query targets.
-const (
-	// TargetUncertain evaluates over the uncertain-object database.
-	TargetUncertain = core.TargetUncertain
-	// TargetPoints evaluates over the point-object database.
-	TargetPoints = core.TargetPoints
 )
 
 // Dynamic-update re-exports. Updates run concurrently with queries
@@ -382,18 +359,19 @@ type (
 // EvaluateNN computes nearest-neighbor qualification probabilities
 // over a raw point slice for an imprecise issuer.
 //
-// Deprecated: build an Engine over the points and evaluate a
-// RequestNN instead — it prunes candidates through the R-tree
+// Applications holding an Engine should prefer evaluating a
+// RequestNN — it prunes candidates through the R-tree
 // (branch-and-bound, node accesses in Cost) and observes one MVCC
 // snapshot, so answers stay consistent under concurrent ingestion.
-// This shim remains for engine-less callers.
+// EvaluateNN is the engine-less path over a raw slice.
 func EvaluateNN(points []PointObject, issuer PDF, samples int, rng *rand.Rand) (NNResult, error) {
 	return nn.Evaluate(points, issuer, samples, rng)
 }
 
 // EvaluateNNThreshold is EvaluateNN restricted to probabilities >= qp.
 //
-// Deprecated: use a RequestNN with Threshold set; see EvaluateNN.
+// Engine-holding applications should prefer a RequestNN with
+// Threshold set; see EvaluateNN.
 func EvaluateNNThreshold(points []PointObject, issuer PDF, qp float64, samples int, rng *rand.Rand) (NNResult, error) {
 	return nn.EvaluateThreshold(points, issuer, qp, samples, rng)
 }

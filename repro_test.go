@@ -9,6 +9,16 @@ import (
 	"repro"
 )
 
+// evalReq evaluates one request of the given kind through the
+// Request API, returning the bare Result like the removed legacy
+// methods did.
+func evalReq(e *repro.Engine, kind repro.RequestKind, q repro.Query, opts repro.EvalOptions) (repro.Result, error) {
+	resp, err := e.Evaluate(context.Background(), repro.Request{
+		Kind: kind, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold, Options: opts,
+	})
+	return resp.Result, err
+}
+
 // buildSmallWorld assembles a small end-to-end database through the
 // public API only.
 func buildSmallWorld(t testing.TB) (*repro.Engine, []repro.PointObject, []*repro.Object) {
@@ -53,7 +63,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	iss := newIssuer(t, repro.Pt(5000, 5000), 250)
 
 	// IPQ.
-	res, err := engine.EvaluatePoints(repro.Query{Issuer: iss, W: 500, H: 500}, repro.EvalOptions{})
+	res, err := evalReq(engine, repro.KindPoints, repro.Query{Issuer: iss, W: 500, H: 500}, repro.EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +74,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// C-IUQ with a threshold.
-	resU, err := engine.EvaluateUncertain(repro.Query{Issuer: iss, W: 500, H: 500, Threshold: 0.4}, repro.EvalOptions{})
+	resU, err := evalReq(engine, repro.KindUncertain, repro.Query{Issuer: iss, W: 500, H: 500, Threshold: 0.4}, repro.EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +231,7 @@ func TestPublicAPIDynamicUpdates(t *testing.T) {
 	iss := newIssuer(t, repro.Pt(5000, 5000), 200)
 	q := repro.Query{Issuer: iss, W: 400, H: 400}
 
-	before, err := engine.EvaluateUncertain(q, repro.EvalOptions{})
+	before, err := evalReq(engine, repro.KindUncertain, q, repro.EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +247,7 @@ func TestPublicAPIDynamicUpdates(t *testing.T) {
 	if err := engine.InsertObject(obj); err != nil {
 		t.Fatal(err)
 	}
-	after, err := engine.EvaluateUncertain(q, repro.EvalOptions{})
+	after, err := evalReq(engine, repro.KindUncertain, q, repro.EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +261,7 @@ func TestPublicAPIDynamicUpdates(t *testing.T) {
 	if err := engine.InsertPoint(repro.PointObject{ID: 888888, Loc: repro.Pt(5000, 5000)}); err != nil {
 		t.Fatal(err)
 	}
-	resP, err := engine.EvaluatePoints(q, repro.EvalOptions{})
+	resP, err := evalReq(engine, repro.KindPoints, q, repro.EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,11 +280,14 @@ func TestPublicAPIParallel(t *testing.T) {
 	engine, _, _ := buildSmallWorld(t)
 	iss := newIssuer(t, repro.Pt(5000, 5000), 250)
 	q := repro.Query{Issuer: iss, W: 600, H: 600, Threshold: 0.2}
-	serial, err := engine.EvaluateUncertain(q, repro.EvalOptions{})
+	serial, err := evalReq(engine, repro.KindUncertain, q, repro.EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := engine.EvaluateUncertainParallel(q, repro.EvalOptions{}, 8)
+	presp, err := engine.Evaluate(context.Background(), repro.Request{
+		Kind: repro.KindUncertain, Issuer: q.Issuer, W: q.W, H: q.H, Threshold: q.Threshold, Workers: 8,
+	})
+	par := presp.Result
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,13 @@ import (
 //     below);
 //   - refinement allocs/op (exp-mixed's quiesced AllocsPerRun of one
 //     C-IUQ evaluation — the zero-alloc refinement loop; a zero
-//     baseline means any allocation at all fails).
+//     baseline means any allocation at all fails);
+//   - NN refinement (exp-nn): adaptive sample counts per threshold
+//     (deterministic integers — the early-termination savings must not
+//     erode), qualifying-set equality (adaptive must keep returning
+//     the full-budget answer), adaptive latency at 1.5× tolerance, and
+//     the shared-vs-quadratic speedup at the larger candidate counts
+//     (2× tolerance — it is a ratio of two single-call timings).
 //
 // Lower-is-better metrics fail above baseline×(1+tol); higher-is-better
 // below baseline×(1−tol). Metrics absent from either side are skipped
@@ -134,6 +140,61 @@ func runGate(rep report, baselinePath string, tol float64) ([]gateViolation, err
 	// tolerance; a zero baseline tolerates nothing, and small baselines
 	// still get a one-alloc grace so counting jitter cannot flake the
 	// gate.
+	// NN refinement: sample savings and answer equality are
+	// deterministic at fixed seeds, so they get the tight tolerance
+	// (equality tolerates nothing); the wall-clock metrics carry
+	// single-call timing noise and get widened bands.
+	for _, bn := range base.NN {
+		for _, cn := range rep.NN {
+			if cn.Name != bn.Name {
+				continue
+			}
+			for _, bp := range bn.Thresholds {
+				for _, cp := range cn.Thresholds {
+					if cp.Threshold != bp.Threshold {
+						continue
+					}
+					if float64(cp.AdaptiveSamples) > maxOK(float64(bp.AdaptiveSamples)) {
+						out = append(out, gateViolation{
+							metric:   fmt.Sprintf("nn adaptive samples (qp=%.2f)", bp.Threshold),
+							baseline: float64(bp.AdaptiveSamples), current: float64(cp.AdaptiveSamples),
+						})
+					}
+					if bp.QualifyingEqual && !cp.QualifyingEqual {
+						out = append(out, gateViolation{
+							metric:   fmt.Sprintf("nn qualifying-set equality (qp=%.2f)", bp.Threshold),
+							baseline: 1, current: 0,
+						})
+					}
+					if cp.AdaptiveMS > bp.AdaptiveMS*(1+1.5*tol) {
+						out = append(out, gateViolation{
+							metric:   fmt.Sprintf("nn adaptive latency ms (qp=%.2f)", bp.Threshold),
+							baseline: bp.AdaptiveMS, current: cp.AdaptiveMS,
+						})
+					}
+				}
+			}
+			for _, bp := range bn.Scale {
+				// Small candidate counts time in microseconds; only the
+				// larger points are stable enough to gate.
+				if bp.Candidates < 200 || bp.Speedup <= 0 {
+					continue
+				}
+				for _, cp := range cn.Scale {
+					if cp.Candidates != bp.Candidates || cp.Speedup <= 0 {
+						continue
+					}
+					if cp.Speedup < bp.Speedup*(1-2*tol) {
+						out = append(out, gateViolation{
+							metric:   fmt.Sprintf("nn shared-kernel speedup (candidates=%d)", bp.Candidates),
+							baseline: bp.Speedup, current: cp.Speedup,
+						})
+					}
+				}
+			}
+		}
+	}
+
 	mixedMinOK := func(baseline float64) float64 { return baseline * (1 - 1.5*tol) }
 	for _, bm := range base.Mixed {
 		for _, cm := range rep.Mixed {

@@ -43,6 +43,7 @@ type report struct {
 	Adaptive   []bench.AdaptiveReport   `json:"adaptive,omitempty"`
 	Continuous []bench.ContinuousReport `json:"continuous,omitempty"`
 	Mixed      []bench.MixedReport      `json:"mixed,omitempty"`
+	NN         []bench.NNReport         `json:"nn,omitempty"`
 }
 
 func main() {
@@ -59,6 +60,7 @@ func main() {
 		shards       = flag.Int("shards", 0, "buffer-pool lock shards for exp-throughput's io-bound run (0 = auto)")
 		thresholds   = flag.String("threshold", "0.1,0.5,0.9", "comma-separated probability thresholds for exp-adaptive")
 		adptSamples  = flag.Int("adaptive-samples", 2048, "Monte-Carlo budget per candidate for exp-adaptive")
+		nnSamples    = flag.Int("nn-samples", 2000, "shared-stream samples for exp-nn's candidate-count sweep")
 		standing     = flag.Int("standing", 64, "standing queries for exp-continuous")
 		updBatches   = flag.Int("update-batches", 40, "update batches for exp-continuous and exp-mixed")
 		updBatchSize = flag.Int("batch-size", 32, "updates per batch for exp-continuous and exp-mixed")
@@ -197,6 +199,29 @@ func main() {
 		}
 		mixed.Render(os.Stdout)
 		rep.Mixed = append(rep.Mixed, mixed)
+	}
+
+	// The NN refinement experiment queries only the point database, so
+	// it gets a private environment with a token rectangle set instead
+	// of rebuilding the full uncertain-object dataset. It runs after
+	// the other timed experiments so adding it to a profile leaves
+	// their measurement sequence — and so their baseline comparability
+	// — unchanged.
+	if want["exp-nn"] {
+		qps, err := parseThresholds(*thresholds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: %v\n", err)
+			os.Exit(2)
+		}
+		ncfg := cfg
+		ncfg.Rects = 64
+		nnRep, err := bench.NNRefinement(mustEnv(ncfg), 0, qps, *nnSamples, 0, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: nn: %v\n", err)
+			os.Exit(1)
+		}
+		nnRep.Render(os.Stdout)
+		rep.NN = append(rep.NN, nnRep)
 	}
 
 	runners := []struct {

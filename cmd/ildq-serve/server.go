@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -106,18 +107,20 @@ func toPDF(region geom.Rect, kind string, sx, sy float64) (pdf.PDF, error) {
 // fan-out so one request cannot commandeer the whole server.
 const maxRequestWorkers = 16
 
-// maxRequestNNSamples caps the client-requested per-candidate NN
-// sample count.
+// maxRequestNNSamples caps the client-requested NN shared-stream
+// length (the total issuer positions drawn, tallied against every
+// candidate).
 const maxRequestNNSamples = 1 << 20
 
-// defaultNNBudget bounds an NN request's total Monte-Carlo draws
-// (samples × candidates) when neither the client nor the operator set
-// a budget. NN refinement scans every candidate per draw, so total
-// work grows with candidates² × samples; without a bound, a single
-// wide-issuer request over a large point database could burn CPU for
-// hours. Requests over budget get a structured 400 up front
-// (core.ErrSampleBudget), not a slow death. Operators override with
-// -max-samples.
+// defaultNNBudget bounds an NN request's refinement work when neither
+// the client nor the operator set a budget. The shared-stream kernel
+// draws nn_samples positions and scans the candidate set once per
+// draw, so worst-case work is samples × candidates distance checks —
+// linear in the candidate count, and adaptive early termination under
+// a threshold only shrinks it. The budget bounds that product; a
+// wide-issuer request over a large point database that would still
+// exceed it gets a structured 400 up front (core.ErrSampleBudget),
+// not a slow death. Operators override with -max-samples.
 const defaultNNBudget = 1 << 24
 
 // toRequest decodes the wire request into a validated core.Request.
@@ -247,7 +250,24 @@ type server struct {
 	mon      *monitor.Monitor
 	defaults core.EvalOptions
 	mux      *http.ServeMux
+	// oneShot accumulates per-kind cost counters for /v1/evaluate
+	// requests (standing-query cost is aggregated from the
+	// subscriptions at scrape time), indexed by core.Kind.
+	oneShot [3]kindCounters
 }
+
+// kindCounters are the per-query-kind cost counters /metrics exposes:
+// how much Monte-Carlo work each kind consumed and how often the
+// adaptive bounds cut it short.
+type kindCounters struct {
+	evals        atomic.Int64
+	samples      atomic.Int64
+	earlyStopped atomic.Int64
+	budgetDenied atomic.Int64
+}
+
+// evalKinds orders the kinds for stable /metrics emission.
+var evalKinds = [3]core.Kind{core.KindUncertain, core.KindPoints, core.KindNN}
 
 func newServer(mon *monitor.Monitor, defaults core.EvalOptions) *server {
 	s := &server{mon: mon, defaults: defaults, mux: http.NewServeMux()}
@@ -326,9 +346,9 @@ func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (core.Req
 	}
 	// Requests carrying no options of their own inherit the
 	// operator's deadline and sample budget; NN requests always run
-	// under some budget (their work grows with candidates² × samples,
-	// so an unbounded wide-issuer request must be refused up front,
-	// not served for hours).
+	// under some budget (their work is samples × candidates distance
+	// scans, so a wide-issuer request over a dense region must be
+	// refused up front rather than served slowly).
 	if req.Options == (core.EvalOptions{}) {
 		req.Options = s.defaults
 	}
@@ -346,8 +366,17 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.mon.Engine().Evaluate(r.Context(), req)
 	if err != nil {
+		if errors.Is(err, core.ErrSampleBudget) && int(req.Kind) < len(s.oneShot) {
+			s.oneShot[req.Kind].budgetDenied.Add(1)
+		}
 		s.writeRequestError(w, err)
 		return
+	}
+	if int(req.Kind) < len(s.oneShot) {
+		kc := &s.oneShot[req.Kind]
+		kc.evals.Add(1)
+		kc.samples.Add(resp.Cost.SamplesUsed)
+		kc.earlyStopped.Add(int64(resp.Cost.EarlyStopped))
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"kind":    resp.Kind.String(),
@@ -406,6 +435,7 @@ func (s *server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
 			"coalesced":     st.Coalesced,
 			"errors":        st.Errors,
 			"samples":       st.Samples,
+			"early_stopped": st.EarlyStopped,
 			"node_accesses": st.NodeAccesses,
 			"eval_seconds":  st.EvalTime.Seconds(),
 		},
@@ -534,12 +564,50 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "ildq_monitor_deltas_total %d\n", st.Deltas)
 	fmt.Fprintf(w, "ildq_monitor_coalesced_total %d\n", st.Coalesced)
 	fmt.Fprintf(w, "ildq_monitor_eval_errors_total %d\n", st.EvalErrors)
-	for _, sub := range s.mon.Subscriptions() {
+	// Per-kind cost counters. One-shot /v1/evaluate traffic is
+	// accumulated in s.oneShot; standing-query cost is aggregated from
+	// the live subscriptions at scrape time so the per-kind view stays
+	// consistent with the per-query counters below.
+	type standingAgg struct {
+		queries, reevals, guardSkips, samples, earlyStopped int64
+	}
+	standing := map[core.Kind]*standingAgg{}
+	for _, k := range evalKinds {
+		standing[k] = &standingAgg{}
+	}
+	subs := s.mon.Subscriptions()
+	for _, sub := range subs {
+		agg, ok := standing[sub.Request().Kind]
+		if !ok {
+			continue
+		}
+		qs := sub.Stats()
+		agg.queries++
+		agg.reevals += qs.Reevals
+		agg.guardSkips += qs.Skipped
+		agg.samples += qs.Samples
+		agg.earlyStopped += qs.EarlyStopped
+	}
+	for _, k := range evalKinds {
+		kc := &s.oneShot[k]
+		agg := standing[k]
+		fmt.Fprintf(w, "ildq_evaluate_total{kind=%q} %d\n", k, kc.evals.Load())
+		fmt.Fprintf(w, "ildq_evaluate_samples_total{kind=%q} %d\n", k, kc.samples.Load())
+		fmt.Fprintf(w, "ildq_evaluate_early_stopped_total{kind=%q} %d\n", k, kc.earlyStopped.Load())
+		fmt.Fprintf(w, "ildq_evaluate_budget_denied_total{kind=%q} %d\n", k, kc.budgetDenied.Load())
+		fmt.Fprintf(w, "ildq_standing_queries{kind=%q} %d\n", k, agg.queries)
+		fmt.Fprintf(w, "ildq_standing_reevals_total{kind=%q} %d\n", k, agg.reevals)
+		fmt.Fprintf(w, "ildq_standing_guard_skips_total{kind=%q} %d\n", k, agg.guardSkips)
+		fmt.Fprintf(w, "ildq_standing_samples_total{kind=%q} %d\n", k, agg.samples)
+		fmt.Fprintf(w, "ildq_standing_early_stopped_total{kind=%q} %d\n", k, agg.earlyStopped)
+	}
+	for _, sub := range subs {
 		qs := sub.Stats()
 		id := sub.ID()
 		fmt.Fprintf(w, "ildq_query_reevals_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.Reevals)
 		fmt.Fprintf(w, "ildq_query_skipped_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.Skipped)
 		fmt.Fprintf(w, "ildq_query_samples_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.Samples)
+		fmt.Fprintf(w, "ildq_query_early_stopped_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.EarlyStopped)
 		fmt.Fprintf(w, "ildq_query_node_accesses_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.NodeAccesses)
 		fmt.Fprintf(w, "ildq_query_eval_seconds_total{query=%q} %g\n", strconv.FormatInt(id, 10), qs.EvalTime.Seconds())
 		fmt.Fprintf(w, "ildq_query_matches{query=%q} %d\n", strconv.FormatInt(id, 10), sub.Size())

@@ -227,8 +227,8 @@ func TestServeInvalidRequests(t *testing.T) {
 func TestServeNNBudgetRefusal(t *testing.T) {
 	ts := testServer(t)
 	// 64 clustered points, all of which survive pruning under a wide
-	// issuer; with nn_samples at the per-candidate cap the total blows
-	// the default budget (2^20 × 64 = 2^26 > 2^24).
+	// issuer; with nn_samples at the request cap the scan-work product
+	// blows the default budget (2^20 × 64 = 2^26 > 2^24).
 	var sb strings.Builder
 	sb.WriteString(`{"updates": [`)
 	for i := 0; i < 64; i++ {
@@ -292,8 +292,7 @@ func TestServeNN(t *testing.T) {
 	}
 
 	// Standing NN request: registration snapshot, then a point move
-	// re-derives the answer (NN guards are unbounded — every batch
-	// re-evaluates).
+	// inside the finite tau-ball guard re-derives the answer.
 	reg := postJSON(t, ts.URL+"/v1/queries", `{
 		"kind": "nn", "issuer": {"region": [450, 450, 550, 550]}, "k": 2}`)
 	if reg["kind"] != "nn" || len(reg["snapshot"].([]any)) != 2 {
@@ -314,6 +313,86 @@ func TestServeNN(t *testing.T) {
 	resp.Body.Close()
 	if len(got["snapshot"].([]any)) != 2 {
 		t.Fatalf("standing nn answer after move: %v", got)
+	}
+}
+
+// TestServeMetricsPerKind: /metrics breaks evaluation cost down by
+// query kind — one-shot counters from /v1/evaluate traffic, standing
+// aggregates (including guard skips) from the live subscriptions.
+func TestServeMetricsPerKind(t *testing.T) {
+	ts := testServer(t)
+	postJSON(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_point", "id": 1, "x": 520, "y": 500},
+		{"op": "upsert_point", "id": 2, "x": 480, "y": 500},
+		{"op": "upsert_object", "id": 3, "region": [480, 480, 520, 520]}]}`)
+
+	// One-shot traffic: two NN evaluations, one range evaluation.
+	for i := 0; i < 2; i++ {
+		postJSON(t, ts.URL+"/v1/evaluate", `{
+			"kind": "nn", "issuer": {"region": [450, 450, 550, 550]}, "k": 2, "nn_samples": 2000}`)
+	}
+	postJSON(t, ts.URL+"/v1/evaluate", `{
+		"issuer": {"region": [450, 450, 550, 550]}, "w": 100, "h": 100}`)
+
+	// A standing NN query plus one guard-skipped far batch.
+	reg := postJSON(t, ts.URL+"/v1/queries", `{
+		"kind": "nn", "issuer": {"region": [450, 450, 550, 550]}, "k": 2}`)
+	id := int64(reg["id"].(float64))
+	up := postJSON(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_point", "id": 9, "x": 9000, "y": 9000}]}`)
+	if up["skipped"].(float64) != 1 {
+		t.Fatalf("far point batch was not guard-skipped for the NN query: %v", up)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp)
+	for _, want := range []string{
+		`ildq_evaluate_total{kind="nn"} 2`,
+		`ildq_evaluate_samples_total{kind="nn"} 4000`,
+		`ildq_evaluate_total{kind="uncertain"} 1`,
+		`ildq_evaluate_total{kind="points"} 0`,
+		`ildq_evaluate_budget_denied_total{kind="nn"} 0`,
+		`ildq_standing_queries{kind="nn"} 1`,
+		`ildq_standing_guard_skips_total{kind="nn"} 1`,
+		`ildq_standing_reevals_total{kind="nn"} 1`,
+		fmt.Sprintf(`ildq_query_early_stopped_total{query="%d"}`, id),
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// A budget-refused NN request increments the per-kind denial
+	// counter rather than the evaluation counters. 64 candidates at
+	// the sample cap exceed the default budget (2^20 × 64 > 2^24).
+	var sb strings.Builder
+	sb.WriteString(`{"updates": [`)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"op": "upsert_point", "id": %d, "x": %d, "y": %d}`, 100+i, 8000+i%8, 8000+i/8)
+	}
+	sb.WriteString(`]}`)
+	postJSON(t, ts.URL+"/v1/updates", sb.String())
+	status, _ := postRaw(t, ts.URL+"/v1/evaluate", `{
+		"kind": "nn", "issuer": {"region": [7000, 7000, 10000, 10000]}, "k": 64, "nn_samples": 1048576}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("over-budget NN: HTTP %d, want 400", status)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics = readAll(t, resp)
+	if !strings.Contains(metrics, `ildq_evaluate_budget_denied_total{kind="nn"} 1`) {
+		t.Fatalf("budget denial not counted:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, `ildq_evaluate_total{kind="nn"} 2`) {
+		t.Fatalf("denied request counted as an evaluation:\n%s", metrics)
 	}
 }
 

@@ -55,7 +55,7 @@ func TestDefaults(t *testing.T) {
 	if len(QpSweep()) != 11 || QpSweep()[10] != 1 {
 		t.Fatalf("QpSweep = %v", QpSweep())
 	}
-	if len(AllFigureIDs()) != 15 {
+	if len(AllFigureIDs()) != 16 {
 		t.Fatalf("AllFigureIDs = %v", AllFigureIDs())
 	}
 }
@@ -314,6 +314,48 @@ func TestAdaptiveRefinementExperiment(t *testing.T) {
 	rep.Render(&buf)
 	if !strings.Contains(buf.String(), "adaptive refinement") {
 		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestNNRefinementExperiment(t *testing.T) {
+	env := smallEnv(t, Config{Points: 2000, Rects: 200, Queries: 4, Seed: 9})
+	rep, err := NNRefinement(env, 4, []float64{0.9}, 256, 4096, []int{20, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scale) != 2 || len(rep.Thresholds) != 1 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	for _, p := range rep.Scale {
+		if p.SharedSamples != 256 {
+			t.Fatalf("%d candidates: drew %d shared samples, want 256", p.Candidates, p.SharedSamples)
+		}
+		if p.QuadMS <= 0 {
+			t.Fatalf("%d candidates: quadratic baseline skipped below the cap", p.Candidates)
+		}
+	}
+	// 80 candidates cost the quadratic baseline 80× the shared kernel's
+	// distance evaluations; even on a noisy host it must lose clearly.
+	if s := rep.Scale[1].Speedup; s <= 2 {
+		t.Fatalf("shared kernel speedup at 80 candidates = %.2fx, want > 2x", s)
+	}
+	thr := rep.Thresholds[0]
+	if !thr.QualifyingEqual {
+		t.Fatalf("qp=%g: adaptive termination changed the qualifying set", thr.Threshold)
+	}
+	if thr.EarlyStopped == 0 {
+		t.Fatalf("qp=%g: no candidate retired early: %+v", thr.Threshold, thr)
+	}
+	if thr.AdaptiveSamples >= thr.FullSamples {
+		t.Fatalf("qp=%g: no sampling saved (%d adaptive vs %d full)",
+			thr.Threshold, thr.AdaptiveSamples, thr.FullSamples)
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	for _, want := range []string{"nn refinement", "speedup", "sets="} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, buf.String())
+		}
 	}
 }
 

@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/nn"
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+)
+
+// NNScalePoint is one operating point of the exp-nn candidate-count
+// sweep: the shared-stream tally kernel against a per-candidate-stream
+// baseline (the pre-rewrite cost shape) over the same candidate set.
+type NNScalePoint struct {
+	Candidates int `json:"candidates"`
+	// SharedMS is the wall-clock of one shared-stream Refine call.
+	SharedMS float64 `json:"shared_ms"`
+	// QuadMS is the wall-clock of the O(candidates² × samples)
+	// per-candidate-stream baseline; 0 when the sweep point is above
+	// the baseline cap (the quadratic run would dominate the bench).
+	QuadMS float64 `json:"quad_ms,omitempty"`
+	// Speedup is QuadMS / SharedMS where both ran.
+	Speedup float64 `json:"speedup,omitempty"`
+	// SharedSamples is the stream length the shared kernel drew.
+	SharedSamples int64 `json:"shared_samples"`
+}
+
+// NNThresholdPoint is one operating point of the exp-nn threshold
+// sweep: engine-path NN refinement with the full stream versus
+// adaptive early termination, from identical seeds.
+type NNThresholdPoint struct {
+	Threshold       float64 `json:"threshold"`
+	Queries         int     `json:"queries"`
+	FullSamples     int64   `json:"full_samples"`
+	AdaptiveSamples int64   `json:"adaptive_samples"`
+	// SampleReduction is FullSamples / AdaptiveSamples.
+	SampleReduction float64 `json:"sample_reduction"`
+	EarlyStopped    int     `json:"early_stopped"`
+	// QualifyingEqual reports whether adaptive and full-budget runs
+	// returned the same qualifying set for every query.
+	QualifyingEqual bool    `json:"qualifying_equal"`
+	FullMS          float64 `json:"full_ms"`
+	AdaptiveMS      float64 `json:"adaptive_ms"`
+}
+
+// NNReport is the exp-nn output: refinement cost versus candidate
+// count (the quadratic-to-linear claim) and the adaptive-termination
+// savings per threshold on the engine path. The two sweeps run at
+// different stream lengths: the scale sweep needs only enough samples
+// to time the per-sample scan, while the threshold sweep needs several
+// adaptive decision rounds (2048 samples each) to terminate early.
+type NNReport struct {
+	Name             string             `json:"name"`
+	ScaleSamples     int                `json:"scale_samples"`
+	ThresholdSamples int                `json:"threshold_samples"`
+	QuadCap          int                `json:"quad_cap"`
+	Scale            []NNScalePoint     `json:"scale"`
+	Thresholds       []NNThresholdPoint `json:"thresholds"`
+}
+
+// Render writes the report as aligned text tables.
+func (r NNReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "== nn refinement: %s ==\n", r.Name)
+	fmt.Fprintf(w, "%12s %12s %12s %10s\n", "candidates", "shared(ms)", "quad(ms)", "speedup")
+	for _, p := range r.Scale {
+		quad, speed := "-", "-"
+		if p.QuadMS > 0 {
+			quad = fmt.Sprintf("%.3f", p.QuadMS)
+			speed = fmt.Sprintf("%.1fx", p.Speedup)
+		}
+		fmt.Fprintf(w, "%12d %12.3f %12s %10s\n", p.Candidates, p.SharedMS, quad, speed)
+	}
+	fmt.Fprintf(w, "%10s %10s %12s %12s %10s %10s %8s\n",
+		"threshold", "queries", "full", "adaptive", "saving", "early", "sets=")
+	for _, p := range r.Thresholds {
+		fmt.Fprintf(w, "%10.2f %10d %12d %12d %9.1fx %10d %8t\n",
+			p.Threshold, p.Queries, p.FullSamples, p.AdaptiveSamples,
+			p.SampleReduction, p.EarlyStopped, p.QualifyingEqual)
+	}
+	fmt.Fprintln(w)
+}
+
+// nnScaleCounts is the default candidate-count sweep; nnQuadCap bounds
+// the per-candidate-stream baseline run (its cost grows with the
+// square of the count, so the tail of the sweep measures only the
+// shared kernel).
+var nnScaleCounts = []int{50, 100, 200, 400, 800}
+
+const nnQuadCap = 800
+
+// quadRefine is the per-candidate-stream baseline: each candidate
+// draws its own samples-long issuer stream, and every draw scans the
+// full candidate set — O(candidates² × samples) distance evaluations,
+// the cost shape the shared-stream kernel replaces. Kept here (not in
+// package nn) because its only remaining use is as the A side of this
+// A/B experiment.
+func quadRefine(cands []uncertain.PointObject, issuer pdf.PDF, parent int64, samples int) []float64 {
+	probs := make([]float64, len(cands))
+	for i := range cands {
+		rng := newRng(parent + int64(i))
+		wins := 0
+		for s := 0; s < samples; s++ {
+			pos := issuer.Sample(rng)
+			best, bd := -1, math.Inf(1)
+			for j, c := range cands {
+				dx, dy := pos.X-c.Loc.X, pos.Y-c.Loc.Y
+				if d := dx*dx + dy*dy; d < bd {
+					bd, best = d, j
+				}
+			}
+			if best == i {
+				wins++
+			}
+		}
+		probs[i] = float64(wins) / float64(samples)
+	}
+	return probs
+}
+
+// NNRefinement runs exp-nn: a candidate-count scale sweep comparing
+// the shared-stream kernel against the quadratic per-candidate-stream
+// baseline on identical candidate sets, then an engine-path threshold
+// sweep comparing full-budget against adaptive NN refinement (same
+// seeds; the qualifying sets must agree). queries <= 0 uses the
+// environment's configured query count; scaleSamples <= 0 uses 2000;
+// thrSamples <= 0 uses 16384 (8 adaptive decision rounds); a nil
+// scaleCounts uses the default sweep.
+func NNRefinement(env *Env, queries int, thresholds []float64, scaleSamples, thrSamples int, scaleCounts []int) (NNReport, error) {
+	if queries <= 0 {
+		queries = env.cfg.Queries
+	}
+	if len(thresholds) == 0 {
+		thresholds = []float64{0.1, 0.5, 0.9}
+	}
+	if scaleSamples <= 0 {
+		scaleSamples = 2000
+	}
+	if thrSamples <= 0 {
+		thrSamples = 8 * nn.DefaultRoundBlocks * nn.DefaultBlock
+	}
+	if len(scaleCounts) == 0 {
+		scaleCounts = nnScaleCounts
+	}
+	rep := NNReport{
+		Name:             fmt.Sprintf("shared-stream vs per-candidate streams, %d samples", scaleSamples),
+		ScaleSamples:     scaleSamples,
+		ThresholdSamples: thrSamples,
+		QuadCap:          nnQuadCap,
+	}
+
+	// Scale sweep: synthetic candidate sets drawn around the issuer so
+	// the sweep controls the candidate count exactly (engine pruning
+	// would vary it). One issuer, uniform over a U0 of paper extent.
+	rng := newRng(env.cfg.Seed + 77)
+	issuerPDF, err := pdf.NewUniform(geom.RectCentered(geom.Pt(500, 500), DefaultParams().U, DefaultParams().U))
+	if err != nil {
+		return NNReport{}, err
+	}
+	for _, n := range scaleCounts {
+		cands := make([]uncertain.PointObject, n)
+		for i := range cands {
+			cands[i] = uncertain.PointObject{
+				ID:  uncertain.ID(i),
+				Loc: geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			}
+		}
+		parent := rng.Int63()
+		pt := NNScalePoint{Candidates: n}
+
+		start := time.Now()
+		_, stats, err := nn.Refine(cands, issuerPDF, parent, nn.RefineConfig{Samples: scaleSamples})
+		if err != nil {
+			return NNReport{}, err
+		}
+		pt.SharedMS = float64(time.Since(start).Nanoseconds()) / 1e6
+		pt.SharedSamples = stats.Samples
+
+		if n <= nnQuadCap {
+			start = time.Now()
+			quadRefine(cands, issuerPDF, parent, scaleSamples)
+			pt.QuadMS = float64(time.Since(start).Nanoseconds()) / 1e6
+			if pt.SharedMS > 0 {
+				pt.Speedup = pt.QuadMS / pt.SharedMS
+			}
+		}
+		rep.Scale = append(rep.Scale, pt)
+	}
+
+	// Threshold sweep on the engine path: identical requests and seeds,
+	// adaptive off versus on. K is left unbounding (larger than any
+	// candidate set) so truncation cannot mask a qualifying-set drift.
+	issuers, err := env.Issuers(queries, DefaultParams().U)
+	if err != nil {
+		return NNReport{}, err
+	}
+	mkReq := func(iss *uncertain.Object, qp float64, seed int64, mode core.AdaptiveMode) core.Request {
+		req := core.RequestNN(iss, 1<<20)
+		req.Threshold = qp
+		req.NNSamples = thrSamples
+		req.Seed = seed
+		req.Options.Object.Adaptive = mode
+		return req
+	}
+	for _, qp := range thresholds {
+		pt := NNThresholdPoint{Threshold: qp, Queries: queries, QualifyingEqual: true}
+		var fullDur, adptDur time.Duration
+		for i, iss := range issuers {
+			seed := int64(17000 + i)
+			fullResp, err := env.Engine.Evaluate(context.Background(), mkReq(iss, qp, seed, core.AdaptiveOff))
+			if err != nil {
+				return NNReport{}, err
+			}
+			adptResp, err := env.Engine.Evaluate(context.Background(), mkReq(iss, qp, seed, core.AdaptiveAuto))
+			if err != nil {
+				return NNReport{}, err
+			}
+			full, adpt := fullResp.Result, adptResp.Result
+			pt.FullSamples += full.Cost.SamplesUsed
+			pt.AdaptiveSamples += adpt.Cost.SamplesUsed
+			pt.EarlyStopped += adpt.Cost.EarlyStopped
+			fullDur += full.Cost.Duration
+			adptDur += adpt.Cost.Duration
+			if !sameMatchIDs(full.Matches, adpt.Matches) {
+				pt.QualifyingEqual = false
+			}
+		}
+		if pt.AdaptiveSamples > 0 {
+			pt.SampleReduction = float64(pt.FullSamples) / float64(pt.AdaptiveSamples)
+		}
+		pt.FullMS = float64(fullDur.Nanoseconds()) / 1e6 / float64(queries)
+		pt.AdaptiveMS = float64(adptDur.Nanoseconds()) / 1e6 / float64(queries)
+		rep.Thresholds = append(rep.Thresholds, pt)
+	}
+	return rep, nil
+}

@@ -127,6 +127,13 @@ type Cost struct {
 type Result struct {
 	Matches []Match
 	Cost    Cost
+	// Tau is the nearest-neighbor pruning radius of a KindNN
+	// evaluation: the smallest maximum distance any indexed point has
+	// to the issuer region, so every position in U0 has its nearest
+	// neighbor within Tau. +Inf over an empty database; zero for the
+	// range kinds (which prune by region overlap, not distance).
+	// Standing-query guards derive from it (Request.GuardRegionTau).
+	Tau float64
 }
 
 // Method selects an evaluation algorithm.

@@ -96,9 +96,10 @@ type EngineOptions struct {
 //
 // Determinism: for a fixed engine version, request, and seed,
 // evaluation is bit-identical at every worker count (serial
-// included): Monte-Carlo refinement derives one sample stream per
-// candidate object, keyed by object id — see refineSurvivors and
-// nn.RefineCandidates.
+// included): range refinement derives one sample stream per candidate
+// object, keyed by object id (see refineSurvivors), and NN refinement
+// derives one shared position stream keyed by sample block, merged as
+// integer tallies (see nn.Refine).
 type Engine struct {
 	// writeMu serializes writers; readers never take it.
 	writeMu sync.Mutex

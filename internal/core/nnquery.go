@@ -18,9 +18,11 @@ import (
 // candidate set comes from branch-and-bound over the pinned
 // snapshot's point R-tree (node accesses recorded in Cost, like every
 // other kind) instead of a linear scan over a caller-supplied slice,
-// and refinement reuses package nn's per-candidate-id sample streams,
-// so results are bit-identical at every worker count and stable under
-// concurrent ingestion (the snapshot is immutable).
+// and refinement runs package nn's shared-sample-stream tally kernel
+// — O(candidates × samples) total work, estimates summing to exactly
+// 1, with adaptive early termination against Threshold — so results
+// are bit-identical at every worker count and stable under concurrent
+// ingestion (the snapshot is immutable).
 
 // nnTau computes tau, the smallest maximum distance any indexed point
 // has to u0, by best-first branch-and-bound: interior entries are
@@ -72,6 +74,7 @@ func (st *engineState) evaluateNN(ctx context.Context, req Request, opts EvalOpt
 	// last point is deleted, exactly like the range kinds. (The
 	// legacy slice-based nn.Evaluate keeps its ErrNoObjects contract.)
 	if st.points.Len() == 0 {
+		res.Tau = math.Inf(1)
 		res.Cost.Duration = time.Since(start)
 		return res, nil
 	}
@@ -86,6 +89,7 @@ func (st *engineState) evaluateNN(ctx context.Context, req Request, opts EvalOpt
 	if err != nil {
 		return Result{}, err
 	}
+	res.Tau = tau
 	res.Cost.NodeAccesses = na
 	if err := canceled(ctx); err != nil {
 		return Result{}, err
@@ -120,19 +124,22 @@ func (st *engineState) evaluateNN(ctx context.Context, req Request, opts EvalOpt
 	})
 	res.Cost.Refined = len(cands)
 
-	// Per-candidate streams make the total draw deterministic, so the
-	// sample budget is checkable up front. The division form is
-	// overflow-safe: samples × len(cands) > MaxSamples iff samples >
-	// MaxSamples / len(cands) for positive operands.
+	// The shared stream draws `samples` positions but scans every
+	// candidate per sample, so the worst-case refinement work is
+	// samples × candidates distance evaluations — that product is what
+	// the budget bounds (adaptive retirement can only shrink it). The
+	// division form is overflow-safe: samples × len(cands) > MaxSamples
+	// iff samples > MaxSamples / len(cands) for positive operands.
 	if opts.MaxSamples > 0 && len(cands) > 0 && int64(samples) > opts.MaxSamples/int64(len(cands)) {
 		return Result{}, ErrSampleBudget
 	}
 
-	probs, err := refineNN(ctx, cands, req, opts, samples)
+	probs, stats, err := refineNN(ctx, cands, req, opts, samples)
 	if err != nil {
 		return Result{}, err
 	}
-	res.Cost.SamplesUsed = int64(samples) * int64(len(cands))
+	res.Cost.SamplesUsed = stats.Samples
+	res.Cost.EarlyStopped = stats.EarlyStopped
 	for i, p := range probs {
 		if accept(p, req.Threshold) {
 			res.Matches = append(res.Matches, Match{ID: cands[i].ID, P: p})
@@ -147,16 +154,26 @@ func (st *engineState) evaluateNN(ctx context.Context, req Request, opts EvalOpt
 }
 
 // refineNN computes the per-candidate nearest-neighbor probabilities
-// through the shared kernel dispatch (nn.RefineCandidates), serially
-// or across req.Workers goroutines. Each candidate draws its own
-// stream keyed by object id, so the worker count and scheduling
-// cannot change any estimate; ctx is polled every few thousand
-// samples inside each stream, so deadlines and cancellation bite
-// mid-candidate.
-func refineNN(ctx context.Context, cands []uncertain.PointObject, req Request, opts EvalOptions, samples int) ([]float64, error) {
+// through the shared-stream tally kernel (nn.Refine), serially or
+// across req.Workers goroutines. Sample positions are keyed by
+// (parent seed, block index) and merged as integer tallies, so the
+// worker count and scheduling cannot change any estimate; ctx is
+// polled once per sample block, so deadlines and cancellation bite
+// mid-stream. For threshold requests the kernel retires candidates
+// the certainty/Hoeffding/Bernstein bounds have decided — the same
+// adaptive machinery as the range refiners — unless the caller forced
+// AdaptiveOff (the estimates themselves then carry full-budget
+// accuracy, as elsewhere).
+func refineNN(ctx context.Context, cands []uncertain.PointObject, req Request, opts EvalOptions, samples int) ([]float64, nn.RefineStats, error) {
 	if len(cands) == 0 {
-		return nil, nil
+		return nil, nn.RefineStats{}, nil
 	}
-	return nn.RefineCandidates(cands, req.Issuer.PDF, samples, opts.Rng.Int63(), req.Workers,
-		func() error { return canceled(ctx) })
+	return nn.Refine(cands, req.Issuer.PDF, opts.Rng.Int63(), nn.RefineConfig{
+		Samples:   samples,
+		Threshold: req.Threshold,
+		Adaptive:  opts.Object.Adaptive == AdaptiveAuto,
+		Delta:     opts.Object.MCDelta,
+		Workers:   req.Workers,
+		Cancel:    func() error { return canceled(ctx) },
+	})
 }

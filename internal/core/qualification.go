@@ -1,11 +1,11 @@
 package core
 
 import (
-	"math"
 	"math/rand"
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/mcbound"
 	"repro/internal/pdf"
 )
 
@@ -155,7 +155,7 @@ func objectQualificationMC(issuer, obj pdf.PDF, w, h float64, cfg ObjectEvalConf
 // objectQualificationMCThreshold is the adaptive sampling path for
 // threshold queries: sampling runs in blocks of cfg.MCBlock and stops
 // as soon as a bound proves which side of qp the candidate falls on
-// (see thresholdDecided). It returns the estimate, the samples
+// (see mcbound.Decided). It returns the estimate, the samples
 // actually drawn, and whether the loop terminated early. For qp <= 0
 // it degenerates to the full-budget objectQualificationMC.
 //
@@ -184,59 +184,11 @@ func objectQualificationMCThreshold(issuer, obj pdf.PDF, w, h, qp float64, cfg O
 		if n >= total || qp <= 0 {
 			continue
 		}
-		if p, done := thresholdDecided(sum, sumSq, n, total, qp, cfg.MCDelta); done {
+		if p, done := mcbound.Decided(sum, sumSq, n, total, qp, cfg.MCDelta); done {
 			return p, n, true
 		}
 	}
 	return clampProb(sum / float64(total)), total, false
-}
-
-// thresholdDecided applies the early-termination bounds after n of
-// total samples summing to sum (squares to sumSq; each sample lies in
-// [0, 1]):
-//
-//   - certainty: the full-budget mean lies in [sum/total,
-//     (sum+total−n)/total] no matter what the remaining draws yield;
-//     if that interval excludes qp the full-budget decision is already
-//     fixed.
-//   - Hoeffding: |mean − E| <= sqrt(ln(2/δ)/(2n)) with probability
-//     >= 1−δ for i.i.d. samples in [0, 1].
-//   - empirical Bernstein (Maurer–Pontil): |mean − E| <=
-//     sqrt(2·Vn·ln(2/δ)/n) + 7·ln(2/δ)/(3(n−1)) with Vn the sample
-//     variance — far tighter than Hoeffding for the low-variance
-//     kernels of clear-cut candidates (probability near 0 or 1),
-//     which is exactly where early termination pays.
-//
-// If the tighter confidence interval around the running mean excludes
-// qp, the candidate's true probability is on the decided side with
-// confidence 1−δ. On a decision it returns the running mean, which is
-// guaranteed to be on the decided side of qp (so accept() agrees with
-// the proof).
-func thresholdDecided(sum, sumSq float64, n, total int, qp, delta float64) (float64, bool) {
-	mean := sum / float64(n)
-	if sum/float64(total) >= qp {
-		return clampProb(mean), true
-	}
-	if (sum+float64(total-n))/float64(total) < qp {
-		return clampProb(mean), true
-	}
-	lg := math.Log(2 / delta)
-	eps := math.Sqrt(lg / (2 * float64(n)))
-	if variance := (sumSq - float64(n)*mean*mean) / float64(n-1); variance > 0 {
-		if eb := math.Sqrt(2*variance*lg/float64(n)) + 7*lg/(3*float64(n-1)); eb < eps {
-			eps = eb
-		}
-	} else {
-		// Zero sample variance: the Bernstein radius is purely the
-		// bias term.
-		if eb := 7 * lg / (3 * float64(n-1)); eb < eps {
-			eps = eb
-		}
-	}
-	if mean-eps >= qp || mean+eps < qp {
-		return clampProb(mean), true
-	}
-	return 0, false
 }
 
 // ObjectQualificationThreshold is ObjectQualification with adaptive
@@ -252,7 +204,7 @@ func ObjectQualificationThreshold(issuer, obj pdf.PDF, w, h, qp float64, cfg Obj
 // refinement (the §6.2 regime for non-uniform issuer pdfs): sample the
 // issuer's location in blocks of block and count how often the object
 // falls inside the range query formed at each sample. For qp > 0 the
-// loop stops as soon as thresholdDecided proves which side of qp the
+// loop stops as soon as mcbound.Decided proves which side of qp the
 // candidate falls on — the indicator samples lie in {0, 1} ⊂ [0, 1],
 // so the same certainty / Hoeffding / empirical-Bernstein bounds
 // apply, and sumSq equals sum. It returns the estimate, the samples
@@ -275,7 +227,7 @@ func pointQualificationMCThreshold(issuer pdf.PDF, s geom.Point, w, h, qp float6
 		if n >= total || qp <= 0 {
 			continue
 		}
-		if p, done := thresholdDecided(sum, sum, n, total, qp, delta); done {
+		if p, done := mcbound.Decided(sum, sum, n, total, qp, delta); done {
 			return p, n, true
 		}
 	}
@@ -314,7 +266,7 @@ func ObjectQualificationBasic(issuer, obj pdf.PDF, w, h float64, n int, rng *ran
 // issuer-sampling loop with adaptive early termination against the
 // probability threshold qp — the same certainty / Hoeffding /
 // empirical-Bernstein stopping rule every other Monte-Carlo
-// refinement path applies (thresholdDecided): the per-sample masses
+// refinement path applies (mcbound.Decided): the per-sample masses
 // lie in [0, 1], sampling runs in blocks of block, and for qp > 0 the
 // loop stops once a bound proves which side of qp the candidate falls
 // on. It returns the estimate, the issuer samples actually drawn, and
@@ -347,7 +299,7 @@ func objectQualificationBasicThreshold(issuer, obj pdf.PDF, w, h, qp float64, to
 		if n >= total || qp <= 0 {
 			continue
 		}
-		if p, done := thresholdDecided(sum, sumSq, n, total, qp, delta); done {
+		if p, done := mcbound.Decided(sum, sumSq, n, total, qp, delta); done {
 			return p, n, true
 		}
 	}

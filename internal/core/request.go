@@ -126,8 +126,10 @@ type Request struct {
 	// neighbors. NN requests require K >= 1; range kinds must leave it
 	// zero.
 	K int
-	// NNSamples is the Monte-Carlo sample count drawn per NN candidate
-	// (0 selects 1000). Range kinds must leave it zero.
+	// NNSamples is the length of the shared Monte-Carlo issuer-position
+	// stream an NN evaluation tallies every candidate against
+	// (0 selects 1000) — a total draw count, not a per-candidate one.
+	// Range kinds must leave it zero.
 	NNSamples int
 	// Options tunes the evaluation (method, sampling, pruning,
 	// deadline, sample budget). Options.Rng is only consulted when
@@ -211,14 +213,43 @@ func (r Request) Validate() error {
 // GuardRegion returns the request's standing-query guard region: the
 // spatial region outside which an update provably cannot change the
 // request's answer. For range kinds it is the index probe region (see
-// GuardRegion); for NN requests it is unbounded — moving any point can
-// change the pruning distance tau, so NN standing queries re-evaluate
-// on every batch.
+// GuardRegion); for NN requests — which have no finite guard until an
+// evaluation has measured the pruning distance tau — it is unbounded.
+// Standing NN queries tighten it after every evaluation via
+// GuardRegionTau(Result.Tau).
 func (r Request) GuardRegion() (geom.Rect, error) {
+	return r.GuardRegionTau(math.Inf(1))
+}
+
+// nnGuardSlack is the relative margin added to the NN guard ball so
+// floating-point rounding in distance computations can never shrink
+// the guard below the true tau-ball.
+const nnGuardSlack = 1e-6
+
+// GuardRegionTau is GuardRegion with a known NN pruning radius: for a
+// KindNN request whose last evaluation reported Result.Tau = tau, the
+// guard is the bounding box of the tau-ball around the issuer region,
+// widened by a relative slack margin. The ball is provably sufficient:
+// tau is the smallest maximum distance any point has to U0, so the
+// point attaining it lies within tau of U0 (inside the ball), and a
+// point entirely outside the ball has MinDist > tau ≥ its possible
+// contribution — it can neither shrink tau nor join the candidate set.
+// An update whose old and new rectangles both avoid the guard
+// therefore cannot change the NN answer. Updates touching the guard
+// may shrink tau, so the caller must re-evaluate and recompute the
+// guard from the fresh Result.Tau (internal/monitor does exactly
+// this). A non-finite or negative tau — no evaluation yet, or an
+// empty database — yields the unbounded guard; range kinds ignore tau
+// entirely.
+func (r Request) GuardRegionTau(tau float64) (geom.Rect, error) {
 	if err := r.Validate(); err != nil {
 		return geom.Rect{}, err
 	}
 	if r.Kind == KindNN {
+		if !math.IsInf(tau, 0) && tau >= 0 {
+			pad := tau * (1 + nnGuardSlack)
+			return r.Issuer.Region().Expand(pad, pad), nil
+		}
 		return geom.Rect{
 			Lo: geom.Pt(-math.MaxFloat64, -math.MaxFloat64),
 			Hi: geom.Pt(math.MaxFloat64, math.MaxFloat64),

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/uncertain"
@@ -264,8 +265,8 @@ func TestEvaluateAllDeterminism(t *testing.T) {
 }
 
 // TestNNRequestWorkerDeterminism: RequestNN results are bit-identical
-// at every worker count — the per-candidate-object-id sample streams
-// make the refinement schedule irrelevant.
+// at every worker count — block-keyed shared-stream sampling with
+// integer tally merges makes the refinement schedule irrelevant.
 func TestNNRequestWorkerDeterminism(t *testing.T) {
 	e := testWorld(t, 500, 0, 6)
 	iss := testIssuer(t, geom.Pt(500, 500), 80)
@@ -283,8 +284,11 @@ func TestNNRequestWorkerDeterminism(t *testing.T) {
 	if len(base.Matches) == 0 || base.Cost.Refined == 0 {
 		t.Fatalf("degenerate NN baseline: %+v", base.Cost)
 	}
-	if base.Cost.SamplesUsed != int64(base.Cost.Refined)*3000 {
-		t.Fatalf("SamplesUsed %d != candidates %d x 3000", base.Cost.SamplesUsed, base.Cost.Refined)
+	// The stream is shared: an unconstrained request draws exactly its
+	// NNSamples budget, no matter how many candidates are tallied.
+	if base.Cost.SamplesUsed != 3000 {
+		t.Fatalf("SamplesUsed %d != shared-stream budget 3000 (candidates %d)",
+			base.Cost.SamplesUsed, base.Cost.Refined)
 	}
 	for _, workers := range []int{2, 3, 8, 32} {
 		got, err := e.Evaluate(context.Background(), mk(workers))
@@ -476,6 +480,15 @@ func TestNNSnapshotStableUnderUpdateFlood(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// The shared-stream kernel made NN evaluation fast enough that all
+	// 30 iterations can outrun the flood goroutine's first batch; wait
+	// for the flood to land at least once before declaring it happened.
+	for deadline := time.Now().Add(10 * time.Second); e.Version() == baseline.Version; {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
 	close(stop)
 	wg.Wait()
 	if baseline.Version != snap.Version() {
@@ -521,5 +534,73 @@ func TestRequestGuardRegion(t *testing.T) {
 	bad := RequestNN(iss, 0)
 	if _, err := bad.GuardRegion(); err == nil {
 		t.Fatal("invalid request produced a guard region")
+	}
+}
+
+// TestNNGuardRegionTau: once an evaluation has measured tau, the NN
+// guard collapses from the unbounded rectangle to the tau-ball
+// bounding box (plus slack), and it provably contains every update
+// that could change the answer — verified against a fresh evaluation
+// after a far-outside move versus an inside move.
+func TestNNGuardRegionTau(t *testing.T) {
+	iss := testIssuer(t, geom.Pt(500, 500), 50)
+	req := RequestNN(iss, 3)
+
+	// Non-finite tau (no evaluation yet / empty database): unbounded.
+	inf, err := req.GuardRegionTau(math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inf.Intersects(geom.RectCentered(geom.Pt(1e12, 1e12), 1, 1)) {
+		t.Fatalf("infinite-tau guard %v is not unbounded", inf)
+	}
+
+	guard, err := req.GuardRegionTau(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0 := iss.Region()
+	wantLo := geom.Pt(u0.Lo.X-40*(1+nnGuardSlack), u0.Lo.Y-40*(1+nnGuardSlack))
+	if math.Abs(guard.Lo.X-wantLo.X) > 1e-9 || math.Abs(guard.Lo.Y-wantLo.Y) > 1e-9 {
+		t.Fatalf("tau guard %v, want Lo near %v", guard, wantLo)
+	}
+	// A point strictly outside the guard has MinDist > tau: it cannot
+	// become the nearest neighbor or shrink tau.
+	outside := geom.Pt(guard.Hi.X+1, guard.Hi.Y+1)
+	if d := u0.MinDist(outside); d <= 40 {
+		t.Fatalf("outside point MinDist %g <= tau 40", d)
+	}
+
+	// End to end: evaluate, rebuild the guard from Result.Tau, and
+	// check that an update outside the guard leaves the answer
+	// bit-identical while the evaluation stays correct after an
+	// inside update (which must be re-evaluated, not skipped).
+	e := testWorld(t, 200, 0, 21)
+	req = RequestNN(testIssuer(t, geom.Pt(500, 500), 50), 200)
+	req.Seed = 5
+	base, err := e.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(base.Tau, 1) || base.Tau <= 0 {
+		t.Fatalf("evaluation tau = %v", base.Tau)
+	}
+	guard, err = req.GuardRegionTau(base.Tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := geom.Pt(guard.Hi.X+100, guard.Hi.Y+100)
+	rep := e.ApplyUpdates([]Update{{Op: OpUpsertPoint, Point: uncertain.PointObject{
+		ID: 9999, Loc: far,
+	}}})
+	if rep.Touches(guard) {
+		t.Fatalf("far insert at %v dirtied the guard %v", far, guard)
+	}
+	after, err := e.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripDurations(base.Result), stripDurations(after.Result)) {
+		t.Fatal("answer changed after an update outside the tau guard")
 	}
 }

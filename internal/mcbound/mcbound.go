@@ -1,0 +1,69 @@
+// Package mcbound holds the Monte-Carlo early-termination bounds
+// shared by every adaptive refinement loop in this repository: the
+// range-query object/point refiners (internal/core) and the
+// shared-stream NN tally kernel (internal/nn). Extracting the decision
+// rule here keeps the numerics identical across query kinds — an early
+// stop means the same proof everywhere — without forcing internal/nn
+// to import internal/core (core already imports nn).
+package mcbound
+
+import "math"
+
+// Decided applies the early-termination bounds after n of total
+// samples summing to sum (squares to sumSq; each sample lies in
+// [0, 1]):
+//
+//   - certainty: the full-budget mean lies in [sum/total,
+//     (sum+total−n)/total] no matter what the remaining draws yield;
+//     if that interval excludes qp the full-budget decision is already
+//     fixed.
+//   - Hoeffding: |mean − E| <= sqrt(ln(2/δ)/(2n)) with probability
+//     >= 1−δ for i.i.d. samples in [0, 1].
+//   - empirical Bernstein (Maurer–Pontil): |mean − E| <=
+//     sqrt(2·Vn·ln(2/δ)/n) + 7·ln(2/δ)/(3(n−1)) with Vn the sample
+//     variance — far tighter than Hoeffding for the low-variance
+//     kernels of clear-cut candidates (probability near 0 or 1),
+//     which is exactly where early termination pays.
+//
+// If the tighter confidence interval around the running mean excludes
+// qp, the candidate's true probability is on the decided side with
+// confidence 1−δ. On a decision it returns the running mean clamped to
+// [0, 1], which is guaranteed to be on the decided side of qp (so the
+// caller's accept test agrees with the proof).
+func Decided(sum, sumSq float64, n, total int, qp, delta float64) (float64, bool) {
+	mean := sum / float64(n)
+	if sum/float64(total) >= qp {
+		return clampProb(mean), true
+	}
+	if (sum+float64(total-n))/float64(total) < qp {
+		return clampProb(mean), true
+	}
+	lg := math.Log(2 / delta)
+	eps := math.Sqrt(lg / (2 * float64(n)))
+	if variance := (sumSq - float64(n)*mean*mean) / float64(n-1); variance > 0 {
+		if eb := math.Sqrt(2*variance*lg/float64(n)) + 7*lg/(3*float64(n-1)); eb < eps {
+			eps = eb
+		}
+	} else {
+		// Zero sample variance: the Bernstein radius is purely the
+		// bias term.
+		if eb := 7 * lg / (3 * float64(n-1)); eb < eps {
+			eps = eb
+		}
+	}
+	if mean-eps >= qp || mean+eps < qp {
+		return clampProb(mean), true
+	}
+	return 0, false
+}
+
+func clampProb(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}

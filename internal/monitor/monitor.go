@@ -205,6 +205,10 @@ func (m *Monitor) Register(req core.Request) (*Subscription, error) {
 		notify:   make(chan struct{}, 1),
 		closedCh: make(chan struct{}),
 	}
+	// The initial evaluation measured tau, so an NN subscription can
+	// start with its finite tau-ball guard instead of re-evaluating on
+	// every batch until the first hit.
+	sub.updateGuardLocked(res)
 	sub.stats.Reevals = 1
 	sub.noteCostLocked(res.Cost)
 	d := Delta{Seq: m.seq, Entered: res.Matches, Cost: res.Cost, Coalesced: 1}
@@ -302,7 +306,7 @@ func (m *Monitor) ApplyUpdates(ctx context.Context, batch []core.Update) (BatchO
 		// re-evaluated unconditionally — guard filtering only proves
 		// the result unchanged relative to a state the cache no
 		// longer reflects.
-		if sub.isStale() || (rep.Applied > 0 && rep.Touches(sub.guard)) {
+		if sub.isStale() || (rep.Applied > 0 && rep.Touches(sub.Guard())) {
 			affected = append(affected, sub)
 		} else {
 			sub.noteSkipped()

@@ -229,9 +229,11 @@ func TestMonitorDeltaReplayMatchesFullEvaluation(t *testing.T) {
 
 // TestMonitorStandingNN: a Subscription is just a standing Request,
 // so the nearest-neighbor kind stands like any other. NN guards are
-// unbounded (every point move can change the pruning distance), so
-// every batch re-evaluates the query, and replaying its deltas
-// reconstructs the fresh NN answer after each batch.
+// finite now — the tau-ball measured by the last evaluation — so
+// batches that stay outside the ball are skipped (provably
+// answer-preserving), batches touching it re-evaluate, and replaying
+// the deltas reconstructs the fresh NN answer after every batch either
+// way.
 func TestMonitorStandingNN(t *testing.T) {
 	const extent = 2000.0
 	eng := monitorWorld(t, 200, 0, extent, 58)
@@ -246,6 +248,11 @@ func TestMonitorStandingNN(t *testing.T) {
 	if sub.Request().Kind != core.KindNN {
 		t.Fatalf("subscription kind %v", sub.Request().Kind)
 	}
+	// The registration evaluation measured tau, so the guard must
+	// already be finite.
+	if g := sub.Guard(); g.Hi.X-g.Lo.X >= extent*10 {
+		t.Fatalf("NN guard still unbounded after registration: %v", g)
+	}
 	replay := map[uncertain.ID]float64{}
 	for _, d := range drain(t, sub) {
 		applyDelta(replay, d)
@@ -255,6 +262,7 @@ func TestMonitorStandingNN(t *testing.T) {
 	}
 
 	rng := rand.New(rand.NewSource(59))
+	reevals, skips := 0, 0
 	for batchNo := 0; batchNo < 10; batchNo++ {
 		var ups []core.Update
 		for j := 0; j < 8; j++ {
@@ -267,9 +275,11 @@ func TestMonitorStandingNN(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if out.Reevaluated != 1 || out.Skipped != 0 {
-			t.Fatalf("batch %d: NN standing query was guard-filtered: %+v", batchNo, out)
+		if out.Reevaluated+out.Skipped != 1 {
+			t.Fatalf("batch %d: unexpected outcome %+v", batchNo, out)
 		}
+		reevals += out.Reevaluated
+		skips += out.Skipped
 		for _, d := range drain(t, sub) {
 			if d.Err != nil {
 				t.Fatalf("batch %d: delta error %v", batchNo, d.Err)
@@ -288,6 +298,12 @@ func TestMonitorStandingNN(t *testing.T) {
 				t.Fatalf("batch %d: replayed id %d missing from fresh answer", batchNo, id)
 			}
 		}
+	}
+	// Spread updates over a 2000×2000 extent against a small tau-ball:
+	// both filter outcomes must occur, and every skipped batch above
+	// already proved answer-preservation via the fresh comparison.
+	if reevals == 0 || skips == 0 {
+		t.Fatalf("guard filter exercised one-sidedly: reevals=%d skips=%d", reevals, skips)
 	}
 
 	// Deleting every point drains the standing NN answer to empty via
@@ -308,6 +324,123 @@ func TestMonitorStandingNN(t *testing.T) {
 	}
 	if len(replay) != 0 {
 		t.Fatalf("standing NN answer not drained after deleting every point: %d ids remain", len(replay))
+	}
+}
+
+// TestMonitorNNGuardSkipsUnderFlood floods a standing NN query with
+// update batches confined far outside its tau-ball guard —
+// interleaved with occasional in-guard churn — while a concurrent
+// consumer replays the delta stream and other goroutines read the
+// (now mutable) guard and stats. Run under -race in CI: the guard is
+// recomputed from every evaluation while ApplyUpdates reads it to
+// filter. Asserts that the flood is mostly guard-skipped, and that
+// replay stays bit-exact against the subscription's cached set with
+// the same membership as a from-scratch evaluation.
+func TestMonitorNNGuardSkipsUnderFlood(t *testing.T) {
+	const extent = 2000.0
+	eng := monitorWorld(t, 300, 0, extent, 61)
+	m := New(eng, Config{Workers: 2, MaxPending: -1})
+
+	req := core.RequestNN(monitorIssuer(t, geom.Pt(300, 300), 60), 10)
+	req.NNSamples = 400
+	sub, err := m.Register(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent consumer: replays every delta into its own set until
+	// the subscription closes.
+	replay := map[uncertain.ID]float64{}
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for {
+			d, err := sub.Next(context.Background())
+			if err != nil {
+				return // ErrClosed after the queue drained
+			}
+			applyDelta(replay, d)
+		}
+	}()
+	// Concurrent observers: hammer the mutable-guard read path and the
+	// stats surfaces the metrics endpoint uses.
+	obsStop := make(chan struct{})
+	var obsWG sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		obsWG.Add(1)
+		go func() {
+			defer obsWG.Done()
+			for {
+				select {
+				case <-obsStop:
+					return
+				default:
+					_ = sub.Guard()
+					_ = sub.Stats()
+					_ = sub.Snapshot()
+					_ = m.Stats()
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(62))
+	const batches = 40
+	for b := 0; b < batches; b++ {
+		var ups []core.Update
+		if b%8 == 7 {
+			// In-guard churn: move a point near the issuer, forcing a
+			// re-evaluation and a guard recompute.
+			ups = append(ups, core.Update{Op: core.OpUpsertPoint, Point: uncertain.PointObject{
+				ID:  uncertain.ID(rng.Intn(300)),
+				Loc: geom.Pt(250+rng.Float64()*100, 250+rng.Float64()*100),
+			}})
+		} else {
+			// Far-corner flood: fresh ids in [1500, 2000]², provably
+			// outside any reasonable tau-ball around (300, 300).
+			for j := 0; j < 16; j++ {
+				ups = append(ups, core.Update{Op: core.OpUpsertPoint, Point: uncertain.PointObject{
+					ID:  uncertain.ID(10000 + rng.Intn(500)),
+					Loc: geom.Pt(1500+rng.Float64()*500, 1500+rng.Float64()*500),
+				}})
+			}
+		}
+		if _, err := m.ApplyUpdates(context.Background(), ups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(obsStop)
+	obsWG.Wait()
+
+	st := m.Stats()
+	if st.Skipped == 0 {
+		t.Fatalf("finite NN guard never skipped a batch: %+v", st)
+	}
+	if st.Reevaluated >= st.Skipped {
+		t.Fatalf("far-corner flood mostly re-evaluated (%d reevals vs %d skips)",
+			st.Reevaluated, st.Skipped)
+	}
+	ss := sub.Stats()
+	if ss.Skipped == 0 || ss.Reevals < 2 {
+		t.Fatalf("subscription saw one-sided filtering: %+v", ss)
+	}
+
+	// Close the subscription: Next drains the queue, then the consumer
+	// exits and the replayed set must equal the cached set bit-exactly
+	// and match a from-scratch evaluation's membership.
+	sub.Close()
+	<-consumerDone
+	if !sameSet(replay, matchesAsSet(sub.Snapshot())) {
+		t.Fatalf("replayed set %v != cached set %v", replay, sub.Snapshot())
+	}
+	fresh := freshSet(t, eng, sub.Request())
+	if len(replay) != len(fresh) {
+		t.Fatalf("replay has %d ids, fresh evaluation %d", len(replay), len(fresh))
+	}
+	for id := range replay {
+		if _, ok := fresh[id]; !ok {
+			t.Fatalf("replayed id %d missing from fresh answer", id)
+		}
 	}
 }
 

@@ -171,8 +171,10 @@ type SubStats struct {
 	Coalesced int64
 	Errors    int64
 	// Samples / NodeAccesses / EvalTime aggregate the evaluation cost
-	// spent on this query.
+	// spent on this query; EarlyStopped counts candidates adaptive
+	// refinement retired before the full sample budget.
 	Samples      int64
+	EarlyStopped int64
 	NodeAccesses int64
 	EvalTime     time.Duration
 }
@@ -181,12 +183,17 @@ type SubStats struct {
 // consuming its delta stream (Next), inspecting its current answer
 // (Snapshot), and unregistering it (Close).
 type Subscription struct {
-	id    int64
-	req   core.Request
-	guard geom.Rect
-	m     *Monitor
+	id  int64
+	req core.Request
+	m   *Monitor
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// guard is the region update batches are filtered against. Range
+	// kinds fix it at registration; NN requests recompute it from
+	// every evaluation's Result.Tau (the tau-ball bounding box plus
+	// slack — see core.Request.GuardRegionTau), which is why it lives
+	// under mu.
+	guard   geom.Rect
 	pending []Delta
 	current map[uncertain.ID]float64
 	closed  bool
@@ -209,7 +216,31 @@ func (s *Subscription) ID() int64 { return s.id }
 func (s *Subscription) Request() core.Request { return s.req }
 
 // Guard returns the guard region update batches are filtered against.
-func (s *Subscription) Guard() geom.Rect { return s.guard }
+// For standing NN queries it tightens after every evaluation (the
+// tau-ball around the issuer region) — batches that provably cannot
+// change the nearest-neighbor answer are skipped like any range query.
+func (s *Subscription) Guard() geom.Rect {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.guard
+}
+
+// updateGuardLocked recomputes the guard from a fresh evaluation. Only
+// NN guards depend on the result (the pruning radius tau); an update
+// batch inside the current guard may have shrunk or grown tau, and the
+// re-evaluation that just ran measured the new value, so the
+// recomputed ball is exact for the post-batch state. Skipped batches
+// cannot invalidate it: an update entirely outside the tau-ball can
+// neither displace the tau-attaining point (which lies inside) nor
+// introduce a nearer one, so tau itself is unchanged.
+func (s *Subscription) updateGuardLocked(res core.Result) {
+	if s.req.Kind != core.KindNN {
+		return
+	}
+	if g, err := s.req.GuardRegionTau(res.Tau); err == nil {
+		s.guard = g
+	}
+}
 
 // Snapshot returns the current qualifying set, in the engine's result
 // order (descending probability, then id).
@@ -303,6 +334,7 @@ func (s *Subscription) applyResult(seq uint64, res core.Result) (Delta, bool) {
 	slices.Sort(d.Left)
 	s.current = next
 	s.stale = false
+	s.updateGuardLocked(res)
 	s.stats.Reevals++
 	s.noteCostLocked(res.Cost)
 	s.queueLocked(d)
@@ -332,6 +364,7 @@ func (s *Subscription) applyError(seq uint64, err error, cost core.Cost) {
 
 func (s *Subscription) noteCostLocked(c core.Cost) {
 	s.stats.Samples += c.SamplesUsed
+	s.stats.EarlyStopped += int64(c.EarlyStopped)
 	s.stats.NodeAccesses += c.NodeAccesses
 	s.stats.EvalTime += c.Duration
 }

@@ -13,22 +13,48 @@
 //     (the classic MinDist/MaxDist bound). Everything else has
 //     qualification probability exactly zero.
 //  2. Monte-Carlo refinement: sample issuer positions from f0 and
-//     tally nearest-candidate frequencies. The estimate is unbiased,
-//     and only candidates are scanned per sample.
+//     tally, for each sampled position, which candidate is nearest.
+//     The estimate is unbiased, and only candidates are scanned per
+//     sample.
 //
-// Determinism: refinement draws one independent sample stream per
-// candidate, derived (splitmix-style) from a single parent seed and
-// the candidate's object id — exactly the scheme the range engine
-// uses for C-IUQ refinement. A candidate's estimate therefore depends
-// only on the parent seed and its own id: not on the refinement
-// order, not on the worker count, and not on which other candidates
-// happen to share the batch. The price is that the per-candidate
-// estimates are independent Monte-Carlo runs, so they sum to 1 only
-// up to sampling error rather than exactly.
+// # Determinism contract (shared sample stream)
+//
+// Refinement draws ONE issuer-position stream shared by every
+// candidate: sample index s belongs to block b = s/BlockSize, and
+// block b's positions come from a generator seeded by (parent seed,
+// b) — splitmix-derived, so the position at any index is a pure
+// function of the parent seed, independent of candidate count, worker
+// count, and scheduling. Each sampled position is resolved to its
+// nearest candidate in a single pass and tallied as one integer win;
+// a candidate's probability is wins/samples. Consequences:
+//
+//   - Total refinement work is O(candidates × samples) — one distance
+//     scan per sample — not O(candidates² × samples) as with
+//     per-candidate streams.
+//   - Exactly one candidate wins each sample, so exhaustive estimates
+//     sum to exactly 1 (up to float addition of the final divisions).
+//   - Parallelism partitions the sample axis into whole blocks; each
+//     worker tallies its blocks into a private integer count vector
+//     and the vectors are summed afterwards. Integer tallies make the
+//     merge order-exact, so results are bit-identical at every worker
+//     count, serial included.
+//   - Adaptive early termination (Threshold > 0) checks candidates
+//     against the mcbound certainty/Hoeffding/empirical-Bernstein
+//     bounds only at fixed round boundaries (RoundBlocks whole
+//     blocks), never mid-block and never at worker-dependent points —
+//     so the retirement schedule, and with it every tally, is also
+//     bit-identical at every worker count.
+//
+// Retired ("decided") candidates stop accumulating wins but remain in
+// the per-sample scan as distance-only blockers: an active candidate
+// is tallied only for samples it would win against the FULL candidate
+// set, so surviving estimates stay exactly the tallies an exhaustive
+// run would produce — retirement never biases a survivor. Once every
+// candidate is decided the stream stops entirely.
 //
 // The engine integrates this package as a first-class query kind
 // (core.KindNN): candidates come from a branch-and-bound search over
-// the pinned snapshot's R-tree, and RefineCandidates computes the
+// the pinned snapshot's R-tree, and Refine computes the
 // probabilities. The slice-based Evaluate / EvaluateThreshold
 // functions remain for callers without an engine.
 package nn
@@ -42,6 +68,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/geom"
+	"repro/internal/mcbound"
 	"repro/internal/pdf"
 	"repro/internal/uncertain"
 )
@@ -60,16 +87,29 @@ type Result struct {
 	Matches []Match
 	// Candidates is the number of objects surviving distance pruning.
 	Candidates int
-	// Samples is the Monte-Carlo sample count drawn per candidate.
+	// Samples is the shared-stream Monte-Carlo budget.
 	Samples int
 }
 
 // ErrNoObjects is returned when the database is empty.
 var ErrNoObjects = errors.New("nn: no objects to query")
 
-// DefaultSamples is the per-candidate Monte-Carlo budget used when the
-// caller passes 0.
+// DefaultSamples is the shared-stream Monte-Carlo budget used when the
+// caller passes 0. It is the total number of issuer positions drawn —
+// not a per-candidate count — since every candidate is tallied against
+// the same stream.
 const DefaultSamples = 1000
+
+// DefaultBlock is the number of consecutive sample indexes per seed
+// block: block b of the stream is generated from (parent, b). Blocks
+// are the unit of worker scheduling and cancellation polling.
+const DefaultBlock = 128
+
+// DefaultRoundBlocks is the number of whole blocks between adaptive
+// early-termination checks (16 blocks × 128 samples = 2048 samples per
+// round). Rounds are fixed sample counts — never a function of the
+// worker count — so retirement decisions are scheduling-independent.
+const DefaultRoundBlocks = 16
 
 // splitmix64 is the SplitMix64 finalizer (the same child-seed mixer
 // the core engine uses; the two need not agree, but sharing the
@@ -81,8 +121,8 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// deriveSeed maps one parent seed and a child index (here: an object
-// id) to a collision-free child seed.
+// deriveSeed maps one parent seed and a child index (here: a sample
+// block number) to a collision-free child seed.
 func deriveSeed(parent int64, child int) int64 {
 	return int64(splitmix64(uint64(parent) + splitmix64(uint64(child))))
 }
@@ -108,122 +148,318 @@ func Prune(points []uncertain.PointObject, u0 geom.Rect) []uncertain.PointObject
 	return cands
 }
 
-// RefineCandidates estimates, for each candidate, the probability that
-// it is the issuer's nearest neighbor among cands, drawing an
-// independent samples-long issuer-position stream per candidate from
-// a source derived from parent and the candidate's object id. workers
-// > 1 splits the candidates across a worker pool; because every
-// stream is keyed by object id, the results are bit-identical at
-// every worker count, serial included. cancel, when non-nil, is
-// polled every cancelBlock samples inside each candidate's stream: a
-// non-nil return stops refinement within milliseconds and is returned
-// with the partial probabilities (the engine passes its context check
-// here, so deadlines and disconnects cannot be outwaited by a long
-// candidate).
-func RefineCandidates(cands []uncertain.PointObject, issuer pdf.PDF, samples int, parent int64, workers int, cancel func() error) ([]float64, error) {
-	if samples <= 0 {
-		samples = DefaultSamples
+// RefineConfig tunes the shared-stream tally kernel. The zero value
+// asks for an exhaustive DefaultSamples-long stream refined serially.
+type RefineConfig struct {
+	// Samples is the shared-stream length (<= 0 selects
+	// DefaultSamples). This is the total number of issuer positions
+	// drawn, independent of the candidate count.
+	Samples int
+	// Threshold is the query's qualification threshold qp. With
+	// Adaptive set and Threshold > 0, candidates provably above or
+	// below qp retire early (see RefineStats.Decided).
+	Threshold float64
+	// Adaptive enables early termination against Threshold.
+	Adaptive bool
+	// Block is the samples-per-seed-block granule (<= 0 selects
+	// DefaultBlock). Positions in block b derive from (parent, b), so
+	// changing Block changes the stream; it is part of the seed
+	// schedule, not a tuning knob to vary per call.
+	Block int
+	// RoundBlocks is the number of whole blocks drawn between adaptive
+	// bound checks (<= 0 selects DefaultRoundBlocks). Fixed rounds keep
+	// retirement decisions independent of the worker count.
+	RoundBlocks int
+	// Delta is the per-check failure probability of the confidence
+	// bounds (<= 0 selects 1e-6).
+	Delta float64
+	// Workers > 1 partitions each round's blocks across a worker pool.
+	// Results are bit-identical at every worker count.
+	Workers int
+	// Cancel, when non-nil, is polled once per block inside the
+	// refinement loop: a non-nil return stops refinement within a
+	// block's worth of samples and is returned to the caller (the
+	// engine passes its context check here, so deadlines and
+	// disconnects cannot be outwaited by a long stream).
+	Cancel func() error
+}
+
+func (c RefineConfig) withDefaults() RefineConfig {
+	if c.Samples <= 0 {
+		c.Samples = DefaultSamples
 	}
-	if cancel == nil {
-		cancel = func() error { return nil }
+	if c.Block <= 0 {
+		c.Block = DefaultBlock
 	}
-	probs := make([]float64, len(cands))
-	if workers > len(cands) {
-		workers = len(cands)
+	if c.RoundBlocks <= 0 {
+		c.RoundBlocks = DefaultRoundBlocks
 	}
-	if workers <= 1 {
-		for i := range cands {
-			p, err := refineOne(cands, i, issuer, samples, parent, cancel)
-			if err != nil {
-				return probs, err
+	if c.Delta <= 0 {
+		c.Delta = 1e-6
+	}
+	if c.Cancel == nil {
+		c.Cancel = func() error { return nil }
+	}
+	return c
+}
+
+// RefineStats reports what a Refine call actually did.
+type RefineStats struct {
+	// Samples is the number of issuer positions drawn from the shared
+	// stream — the true sampling work, since every candidate shares
+	// the stream. Less than the budget when adaptive refinement
+	// converged (every candidate decided) before the stream ended.
+	Samples int64
+	// EarlyStopped counts candidates retired by a bound before the
+	// stream ended.
+	EarlyStopped int
+	// Converged reports that the stream stopped early because every
+	// candidate was decided.
+	Converged bool
+	// Decided marks, per candidate, whether a bound retired it early.
+	// Undecided candidates carry exhaustive tallies over all Samples
+	// draws.
+	Decided []bool
+}
+
+// Refine estimates, for each candidate, the probability that it is the
+// issuer's nearest neighbor among cands, by tallying nearest-candidate
+// wins over one shared issuer-position stream derived from parent (see
+// the package documentation for the determinism contract). It returns
+// one probability per candidate, in input order. Ties on sampled
+// distance break toward the lower slice index, deterministically.
+//
+// On error (cancellation, or an issuer sampling failure surfaced
+// through Cancel) the partial probabilities are returned along with
+// the error; the first error by stream position wins when workers race.
+func Refine(cands []uncertain.PointObject, issuer pdf.PDF, parent int64, cfg RefineConfig) ([]float64, RefineStats, error) {
+	cfg = cfg.withDefaults()
+	n := len(cands)
+	probs := make([]float64, n)
+	stats := RefineStats{Decided: make([]bool, n)}
+	if n == 0 {
+		return probs, stats, nil
+	}
+
+	k := &kernel{
+		issuer:  issuer,
+		parent:  parent,
+		block:   cfg.Block,
+		samples: cfg.Samples,
+		xs:      make([]float64, n),
+		ys:      make([]float64, n),
+		wins:    make([]int64, n),
+		active:  make([]int, n),
+	}
+	for i, c := range cands {
+		k.xs[i] = c.Loc.X
+		k.ys[i] = c.Loc.Y
+		k.active[i] = i
+	}
+
+	nBlocks := (cfg.Samples + cfg.Block - 1) / cfg.Block
+	adaptive := cfg.Adaptive && cfg.Threshold > 0
+	roundBlocks := nBlocks
+	if adaptive {
+		roundBlocks = cfg.RoundBlocks
+	}
+
+	drawn := 0
+	for b0 := 0; b0 < nBlocks && len(k.active) > 0; b0 += roundBlocks {
+		b1 := b0 + roundBlocks
+		if b1 > nBlocks {
+			b1 = nBlocks
+		}
+		err := k.runRound(b0, b1, cfg.Workers, cfg.Cancel)
+		drawn = b1 * cfg.Block
+		if drawn > cfg.Samples {
+			drawn = cfg.Samples
+		}
+		stats.Samples = int64(drawn)
+		if err != nil {
+			// The stream was cut mid-round: the partial probabilities
+			// are not a valid estimate and the caller must discard the
+			// whole evaluation (the engine does — a cancelled request
+			// returns the error, never the result).
+			return probs, stats, err
+		}
+		if !adaptive || drawn >= cfg.Samples || drawn < 2 {
+			continue
+		}
+		// Fixed-round decision pass: retire candidates a bound has
+		// decided. Retirees keep their running mean as the estimate and
+		// move to the blocker list so survivors' tallies stay exact.
+		for ai := 0; ai < len(k.active); {
+			i := k.active[ai]
+			w := float64(k.wins[i])
+			p, done := mcbound.Decided(w, w, drawn, cfg.Samples, cfg.Threshold, cfg.Delta)
+			if !done {
+				ai++
+				continue
 			}
 			probs[i] = p
+			stats.Decided[i] = true
+			stats.EarlyStopped++
+			k.active = append(k.active[:ai], k.active[ai+1:]...)
+			k.blockers = append(k.blockers, i)
 		}
-		return probs, nil
+		// Most-winning blockers first: the scan breaks on the first
+		// blocker beating the active best, so a dominant retiree keeps
+		// the expected blocker work near one comparison.
+		sort.Slice(k.blockers, func(a, b int) bool {
+			ba, bb := k.blockers[a], k.blockers[b]
+			if k.wins[ba] != k.wins[bb] {
+				return k.wins[ba] > k.wins[bb]
+			}
+			return ba < bb
+		})
 	}
+	if len(k.active) == 0 {
+		stats.Converged = true
+	}
+	for _, i := range k.active {
+		probs[i] = float64(k.wins[i]) / float64(drawn)
+	}
+	return probs, stats, nil
+}
+
+// kernel is the shared-stream tally state for one Refine call.
+// Candidate coordinates live in parallel slices so the per-sample scan
+// walks flat float64 arrays.
+type kernel struct {
+	issuer  pdf.PDF
+	parent  int64
+	block   int
+	samples int
+	xs, ys  []float64
+	// wins[i] counts samples candidate i was nearest to; only merged
+	// round tallies land here (worker-private vectors during a round).
+	wins []int64
+	// active lists undecided candidate indexes in ascending order (the
+	// tie-break order: lowest index wins equal distances, matching a
+	// full scan with keep-first semantics).
+	active []int
+	// blockers lists retired candidate indexes, sorted by descending
+	// win count. They no longer accumulate wins but still veto samples
+	// they would win, keeping active tallies unbiased.
+	blockers []int
+}
+
+// scanBlock draws block b's samples from (parent, b) and tallies
+// nearest-candidate wins into tal (len(cands)-sized; either the merged
+// wins vector in serial mode or a worker-private vector).
+func (k *kernel) scanBlock(b int, tal []int64) {
+	rng := rand.New(rand.NewSource(deriveSeed(k.parent, b)))
+	lo := b * k.block
+	hi := lo + k.block
+	if hi > k.samples {
+		hi = k.samples
+	}
+	for s := lo; s < hi; s++ {
+		pos := k.issuer.Sample(rng)
+		// Nearest active candidate; ascending index order plus strict <
+		// keeps the first (lowest-index) on ties — identical to a full
+		// scan over all candidates.
+		best := -1
+		bd := math.Inf(1)
+		for _, i := range k.active {
+			dx := pos.X - k.xs[i]
+			dy := pos.Y - k.ys[i]
+			if d := dx*dx + dy*dy; d < bd {
+				bd = d
+				best = i
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		// A retired candidate that would win this sample (strictly
+		// nearer, or equally near with a lower index) blocks the tally.
+		blocked := false
+		for _, j := range k.blockers {
+			dx := pos.X - k.xs[j]
+			dy := pos.Y - k.ys[j]
+			if d := dx*dx + dy*dy; d < bd || (d == bd && j < best) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			tal[best]++
+		}
+	}
+}
+
+// runRound tallies blocks [b0, b1) into k.wins. workers > 1 spreads
+// the blocks over a pool with worker-private tally vectors merged
+// after the barrier; integer tallies make the merge exact, so the
+// result is bit-identical to the serial path. Every worker error is
+// recorded and the one at the lowest block position is returned — a
+// failing worker can no longer be silently swallowed behind zeroed
+// tallies (errors here are cancellations, so the whole evaluation is
+// discarded by the caller anyway).
+func (k *kernel) runRound(b0, b1, workers int, cancel func() error) error {
+	if workers > b1-b0 {
+		workers = b1 - b0
+	}
+	if workers <= 1 {
+		for b := b0; b < b1; b++ {
+			if err := cancel(); err != nil {
+				return err
+			}
+			k.scanBlock(b, k.wins)
+		}
+		return nil
+	}
+
 	var (
-		wg   sync.WaitGroup
-		next atomic.Int64
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		mu       sync.Mutex
+		errBlock = -1
+		firstErr error
 	)
+	next.Store(int64(b0))
+	private := make([][]int64, workers)
 	for w := 0; w < workers; w++ {
+		private[w] = make([]int64, len(k.wins))
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cands) {
+				b := int(next.Add(1)) - 1
+				if b >= b1 {
 					return
 				}
-				p, err := refineOne(cands, i, issuer, samples, parent, cancel)
-				if err != nil {
+				if err := cancel(); err != nil {
+					mu.Lock()
+					if errBlock < 0 || b < errBlock {
+						errBlock, firstErr = b, err
+					}
+					mu.Unlock()
 					return
 				}
-				probs[i] = p
+				k.scanBlock(b, private[w])
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	return probs, cancel()
-}
-
-// RefineOne estimates the probability that candidate i is the
-// issuer's nearest neighbor among cands, drawing candidate i's own
-// samples-long stream (seeded from parent and cands[i].ID). It is the
-// per-candidate kernel RefineCandidates and the engine share.
-func RefineOne(cands []uncertain.PointObject, i int, issuer pdf.PDF, samples int, parent int64) float64 {
-	p, _ := refineOne(cands, i, issuer, samples, parent, nil)
-	return p
-}
-
-// cancelBlock is the number of samples drawn between cancellation
-// polls inside one candidate's refinement: large enough that the poll
-// is free, small enough that a cancelled request dies in
-// milliseconds, not at candidate boundaries.
-const cancelBlock = 2048
-
-// refineOne is RefineOne with block-granular cancellation. A non-nil
-// cancel error aborts the candidate mid-stream (the estimate is
-// discarded along with the whole evaluation, so cancellation cannot
-// bias a result).
-func refineOne(cands []uncertain.PointObject, i int, issuer pdf.PDF, samples int, parent int64, cancel func() error) (float64, error) {
-	if samples <= 0 {
-		samples = DefaultSamples
+	if firstErr != nil {
+		return firstErr
 	}
-	rng := rand.New(rand.NewSource(deriveSeed(parent, int(cands[i].ID))))
-	wins := 0
-	for s := 0; s < samples; s++ {
-		if cancel != nil && s > 0 && s%cancelBlock == 0 {
-			if err := cancel(); err != nil {
-				return 0, err
-			}
-		}
-		pos := issuer.Sample(rng)
-		if nearestIs(cands, i, pos) {
-			wins++
+	for _, tal := range private {
+		for i, v := range tal {
+			k.wins[i] += v
 		}
 	}
-	return float64(wins) / float64(samples), nil
-}
-
-// nearestIs reports whether candidate i is the nearest candidate to
-// pos, with ties broken toward the lower slice index (a zero-measure
-// event for continuous issuers, but deterministic).
-func nearestIs(cands []uncertain.PointObject, i int, pos geom.Point) bool {
-	di := pos.SqDistTo(cands[i].Loc)
-	for j, c := range cands {
-		d := pos.SqDistTo(c.Loc)
-		if d < di || (d == di && j < i) {
-			return false
-		}
-	}
-	return true
+	return nil
 }
 
 // Evaluate computes nearest-neighbor qualification probabilities for
-// the issuer pdf over the given point objects. samples <= 0 selects
-// DefaultSamples per candidate. A nil rng gets a fixed seed, making
-// results reproducible; the rng contributes only one parent draw
-// (per-candidate streams are derived from it and each object id).
+// the issuer pdf over the given point objects. samples <= 0 selects a
+// DefaultSamples-long shared stream. A nil rng gets a fixed seed,
+// making results reproducible; the rng contributes only one parent
+// draw (the block streams are derived from it and the block index).
 //
 // Applications holding an engine should prefer evaluating a
 // core.Request of kind KindNN — it prunes candidates through the
@@ -240,7 +476,7 @@ func Evaluate(points []uncertain.PointObject, issuer pdf.PDF, samples int, rng *
 		rng = rand.New(rand.NewSource(1))
 	}
 	cands := Prune(points, issuer.Support())
-	probs, _ := RefineCandidates(cands, issuer, samples, rng.Int63(), 1, nil)
+	probs, _, _ := Refine(cands, issuer, rng.Int63(), RefineConfig{Samples: samples})
 
 	res := Result{Candidates: len(cands), Samples: samples}
 	for i, p := range probs {
@@ -267,7 +503,9 @@ func sortMatches(ms []Match) {
 // queries.
 //
 // As with Evaluate, engine-holding applications should prefer a
-// core.Request of kind KindNN with Threshold set.
+// core.Request of kind KindNN with Threshold set — the engine path
+// also retires decided candidates early; this slice-based form draws
+// the full stream.
 func EvaluateThreshold(points []uncertain.PointObject, issuer pdf.PDF, qp float64, samples int, rng *rand.Rand) (Result, error) {
 	res, err := Evaluate(points, issuer, samples, rng)
 	if err != nil {

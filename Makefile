@@ -1,19 +1,20 @@
 # Developer / CI entry points. `make bench` records the serving
-# trajectory to BENCH_PR7.json (throughput + adaptive refinement +
+# trajectory to BENCH_PR8.json (throughput + adaptive refinement +
 # continuous monitoring + mixed read/write interference + NN
-# refinement); BENCH_PR1..6.json stay checked in as the previous
-# revisions' baselines. `make bench-regression` replays the same
-# profile and fails (exit 3) if io-bound batch QPS, C-IUQ refinement
-# latency, ingestion updates/sec, mixed-workload throughput (either
-# side), refinement allocs/op, or the NN adaptive sample savings /
-# qualifying-set equality / shared-kernel speedup regress more than
-# the tolerance against the checked-in BENCH_PR7.json — the CI perf
-# gate.
+# refinement + observability overhead); BENCH_PR1..7.json stay checked
+# in as the previous revisions' baselines. `make bench-regression`
+# replays the same profile and fails (exit 3) if io-bound batch QPS,
+# C-IUQ refinement latency, ingestion updates/sec, mixed-workload
+# throughput (either side), refinement allocs/op, the NN adaptive
+# sample savings / qualifying-set equality / shared-kernel speedup, or
+# the observability no-trace latency / allocs / trace overhead regress
+# more than the tolerance against the checked-in BENCH_PR8.json — the
+# CI perf gate.
 # `make apicheck` gates the public API surface against api/repro.txt.
 
 GO ?= go
 
-BENCH_PROFILE = -exp exp-throughput,exp-adaptive,exp-continuous,exp-mixed,exp-nn \
+BENCH_PROFILE = -exp exp-throughput,exp-adaptive,exp-continuous,exp-mixed,exp-nn,exp-obs \
 	-points 8000 -rects 10000 -queries 64 -workers 1,2,4 \
 	-threshold 0.1,0.5,0.9 -adaptive-samples 2048 -nn-samples 2000 \
 	-standing 64 -update-batches 40 -batch-size 32 -readers 2
@@ -42,7 +43,7 @@ soak:
 # Modest dataset sizes so the bench target finishes in about a minute
 # while still exercising realistic candidate sets.
 bench: build
-	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_PR7.json
+	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_PR8.json
 	$(GO) test ./internal/bench -run xxx -bench 'BenchmarkRefine|BenchmarkThroughput' -benchtime 1s
 
 # Re-run the recorded profile and gate against the checked-in
@@ -50,7 +51,7 @@ bench: build
 # artifact, where multi-core runners also record worker scaling).
 bench-regression: build
 	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_CI.json \
-		-baseline BENCH_PR7.json -regress 0.20
+		-baseline BENCH_PR8.json -regress 0.20
 
 # Short fuzzing smoke over the R-tree: the op-stream target plus the
 # node codec targets.

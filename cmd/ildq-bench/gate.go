@@ -31,7 +31,12 @@ import (
 //     erode), qualifying-set equality (adaptive must keep returning
 //     the full-budget answer), adaptive latency at 1.5× tolerance, and
 //     the shared-vs-quadratic speedup at the larger candidate counts
-//     (2× tolerance — it is a ratio of two single-call timings).
+//     (2× tolerance — it is a ratio of two single-call timings);
+//   - observability overhead (exp-obs): the no-trace evaluation's
+//     allocs/op (tight, one-alloc grace — instrumentation must not
+//     allocate when no trace is attached) and latency (1.5×
+//     tolerance), plus the trace-attach overhead percentage with a
+//     baseline-plus-5-point grace band.
 //
 // Lower-is-better metrics fail above baseline×(1+tol); higher-is-better
 // below baseline×(1−tol). Metrics absent from either side are skipped
@@ -191,6 +196,54 @@ func runGate(rep report, baselinePath string, tol float64) ([]gateViolation, err
 						})
 					}
 				}
+			}
+		}
+	}
+
+	// Observability overhead (exp-obs): the no-trace side is the
+	// production idle path, so its allocation count keeps the tight
+	// alloc rule (one-alloc grace over the baseline, zero tolerated
+	// over a zero baseline) and its latency the 1.5× noisy-timing
+	// band. The trace-attach overhead is a ratio of two single-pass
+	// timings, so it only fails when it exceeds the widened baseline
+	// band AND the baseline plus five percentage points (with a
+	// 5-point absolute floor for near-zero baselines) — the ratio of
+	// two millisecond-scale passes jitters a few points run to run,
+	// and a real regression (trace attach growing a copy or a lock)
+	// costs tens of points, not five.
+	for _, bo := range base.Obs {
+		for _, co := range rep.Obs {
+			if co.Name != bo.Name {
+				continue
+			}
+			allocLimit := maxOK(bo.NoTraceAllocs)
+			if bo.NoTraceAllocs > 0 && allocLimit < bo.NoTraceAllocs+1 {
+				allocLimit = bo.NoTraceAllocs + 1
+			}
+			if co.NoTraceAllocs > allocLimit {
+				out = append(out, gateViolation{
+					metric:   "obs no-trace allocs/op",
+					baseline: bo.NoTraceAllocs, current: co.NoTraceAllocs,
+				})
+			}
+			if co.NoTraceMS > bo.NoTraceMS*(1+1.5*tol) {
+				out = append(out, gateViolation{
+					metric:   "obs no-trace latency ms",
+					baseline: bo.NoTraceMS, current: co.NoTraceMS,
+				})
+			}
+			overheadLimit := bo.OverheadPct * (1 + 2*tol)
+			if overheadLimit < bo.OverheadPct+5 {
+				overheadLimit = bo.OverheadPct + 5
+			}
+			if overheadLimit < 5 {
+				overheadLimit = 5
+			}
+			if co.OverheadPct > overheadLimit {
+				out = append(out, gateViolation{
+					metric:   "obs trace overhead pct",
+					baseline: bo.OverheadPct, current: co.OverheadPct,
+				})
 			}
 		}
 	}

@@ -44,6 +44,7 @@ type report struct {
 	Continuous []bench.ContinuousReport `json:"continuous,omitempty"`
 	Mixed      []bench.MixedReport      `json:"mixed,omitempty"`
 	NN         []bench.NNReport         `json:"nn,omitempty"`
+	Obs        []bench.ObsReport        `json:"obs,omitempty"`
 }
 
 func main() {
@@ -222,6 +223,20 @@ func main() {
 		}
 		nnRep.Render(os.Stdout)
 		rep.NN = append(rep.NN, nnRep)
+	}
+
+	// The observability-overhead A/B times identical evaluations with
+	// and without a per-request trace; like exp-nn it runs last over a
+	// private environment so earlier experiments keep their baseline
+	// comparability.
+	if want["exp-obs"] {
+		obsRep, err := bench.Obs(mustEnv(cfg), 0, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: obs: %v\n", err)
+			os.Exit(1)
+		}
+		obsRep.Render(os.Stdout)
+		rep.Obs = append(rep.Obs, obsRep)
 	}
 
 	runners := []struct {

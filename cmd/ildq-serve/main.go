@@ -1,19 +1,22 @@
 // Command ildq-serve exposes the engine and the continuous-query
 // monitor over an HTTP/JSON API: one-shot evaluation, standing-query
 // registration with server-sent-event delta streams, update-batch
-// ingestion, and Prometheus-style metrics with per-query cost
-// counters.
+// ingestion, and Prometheus metrics.
 //
 // The wire format is a direct JSON encoding of core.Request /
 // core.Response, shared by the one-shot and standing paths: kind
 // ("uncertain" default, "points", "nn"), issuer, w/h, threshold, k,
 // nn_samples, workers, seed. Unknown fields and malformed requests
 // are rejected with structured 400s carrying the offending field.
+// Setting "trace": true on /v1/evaluate returns the per-stage cost
+// breakdown (snapshot pin, index filter, refinement, merge) with the
+// response.
 //
 // Usage:
 //
 //	ildq-serve                          # empty world, fed via /v1/updates
 //	ildq-serve -points 8000 -rects 10000 -addr :8080
+//	ildq-serve -slow-query 50ms -pprof  # log slow queries, expose /debug/pprof
 //
 // Quickstart (against a synthetic world):
 //
@@ -22,9 +25,10 @@
 //	  "issuer": {"region": [4800, 4800, 5200, 5200]},
 //	  "w": 500, "h": 500, "threshold": 0.5}'
 //
-//	# nearest neighbor: the 3 most probable nearest points
+//	# nearest neighbor with the per-stage cost breakdown
 //	curl -s localhost:8080/v1/evaluate -d '{
-//	  "kind": "nn", "issuer": {"region": [4800, 4800, 5200, 5200]}, "k": 3}'
+//	  "kind": "nn", "issuer": {"region": [4800, 4800, 5200, 5200]}, "k": 3,
+//	  "trace": true}'
 //
 //	# standing query: register, stream deltas, feed updates
 //	curl -s localhost:8080/v1/queries -d '{
@@ -33,12 +37,14 @@
 //	curl -s localhost:8080/v1/updates -d '{"updates": [
 //	  {"op": "upsert_object", "id": 42, "region": [4900, 4900, 4960, 4960]}]}'
 //	curl -s localhost:8080/metrics
+//
+// See docs/metrics.md for the full metric reference.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"time"
@@ -60,8 +66,22 @@ func main() {
 		maxSamples = flag.Int64("max-samples", 0, "per-request Monte-Carlo sample budget (0 = unlimited; nn requests always run under some budget)")
 		maxPending = flag.Int("max-pending", 64, "per-subscription delta queue bound before coalescing (<0 = unbounded)")
 		maxSnapAge = flag.Duration("max-snapshot-age", 0, "force-close snapshots pinned longer than this so leaked pins cannot wedge node reclamation (0 = never)")
+
+		slowQuery  = flag.Duration("slow-query", 0, "log one-shot evaluations slower than this (0 = off)")
+		slowSample = flag.Int("slow-query-sample", 1, "log every Nth slow query (the slow-query counter sees all of them)")
+		perQuery   = flag.Int("metrics-per-query-limit", defaultPerQueryLimit, "max per-standing-query series on /metrics, top-K by eval time (<0 = unlimited)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "ildq-serve: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	eng, err := buildEngine(*points, *rects, *seed, *maxSnapAge)
 	if err != nil {
@@ -77,14 +97,26 @@ func main() {
 	})
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(mon, opts),
+		Addr: *addr,
+		Handler: newServer(mon, opts, serveConfig{
+			SlowQuery:     *slowQuery,
+			SlowEvery:     *slowSample,
+			PerQueryLimit: *perQuery,
+			Pprof:         *pprofOn,
+			Logger:        logger,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("ildq-serve: listening on %s (points=%d uncertain=%d workers=%d)",
-		*addr, eng.NumPoints(), eng.NumUncertain(), *workers)
+	logger.Info("listening",
+		"addr", *addr,
+		"points", eng.NumPoints(),
+		"uncertain", eng.NumUncertain(),
+		"workers", *workers,
+		"slow_query", *slowQuery,
+		"pprof", *pprofOn)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("ildq-serve: %v", err)
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
 	}
 }
 

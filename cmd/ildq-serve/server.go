@@ -1,17 +1,24 @@
 package main
 
 import (
+	"cmp"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"slices"
 	"strconv"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/pdf"
 	"repro/internal/uncertain"
 )
@@ -44,6 +51,9 @@ type requestJSON struct {
 	NNSamples int        `json:"nn_samples,omitempty"`
 	Workers   int        `json:"workers,omitempty"`
 	Seed      int64      `json:"seed,omitempty"`
+	// Trace asks for the per-stage cost breakdown (pin, filter,
+	// refine, merge) in the response — one-shot evaluation only.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type updateJSON struct {
@@ -69,6 +79,17 @@ type costJSON struct {
 	EarlyStopped int     `json:"early_stopped"`
 	NodeAccesses int64   `json:"node_accesses"`
 	DurationMS   float64 `json:"duration_ms"`
+}
+
+// spanJSON is one trace stage in an evaluate response.
+type spanJSON struct {
+	Stage        string  `json:"stage"`
+	StartMS      float64 `json:"start_ms"`
+	DurationMS   float64 `json:"duration_ms"`
+	NodeAccesses int64   `json:"node_accesses,omitempty"`
+	Samples      int64   `json:"samples,omitempty"`
+	Items        int     `json:"items,omitempty"`
+	Note         string  `json:"note,omitempty"`
 }
 
 type deltaJSON struct {
@@ -122,6 +143,14 @@ const maxRequestNNSamples = 1 << 20
 // exceed it gets a structured 400 up front (core.ErrSampleBudget),
 // not a slow death. Operators override with -max-samples.
 const defaultNNBudget = 1 << 24
+
+// defaultPerQueryLimit caps the per-standing-query series emitted on
+// /metrics when the operator sets no explicit -metrics-per-query-limit:
+// the top entries by cumulative evaluation time are listed, the rest
+// are summarized by ildq_standing_queries_unlisted. Unbounded
+// per-query labels would make scrape cardinality grow with the number
+// of registered queries.
+const defaultPerQueryLimit = 50
 
 // toRequest decodes the wire request into a validated core.Request.
 // Errors are *core.RequestError where validation fails, so handlers
@@ -224,6 +253,23 @@ func toCostJSON(c core.Cost) costJSON {
 	}
 }
 
+func toTraceJSON(tr *obs.Trace) []spanJSON {
+	spans := tr.Spans()
+	out := make([]spanJSON, len(spans))
+	for i, sp := range spans {
+		out[i] = spanJSON{
+			Stage:        sp.Name,
+			StartMS:      float64(sp.Start.Nanoseconds()) / 1e6,
+			DurationMS:   float64(sp.Duration.Nanoseconds()) / 1e6,
+			NodeAccesses: sp.NodeAccesses,
+			Samples:      sp.Samples,
+			Items:        sp.Items,
+			Note:         sp.Note,
+		}
+	}
+	return out
+}
+
 func toDeltaJSON(d monitor.Delta) deltaJSON {
 	dj := deltaJSON{
 		Seq:       d.Seq,
@@ -241,6 +287,27 @@ func toDeltaJSON(d monitor.Delta) deltaJSON {
 	return dj
 }
 
+// serveConfig carries the operator's observability knobs.
+type serveConfig struct {
+	// SlowQuery is the one-shot latency threshold above which a query
+	// is counted slow and (subject to sampling) logged. Zero disables
+	// slow-query logging entirely.
+	SlowQuery time.Duration
+	// SlowEvery samples the slow-query log: every Nth slow query is
+	// written (1 = all). The ildq_slow_queries_total counter sees every
+	// slow query regardless.
+	SlowEvery int
+	// PerQueryLimit caps the per-standing-query series on /metrics
+	// (top-K by cumulative eval time). 0 means defaultPerQueryLimit;
+	// negative means unlimited.
+	PerQueryLimit int
+	// Pprof mounts net/http/pprof under /debug/pprof.
+	Pprof bool
+	// Logger receives the structured serve log (slow queries, swallowed
+	// write errors at debug). Nil discards.
+	Logger *slog.Logger
+}
+
 // server is the HTTP layer over one monitor: one-shot evaluation,
 // standing-query registration and SSE delta streaming, update
 // ingestion, and metrics. defaults are the operator's evaluation
@@ -249,28 +316,40 @@ func toDeltaJSON(d monitor.Delta) deltaJSON {
 type server struct {
 	mon      *monitor.Monitor
 	defaults core.EvalOptions
+	cfg      serveConfig
 	mux      *http.ServeMux
-	// oneShot accumulates per-kind cost counters for /v1/evaluate
-	// requests (standing-query cost is aggregated from the
-	// subscriptions at scrape time), indexed by core.Kind.
-	oneShot [3]kindCounters
+	reg      *obs.Registry
+	log      *slog.Logger
+
+	// reqID numbers one-shot evaluations for log/trace correlation;
+	// slowSeen counts slow queries for log sampling.
+	reqID    atomic.Int64
+	slowSeen atomic.Int64
+	slow     *obs.Counter
 }
 
-// kindCounters are the per-query-kind cost counters /metrics exposes:
-// how much Monte-Carlo work each kind consumed and how often the
-// adaptive bounds cut it short.
-type kindCounters struct {
-	evals        atomic.Int64
-	samples      atomic.Int64
-	earlyStopped atomic.Int64
-	budgetDenied atomic.Int64
-}
+func newServer(mon *monitor.Monitor, defaults core.EvalOptions, cfg serveConfig) *server {
+	if cfg.PerQueryLimit == 0 {
+		cfg.PerQueryLimit = defaultPerQueryLimit
+	}
+	if cfg.SlowEvery <= 0 {
+		cfg.SlowEvery = 1
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	s := &server{
+		mon:      mon,
+		defaults: defaults,
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		reg:      obs.NewRegistry(),
+		log:      cfg.Logger,
+	}
+	mon.Engine().RegisterMetrics(s.reg)
+	mon.RegisterMetrics(s.reg)
+	s.registerServeMetrics()
 
-// evalKinds orders the kinds for stable /metrics emission.
-var evalKinds = [3]core.Kind{core.KindUncertain, core.KindPoints, core.KindNN}
-
-func newServer(mon *monitor.Monitor, defaults core.EvalOptions) *server {
-	s := &server{mon: mon, defaults: defaults, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/queries", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/queries/{id}", s.handleQueryGet)
@@ -279,30 +358,177 @@ func newServer(mon *monitor.Monitor, defaults core.EvalOptions) *server {
 	s.mux.HandleFunc("POST /v1/updates", s.handleUpdates)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Write([]byte("ok\n"))
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			s.log.Debug("healthz write failed", "err", err)
+		}
 	})
+	if cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// evalKinds orders the kinds for stable /metrics emission.
+var evalKinds = [3]core.Kind{core.KindUncertain, core.KindPoints, core.KindNN}
+
+// registerServeMetrics adds the serve-layer families on top of the
+// engine's and monitor's: per-kind standing aggregates, the capped
+// per-query series, and the slow-query counter. Per-query families are
+// dynamic collectors — their members change between scrapes — capped
+// at cfg.PerQueryLimit by cumulative evaluation time, with the
+// remainder summarized in ildq_standing_queries_unlisted.
+func (s *server) registerServeMetrics() {
+	s.slow = s.reg.Counter("ildq_slow_queries_total",
+		"One-shot evaluations slower than the -slow-query threshold.")
+
+	s.reg.GaugeFunc("ildq_standing_queries_unlisted",
+		"Standing queries beyond -metrics-per-query-limit, summarized instead of listed.",
+		func() float64 {
+			n := len(s.mon.Subscriptions()) - s.cfg.PerQueryLimit
+			if s.cfg.PerQueryLimit < 0 || n < 0 {
+				n = 0
+			}
+			return float64(n)
+		})
+
+	// Per-kind standing aggregates, recomputed from the live
+	// subscriptions at scrape time so they stay consistent with the
+	// per-query series below.
+	type standingAgg struct {
+		queries, reevals, guardSkips, samples, earlyStopped float64
+	}
+	aggregate := func() map[core.Kind]*standingAgg {
+		agg := map[core.Kind]*standingAgg{}
+		for _, k := range evalKinds {
+			agg[k] = &standingAgg{}
+		}
+		for _, sub := range s.mon.Subscriptions() {
+			a, ok := agg[sub.Request().Kind]
+			if !ok {
+				continue
+			}
+			qs := sub.Stats()
+			a.queries++
+			a.reevals += float64(qs.Reevals)
+			a.guardSkips += float64(qs.Skipped)
+			a.samples += float64(qs.Samples)
+			a.earlyStopped += float64(qs.EarlyStopped)
+		}
+		return agg
+	}
+	perKind := func(pick func(*standingAgg) float64) func(emit func(v float64, labels ...obs.Label)) {
+		return func(emit func(v float64, labels ...obs.Label)) {
+			agg := aggregate()
+			for _, k := range evalKinds {
+				emit(pick(agg[k]), obs.Label{Name: "kind", Value: k.String()})
+			}
+		}
+	}
+	s.reg.GaugeSet("ildq_standing_queries_by_kind",
+		"Live standing queries per request kind.",
+		perKind(func(a *standingAgg) float64 { return a.queries }))
+	s.reg.CounterSet("ildq_standing_reevals_total",
+		"Standing-query re-evaluations per request kind (registration included).",
+		perKind(func(a *standingAgg) float64 { return a.reevals }))
+	s.reg.CounterSet("ildq_standing_guard_skips_total",
+		"Standing-query re-evaluations avoided by the guard-region filter, per kind.",
+		perKind(func(a *standingAgg) float64 { return a.guardSkips }))
+	s.reg.CounterSet("ildq_standing_samples_total",
+		"Monte-Carlo samples drawn by standing-query re-evaluations, per kind.",
+		perKind(func(a *standingAgg) float64 { return a.samples }))
+	s.reg.CounterSet("ildq_standing_early_stopped_total",
+		"Candidates retired early during standing-query refinement, per kind.",
+		perKind(func(a *standingAgg) float64 { return a.earlyStopped }))
+
+	// Per-query series: top-K by cumulative eval time, one collector
+	// per family.
+	perQuery := func(pick func(monitor.SubStats, *monitor.Subscription) float64) func(emit func(v float64, labels ...obs.Label)) {
+		return func(emit func(v float64, labels ...obs.Label)) {
+			for _, sub := range s.topSubscriptions() {
+				emit(pick(sub.Stats(), sub),
+					obs.Label{Name: "query", Value: strconv.FormatInt(sub.ID(), 10)})
+			}
+		}
+	}
+	s.reg.CounterSet("ildq_query_reevals_total",
+		"Re-evaluations of this standing query (top queries by eval time).",
+		perQuery(func(st monitor.SubStats, _ *monitor.Subscription) float64 { return float64(st.Reevals) }))
+	s.reg.CounterSet("ildq_query_skipped_total",
+		"Guard-filtered batch skips for this standing query.",
+		perQuery(func(st monitor.SubStats, _ *monitor.Subscription) float64 { return float64(st.Skipped) }))
+	s.reg.CounterSet("ildq_query_samples_total",
+		"Monte-Carlo samples drawn re-evaluating this standing query.",
+		perQuery(func(st monitor.SubStats, _ *monitor.Subscription) float64 { return float64(st.Samples) }))
+	s.reg.CounterSet("ildq_query_early_stopped_total",
+		"Candidates retired early re-evaluating this standing query.",
+		perQuery(func(st monitor.SubStats, _ *monitor.Subscription) float64 { return float64(st.EarlyStopped) }))
+	s.reg.CounterSet("ildq_query_node_accesses_total",
+		"Index nodes read re-evaluating this standing query.",
+		perQuery(func(st monitor.SubStats, _ *monitor.Subscription) float64 { return float64(st.NodeAccesses) }))
+	s.reg.CounterSet("ildq_query_eval_seconds_total",
+		"Cumulative evaluation wall clock of this standing query.",
+		perQuery(func(st monitor.SubStats, _ *monitor.Subscription) float64 { return st.EvalTime.Seconds() }))
+	s.reg.GaugeSet("ildq_query_matches",
+		"Current answer size of this standing query.",
+		perQuery(func(_ monitor.SubStats, sub *monitor.Subscription) float64 { return float64(sub.Size()) }))
+}
+
+// topSubscriptions returns the standing queries whose per-query series
+// are emitted: all of them when under the limit, otherwise the top
+// PerQueryLimit by cumulative evaluation time (the queries costing the
+// most are the ones worth a label).
+func (s *server) topSubscriptions() []*monitor.Subscription {
+	subs := s.mon.Subscriptions()
+	limit := s.cfg.PerQueryLimit
+	if limit < 0 || len(subs) <= limit {
+		return subs
+	}
+	type ranked struct {
+		sub  *monitor.Subscription
+		cost time.Duration
+	}
+	rs := make([]ranked, len(subs))
+	for i, sub := range subs {
+		rs[i] = ranked{sub, sub.Stats().EvalTime}
+	}
+	// Stable on the id-ordered input, so ties keep registration order.
+	slices.SortStableFunc(rs, func(a, b ranked) int {
+		return cmp.Compare(b.cost, a.cost)
+	})
+	out := make([]*monitor.Subscription, limit)
+	for i := range out {
+		out[i] = rs[i].sub
+	}
+	return out
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v as the response body. An encode/write failure
+// here means the client is gone (or the value is unencodable — a bug
+// caught by tests), so it is logged at debug rather than surfaced.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Debug("response write failed", "err", err)
+	}
 }
 
 // writeError reports an error as JSON. Request-validation failures
 // carry the offending Request field so clients can see exactly what
 // to fix ({"error": ..., "field": ...}).
-func writeError(w http.ResponseWriter, status int, err error) {
+func (s *server) writeError(w http.ResponseWriter, status int, err error) {
 	body := map[string]string{"error": err.Error()}
 	var reqErr *core.RequestError
 	if errors.As(err, &reqErr) {
 		body["field"] = reqErr.Field
 	}
-	writeJSON(w, status, body)
+	s.writeJSON(w, status, body)
 }
 
 // writeRequestError maps an evaluation error to a status: malformed
@@ -312,15 +538,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 func (s *server) writeRequestError(w http.ResponseWriter, err error) {
 	var reqErr *core.RequestError
 	if errors.As(err, &reqErr) {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if errors.Is(err, core.ErrSampleBudget) {
-		writeError(w, http.StatusBadRequest,
+		s.writeError(w, http.StatusBadRequest,
 			fmt.Errorf("%w (shrink the issuer region or nn_samples, or raise the server's -max-samples)", err))
 		return
 	}
-	writeError(w, http.StatusInternalServerError, err)
+	s.writeError(w, http.StatusInternalServerError, err)
 }
 
 // decodeBody decodes a JSON body, rejecting unknown fields — a typo
@@ -332,17 +558,18 @@ func decodeBody(r *http.Request, v any) error {
 }
 
 // decodeRequest decodes and validates the wire form of core.Request,
-// writing a structured 400 on failure.
-func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (core.Request, bool) {
+// writing a structured 400 on failure. The raw wire request is
+// returned alongside for serve-only fields (trace).
+func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (requestJSON, core.Request, bool) {
 	var rj requestJSON
 	if err := decodeBody(r, &rj); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return core.Request{}, false
+		s.writeError(w, http.StatusBadRequest, err)
+		return rj, core.Request{}, false
 	}
 	req, err := rj.toRequest()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return core.Request{}, false
+		s.writeError(w, http.StatusBadRequest, err)
+		return rj, core.Request{}, false
 	}
 	// Requests carrying no options of their own inherit the
 	// operator's deadline and sample budget; NN requests always run
@@ -355,40 +582,86 @@ func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (core.Req
 	if req.Kind == core.KindNN && req.Options.MaxSamples == 0 {
 		req.Options.MaxSamples = defaultNNBudget
 	}
-	return req, true
+	return rj, req, true
 }
 
 // POST /v1/evaluate — one-shot request.
 func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decodeRequest(w, r)
+	rj, req, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
-	resp, err := s.mon.Engine().Evaluate(r.Context(), req)
+	rid := strconv.FormatInt(s.reqID.Add(1), 10)
+	ctx := r.Context()
+	var tr *obs.Trace
+	if rj.Trace {
+		tr = obs.NewTrace(rid)
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	resp, err := s.mon.Engine().Evaluate(ctx, req)
 	if err != nil {
-		if errors.Is(err, core.ErrSampleBudget) && int(req.Kind) < len(s.oneShot) {
-			s.oneShot[req.Kind].budgetDenied.Add(1)
-		}
 		s.writeRequestError(w, err)
 		return
 	}
-	if int(req.Kind) < len(s.oneShot) {
-		kc := &s.oneShot[req.Kind]
-		kc.evals.Add(1)
-		kc.samples.Add(resp.Cost.SamplesUsed)
-		kc.earlyStopped.Add(int64(resp.Cost.EarlyStopped))
+	s.observeSlow(rid, req, resp, tr)
+	body := map[string]any{
+		"request_id": rid,
+		"kind":       resp.Kind.String(),
+		"version":    resp.Version,
+		"matches":    toMatchesJSON(resp.Matches),
+		"cost":       toCostJSON(resp.Cost),
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"kind":    resp.Kind.String(),
-		"version": resp.Version,
-		"matches": toMatchesJSON(resp.Matches),
-		"cost":    toCostJSON(resp.Cost),
-	})
+	if tr != nil {
+		body["trace"] = toTraceJSON(tr)
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+// observeSlow counts and (sampled) logs one-shot evaluations slower
+// than the operator's threshold. The log line carries the request id
+// the client saw, the headline cost counters, and — when the request
+// was traced — the per-stage breakdown.
+func (s *server) observeSlow(rid string, req core.Request, resp core.Response, tr *obs.Trace) {
+	if s.cfg.SlowQuery <= 0 || resp.Cost.Duration < s.cfg.SlowQuery {
+		return
+	}
+	s.slow.Inc()
+	n := s.slowSeen.Add(1)
+	if every := int64(s.cfg.SlowEvery); every > 1 && (n-1)%every != 0 {
+		return
+	}
+	attrs := []any{
+		"request_id", rid,
+		"kind", req.Kind.String(),
+		"duration_ms", float64(resp.Cost.Duration.Nanoseconds()) / 1e6,
+		"threshold_ms", float64(s.cfg.SlowQuery.Nanoseconds()) / 1e6,
+		"candidates", resp.Cost.Candidates,
+		"refined", resp.Cost.Refined,
+		"samples", resp.Cost.SamplesUsed,
+		"node_accesses", resp.Cost.NodeAccesses,
+	}
+	if tr != nil {
+		attrs = append(attrs, "stages", stageSummary(tr))
+	}
+	s.log.Warn("slow query", attrs...)
+}
+
+// stageSummary flattens a trace into "filter=1.2ms refine=8.0ms ..."
+// for the slow-query log line.
+func stageSummary(tr *obs.Trace) string {
+	var b strings.Builder
+	for i, sp := range tr.Spans() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.3fms", sp.Name, float64(sp.Duration.Nanoseconds())/1e6)
+	}
+	return b.String()
 }
 
 // POST /v1/queries — register a standing request.
 func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decodeRequest(w, r)
+	_, req, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
@@ -397,7 +670,7 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		s.writeRequestError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{
+	s.writeJSON(w, http.StatusCreated, map[string]any{
 		"id":       sub.ID(),
 		"kind":     sub.Request().Kind.String(),
 		"snapshot": toMatchesJSON(sub.Snapshot()),
@@ -407,12 +680,12 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 func (s *server) subscription(w http.ResponseWriter, r *http.Request) (*monitor.Subscription, bool) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad query id: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad query id: %w", err))
 		return nil, false
 	}
 	sub, ok := s.mon.Subscription(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no standing query %d", id))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no standing query %d", id))
 		return nil, false
 	}
 	return sub, true
@@ -425,7 +698,7 @@ func (s *server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := sub.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"id":       sub.ID(),
 		"snapshot": toMatchesJSON(sub.Snapshot()),
 		"stats": map[string]any{
@@ -494,14 +767,14 @@ func (s *server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		Updates []updateJSON `json:"updates"`
 	}
 	if err := decodeBody(r, &body); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	batch := make([]core.Update, len(body.Updates))
 	for i, uj := range body.Updates {
 		u, err := uj.toUpdate()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("update %d: %w", i, err))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("update %d: %w", i, err))
 			return
 		}
 		batch[i] = u
@@ -512,7 +785,7 @@ func (s *server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	// stale until the next batch.
 	out, err := s.mon.ApplyUpdates(context.WithoutCancel(r.Context()), batch)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	resp := map[string]any{
@@ -533,83 +806,17 @@ func (s *server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		}
 		resp["errors"] = errs
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// GET /metrics — Prometheus-style text: monitor totals plus the
-// per-standing-query cost counters.
+// GET /metrics — the registry's Prometheus text exposition: engine
+// families (per-kind latency histograms, cost counters, MVCC and
+// buffer-pool telemetry), monitor families (batch histograms, guard
+// counters), and the serve families (per-kind standing aggregates,
+// capped per-query series, slow queries).
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	st := s.mon.Stats()
-	eng := s.mon.Engine()
-	ss := eng.SnapshotStats()
-	fmt.Fprintf(w, "ildq_engine_version %d\n", ss.Version)
-	fmt.Fprintf(w, "ildq_engine_points %d\n", eng.NumPoints())
-	fmt.Fprintf(w, "ildq_engine_uncertain_objects %d\n", eng.NumUncertain())
-	// MVCC snapshot gauges: how stale the newest state is, what
-	// readers still pin, and the reclamation debt their pins hold.
-	fmt.Fprintf(w, "ildq_engine_snapshot_age_seconds %g\n", ss.Age.Seconds())
-	fmt.Fprintf(w, "ildq_engine_snapshot_pins %d\n", ss.Pins)
-	fmt.Fprintf(w, "ildq_engine_snapshot_pinned_states %d\n", ss.PinnedStates)
-	fmt.Fprintf(w, "ildq_engine_snapshot_oldest_pinned_version %d\n", ss.OldestPinnedVersion)
-	fmt.Fprintf(w, "ildq_engine_snapshot_version_lag %d\n", ss.VersionLag)
-	fmt.Fprintf(w, "ildq_engine_snapshot_retired_nodes %d\n", ss.RetiredNodes)
-	fmt.Fprintf(w, "ildq_engine_snapshot_open %d\n", ss.OpenSnapshots)
-	fmt.Fprintf(w, "ildq_engine_snapshot_forced_closes_total %d\n", ss.ForcedCloses)
-	fmt.Fprintf(w, "ildq_monitor_registered %d\n", st.Registered)
-	fmt.Fprintf(w, "ildq_monitor_batches_total %d\n", st.Batches)
-	fmt.Fprintf(w, "ildq_monitor_updates_applied_total %d\n", st.UpdatesApplied)
-	fmt.Fprintf(w, "ildq_monitor_reevals_total %d\n", st.Reevaluated)
-	fmt.Fprintf(w, "ildq_monitor_reevals_skipped_total %d\n", st.Skipped)
-	fmt.Fprintf(w, "ildq_monitor_deltas_total %d\n", st.Deltas)
-	fmt.Fprintf(w, "ildq_monitor_coalesced_total %d\n", st.Coalesced)
-	fmt.Fprintf(w, "ildq_monitor_eval_errors_total %d\n", st.EvalErrors)
-	// Per-kind cost counters. One-shot /v1/evaluate traffic is
-	// accumulated in s.oneShot; standing-query cost is aggregated from
-	// the live subscriptions at scrape time so the per-kind view stays
-	// consistent with the per-query counters below.
-	type standingAgg struct {
-		queries, reevals, guardSkips, samples, earlyStopped int64
-	}
-	standing := map[core.Kind]*standingAgg{}
-	for _, k := range evalKinds {
-		standing[k] = &standingAgg{}
-	}
-	subs := s.mon.Subscriptions()
-	for _, sub := range subs {
-		agg, ok := standing[sub.Request().Kind]
-		if !ok {
-			continue
-		}
-		qs := sub.Stats()
-		agg.queries++
-		agg.reevals += qs.Reevals
-		agg.guardSkips += qs.Skipped
-		agg.samples += qs.Samples
-		agg.earlyStopped += qs.EarlyStopped
-	}
-	for _, k := range evalKinds {
-		kc := &s.oneShot[k]
-		agg := standing[k]
-		fmt.Fprintf(w, "ildq_evaluate_total{kind=%q} %d\n", k, kc.evals.Load())
-		fmt.Fprintf(w, "ildq_evaluate_samples_total{kind=%q} %d\n", k, kc.samples.Load())
-		fmt.Fprintf(w, "ildq_evaluate_early_stopped_total{kind=%q} %d\n", k, kc.earlyStopped.Load())
-		fmt.Fprintf(w, "ildq_evaluate_budget_denied_total{kind=%q} %d\n", k, kc.budgetDenied.Load())
-		fmt.Fprintf(w, "ildq_standing_queries{kind=%q} %d\n", k, agg.queries)
-		fmt.Fprintf(w, "ildq_standing_reevals_total{kind=%q} %d\n", k, agg.reevals)
-		fmt.Fprintf(w, "ildq_standing_guard_skips_total{kind=%q} %d\n", k, agg.guardSkips)
-		fmt.Fprintf(w, "ildq_standing_samples_total{kind=%q} %d\n", k, agg.samples)
-		fmt.Fprintf(w, "ildq_standing_early_stopped_total{kind=%q} %d\n", k, agg.earlyStopped)
-	}
-	for _, sub := range subs {
-		qs := sub.Stats()
-		id := sub.ID()
-		fmt.Fprintf(w, "ildq_query_reevals_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.Reevals)
-		fmt.Fprintf(w, "ildq_query_skipped_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.Skipped)
-		fmt.Fprintf(w, "ildq_query_samples_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.Samples)
-		fmt.Fprintf(w, "ildq_query_early_stopped_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.EarlyStopped)
-		fmt.Fprintf(w, "ildq_query_node_accesses_total{query=%q} %d\n", strconv.FormatInt(id, 10), qs.NodeAccesses)
-		fmt.Fprintf(w, "ildq_query_eval_seconds_total{query=%q} %g\n", strconv.FormatInt(id, 10), qs.EvalTime.Seconds())
-		fmt.Fprintf(w, "ildq_query_matches{query=%q} %d\n", strconv.FormatInt(id, 10), sub.Size())
+	if err := s.reg.WriteText(w); err != nil {
+		s.log.Debug("metrics write failed", "err", err)
 	}
 }

@@ -4,22 +4,30 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 )
 
 func testServer(t *testing.T) *httptest.Server {
+	return testServerCfg(t, serveConfig{})
+}
+
+func testServerCfg(t *testing.T, cfg serveConfig) *httptest.Server {
 	t.Helper()
 	eng, err := core.NewEngine(nil, nil, core.EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(monitor.New(eng, monitor.Config{Workers: 2}), core.EvalOptions{}))
+	ts := httptest.NewServer(newServer(monitor.New(eng, monitor.Config{Workers: 2}), core.EvalOptions{}, cfg))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -116,12 +124,12 @@ func TestServeLifecycle(t *testing.T) {
 	metrics := body.String()
 	for _, want := range []string{
 		"ildq_monitor_batches_total 3",
-		"ildq_monitor_reevals_skipped_total 1",
+		"ildq_monitor_skipped_total 1",
 		fmt.Sprintf("ildq_query_reevals_total{query=\"%d\"} 3", id),
-		"ildq_engine_snapshot_age_seconds ",
-		"ildq_engine_snapshot_pins 0",
-		"ildq_engine_snapshot_version_lag 0",
-		"ildq_engine_snapshot_retired_nodes 0",
+		"ildq_snapshot_age_seconds ",
+		"ildq_snapshot_pins 0",
+		"ildq_snapshot_version_lag 0",
+		"ildq_snapshot_retired_nodes 0",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, metrics)
@@ -317,8 +325,9 @@ func TestServeNN(t *testing.T) {
 }
 
 // TestServeMetricsPerKind: /metrics breaks evaluation cost down by
-// query kind — one-shot counters from /v1/evaluate traffic, standing
-// aggregates (including guard skips) from the live subscriptions.
+// query kind — engine counters see every evaluation (one-shot and
+// standing), standing aggregates (including guard skips) come from
+// the live subscriptions.
 func TestServeMetricsPerKind(t *testing.T) {
 	ts := testServer(t)
 	postJSON(t, ts.URL+"/v1/updates", `{"updates": [
@@ -334,7 +343,26 @@ func TestServeMetricsPerKind(t *testing.T) {
 	postJSON(t, ts.URL+"/v1/evaluate", `{
 		"issuer": {"region": [450, 450, 550, 550]}, "w": 100, "h": 100}`)
 
-	// A standing NN query plus one guard-skipped far batch.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp)
+	for _, want := range []string{
+		`ildq_eval_total{kind="nn"} 2`,
+		`ildq_eval_samples_total{kind="nn"} 4000`,
+		`ildq_eval_total{kind="uncertain"} 1`,
+		`ildq_eval_total{kind="points"} 0`,
+		`ildq_eval_budget_denied_total{kind="nn"} 0`,
+		`ildq_eval_latency_seconds_count{kind="nn"} 2`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// A standing NN query (its registration evaluation counts in the
+	// engine totals) plus one guard-skipped far batch.
 	reg := postJSON(t, ts.URL+"/v1/queries", `{
 		"kind": "nn", "issuer": {"region": [450, 450, 550, 550]}, "k": 2}`)
 	id := int64(reg["id"].(float64))
@@ -344,20 +372,19 @@ func TestServeMetricsPerKind(t *testing.T) {
 		t.Fatalf("far point batch was not guard-skipped for the NN query: %v", up)
 	}
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err = http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	metrics := readAll(t, resp)
+	metrics = readAll(t, resp)
 	for _, want := range []string{
-		`ildq_evaluate_total{kind="nn"} 2`,
-		`ildq_evaluate_samples_total{kind="nn"} 4000`,
-		`ildq_evaluate_total{kind="uncertain"} 1`,
-		`ildq_evaluate_total{kind="points"} 0`,
-		`ildq_evaluate_budget_denied_total{kind="nn"} 0`,
-		`ildq_standing_queries{kind="nn"} 1`,
+		`ildq_eval_total{kind="nn"} 3`,
+		`ildq_standing_queries_by_kind{kind="nn"} 1`,
+		`ildq_standing_queries_by_kind{kind="uncertain"} 0`,
 		`ildq_standing_guard_skips_total{kind="nn"} 1`,
 		`ildq_standing_reevals_total{kind="nn"} 1`,
+		"ildq_standing_queries 1",
+		"ildq_standing_queries_unlisted 0",
 		fmt.Sprintf(`ildq_query_early_stopped_total{query="%d"}`, id),
 	} {
 		if !strings.Contains(metrics, want) {
@@ -365,9 +392,10 @@ func TestServeMetricsPerKind(t *testing.T) {
 		}
 	}
 
-	// A budget-refused NN request increments the per-kind denial
-	// counter rather than the evaluation counters. 64 candidates at
-	// the sample cap exceed the default budget (2^20 × 64 > 2^24).
+	// A budget-refused NN request increments the per-kind denial and
+	// error counters; it is dispatched (so ildq_eval_total moves) but
+	// records no latency observation. 64 candidates at the sample cap
+	// exceed the default budget (2^20 × 64 > 2^24).
 	var sb strings.Builder
 	sb.WriteString(`{"updates": [`)
 	for i := 0; i < 64; i++ {
@@ -388,12 +416,183 @@ func TestServeMetricsPerKind(t *testing.T) {
 		t.Fatal(err)
 	}
 	metrics = readAll(t, resp)
-	if !strings.Contains(metrics, `ildq_evaluate_budget_denied_total{kind="nn"} 1`) {
-		t.Fatalf("budget denial not counted:\n%s", metrics)
+	for _, want := range []string{
+		`ildq_eval_budget_denied_total{kind="nn"} 1`,
+		`ildq_eval_errors_total{kind="nn"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
 	}
-	if !strings.Contains(metrics, `ildq_evaluate_total{kind="nn"} 2`) {
-		t.Fatalf("denied request counted as an evaluation:\n%s", metrics)
+}
+
+// TestServeMetricsExposition: the full /metrics output must be valid
+// Prometheus text exposition — HELP/TYPE per family, consistent
+// types, no duplicate series — as validated by the obs scrape parser.
+func TestServeMetricsExposition(t *testing.T) {
+	ts := testServer(t)
+	postJSON(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_point", "id": 1, "x": 520, "y": 500},
+		{"op": "upsert_object", "id": 2, "region": [480, 480, 520, 520]}]}`)
+	postJSON(t, ts.URL+"/v1/evaluate", `{
+		"kind": "nn", "issuer": {"region": [450, 450, 550, 550]}, "k": 1}`)
+	postJSON(t, ts.URL+"/v1/queries", `{
+		"issuer": {"region": [450, 450, 550, 550]}, "w": 100, "h": 100}`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
 	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	metrics := readAll(t, resp)
+	if errs := obs.Lint([]byte(metrics)); len(errs) != 0 {
+		t.Fatalf("/metrics does not lint: %v\n%s", errs, metrics)
+	}
+	// The families the acceptance criteria name: per-kind latency
+	// histograms, buffer-pool counters, per-stage cost counters, and
+	// the monitor batch histograms.
+	for _, want := range []string{
+		`ildq_eval_latency_seconds_bucket{kind="nn",le="+Inf"} 1`,
+		`ildq_eval_latency_seconds_summary{kind="nn",quantile="0.5"}`,
+		`ildq_pool_logical_reads_total{store="point"} 0`,
+		`ildq_pool_writeback_queue_depth{store="uncertain"} 0`,
+		`ildq_eval_node_accesses_total{kind="nn"}`,
+		"ildq_monitor_batch_seconds_count 1",
+		"ildq_cow_publishes_total 1",
+		"ildq_slow_queries_total 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestServeMetricsPerQueryCap: the per-standing-query series are
+// bounded by -metrics-per-query-limit; queries over the cap are
+// summarized by ildq_standing_queries_unlisted instead of labeled.
+func TestServeMetricsPerQueryCap(t *testing.T) {
+	ts := testServerCfg(t, serveConfig{PerQueryLimit: 2})
+	for i := 0; i < 3; i++ {
+		postJSON(t, ts.URL+"/v1/queries", `{
+			"issuer": {"region": [450, 450, 550, 550]}, "w": 100, "h": 100}`)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readAll(t, resp)
+	if errs := obs.Lint([]byte(metrics)); len(errs) != 0 {
+		t.Fatalf("capped exposition does not lint: %v", errs)
+	}
+	if n := strings.Count(metrics, "ildq_query_reevals_total{query="); n != 2 {
+		t.Fatalf("per-query series = %d, want 2 (capped):\n%s", n, metrics)
+	}
+	if !strings.Contains(metrics, "ildq_standing_queries_unlisted 1") {
+		t.Fatalf("unlisted remainder not reported:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "ildq_standing_queries 3") {
+		t.Fatalf("standing total lost under the cap:\n%s", metrics)
+	}
+}
+
+// TestServeTrace: "trace": true on /v1/evaluate returns the request
+// id and the per-stage breakdown (pin, filter, refine, merge) without
+// changing the answer.
+func TestServeTrace(t *testing.T) {
+	ts := testServer(t)
+	postJSON(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_point", "id": 1, "x": 520, "y": 500},
+		{"op": "upsert_point", "id": 2, "x": 480, "y": 500}]}`)
+
+	ev := postJSON(t, ts.URL+"/v1/evaluate", `{
+		"kind": "nn", "issuer": {"region": [450, 450, 550, 550]}, "k": 2, "seed": 7, "trace": true}`)
+	if ev["request_id"] == "" {
+		t.Fatalf("no request id: %v", ev)
+	}
+	trace, ok := ev["trace"].([]any)
+	if !ok || len(trace) == 0 {
+		t.Fatalf("no trace in response: %v", ev)
+	}
+	stages := map[string]map[string]any{}
+	for _, sp := range trace {
+		m := sp.(map[string]any)
+		stages[m["stage"].(string)] = m
+	}
+	for _, want := range []string{"pin", "filter", "refine", "merge"} {
+		if _, ok := stages[want]; !ok {
+			t.Fatalf("trace missing stage %q: %v", want, trace)
+		}
+	}
+	if na := stages["filter"]["node_accesses"].(float64); na <= 0 {
+		t.Fatalf("filter stage recorded no node accesses: %v", stages["filter"])
+	}
+	if s := stages["refine"]["samples"].(float64); s <= 0 {
+		t.Fatalf("refine stage recorded no samples: %v", stages["refine"])
+	}
+
+	// The same request untraced returns the same matches, and omits
+	// the trace key.
+	plain := postJSON(t, ts.URL+"/v1/evaluate", `{
+		"kind": "nn", "issuer": {"region": [450, 450, 550, 550]}, "k": 2, "seed": 7}`)
+	if _, ok := plain["trace"]; ok {
+		t.Fatalf("untraced response carries a trace: %v", plain)
+	}
+	if fmt.Sprint(plain["matches"]) != fmt.Sprint(ev["matches"]) {
+		t.Fatalf("tracing changed the answer:\n%v\n%v", plain["matches"], ev["matches"])
+	}
+}
+
+// TestServeSlowQueryLog: a one-shot evaluation slower than the
+// threshold is logged with its request id and counted; sampling only
+// writes every Nth line.
+func TestServeSlowQueryLog(t *testing.T) {
+	var buf syncBuffer
+	ts := testServerCfg(t, serveConfig{
+		SlowQuery: time.Nanosecond, // everything is slow
+		Logger:    slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+	postJSON(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_point", "id": 1, "x": 500, "y": 500}]}`)
+	postJSON(t, ts.URL+"/v1/evaluate", `{
+		"kind": "nn", "issuer": {"region": [450, 450, 550, 550]}, "k": 1, "trace": true}`)
+
+	logged := buf.String()
+	if !strings.Contains(logged, "slow query") {
+		t.Fatalf("no slow-query line:\n%s", logged)
+	}
+	for _, want := range []string{"request_id=", "kind=nn", "duration_ms=", "stages="} {
+		if !strings.Contains(logged, want) {
+			t.Fatalf("slow-query line missing %q:\n%s", want, logged)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(readAll(t, resp), "ildq_slow_queries_total 1") {
+		t.Fatal("slow query not counted")
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer for the log handler (the
+// HTTP handler goroutine writes, the test goroutine reads).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
 }
 
 func readAll(t *testing.T, resp *http.Response) string {

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// ObsReport is the exp-obs output: the cost of the observability layer
+// on the evaluation hot path, measured as an A/B over identical C-IUQ
+// requests — plain context (the always-on counters and histograms,
+// the production idle state) versus a fresh obs.Trace attached to
+// every request (the fully-instrumented state). The no-trace side is
+// the one the near-zero-cost requirement gates: its latency and
+// allocation count must track the uninstrumented baseline across
+// revisions.
+type ObsReport struct {
+	Name string `json:"name"`
+	// Evals is the number of evaluations per timed pass; Reps the
+	// passes run (best-of).
+	Evals int `json:"evals"`
+	Reps  int `json:"reps"`
+	// NoTraceMS / TracedMS are the best-of-reps mean per-evaluation
+	// wall-clock of each side.
+	NoTraceMS float64 `json:"no_trace_ms"`
+	TracedMS  float64 `json:"traced_ms"`
+	// OverheadPct is (TracedMS - NoTraceMS) / NoTraceMS × 100 — the
+	// marginal cost of attaching a trace. Can be slightly negative
+	// from timing noise.
+	OverheadPct float64 `json:"overhead_pct"`
+	// NoTraceAllocs / TracedAllocs are AllocsPerRun of one quiesced
+	// evaluation on each side. The no-trace count is the gate: the
+	// instrumentation must not allocate when no trace is attached.
+	NoTraceAllocs float64 `json:"no_trace_allocs"`
+	TracedAllocs  float64 `json:"traced_allocs"`
+}
+
+// Render writes the report as an aligned text table.
+func (r ObsReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "== observability overhead: %s ==\n", r.Name)
+	fmt.Fprintf(w, "%12s %14s %14s %12s %14s %14s\n",
+		"evals", "no-trace(ms)", "traced(ms)", "overhead", "allocs", "traced-allocs")
+	fmt.Fprintf(w, "%12d %14.4f %14.4f %11.1f%% %14.1f %14.1f\n",
+		r.Evals, r.NoTraceMS, r.TracedMS, r.OverheadPct, r.NoTraceAllocs, r.TracedAllocs)
+	fmt.Fprintln(w)
+}
+
+// Obs runs exp-obs: identical C-IUQ evaluations (fixed issuers, fixed
+// seeds, quiesced engine) with and without a per-request trace,
+// interleaved A/B across reps so scheduler and thermal drift hit both
+// sides alike, best-of-reps timing, and a quiesced AllocsPerRun of
+// one evaluation per side. queries <= 0 defaults to 32, reps <= 0 to
+// 5.
+func Obs(env *Env, queries, reps int) (ObsReport, error) {
+	if queries <= 0 {
+		queries = 32
+	}
+	if reps <= 0 {
+		reps = 5
+	}
+	issuers, err := env.Issuers(queries, DefaultParams().U)
+	if err != nil {
+		return ObsReport{}, err
+	}
+	reqs := make([]core.Request, queries)
+	for i, iss := range issuers {
+		req := core.RequestUncertain(iss, DefaultParams().W, DefaultParams().W, 0.5)
+		req.Seed = int64(9000 + i)
+		reqs[i] = req
+	}
+	ctx := context.Background()
+
+	pass := func(traced bool) (time.Duration, error) {
+		start := time.Now()
+		for i := range reqs {
+			c := ctx
+			if traced {
+				c = obs.WithTrace(ctx, obs.NewTrace(strconv.Itoa(i)))
+			}
+			if _, err := env.Engine.Evaluate(c, reqs[i]); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	// Warm both sides once (index pages, histogram buckets, branch
+	// predictors) before timing.
+	if _, err := pass(false); err != nil {
+		return ObsReport{}, err
+	}
+	if _, err := pass(true); err != nil {
+		return ObsReport{}, err
+	}
+
+	best := [2]time.Duration{1 << 62, 1 << 62}
+	for r := 0; r < reps; r++ {
+		for side := 0; side < 2; side++ {
+			d, err := pass(side == 1)
+			if err != nil {
+				return ObsReport{}, err
+			}
+			if d < best[side] {
+				best[side] = d
+			}
+		}
+	}
+
+	rep := ObsReport{
+		Name:      "trace attach vs no-op, C-IUQ",
+		Evals:     queries,
+		Reps:      reps,
+		NoTraceMS: float64(best[0].Nanoseconds()) / 1e6 / float64(queries),
+		TracedMS:  float64(best[1].Nanoseconds()) / 1e6 / float64(queries),
+	}
+	if rep.NoTraceMS > 0 {
+		rep.OverheadPct = (rep.TracedMS - rep.NoTraceMS) / rep.NoTraceMS * 100
+	}
+
+	// Quiesced allocation counts for one evaluation per side. Errors
+	// inside the measured closure are captured and surfaced after.
+	var allocErr error
+	rep.NoTraceAllocs = testing.AllocsPerRun(16, func() {
+		if _, err := env.Engine.Evaluate(ctx, reqs[0]); err != nil {
+			allocErr = err
+		}
+	})
+	rep.TracedAllocs = testing.AllocsPerRun(16, func() {
+		c := obs.WithTrace(ctx, obs.NewTrace("alloc"))
+		if _, err := env.Engine.Evaluate(c, reqs[0]); err != nil {
+			allocErr = err
+		}
+	})
+	if allocErr != nil {
+		return ObsReport{}, allocErr
+	}
+	return rep, nil
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Obs must produce both sides of the A/B with sane values, and the
+// no-trace side must stay allocation-comparable to the traced side
+// minus the trace machinery (the traced side may allocate more, never
+// less than no-trace minus noise).
+func TestObsReport(t *testing.T) {
+	env := smallEnv(t, smallConfig())
+	rep, err := Obs(env, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evals != 4 || rep.Reps != 1 {
+		t.Fatalf("sizing not honored: %+v", rep)
+	}
+	if rep.NoTraceMS <= 0 || rep.TracedMS <= 0 {
+		t.Fatalf("non-positive timings: %+v", rep)
+	}
+	if rep.NoTraceAllocs < 0 || rep.TracedAllocs < 0 {
+		t.Fatalf("negative alloc counts: %+v", rep)
+	}
+	// Attaching a trace costs a handful of allocations (the trace,
+	// its span slice, note formatting); it must not somehow reduce
+	// the count, and the marginal cost must stay small.
+	if rep.TracedAllocs+0.5 < rep.NoTraceAllocs {
+		t.Fatalf("traced side allocates less than no-trace: %+v", rep)
+	}
+	if rep.TracedAllocs > rep.NoTraceAllocs+64 {
+		t.Fatalf("trace attach costs %g extra allocs, want a handful: %+v",
+			rep.TracedAllocs-rep.NoTraceAllocs, rep)
+	}
+
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if !strings.Contains(buf.String(), "observability overhead") {
+		t.Fatalf("render: %q", buf.String())
+	}
+}

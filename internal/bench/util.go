@@ -21,6 +21,6 @@ func AllFigureIDs() []string {
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"ablation-strategies", "ablation-catalog", "ablation-index",
 		"exp-io", "exp-sensitivity", "exp-throughput", "exp-adaptive",
-		"exp-continuous", "exp-mixed", "exp-nn",
+		"exp-continuous", "exp-mixed", "exp-nn", "exp-obs",
 	}
 }

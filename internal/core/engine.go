@@ -12,6 +12,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/index/pti"
 	"repro/internal/index/rtree"
+	"repro/internal/obs"
 	"repro/internal/uncertain"
 )
 
@@ -120,6 +121,10 @@ type Engine struct {
 	snaps        map[*Snapshot]time.Time
 	maxSnapAge   time.Duration
 	forcedCloses uint64
+
+	// met is the engine's always-on telemetry, shared with every
+	// engineState (see engineMetrics).
+	met *engineMetrics
 }
 
 // NewEngine builds an engine over the given datasets. Point object IDs
@@ -141,6 +146,7 @@ func NewEngine(points []uncertain.PointObject, objects []*uncertain.Object, opts
 		points:      newCowTable[uncertain.PointObject](len(points)),
 		objects:     newCowTable[*uncertain.Object](len(objects)),
 		probs:       opts.CatalogProbs,
+		met:         newEngineMetrics(),
 	}
 
 	items := make([]rtree.Item, len(points))
@@ -172,6 +178,7 @@ func NewEngine(points []uncertain.PointObject, objects []*uncertain.Object, opts
 		pins:       make(map[uint64]*pinEntry),
 		snaps:      make(map[*Snapshot]time.Time),
 		maxSnapAge: opts.MaxSnapshotAge,
+		met:        st.met,
 	}
 	e.state.Store(st)
 	return e, nil
@@ -330,6 +337,10 @@ func (st *engineState) evaluatePointsEnhanced(ctx context.Context, q Query, opts
 	if q.Threshold > 0 && opts.Object.Adaptive == AdaptiveAuto {
 		stopQP = q.Threshold
 	}
+	// The points path interleaves filter and refinement inside one
+	// index scan, so it records a single "scan" span rather than the
+	// filter/refine/merge decomposition of the uncertain and NN paths.
+	spS := obs.TraceFrom(ctx).StartSpan("scan")
 	na, err := st.pointIdx.SearchCounted(plan.searchReg, nil, func(en rtree.Entry) bool {
 		if canceled(ctx) != nil {
 			return false
@@ -376,6 +387,10 @@ func (st *engineState) evaluatePointsEnhanced(ctx context.Context, q Query, opts
 		return Result{}, ErrSampleBudget
 	}
 	res.Cost.NodeAccesses = na
+	spS.AddNodes(na)
+	spS.AddSamples(res.Cost.SamplesUsed)
+	spS.SetItems(res.Cost.Candidates)
+	spS.End()
 	sortMatches(res.Matches)
 	res.Cost.Duration = time.Since(start)
 	return res, nil
@@ -470,6 +485,7 @@ func (st *engineState) evaluateUncertain(ctx context.Context, q Query, opts Eval
 func (st *engineState) evaluateUncertainEnhanced(ctx context.Context, q Query, opts EvalOptions, workers int) (Result, error) {
 	start := time.Now()
 	var res Result
+	tr := obs.TraceFrom(ctx)
 
 	plan := newQueryPlan(q, opts, true)
 	if plan.searchReg.Empty() {
@@ -477,6 +493,11 @@ func (st *engineState) evaluateUncertainEnhanced(ctx context.Context, q Query, o
 		return res, nil
 	}
 
+	// The filter span covers the index probe and the object-level
+	// pruning strategies that run inside its visitor — the paper's
+	// filter step, whose output is the survivor set refinement pays
+	// for.
+	spF := tr.StartSpan("filter")
 	var survivors []*uncertain.Object
 	visit := func(id uncertain.ID) bool {
 		if canceled(ctx) != nil {
@@ -517,13 +538,28 @@ func (st *engineState) evaluateUncertainEnhanced(ctx context.Context, q Query, o
 	}
 	res.Cost.NodeAccesses = na
 	res.Cost.Refined = len(survivors)
+	spF.AddNodes(na)
+	spF.SetItems(len(survivors))
+	if spF.Active() {
+		spF.SetNote(fmt.Sprintf("candidates=%d pruned=%d", res.Cost.Candidates,
+			res.Cost.PrunedStrategy1+res.Cost.PrunedStrategy2+res.Cost.PrunedStrategy3))
+	}
+	spF.End()
 
+	spR := tr.StartSpan("refine")
 	probs, rst, err := refineSurvivors(ctx, plan, survivors, opts, workers)
 	if err != nil {
 		return Result{}, err
 	}
 	res.Cost.SamplesUsed = rst.samples
 	res.Cost.EarlyStopped = rst.earlyStopped
+	spR.AddSamples(rst.samples)
+	if spR.Active() {
+		spR.SetNote(fmt.Sprintf("early_stopped=%d", rst.earlyStopped))
+	}
+	spR.End()
+
+	spM := tr.StartSpan("merge")
 	for i, obj := range survivors {
 		if accept(probs[i], q.Threshold) {
 			res.Matches = append(res.Matches, Match{ID: obj.ID, P: probs[i]})
@@ -532,6 +568,8 @@ func (st *engineState) evaluateUncertainEnhanced(ctx context.Context, q Query, o
 		}
 	}
 	sortMatches(res.Matches)
+	spM.SetItems(len(res.Matches))
+	spM.End()
 	res.Cost.Duration = time.Since(start)
 	return res, nil
 }

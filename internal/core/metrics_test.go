@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/index/rtree"
+	"repro/internal/obs"
+	"repro/internal/pdf"
+	"repro/internal/storage"
+	"repro/internal/uncertain"
+)
+
+func metricsTestEngine(t *testing.T, opts EngineOptions) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	points := make([]uncertain.PointObject, 800)
+	for i := range points {
+		points[i] = uncertain.PointObject{
+			ID:  uncertain.ID(i),
+			Loc: geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+		}
+	}
+	objects := make([]*uncertain.Object, 400)
+	for i := range objects {
+		c := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		o, err := uncertain.NewObject(uncertain.ID(i),
+			pdf.MustUniform(geom.RectCentered(c, 5+rng.Float64()*20, 5+rng.Float64()*20)),
+			uncertain.PaperCatalogProbs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		objects[i] = o
+	}
+	eng, err := NewEngine(points, objects, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// An obs.Trace attached to a one-shot NN request must yield the full
+// stage breakdown: pin, filter (with node accesses), refine (with
+// samples and an early-stop note), merge — the acceptance criterion
+// for per-request cost decomposition.
+func TestTraceNNStageBreakdown(t *testing.T) {
+	eng := metricsTestEngine(t, EngineOptions{})
+	iss := testIssuer(t, geom.Pt(500, 500), 60)
+
+	tr := obs.NewTrace("req-42")
+	ctx := obs.WithTrace(context.Background(), tr)
+	req := RequestNN(iss, 5)
+	req.Seed = 9
+	resp, err := eng.Evaluate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.Spans()
+	byName := map[string]obs.Span{}
+	var order []string
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+		order = append(order, sp.Name)
+	}
+	for _, want := range []string{"pin", "filter", "refine", "merge"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("trace missing %q span; got %v", want, order)
+		}
+	}
+	if f := byName["filter"]; f.NodeAccesses <= 0 || int64(f.NodeAccesses) != resp.Cost.NodeAccesses {
+		t.Fatalf("filter span nodes = %d, want cost's %d", f.NodeAccesses, resp.Cost.NodeAccesses)
+	}
+	if r := byName["refine"]; r.Samples != resp.Cost.SamplesUsed || r.Note == "" {
+		t.Fatalf("refine span = %+v, want samples %d and a note", r, resp.Cost.SamplesUsed)
+	}
+	if m := byName["merge"]; m.Items != len(resp.Matches) {
+		t.Fatalf("merge span items = %d, want %d matches", m.Items, len(resp.Matches))
+	}
+	// Spans are recorded in stage order with monotone starts.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatalf("span starts not monotone: %v", order)
+		}
+	}
+
+	// A traced evaluation must be bit-identical to an untraced one.
+	plain, err := eng.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Matches) != len(resp.Matches) {
+		t.Fatalf("traced evaluation changed the answer: %d vs %d matches", len(resp.Matches), len(plain.Matches))
+	}
+	for i := range plain.Matches {
+		if plain.Matches[i] != resp.Matches[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, plain.Matches[i], resp.Matches[i])
+		}
+	}
+}
+
+// The uncertain range path records filter/refine/merge with the prune
+// decomposition in the filter note.
+func TestTraceUncertainStages(t *testing.T) {
+	eng := metricsTestEngine(t, EngineOptions{})
+	iss := testIssuer(t, geom.Pt(400, 400), 50)
+
+	tr := obs.NewTrace("req-u")
+	ctx := obs.WithTrace(context.Background(), tr)
+	req := RequestUncertain(iss, 120, 120, 0.3)
+	req.Seed = 4
+	if _, err := eng.Evaluate(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	var filter *obs.Span
+	for i := range tr.Spans() {
+		if tr.Spans()[i].Name == "filter" {
+			filter = &tr.Spans()[i]
+		}
+	}
+	if filter == nil {
+		t.Fatalf("no filter span in %v", tr.Spans())
+	}
+	if !strings.Contains(filter.Note, "candidates=") {
+		t.Fatalf("filter note %q missing candidate decomposition", filter.Note)
+	}
+}
+
+// Engine metrics register onto a registry, render a lint-clean
+// exposition, and reflect evaluations.
+func TestEngineRegisterMetrics(t *testing.T) {
+	eng := metricsTestEngine(t, EngineOptions{})
+	iss := testIssuer(t, geom.Pt(500, 500), 60)
+	req := RequestNN(iss, 3)
+	req.Seed = 2
+	if _, err := eng.Evaluate(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	r := obs.NewRegistry()
+	eng.RegisterMetrics(r)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if errs := obs.Lint(buf.Bytes()); len(errs) != 0 {
+		t.Fatalf("engine exposition does not lint: %v", errs)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`ildq_eval_total{kind="nn"} 1`,
+		`ildq_eval_latency_seconds_count{kind="nn"} 1`,
+		`ildq_pool_logical_reads_total{store="point"} 0`,
+		"ildq_engine_points 800",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// StorageStats surfaces the buffer-pool counters for paged stores and
+// zero-valued placeholders for in-memory ones.
+func TestStorageStats(t *testing.T) {
+	mem := metricsTestEngine(t, EngineOptions{})
+	ss := mem.StorageStats()
+	if ss.Point.Paged || ss.Uncertain.Paged {
+		t.Fatalf("in-memory engine reports paged pools: %+v", ss)
+	}
+
+	pointPool := storage.NewBufferPool(storage.NewMemStore(), 16)
+	uncPool := storage.NewBufferPool(storage.NewMemStore(), 16)
+	paged := metricsTestEngine(t, EngineOptions{
+		PointNodeStore:     rtree.NewPagedNodeStore(pointPool, 0),
+		UncertainNodeStore: rtree.NewPagedNodeStore(uncPool, 4*len(uncertain.PaperCatalogProbs())),
+	})
+	iss := testIssuer(t, geom.Pt(500, 500), 60)
+	req := RequestUncertain(iss, 150, 150, 0.4)
+	req.Seed = 3
+	if _, err := paged.Evaluate(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	ss = paged.StorageStats()
+	if !ss.Point.Paged || !ss.Uncertain.Paged {
+		t.Fatalf("paged engine reports unpaged pools: %+v", ss)
+	}
+	if ss.Uncertain.Stats.LogicalReads <= 0 {
+		t.Fatalf("paged evaluation recorded no logical reads: %+v", ss.Uncertain)
+	}
+	if hr := ss.Uncertain.HitRate(); hr < 0 || hr > 1 {
+		t.Fatalf("hit rate out of range: %g", hr)
+	}
+	if ss.Point.WriteQueueDepth != 0 {
+		t.Fatalf("quiesced pool reports write backlog %d", ss.Point.WriteQueueDepth)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"cmp"
 	"context"
+	"fmt"
 	"math"
 	"slices"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/index/rtree"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/uncertain"
 )
 
@@ -69,6 +71,7 @@ func (st *engineState) evaluateNN(ctx context.Context, req Request, opts EvalOpt
 	}
 
 	var res Result
+	tr := obs.TraceFrom(ctx)
 	// An empty point database has an empty answer — not an error —
 	// so standing NN requests drain to empty via Left deltas when the
 	// last point is deleted, exactly like the range kinds. (The
@@ -84,7 +87,9 @@ func (st *engineState) evaluateNN(ctx context.Context, req Request, opts EvalOpt
 	// distance within which the nearest neighbor must lie; the
 	// candidates are exactly the points whose MinDist to U0 does not
 	// exceed it, found by a range probe of the tau-expanded region
-	// (its bounding box, with an exact MinDist filter per entry).
+	// (its bounding box, with an exact MinDist filter per entry). The
+	// filter span covers both the tau branch-and-bound and the probe.
+	spF := tr.StartSpan("filter")
 	tau, na, err := nnTau(st.pointIdx, u0)
 	if err != nil {
 		return Result{}, err
@@ -123,6 +128,12 @@ func (st *engineState) evaluateNN(ctx context.Context, req Request, opts EvalOpt
 		return cmp.Compare(a.ID, b.ID)
 	})
 	res.Cost.Refined = len(cands)
+	spF.AddNodes(res.Cost.NodeAccesses)
+	spF.SetItems(len(cands))
+	if spF.Active() {
+		spF.SetNote(fmt.Sprintf("tau=%.4g candidates=%d", tau, res.Cost.Candidates))
+	}
+	spF.End()
 
 	// The shared stream draws `samples` positions but scans every
 	// candidate per sample, so the worst-case refinement work is
@@ -134,12 +145,25 @@ func (st *engineState) evaluateNN(ctx context.Context, req Request, opts EvalOpt
 		return Result{}, ErrSampleBudget
 	}
 
+	spR := tr.StartSpan("refine")
 	probs, stats, err := refineNN(ctx, cands, req, opts, samples)
 	if err != nil {
 		return Result{}, err
 	}
 	res.Cost.SamplesUsed = stats.Samples
 	res.Cost.EarlyStopped = stats.EarlyStopped
+	spR.AddSamples(stats.Samples)
+	if spR.Active() {
+		reason := "full-budget"
+		if stats.Converged {
+			reason = "converged"
+		}
+		spR.SetNote(fmt.Sprintf("%s rounds=%d early_stopped=%d",
+			reason, stats.Rounds, stats.EarlyStopped))
+	}
+	spR.End()
+
+	spM := tr.StartSpan("merge")
 	for i, p := range probs {
 		if accept(p, req.Threshold) {
 			res.Matches = append(res.Matches, Match{ID: cands[i].ID, P: p})
@@ -149,6 +173,8 @@ func (st *engineState) evaluateNN(ctx context.Context, req Request, opts EvalOpt
 	}
 	sortMatches(res.Matches)
 	res.Matches = res.TopK(req.K)
+	spM.SetItems(len(res.Matches))
+	spM.End()
 	res.Cost.Duration = time.Since(start)
 	return res, nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/uncertain"
 )
 
@@ -291,6 +292,7 @@ func (st *engineState) evaluateRequest(ctx context.Context, req Request) (Respon
 	case KindNN:
 		resp.Result, err = st.evaluateNN(ctx, req, opts)
 	}
+	st.met.observe(req.Kind, resp, err)
 	if err != nil {
 		return Response{}, err
 	}
@@ -306,14 +308,16 @@ func (st *engineState) evaluateRequest(ctx context.Context, req Request) (Respon
 // observed at candidate granularity. Malformed requests return a
 // typed *RequestError.
 func (s *Snapshot) Evaluate(ctx context.Context, req Request) (Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sp := obs.TraceFrom(ctx).StartSpan("pin")
 	st, err := s.acquireUse()
+	sp.End()
 	if err != nil {
 		return Response{}, err
 	}
 	defer s.e.releaseState(st)
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	return st.evaluateRequest(ctx, req)
 }
 
@@ -322,11 +326,13 @@ func (s *Snapshot) Evaluate(ctx context.Context, req Request) (Response, error) 
 // — the one-shot form of Snapshot.Evaluate. Use a Snapshot directly
 // to hold one version across several evaluations.
 func (e *Engine) Evaluate(ctx context.Context, req Request) (Response, error) {
-	st := e.acquireState()
-	defer e.releaseState(st)
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sp := obs.TraceFrom(ctx).StartSpan("pin")
+	st := e.acquireState()
+	sp.End()
+	defer e.releaseState(st)
 	return st.evaluateRequest(ctx, req)
 }
 

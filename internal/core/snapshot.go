@@ -40,6 +40,11 @@ type engineState struct {
 	uncIdx  *pti.Index
 
 	probs []float64
+
+	// met is the owning engine's telemetry, shared by every state so
+	// the evaluation paths (which run on states) can record without an
+	// Engine back-pointer. stateTxn.finish copies it forward.
+	met *engineMetrics
 }
 
 // pinEntry counts the evaluations and snapshots pinning one state.
@@ -131,10 +136,13 @@ func (e *Engine) freeRetired(batches []retiredBatch) {
 		return
 	}
 	st := e.state.Load()
+	var freed int64
 	for _, b := range batches {
 		_ = st.pointIdx.FreeAll(b.pointNodes)
 		_ = st.uncIdx.FreeRetired(b.uncNodes)
+		freed += int64(len(b.pointNodes) + len(b.uncNodes))
 	}
+	e.met.freedNodes.Add(freed)
 }
 
 // Snapshot is a pinned immutable view of the engine at one version:

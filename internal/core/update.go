@@ -234,6 +234,7 @@ func (tx *stateTxn) finish() (*engineState, retiredBatch, error) {
 		objects:  tx.base.objects,
 		uncIdx:   tx.base.uncIdx,
 		probs:    tx.base.probs,
+		met:      tx.base.met,
 	}
 	var retired retiredBatch
 	if tx.points != nil {
@@ -298,9 +299,11 @@ func (e *Engine) publishLocked(tx *stateTxn, advance, pin bool) (*engineState, *
 		}
 		st.publishedAt = time.Now()
 		e.state.Store(st)
+		e.met.publishes.Add(1)
 		if len(retired.pointNodes) > 0 || len(retired.uncNodes) > 0 {
 			retired.seq = base.seq
 			e.graveyard = append(e.graveyard, retired)
+			e.met.retiredNodes.Add(int64(len(retired.pointNodes) + len(retired.uncNodes)))
 		}
 	}
 	if pin {

@@ -214,6 +214,11 @@ func (t *Tree) Height() int { return t.height }
 // Config returns the tree's effective configuration.
 func (t *Tree) Config() Config { return t.cfg }
 
+// Store returns the tree's node store. The metrics layer type-asserts
+// it against *PagedNodeStore to reach the buffer pool behind a paged
+// tree; in-memory trees expose nothing further.
+func (t *Tree) Store() NodeStore { return t.store }
+
 // NodeAccesses returns the cumulative count of node reads performed by
 // tree operations — the paper's I/O cost metric.
 func (t *Tree) NodeAccesses() int64 { return t.accesses.Load() }

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/uncertain"
@@ -107,6 +108,9 @@ type Monitor struct {
 
 	batches, updates, reeval, skipped atomic.Int64
 	deltas, coalesced, evalErrors     atomic.Int64
+
+	// met holds the per-batch histograms (see metrics.go); always live.
+	met *monMetrics
 }
 
 // New builds a monitor over the engine. The engine may keep serving
@@ -118,6 +122,7 @@ func New(eng *core.Engine, cfg Config) *Monitor {
 		eng:  eng,
 		cfg:  cfg.withDefaults(),
 		subs: make(map[int64]*Subscription),
+		met:  newMonMetrics(),
 	}
 }
 
@@ -293,10 +298,14 @@ func (m *Monitor) ApplyUpdates(ctx context.Context, batch []core.Update) (BatchO
 	m.ingestMu.Lock()
 	defer m.ingestMu.Unlock()
 
+	batchStart := time.Now()
+	out := BatchOutcome{}
+	defer func() { m.met.observeBatch(time.Since(batchStart), out) }()
+
 	rep, snap := m.eng.ApplyUpdatesSnapshot(batch)
 	defer snap.Close()
 	m.seq++
-	out := BatchOutcome{Report: rep, Seq: m.seq}
+	out = BatchOutcome{Report: rep, Seq: m.seq}
 	m.batches.Add(1)
 	m.updates.Add(int64(rep.Applied))
 

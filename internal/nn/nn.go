@@ -216,6 +216,11 @@ type RefineStats struct {
 	// Converged reports that the stream stopped early because every
 	// candidate was decided.
 	Converged bool
+	// Rounds is the number of fixed-size sample rounds the stream ran
+	// (each DefaultRoundBlocks × Block draws, except a short final
+	// round) — the granularity at which adaptive retirement and
+	// cancellation are checked.
+	Rounds int
 	// Decided marks, per candidate, whether a bound retired it early.
 	// Undecided candidates carry exhaustive tallies over all Samples
 	// draws.
@@ -271,6 +276,7 @@ func Refine(cands []uncertain.PointObject, issuer pdf.PDF, parent int64, cfg Ref
 			b1 = nBlocks
 		}
 		err := k.runRound(b0, b1, cfg.Workers, cfg.Cancel)
+		stats.Rounds++
 		drawn = b1 * cfg.Block
 		if drawn > cfg.Samples {
 			drawn = cfg.Samples

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text-format (0.0.4) exposition. It is
+// the scrape parser behind the /metrics conformance test: every line
+// is checked against the format grammar, and family-level invariants
+// are enforced — metric-name and label-name charsets, HELP/TYPE
+// present (and declared at most once, before the samples they
+// describe), samples only for declared families, no duplicate series,
+// families not interleaved, histogram buckets carrying parseable `le`
+// labels. The returned slice is empty for a conformant exposition.
+func Lint(data []byte) []error {
+	var errs []error
+	addf := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	helpSeen := make(map[string]bool)
+	typeOf := make(map[string]string)
+	sampled := make(map[string]bool)    // families that have emitted samples
+	seenSeries := make(map[string]bool) // full name + sorted labels
+	lastFam := ""
+
+	lines := strings.Split(string(data), "\n")
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimPrefix(rest, " ")
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				fields := strings.SplitN(strings.TrimPrefix(rest, "HELP "), " ", 2)
+				name := fields[0]
+				if !ValidMetricName(name) {
+					addf(lineNo, "HELP for invalid metric name %q", name)
+					continue
+				}
+				if helpSeen[name] {
+					addf(lineNo, "duplicate HELP for %s", name)
+				}
+				if sampled[name] {
+					addf(lineNo, "HELP for %s appears after its samples", name)
+				}
+				helpSeen[name] = true
+			case strings.HasPrefix(rest, "TYPE "):
+				fields := strings.Fields(strings.TrimPrefix(rest, "TYPE "))
+				if len(fields) != 2 {
+					addf(lineNo, "malformed TYPE line %q", line)
+					continue
+				}
+				name, typ := fields[0], fields[1]
+				if !ValidMetricName(name) {
+					addf(lineNo, "TYPE for invalid metric name %q", name)
+					continue
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf(lineNo, "unknown TYPE %q for %s", typ, name)
+					continue
+				}
+				if _, dup := typeOf[name]; dup {
+					addf(lineNo, "duplicate TYPE for %s", name)
+				}
+				if sampled[name] {
+					addf(lineNo, "TYPE for %s appears after its samples", name)
+				}
+				typeOf[name] = typ
+			}
+			continue
+		}
+
+		name, labels, valueStr, ok := splitSample(line)
+		if !ok {
+			addf(lineNo, "malformed sample line %q", line)
+			continue
+		}
+		if !ValidMetricName(name) {
+			addf(lineNo, "invalid metric name %q", name)
+			continue
+		}
+		if _, err := parseValue(valueStr); err != nil {
+			addf(lineNo, "sample %s: %v", name, err)
+		}
+
+		labelNames := make(map[string]bool, len(labels))
+		for _, l := range labels {
+			if !ValidLabelName(l.Name) {
+				addf(lineNo, "sample %s: invalid label name %q", name, l.Name)
+			}
+			if labelNames[l.Name] {
+				addf(lineNo, "sample %s: duplicate label %q", name, l.Name)
+			}
+			labelNames[l.Name] = true
+		}
+
+		fam, role := resolveFamily(name, typeOf)
+		if fam == "" {
+			addf(lineNo, "sample %s has no TYPE declaration", name)
+			continue
+		}
+		switch role {
+		case "bucket":
+			le, okLe := labelValue(labels, "le")
+			if !okLe {
+				addf(lineNo, "histogram bucket %s missing le label", name)
+			} else if le != "+Inf" {
+				if _, err := strconv.ParseFloat(le, 64); err != nil {
+					addf(lineNo, "histogram bucket %s: unparseable le=%q", name, le)
+				}
+			}
+		case "quantile":
+			if q, okQ := labelValue(labels, "quantile"); okQ {
+				if _, err := strconv.ParseFloat(q, 64); err != nil {
+					addf(lineNo, "summary %s: unparseable quantile=%q", name, q)
+				}
+			}
+		}
+
+		if lastFam != "" && fam != lastFam && sampled[fam] {
+			addf(lineNo, "family %s interleaved with %s", fam, lastFam)
+		}
+		lastFam = fam
+		sampled[fam] = true
+
+		key := name + "{" + sortedLabelKey(labels) + "}"
+		if seenSeries[key] {
+			addf(lineNo, "duplicate series %s", key)
+		}
+		seenSeries[key] = true
+	}
+
+	for fam := range sampled {
+		if !helpSeen[fam] {
+			errs = append(errs, fmt.Errorf("family %s has samples but no HELP", fam))
+		}
+	}
+	return errs
+}
+
+// resolveFamily maps a sample name to its declared family and the
+// sample's role within it. Exact-name TYPE declarations win; otherwise
+// histogram families own <fam>_bucket/_sum/_count and summary families
+// own <fam>_sum/_count (the quantile samples use the bare family name,
+// caught by the exact match).
+func resolveFamily(name string, typeOf map[string]string) (fam, role string) {
+	if typ, ok := typeOf[name]; ok {
+		if typ == "summary" {
+			return name, "quantile"
+		}
+		return name, "value"
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(name, suf)
+		if !found {
+			continue
+		}
+		switch typeOf[base] {
+		case "histogram":
+			if suf == "_bucket" {
+				return base, "bucket"
+			}
+			return base, "value"
+		case "summary":
+			if suf != "_bucket" {
+				return base, "value"
+			}
+		}
+	}
+	return "", ""
+}
+
+// splitSample parses `name{labels} value [timestamp]`.
+func splitSample(line string) (name string, labels []Label, value string, ok bool) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.IndexByte(rest[brace:], '}')
+		if end < 0 {
+			return "", nil, "", false
+		}
+		var lok bool
+		labels, lok = parseLabels(rest[brace+1 : brace+end])
+		if !lok {
+			return "", nil, "", false
+		}
+		rest = strings.TrimSpace(rest[brace+end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, "", false
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, "", false
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, "", false
+		}
+	}
+	return name, labels, fields[0], true
+}
+
+// parseLabels parses the inside of a {...} block.
+func parseLabels(s string) ([]Label, bool) {
+	var out []Label
+	s = strings.TrimSpace(s)
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, false
+		}
+		name := strings.TrimSpace(s[:eq])
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return nil, false
+		}
+		// Scan the quoted value honoring backslash escapes.
+		i := 1
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, false
+			}
+			c := s[i]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(s) {
+					return nil, false
+				}
+				switch s[i] {
+				case '\\', '"':
+					val.WriteByte(s[i])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, false
+				}
+			} else {
+				val.WriteByte(c)
+			}
+			i++
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			break
+		}
+		if s[0] != ',' {
+			return nil, false
+		}
+		s = strings.TrimSpace(s[1:])
+	}
+	return out, true
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf", "-Inf", "NaN":
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparseable value %q", s)
+	}
+	return v, nil
+}
+
+func labelValue(labels []Label, name string) (string, bool) {
+	for _, l := range labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}

@@ -593,6 +593,17 @@ func (bp *BufferPool) Resident() int {
 	return n
 }
 
+// WriteQueueDepth returns the background writer's current backlog:
+// queued write-back jobs plus writes in flight. A depth pinned at
+// maxWritebackQueue means evictions are blocking on the store — the
+// write-back back-pressure signal the metrics layer exports.
+func (bp *BufferPool) WriteQueueDepth() int {
+	bp.wb.mu.Lock()
+	n := len(bp.wb.queue) + bp.wb.inFlight
+	bp.wb.mu.Unlock()
+	return n
+}
+
 // Clear flushes dirty frames (draining the background writer first)
 // and drops every unpinned frame, leaving a cold cache. It is used by
 // experiments that need cold-start I/O measurements. Pinned frames are

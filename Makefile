@@ -1,20 +1,22 @@
 # Developer / CI entry points. `make bench` records the serving
-# trajectory to BENCH_PR8.json (throughput + adaptive refinement +
+# trajectory to BENCH_PR9.json (throughput + adaptive refinement +
 # continuous monitoring + mixed read/write interference + NN
-# refinement + observability overhead); BENCH_PR1..7.json stay checked
-# in as the previous revisions' baselines. `make bench-regression`
-# replays the same profile and fails (exit 3) if io-bound batch QPS,
-# C-IUQ refinement latency, ingestion updates/sec, mixed-workload
-# throughput (either side), refinement allocs/op, the NN adaptive
-# sample savings / qualifying-set equality / shared-kernel speedup, or
-# the observability no-trace latency / allocs / trace overhead regress
-# more than the tolerance against the checked-in BENCH_PR8.json — the
-# CI perf gate.
+# refinement + observability overhead + durable WAL ingestion);
+# BENCH_PR1..8.json stay checked in as the previous revisions'
+# baselines. `make bench-regression` replays the same profile and
+# fails (exit 3) if io-bound batch QPS, C-IUQ refinement latency,
+# ingestion updates/sec, mixed-workload throughput (either side),
+# refinement allocs/op, the NN adaptive sample savings /
+# qualifying-set equality / shared-kernel speedup, the observability
+# no-trace latency / allocs / trace overhead, or the durable
+# updates/sec per fsync policy / checkpoint / recovery wall-clock
+# regress more than the tolerance against the checked-in
+# BENCH_PR9.json — the CI perf gate.
 # `make apicheck` gates the public API surface against api/repro.txt.
 
 GO ?= go
 
-BENCH_PROFILE = -exp exp-throughput,exp-adaptive,exp-continuous,exp-mixed,exp-nn,exp-obs \
+BENCH_PROFILE = -exp exp-throughput,exp-adaptive,exp-continuous,exp-mixed,exp-nn,exp-obs,exp-durability \
 	-points 8000 -rects 10000 -queries 64 -workers 1,2,4 \
 	-threshold 0.1,0.5,0.9 -adaptive-samples 2048 -nn-samples 2000 \
 	-standing 64 -update-batches 40 -batch-size 32 -readers 2
@@ -35,15 +37,18 @@ race:
 
 # The concurrency surfaces under sustained -race repetition — the CI
 # soak job: the continuous-query monitor plus the MVCC snapshot
-# overlap tests (slow pinned evaluations racing update floods).
+# overlap tests (slow pinned evaluations racing update floods), and
+# the crash-recovery property sweep (≥100 randomized kill points, each
+# recovery checked bit-exact against an uninterrupted reference).
 soak:
 	$(GO) test -race -run Monitor -count=3 ./internal/monitor/...
 	$(GO) test -race -run Snapshot -count=3 ./internal/core/
+	$(GO) test -run 'TestCrashRecoveryProperty|TestCheckpointFaultInjection' -count=3 ./internal/core/
 
 # Modest dataset sizes so the bench target finishes in about a minute
 # while still exercising realistic candidate sets.
 bench: build
-	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_PR8.json
+	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_PR9.json
 	$(GO) test ./internal/bench -run xxx -bench 'BenchmarkRefine|BenchmarkThroughput' -benchtime 1s
 
 # Re-run the recorded profile and gate against the checked-in
@@ -51,14 +56,15 @@ bench: build
 # artifact, where multi-core runners also record worker scaling).
 bench-regression: build
 	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_CI.json \
-		-baseline BENCH_PR8.json -regress 0.20
+		-baseline BENCH_PR9.json -regress 0.20
 
-# Short fuzzing smoke over the R-tree: the op-stream target plus the
-# node codec targets.
+# Short fuzzing smoke: the R-tree op-stream and node-codec targets,
+# plus the WAL frame codec.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzRTree -fuzztime=30s ./internal/index/rtree
 	$(GO) test -fuzz=FuzzNodeRoundTrip -fuzztime=15s ./internal/index/rtree
 	$(GO) test -fuzz=FuzzDecodeNode -fuzztime=15s ./internal/index/rtree
+	$(GO) test -fuzz=FuzzWALRecord -fuzztime=15s ./internal/wal
 
 # API-surface gate: the public facade (package repro) is a reviewed
 # artifact. apicheck regenerates the surface with `go doc -all` and

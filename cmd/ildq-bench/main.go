@@ -45,6 +45,7 @@ type report struct {
 	Mixed      []bench.MixedReport      `json:"mixed,omitempty"`
 	NN         []bench.NNReport         `json:"nn,omitempty"`
 	Obs        []bench.ObsReport        `json:"obs,omitempty"`
+	Durability []bench.DurabilityReport `json:"durability,omitempty"`
 }
 
 func main() {
@@ -237,6 +238,20 @@ func main() {
 		}
 		obsRep.Render(os.Stdout)
 		rep.Obs = append(rep.Obs, obsRep)
+	}
+
+	// The durability experiment builds its own durable engines in temp
+	// directories (one per fsync policy) and never touches the shared
+	// environments; it runs after the in-memory experiments so their
+	// measurement sequence keeps its baseline comparability.
+	if want["exp-durability"] {
+		durRep, err := bench.Durability(cfg, *updBatches, *updBatchSize)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ildq-bench: durability: %v\n", err)
+			os.Exit(1)
+		}
+		durRep.Render(os.Stdout)
+		rep.Durability = append(rep.Durability, durRep)
 	}
 
 	runners := []struct {

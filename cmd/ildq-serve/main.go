@@ -17,6 +17,14 @@
 //	ildq-serve                          # empty world, fed via /v1/updates
 //	ildq-serve -points 8000 -rects 10000 -addr :8080
 //	ildq-serve -slow-query 50ms -pprof  # log slow queries, expose /debug/pprof
+//	ildq-serve -data-dir /var/lib/ildq  # durable: WAL + checkpoints, recovers on boot
+//
+// With -data-dir the engine is durable: committed update batches are
+// written ahead to a log (-fsync selects the sync policy), checkpoints
+// run automatically (-checkpoint-every) and on demand (POST
+// /v1/admin/checkpoint), restarts recover the committed state, and
+// shutdown (SIGINT/SIGTERM) closes the engine cleanly with a final
+// checkpoint. /healthz reports the recovery and checkpoint state.
 //
 // Quickstart (against a synthetic world):
 //
@@ -42,11 +50,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -67,6 +79,11 @@ func main() {
 		maxPending = flag.Int("max-pending", 64, "per-subscription delta queue bound before coalescing (<0 = unbounded)")
 		maxSnapAge = flag.Duration("max-snapshot-age", 0, "force-close snapshots pinned longer than this so leaked pins cannot wedge node reclamation (0 = never)")
 
+		dataDir   = flag.String("data-dir", "", "durability directory: WAL + checkpoints, recovered on boot (empty = ephemeral)")
+		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or never")
+		fsyncIvl  = flag.Duration("fsync-interval", 0, "group-commit flush period for -fsync interval (0 = 50ms default)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint automatically after this many committed batches (0 = only on shutdown or /v1/admin/checkpoint)")
+
 		slowQuery  = flag.Duration("slow-query", 0, "log one-shot evaluations slower than this (0 = off)")
 		slowSample = flag.Int("slow-query-sample", 1, "log every Nth slow query (the slow-query counter sees all of them)")
 		perQuery   = flag.Int("metrics-per-query-limit", defaultPerQueryLimit, "max per-standing-query series on /metrics, top-K by eval time (<0 = unlimited)")
@@ -83,7 +100,17 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
-	eng, err := buildEngine(*points, *rects, *seed, *maxSnapAge)
+	policy, err := core.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ildq-serve: bad -fsync %q: %v\n", *fsync, err)
+		os.Exit(2)
+	}
+	eng, err := buildEngine(*points, *rects, *seed, core.EngineOptions{
+		MaxSnapshotAge:  *maxSnapAge,
+		FsyncPolicy:     policy,
+		FsyncInterval:   *fsyncIvl,
+		CheckpointEvery: *ckptEvery,
+	}, *dataDir, logger)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ildq-serve: %v\n", err)
 		os.Exit(1)
@@ -112,19 +139,44 @@ func main() {
 		"points", eng.NumPoints(),
 		"uncertain", eng.NumUncertain(),
 		"workers", *workers,
+		"data_dir", *dataDir,
 		"slow_query", *slowQuery,
 		"pprof", *pprofOn)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		logger.Error("server exited", "err", err)
+
+	// Serve until SIGINT/SIGTERM, then drain connections and close the
+	// engine — the durable path's final checkpoint + WAL sync.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server exited", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(shCtx); err != nil {
+			logger.Warn("http shutdown", "err", err)
+		}
+		cancel()
+	}
+	if err := eng.Close(); err != nil {
+		logger.Error("engine close", "err", err)
 		os.Exit(1)
 	}
 }
 
-// buildEngine preloads a synthetic world in the paper's experimental
-// setup (clustered California points / Long Beach rectangles); a zero
-// count leaves that database empty, to be populated through
-// /v1/updates.
-func buildEngine(points, rects int, seed int64, maxSnapAge time.Duration) (*core.Engine, error) {
+// buildEngine builds the engine — durable (core.Open, recovering any
+// previous state) when dataDir is set, ephemeral otherwise — and
+// preloads a synthetic world in the paper's experimental setup
+// (clustered California points / Long Beach rectangles); a zero count
+// leaves that database empty, to be populated through /v1/updates. A
+// recovered non-empty durable engine is never re-seeded.
+func buildEngine(points, rects int, seed int64, opts core.EngineOptions, dataDir string, logger *slog.Logger) (*core.Engine, error) {
 	var pts []uncertain.PointObject
 	if points > 0 {
 		pcfg := dataset.CaliforniaConfig()
@@ -143,5 +195,35 @@ func buildEngine(points, rects int, seed int64, maxSnapAge time.Duration) (*core
 			return nil, err
 		}
 	}
-	return core.NewEngine(pts, objs, core.EngineOptions{MaxSnapshotAge: maxSnapAge})
+	if dataDir == "" {
+		return core.NewEngine(pts, objs, opts)
+	}
+	eng, err := core.Open(dataDir, opts)
+	if err != nil {
+		return nil, err
+	}
+	ds := eng.DurabilityStats()
+	logger.Info("recovered",
+		"version", eng.Version(),
+		"points", eng.NumPoints(),
+		"uncertain", eng.NumUncertain(),
+		"wal_replayed", ds.WALReplayedAtBoot,
+		"recovery", ds.RecoveryTime)
+	if eng.Version() == 0 && eng.NumPoints() == 0 && eng.NumUncertain() == 0 && (len(pts) > 0 || len(objs) > 0) {
+		// Fresh directory: seed the synthetic world through the logged
+		// update path so the preload is recoverable like any other data.
+		batch := make([]core.Update, 0, len(pts)+len(objs))
+		for _, p := range pts {
+			batch = append(batch, core.Update{Op: core.OpUpsertPoint, Point: p})
+		}
+		for _, o := range objs {
+			batch = append(batch, core.Update{Op: core.OpUpsertObject, Object: o})
+		}
+		rep := eng.ApplyUpdates(batch)
+		if len(rep.Errors) > 0 {
+			eng.Close()
+			return nil, fmt.Errorf("seeding durable engine: %v", rep.Errors[0])
+		}
+	}
+	return eng, nil
 }

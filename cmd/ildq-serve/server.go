@@ -356,12 +356,9 @@ func newServer(mon *monitor.Monitor, defaults core.EvalOptions, cfg serveConfig)
 	s.mux.HandleFunc("DELETE /v1/queries/{id}", s.handleQueryDelete)
 	s.mux.HandleFunc("GET /v1/queries/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("POST /v1/updates", s.handleUpdates)
+	s.mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		if _, err := w.Write([]byte("ok\n")); err != nil {
-			s.log.Debug("healthz write failed", "err", err)
-		}
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if cfg.Pprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -819,4 +816,54 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if err := s.reg.WriteText(w); err != nil {
 		s.log.Debug("metrics write failed", "err", err)
 	}
+}
+
+// POST /v1/admin/checkpoint — force a checkpoint of the current
+// committed state and truncate the WAL behind it. 409 if the server
+// was started without -data-dir (an ephemeral engine has nothing to
+// checkpoint). A no-op checkpoint (no batches since the last one)
+// returns skipped=true.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	info, err := s.mon.Engine().Checkpoint(r.Context())
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrEphemeral):
+		s.writeError(w, http.StatusConflict, err)
+		return
+	default:
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"version":              info.Version,
+		"skipped":              info.Skipped,
+		"duration_ms":          float64(info.Duration.Nanoseconds()) / 1e6,
+		"pages":                info.Pages,
+		"wal_segments_removed": info.WALSegmentsRemoved,
+	})
+}
+
+// GET /healthz — liveness plus the durability posture: whether the
+// engine is durable, the last checkpoint's version and age, how much
+// WAL replay the last boot needed, and how much un-checkpointed work
+// the WAL currently carries.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	eng := s.mon.Engine()
+	resp := map[string]any{
+		"status":  "ok",
+		"version": eng.Version(),
+	}
+	ds := eng.DurabilityStats()
+	resp["durable"] = ds.Enabled
+	if ds.Enabled {
+		resp["last_checkpoint_version"] = ds.LastCheckpointVersion
+		if !ds.LastCheckpointAt.IsZero() {
+			resp["last_checkpoint_age_seconds"] = time.Since(ds.LastCheckpointAt).Seconds()
+		}
+		resp["batches_since_checkpoint"] = ds.BatchesSinceCheckpoint
+		resp["wal_replayed_at_boot"] = ds.WALReplayedAtBoot
+		resp["recovery_ms"] = float64(ds.RecoveryTime.Nanoseconds()) / 1e6
+		resp["wal_segments"] = ds.WAL.Segments
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }

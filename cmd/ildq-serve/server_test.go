@@ -661,3 +661,98 @@ func TestServeStream(t *testing.T) {
 		t.Fatalf("delta event Entered: %+v", second)
 	}
 }
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: decoding: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestServeHealthzEphemeral: without -data-dir the health report says
+// durable=false and a forced checkpoint is refused with 409.
+func TestServeHealthzEphemeral(t *testing.T) {
+	ts := testServer(t)
+
+	code, health := getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+	if health["durable"] != false {
+		t.Fatalf("ephemeral healthz durable = %v", health["durable"])
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint on ephemeral engine: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestServeDurability drives the admin surface over a durable engine:
+// healthz reports the durability posture, /v1/admin/checkpoint
+// persists the state (and is a skipped no-op when re-issued), and a
+// reopen of the same directory recovers the checkpointed version.
+func TestServeDurability(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := core.Open(dir, core.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(monitor.New(eng, monitor.Config{Workers: 1}), core.EvalOptions{}, serveConfig{}))
+
+	code, health := getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK || health["durable"] != true {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+	if health["wal_replayed_at_boot"] != float64(0) {
+		t.Fatalf("fresh boot wal_replayed_at_boot = %v", health["wal_replayed_at_boot"])
+	}
+
+	postJSON(t, ts.URL+"/v1/updates", `{"updates": [
+		{"op": "upsert_object", "id": 7, "region": [100, 100, 140, 140]}]}`)
+
+	ck := postJSON(t, ts.URL+"/v1/admin/checkpoint", "")
+	if ck["version"] != float64(1) || ck["skipped"] != false {
+		t.Fatalf("first checkpoint: %v", ck)
+	}
+	ck = postJSON(t, ts.URL+"/v1/admin/checkpoint", "")
+	if ck["skipped"] != true {
+		t.Fatalf("repeat checkpoint not skipped: %v", ck)
+	}
+
+	_, health = getJSON(t, ts.URL+"/healthz")
+	if health["last_checkpoint_version"] != float64(1) {
+		t.Fatalf("healthz after checkpoint: %v", health)
+	}
+	if health["batches_since_checkpoint"] != float64(0) {
+		t.Fatalf("batches_since_checkpoint = %v", health["batches_since_checkpoint"])
+	}
+	if _, ok := health["last_checkpoint_age_seconds"]; !ok {
+		t.Fatalf("missing last_checkpoint_age_seconds: %v", health)
+	}
+
+	ts.Close()
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, err := core.Open(dir, core.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if eng2.Version() != 1 || eng2.NumUncertain() != 1 {
+		t.Fatalf("recovered version=%d uncertain=%d", eng2.Version(), eng2.NumUncertain())
+	}
+}

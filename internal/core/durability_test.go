@@ -1,0 +1,502 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pdf"
+	"repro/internal/storage"
+	"repro/internal/uncertain"
+)
+
+// durTestOptions is the durable configuration the tests use: no
+// background fsync goroutine, no auto-checkpoints unless a test asks.
+func durTestOptions() EngineOptions {
+	return EngineOptions{FsyncPolicy: FsyncNever}
+}
+
+func durIssuer(t *testing.T) *uncertain.Object {
+	t.Helper()
+	iss, err := uncertain.NewObject(-1,
+		pdf.MustUniform(geom.RectCentered(geom.Pt(500, 500), 60, 60)),
+		uncertain.PaperCatalogProbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iss
+}
+
+// durResults evaluates the fixed query set and returns the matches,
+// sorted by id, per query. Uniform pdfs evaluate in closed form, so
+// the P values are deterministic — the bit-exactness probe recovery is
+// measured against.
+func durResults(t *testing.T, e *Engine, iss *uncertain.Object) [][]Match {
+	t.Helper()
+	reqs := []Request{
+		RequestUncertain(iss, 200, 200, 0.1),
+		RequestUncertain(iss, 400, 400, 0.5),
+		RequestPoints(iss, 300, 300, 0.25),
+	}
+	out := make([][]Match, len(reqs))
+	for i, req := range reqs {
+		resp, err := e.Evaluate(context.Background(), req)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		ms := append([]Match(nil), resp.Matches...)
+		sort.Slice(ms, func(a, b int) bool { return ms[a].ID < ms[b].ID })
+		out[i] = ms
+	}
+	return out
+}
+
+// assertSameResults compares two query-result sets bit-exactly.
+func assertSameResults(t *testing.T, label string, want, got [][]Match) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d queries", label, len(want), len(got))
+	}
+	for q := range want {
+		if len(want[q]) != len(got[q]) {
+			t.Fatalf("%s: query %d: %d vs %d matches\nwant %v\ngot  %v",
+				label, q, len(want[q]), len(got[q]), want[q], got[q])
+		}
+		for i := range want[q] {
+			w, g := want[q][i], got[q][i]
+			if w.ID != g.ID || math.Float64bits(w.P) != math.Float64bits(g.P) {
+				t.Fatalf("%s: query %d match %d: want {%d %v} got {%d %v}",
+					label, q, i, w.ID, w.P, g.ID, g.P)
+			}
+		}
+	}
+}
+
+// durBatch generates one deterministic pseudo-random update batch:
+// upserts and deletes over small id ranges so replaces and missing
+// deletes both occur.
+func durBatch(rng *rand.Rand, t *testing.T) []Update {
+	t.Helper()
+	n := 1 + rng.Intn(5)
+	batch := make([]Update, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0, 1: // upsert point
+			batch = append(batch, Update{Op: OpUpsertPoint, Point: uncertain.PointObject{
+				ID:  uncertain.ID(1 + rng.Intn(30)),
+				Loc: geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			}})
+		case 2: // delete point (often missing)
+			batch = append(batch, Update{Op: OpDeletePoint, ID: uncertain.ID(1 + rng.Intn(30))})
+		case 3: // upsert uncertain object
+			cx, cy := rng.Float64()*1000, rng.Float64()*1000
+			o, err := uncertain.NewObject(uncertain.ID(100+rng.Intn(25)),
+				pdf.MustUniform(geom.RectCentered(geom.Pt(cx, cy), 10+rng.Float64()*40, 10+rng.Float64()*40)),
+				uncertain.PaperCatalogProbs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch = append(batch, Update{Op: OpUpsertObject, Object: o})
+		case 4: // delete uncertain object
+			batch = append(batch, Update{Op: OpDeleteObject, ID: uncertain.ID(100 + rng.Intn(25))})
+		}
+	}
+	return batch
+}
+
+func applyOK(t *testing.T, e *Engine, batch []Update) {
+	t.Helper()
+	rep := e.ApplyUpdates(batch)
+	if len(rep.Errors) > 0 {
+		t.Fatalf("ApplyUpdates: %v", rep.Errors[0])
+	}
+}
+
+// copyDir snapshots a data directory — the filesystem image a crash at
+// this instant would leave behind (modulo the unsynced-page caveat,
+// which FsyncNever accepts by design).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatalf("copyDir: %v", err)
+	}
+}
+
+// lastWALSegment returns the path and size of the highest-numbered WAL
+// segment under dir, or "" if none.
+func lastWALSegment(t *testing.T, dir string) (string, int64) {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		return "", 0
+	}
+	var last string
+	for _, ent := range ents {
+		if filepath.Ext(ent.Name()) == ".log" && ent.Name() > filepath.Base(last) {
+			last = filepath.Join(dir, "wal", ent.Name())
+		}
+	}
+	if last == "" {
+		return "", 0
+	}
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return last, fi.Size()
+}
+
+func TestOpenCloseReopen(t *testing.T) {
+	dir := t.TempDir()
+	iss := durIssuer(t)
+
+	e, err := Open(dir, durTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		applyOK(t, e, durBatch(rng, t))
+	}
+	version, points, objects := e.Version(), e.NumPoints(), e.NumUncertain()
+	want := durResults(t, e, iss)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Checkpoint(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after Close: %v", err)
+	}
+
+	e2, err := Open(dir, durTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if e2.Version() != version || e2.NumPoints() != points || e2.NumUncertain() != objects {
+		t.Fatalf("recovered version=%d points=%d objects=%d, want %d/%d/%d",
+			e2.Version(), e2.NumPoints(), e2.NumUncertain(), version, points, objects)
+	}
+	ds := e2.DurabilityStats()
+	if !ds.Enabled || ds.WALReplayedAtBoot != 0 {
+		// Close checkpointed, so a clean reopen replays nothing.
+		t.Fatalf("stats after clean reopen: %+v", ds)
+	}
+	assertSameResults(t, "clean reopen", want, durResults(t, e2, iss))
+
+	// The recovered engine keeps accepting and logging work.
+	applyOK(t, e2, durBatch(rng, t))
+	if e2.Version() != version+1 {
+		t.Fatalf("version after post-recovery batch: %d", e2.Version())
+	}
+}
+
+func TestEphemeralEngineRefusesDurabilityAPI(t *testing.T) {
+	e, err := NewEngine(nil, nil, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Checkpoint(context.Background()); !errors.Is(err, ErrEphemeral) {
+		t.Fatalf("Checkpoint on ephemeral: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close on ephemeral: %v", err)
+	}
+	if ds := e.DurabilityStats(); ds.Enabled {
+		t.Fatalf("ephemeral stats: %+v", ds)
+	}
+}
+
+// TestCrashRecoveryProperty is the durability property test: a durable
+// engine takes a randomized update workload with periodic checkpoints;
+// after every batch the data directory is snapshotted — a simulated
+// kill point — and some snapshots additionally get their WAL tail torn
+// mid-frame, the crash-during-write signature. Every kill point is
+// recovered with Open and must evaluate bit-identically to an
+// uninterrupted reference engine at the recovered version; a sample of
+// them then replays the rest of the workload to the end and must match
+// the final reference too. Well over 100 kill points are exercised.
+func TestCrashRecoveryProperty(t *testing.T) {
+	const batches = 80
+	dir := t.TempDir()
+	snaps := t.TempDir()
+	iss := durIssuer(t)
+
+	e, err := Open(dir, durTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// The reference runs the same workload uninterrupted; its results
+	// at every version are the ground truth. Batches are generated from
+	// a dedicated rng so both engines see identical streams.
+	ref, err := NewEngine(nil, nil, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	genRng := rand.New(rand.NewSource(1234))
+	allBatches := make([][]Update, batches)
+	for i := range allBatches {
+		allBatches[i] = durBatch(genRng, t)
+	}
+
+	// A batch of all-missing deletes does not advance the version, so
+	// results are keyed by engine version, not batch index; both
+	// engines walk the same version sequence.
+	refResults := map[uint64][][]Match{0: durResults(t, ref, iss)}
+	finalResults := refResults[0]
+	for i := 0; i < batches; i++ {
+		applyOK(t, ref, allBatches[i])
+		finalResults = durResults(t, ref, iss)
+		refResults[ref.Version()] = finalResults
+	}
+
+	durVersion := make([]uint64, batches+1)
+	for b := 1; b <= batches; b++ {
+		applyOK(t, e, allBatches[b-1])
+		durVersion[b] = e.Version()
+		if b%9 == 0 {
+			if _, err := e.Checkpoint(context.Background()); err != nil {
+				t.Fatalf("checkpoint at batch %d: %v", b, err)
+			}
+		}
+		snap := filepath.Join(snaps, fmt.Sprintf("kill-%03d", b))
+		copyDir(t, dir, snap)
+	}
+	if e.Version() != ref.Version() {
+		t.Fatalf("workload versions diverged: durable %d, reference %d", e.Version(), ref.Version())
+	}
+
+	recover := func(t *testing.T, snap string, wantVersion uint64, replayFrom int) {
+		re, err := Open(snap, durTestOptions())
+		if err != nil {
+			t.Fatalf("recovery open: %v", err)
+		}
+		defer re.Close()
+		got := re.Version()
+		if wantVersion != ^uint64(0) && got != wantVersion {
+			t.Fatalf("recovered version %d, want %d", got, wantVersion)
+		}
+		want, ok := refResults[got]
+		if !ok {
+			t.Fatalf("recovered version %d never existed in the reference run", got)
+		}
+		assertSameResults(t, fmt.Sprintf("recovered v%d", got), want, durResults(t, re, iss))
+		if replayFrom > 0 {
+			for b := replayFrom; b <= batches; b++ {
+				applyOK(t, re, allBatches[b-1])
+			}
+			assertSameResults(t, "replay to end", finalResults, durResults(t, re, iss))
+		}
+	}
+
+	killPoints := 0
+	for b := 1; b <= batches; b++ {
+		snap := filepath.Join(snaps, fmt.Sprintf("kill-%03d", b))
+		// Untorn kill point: everything appended is in the image, so
+		// recovery must land exactly on the version batch b produced.
+		replayFrom := 0
+		if b%10 == 0 {
+			replayFrom = b + 1
+		}
+		recover(t, snap, durVersion[b], replayFrom)
+		killPoints++
+
+		if b%2 == 0 {
+			// Torn variant: cut into the final WAL frame, losing the
+			// last record — recovery repairs the tail and lands on
+			// whatever version the surviving prefix proves.
+			torn := snap + "-torn"
+			copyDir(t, snap, torn)
+			seg, size := lastWALSegment(t, torn)
+			const header, frame = 8, 16
+			if seg == "" || size <= header+frame {
+				continue
+			}
+			if err := os.Truncate(seg, size-3); err != nil {
+				t.Fatal(err)
+			}
+			recover(t, torn, ^uint64(0), 0)
+			killPoints++
+		}
+	}
+	if killPoints < 100 {
+		t.Fatalf("only %d kill points exercised", killPoints)
+	}
+}
+
+// faultyDevice fails every WritePage after a budget is spent —
+// simulating a crash or I/O error mid-checkpoint.
+type faultyDevice struct {
+	checkpointDevice
+	writesLeft int // WritePage budget; exhausted → fail (ignored if negative)
+	failSync   bool
+}
+
+var errInjected = errors.New("injected checkpoint fault")
+
+func (f *faultyDevice) WritePage(id storage.PageID, buf []byte) error {
+	if f.writesLeft == 0 {
+		return errInjected
+	}
+	f.writesLeft--
+	return f.checkpointDevice.WritePage(id, buf)
+}
+
+func (f *faultyDevice) Sync() error {
+	if f.failSync {
+		return errInjected
+	}
+	return f.checkpointDevice.Sync()
+}
+
+// TestCheckpointFaultInjection: a checkpoint that dies partway (at
+// several different depths) must not damage the engine, the previous
+// checkpoint, or the WAL; recovery still works and a later healthy
+// checkpoint succeeds.
+func TestCheckpointFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	iss := durIssuer(t)
+
+	e, err := Open(dir, durTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 10; i++ {
+		applyOK(t, e, durBatch(rng, t))
+	}
+	if _, err := e.Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	baseline := e.DurabilityStats().LastCheckpointVersion
+	for i := 0; i < 5; i++ {
+		applyOK(t, e, durBatch(rng, t))
+	}
+	want := durResults(t, e, iss)
+
+	realOpen := e.dur.openDevice
+	// The smallest possible checkpoint writes five pages (manifest, two
+	// tree sections, two table sections), so every budget below fails
+	// mid-write; the last case survives all writes and dies at the
+	// final device sync instead.
+	faults := []faultyDevice{
+		{writesLeft: 0}, {writesLeft: 1}, {writesLeft: 2}, {writesLeft: 3},
+		{writesLeft: -1, failSync: true},
+	}
+	for _, fault := range faults {
+		budget := fault.writesLeft
+		e.dur.openDevice = func(path string) (checkpointDevice, error) {
+			dev, err := realOpen(path)
+			if err != nil {
+				return nil, err
+			}
+			f := fault
+			f.checkpointDevice = dev
+			return &f, nil
+		}
+		if _, err := e.Checkpoint(context.Background()); !errors.Is(err, errInjected) {
+			t.Fatalf("budget %d: Checkpoint err = %v", budget, err)
+		}
+		if got := e.DurabilityStats().LastCheckpointVersion; got != baseline {
+			t.Fatalf("budget %d: failed checkpoint advanced CURRENT to %d", budget, got)
+		}
+		// The engine keeps serving and recovery from the surviving
+		// image (old checkpoint + intact WAL) is unharmed.
+		assertSameResults(t, "after fault", want, durResults(t, e, iss))
+		killCopy := t.TempDir()
+		copyDir(t, dir, killCopy)
+		re, err := Open(killCopy, durTestOptions())
+		if err != nil {
+			t.Fatalf("budget %d: recovery after fault: %v", budget, err)
+		}
+		if re.Version() != e.Version() {
+			t.Fatalf("budget %d: recovered %d want %d", budget, re.Version(), e.Version())
+		}
+		assertSameResults(t, "recovery after fault", want, durResults(t, re, iss))
+		re.Close()
+	}
+
+	// Healthy device again: checkpointing and reopening both work, and
+	// the stale .tmp files the faults left behind are swept at Open.
+	e.dur.openDevice = realOpen
+	info, err := e.Checkpoint(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != e.Version() || info.Skipped {
+		t.Fatalf("healthy checkpoint: %+v", info)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, durTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("stale tmp files survived reopen: %v", matches)
+	}
+	assertSameResults(t, "after healthy checkpoint", want, durResults(t, re, iss))
+}
+
+func TestOpenRejectsCatalogMismatch(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, durTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOK(t, e, []Update{{Op: OpUpsertPoint, Point: uncertain.PointObject{ID: 1, Loc: geom.Pt(1, 2)}}})
+	if _, err := e.Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	opts := durTestOptions()
+	opts.CatalogProbs = []float64{0.25, 0.5}
+	if _, err := Open(dir, opts); err == nil {
+		t.Fatal("catalog-probs mismatch accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/uncertain"
+)
+
+// WAL payload codec: one committed batch's effective updates. The
+// publish path logs primitives (upsert/delete), not the caller's
+// original batch — a move is logged as its delete+upsert pair, a
+// rolled-back failure as an identity pair — so replaying the payload
+// through the ordinary ApplyUpdates path reproduces the committed
+// logical state exactly, regardless of how the original batch
+// branched. Framing (length, checksum) belongs to the WAL record.
+
+// maxBatchUpdates guards allocation when decoding a corrupt payload
+// that slipped past the frame checksum.
+const maxBatchUpdates = 1 << 24
+
+// appendBatch serializes updates onto buf.
+func appendBatch(buf []byte, updates []Update) ([]byte, error) {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(updates)))
+	for i, u := range updates {
+		buf = append(buf, byte(u.Op))
+		switch u.Op {
+		case OpUpsertPoint:
+			buf = uncertain.AppendPoint(buf, u.Point)
+		case OpDeletePoint, OpDeleteObject:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(u.ID))
+		case OpUpsertObject:
+			var err error
+			buf, err = uncertain.AppendObject(buf, u.Object)
+			if err != nil {
+				return nil, fmt.Errorf("core: wal-encoding update %d: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("core: wal-encoding update %d: unknown op %v", i, u.Op)
+		}
+	}
+	return buf, nil
+}
+
+// decodeBatch is appendBatch's inverse.
+func decodeBatch(b []byte) ([]Update, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("core: truncated wal batch")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n > maxBatchUpdates {
+		return nil, fmt.Errorf("core: wal batch with %d updates exceeds bound", n)
+	}
+	updates := make([]Update, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("core: wal batch truncated at update %d", i)
+		}
+		op := UpdateOp(b[0])
+		b = b[1:]
+		var u Update
+		u.Op = op
+		switch op {
+		case OpUpsertPoint:
+			var err error
+			u.Point, b, err = uncertain.DecodePoint(b)
+			if err != nil {
+				return nil, fmt.Errorf("core: wal batch update %d: %w", i, err)
+			}
+		case OpDeletePoint, OpDeleteObject:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("core: wal batch truncated at update %d", i)
+			}
+			u.ID = uncertain.ID(binary.LittleEndian.Uint64(b))
+			b = b[8:]
+		case OpUpsertObject:
+			var err error
+			u.Object, b, err = uncertain.DecodeObject(b)
+			if err != nil {
+				return nil, fmt.Errorf("core: wal batch update %d: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("core: wal batch update %d: unknown op %d", i, int(op))
+		}
+		updates = append(updates, u)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("core: %d stray bytes after wal batch", len(b))
+	}
+	return updates, nil
+}

@@ -39,6 +39,18 @@ type EngineOptions struct {
 	// new evaluations through the snapshot are refused. Zero means no
 	// bound.
 	MaxSnapshotAge time.Duration
+
+	// Durability knobs, honored by Open (NewEngine builds ephemeral
+	// engines and ignores them). FsyncPolicy selects the WAL
+	// group-commit policy (default FsyncInterval); FsyncInterval is
+	// the flush period for FsyncInterval (default 50ms);
+	// CheckpointEvery, when positive, checkpoints automatically after
+	// that many committed update batches; WALSegmentBytes caps one WAL
+	// segment (default 16 MiB).
+	FsyncPolicy     FsyncPolicy
+	FsyncInterval   time.Duration
+	CheckpointEvery int
+	WALSegmentBytes int64
 }
 
 // Engine holds a database of point objects and uncertain objects with
@@ -125,6 +137,10 @@ type Engine struct {
 	// met is the engine's always-on telemetry, shared with every
 	// engineState (see engineMetrics).
 	met *engineMetrics
+
+	// dur is the engine's durability attachment (WAL + checkpoints);
+	// nil for ephemeral engines built with NewEngine. See Open.
+	dur *durability
 }
 
 // NewEngine builds an engine over the given datasets. Point object IDs
@@ -174,14 +190,20 @@ func NewEngine(points []uncertain.PointObject, objects []*uncertain.Object, opts
 		return nil, fmt.Errorf("core: building PTI: %w", err)
 	}
 
+	return newEngineFromState(st, opts.MaxSnapshotAge), nil
+}
+
+// newEngineFromState wraps a sealed state — freshly bulk-loaded or
+// restored from a checkpoint — in an engine.
+func newEngineFromState(st *engineState, maxSnapAge time.Duration) *Engine {
 	e := &Engine{
 		pins:       make(map[uint64]*pinEntry),
 		snaps:      make(map[*Snapshot]time.Time),
-		maxSnapAge: opts.MaxSnapshotAge,
+		maxSnapAge: maxSnapAge,
 		met:        st.met,
 	}
 	e.state.Store(st)
-	return e, nil
+	return e
 }
 
 // NumPoints returns the number of point objects.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/index/rtree"
 	"repro/internal/obs"
@@ -39,6 +40,16 @@ type engineMetrics struct {
 	publishes    atomic.Int64
 	retiredNodes atomic.Int64
 	freedNodes   atomic.Int64
+
+	// Durability counters; all zero on ephemeral engines. walAppends/
+	// walBytes/walFsyncs are fed by the WAL writer's hooks, the
+	// checkpoint pair by Engine.checkpoint.
+	walAppends    atomic.Int64
+	walBytes      atomic.Int64
+	walFsyncs     atomic.Int64
+	fsyncLatency  *obs.Histogram
+	checkpoints   atomic.Int64
+	checkpointDur *obs.Histogram
 }
 
 func newEngineMetrics() *engineMetrics {
@@ -46,6 +57,8 @@ func newEngineMetrics() *engineMetrics {
 	for i := range m.latency {
 		m.latency[i] = obs.NewHistogram(obs.LatencyBuckets())
 	}
+	m.fsyncLatency = obs.NewHistogram(obs.LatencyBuckets())
+	m.checkpointDur = obs.NewHistogram(obs.LatencyBuckets())
 	return m
 }
 
@@ -174,6 +187,40 @@ func (e *Engine) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("ildq_cow_freed_nodes_total",
 		"Retired index nodes returned to their stores after the last pin dropped.",
 		counter(&m.freedNodes))
+
+	r.CounterFunc("ildq_wal_appends_total",
+		"WAL records appended (one per committed update batch); zero on ephemeral engines.",
+		counter(&m.walAppends))
+	r.CounterFunc("ildq_wal_bytes_total",
+		"Bytes appended to the WAL, record framing included.",
+		counter(&m.walBytes))
+	r.CounterFunc("ildq_wal_fsyncs_total",
+		"WAL fsync calls under any policy.",
+		counter(&m.walFsyncs))
+	r.RegisterHistogram("ildq_wal_fsync_seconds",
+		"WAL fsync latency.",
+		m.fsyncLatency)
+	r.CounterFunc("ildq_checkpoints_total",
+		"Checkpoints completed by this process.",
+		counter(&m.checkpoints))
+	r.RegisterHistogram("ildq_checkpoint_seconds",
+		"Checkpoint wall-clock duration (serialize + sync + publish).",
+		m.checkpointDur)
+	r.GaugeFunc("ildq_checkpoint_age_seconds",
+		"Time since the live checkpoint was written; zero when none exists.",
+		func() float64 {
+			s := e.DurabilityStats()
+			if !s.Enabled || s.LastCheckpointAt.IsZero() {
+				return 0
+			}
+			return time.Since(s.LastCheckpointAt).Seconds()
+		})
+	r.GaugeFunc("ildq_wal_segments",
+		"Live WAL segment files.",
+		func() float64 { return float64(e.DurabilityStats().WAL.Segments) })
+	r.GaugeFunc("ildq_wal_batches_since_checkpoint",
+		"Committed batches a crash right now would replay from the WAL.",
+		func() float64 { return float64(e.DurabilityStats().BatchesSinceCheckpoint) })
 
 	r.GaugeFunc("ildq_engine_points",
 		"Point objects in the current version.",

@@ -131,6 +131,14 @@ type stateTxn struct {
 
 	objects *tableTxn[*uncertain.Object]
 	uncIdx  *pti.Index
+
+	// logged accumulates the txn's effective primitive updates in
+	// application order — the WAL record a durable engine appends at
+	// publish. Composed operations log their primitives (a move logs
+	// delete+upsert, a rolled-back failure an identity pair), so
+	// replaying the sequence through ApplyUpdates reproduces the
+	// committed logical state exactly.
+	logged []Update
 }
 
 func newStateTxn(base *engineState) *stateTxn { return &stateTxn{base: base} }
@@ -284,6 +292,15 @@ func (e *Engine) publishLocked(tx *stateTxn, advance, pin bool) (*engineState, *
 		// this is a storage-level failure path that a prior flush has
 		// already ruled out.
 		return base, nil, err
+	}
+	// Write-ahead: a version-advancing batch reaches the WAL before
+	// its state pointer swap. An append failure aborts the publish —
+	// the base stays current — so recovery can never be missing a
+	// version that was visible to queries.
+	if advance && st != nil && e.dur != nil {
+		if werr := e.logBatchLocked(base.version+1, tx.logged); werr != nil {
+			return base, nil, werr
+		}
 	}
 	var freeable []retiredBatch
 	var snap *Snapshot
@@ -537,6 +554,7 @@ func (tx *stateTxn) insertPoint(p uncertain.PointObject) error {
 		return err
 	}
 	tx.pointTable().Put(p.ID, p)
+	tx.logged = append(tx.logged, Update{Op: OpUpsertPoint, Point: p})
 	return nil
 }
 
@@ -565,6 +583,7 @@ func (tx *stateTxn) deletePoint(id uncertain.ID) (bool, error) {
 		return false, fmt.Errorf("core: point %d present in table but missing from index", id)
 	}
 	tx.pointTable().Delete(id)
+	tx.logged = append(tx.logged, Update{Op: OpDeletePoint, ID: id})
 	return true, nil
 }
 
@@ -614,6 +633,7 @@ func (tx *stateTxn) insertObject(o *uncertain.Object) error {
 		return err
 	}
 	tx.objectTable().Put(o.ID, o)
+	tx.logged = append(tx.logged, Update{Op: OpUpsertObject, Object: o})
 	return nil
 }
 
@@ -643,6 +663,7 @@ func (tx *stateTxn) deleteObject(id uncertain.ID) (bool, error) {
 		return false, fmt.Errorf("core: object %d present in table but missing from index", id)
 	}
 	tx.objectTable().Delete(id)
+	tx.logged = append(tx.logged, Update{Op: OpDeleteObject, ID: id})
 	return true, nil
 }
 

@@ -249,3 +249,19 @@ func prunedByBounds(region geom.Rect, bound []float64, expanded geom.Rect) bool 
 	return reg.Lo.X >= right || reg.Hi.X <= left ||
 		reg.Lo.Y >= top || reg.Hi.Y <= bottom
 }
+
+// Restore rebuilds a sealed index handle over nodes already present in
+// store — the checkpoint loader's constructor, mirroring
+// rtree.Restore. probs must be the catalog the nodes were built with
+// (their aux payloads carry AuxLen(len(probs)) floats per entry).
+func Restore(store rtree.NodeStore, probs []float64, root rtree.NodeID, height, size int) (*Index, error) {
+	ps, err := validateProbs(probs)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := rtree.Restore(store, config(len(ps)), root, height, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: tr, probs: ps}, nil
+}

@@ -108,24 +108,20 @@ func (s *MemNodeStore) NumNodes() int {
 
 // PagedNodeStore serializes each node into one 4 KiB page accessed
 // through a buffer pool, reproducing the paper's disk-resident index.
-// Tree metadata (root id, free list) is kept in memory: the
-// reproduction rebuilds indexes per run, and the I/O cost model only
-// concerns node pages. The free list carries its own mutex because
-// snapshot reclamation may Free retired pages from a reader goroutine
-// while the writer Allocs; page data itself is synchronized by the
-// buffer pool.
+// Tree metadata (root id) is kept in memory; page allocation and
+// free-page reuse go through the shared storage.PageAllocator, the
+// same path the checkpoint writer allocates from. Page data itself is
+// synchronized by the buffer pool.
 type PagedNodeStore struct {
 	pool   *storage.BufferPool
+	alloc  *storage.PageAllocator
 	auxLen int
-
-	freeMu sync.Mutex
-	free   []NodeID
 }
 
 // NewPagedNodeStore builds a paged store over pool for nodes whose
 // entries carry auxLen auxiliary float64s.
 func NewPagedNodeStore(pool *storage.BufferPool, auxLen int) *PagedNodeStore {
-	return &PagedNodeStore{pool: pool, auxLen: auxLen}
+	return &PagedNodeStore{pool: pool, alloc: storage.NewPageAllocator(pool), auxLen: auxLen}
 }
 
 // Pool exposes the underlying buffer pool (for I/O statistics).
@@ -133,26 +129,11 @@ func (s *PagedNodeStore) Pool() *storage.BufferPool { return s.pool }
 
 // Alloc implements NodeStore.
 func (s *PagedNodeStore) Alloc(leaf bool) (*Node, error) {
-	s.freeMu.Lock()
-	var id NodeID
-	var reused bool
-	if n := len(s.free); n > 0 {
-		id = s.free[n-1]
-		s.free = s.free[:n-1]
-		reused = true
+	id, err := s.alloc.Alloc()
+	if err != nil {
+		return nil, err
 	}
-	s.freeMu.Unlock()
-	if !reused {
-		pid, _, err := s.pool.Allocate()
-		if err != nil {
-			return nil, err
-		}
-		if err := s.pool.Unpin(storage.PageID(pid)); err != nil {
-			return nil, err
-		}
-		id = NodeID(pid)
-	}
-	return &Node{ID: id, Leaf: leaf}, nil
+	return &Node{ID: NodeID(id), Leaf: leaf}, nil
 }
 
 // Get implements NodeStore.
@@ -181,9 +162,7 @@ func (s *PagedNodeStore) Update(n *Node) error {
 
 // Free implements NodeStore.
 func (s *PagedNodeStore) Free(id NodeID) error {
-	s.freeMu.Lock()
-	s.free = append(s.free, id)
-	s.freeMu.Unlock()
+	s.alloc.Free(storage.PageID(id))
 	return nil
 }
 
@@ -268,6 +247,21 @@ func decodeNode(id NodeID, data []byte, auxLen int) (*Node, error) {
 		n.Entries[i] = e
 	}
 	return n, nil
+}
+
+// EncodeNodePage and DecodeNodePage expose the node page codec — the
+// single on-disk node format, shared by the paged node store and the
+// checkpoint writer (a checkpointed node page is byte-wise identical
+// to a live index page with the same contents). page must be
+// storage.PageSize bytes.
+func EncodeNodePage(n *Node, page []byte, auxLen int) error {
+	return encodeNode(n, page, auxLen)
+}
+
+// DecodeNodePage decodes a node page written by EncodeNodePage,
+// assigning it the given id.
+func DecodeNodePage(id NodeID, page []byte, auxLen int) (*Node, error) {
+	return decodeNode(id, page, auxLen)
 }
 
 func putFloat(b []byte, v float64) {

@@ -1,0 +1,161 @@
+package pdf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// assertBitExact checks the codec's contract: the decoded pdf must
+// evaluate bit-identically to the original — same Support, At, MassIn,
+// and Sample stream — because recovery promises bit-identical query
+// results.
+func assertBitExact(t *testing.T, orig PDF) {
+	t.Helper()
+	enc, err := AppendPDF(nil, orig)
+	if err != nil {
+		t.Fatalf("AppendPDF: %v", err)
+	}
+	dec, rest, err := DecodePDF(enc)
+	if err != nil {
+		t.Fatalf("DecodePDF: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d stray bytes after decode", len(rest))
+	}
+
+	if o, d := orig.Support(), dec.Support(); o != d {
+		t.Fatalf("Support: %v vs %v", o, d)
+	}
+	sup := orig.Support()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		p := geom.Pt(
+			sup.Lo.X-1+rng.Float64()*(sup.Width()+2),
+			sup.Lo.Y-1+rng.Float64()*(sup.Height()+2))
+		if a, b := orig.At(p), dec.At(p); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("At(%v): %g vs %g", p, a, b)
+		}
+		r := geom.Rect{Lo: p, Hi: geom.Pt(p.X+rng.Float64()*sup.Width(), p.Y+rng.Float64()*sup.Height())}
+		if a, b := orig.MassIn(r), dec.MassIn(r); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("MassIn(%v): %g vs %g", r, a, b)
+		}
+	}
+	r1 := rand.New(rand.NewSource(7))
+	r2 := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		a, b := orig.Sample(r1), dec.Sample(r2)
+		if math.Float64bits(a.X) != math.Float64bits(b.X) || math.Float64bits(a.Y) != math.Float64bits(b.Y) {
+			t.Fatalf("Sample %d: %v vs %v", i, a, b)
+		}
+	}
+
+	// Re-encoding the decoded pdf must reproduce the same bytes — the
+	// codec is canonical.
+	enc2, err := AppendPDF(nil, dec)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(enc) != string(enc2) {
+		t.Fatal("re-encode differs from original encoding")
+	}
+}
+
+func TestCodecUniform(t *testing.T) {
+	u, err := NewUniform(geom.Rect{Lo: geom.Pt(10, 20), Hi: geom.Pt(110, 95)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, u)
+}
+
+func TestCodecTruncGaussian(t *testing.T) {
+	g, err := NewTruncGaussian(geom.Rect{Lo: geom.Pt(-5, -5), Hi: geom.Pt(5, 5)}, 1.5, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, g)
+}
+
+func TestCodecHistogramProduct(t *testing.T) {
+	hx, err := NewHistogramMarginal([]float64{0, 1, 3, 7}, []float64{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := NewHistogramMarginal([]float64{-2, 0, 2}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, NewProduct(hx, hy))
+}
+
+func TestCodecGrid(t *testing.T) {
+	weights := make([]float64, 12)
+	rng := rand.New(rand.NewSource(3))
+	for i := range weights {
+		weights[i] = rng.Float64()
+	}
+	g, err := NewGrid(geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(4, 3)}, 4, 3, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, g)
+}
+
+func TestCodecConvexUniform(t *testing.T) {
+	c, err := NewDisc(geom.Pt(50, 60), 12, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, c)
+}
+
+func TestCodecMixture(t *testing.T) {
+	u1, err := NewUniform(geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := NewTruncGaussian(geom.Rect{Lo: geom.Pt(5, 5), Hi: geom.Pt(20, 20)}, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMixture([]PDF{u1, u2}, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitExact(t, m)
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},                           // unknown tag
+		{tagProduct, 99},               // unknown marginal tag
+		{tagGrid, 1, 2, 3},             // truncated
+		{tagMixture, 0, 0, 0, 0},       // zero components
+		{tagConvexUniform, 2, 0, 0, 0}, // too few vertices
+	}
+	for i, b := range cases {
+		if _, _, err := DecodePDF(b); err == nil {
+			t.Fatalf("case %d: garbage decoded", i)
+		}
+	}
+	// Valid frame with trailing truncation at every cut point must
+	// error, never panic.
+	u, err := NewUniform(geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := AppendPDF(nil, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodePDF(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+}

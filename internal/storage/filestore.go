@@ -3,19 +3,18 @@ package storage
 import (
 	"fmt"
 	"os"
-	"sync"
 )
 
 // FileStore is a Store backed by an operating-system file. Page i lives
 // at byte offset i*PageSize. It gives the simulation real disk
-// behaviour when wanted; tests and benchmarks default to MemStore.
-// The page count is guarded by a read-write mutex so Allocate is safe
-// against concurrent page I/O from the buffer pool's background
-// writer; ReadAt/WriteAt on distinct offsets are safe by themselves.
+// behaviour when wanted, and backs checkpoint files; tests and
+// benchmarks default to MemStore. The page directory (pageDir) makes
+// Allocate safe against concurrent page I/O from the buffer pool's
+// background writer; ReadAt/WriteAt on distinct offsets are safe by
+// themselves.
 type FileStore struct {
-	f  *os.File
-	mu sync.RWMutex
-	n  int
+	f   *os.File
+	dir pageDir
 }
 
 // OpenFileStore opens (or creates) the file at path as a page store.
@@ -34,26 +33,28 @@ func OpenFileStore(path string) (*FileStore, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: %s size %d is not a multiple of the page size", path, info.Size())
 	}
-	return &FileStore{f: f, n: int(info.Size() / PageSize)}, nil
+	fs := &FileStore{f: f}
+	fs.dir.n = int(info.Size() / PageSize)
+	return fs, nil
 }
 
 // Allocate implements Store.
 func (fs *FileStore) Allocate() (PageID, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	id := PageID(fs.n)
+	fs.dir.mu.Lock()
+	defer fs.dir.mu.Unlock()
+	id := PageID(fs.dir.n)
 	zero := make([]byte, PageSize)
-	if _, err := fs.f.WriteAt(zero, int64(fs.n)*PageSize); err != nil {
+	if _, err := fs.f.WriteAt(zero, int64(fs.dir.n)*PageSize); err != nil {
 		return InvalidPage, fmt.Errorf("storage: allocate page %d: %w", id, err)
 	}
-	fs.n++
+	fs.dir.n++
 	return id, nil
 }
 
 // ReadPage implements Store.
 func (fs *FileStore) ReadPage(id PageID, buf []byte) error {
-	if n := fs.NumPages(); int(id) >= n {
-		return fmt.Errorf("%w: read %d of %d", ErrPageBounds, id, n)
+	if err := fs.dir.check("read", id); err != nil {
+		return err
 	}
 	_, err := fs.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
 	if err != nil {
@@ -64,8 +65,8 @@ func (fs *FileStore) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Store.
 func (fs *FileStore) WritePage(id PageID, buf []byte) error {
-	if n := fs.NumPages(); int(id) >= n {
-		return fmt.Errorf("%w: write %d of %d", ErrPageBounds, id, n)
+	if err := fs.dir.check("write", id); err != nil {
+		return err
 	}
 	if _, err := fs.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
@@ -74,11 +75,11 @@ func (fs *FileStore) WritePage(id PageID, buf []byte) error {
 }
 
 // NumPages implements Store.
-func (fs *FileStore) NumPages() int {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.n
-}
+func (fs *FileStore) NumPages() int { return fs.dir.count() }
+
+// Sync implements Syncer: it forces written pages to stable media.
+// The checkpoint writer calls it before publishing a checkpoint.
+func (fs *FileStore) Sync() error { return fs.f.Sync() }
 
 // Close flushes and closes the underlying file.
 func (fs *FileStore) Close() error { return fs.f.Close() }

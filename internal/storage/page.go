@@ -1,7 +1,7 @@
 // Package storage provides the paged-storage substrate under the
-// spatial indexes: fixed-size pages, page stores (memory- or
-// file-backed), and an LRU buffer pool with pin counts and I/O
-// statistics.
+// spatial indexes and the durability layer: fixed-size pages, page
+// stores (memory- or file-backed), an LRU buffer pool with pin counts
+// and I/O statistics, and a free-list page allocator.
 //
 // The paper's experiments run the R-tree of the Spatial Index Library
 // with 4 KiB nodes over disk pages (§6.1). This package reproduces that
@@ -9,6 +9,13 @@
 // logical page read, and buffer-pool misses are physical reads. The
 // benchmark harness reports both wall-clock time and these counters, so
 // the paper's I/O trends can be read off hardware-independently.
+//
+// Store is the package's one paged-store contract. Every consumer —
+// the R-tree/PTI node stores, the buffer pool, and the checkpoint
+// writer — goes through it, and node pages everywhere use the single
+// codec pair rtree.EncodeNodePage/DecodeNodePage, so a page written by
+// the live index and a page written by a checkpoint are byte-wise the
+// same format.
 package storage
 
 import (
@@ -42,9 +49,9 @@ var (
 // being written: an evicted dirty page stays resident until its
 // write-back completes, so no pool reader can be fetching it, and the
 // engine's write path cannot be re-allocating it). Implementations
-// must tolerate all three; MemStore and FileStore synchronize their
-// page directories internally, and distinct pages occupy distinct
-// slices / file regions. Same-page read/write conflicts are
+// must tolerate all three; MemStore and FileStore share one
+// synchronized page directory (pageDir), and distinct pages occupy
+// distinct slices / file regions. Same-page read/write conflicts are
 // serialized by the engine's write path.
 type Store interface {
 	// Allocate appends a zeroed page and returns its id.
@@ -57,14 +64,45 @@ type Store interface {
 	NumPages() int
 }
 
+// Syncer is implemented by stores whose pages must be explicitly
+// forced to stable media. FileStore implements it; MemStore has
+// nothing to sync. The checkpoint writer syncs before publishing a
+// checkpoint as valid.
+type Syncer interface {
+	Sync() error
+}
+
+// pageDir is the synchronized page directory every Store
+// implementation shares: the allocated-page count behind a read-write
+// mutex, with the common bounds check. Store-specific state (the page
+// slices, the backing file) is guarded by the same mutex, so Allocate
+// — which may move a slice header or extend the file — is safe
+// against concurrent page I/O.
+type pageDir struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// count returns the allocated-page count.
+func (d *pageDir) count() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.n
+}
+
+// check validates id against the current page count.
+func (d *pageDir) check(op string, id PageID) error {
+	if n := d.count(); int(id) >= n {
+		return fmt.Errorf("%w: %s %d of %d", ErrPageBounds, op, id, n)
+	}
+	return nil
+}
+
 // MemStore is an in-memory Store. It is the default backing device for
 // simulations: "physical" reads are memory copies, but they are still
-// counted, preserving the paper's I/O cost model. The page directory
-// is guarded by a read-write mutex so Allocate (which may move the
-// slice header) is safe against concurrent page I/O; distinct pages
-// occupy distinct slices, so their contents need no further locking.
+// counted, preserving the paper's I/O cost model.
 type MemStore struct {
-	mu    sync.RWMutex
+	dir   pageDir
 	pages [][]byte
 }
 
@@ -73,27 +111,28 @@ func NewMemStore() *MemStore { return &MemStore{} }
 
 // Allocate implements Store.
 func (m *MemStore) Allocate() (PageID, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.dir.mu.Lock()
+	defer m.dir.mu.Unlock()
 	m.pages = append(m.pages, make([]byte, PageSize))
+	m.dir.n = len(m.pages)
 	return PageID(len(m.pages) - 1), nil
 }
 
 // page returns the backing slice for id under the read lock.
-func (m *MemStore) page(id PageID) ([]byte, int) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+func (m *MemStore) page(id PageID) []byte {
+	m.dir.mu.RLock()
+	defer m.dir.mu.RUnlock()
 	if int(id) >= len(m.pages) {
-		return nil, len(m.pages)
+		return nil
 	}
-	return m.pages[id], len(m.pages)
+	return m.pages[id]
 }
 
 // ReadPage implements Store.
 func (m *MemStore) ReadPage(id PageID, buf []byte) error {
-	p, n := m.page(id)
+	p := m.page(id)
 	if p == nil {
-		return fmt.Errorf("%w: read %d of %d", ErrPageBounds, id, n)
+		return m.dir.check("read", id)
 	}
 	copy(buf, p)
 	return nil
@@ -101,17 +140,88 @@ func (m *MemStore) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Store.
 func (m *MemStore) WritePage(id PageID, buf []byte) error {
-	p, n := m.page(id)
+	p := m.page(id)
 	if p == nil {
-		return fmt.Errorf("%w: write %d of %d", ErrPageBounds, id, n)
+		return m.dir.check("write", id)
 	}
 	copy(p, buf)
 	return nil
 }
 
 // NumPages implements Store.
-func (m *MemStore) NumPages() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.pages)
+func (m *MemStore) NumPages() int { return m.dir.count() }
+
+// PageAllocator hands out pages from a buffer pool with free-list
+// reuse — the one allocation path shared by everything that consumes
+// pool pages (the R-tree/PTI node stores and the checkpoint writer),
+// so freed index pages are recycled instead of growing the store
+// forever. It carries its own mutex because frees may arrive from a
+// reader goroutine (snapshot reclamation) while the single writer
+// allocates.
+type PageAllocator struct {
+	pool *BufferPool
+
+	mu   sync.Mutex
+	free []PageID
+}
+
+// NewPageAllocator returns an allocator over pool.
+func NewPageAllocator(pool *BufferPool) *PageAllocator {
+	return &PageAllocator{pool: pool}
+}
+
+// Pool exposes the underlying buffer pool.
+func (a *PageAllocator) Pool() *BufferPool { return a.pool }
+
+// Alloc returns a reusable or fresh page id, unpinned.
+func (a *PageAllocator) Alloc() (PageID, error) {
+	a.mu.Lock()
+	if n := len(a.free); n > 0 {
+		id := a.free[n-1]
+		a.free = a.free[:n-1]
+		a.mu.Unlock()
+		return id, nil
+	}
+	a.mu.Unlock()
+	id, _, err := a.pool.Allocate()
+	if err != nil {
+		return InvalidPage, err
+	}
+	if err := a.pool.Unpin(id); err != nil {
+		return InvalidPage, err
+	}
+	return id, nil
+}
+
+// AllocPinned returns a fresh or reused page pinned in the pool, with
+// its buffer ready to fill; the caller must MarkDirty and Unpin. The
+// sequential-fill path of the checkpoint writer uses it.
+func (a *PageAllocator) AllocPinned() (PageID, []byte, error) {
+	a.mu.Lock()
+	if n := len(a.free); n > 0 {
+		id := a.free[n-1]
+		a.free = a.free[:n-1]
+		a.mu.Unlock()
+		buf, err := a.pool.Pin(id)
+		if err != nil {
+			return InvalidPage, nil, err
+		}
+		return id, buf, nil
+	}
+	a.mu.Unlock()
+	return a.pool.Allocate()
+}
+
+// Free returns id to the free list for reuse.
+func (a *PageAllocator) Free(id PageID) {
+	a.mu.Lock()
+	a.free = append(a.free, id)
+	a.mu.Unlock()
+}
+
+// FreeCount returns the number of reusable pages currently pooled.
+func (a *PageAllocator) FreeCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.free)
 }

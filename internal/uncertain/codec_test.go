@@ -1,0 +1,118 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pdf"
+)
+
+func TestCodecPointRoundTrip(t *testing.T) {
+	for _, p := range []PointObject{
+		{ID: 1, Loc: geom.Pt(3.25, -8.5)},
+		{ID: -7, Loc: geom.Pt(0, math.Inf(1))},
+		{ID: 0, Loc: geom.Pt(math.Copysign(0, -1), 1e-300)},
+	} {
+		enc := AppendPoint(nil, p)
+		got, rest, err := DecodePoint(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decode %v: %v rest=%d", p, err, len(rest))
+		}
+		if got.ID != p.ID ||
+			math.Float64bits(got.Loc.X) != math.Float64bits(p.Loc.X) ||
+			math.Float64bits(got.Loc.Y) != math.Float64bits(p.Loc.Y) {
+			t.Fatalf("round-trip: %v vs %v", got, p)
+		}
+	}
+	if _, _, err := DecodePoint([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated point decoded")
+	}
+}
+
+func TestCodecObjectRoundTrip(t *testing.T) {
+	u, err := pdf.NewUniform(geom.Rect{Lo: geom.Pt(100, 200), Hi: geom.Pt(160, 240)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewObject(42, u, PaperCatalogProbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	enc, err := AppendObject(nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rest, err := DecodeObject(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v rest=%d", err, len(rest))
+	}
+	if got.ID != o.ID {
+		t.Fatalf("id %d vs %d", got.ID, o.ID)
+	}
+	if got.PDF.Support() != o.PDF.Support() {
+		t.Fatalf("support %v vs %v", got.PDF.Support(), o.PDF.Support())
+	}
+
+	// The catalog's precomputed p-bounds are serialized verbatim: the
+	// restored object prunes exactly like the original.
+	ob, gb := o.Catalog.Bounds(), got.Catalog.Bounds()
+	if len(ob) != len(gb) {
+		t.Fatalf("bounds %d vs %d", len(ob), len(gb))
+	}
+	for i := range ob {
+		a, b := ob[i], gb[i]
+		for _, pair := range [][2]float64{{a.P, b.P}, {a.Left, b.Left}, {a.Right, b.Right}, {a.Bottom, b.Bottom}, {a.Top, b.Top}} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("bound %d: %+v vs %+v", i, a, b)
+			}
+		}
+	}
+
+	// Two objects back to back decode in sequence.
+	o2, err := NewObject(43, u, PaperCatalogProbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err = AppendObject(enc, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rest, err = DecodeObject(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, rest, err := DecodeObject(rest)
+	if err != nil || len(rest) != 0 || second.ID != 43 {
+		t.Fatalf("second object: id=%v err=%v rest=%d", second, err, len(rest))
+	}
+
+	// Truncation at every cut errors, never panics.
+	for cut := 0; cut < 40 && cut < len(enc); cut++ {
+		if _, _, err := DecodeObject(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+}
+
+func TestRestoreCatalog(t *testing.T) {
+	u, err := pdf.NewUniform(geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := NewCatalog(u, PaperCatalogProbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := RestoreCatalog(cat.Bounds())
+	a, b := cat.Bounds(), restored.Bounds()
+	if len(a) != len(b) {
+		t.Fatalf("bounds %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bound %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -205,9 +205,59 @@ const (
 	SplitLinear = rtree.SplitLinear
 )
 
-// NewEngine bulk-loads indexes over the given datasets.
+// NewEngine bulk-loads indexes over the given datasets. The engine is
+// ephemeral: nothing survives the process. Use Open for a durable
+// engine backed by a write-ahead log and checkpoints.
 func NewEngine(points []PointObject, objects []*Object, opts EngineOptions) (*Engine, error) {
 	return core.NewEngine(points, objects, opts)
+}
+
+// Durability re-exports. Open returns a durable engine: every
+// committed update batch is written ahead to a log under
+// EngineOptions.FsyncPolicy, checkpoints serialize whole versions to
+// paged files (automatically every EngineOptions.CheckpointEvery
+// batches, on Engine.Checkpoint, and on Engine.Close), and reopening
+// the same directory recovers the committed state exactly — same
+// Version, bit-identical evaluation results.
+type (
+	// FsyncPolicy selects when the write-ahead log reaches stable
+	// media: FsyncInterval (grouped, the default), FsyncAlways (every
+	// batch), or FsyncNever (OS-paced).
+	FsyncPolicy = core.FsyncPolicy
+	// CheckpointInfo reports one Engine.Checkpoint outcome.
+	CheckpointInfo = core.CheckpointInfo
+	// DurabilityStats describes a durable engine's WAL and checkpoint
+	// state (zero Enabled for NewEngine engines).
+	DurabilityStats = core.DurabilityStats
+)
+
+// WAL fsync policies for EngineOptions.FsyncPolicy.
+const (
+	// FsyncInterval groups commits: appends return once the record is
+	// in the OS page cache and a background flusher syncs on a timer
+	// (EngineOptions.FsyncInterval, default 50ms).
+	FsyncInterval = core.FsyncInterval
+	// FsyncAlways syncs inside every committed batch.
+	FsyncAlways = core.FsyncAlways
+	// FsyncNever leaves flushing to the OS (plus one sync on Close).
+	FsyncNever = core.FsyncNever
+)
+
+// ParseFsyncPolicy parses "always", "interval", or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return core.ParseFsyncPolicy(s) }
+
+// ErrEngineClosed is returned by durability operations after
+// Engine.Close.
+var ErrEngineClosed = core.ErrClosed
+
+// Open opens (or creates) a durable engine rooted at dir, recovering
+// any previously committed state from the latest checkpoint plus the
+// write-ahead log tail. Close the engine to flush the log and write a
+// final checkpoint. Datasets are ingested through Engine.ApplyUpdates
+// rather than constructor arguments, so recovery and first boot share
+// one code path.
+func Open(dir string, opts EngineOptions) (*Engine, error) {
+	return core.Open(dir, opts)
 }
 
 // PointQualification computes a point object's qualification

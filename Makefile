@@ -1,27 +1,29 @@
 # Developer / CI entry points. `make bench` records the serving
-# trajectory to BENCH_PR9.json (throughput + adaptive refinement +
+# trajectory to BENCH_PR10.json (throughput + adaptive refinement +
 # continuous monitoring + mixed read/write interference + NN
-# refinement + observability overhead + durable WAL ingestion);
-# BENCH_PR1..8.json stay checked in as the previous revisions'
-# baselines. `make bench-regression` replays the same profile and
-# fails (exit 3) if io-bound batch QPS, C-IUQ refinement latency,
-# ingestion updates/sec, mixed-workload throughput (either side),
-# refinement allocs/op, the NN adaptive sample savings /
+# refinement + observability overhead + durable WAL ingestion +
+# sharded-fleet scaling); BENCH_PR1..9.json stay checked in as the
+# previous revisions' baselines. `make bench-regression` replays the
+# same profile and fails (exit 3) if io-bound batch QPS, C-IUQ
+# refinement latency, ingestion updates/sec, mixed-workload throughput
+# (either side), refinement allocs/op, the NN adaptive sample savings /
 # qualifying-set equality / shared-kernel speedup, the observability
-# no-trace latency / allocs / trace overhead, or the durable
-# updates/sec per fsync policy / checkpoint / recovery wall-clock
-# regress more than the tolerance against the checked-in
-# BENCH_PR9.json — the CI perf gate.
+# no-trace latency / allocs / trace overhead, the durable updates/sec
+# per fsync policy / checkpoint / recovery wall-clock, or the sharded
+# fleet's aggregate throughput / 4-shard speedup floor regress more
+# than the tolerance against the checked-in BENCH_PR10.json — the CI
+# perf gate.
 # `make apicheck` gates the public API surface against api/repro.txt.
 
 GO ?= go
 
-BENCH_PROFILE = -exp exp-throughput,exp-adaptive,exp-continuous,exp-mixed,exp-nn,exp-obs,exp-durability \
+BENCH_PROFILE = -exp exp-throughput,exp-adaptive,exp-continuous,exp-mixed,exp-nn,exp-obs,exp-durability,exp-sharded \
 	-points 8000 -rects 10000 -queries 64 -workers 1,2,4 \
 	-threshold 0.1,0.5,0.9 -adaptive-samples 2048 -nn-samples 2000 \
-	-standing 64 -update-batches 40 -batch-size 32 -readers 2
+	-standing 64 -update-batches 40 -batch-size 32 -readers 2 \
+	-shard-counts 1,2,4,8 -shard-clients 2
 
-.PHONY: all build test race bench bench-regression soak fuzz-smoke lint apicheck apiupdate
+.PHONY: all build test race bench bench-sharded bench-regression cluster-smoke soak fuzz-smoke lint apicheck apiupdate
 
 all: build test race
 
@@ -48,15 +50,29 @@ soak:
 # Modest dataset sizes so the bench target finishes in about a minute
 # while still exercising realistic candidate sets.
 bench: build
-	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_PR9.json
+	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_PR10.json
 	$(GO) test ./internal/bench -run xxx -bench 'BenchmarkRefine|BenchmarkThroughput' -benchtime 1s
+
+# Just the horizontal-scaling curve: aggregate QPS and updates/sec of
+# tile-partitioned io-bound fleets at 1/2/4/8 shards.
+bench-sharded: build
+	$(GO) run ./cmd/ildq-bench -exp exp-sharded \
+		-points 8000 -rects 10000 -queries 64 \
+		-update-batches 40 -batch-size 32 -shard-counts 1,2,4,8 -shard-clients 2
 
 # Re-run the recorded profile and gate against the checked-in
 # baseline. The fresh numbers land in BENCH_CI.json (uploaded as a CI
 # artifact, where multi-core runners also record worker scaling).
 bench-regression: build
 	$(GO) run ./cmd/ildq-bench $(BENCH_PROFILE) -json BENCH_CI.json \
-		-baseline BENCH_PR9.json -regress 0.20
+		-baseline BENCH_PR10.json -regress 0.20
+
+# Multi-process sharded smoke: boot ildq-router over real ildq-serve
+# shard processes, replay a mixed workload through both the fleet and
+# a single reference engine, and fail unless every answer is
+# bit-exact. The CI sharded job runs this.
+cluster-smoke: build
+	$(GO) run ./examples/cluster -shards 2 -rounds 3
 
 # Short fuzzing smoke: the R-tree op-stream and node-codec targets,
 # plus the WAL frame codec.

@@ -64,6 +64,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/monitor"
+	"repro/internal/serve"
 	"repro/internal/uncertain"
 )
 
@@ -86,9 +87,12 @@ func main() {
 
 		slowQuery  = flag.Duration("slow-query", 0, "log one-shot evaluations slower than this (0 = off)")
 		slowSample = flag.Int("slow-query-sample", 1, "log every Nth slow query (the slow-query counter sees all of them)")
-		perQuery   = flag.Int("metrics-per-query-limit", defaultPerQueryLimit, "max per-standing-query series on /metrics, top-K by eval time (<0 = unlimited)")
+		perQuery   = flag.Int("metrics-per-query-limit", serve.DefaultPerQueryLimit, "max per-standing-query series on /metrics, top-K by eval time (<0 = unlimited)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, or error")
+
+		shardID = flag.String("shard-id", "", "shard identity reported on /healthz when this server is one member of a tile-partitioned fleet")
+		tiles   = flag.String("tiles", "", "tile-map spec this shard serves (router-assigned; reported on /healthz for fleet consistency checks)")
 	)
 	flag.Parse()
 
@@ -125,12 +129,14 @@ func main() {
 
 	srv := &http.Server{
 		Addr: *addr,
-		Handler: newServer(mon, opts, serveConfig{
+		Handler: serve.NewServer(mon, opts, serve.Config{
 			SlowQuery:     *slowQuery,
 			SlowEvery:     *slowSample,
 			PerQueryLimit: *perQuery,
 			Pprof:         *pprofOn,
 			Logger:        logger,
+			ShardID:       *shardID,
+			Tiles:         *tiles,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}

@@ -1,0 +1,291 @@
+// Cluster: a multi-process sharded deployment, verified bit-exact.
+//
+// The harness builds the real binaries, boots a tile-partitioned
+// fleet — N ildq-serve shard processes plus an ildq-router in front —
+// and, next to it, one reference ildq-serve holding all the data.
+// Every round it pushes the same update batch (straddling objects
+// included, so replication and move-deletes are exercised) through
+// both deployments, then replays range and nearest-neighbor queries
+// against both and fails unless every probability comes back
+// Float64bits-identical: the scatter-gather fleet must be
+// indistinguishable from a single engine. Finally both deployments
+// are shut down with SIGTERM and must exit cleanly.
+//
+// Run with: go run ./examples/cluster [-shards 2] [-rounds 3]
+// (from the repository root; the harness runs `go build`).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+)
+
+const world = 10000.0
+
+// The wire format, as an external client sees it (doc/serving.md).
+type issuerJSON struct {
+	Region []float64 `json:"region"`
+}
+
+type requestJSON struct {
+	Kind      string     `json:"kind,omitempty"`
+	Issuer    issuerJSON `json:"issuer"`
+	W         float64    `json:"w,omitempty"`
+	H         float64    `json:"h,omitempty"`
+	Threshold float64    `json:"threshold,omitempty"`
+	K         int        `json:"k,omitempty"`
+	NNSamples int        `json:"nn_samples,omitempty"`
+	Seed      int64      `json:"seed,omitempty"`
+}
+
+type matchJSON struct {
+	ID int64   `json:"id"`
+	P  float64 `json:"p"`
+}
+
+type evaluateResponse struct {
+	Matches       []matchJSON `json:"matches"`
+	Partial       bool        `json:"partial,omitempty"`
+	MissingShards []string    `json:"missing_shards,omitempty"`
+}
+
+type updateJSON struct {
+	Op     string    `json:"op"`
+	ID     int64     `json:"id"`
+	Region []float64 `json:"region,omitempty"`
+	X      float64   `json:"x,omitempty"`
+	Y      float64   `json:"y,omitempty"`
+}
+
+type updatesResponse struct {
+	Applied  int               `json:"applied"`
+	Partial  bool              `json:"partial,omitempty"`
+	Versions map[string]uint64 `json:"versions,omitempty"`
+}
+
+func main() {
+	shards := flag.Int("shards", 2, "fleet size")
+	rounds := flag.Int("rounds", 3, "update+query rounds")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+	log.SetFlags(0)
+
+	bin, err := os.MkdirTemp("", "ildq-cluster-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(bin)
+	for _, cmd := range []string{"ildq-serve", "ildq-router"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			log.Fatalf("building %s: %v", cmd, err)
+		}
+	}
+
+	// The fleet: a 4x2 tile grid split across the shards, each member
+	// told its identity and the shared map.
+	spec := fmt.Sprintf("grid:4x2@0,0,%g,%g;shards=%d", world, world, *shards)
+	var procs []*process
+	defer func() {
+		for _, p := range procs {
+			p.kill()
+		}
+	}()
+	shardURLs := make([]string, *shards)
+	for i := range *shards {
+		addr := freeAddr()
+		shardURLs[i] = "http://" + addr
+		procs = append(procs, start(filepath.Join(bin, "ildq-serve"),
+			"-addr", addr, "-shard-id", fmt.Sprint(i), "-tiles", spec, "-log-level", "warn"))
+	}
+	routerAddr := freeAddr()
+	routerURL := "http://" + routerAddr
+	refAddr := freeAddr()
+	refURL := "http://" + refAddr
+	procs = append(procs, start(filepath.Join(bin, "ildq-serve"),
+		"-addr", refAddr, "-log-level", "warn"))
+	for _, u := range append([]string{refURL}, shardURLs...) {
+		waitHealthy(u)
+	}
+	procs = append(procs, start(filepath.Join(bin, "ildq-router"),
+		"-addr", routerAddr, "-shards", joinComma(shardURLs), "-tiles", spec, "-log-level", "warn"))
+	waitHealthy(routerURL)
+	log.Printf("fleet up: %d shards behind %s, reference at %s", *shards, routerURL, refURL)
+
+	// The workload: every round, one batch of moves (some centered on
+	// the x=5000 / y=5000 shard borders so objects straddle members),
+	// then seeded queries of each kind against both deployments.
+	rng := rand.New(rand.NewSource(*seed))
+	queriesRun := 0
+	for round := range *rounds {
+		var ups []updateJSON
+		for i := range 30 {
+			id := int64(rng.Intn(40))
+			switch {
+			case i%3 == 2:
+				ups = append(ups, updateJSON{Op: "upsert_point", ID: 1000 + id,
+					X: rng.Float64() * world, Y: rng.Float64() * world})
+			default:
+				cx, cy := rng.Float64()*world, rng.Float64()*world
+				if rng.Intn(3) == 0 { // straddler
+					cx, cy = 5000, float64(rng.Intn(2))*2500+2500
+				}
+				hw, hh := 30+rng.Float64()*300, 30+rng.Float64()*300
+				ups = append(ups, updateJSON{Op: "upsert_object", ID: id, Region: []float64{
+					math.Max(0, cx-hw), math.Max(0, cy-hh),
+					math.Min(world, cx+hw), math.Min(world, cy+hh)}})
+			}
+		}
+		var viaRouter, viaRef updatesResponse
+		post(routerURL+"/v1/updates", map[string]any{"updates": ups}, &viaRouter)
+		post(refURL+"/v1/updates", map[string]any{"updates": ups}, &viaRef)
+		if viaRouter.Partial {
+			log.Fatalf("round %d: router reported a partial update batch: %+v", round, viaRouter)
+		}
+
+		cx, cy := rng.Float64()*9000+500, rng.Float64()*9000+500
+		iss := issuerJSON{Region: []float64{cx - 250, cy - 250, cx + 250, cy + 250}}
+		for _, q := range []requestJSON{
+			{Kind: "uncertain", Issuer: iss, W: 1200, H: 1200, Threshold: 0.1, Seed: rng.Int63()},
+			{Kind: "points", Issuer: iss, W: 1500, H: 1500, Threshold: 0.3, Seed: rng.Int63()},
+			{Kind: "nn", Issuer: iss, K: 3, NNSamples: 256, Seed: rng.Int63()},
+		} {
+			var got, want evaluateResponse
+			post(routerURL+"/v1/evaluate", q, &got)
+			post(refURL+"/v1/evaluate", q, &want)
+			if got.Partial {
+				log.Fatalf("round %d: %s: partial response, missing %v", round, q.Kind, got.MissingShards)
+			}
+			if len(got.Matches) != len(want.Matches) {
+				log.Fatalf("round %d: %s: fleet %d matches, single engine %d\nfleet:  %+v\nsingle: %+v",
+					round, q.Kind, len(got.Matches), len(want.Matches), got.Matches, want.Matches)
+			}
+			for i := range want.Matches {
+				g, w := got.Matches[i], want.Matches[i]
+				if g.ID != w.ID || math.Float64bits(g.P) != math.Float64bits(w.P) {
+					log.Fatalf("round %d: %s: match %d differs: fleet {%d %v} single {%d %v}",
+						round, q.Kind, i, g.ID, g.P, w.ID, w.P)
+				}
+			}
+			queriesRun++
+		}
+		log.Printf("round %d: %d updates routed, versions %v; 3 query kinds bit-exact",
+			round, viaRouter.Applied, viaRouter.Versions)
+	}
+
+	// Graceful shutdown: router first, then the engines; every process
+	// must exit zero on SIGTERM.
+	for i := len(procs) - 1; i >= 0; i-- {
+		if err := procs[i].stop(); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+	}
+	log.Printf("ok: %d rounds, %d queries bit-exact across %d shards, clean shutdown", *rounds, queriesRun, *shards)
+}
+
+type process struct {
+	name string
+	cmd  *exec.Cmd
+}
+
+func start(path string, args ...string) *process {
+	cmd := exec.Command(path, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("starting %s: %v", filepath.Base(path), err)
+	}
+	return &process{name: filepath.Base(path) + " " + args[1], cmd: cmd}
+}
+
+func (p *process) stop() error {
+	if err := p.cmd.Process.Signal(os.Interrupt); err != nil {
+		return fmt.Errorf("%s: signal: %w", p.name, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.name, err)
+		}
+		return nil
+	case <-time.After(15 * time.Second):
+		p.kill()
+		return fmt.Errorf("%s: did not exit within 15s of SIGTERM", p.name)
+	}
+}
+
+func (p *process) kill() {
+	if p.cmd.ProcessState == nil {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}
+}
+
+func freeAddr() string {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(base string) {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	log.Fatalf("%s never became healthy", base)
+}
+
+func post(url string, in, out any) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		log.Fatalf("POST %s: HTTP %d: %s", url, resp.StatusCode, msg.String())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("POST %s: decoding: %v", url, err)
+	}
+}
+
+func joinComma(s []string) string {
+	out := ""
+	for i, v := range s {
+		if i > 0 {
+			out += ","
+		}
+		out += v
+	}
+	return out
+}

@@ -55,7 +55,7 @@ func TestDefaults(t *testing.T) {
 	if len(QpSweep()) != 11 || QpSweep()[10] != 1 {
 		t.Fatalf("QpSweep = %v", QpSweep())
 	}
-	if len(AllFigureIDs()) != 18 {
+	if len(AllFigureIDs()) != 19 {
 		t.Fatalf("AllFigureIDs = %v", AllFigureIDs())
 	}
 }

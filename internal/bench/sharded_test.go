@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/uncertain"
+)
+
+func TestShardedExperimentShape(t *testing.T) {
+	cfg := smallConfig()
+	rep, err := Sharded(cfg, []int{1, 2}, 6, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.QPS <= 0 || p.UpdatesPerSec <= 0 {
+			t.Fatalf("non-positive throughput: %+v", p)
+		}
+		if p.Queries != 6 || p.Updates != 8 {
+			t.Fatalf("workload sizing drifted: %+v", p)
+		}
+	}
+	if rep.Points[0].Shards != 1 || rep.Points[0].QPSSpeedup != 1 || rep.Points[0].UpdatesSpeedup != 1 {
+		t.Fatalf("1-shard point is not the speedup base: %+v", rep.Points[0])
+	}
+}
+
+// TestShardedFleetMatchesSingleEngine checks the bench harness's own
+// scatter-gather: a partitioned fleet answers the same qualifying sets
+// as the 1-shard fleet (a single engine holding everything), before
+// and after routing a move trace through both.
+func TestShardedFleetMatchesSingleEngine(t *testing.T) {
+	cfg := smallConfig().withDefaults()
+	rcfg := dataset.LongBeachConfig()
+	rcfg.N = 800
+	rcfg.Seed = cfg.Seed + 1
+	objs, err := dataset.BuildUncertainObjects(dataset.GenerateRects(rcfg), cfg.Kind, uncertain.PaperCatalogProbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := buildShardedFleet(objs, 1, 64, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := buildShardedFleet(objs, 4, 64, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env := &Env{cfg: cfg, rng: newRng(cfg.Seed + 2)}
+	issuers, err := env.Issuers(8, DefaultParams().U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		for i, iss := range issuers {
+			req := core.RequestUncertain(iss, DefaultParams().W, DefaultParams().W, 0.3)
+			guard, err := req.GuardRegion()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := single.evaluate(context.Background(), req, guard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fleet.evaluate(context.Background(), req, guard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s: query %d: fleet %d matches, single engine %d", stage, i, got, want)
+			}
+		}
+	}
+	check("initial")
+
+	rng := newRng(cfg.Seed + 3)
+	trace := make([]shardedMove, 32)
+	for i := range trace {
+		c := geom.Pt(rng.Float64()*dataset.Extent, rng.Float64()*dataset.Extent)
+		trace[i] = shardedMove{
+			id:     objs[rng.Intn(len(objs))].ID,
+			region: geom.RectCentered(c, 10+rng.Float64()*90, 10+rng.Float64()*90),
+		}
+	}
+	if _, err := single.ingest(trace, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.ingest(trace, 8); err != nil {
+		t.Fatal(err)
+	}
+	check("after moves")
+}

@@ -22,6 +22,6 @@ func AllFigureIDs() []string {
 		"ablation-strategies", "ablation-catalog", "ablation-index",
 		"exp-io", "exp-sensitivity", "exp-throughput", "exp-adaptive",
 		"exp-continuous", "exp-mixed", "exp-nn", "exp-obs",
-		"exp-durability",
+		"exp-durability", "exp-sharded",
 	}
 }

@@ -56,6 +56,11 @@ type PointConfig struct {
 	// BackgroundFrac is the fraction of points drawn uniformly over
 	// the whole space rather than from a cluster.
 	BackgroundFrac float64
+	// ZipfS, when positive, skews cluster choice by a Zipf law over
+	// cluster rank (weight ∝ 1/rank^ZipfS) — the hotspot workload.
+	// Zero keeps the uniform cluster choice (and byte-identical output
+	// for existing seeds).
+	ZipfS float64
 	// Seed drives the generator.
 	Seed int64
 }
@@ -76,10 +81,11 @@ func CaliforniaConfig() PointConfig {
 type RectConfig struct {
 	// N is the number of rectangles.
 	N int
-	// Clusters, ClusterSigma, BackgroundFrac: as in PointConfig.
+	// Clusters, ClusterSigma, BackgroundFrac, ZipfS: as in PointConfig.
 	Clusters       int
 	ClusterSigma   float64
 	BackgroundFrac float64
+	ZipfS          float64
 	// MeanHalfW and MeanHalfH are the mean half extents; individual
 	// extents are exponentially distributed around them (many small
 	// regions, a few large ones), clamped to [MinHalf, MaxHalf].
@@ -110,9 +116,13 @@ func LongBeachConfig() RectConfig {
 func GeneratePoints(cfg PointConfig) []geom.Point {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	centers := clusterCenters(rng, cfg.Clusters)
+	var cum []float64
+	if cfg.ZipfS > 0 {
+		cum = zipfWeights(len(centers), cfg.ZipfS)
+	}
 	pts := make([]geom.Point, cfg.N)
 	for i := range pts {
-		pts[i] = samplePosition(rng, centers, cfg.ClusterSigma, cfg.BackgroundFrac)
+		pts[i] = samplePositionWeighted(rng, centers, cum, cfg.ClusterSigma, cfg.BackgroundFrac)
 	}
 	return pts
 }
@@ -121,9 +131,13 @@ func GeneratePoints(cfg PointConfig) []geom.Point {
 func GenerateRects(cfg RectConfig) []geom.Rect {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	centers := clusterCenters(rng, cfg.Clusters)
+	var cum []float64
+	if cfg.ZipfS > 0 {
+		cum = zipfWeights(len(centers), cfg.ZipfS)
+	}
 	rects := make([]geom.Rect, cfg.N)
 	for i := range rects {
-		c := samplePosition(rng, centers, cfg.ClusterSigma, cfg.BackgroundFrac)
+		c := samplePositionWeighted(rng, centers, cum, cfg.ClusterSigma, cfg.BackgroundFrac)
 		hw := clampF(rng.ExpFloat64()*cfg.MeanHalfW, cfg.MinHalf, cfg.MaxHalf)
 		hh := clampF(rng.ExpFloat64()*cfg.MeanHalfH, cfg.MinHalf, cfg.MaxHalf)
 		r := geom.RectCentered(c, hw, hh)
@@ -153,10 +167,17 @@ func clusterCenters(rng *rand.Rand, n int) []geom.Point {
 // probability backgroundFrac, otherwise Gaussian around a random
 // cluster center, clamped to the space.
 func samplePosition(rng *rand.Rand, centers []geom.Point, sigma, backgroundFrac float64) geom.Point {
+	return samplePositionWeighted(rng, centers, nil, sigma, backgroundFrac)
+}
+
+// samplePositionWeighted is samplePosition with an optional Zipf
+// cumulative distribution over the cluster centers (nil = uniform
+// choice, consuming the identical rng stream as before).
+func samplePositionWeighted(rng *rand.Rand, centers []geom.Point, cum []float64, sigma, backgroundFrac float64) geom.Point {
 	if len(centers) == 0 || rng.Float64() < backgroundFrac {
 		return geom.Pt(rng.Float64()*Extent, rng.Float64()*Extent)
 	}
-	c := centers[rng.Intn(len(centers))]
+	c := pickCluster(rng, centers, cum)
 	return geom.Pt(
 		clampF(c.X+rng.NormFloat64()*sigma, 0, Extent),
 		clampF(c.Y+rng.NormFloat64()*sigma, 0, Extent),

@@ -216,7 +216,7 @@ func (m *Monitor) Register(req core.Request) (*Subscription, error) {
 	sub.updateGuardLocked(res)
 	sub.stats.Reevals = 1
 	sub.noteCostLocked(res.Cost)
-	d := Delta{Seq: m.seq, Entered: res.Matches, Cost: res.Cost, Coalesced: 1}
+	d := Delta{Seq: m.seq, Version: resp.Version, Entered: res.Matches, Cost: res.Cost, Coalesced: 1}
 	for _, match := range res.Matches {
 		sub.current[match.ID] = match.P
 	}
@@ -334,18 +334,19 @@ func (m *Monitor) ApplyUpdates(ctx context.Context, batch []core.Update) (BatchO
 		reqs[i] = sub.req
 	}
 	seq := m.seq
+	version := snap.Version()
 	delivered := make([]bool, len(affected))
 	all := core.AllOptions{Workers: m.cfg.Workers, Seed: mixSeed(m.cfg.Seed, int64(m.seq))}
 	err := snap.EvaluateAll(ctx, reqs, all, func(i int, resp core.Response, rerr error) {
 		delivered[i] = true
 		sub := affected[i]
 		if rerr != nil {
-			sub.applyError(seq, rerr, resp.Cost)
+			sub.applyError(seq, version, rerr, resp.Cost)
 			m.evalErrors.Add(1)
 			m.deltas.Add(1)
 			return
 		}
-		if d, ok := sub.applyResult(seq, resp.Result); ok {
+		if d, ok := sub.applyResult(seq, version, resp.Result); ok {
 			out.Entered += len(d.Entered)
 			out.Left += len(d.Left)
 			out.Changed += len(d.Updated)
@@ -359,7 +360,7 @@ func (m *Monitor) ApplyUpdates(ctx context.Context, batch []core.Update) (BatchO
 		// their consumers see the staleness signal.
 		for i, sub := range affected {
 			if !delivered[i] {
-				sub.applyError(seq, err, core.Cost{})
+				sub.applyError(seq, version, err, core.Cost{})
 				m.evalErrors.Add(1)
 				m.deltas.Add(1)
 			}

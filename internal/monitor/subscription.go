@@ -31,6 +31,12 @@ type Delta struct {
 	// The registration snapshot carries the sequence current at
 	// registration time (0 only if no batch has been ingested yet).
 	Seq uint64
+	// Version is the engine version the delta's re-evaluation observed
+	// (the MVCC snapshot pinned with the batch commit). In a sharded
+	// fleet each shard numbers its own versions, so a router streaming
+	// merged deltas carries (shard, Version) pairs — a per-shard
+	// version vector — and replay stays bit-exact per shard.
+	Version uint64
 	// Entered lists objects that now qualify but did not before,
 	// ordered by descending probability.
 	Entered []core.Match
@@ -133,6 +139,7 @@ func compose(a, b Delta) Delta {
 
 	out := Delta{
 		Seq:       b.Seq,
+		Version:   b.Version,
 		Err:       b.Err,
 		Cost:      a.Cost,
 		Coalesced: a.Coalesced + b.Coalesced,
@@ -308,13 +315,13 @@ func (s *Subscription) Close() { s.m.Unregister(s.id) }
 // applyResult diffs a re-evaluation against the cached qualifying
 // set, commits the new set, queues the delta, and returns it. A
 // closed subscription ignores the result.
-func (s *Subscription) applyResult(seq uint64, res core.Result) (Delta, bool) {
+func (s *Subscription) applyResult(seq, version uint64, res core.Result) (Delta, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return Delta{}, false
 	}
-	d := Delta{Seq: seq, Cost: res.Cost, Coalesced: 1}
+	d := Delta{Seq: seq, Version: version, Cost: res.Cost, Coalesced: 1}
 	next := make(map[uncertain.ID]float64, len(res.Matches))
 	for _, m := range res.Matches {
 		next[m.ID] = m.P
@@ -349,7 +356,7 @@ func (s *Subscription) isStale() bool {
 }
 
 // applyError queues an error delta (the cached set is untouched).
-func (s *Subscription) applyError(seq uint64, err error, cost core.Cost) {
+func (s *Subscription) applyError(seq, version uint64, err error, cost core.Cost) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -359,7 +366,7 @@ func (s *Subscription) applyError(seq uint64, err error, cost core.Cost) {
 	s.stats.Reevals++
 	s.stats.Errors++
 	s.noteCostLocked(cost)
-	s.queueLocked(Delta{Seq: seq, Err: err, Cost: cost, Coalesced: 1})
+	s.queueLocked(Delta{Seq: seq, Version: version, Err: err, Cost: cost, Coalesced: 1})
 }
 
 func (s *Subscription) noteCostLocked(c core.Cost) {

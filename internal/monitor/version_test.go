@@ -1,0 +1,60 @@
+package monitor
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/pdf"
+	"repro/internal/uncertain"
+)
+
+// TestDeltaCarriesEngineVersion checks that every delta records the
+// MVCC version its re-evaluation observed: the registration snapshot
+// carries the version at registration, and each batch delta carries
+// the version published by that batch's commit.
+func TestDeltaCarriesEngineVersion(t *testing.T) {
+	eng, err := core.NewEngine(nil, nil, core.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(eng, Config{})
+
+	p, err := pdf.NewUniform(geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(100, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iss, err := uncertain.NewObject(-1, p, uncertain.PaperCatalogProbs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := m.Register(core.Request{Kind: core.KindPoints, Issuer: iss, W: 50, H: 50, Threshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sub.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version != eng.Version() {
+		t.Fatalf("registration delta version = %d, engine version = %d", d.Version, eng.Version())
+	}
+
+	for i := 0; i < 3; i++ {
+		before := eng.Version()
+		if _, err := m.ApplyUpdates(context.Background(), []core.Update{
+			{Op: core.OpUpsertPoint, Point: uncertain.PointObject{ID: uncertain.ID(i + 1), Loc: geom.Pt(10, float64(10*(i+1)))}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		d, err := sub.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Version <= before || d.Version != eng.Version() {
+			t.Fatalf("batch %d: delta version = %d (before=%d, engine=%d)",
+				i, d.Version, before, eng.Version())
+		}
+	}
+}

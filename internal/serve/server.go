@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"cmp"
@@ -30,20 +30,20 @@ import (
 // sigma_x/sigma_y are omitted). Unknown fields are rejected with a
 // structured 400.
 
-type issuerJSON struct {
+type IssuerJSON struct {
 	Region []float64 `json:"region"`
 	PDF    string    `json:"pdf,omitempty"`
 	SigmaX float64   `json:"sigma_x,omitempty"`
 	SigmaY float64   `json:"sigma_y,omitempty"`
 }
 
-type requestJSON struct {
+type RequestJSON struct {
 	// Kind is "uncertain" (default), "points", or "nn". Target is the
 	// deprecated pre-Request spelling, honored as an alias when Kind
 	// is empty.
 	Kind      string     `json:"kind,omitempty"`
 	Target    string     `json:"target,omitempty"`
-	Issuer    issuerJSON `json:"issuer"`
+	Issuer    IssuerJSON `json:"issuer"`
 	W         float64    `json:"w,omitempty"`
 	H         float64    `json:"h,omitempty"`
 	Threshold float64    `json:"threshold,omitempty"`
@@ -56,7 +56,7 @@ type requestJSON struct {
 	Trace bool `json:"trace,omitempty"`
 }
 
-type updateJSON struct {
+type UpdateJSON struct {
 	Op     string    `json:"op"` // upsert_point | delete_point | upsert_object | delete_object
 	ID     int64     `json:"id"`
 	X      float64   `json:"x,omitempty"`
@@ -67,12 +67,12 @@ type updateJSON struct {
 	SigmaY float64   `json:"sigma_y,omitempty"`
 }
 
-type matchJSON struct {
+type MatchJSON struct {
 	ID int64   `json:"id"`
 	P  float64 `json:"p"`
 }
 
-type costJSON struct {
+type CostJSON struct {
 	Candidates   int     `json:"candidates"`
 	Refined      int     `json:"refined"`
 	SamplesUsed  int64   `json:"samples_used"`
@@ -81,8 +81,8 @@ type costJSON struct {
 	DurationMS   float64 `json:"duration_ms"`
 }
 
-// spanJSON is one trace stage in an evaluate response.
-type spanJSON struct {
+// SpanJSON is one trace stage in an evaluate response.
+type SpanJSON struct {
 	Stage        string  `json:"stage"`
 	StartMS      float64 `json:"start_ms"`
 	DurationMS   float64 `json:"duration_ms"`
@@ -92,17 +92,24 @@ type spanJSON struct {
 	Note         string  `json:"note,omitempty"`
 }
 
-type deltaJSON struct {
-	Seq       uint64      `json:"seq"`
-	Entered   []matchJSON `json:"entered,omitempty"`
-	Updated   []matchJSON `json:"updated,omitempty"`
+type DeltaJSON struct {
+	Seq uint64 `json:"seq"`
+	// Version is the engine version the delta's re-evaluation observed.
+	// Per shard it is strictly monotone over the stream; a router
+	// merging shard streams tags each frame with the shard id, so the
+	// pairs form a per-shard version vector and replay stays bit-exact
+	// per shard.
+	Version   uint64      `json:"version"`
+	Shard     string      `json:"shard,omitempty"`
+	Entered   []MatchJSON `json:"entered,omitempty"`
+	Updated   []MatchJSON `json:"updated,omitempty"`
 	Left      []int64     `json:"left,omitempty"`
 	Error     string      `json:"error,omitempty"`
 	Coalesced int         `json:"coalesced"`
-	Cost      costJSON    `json:"cost"`
+	Cost      CostJSON    `json:"cost"`
 }
 
-func toRect(vals []float64) (geom.Rect, error) {
+func ToRect(vals []float64) (geom.Rect, error) {
 	if len(vals) != 4 {
 		return geom.Rect{}, fmt.Errorf("region wants [x0, y0, x1, y1], got %d values", len(vals))
 	}
@@ -113,7 +120,7 @@ func toRect(vals []float64) (geom.Rect, error) {
 	return r, nil
 }
 
-func toPDF(region geom.Rect, kind string, sx, sy float64) (pdf.PDF, error) {
+func ToPDF(region geom.Rect, kind string, sx, sy float64) (pdf.PDF, error) {
 	switch kind {
 	case "", "uniform":
 		return pdf.NewUniform(region)
@@ -133,7 +140,7 @@ const maxRequestWorkers = 16
 // candidate).
 const maxRequestNNSamples = 1 << 20
 
-// defaultNNBudget bounds an NN request's refinement work when neither
+// DefaultNNBudget bounds an NN request's refinement work when neither
 // the client nor the operator set a budget. The shared-stream kernel
 // draws nn_samples positions and scans the candidate set once per
 // draw, so worst-case work is samples × candidates distance checks —
@@ -142,20 +149,20 @@ const maxRequestNNSamples = 1 << 20
 // wide-issuer request over a large point database that would still
 // exceed it gets a structured 400 up front (core.ErrSampleBudget),
 // not a slow death. Operators override with -max-samples.
-const defaultNNBudget = 1 << 24
+const DefaultNNBudget = 1 << 24
 
-// defaultPerQueryLimit caps the per-standing-query series emitted on
+// DefaultPerQueryLimit caps the per-standing-query series emitted on
 // /metrics when the operator sets no explicit -metrics-per-query-limit:
 // the top entries by cumulative evaluation time are listed, the rest
 // are summarized by ildq_standing_queries_unlisted. Unbounded
 // per-query labels would make scrape cardinality grow with the number
 // of registered queries.
-const defaultPerQueryLimit = 50
+const DefaultPerQueryLimit = 50
 
-// toRequest decodes the wire request into a validated core.Request.
+// ToRequest decodes the wire request into a validated core.Request.
 // Errors are *core.RequestError where validation fails, so handlers
 // can surface the offending field.
-func (rj requestJSON) toRequest() (core.Request, error) {
+func (rj RequestJSON) ToRequest() (core.Request, error) {
 	kindName := rj.Kind
 	if kindName == "" {
 		kindName = rj.Target // deprecated alias
@@ -172,11 +179,11 @@ func (rj requestJSON) toRequest() (core.Request, error) {
 		return core.Request{}, &core.RequestError{Field: "kind",
 			Err: fmt.Errorf("%w: %q (want uncertain, points, or nn)", core.ErrBadKind, kindName)}
 	}
-	region, err := toRect(rj.Issuer.Region)
+	region, err := ToRect(rj.Issuer.Region)
 	if err != nil {
 		return core.Request{}, &core.RequestError{Field: "issuer", Err: err}
 	}
-	p, err := toPDF(region, rj.Issuer.PDF, rj.Issuer.SigmaX, rj.Issuer.SigmaY)
+	p, err := ToPDF(region, rj.Issuer.PDF, rj.Issuer.SigmaX, rj.Issuer.SigmaY)
 	if err != nil {
 		return core.Request{}, &core.RequestError{Field: "issuer", Err: err}
 	}
@@ -206,7 +213,7 @@ func (rj requestJSON) toRequest() (core.Request, error) {
 	return req, req.Validate()
 }
 
-func (uj updateJSON) toUpdate() (core.Update, error) {
+func (uj UpdateJSON) ToUpdate() (core.Update, error) {
 	switch uj.Op {
 	case "upsert_point":
 		return core.Update{Op: core.OpUpsertPoint,
@@ -214,11 +221,11 @@ func (uj updateJSON) toUpdate() (core.Update, error) {
 	case "delete_point":
 		return core.Update{Op: core.OpDeletePoint, ID: uncertain.ID(uj.ID)}, nil
 	case "upsert_object":
-		region, err := toRect(uj.Region)
+		region, err := ToRect(uj.Region)
 		if err != nil {
 			return core.Update{}, err
 		}
-		p, err := toPDF(region, uj.PDF, uj.SigmaX, uj.SigmaY)
+		p, err := ToPDF(region, uj.PDF, uj.SigmaX, uj.SigmaY)
 		if err != nil {
 			return core.Update{}, err
 		}
@@ -234,16 +241,16 @@ func (uj updateJSON) toUpdate() (core.Update, error) {
 	}
 }
 
-func toMatchesJSON(ms []core.Match) []matchJSON {
-	out := make([]matchJSON, len(ms))
+func ToMatchesJSON(ms []core.Match) []MatchJSON {
+	out := make([]MatchJSON, len(ms))
 	for i, m := range ms {
-		out[i] = matchJSON{ID: int64(m.ID), P: m.P}
+		out[i] = MatchJSON{ID: int64(m.ID), P: m.P}
 	}
 	return out
 }
 
-func toCostJSON(c core.Cost) costJSON {
-	return costJSON{
+func ToCostJSON(c core.Cost) CostJSON {
+	return CostJSON{
 		Candidates:   c.Candidates,
 		Refined:      c.Refined,
 		SamplesUsed:  c.SamplesUsed,
@@ -253,11 +260,11 @@ func toCostJSON(c core.Cost) costJSON {
 	}
 }
 
-func toTraceJSON(tr *obs.Trace) []spanJSON {
+func toTraceJSON(tr *obs.Trace) []SpanJSON {
 	spans := tr.Spans()
-	out := make([]spanJSON, len(spans))
+	out := make([]SpanJSON, len(spans))
 	for i, sp := range spans {
-		out[i] = spanJSON{
+		out[i] = SpanJSON{
 			Stage:        sp.Name,
 			StartMS:      float64(sp.Start.Nanoseconds()) / 1e6,
 			DurationMS:   float64(sp.Duration.Nanoseconds()) / 1e6,
@@ -270,13 +277,14 @@ func toTraceJSON(tr *obs.Trace) []spanJSON {
 	return out
 }
 
-func toDeltaJSON(d monitor.Delta) deltaJSON {
-	dj := deltaJSON{
+func ToDeltaJSON(d monitor.Delta) DeltaJSON {
+	dj := DeltaJSON{
 		Seq:       d.Seq,
-		Entered:   toMatchesJSON(d.Entered),
-		Updated:   toMatchesJSON(d.Updated),
+		Version:   d.Version,
+		Entered:   ToMatchesJSON(d.Entered),
+		Updated:   ToMatchesJSON(d.Updated),
 		Coalesced: d.Coalesced,
-		Cost:      toCostJSON(d.Cost),
+		Cost:      ToCostJSON(d.Cost),
 	}
 	if d.Err != nil {
 		dj.Error = d.Err.Error()
@@ -287,8 +295,8 @@ func toDeltaJSON(d monitor.Delta) deltaJSON {
 	return dj
 }
 
-// serveConfig carries the operator's observability knobs.
-type serveConfig struct {
+// Config carries the operator's observability knobs.
+type Config struct {
 	// SlowQuery is the one-shot latency threshold above which a query
 	// is counted slow and (subject to sampling) logged. Zero disables
 	// slow-query logging entirely.
@@ -298,7 +306,7 @@ type serveConfig struct {
 	// slow query regardless.
 	SlowEvery int
 	// PerQueryLimit caps the per-standing-query series on /metrics
-	// (top-K by cumulative eval time). 0 means defaultPerQueryLimit;
+	// (top-K by cumulative eval time). 0 means DefaultPerQueryLimit;
 	// negative means unlimited.
 	PerQueryLimit int
 	// Pprof mounts net/http/pprof under /debug/pprof.
@@ -306,17 +314,26 @@ type serveConfig struct {
 	// Logger receives the structured serve log (slow queries, swallowed
 	// write errors at debug). Nil discards.
 	Logger *slog.Logger
+	// ShardID identifies this process within a sharded fleet; echoed on
+	// /healthz so a router can verify it is talking to the shard it
+	// thinks it is. Empty for a standalone server.
+	ShardID string
+	// Tiles is the opaque tile-map spec this shard was booted with
+	// (shard.TileMap.Spec()); echoed on /healthz so a router can detect
+	// version skew — a shard running a different partitioning than the
+	// router would silently own the wrong objects.
+	Tiles string
 }
 
-// server is the HTTP layer over one monitor: one-shot evaluation,
+// Server is the HTTP layer over one monitor: one-shot evaluation,
 // standing-query registration and SSE delta streaming, update
 // ingestion, and metrics. defaults are the operator's evaluation
 // options (deadline, sample budget), applied to wire requests that
 // carry none of their own.
-type server struct {
+type Server struct {
 	mon      *monitor.Monitor
 	defaults core.EvalOptions
-	cfg      serveConfig
+	cfg      Config
 	mux      *http.ServeMux
 	reg      *obs.Registry
 	log      *slog.Logger
@@ -328,9 +345,9 @@ type server struct {
 	slow     *obs.Counter
 }
 
-func newServer(mon *monitor.Monitor, defaults core.EvalOptions, cfg serveConfig) *server {
+func NewServer(mon *monitor.Monitor, defaults core.EvalOptions, cfg Config) *Server {
 	if cfg.PerQueryLimit == 0 {
-		cfg.PerQueryLimit = defaultPerQueryLimit
+		cfg.PerQueryLimit = DefaultPerQueryLimit
 	}
 	if cfg.SlowEvery <= 0 {
 		cfg.SlowEvery = 1
@@ -338,7 +355,7 @@ func newServer(mon *monitor.Monitor, defaults core.EvalOptions, cfg serveConfig)
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
-	s := &server{
+	s := &Server{
 		mon:      mon,
 		defaults: defaults,
 		cfg:      cfg,
@@ -356,6 +373,7 @@ func newServer(mon *monitor.Monitor, defaults core.EvalOptions, cfg serveConfig)
 	s.mux.HandleFunc("DELETE /v1/queries/{id}", s.handleQueryDelete)
 	s.mux.HandleFunc("GET /v1/queries/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("POST /v1/updates", s.handleUpdates)
+	s.mux.HandleFunc("POST /v1/nn/candidates", s.handleNNCandidates)
 	s.mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -378,7 +396,7 @@ var evalKinds = [3]core.Kind{core.KindUncertain, core.KindPoints, core.KindNN}
 // dynamic collectors — their members change between scrapes — capped
 // at cfg.PerQueryLimit by cumulative evaluation time, with the
 // remainder summarized in ildq_standing_queries_unlisted.
-func (s *server) registerServeMetrics() {
+func (s *Server) registerServeMetrics() {
 	s.slow = s.reg.Counter("ildq_slow_queries_total",
 		"One-shot evaluations slower than the -slow-query threshold.")
 
@@ -478,7 +496,7 @@ func (s *server) registerServeMetrics() {
 // are emitted: all of them when under the limit, otherwise the top
 // PerQueryLimit by cumulative evaluation time (the queries costing the
 // most are the ones worth a label).
-func (s *server) topSubscriptions() []*monitor.Subscription {
+func (s *Server) topSubscriptions() []*monitor.Subscription {
 	subs := s.mon.Subscriptions()
 	limit := s.cfg.PerQueryLimit
 	if limit < 0 || len(subs) <= limit {
@@ -503,12 +521,12 @@ func (s *server) topSubscriptions() []*monitor.Subscription {
 	return out
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // writeJSON encodes v as the response body. An encode/write failure
 // here means the client is gone (or the value is unencodable — a bug
 // caught by tests), so it is logged at debug rather than surfaced.
-func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
@@ -519,7 +537,7 @@ func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError reports an error as JSON. Request-validation failures
 // carry the offending Request field so clients can see exactly what
 // to fix ({"error": ..., "field": ...}).
-func (s *server) writeError(w http.ResponseWriter, status int, err error) {
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	body := map[string]string{"error": err.Error()}
 	var reqErr *core.RequestError
 	if errors.As(err, &reqErr) {
@@ -532,7 +550,7 @@ func (s *server) writeError(w http.ResponseWriter, status int, err error) {
 // requests (typed *core.RequestError) and budget refusals (the
 // request asked for more Monte-Carlo work than the server allows) are
 // the client's fault (400), anything else the server's (500).
-func (s *server) writeRequestError(w http.ResponseWriter, err error) {
+func (s *Server) writeRequestError(w http.ResponseWriter, err error) {
 	var reqErr *core.RequestError
 	if errors.As(err, &reqErr) {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -557,13 +575,13 @@ func decodeBody(r *http.Request, v any) error {
 // decodeRequest decodes and validates the wire form of core.Request,
 // writing a structured 400 on failure. The raw wire request is
 // returned alongside for serve-only fields (trace).
-func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (requestJSON, core.Request, bool) {
-	var rj requestJSON
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (RequestJSON, core.Request, bool) {
+	var rj RequestJSON
 	if err := decodeBody(r, &rj); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return rj, core.Request{}, false
 	}
-	req, err := rj.toRequest()
+	req, err := rj.ToRequest()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return rj, core.Request{}, false
@@ -577,13 +595,13 @@ func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (requestJ
 		req.Options = s.defaults
 	}
 	if req.Kind == core.KindNN && req.Options.MaxSamples == 0 {
-		req.Options.MaxSamples = defaultNNBudget
+		req.Options.MaxSamples = DefaultNNBudget
 	}
 	return rj, req, true
 }
 
 // POST /v1/evaluate — one-shot request.
-func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	rj, req, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
@@ -601,15 +619,15 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeSlow(rid, req, resp, tr)
-	body := map[string]any{
-		"request_id": rid,
-		"kind":       resp.Kind.String(),
-		"version":    resp.Version,
-		"matches":    toMatchesJSON(resp.Matches),
-		"cost":       toCostJSON(resp.Cost),
+	body := EvaluateResponse{
+		RequestID: rid,
+		Kind:      resp.Kind.String(),
+		Version:   resp.Version,
+		Matches:   ToMatchesJSON(resp.Matches),
+		Cost:      ToCostJSON(resp.Cost),
 	}
 	if tr != nil {
-		body["trace"] = toTraceJSON(tr)
+		body.Trace = toTraceJSON(tr)
 	}
 	s.writeJSON(w, http.StatusOK, body)
 }
@@ -618,7 +636,7 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // than the operator's threshold. The log line carries the request id
 // the client saw, the headline cost counters, and — when the request
 // was traced — the per-stage breakdown.
-func (s *server) observeSlow(rid string, req core.Request, resp core.Response, tr *obs.Trace) {
+func (s *Server) observeSlow(rid string, req core.Request, resp core.Response, tr *obs.Trace) {
 	if s.cfg.SlowQuery <= 0 || resp.Cost.Duration < s.cfg.SlowQuery {
 		return
 	}
@@ -657,7 +675,7 @@ func stageSummary(tr *obs.Trace) string {
 }
 
 // POST /v1/queries — register a standing request.
-func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	_, req, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
@@ -667,14 +685,14 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		s.writeRequestError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusCreated, map[string]any{
-		"id":       sub.ID(),
-		"kind":     sub.Request().Kind.String(),
-		"snapshot": toMatchesJSON(sub.Snapshot()),
+	s.writeJSON(w, http.StatusCreated, RegisterResponse{
+		ID:       sub.ID(),
+		Kind:     sub.Request().Kind.String(),
+		Snapshot: ToMatchesJSON(sub.Snapshot()),
 	})
 }
 
-func (s *server) subscription(w http.ResponseWriter, r *http.Request) (*monitor.Subscription, bool) {
+func (s *Server) subscription(w http.ResponseWriter, r *http.Request) (*monitor.Subscription, bool) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad query id: %w", err))
@@ -689,7 +707,7 @@ func (s *server) subscription(w http.ResponseWriter, r *http.Request) (*monitor.
 }
 
 // GET /v1/queries/{id} — current answer and per-query counters.
-func (s *server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
 	sub, ok := s.subscription(w, r)
 	if !ok {
 		return
@@ -697,7 +715,7 @@ func (s *server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
 	st := sub.Stats()
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"id":       sub.ID(),
-		"snapshot": toMatchesJSON(sub.Snapshot()),
+		"snapshot": ToMatchesJSON(sub.Snapshot()),
 		"stats": map[string]any{
 			"reevals":       st.Reevals,
 			"skipped":       st.Skipped,
@@ -713,7 +731,7 @@ func (s *server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // DELETE /v1/queries/{id} — unregister.
-func (s *server) handleQueryDelete(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQueryDelete(w http.ResponseWriter, r *http.Request) {
 	sub, ok := s.subscription(w, r)
 	if !ok {
 		return
@@ -726,7 +744,7 @@ func (s *server) handleQueryDelete(w http.ResponseWriter, r *http.Request) {
 // events. The first event is the registration snapshot if nothing has
 // drained it yet; replaying all events from an empty set reconstructs
 // the live answer after every batch.
-func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	sub, ok := s.subscription(w, r)
 	if !ok {
 		return
@@ -748,7 +766,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		fmt.Fprint(w, "data: ")
-		if err := enc.Encode(toDeltaJSON(d)); err != nil {
+		if err := enc.Encode(ToDeltaJSON(d)); err != nil {
 			return
 		}
 		fmt.Fprint(w, "\n")
@@ -759,17 +777,15 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // POST /v1/updates — ingest one update batch.
-func (s *server) handleUpdates(w http.ResponseWriter, r *http.Request) {
-	var body struct {
-		Updates []updateJSON `json:"updates"`
-	}
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	var body UpdatesRequest
 	if err := decodeBody(r, &body); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	batch := make([]core.Update, len(body.Updates))
 	for i, uj := range body.Updates {
-		u, err := uj.toUpdate()
+		u, err := uj.ToUpdate()
 		if err != nil {
 			s.writeError(w, http.StatusBadRequest, fmt.Errorf("update %d: %w", i, err))
 			return
@@ -785,23 +801,19 @@ func (s *server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp := map[string]any{
-		"seq":         out.Seq,
-		"applied":     out.Report.Applied,
-		"missing":     out.Report.Missing,
-		"version":     out.Report.Version,
-		"reevaluated": out.Reevaluated,
-		"skipped":     out.Skipped,
-		"entered":     out.Entered,
-		"left":        out.Left,
-		"changed":     out.Changed,
+	resp := UpdatesResponse{
+		Seq:         out.Seq,
+		Applied:     out.Report.Applied,
+		Missing:     out.Report.Missing,
+		Version:     out.Report.Version,
+		Reevaluated: out.Reevaluated,
+		Skipped:     out.Skipped,
+		Entered:     out.Entered,
+		Left:        out.Left,
+		Changed:     out.Changed,
 	}
-	if len(out.Report.Errors) > 0 {
-		var errs []string
-		for _, e := range out.Report.Errors {
-			errs = append(errs, e.Error())
-		}
-		resp["errors"] = errs
+	for _, e := range out.Report.Errors {
+		resp.Errors = append(resp.Errors, e.Error())
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -811,7 +823,7 @@ func (s *server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 // buffer-pool telemetry), monitor families (batch histograms, guard
 // counters), and the serve families (per-kind standing aggregates,
 // capped per-query series, slow queries).
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := s.reg.WriteText(w); err != nil {
 		s.log.Debug("metrics write failed", "err", err)
@@ -823,7 +835,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // was started without -data-dir (an ephemeral engine has nothing to
 // checkpoint). A no-op checkpoint (no batches since the last one)
 // returns skipped=true.
-func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	info, err := s.mon.Engine().Checkpoint(r.Context())
 	switch {
 	case err == nil:
@@ -847,11 +859,17 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // engine is durable, the last checkpoint's version and age, how much
 // WAL replay the last boot needed, and how much un-checkpointed work
 // the WAL currently carries.
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	eng := s.mon.Engine()
 	resp := map[string]any{
 		"status":  "ok",
 		"version": eng.Version(),
+	}
+	if s.cfg.ShardID != "" {
+		resp["shard_id"] = s.cfg.ShardID
+	}
+	if s.cfg.Tiles != "" {
+		resp["tiles"] = s.cfg.Tiles
 	}
 	ds := eng.DurabilityStats()
 	resp["durable"] = ds.Enabled

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -18,16 +18,16 @@ import (
 )
 
 func testServer(t *testing.T) *httptest.Server {
-	return testServerCfg(t, serveConfig{})
+	return testServerCfg(t, Config{})
 }
 
-func testServerCfg(t *testing.T, cfg serveConfig) *httptest.Server {
+func testServerCfg(t *testing.T, cfg Config) *httptest.Server {
 	t.Helper()
 	eng, err := core.NewEngine(nil, nil, core.EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(monitor.New(eng, monitor.Config{Workers: 2}), core.EvalOptions{}, cfg))
+	ts := httptest.NewServer(NewServer(monitor.New(eng, monitor.Config{Workers: 2}), core.EvalOptions{}, cfg))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -473,7 +473,7 @@ func TestServeMetricsExposition(t *testing.T) {
 // bounded by -metrics-per-query-limit; queries over the cap are
 // summarized by ildq_standing_queries_unlisted instead of labeled.
 func TestServeMetricsPerQueryCap(t *testing.T) {
-	ts := testServerCfg(t, serveConfig{PerQueryLimit: 2})
+	ts := testServerCfg(t, Config{PerQueryLimit: 2})
 	for i := 0; i < 3; i++ {
 		postJSON(t, ts.URL+"/v1/queries", `{
 			"issuer": {"region": [450, 450, 550, 550]}, "w": 100, "h": 100}`)
@@ -549,7 +549,7 @@ func TestServeTrace(t *testing.T) {
 // writes every Nth line.
 func TestServeSlowQueryLog(t *testing.T) {
 	var buf syncBuffer
-	ts := testServerCfg(t, serveConfig{
+	ts := testServerCfg(t, Config{
 		SlowQuery: time.Nanosecond, // everything is slow
 		Logger:    slog.New(slog.NewTextHandler(&buf, nil)),
 	})
@@ -630,14 +630,14 @@ func TestServeStream(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
 		t.Fatalf("Content-Type = %q", ct)
 	}
-	events := make(chan deltaJSON, 16)
+	events := make(chan DeltaJSON, 16)
 	go func() {
 		defer close(events)
 		sc := bufio.NewScanner(resp.Body)
 		for sc.Scan() {
 			line := sc.Text()
 			if data, ok := strings.CutPrefix(line, "data: "); ok && data != "{}" {
-				var d deltaJSON
+				var d DeltaJSON
 				if json.Unmarshal([]byte(data), &d) == nil {
 					events <- d
 				}
@@ -709,7 +709,7 @@ func TestServeDurability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(monitor.New(eng, monitor.Config{Workers: 1}), core.EvalOptions{}, serveConfig{}))
+	ts := httptest.NewServer(NewServer(monitor.New(eng, monitor.Config{Workers: 1}), core.EvalOptions{}, Config{}))
 
 	code, health := getJSON(t, ts.URL+"/healthz")
 	if code != http.StatusOK || health["durable"] != true {

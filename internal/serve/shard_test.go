@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/monitor"
+	"repro/internal/uncertain"
+)
+
+// TestServeHealthzShardIdentity: a server launched as a fleet member
+// reports its shard id and tile spec on /healthz; a standalone server
+// omits both fields.
+func TestServeHealthzShardIdentity(t *testing.T) {
+	ts := testServerCfg(t, Config{ShardID: "2", Tiles: "grid:4x2@10000x10000"})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q, want ok", h.Status)
+	}
+	if h.ShardID != "2" {
+		t.Errorf("shard_id = %q, want 2", h.ShardID)
+	}
+	if h.Tiles != "grid:4x2@10000x10000" {
+		t.Errorf("tiles = %q, want grid:4x2@10000x10000", h.Tiles)
+	}
+
+	solo := testServer(t)
+	resp2, err := http.Get(solo.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["shard_id"]; ok {
+		t.Error("standalone /healthz should omit shard_id")
+	}
+	if _, ok := raw["tiles"]; ok {
+		t.Error("standalone /healthz should omit tiles")
+	}
+}
+
+// TestServeNNCandidatesEndpoint exercises the shard half of the fleet
+// NN protocol over HTTP: candidates come back ID-sorted with the local
+// tau, feeding them to core.EvaluateNNCandidates reproduces the local
+// /v1/evaluate result bit-for-bit, tau_bound narrows the sweep, and an
+// empty shard reports tau = +Inf by omission.
+func TestServeNNCandidatesEndpoint(t *testing.T) {
+	pts := make([]uncertain.PointObject, 0, 64)
+	for i := range 64 {
+		pts = append(pts, uncertain.PointObject{
+			ID:  uncertain.ID(i),
+			Loc: geom.Pt(float64(137*i%1000)*10, float64(271*i%1000)*10),
+		})
+	}
+	eng, err := core.NewEngine(pts, nil, core.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(NewServer(monitor.New(eng, monitor.Config{Workers: 1}), core.EvalOptions{}, Config{}))
+	t.Cleanup(hts.Close)
+	ts := hts.URL
+
+	reqBody := `{"request": {"kind": "nn", "k": 3,
+		"issuer": {"region": [4800, 4800, 5200, 5200]},
+		"nn_samples": 256, "seed": 41}}`
+	resp, err := http.Post(ts+"/v1/nn/candidates", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var set NNCandidatesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&set); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %+v", resp.StatusCode, set)
+	}
+	if len(set.Candidates) == 0 || set.Tau == nil || math.IsInf(set.TauValue(), 1) {
+		t.Fatalf("expected candidates and a finite tau, got %+v", set)
+	}
+	for i := 1; i < len(set.Candidates); i++ {
+		if set.Candidates[i-1].ID >= set.Candidates[i].ID {
+			t.Fatalf("candidates not strictly ID-sorted at %d", i)
+		}
+	}
+
+	// Re-evaluating the wire candidates must reproduce /v1/evaluate.
+	wire := RequestJSON{Kind: "nn", K: 3, NNSamples: 256, Seed: 41,
+		Issuer: IssuerJSON{Region: []float64{4800, 4800, 5200, 5200}}}
+	req, err := wire.ToRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := make([]core.NNCandidate, len(set.Candidates))
+	for i, c := range set.Candidates {
+		cands[i] = core.NNCandidate{ID: uncertain.ID(c.ID), Loc: [2]float64{c.X, c.Y}}
+	}
+	res, err := core.EvaluateNNCandidates(t.Context(), req, cands, set.TauValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := postJSON(t, ts+"/v1/evaluate", `{"kind": "nn", "k": 3,
+		"issuer": {"region": [4800, 4800, 5200, 5200]},
+		"nn_samples": 256, "seed": 41}`)
+	matches := local["matches"].([]any)
+	if len(matches) != len(res.Matches) {
+		t.Fatalf("reassembled %d matches, local evaluate %d", len(res.Matches), len(matches))
+	}
+	for i, m := range matches {
+		mm := m.(map[string]any)
+		if int64(mm["id"].(float64)) != int64(res.Matches[i].ID) {
+			t.Errorf("match %d: id %v vs %v", i, mm["id"], res.Matches[i].ID)
+		}
+		if math.Float64bits(mm["p"].(float64)) != math.Float64bits(res.Matches[i].P) {
+			t.Errorf("match %d: p not bit-exact: %v vs %v", i, mm["p"], res.Matches[i].P)
+		}
+	}
+
+	// tau_bound below the local tau prunes the candidate sweep.
+	bound := set.TauValue() * 0.5
+	resp, err = http.Post(ts+"/v1/nn/candidates", "application/json", strings.NewReader(fmt.Sprintf(
+		`{"request": {"kind": "nn", "k": 3, "issuer": {"region": [4800, 4800, 5200, 5200]},
+		  "nn_samples": 256, "seed": 41}, "tau_bound": %g}`, bound)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bounded NNCandidatesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&bounded); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bounded.Candidates) > len(set.Candidates) {
+		t.Errorf("tau_bound grew the candidate set: %d > %d", len(bounded.Candidates), len(set.Candidates))
+	}
+	if bounded.TauValue() != set.TauValue() {
+		t.Errorf("tau_bound changed the reported tau: %v vs %v", bounded.TauValue(), set.TauValue())
+	}
+
+	// An empty shard reports no candidates and omits tau (+Inf).
+	empty := testServer(t)
+	resp, err = http.Post(empty.URL+"/v1/nn/candidates", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var none NNCandidatesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&none); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(none.Candidates) != 0 || none.Tau != nil || !math.IsInf(none.TauValue(), 1) {
+		t.Errorf("empty shard: want no candidates and tau omitted, got %+v", none)
+	}
+
+	// Malformed bodies get structured 400s.
+	resp, err = http.Post(ts+"/v1/nn/candidates", "application/json",
+		strings.NewReader(`{"request": {"kind": "points", "issuer": {"region": [0,0,1,1]}, "w": 1, "h": 1, "threshold": 0.5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-NN request: HTTP %d, want 400", resp.StatusCode)
+	}
+}

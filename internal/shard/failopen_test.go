@@ -1,0 +1,207 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// downFleet builds a 2-shard fleet and kills shard 1's process.
+func downFleet(t *testing.T) *Router {
+	t.Helper()
+	rt := fleet(t, 2)
+	// Point shard 1 at a dead endpoint with a tight retry budget so
+	// the test exercises the backoff path without waiting on it.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	rt.shards[1].BaseURL = dead.URL
+	rt.shards[1].Retry = RetryPolicy{Attempts: 2, Backoff: time.Millisecond, MaxBackoff: time.Millisecond}
+	return rt
+}
+
+// TestRouterFailOpen: a dead shard degrades responses to Partial:true
+// with the missing shard listed, instead of failing the request.
+func TestRouterFailOpen(t *testing.T) {
+	rt := downFleet(t)
+	ctx := t.Context()
+
+	// Seed a point on the live shard (row 0: y < 5000 → shard 0).
+	if _, err := rt.ApplyUpdates(ctx, serve.UpdatesRequest{Updates: []serve.UpdateJSON{
+		{Op: "upsert_point", ID: 1, X: 1000, Y: 1000},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A wide query must fan to both shards; the dead one goes missing.
+	got, err := rt.Evaluate(ctx, serve.RequestJSON{
+		Kind:   "points",
+		Issuer: serve.IssuerJSON{Region: []float64{500, 500, 9500, 9500}},
+		W:      2000, H: 2000, Threshold: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Partial || !slices.Contains(got.MissingShards, "1") {
+		t.Fatalf("want Partial with shard 1 missing, got partial=%v missing=%v", got.Partial, got.MissingShards)
+	}
+	if len(got.Matches) != 1 || got.Matches[0].ID != 1 {
+		t.Fatalf("live shard's answer should survive fail-open: %v", got.Matches)
+	}
+
+	// NN fan-out is fleet-wide; it degrades the same way.
+	nn, err := rt.Evaluate(ctx, serve.RequestJSON{
+		Kind:   "nn",
+		Issuer: serve.IssuerJSON{Region: []float64{900, 900, 1100, 1100}},
+		K:      1, NNSamples: 64, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nn.Partial || len(nn.Matches) != 1 {
+		t.Fatalf("nn fail-open: partial=%v matches=%v", nn.Partial, nn.Matches)
+	}
+
+	// An update batch touching the dead shard reports it missing but
+	// commits on the live one, with the version vector covering only
+	// responders.
+	up, err := rt.ApplyUpdates(ctx, serve.UpdatesRequest{Updates: []serve.UpdateJSON{
+		{Op: "upsert_point", ID: 2, X: 1200, Y: 1200},
+		{Op: "upsert_point", ID: 3, X: 1200, Y: 8000}, // dead shard's territory (row 1)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Partial || !slices.Contains(up.MissingShards, "1") {
+		t.Fatalf("updates: want Partial with shard 1 missing, got %+v", up)
+	}
+	if _, ok := up.Versions["0"]; !ok {
+		t.Fatalf("version vector lost the live shard: %v", up.Versions)
+	}
+	if _, ok := up.Versions["1"]; ok {
+		t.Fatalf("version vector invented an entry for the dead shard: %v", up.Versions)
+	}
+
+	// The fleet health report flags the dead member.
+	rep := rt.Health(ctx)
+	if rep.Status != "degraded" || rep.Shards["1"].Status != "unreachable" {
+		t.Fatalf("health report: %+v", rep)
+	}
+	if rep.Shards["0"].Status != "ok" {
+		t.Fatalf("live shard misreported: %+v", rep.Shards["0"])
+	}
+
+	// Retry/failure counters moved for the dead shard.
+	if rt.m.failures.With("1").Value() == 0 {
+		t.Error("failure counter for the dead shard never moved")
+	}
+	if rt.m.retries.With("1").Value() == 0 {
+		t.Error("retry counter for the dead shard never moved")
+	}
+	if rt.m.partial.Value() == 0 {
+		t.Error("partial counter never moved")
+	}
+}
+
+// TestRouterServerStream drives the router's HTTP front end to end:
+// register a standing query over the fleet, ingest updates through the
+// router, and check the multiplexed SSE stream carries shard-tagged
+// frames with per-shard engine versions.
+func TestRouterServerStream(t *testing.T) {
+	rt := fleet(t, 2)
+	ts := httptest.NewServer(NewServer(rt))
+	t.Cleanup(ts.Close)
+
+	// A guard region spanning both shards.
+	reg, err := http.Post(ts.URL+"/v1/queries", "application/json", strings.NewReader(`{
+		"issuer": {"region": [4000, 4000, 6000, 6000]}, "w": 2500, "h": 2500, "threshold": 0.05}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regBody serve.RegisterResponse
+	if err := json.NewDecoder(reg.Body).Decode(&regBody); err != nil {
+		t.Fatal(err)
+	}
+	reg.Body.Close()
+	if reg.StatusCode != http.StatusCreated {
+		t.Fatalf("register: HTTP %d: %+v", reg.StatusCode, regBody)
+	}
+
+	// Standing NN is rejected with a structured 400.
+	nnReg, err := http.Post(ts.URL+"/v1/queries", "application/json", strings.NewReader(`{
+		"kind": "nn", "k": 2, "issuer": {"region": [4000, 4000, 6000, 6000]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nnReg.Body.Close()
+	if nnReg.StatusCode != http.StatusBadRequest {
+		t.Fatalf("standing nn through router: HTTP %d, want 400", nnReg.StatusCode)
+	}
+
+	stream, err := http.Get(ts.URL + "/v1/queries/" + jsonNum(regBody.ID) + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stream.Body.Close() })
+
+	// Objects straddling the y=5000 shard border enter on both shards.
+	if _, err := http.Post(ts.URL+"/v1/updates", "application/json", strings.NewReader(`{"updates": [
+		{"op": "upsert_object", "id": 10, "region": [4500, 4900, 4700, 5100]},
+		{"op": "upsert_object", "id": 11, "region": [5300, 4900, 5500, 5100]}]}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(stream.Body)
+	shardsSeen := map[string]uint64{}
+	entered := map[int64]bool{}
+	deadline := time.After(10 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") || line == "data: {}" {
+				continue
+			}
+			var d serve.DeltaJSON
+			if json.Unmarshal([]byte(line[len("data: "):]), &d) != nil {
+				continue
+			}
+			if d.Shard == "" {
+				continue
+			}
+			// Skip the registration frame (legitimately version 0 on an
+			// empty engine); update deltas must carry the version.
+			if d.Version > shardsSeen[d.Shard] {
+				shardsSeen[d.Shard] = d.Version
+			}
+			for _, m := range d.Entered {
+				entered[m.ID] = true
+			}
+			if entered[10] && entered[11] && shardsSeen["0"] > 0 && shardsSeen["1"] > 0 {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-deadline:
+		t.Fatalf("stream timed out; shards=%v entered=%v", shardsSeen, entered)
+	}
+	for shard, v := range shardsSeen {
+		if v == 0 {
+			t.Errorf("shard %s frame carried version 0 — version vector missing", shard)
+		}
+	}
+}
+
+func jsonNum(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

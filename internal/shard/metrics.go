@@ -1,0 +1,54 @@
+package shard
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// routerMetrics is the router's observability surface, exported on the
+// router's own /metrics. Per-shard families use the registry's Vec
+// instruments, so each shard id materialises one labeled series
+// (ildq_router_shard_requests_total{shard="2"}) without name mangling.
+type routerMetrics struct {
+	reg      *obs.Registry
+	requests *obs.CounterVec // requests issued, per shard (retries excluded)
+	retries  *obs.CounterVec // retry attempts, per shard
+	failures *obs.CounterVec // requests failed after all retries, per shard
+	updates  *obs.CounterVec // updates routed, per shard (replicas counted)
+	partial  *obs.Counter    // fail-open responses (Partial:true)
+	merge    *obs.HistogramVec
+	fanout   *obs.Histogram
+}
+
+func newRouterMetrics() *routerMetrics {
+	reg := obs.NewRegistry()
+	m := &routerMetrics{
+		reg: reg,
+		requests: reg.CounterVec("ildq_router_shard_requests_total",
+			"Shard requests issued by the router (first attempts).", "shard"),
+		retries: reg.CounterVec("ildq_router_shard_retries_total",
+			"Shard request retry attempts.", "shard"),
+		failures: reg.CounterVec("ildq_router_shard_failures_total",
+			"Shard requests that failed after exhausting the retry budget.", "shard"),
+		updates: reg.CounterVec("ildq_router_shard_updates_total",
+			"Updates routed to each shard (replicated updates counted per replica).", "shard"),
+		partial: reg.Counter("ildq_router_partial_total",
+			"Fail-open responses returned with Partial:true."),
+		merge: reg.HistogramVec("ildq_router_merge_seconds",
+			"Scatter-gather wall time per request, fan-out to merged response.",
+			obs.LatencyBuckets(), "op"),
+		fanout: reg.Histogram("ildq_router_fanout_shards",
+			"Shards contacted per routed request.",
+			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
+	}
+	return m
+}
+
+// mergeTimer starts the scatter-gather stopwatch for one op; the
+// returned func observes the elapsed time.
+func (m *routerMetrics) mergeTimer(op string) func() {
+	h := m.merge.With(op)
+	start := time.Now()
+	return func() { h.ObserveDuration(time.Since(start)) }
+}

@@ -1,0 +1,579 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/serve"
+	"repro/internal/uncertain"
+)
+
+// Router fans queries and updates across a tile-partitioned engine
+// fleet and merges the shard responses back into the single-server
+// wire format. Query merges are bit-exact against a single engine
+// holding the union of the data (see docs/sharding.md): range kinds
+// are a set union with replica dedup (replicas compute bit-identical
+// probabilities), NN runs the cross-shard tau-merge protocol with the
+// final refinement at the router.
+//
+// The router is the fleet's ingest path: it routes each update by the
+// ownership rule and remembers every object's replica set, so moves
+// and deletes reach exactly the shards that hold the object. Deletes
+// of objects the router has never seen (e.g. data preloaded behind its
+// back) fall back to a broadcast — a delete of an absent id is a no-op
+// on the shard.
+type Router struct {
+	tiles      *TileMap
+	shards     []*Client
+	log        *slog.Logger
+	m          *routerMetrics
+	maxSamples int64
+
+	// ingestMu serializes ApplyUpdates end to end: routing consults
+	// and mutates the ownership cache, and per-shard batch order must
+	// match the order the cache decisions were made in for delta
+	// replay to stay bit-exact per shard.
+	ingestMu sync.Mutex
+	mu       sync.Mutex // guards owners, points, subs
+	owners   map[int64]ownerRec
+	points   map[int64]int
+	subs     map[int64]*routerSub
+	seq      atomic.Uint64
+	subID    atomic.Int64
+}
+
+// ownerRec is the cached placement of one replicated uncertain object.
+type ownerRec struct {
+	owner    int
+	replicas []int
+}
+
+// routerSub is one standing query fanned to member shards.
+type routerSub struct {
+	id      int64
+	kind    string
+	members []subMember
+}
+
+type subMember struct {
+	shard int   // index into Router.shards
+	subID int64 // the shard-local standing query id
+}
+
+// Config parameterizes NewRouter.
+type Config struct {
+	// Logger receives router logs (slog.Default() when nil).
+	Logger *slog.Logger
+	// MaxSamples is the evaluation sample budget applied to NN
+	// refinement at the router (0 = serve.DefaultNNBudget, matching a
+	// standalone ildq-serve).
+	MaxSamples int64
+}
+
+// NewRouter builds a router over the fleet. clients[i] must serve the
+// tiles the map assigns to shard i.
+func NewRouter(tiles *TileMap, clients []*Client, cfg Config) (*Router, error) {
+	if tiles == nil {
+		return nil, errors.New("shard: router needs a tile map")
+	}
+	if len(clients) != tiles.NumShards() {
+		return nil, fmt.Errorf("shard: tile map wants %d shards, got %d clients", tiles.NumShards(), len(clients))
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	r := &Router{
+		tiles:  tiles,
+		shards: clients,
+		log:    log,
+		m:      newRouterMetrics(),
+		owners: make(map[int64]ownerRec),
+		points: make(map[int64]int),
+		subs:   make(map[int64]*routerSub),
+	}
+	r.maxSamples = cfg.MaxSamples
+	if r.maxSamples == 0 {
+		r.maxSamples = serve.DefaultNNBudget
+	}
+	for i, c := range clients {
+		id := c.ID
+		if id == "" {
+			id = fmt.Sprint(i)
+			c.ID = id
+		}
+		retries := r.m.retries.With(id)
+		c.OnRetry = func() { retries.Inc() }
+	}
+	return r, nil
+}
+
+// Tiles returns the router's tile map.
+func (r *Router) Tiles() *TileMap { return r.tiles }
+
+// scatter runs fn against every target shard concurrently and returns
+// the per-target error slice (nil entries succeeded).
+func (r *Router) scatter(targets []int, fn func(shard int) error) []error {
+	r.m.fanout.Observe(float64(len(targets)))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, s := range targets {
+		wg.Add(1)
+		go func(i, s int) {
+			defer wg.Done()
+			r.m.requests.With(r.shards[s].ID).Inc()
+			errs[i] = fn(s)
+		}(i, s)
+	}
+	wg.Wait()
+	return errs
+}
+
+// missing folds scatter errors into the fail-open partial marker: the
+// list of shard ids that never produced a response.
+func (r *Router) missing(targets []int, errs []error, op string) []string {
+	var miss []string
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		id := r.shards[targets[i]].ID
+		r.m.failures.With(id).Inc()
+		r.log.Warn("shard unavailable", "op", op, "shard", id, "err", err)
+		miss = append(miss, id)
+	}
+	if miss != nil {
+		r.m.partial.Inc()
+	}
+	return miss
+}
+
+// Evaluate routes one one-shot request: compute the probe/guard
+// region, fan to the intersecting shards, merge. The error, when of
+// type *core.RequestError, is the client's fault (HTTP 400).
+func (r *Router) Evaluate(ctx context.Context, rj serve.RequestJSON) (serve.EvaluateResponse, error) {
+	req, err := rj.ToRequest()
+	if err != nil {
+		return serve.EvaluateResponse{}, err
+	}
+	if req.Kind == core.KindNN {
+		return r.evaluateNN(ctx, rj, req)
+	}
+	guard, err := req.GuardRegion()
+	if err != nil {
+		return serve.EvaluateResponse{}, err
+	}
+	targets := r.tiles.ShardsOverlapping(guard)
+	sw := r.m.mergeTimer("evaluate")
+	defer sw()
+
+	resps := make([]serve.EvaluateResponse, len(targets))
+	errs := r.scatter(targets, func(s int) error {
+		idx := sort.SearchInts(targets, s)
+		resp, err := r.shards[s].Evaluate(ctx, rj)
+		resps[idx] = resp
+		return err
+	})
+
+	out := serve.EvaluateResponse{Kind: req.Kind.String(), Matches: []serve.MatchJSON{}}
+	seen := make(map[int64]struct{})
+	var merged []core.Match
+	for i, resp := range resps {
+		if errs[i] != nil {
+			continue
+		}
+		out.Version = max(out.Version, resp.Version)
+		addCost(&out.Cost, resp.Cost)
+		for _, m := range resp.Matches {
+			if _, dup := seen[m.ID]; dup {
+				continue // replica copy: bit-identical probability
+			}
+			seen[m.ID] = struct{}{}
+			merged = append(merged, core.Match{ID: uncertain.ID(m.ID), P: m.P})
+		}
+	}
+	out.MissingShards = r.missing(targets, errs, "evaluate")
+	out.Partial = out.MissingShards != nil
+	if !out.Partial && allFailed(errs) && len(targets) > 0 {
+		out.Partial = true
+	}
+	core.SortMatches(merged)
+	out.Matches = serve.ToMatchesJSON(merged)
+	return out, nil
+}
+
+func allFailed(errs []error) bool {
+	for _, err := range errs {
+		if err == nil {
+			return false
+		}
+	}
+	return len(errs) > 0
+}
+
+func addCost(dst *serve.CostJSON, c serve.CostJSON) {
+	dst.Candidates += c.Candidates
+	dst.Refined += c.Refined
+	dst.SamplesUsed += c.SamplesUsed
+	dst.EarlyStopped += c.EarlyStopped
+	dst.NodeAccesses += c.NodeAccesses
+	dst.DurationMS = max(dst.DurationMS, c.DurationMS)
+}
+
+// evaluateNN runs the cross-shard tau-merge: collect each shard's
+// candidate tally and local pruning distance, tighten the global tau
+// to the minimum, re-issue to shards whose (truncated) tally may be
+// incomplete, then refine the merged candidate set at the router.
+// Because every point lives on exactly one shard, min-of-local-taus
+// equals the single-engine tau and the filtered union equals the
+// single-engine candidate set; refinement is a pure function of the
+// request seed and the ID-sorted candidates, so the qualifying tallies
+// are Float64bits-identical to a single engine's.
+func (r *Router) evaluateNN(ctx context.Context, rj serve.RequestJSON, req core.Request) (serve.EvaluateResponse, error) {
+	targets := r.tiles.AllShards()
+	sw := r.m.mergeTimer("nn")
+	defer sw()
+
+	resps := make([]serve.NNCandidatesResponse, len(targets))
+	creq := serve.NNCandidatesRequest{Request: rj}
+	errs := r.scatter(targets, func(s int) error {
+		resp, err := r.shards[s].NNCandidates(ctx, creq)
+		resps[s] = resp
+		return err
+	})
+
+	tau := math.Inf(1)
+	anyOK := false
+	for i := range resps {
+		if errs[i] != nil {
+			continue
+		}
+		anyOK = true
+		tau = math.Min(tau, resps[i].TauValue())
+	}
+	if !anyOK {
+		return serve.EvaluateResponse{}, fmt.Errorf("shard: nn fan-out: no shard responded (first: %w)", firstErr(errs))
+	}
+
+	// Second round: a truncated tally may have dropped candidates
+	// inside the final tau ball; re-collect under the tightened bound.
+	bounded := creq
+	bounded.TauBound = tau
+	for i := range resps {
+		if errs[i] != nil || !resps[i].Truncated {
+			continue
+		}
+		r.m.requests.With(r.shards[targets[i]].ID).Inc()
+		resp, err := r.shards[targets[i]].NNCandidates(ctx, bounded)
+		if err == nil && resp.Truncated {
+			err = fmt.Errorf("shard: shard %s candidate tally still truncated at tau=%g", r.shards[targets[i]].ID, tau)
+		}
+		resps[i], errs[i] = resp, err
+	}
+
+	u0 := req.Issuer.Region()
+	seen := make(map[int64]struct{})
+	var (
+		cands        []core.NNCandidate
+		nodeAccesses int64
+		version      uint64
+	)
+	for i, resp := range resps {
+		if errs[i] != nil {
+			continue
+		}
+		version = max(version, resp.Version)
+		nodeAccesses += resp.NodeAccesses
+		for _, c := range resp.Candidates {
+			if u0.MinDist(geom.Pt(c.X, c.Y)) > tau {
+				continue // collected under a looser local tau
+			}
+			if _, dup := seen[c.ID]; dup {
+				continue
+			}
+			seen[c.ID] = struct{}{}
+			cands = append(cands, core.NNCandidate{ID: uncertain.ID(c.ID), Loc: [2]float64{c.X, c.Y}})
+		}
+	}
+	if req.Options.MaxSamples == 0 {
+		req.Options.MaxSamples = r.maxSamples
+	}
+	res, err := core.EvaluateNNCandidates(ctx, req, cands, tau)
+	if err != nil {
+		return serve.EvaluateResponse{}, err
+	}
+	out := serve.EvaluateResponse{
+		Kind:    req.Kind.String(),
+		Version: version,
+		Matches: serve.ToMatchesJSON(res.Matches),
+		Cost:    serve.ToCostJSON(res.Cost),
+	}
+	out.Cost.NodeAccesses += nodeAccesses
+	out.MissingShards = r.missing(targets, errs, "nn")
+	out.Partial = out.MissingShards != nil
+	return out, nil
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyUpdates splits one update batch by ownership and fans the
+// per-shard sub-batches out concurrently. A straddling move — an
+// upsert whose new region overlaps a different shard set than the old
+// one — becomes an upsert on the entering shards plus a delete on the
+// leaving shards, all inside this one router batch, so no shard ever
+// holds a stale copy past the batch boundary. The response carries the
+// per-shard version vector; counts are physical (a replicated upsert
+// counts once per replica).
+func (r *Router) ApplyUpdates(ctx context.Context, body serve.UpdatesRequest) (serve.UpdatesResponse, error) {
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+
+	batches := make([][]serve.UpdateJSON, len(r.shards))
+	route := func(s int, u serve.UpdateJSON) { batches[s] = append(batches[s], u) }
+
+	r.mu.Lock()
+	for i, u := range body.Updates {
+		if _, err := u.ToUpdate(); err != nil {
+			r.mu.Unlock()
+			return serve.UpdatesResponse{}, &core.RequestError{Field: "updates", Err: fmt.Errorf("update %d: %w", i, err)}
+		}
+		switch u.Op {
+		case "upsert_point":
+			home := r.tiles.ShardOf(geom.Pt(u.X, u.Y))
+			if prev, ok := r.points[u.ID]; ok && prev != home {
+				route(prev, serve.UpdateJSON{Op: "delete_point", ID: u.ID})
+			}
+			route(home, u)
+			r.points[u.ID] = home
+		case "delete_point":
+			if home, ok := r.points[u.ID]; ok {
+				route(home, u)
+				delete(r.points, u.ID)
+			} else {
+				for s := range r.shards {
+					route(s, u)
+				}
+			}
+		case "upsert_object":
+			region, err := serve.ToRect(u.Region)
+			if err != nil {
+				r.mu.Unlock()
+				return serve.UpdatesResponse{}, &core.RequestError{Field: "updates", Err: fmt.Errorf("update %d: %w", i, err)}
+			}
+			replicas := r.tiles.ShardsOverlapping(region)
+			prev := r.owners[u.ID]
+			for _, s := range prev.replicas {
+				if !containsInt(replicas, s) {
+					route(s, serve.UpdateJSON{Op: "delete_object", ID: u.ID})
+				}
+			}
+			for _, s := range replicas {
+				route(s, u)
+			}
+			r.owners[u.ID] = ownerRec{owner: r.tiles.Owner(region), replicas: replicas}
+		case "delete_object":
+			if prev, ok := r.owners[u.ID]; ok {
+				for _, s := range prev.replicas {
+					route(s, u)
+				}
+				delete(r.owners, u.ID)
+			} else {
+				for s := range r.shards {
+					route(s, u)
+				}
+			}
+		}
+	}
+	r.mu.Unlock()
+
+	var targets []int
+	for s, b := range batches {
+		if len(b) > 0 {
+			targets = append(targets, s)
+		}
+	}
+	out := serve.UpdatesResponse{
+		Seq:      r.seq.Add(1),
+		Versions: make(map[string]uint64),
+	}
+	resps := make([]serve.UpdatesResponse, len(r.shards))
+	errs := r.scatter(targets, func(s int) error {
+		r.m.updates.With(r.shards[s].ID).Add(int64(len(batches[s])))
+		resp, err := r.shards[s].Updates(ctx, serve.UpdatesRequest{Updates: batches[s]})
+		resps[s] = resp
+		return err
+	})
+	for i, s := range targets {
+		if errs[i] != nil {
+			continue
+		}
+		resp := resps[s]
+		out.Applied += resp.Applied
+		out.Missing += resp.Missing
+		out.Reevaluated += resp.Reevaluated
+		out.Skipped += resp.Skipped
+		out.Entered += resp.Entered
+		out.Left += resp.Left
+		out.Changed += resp.Changed
+		out.Versions[r.shards[s].ID] = resp.Version
+		out.Version = max(out.Version, resp.Version)
+		for _, e := range resp.Errors {
+			out.Errors = append(out.Errors, fmt.Sprintf("shard %s: %s", r.shards[s].ID, e))
+		}
+	}
+	out.MissingShards = r.missing(targets, errs, "updates")
+	out.Partial = out.MissingShards != nil
+	return out, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Register fans a standing range query to the shards its guard region
+// intersects and returns the merged registration snapshot under a
+// router-assigned id. Standing NN queries are rejected: their guard is
+// unbounded until an evaluation fixes tau, and the cross-shard tau
+// guard is not maintained incrementally — issue one-shot NN requests
+// through the router instead.
+func (r *Router) Register(ctx context.Context, rj serve.RequestJSON) (serve.RegisterResponse, []string, error) {
+	req, err := rj.ToRequest()
+	if err != nil {
+		return serve.RegisterResponse{}, nil, err
+	}
+	if req.Kind == core.KindNN {
+		return serve.RegisterResponse{}, nil, &core.RequestError{Field: "kind",
+			Err: errors.New("standing nn queries are not routable across shards; use one-shot /v1/evaluate")}
+	}
+	guard, err := req.GuardRegion()
+	if err != nil {
+		return serve.RegisterResponse{}, nil, err
+	}
+	targets := r.tiles.ShardsOverlapping(guard)
+	resps := make([]serve.RegisterResponse, len(targets))
+	errs := r.scatter(targets, func(s int) error {
+		idx := sort.SearchInts(targets, s)
+		resp, err := r.shards[s].Register(ctx, rj)
+		resps[idx] = resp
+		return err
+	})
+	sub := &routerSub{id: r.subID.Add(1), kind: req.Kind.String()}
+	seen := make(map[int64]struct{})
+	var merged []core.Match
+	for i, resp := range resps {
+		if errs[i] != nil {
+			continue
+		}
+		sub.members = append(sub.members, subMember{shard: targets[i], subID: resp.ID})
+		for _, m := range resp.Snapshot {
+			if _, dup := seen[m.ID]; dup {
+				continue
+			}
+			seen[m.ID] = struct{}{}
+			merged = append(merged, core.Match{ID: uncertain.ID(m.ID), P: m.P})
+		}
+	}
+	miss := r.missing(targets, errs, "register")
+	if len(sub.members) == 0 {
+		return serve.RegisterResponse{}, miss, fmt.Errorf("shard: register: no shard accepted (first: %w)", firstErr(errs))
+	}
+	core.SortMatches(merged)
+	r.mu.Lock()
+	r.subs[sub.id] = sub
+	r.mu.Unlock()
+	return serve.RegisterResponse{
+		ID:       sub.id,
+		Kind:     sub.kind,
+		Snapshot: serve.ToMatchesJSON(merged),
+	}, miss, nil
+}
+
+// Subscription looks up a router standing query.
+func (r *Router) Subscription(id int64) (*routerSub, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sub, ok := r.subs[id]
+	return sub, ok
+}
+
+// Deregister removes a router standing query from every member shard.
+func (r *Router) Deregister(ctx context.Context, id int64) error {
+	r.mu.Lock()
+	sub, ok := r.subs[id]
+	if ok {
+		delete(r.subs, id)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("shard: no standing query %d", id)
+	}
+	var firstErr error
+	for _, m := range sub.members {
+		if err := r.shards[m.shard].Deregister(ctx, m.subID); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ShardHealth is one shard's entry in the router health report.
+type ShardHealth struct {
+	Status  string `json:"status"`
+	Version uint64 `json:"version,omitempty"`
+	Tiles   string `json:"tiles,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// HealthReport is the router /healthz body: per-shard reachability,
+// the engine version vector, and tile-spec agreement (a shard serving
+// a different tile map than the router is flagged, not silently
+// queried).
+type HealthReport struct {
+	Status string                 `json:"status"` // ok | degraded
+	Tiles  string                 `json:"tiles"`
+	Shards map[string]ShardHealth `json:"shards"`
+}
+
+// Health fans /healthz to the fleet.
+func (r *Router) Health(ctx context.Context) HealthReport {
+	spec := r.tiles.Spec()
+	rep := HealthReport{Status: "ok", Tiles: spec, Shards: make(map[string]ShardHealth, len(r.shards))}
+	var mu sync.Mutex
+	r.scatter(r.tiles.AllShards(), func(s int) error {
+		h, err := r.shards[s].Healthz(ctx)
+		sh := ShardHealth{Status: "ok", Version: h.Version, Tiles: h.Tiles}
+		if err != nil {
+			sh = ShardHealth{Status: "unreachable", Error: err.Error()}
+		} else if h.Tiles != "" && h.Tiles != spec {
+			sh.Status = "tiles_mismatch"
+		}
+		mu.Lock()
+		if sh.Status != "ok" {
+			rep.Status = "degraded"
+		}
+		rep.Shards[r.shards[s].ID] = sh
+		mu.Unlock()
+		return err
+	})
+	return rep
+}

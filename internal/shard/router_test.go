@@ -1,0 +1,246 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/monitor"
+	"repro/internal/serve"
+)
+
+// fleet boots n in-process shard servers plus a router over them.
+func fleet(t *testing.T, n int) *Router {
+	t.Helper()
+	m, err := Uniform(geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(10000, 10000)}, 4, 2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*Client, n)
+	for i := range n {
+		eng, err := core.NewEngine(nil, nil, core.EngineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := serve.NewServer(monitor.New(eng, monitor.Config{Workers: 1}), core.EvalOptions{},
+			serve.Config{ShardID: fmt.Sprint(i), Tiles: m.Spec()})
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		clients[i] = &Client{ID: fmt.Sprint(i), BaseURL: ts.URL}
+	}
+	r, err := NewRouter(m, clients, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// reference boots one single-engine server holding the union of the
+// data — the bit-exactness oracle.
+func reference(t *testing.T) (*serve.Server, *Client) {
+	t.Helper()
+	eng, err := core.NewEngine(nil, nil, core.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(monitor.New(eng, monitor.Config{Workers: 1}), core.EvalOptions{}, serve.Config{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, &Client{ID: "ref", BaseURL: ts.URL}
+}
+
+// TestRouterBitExact is the sharding correctness property: a random
+// trace of updates — straddling objects included — interleaved with
+// queries of every kind produces Float64bits-identical qualifying sets
+// through router+N shards and through a single engine, for N ∈ {1, 2,
+// 4}.
+func TestRouterBitExact(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			rt := fleet(t, n)
+			_, ref := reference(t)
+			rng := rand.New(rand.NewSource(int64(4700 + n)))
+			ctx := t.Context()
+
+			region := func(straddle bool) []float64 {
+				var cx, cy float64
+				if straddle {
+					// Center on a tile boundary (grid 4x2 → x at
+					// multiples of 2500, y at 5000) so the region
+					// replicates across shards.
+					cx = float64(1+rng.Intn(3)) * 2500
+					cy = 5000
+				} else {
+					cx = rng.Float64() * 10000
+					cy = rng.Float64() * 10000
+				}
+				hw := 20 + rng.Float64()*400
+				hh := 20 + rng.Float64()*400
+				return []float64{
+					math.Max(0, cx-hw), math.Max(0, cy-hh),
+					math.Min(10000, cx+hw), math.Min(10000, cy+hh),
+				}
+			}
+
+			liveObj := map[int64][]float64{}
+			livePt := map[int64][2]float64{}
+			batch := func(size int) serve.UpdatesRequest {
+				var ups []serve.UpdateJSON
+				for range size {
+					id := int64(rng.Intn(60))
+					switch rng.Intn(6) {
+					case 0, 1: // upsert/move an uncertain object
+						r := region(rng.Intn(2) == 0)
+						liveObj[id] = r
+						ups = append(ups, serve.UpdateJSON{Op: "upsert_object", ID: id, Region: r})
+					case 2, 3: // upsert/move a point
+						x, y := rng.Float64()*10000, rng.Float64()*10000
+						livePt[id] = [2]float64{x, y}
+						ups = append(ups, serve.UpdateJSON{Op: "upsert_point", ID: id, X: x, Y: y})
+					case 4:
+						delete(liveObj, id)
+						ups = append(ups, serve.UpdateJSON{Op: "delete_object", ID: id})
+					case 5:
+						delete(livePt, id)
+						ups = append(ups, serve.UpdateJSON{Op: "delete_point", ID: id})
+					}
+				}
+				return serve.UpdatesRequest{Updates: ups}
+			}
+
+			queries := func() []serve.RequestJSON {
+				cx, cy := rng.Float64()*9000+500, rng.Float64()*9000+500
+				iss := serve.IssuerJSON{Region: []float64{cx - 300, cy - 300, cx + 300, cy + 300}}
+				return []serve.RequestJSON{
+					{Kind: "uncertain", Issuer: iss, W: 900, H: 900, Threshold: 0.1, Seed: rng.Int63()},
+					{Kind: "uncertain", Issuer: iss, W: 1400, H: 1400, Seed: rng.Int63()},
+					{Kind: "points", Issuer: iss, W: 1200, H: 1200, Threshold: 0.3, Seed: rng.Int63()},
+					{Kind: "nn", Issuer: iss, K: 4, NNSamples: 256, Seed: rng.Int63()},
+				}
+			}
+
+			compare := func(round int, q serve.RequestJSON) {
+				got, err := rt.Evaluate(ctx, q)
+				if err != nil {
+					t.Fatalf("round %d: router %s: %v", round, q.Kind, err)
+				}
+				if got.Partial {
+					t.Fatalf("round %d: unexpected partial response (missing %v)", round, got.MissingShards)
+				}
+				want, err := ref.Evaluate(ctx, q)
+				if err != nil {
+					t.Fatalf("round %d: reference %s: %v", round, q.Kind, err)
+				}
+				if len(got.Matches) != len(want.Matches) {
+					t.Fatalf("round %d: %s: router %d matches, single engine %d\nrouter: %v\nsingle: %v",
+						round, q.Kind, len(got.Matches), len(want.Matches), got.Matches, want.Matches)
+				}
+				for i := range want.Matches {
+					g, w := got.Matches[i], want.Matches[i]
+					if g.ID != w.ID || math.Float64bits(g.P) != math.Float64bits(w.P) {
+						t.Fatalf("round %d: %s: match %d differs: router {%d %v} single {%d %v}",
+							round, q.Kind, i, g.ID, g.P, w.ID, w.P)
+					}
+				}
+			}
+
+			for round := range 4 {
+				b := batch(25)
+				if _, err := rt.ApplyUpdates(ctx, b); err != nil {
+					t.Fatalf("round %d: router updates: %v", round, err)
+				}
+				if _, err := ref.Updates(ctx, b); err != nil {
+					t.Fatalf("round %d: reference updates: %v", round, err)
+				}
+				for _, q := range queries() {
+					compare(round, q)
+				}
+			}
+		})
+	}
+}
+
+// TestRouterStraddlerReplication checks the ownership bookkeeping
+// directly: a straddling object lands on every overlapping shard, a
+// move to a disjoint shard set deletes the stale copies in the same
+// batch, and a final delete clears every replica.
+func TestRouterStraddlerReplication(t *testing.T) {
+	rt := fleet(t, 4)
+	ctx := t.Context()
+
+	// On the 4x2 grid with 4 shards, shard 0 owns y<5000, x<5000 and
+	// shard 1 owns y<5000, x≥5000 — this straddles their x=5000 border.
+	r1 := []float64{4900, 1000, 5100, 1200}
+	resp, err := rt.ApplyUpdates(ctx, serve.UpdatesRequest{Updates: []serve.UpdateJSON{
+		{Op: "upsert_object", ID: 7, Region: r1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Applied != 2 {
+		t.Fatalf("straddler should apply on 2 replicas, physical applied = %d", resp.Applied)
+	}
+	if len(resp.Versions) != 2 {
+		t.Fatalf("version vector covers %d shards, want 2: %v", len(resp.Versions), resp.Versions)
+	}
+
+	rt.mu.Lock()
+	rec := rt.owners[7]
+	rt.mu.Unlock()
+	if len(rec.replicas) != 2 || !containsInt(rec.replicas, rec.owner) {
+		t.Fatalf("owner record %+v: want 2 replicas including the owner", rec)
+	}
+
+	// Move entirely into shard 3's territory (x in [7500, 10000)): one
+	// router batch must upsert there and delete both stale replicas.
+	r2 := []float64{8000, 6000, 8100, 6100}
+	resp, err = rt.ApplyUpdates(ctx, serve.UpdatesRequest{Updates: []serve.UpdateJSON{
+		{Op: "upsert_object", ID: 7, Region: r2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Applied != 3 { // 1 upsert + 2 deletes
+		t.Fatalf("straddling move: physical applied = %d, want 3", resp.Applied)
+	}
+
+	// The object must now answer only from its new home.
+	got, err := rt.Evaluate(ctx, serve.RequestJSON{
+		Kind:   "uncertain",
+		Issuer: serve.IssuerJSON{Region: []float64{7900, 5900, 8200, 6200}},
+		W:      600, H: 600, Threshold: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Matches) != 1 || got.Matches[0].ID != 7 {
+		t.Fatalf("moved object not found where it should be: %v", got.Matches)
+	}
+	old, err := rt.Evaluate(ctx, serve.RequestJSON{
+		Kind:   "uncertain",
+		Issuer: serve.IssuerJSON{Region: []float64{4800, 900, 5200, 1300}},
+		W:      600, H: 600, Threshold: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old.Matches) != 0 {
+		t.Fatalf("stale replica still answering at the old location: %v", old.Matches)
+	}
+
+	if _, err := rt.ApplyUpdates(ctx, serve.UpdatesRequest{Updates: []serve.UpdateJSON{
+		{Op: "delete_object", ID: 7},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	rt.mu.Lock()
+	_, still := rt.owners[7]
+	rt.mu.Unlock()
+	if still {
+		t.Fatal("ownership cache kept a deleted object")
+	}
+}

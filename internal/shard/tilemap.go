@@ -1,0 +1,371 @@
+// Package shard partitions the object space across an engine fleet and
+// routes queries and updates to the shards that can answer them.
+//
+// The partitioning unit is a static grid of contiguous rectangular
+// tiles over the world rectangle (the blueprint is the contiguous-zone
+// partitioning of "Towards a Scalable Dynamic Spatial Database
+// System"); each tile is assigned to exactly one shard. Edge tiles
+// extend to infinity, so every point in the plane — including objects
+// that wander outside the nominal world — has a well-defined tile and
+// shard.
+//
+// Ownership and replication follow from the paper's probe-region
+// lemma: a query only touches objects whose uncertainty region
+// intersects its expanded (probe/guard) region, so
+//
+//   - a point object lives on exactly one shard — the shard of the
+//     tile containing its location;
+//   - an uncertain object is replicated to every shard whose tiles its
+//     region intersects, with the shard of the region's center
+//     designated the owner (used for accounting; every replica
+//     evaluates it to the bit-identical probability, so a query merge
+//     may keep any one copy);
+//   - a query is fanned to exactly the shards whose tiles intersect
+//     its probe/guard region; by the replication rule each candidate
+//     object is present on at least one queried shard.
+//
+// Tile→shard assignment is produced by a Partitioner. The default is
+// an equal-weight contiguous split in row-major order; a density-aware
+// assignment (weights from a hotspot histogram) plugs in through the
+// same interface. The whole map round-trips through a compact spec
+// string so the router and every shard can agree on — and
+// health-check — the fleet geometry.
+package shard
+
+import (
+	"fmt"
+	"slices"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// TileMap is an immutable tile→shard assignment over a world
+// rectangle: tx × ty tiles in row-major order, each owned by one of
+// NumShards() shards.
+type TileMap struct {
+	world  geom.Rect
+	tx, ty int
+	assign []int // tile index (row-major) -> shard
+	shards int
+}
+
+// Partitioner turns per-tile weights into a tile→shard assignment.
+// The returned slice maps tile index (row-major) to shard in
+// [0, shards).
+type Partitioner interface {
+	Partition(weights []float64, shards int) ([]int, error)
+}
+
+// ContiguousPartitioner assigns tiles to shards in contiguous
+// row-major runs, splitting so each shard's cumulative weight is as
+// close to the mean as a greedy scan allows. With uniform weights it
+// degenerates to the balanced equal-count split. Contiguity keeps each
+// shard's territory a band of adjacent tiles, which bounds the
+// replication factor of small straddling regions to neighboring
+// shards.
+type ContiguousPartitioner struct{}
+
+// Partition implements Partitioner.
+func (ContiguousPartitioner) Partition(weights []float64, shards int) ([]int, error) {
+	n := len(weights)
+	if shards <= 0 {
+		return nil, fmt.Errorf("shard: partition wants at least 1 shard, got %d", shards)
+	}
+	if n < shards {
+		return nil, fmt.Errorf("shard: %d tiles cannot cover %d shards", n, shards)
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("shard: negative tile weight %g at %d", w, i)
+		}
+		total += w
+	}
+	assign := make([]int, n)
+	if total == 0 {
+		// Degenerate weights: equal tile counts per shard.
+		for i := range assign {
+			assign[i] = i * shards / n
+		}
+		return assign, nil
+	}
+	// Greedy scan: close a shard's run once its share is reached,
+	// keeping enough tiles in reserve that every later shard gets at
+	// least one.
+	s, acc := 0, 0.0
+	for i, w := range weights {
+		if s < shards-1 && (acc >= total*float64(s+1)/float64(shards) || n-i <= shards-1-s) {
+			s++
+		}
+		assign[i] = s
+		acc += w
+	}
+	return assign, nil
+}
+
+// Uniform builds a tile map with the default equal-weight contiguous
+// assignment.
+func Uniform(world geom.Rect, tx, ty, shards int) (*TileMap, error) {
+	weights := make([]float64, tx*ty)
+	for i := range weights {
+		weights[i] = 1
+	}
+	return FromWeights(world, tx, ty, shards, weights, ContiguousPartitioner{})
+}
+
+// FromWeights builds a tile map from per-tile weights (row-major,
+// len tx*ty) — the density-aware entry point: feed it a histogram of
+// the expected object distribution and hot tiles spread over more
+// shards.
+func FromWeights(world geom.Rect, tx, ty, shards int, weights []float64, p Partitioner) (*TileMap, error) {
+	if err := world.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: world rect: %w", err)
+	}
+	if world.Width() <= 0 || world.Height() <= 0 {
+		return nil, fmt.Errorf("shard: world rect %v has zero extent", world)
+	}
+	if tx <= 0 || ty <= 0 {
+		return nil, fmt.Errorf("shard: tile grid %dx%d must be positive", tx, ty)
+	}
+	if len(weights) != tx*ty {
+		return nil, fmt.Errorf("shard: %d weights for a %dx%d grid", len(weights), tx, ty)
+	}
+	assign, err := p.Partition(weights, shards)
+	if err != nil {
+		return nil, err
+	}
+	m := &TileMap{world: world, tx: tx, ty: ty, assign: assign, shards: shards}
+	return m, m.validate()
+}
+
+func (m *TileMap) validate() error {
+	if len(m.assign) != m.tx*m.ty {
+		return fmt.Errorf("shard: assignment covers %d tiles, grid has %d", len(m.assign), m.tx*m.ty)
+	}
+	seen := make([]bool, m.shards)
+	for i, s := range m.assign {
+		if s < 0 || s >= m.shards {
+			return fmt.Errorf("shard: tile %d assigned to shard %d (fleet size %d)", i, s, m.shards)
+		}
+		seen[s] = true
+	}
+	for s, ok := range seen {
+		if !ok {
+			return fmt.Errorf("shard: shard %d owns no tiles", s)
+		}
+	}
+	return nil
+}
+
+// NumShards returns the fleet size.
+func (m *TileMap) NumShards() int { return m.shards }
+
+// Grid returns the tile grid dimensions.
+func (m *TileMap) Grid() (tx, ty int) { return m.tx, m.ty }
+
+// World returns the world rectangle the grid covers.
+func (m *TileMap) World() geom.Rect { return m.world }
+
+// tileCoord maps a coordinate to a clamped tile column/row: positions
+// outside the world fall into the nearest edge tile.
+func tileCoord(v, lo, extent float64, n int) int {
+	i := int((v - lo) / extent * float64(n))
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// TileOf returns the row-major tile index holding p (clamped).
+func (m *TileMap) TileOf(p geom.Point) int {
+	cx := tileCoord(p.X, m.world.Lo.X, m.world.Width(), m.tx)
+	cy := tileCoord(p.Y, m.world.Lo.Y, m.world.Height(), m.ty)
+	return cy*m.tx + cx
+}
+
+// ShardOf returns the shard owning the tile that holds p — the home of
+// a point object at p.
+func (m *TileMap) ShardOf(p geom.Point) int { return m.assign[m.TileOf(p)] }
+
+// ShardsOverlapping returns the sorted set of shards whose tiles
+// intersect r (clamped to the grid) — the replica set of an uncertain
+// object with region r, and the fan-out set of a query with probe
+// region r.
+func (m *TileMap) ShardsOverlapping(r geom.Rect) []int {
+	x0 := tileCoord(r.Lo.X, m.world.Lo.X, m.world.Width(), m.tx)
+	x1 := tileCoord(r.Hi.X, m.world.Lo.X, m.world.Width(), m.tx)
+	y0 := tileCoord(r.Lo.Y, m.world.Lo.Y, m.world.Height(), m.ty)
+	y1 := tileCoord(r.Hi.Y, m.world.Lo.Y, m.world.Height(), m.ty)
+	var out []int
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			s := m.assign[cy*m.tx+cx]
+			if !slices.Contains(out, s) {
+				out = append(out, s)
+			}
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Owner returns the designated owner shard for an uncertain object
+// with region r: the shard holding the region's center. The owner is
+// always a member of ShardsOverlapping(r).
+func (m *TileMap) Owner(r geom.Rect) int { return m.ShardOf(r.Center()) }
+
+// AllShards returns 0..NumShards()-1 — the fan-out set of a query with
+// an unbounded guard (NN before tau is known).
+func (m *TileMap) AllShards() []int {
+	out := make([]int, m.shards)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Spec serializes the map to its canonical string form:
+//
+//	grid:TXxTY@X0,Y0,X1,Y1;shards=N;assign=RLE
+//
+// where RLE is a comma-separated run-length encoding of the row-major
+// tile assignment ("0x3,1x3" = three tiles on shard 0, three on shard
+// 1; a run of one drops the "x1"). The assign clause is omitted when
+// it equals the default equal-weight contiguous split. Floats use the
+// shortest exact representation, so Parse(Spec()) reproduces the map
+// bit-for-bit.
+func (m *TileMap) Spec() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "grid:%dx%d@%s,%s,%s,%s;shards=%d",
+		m.tx, m.ty,
+		fmtF(m.world.Lo.X), fmtF(m.world.Lo.Y), fmtF(m.world.Hi.X), fmtF(m.world.Hi.Y),
+		m.shards)
+	if def, err := Uniform(m.world, m.tx, m.ty, m.shards); err != nil || !slices.Equal(def.assign, m.assign) {
+		b.WriteString(";assign=")
+		b.WriteString(rleEncode(m.assign))
+	}
+	return b.String()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func rleEncode(assign []int) string {
+	var b strings.Builder
+	for i := 0; i < len(assign); {
+		j := i
+		for j < len(assign) && assign[j] == assign[i] {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", assign[i])
+		if j-i > 1 {
+			fmt.Fprintf(&b, "x%d", j-i)
+		}
+		i = j
+	}
+	return b.String()
+}
+
+// Parse decodes a Spec() string.
+func Parse(spec string) (*TileMap, error) {
+	fail := func(why string) (*TileMap, error) {
+		return nil, fmt.Errorf("shard: bad tile spec %q: %s", spec, why)
+	}
+	body, ok := strings.CutPrefix(spec, "grid:")
+	if !ok {
+		return fail(`missing "grid:" prefix`)
+	}
+	parts := strings.Split(body, ";")
+	grid, world, ok := strings.Cut(parts[0], "@")
+	if !ok {
+		return fail("missing @world clause")
+	}
+	txs, tys, ok := strings.Cut(grid, "x")
+	if !ok {
+		return fail("grid wants TXxTY")
+	}
+	tx, err1 := strconv.Atoi(txs)
+	ty, err2 := strconv.Atoi(tys)
+	if err1 != nil || err2 != nil || tx <= 0 || ty <= 0 {
+		return fail("grid wants positive TXxTY")
+	}
+	cs := strings.Split(world, ",")
+	if len(cs) != 4 {
+		return fail("world wants X0,Y0,X1,Y1")
+	}
+	var c [4]float64
+	for i, s := range cs {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fail("world coordinate " + s)
+		}
+		c[i] = v
+	}
+	shards, assignRLE := 0, ""
+	for _, p := range parts[1:] {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return fail("clause " + p)
+		}
+		switch k {
+		case "shards":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return fail("shards wants a positive count")
+			}
+			shards = n
+		case "assign":
+			assignRLE = v
+		default:
+			return fail("unknown clause " + k)
+		}
+	}
+	if shards == 0 {
+		return fail("missing shards clause")
+	}
+	wr := geom.RectFromCorners(geom.Pt(c[0], c[1]), geom.Pt(c[2], c[3]))
+	if assignRLE == "" {
+		return Uniform(wr, tx, ty, shards)
+	}
+	assign, err := rleDecode(assignRLE)
+	if err != nil {
+		return fail(err.Error())
+	}
+	m := &TileMap{world: wr, tx: tx, ty: ty, assign: assign, shards: shards}
+	if err := wr.Validate(); err != nil {
+		return fail(err.Error())
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func rleDecode(s string) ([]int, error) {
+	var out []int
+	for _, run := range strings.Split(s, ",") {
+		ss, cnt, hasCount := strings.Cut(run, "x")
+		sh, err := strconv.Atoi(ss)
+		if err != nil {
+			return nil, fmt.Errorf("assign run %q", run)
+		}
+		n := 1
+		if hasCount {
+			n, err = strconv.Atoi(cnt)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("assign run %q", run)
+			}
+		}
+		for range n {
+			out = append(out, sh)
+		}
+	}
+	return out, nil
+}
